@@ -1,0 +1,14 @@
+// The Fig. 4 program in the STLlint surface syntax.
+// Check with:  dune exec bin/gp.exe -- lint --file examples/failing_grades.cxx
+vector<student> students;
+vector<student> fail;
+iter it = students.begin();
+iter last = students.end();
+while (it != last) {
+  if (fgrade(*it)) {
+    fail.push_back(*it);
+    students.erase(it);     // BUG: result discarded; 'it' is now singular
+  } else {
+    ++it;
+  }
+}
