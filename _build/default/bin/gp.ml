@@ -1,0 +1,408 @@
+(* gp — the command-line face of the library.
+
+     gp check <concept> <type> [<type>...]   concept checking with diagnostics
+     gp concepts                             list everything the registry knows
+     gp lint [case]                          run STLlint on the corpus
+     gp optimize                             Simplicissimus demo + certification
+     gp prove [--theory swo|group|monoid]    run the proof checker
+     gp elect --algo lcr|hs --nodes N        leader election on a ring
+     gp taxonomy --problem P --topology T    pick the right algorithm *)
+
+open Cmdliner
+
+(* The "standard world": every registry declaration the libraries ship. *)
+let standard_registry () =
+  let open Gp_concepts in
+  let reg = Registry.create () in
+  Gp_algebra.Decls.declare reg;
+  Gp_sequence.Decls.declare reg;
+  Gp_graph.Decls.declare reg;
+  Gp_linalg.Decls.declare reg;
+  reg
+
+(* ------------------------------------------------------------------ *)
+(* gp check                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let load_defs reg = function
+  | None -> true
+  | Some path -> (
+    match In_channel.with_open_text path In_channel.input_all with
+    | src -> (
+      match Gp_concepts.Lang.load_string reg src with
+      | () -> true
+      | exception Gp_concepts.Lang.Parse_error { line; col; message } ->
+        Fmt.epr "%s:%d:%d: %s@." path line col message;
+        false
+      | exception Gp_concepts.Registry.Duplicate what ->
+        Fmt.epr "%s: duplicate declaration of %s@." path what;
+        false)
+    | exception Sys_error e ->
+      Fmt.epr "%s@." e;
+      false)
+
+let defs_arg =
+  Arg.(value
+       & opt (some file) None
+       & info [ "defs" ]
+           ~doc:"Load additional concept/type/model declarations from a \
+                 .gpc file (the gp surface syntax).")
+
+let check_cmd =
+  let concept =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CONCEPT")
+  in
+  let types =
+    Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"TYPE")
+  in
+  let nominal =
+    Arg.(value & flag & info [ "nominal" ] ~doc:"Require a declared model.")
+  in
+  let run concept types nominal defs =
+    let open Gp_concepts in
+    let reg = standard_registry () in
+    if not (load_defs reg defs) then 2
+    else begin
+      let mode = if nominal then Check.Nominal else Check.Structural in
+      let args = List.map (fun t -> Ctype.Named t) types in
+      let report = Check.check ~mode reg concept args in
+      Fmt.pr "%a@." Check.pp_report report;
+      if Check.ok report then 0 else 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check whether types model a concept")
+    Term.(const run $ concept $ types $ nominal $ defs_arg)
+
+let parse_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run path =
+    let src = In_channel.with_open_text path In_channel.input_all in
+    match Gp_concepts.Lang.parse_string src with
+    | items ->
+      List.iter
+        (function
+          | Gp_concepts.Lang.Iconcept c ->
+            Fmt.pr "%a@.@." Gp_concepts.Lang.pp_concept c
+          | Gp_concepts.Lang.Itype { name; assoc } ->
+            Fmt.pr "type %s with %d associated type(s)@.@." name
+              (List.length assoc)
+          | Gp_concepts.Lang.Iop { name; _ } -> Fmt.pr "op %s@.@." name
+          | Gp_concepts.Lang.Imodel { concept; args; _ } ->
+            Fmt.pr "model %s<%a>@.@." concept
+              Fmt.(list ~sep:comma Gp_concepts.Lang.pp_ty)
+              args)
+        items;
+      0
+    | exception Gp_concepts.Lang.Parse_error { line; col; message } ->
+      Fmt.epr "%s:%d:%d: %s@." path line col message;
+      2
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse and pretty-print a .gpc definitions file")
+    Term.(const run $ path)
+
+(* ------------------------------------------------------------------ *)
+(* gp concepts                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let concepts_cmd =
+  let run () =
+    let open Gp_concepts in
+    let reg = standard_registry () in
+    Fmt.pr "concepts:@.";
+    List.iter
+      (fun (c : Concept.t) ->
+        Fmt.pr "  %-24s (%d params%s) %s@." c.Concept.name
+          (List.length c.Concept.params)
+          (if Concept.is_semantic c then ", semantic" else "")
+          c.Concept.doc)
+      (Registry.concepts reg);
+    Fmt.pr "@.declared models: %d@." (List.length (Registry.models reg));
+    0
+  in
+  Cmd.v
+    (Cmd.info "concepts" ~doc:"List known concepts and models")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* gp lint                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let case =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"CASE")
+  in
+  let file =
+    Arg.(value
+         & opt (some file) None
+         & info [ "file" ]
+             ~doc:"Check a program file in the STLlint surface syntax \
+                   instead of a corpus case.")
+  in
+  let run_file path =
+    let open Gp_stllint in
+    let src = In_channel.with_open_text path In_channel.input_all in
+    match Parser.check_source src with
+    | ds ->
+      Fmt.pr "%a@." Interp.pp_report ds;
+      if Interp.errors ds <> [] then 1 else 0
+    | exception Parser.Parse_error { line; message } ->
+      Fmt.epr "%s:%d: %s@." path line message;
+      2
+  in
+  let run_corpus case =
+    let open Gp_stllint in
+    let cases =
+      match case with
+      | None -> Corpus.all
+      | Some name -> (
+        match
+          List.filter (fun c -> c.Corpus.case_name = name) Corpus.all
+        with
+        | [] ->
+          Fmt.epr "unknown case %s; available:@." name;
+          List.iter
+            (fun c -> Fmt.epr "  %s@." c.Corpus.case_name)
+            Corpus.all;
+          exit 2
+        | cs -> cs)
+    in
+    let bad = ref 0 in
+    List.iter
+      (fun (c : Corpus.case) ->
+        Fmt.pr "--- %s: %s@." c.Corpus.case_name c.Corpus.description;
+        let ds = Interp.check c.Corpus.program in
+        Fmt.pr "%a@.@." Interp.pp_report ds;
+        if Interp.errors ds <> [] then incr bad)
+      cases;
+    if !bad > 0 then 1 else 0
+  in
+  let run case file =
+    match file with Some path -> run_file path | None -> run_corpus case
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the STLlint checker on the corpus or a program file")
+    Term.(const run $ case $ file)
+
+(* ------------------------------------------------------------------ *)
+(* gp optimize                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_cmd =
+  let certified_only =
+    Arg.(value & flag
+         & info [ "certified-only" ]
+             ~doc:"Only apply rules whose backing theorem checked.")
+  in
+  let expr_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "expr" ]
+             ~doc:"Rewrite this expression (e.g. \"x*1 + (y:float)*0.0\"; \
+                   variables default to int, annotate with :type).")
+  in
+  let run certified_only expr_src =
+    let open Gp_simplicissimus in
+    List.iter
+      (fun c -> Fmt.pr "%a@." Certify.pp_certification c)
+      (Certify.certify_builtin ());
+    let insts = Instances.standard () in
+    let rules = Rules.builtin @ [ Rules.lidia_inverse ] in
+    let open Expr in
+    let demos =
+      match expr_src with
+      | Some src -> (
+        match Sparser.parse src with
+        | e -> [ e ]
+        | exception Sparser.Parse_error m ->
+          Fmt.epr "parse error: %s@." m;
+          exit 2)
+      | None ->
+        [ binop "*" (binop "+" (ivar "x") (int 0)) (int 1);
+          binop "+" (ivar "x") (unop "neg" (ivar "x"));
+          binop "*" (ivar "x") (int 0);
+          binop "." (mvar "A") (Ident ("matrix", "."));
+          Op ("/", "bigfloat", [ float 1.0; Var ("f", "bigfloat") ]) ]
+    in
+    Fmt.pr "@.";
+    List.iter
+      (fun e ->
+        let r = Engine.rewrite ~only_certified:certified_only ~rules ~insts e in
+        Fmt.pr "%a@." Engine.pp_result r;
+        List.iter (fun st -> Fmt.pr "  %a@." Engine.pp_step st) r.Engine.steps)
+      demos;
+    0
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Concept-based rewriting (demo expressions or --expr)")
+    Term.(const run $ certified_only $ expr_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gp prove                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let prove_cmd =
+  let theory =
+    Arg.(value
+         & opt
+             (enum
+                [ ("swo", `Swo); ("group", `Group); ("monoid", `Monoid);
+                  ("ring", `Ring); ("orders", `Orders) ])
+             `Swo
+         & info [ "theory" ]
+             ~doc:"Which theory to prove: swo, group, monoid, ring, orders.")
+  in
+  let run theory =
+    let open Gp_athena in
+    let failures = ref 0 in
+    let show (thm : Theorems.theorem) verdict =
+      (match verdict with Deduction.Proved -> () | _ -> incr failures);
+      Fmt.pr "%-44s %a@." thm.Theorems.thm_name Deduction.pp_verdict verdict
+    in
+    (match theory with
+    | `Swo ->
+      List.iter
+        (fun lt ->
+          let axioms = Theory.strict_weak_order ~lt in
+          List.iter
+            (fun f ->
+              let thm = f ~lt in
+              show thm (Theorems.verify ~axioms thm))
+            [ Theorems.swo_e_reflexive; Theorems.swo_e_symmetric;
+              Theorems.swo_e_transitive; Theorems.swo_asymmetric ])
+        [ "int_lt"; "string_lt" ]
+    | `Group ->
+      List.iter
+        (fun m ->
+          List.iter
+            (fun f ->
+              let thm = f m in
+              show thm (Theorems.verify ~axioms:(Theory.group_minimal m) thm))
+            [ Theorems.group_right_inverse; Theorems.group_right_identity;
+              Theorems.group_double_inverse ])
+        Theory.group_instances
+    | `Monoid ->
+      List.iter
+        (fun m ->
+          List.iter
+            (fun f ->
+              let thm = f m in
+              show thm (Theorems.verify ~axioms:(Theory.monoid m) thm))
+            [ Theorems.monoid_right_identity; Theorems.monoid_identity_unique ])
+        Theory.monoid_instances
+    | `Ring ->
+      let rm =
+        { Theory.r_name = "int"; add = Theory.int_add; mul = Theory.int_mul }
+      in
+      List.iter
+        (fun f ->
+          let thm = f rm in
+          show thm (Theorems.verify ~axioms:(Theory.ring rm) thm))
+        [ Theorems.ring_mul_zero; Theorems.ring_zero_mul ]
+    | `Orders ->
+      List.iter
+        (fun leq ->
+          List.iter
+            (fun f ->
+              let thm = f ~leq in
+              show thm (Theorems.verify ~axioms:(Theory.total_order ~leq) thm))
+            [ Theorems.strict_irreflexive; Theorems.strict_transitive;
+              Theorems.strict_equiv_transitive ])
+        [ "int_le"; "string_le"; "rational_le" ]);
+    if !failures > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "prove" ~doc:"Check generic proofs against theory axioms")
+    Term.(const run $ theory)
+
+(* ------------------------------------------------------------------ *)
+(* gp elect                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let elect_cmd =
+  let algo =
+    Arg.(value
+         & opt (enum [ ("lcr", `Lcr); ("hs", `Hs) ]) `Lcr
+         & info [ "algo" ] ~doc:"lcr or hs.")
+  in
+  let nodes =
+    Arg.(value & opt int 16 & info [ "nodes"; "n" ] ~doc:"Ring size.")
+  in
+  let asynchronous =
+    Arg.(value & flag & info [ "async" ] ~doc:"Asynchronous message delays.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let run algo nodes asynchronous seed =
+    let open Gp_distsim in
+    let uids = Array.init nodes (fun i -> nodes - i) in
+    let config =
+      { Engine.default_config with
+        Engine.timing =
+          (if asynchronous then Engine.Asynchronous { max_delay = 3.0 }
+           else Engine.Synchronous);
+        seed }
+    in
+    let r =
+      match algo with
+      | `Lcr -> Algorithms.Lcr.run ~config ~uids (Topology.ring_unidirectional nodes)
+      | `Hs -> Algorithms.Hs.run ~config ~uids (Topology.ring nodes)
+    in
+    Fmt.pr "leader: %s@."
+      (Option.value ~default:"(no agreement)" (Algorithms.agreed r));
+    Fmt.pr "%a@." Engine.pp_metrics r.Engine.metrics;
+    0
+  in
+  Cmd.v
+    (Cmd.info "elect" ~doc:"Leader election on a ring in the simulator")
+    Term.(const run $ algo $ nodes $ asynchronous $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* gp taxonomy                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let taxonomy_cmd =
+  let problem =
+    Arg.(value & opt string "leader-election"
+         & info [ "problem" ] ~doc:"Problem dimension value.")
+  in
+  let topology =
+    Arg.(value & opt string "bidirectional-ring"
+         & info [ "topology" ] ~doc:"Topology dimension value.")
+  in
+  let measure =
+    Arg.(value & opt string "messages"
+         & info [ "measure" ] ~doc:"Cost measure to minimise.")
+  in
+  let run problem topology measure =
+    let open Gp_distsim in
+    let t = Taxonomy7.build () in
+    let best = Taxonomy7.pick_for t ~problem ~topology ~measure in
+    if best = [] then begin
+      Fmt.pr "no algorithm registered for this situation (a taxonomy gap).@.";
+      1
+    end
+    else begin
+      List.iter
+        (fun e -> Fmt.pr "%a@." Gp_concepts.Taxonomy.pp_entry e)
+        best;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "taxonomy"
+       ~doc:"Query the seven-dimension distributed-algorithms taxonomy")
+    Term.(const run $ problem $ topology $ measure)
+
+let () =
+  let doc = "generic programming and high-performance libraries, reproduced" in
+  let info = Cmd.info "gp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ check_cmd; parse_cmd; concepts_cmd; lint_cmd; optimize_cmd;
+            prove_cmd; elect_cmd; taxonomy_cmd ]))

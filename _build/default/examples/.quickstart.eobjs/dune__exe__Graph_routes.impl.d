@@ -1,0 +1,1 @@
+examples/graph_routes.ml: Adj_list Adj_matrix Algorithms Array Decls Fmt Fun Gp_concepts Gp_graph List Property_map Sigs

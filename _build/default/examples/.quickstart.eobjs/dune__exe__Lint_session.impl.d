@@ -1,0 +1,1 @@
+examples/lint_session.ml: Corpus Fmt Gp_stllint Interp List Parser Render String

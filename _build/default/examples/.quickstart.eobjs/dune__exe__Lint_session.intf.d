@@ -1,0 +1,1 @@
+examples/lint_session.mli:

@@ -1,0 +1,1 @@
+examples/optimize_and_prove.ml: Certify Deduction Engine Expr Fmt Gp_athena Gp_simplicissimus Instances List Rules String Theorems Theory

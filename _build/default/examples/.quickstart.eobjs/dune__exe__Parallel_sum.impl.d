@@ -1,0 +1,1 @@
+examples/parallel_sum.ml: Array Char Datapar Fmt Gp_datapar List String Sys Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Check Complexity Concept Ctype Fmt Gp_concepts Gp_graph Gp_sequence Lang List Overload Propagate Registry

@@ -1,0 +1,1 @@
+examples/ring_election.ml: Algorithms Array Engine Fmt Gp_concepts Gp_distsim List Option Printf String Taxonomy7 Topology

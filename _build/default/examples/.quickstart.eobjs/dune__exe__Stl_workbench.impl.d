@@ -1,0 +1,1 @@
+examples/stl_workbench.ml: Algorithms Fmt Gp_concepts Gp_sequence Iter List String Taxonomy_stl Varray

@@ -1,0 +1,1 @@
+examples/stl_workbench.mli:

@@ -1,0 +1,103 @@
+(* An STL workbench: a small inventory-reconciliation scenario that
+   exercises the wider algorithm set — sorting with dispatch, the
+   sorted-range set algebra, equal_range, back inserters, quantifiers —
+   plus the taxonomy query that justifies each choice.
+
+     dune exec examples/stl_workbench.exe *)
+
+open Gp_sequence
+
+let line = String.make 72 '-'
+let lt = ( < )
+let show name a = Fmt.pr "  %-24s %a@." name (Varray.pp Fmt.int) a
+
+let () =
+  Fmt.pr "=== STL workbench: reconciling two inventories ===@.@.";
+
+  (* Yesterday's and today's inventories (item ids, unsorted). *)
+  let yesterday = Varray.of_list ~dummy:0 [ 7; 3; 3; 9; 1; 5; 3 ] in
+  let today = Varray.of_list ~dummy:0 [ 5; 3; 8; 3; 1; 8 ] in
+  show "yesterday" yesterday;
+  show "today" today;
+
+  (* 1. Sort both: dispatch picks introsort (random access). *)
+  Fmt.pr "@.%s@." line;
+  Fmt.pr "sorting (concept dispatch picks %s)@."
+    (Algorithms.sort_algorithm_name
+       (Algorithms.sort_algorithm_for Iter.Random_access));
+  Fmt.pr "%s@." line;
+  Algorithms.sort ~lt (Varray.begin_ yesterday, Varray.end_ yesterday);
+  Algorithms.sort ~lt (Varray.begin_ today, Varray.end_ today);
+  show "yesterday (sorted)" yesterday;
+  show "today (sorted)" today;
+
+  (* 2. Set algebra through back inserters: what arrived, what left,
+     what is common stock. *)
+  Fmt.pr "@.%s@." line;
+  Fmt.pr "sorted-range set algebra (multiset semantics)@.";
+  Fmt.pr "%s@." line;
+  let collect op =
+    let out = Varray.create ~dummy:0 () in
+    let _ =
+      op ~lt
+        (Varray.begin_ yesterday, Varray.end_ yesterday)
+        (Varray.begin_ today, Varray.end_ today)
+        (Varray.back_inserter out)
+    in
+    out
+  in
+  show "arrived (today \\ yest)"
+    (let out = Varray.create ~dummy:0 () in
+     let _ =
+       Algorithms.set_difference ~lt
+         (Varray.begin_ today, Varray.end_ today)
+         (Varray.begin_ yesterday, Varray.end_ yesterday)
+         (Varray.back_inserter out)
+     in
+     out);
+  show "left (yest \\ today)" (collect Algorithms.set_difference);
+  show "common stock" (collect Algorithms.set_intersection);
+  show "all ever seen" (collect Algorithms.set_union);
+
+  (* 3. equal_range: how many of item 3 did we hold yesterday? *)
+  Fmt.pr "@.%s@." line;
+  Fmt.pr "counting one item with equal_range (O(log n))@.";
+  Fmt.pr "%s@." line;
+  let lo, hi =
+    Algorithms.equal_range ~lt 3 (Varray.begin_ yesterday, Varray.end_ yesterday)
+  in
+  Fmt.pr "  item 3 held yesterday: %d units@." (Algorithms.distance lo hi);
+
+  (* 4. Quantifiers and partitioning: audit rules. *)
+  Fmt.pr "@.%s@." line;
+  Fmt.pr "audit: quantifiers and partitioning@.";
+  Fmt.pr "%s@." line;
+  let r = (Varray.begin_ today, Varray.end_ today) in
+  Fmt.pr "  all ids positive:        %b@."
+    (Algorithms.all_of (fun x -> x > 0) r);
+  Fmt.pr "  any id over 7:           %b@."
+    (Algorithms.any_of (fun x -> x > 7) r);
+  Fmt.pr "  sorted:                  %b@." (Algorithms.is_sorted ~lt r);
+  let evens_first = Varray.of_list ~dummy:0 (Varray.to_list today) in
+  let p x = x mod 2 = 0 in
+  let _ = Algorithms.partition p (Varray.begin_ evens_first, Varray.end_ evens_first) in
+  show "evens partitioned first" evens_first;
+  Fmt.pr "  is_partitioned:          %b@."
+    (Algorithms.is_partitioned p
+       (Varray.begin_ evens_first, Varray.end_ evens_first));
+
+  (* 5. Ask the STL taxonomy why these were the right algorithms. *)
+  Fmt.pr "@.%s@." line;
+  Fmt.pr "the taxonomy's justification@.";
+  Fmt.pr "%s@." line;
+  let t = Taxonomy_stl.build () in
+  List.iter
+    (fun sorted ->
+      Fmt.pr "  best search (%s): %a@."
+        (if sorted then "sorted input" else "unsorted input")
+        Fmt.(list ~sep:comma string)
+        (List.map
+           (fun e -> e.Gp_concepts.Taxonomy.en_name)
+           (Taxonomy_stl.best_search t ~sorted)))
+    [ false; true ];
+  Fmt.pr "@.done.@."

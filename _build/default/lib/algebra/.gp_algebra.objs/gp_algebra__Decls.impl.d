@@ -1,0 +1,1 @@
+lib/algebra/decls.ml: Complexity Concept Ctype Gp_concepts List Printf Registry

@@ -1,0 +1,1 @@
+lib/algebra/decls.mli: Gp_concepts

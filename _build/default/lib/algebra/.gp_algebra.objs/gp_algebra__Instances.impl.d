@@ -1,0 +1,1 @@
+lib/algebra/instances.ml: Bool Float Fmt Int Matrix Rational Sigs String

@@ -1,0 +1,1 @@
+lib/algebra/instances.mli: Matrix Rational Sigs

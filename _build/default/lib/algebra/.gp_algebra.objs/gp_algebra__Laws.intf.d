@@ -1,0 +1,1 @@
+lib/algebra/laws.mli: Sigs

@@ -1,0 +1,1 @@
+lib/algebra/matrix.ml: Array Fmt List Sigs

@@ -1,0 +1,1 @@
+lib/algebra/matrix.mli: Format Sigs

@@ -1,0 +1,1 @@
+lib/algebra/rational.ml: Fmt Sigs Stdlib

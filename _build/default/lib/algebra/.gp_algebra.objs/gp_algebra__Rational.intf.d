@@ -1,0 +1,1 @@
+lib/algebra/rational.mli: Format Sigs

@@ -1,0 +1,1 @@
+lib/algebra/sigs.ml: Format

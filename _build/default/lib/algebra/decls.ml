@@ -1,0 +1,181 @@
+(* Runtime concept declarations for the algebraic hierarchy.
+
+   Mirrors {!Sigs} into a gp_concepts registry so that checking, constraint
+   propagation, overload resolution and the Simplicissimus rewrite guards
+   can all reason about "(x, +) models Monoid" (Fig. 5).
+
+   A model of an algebraic concept is a *(type, operation)* pair, not a bare
+   type. In the registry's type language we represent the pair as a carrier
+   type named "elem[op]", e.g. "int[+]"; its element type is recorded as the
+   associated type [elem]. This keeps carriers first-class and lets two
+   structures on the same element type (int with plus, int with times)
+   coexist. *)
+
+open Gp_concepts
+
+let v t = Ctype.Var t
+let n name = Ctype.Named name
+
+let semigroup =
+  Concept.make ~params:[ "T" ] "Semigroup"
+    ~doc:"a set with an associative binary operation"
+    [
+      Concept.signature "op" [ v "T"; v "T" ] (v "T") ~doc:"the operation";
+      Concept.axiom "associativity" ~vars:[ "a"; "b"; "c" ]
+        "op(op(a,b),c) = op(a,op(b,c))";
+    ]
+
+let monoid =
+  Concept.make ~params:[ "T" ] "Monoid"
+    ~refines:[ ("Semigroup", [ v "T" ]) ]
+    ~doc:"semigroup with a two-sided identity"
+    [
+      Concept.signature "id" [] (v "T") ~doc:"the identity element";
+      Concept.axiom "left_identity" ~vars:[ "a" ] "op(id,a) = a";
+      Concept.axiom "right_identity" ~vars:[ "a" ] "op(a,id) = a";
+    ]
+
+let group =
+  Concept.make ~params:[ "T" ] "Group"
+    ~refines:[ ("Monoid", [ v "T" ]) ]
+    ~doc:"monoid with inverses"
+    [
+      Concept.signature "inverse" [ v "T" ] (v "T");
+      Concept.axiom "left_inverse" ~vars:[ "a" ] "op(inverse(a),a) = id";
+      Concept.axiom "right_inverse" ~vars:[ "a" ] "op(a,inverse(a)) = id";
+    ]
+
+let abelian_group =
+  Concept.make ~params:[ "T" ] "AbelianGroup"
+    ~refines:[ ("Group", [ v "T" ]) ]
+    ~doc:"group with commutative operation"
+    [ Concept.axiom "commutativity" ~vars:[ "a"; "b" ] "op(a,b) = op(b,a)" ]
+
+let ring =
+  Concept.make ~params:[ "T" ] "Ring"
+    ~doc:"abelian group (add) + monoid (mul) with distributivity"
+    [
+      Concept.signature "add" [ v "T"; v "T" ] (v "T");
+      Concept.signature "neg" [ v "T" ] (v "T");
+      Concept.signature "zero" [] (v "T");
+      Concept.signature "mul" [ v "T"; v "T" ] (v "T");
+      Concept.signature "one" [] (v "T");
+      Concept.axiom "left_distributivity" ~vars:[ "a"; "b"; "c" ]
+        "mul(a,add(b,c)) = add(mul(a,b),mul(a,c))";
+      Concept.axiom "right_distributivity" ~vars:[ "a"; "b"; "c" ]
+        "mul(add(a,b),c) = add(mul(a,c),mul(b,c))";
+    ]
+
+let field =
+  Concept.make ~params:[ "T" ] "Field"
+    ~refines:[ ("Ring", [ v "T" ]) ]
+    ~doc:"commutative ring with multiplicative inverses of nonzero elements"
+    [
+      Concept.signature "inv" [ v "T" ] (v "T");
+      Concept.axiom "mul_commutativity" ~vars:[ "a"; "b" ]
+        "mul(a,b) = mul(b,a)";
+      Concept.axiom "mul_inverse" ~vars:[ "a" ]
+        "a <> zero -> mul(a,inv(a)) = one";
+    ]
+
+(* Fig. 6: the Strict Weak Order concept and its axioms. *)
+let strict_weak_order =
+  Concept.make ~params:[ "T" ] "StrictWeakOrder"
+    ~doc:
+      "minimal requirements on < for correctness of search/sort algorithms \
+       (Fig. 6)"
+    [
+      Concept.signature "lt" [ v "T"; v "T" ] (n "bool");
+      Concept.axiom "irreflexivity" ~vars:[ "a" ] "not lt(a,a)";
+      Concept.axiom "transitivity" ~vars:[ "a"; "b"; "c" ]
+        "lt(a,b) and lt(b,c) -> lt(a,c)";
+      Concept.axiom "equivalence_transitivity" ~vars:[ "a"; "b"; "c" ]
+        "E(a,b) and E(b,c) -> E(a,c)  where E(x,y) := not lt(x,y) and not \
+         lt(y,x)";
+    ]
+
+let all_concepts =
+  [ semigroup; monoid; group; abelian_group; ring; field; strict_weak_order ]
+
+(* A carrier declaration: the (type, op) pair "elem[label]". *)
+type carrier = {
+  car_name : string; (* e.g. "int[+]" *)
+  car_elem : string; (* e.g. "int" *)
+  car_concept : string; (* most refined algebraic concept modeled *)
+  car_axioms : string list; (* axioms asserted (all of them, transitively) *)
+}
+
+let carrier ~elem ~label ~concept =
+  { car_name = Printf.sprintf "%s[%s]" elem label; car_elem = elem;
+    car_concept = concept; car_axioms = [] }
+
+let axioms_of_chain = function
+  | "Semigroup" -> [ "associativity" ]
+  | "Monoid" -> [ "associativity"; "left_identity"; "right_identity" ]
+  | "Group" ->
+    [ "associativity"; "left_identity"; "right_identity"; "left_inverse";
+      "right_inverse" ]
+  | "AbelianGroup" ->
+    [ "associativity"; "left_identity"; "right_identity"; "left_inverse";
+      "right_inverse"; "commutativity" ]
+  | _ -> []
+
+(* The Fig. 5 instances plus the honest exact ones. *)
+let standard_carriers =
+  [
+    carrier ~elem:"int" ~label:"+" ~concept:"AbelianGroup";
+    carrier ~elem:"int" ~label:"*" ~concept:"Monoid";
+    carrier ~elem:"int" ~label:"&" ~concept:"Monoid";
+    carrier ~elem:"int" ~label:"|" ~concept:"Monoid";
+    carrier ~elem:"bool" ~label:"&&" ~concept:"Monoid";
+    carrier ~elem:"bool" ~label:"||" ~concept:"Monoid";
+    carrier ~elem:"string" ~label:"^" ~concept:"Monoid";
+    carrier ~elem:"float" ~label:"+" ~concept:"AbelianGroup";
+    carrier ~elem:"float" ~label:"*" ~concept:"Group";
+    carrier ~elem:"rational" ~label:"+" ~concept:"AbelianGroup";
+    carrier ~elem:"rational" ~label:"*" ~concept:"Group";
+    carrier ~elem:"matrix" ~label:"." ~concept:"Monoid";
+    carrier ~elem:"invertible_matrix" ~label:"." ~concept:"Group";
+  ]
+
+(* Declare the whole algebraic world into [reg]: concepts, element types,
+   carrier types with their ops, and checked model declarations. *)
+let declare reg =
+  List.iter (Registry.declare_concept reg) all_concepts;
+  let elems =
+    [ "int"; "bool"; "string"; "float"; "rational"; "matrix";
+      "invertible_matrix" ]
+  in
+  List.iter (fun e -> Registry.declare_type reg e) elems;
+  List.iter
+    (fun c ->
+      Registry.declare_type reg c.car_name
+        ~assoc:[ ("elem", n c.car_elem) ]
+        ~doc:(Printf.sprintf "(%s) as a %s carrier" c.car_name c.car_concept);
+      let t = n c.car_name in
+      Registry.declare_op reg "op" [ t; t ] t;
+      if Registry.refines reg c.car_concept "Monoid" then
+        Registry.declare_op reg "id" [] t;
+      if Registry.refines reg c.car_concept "Group" then
+        Registry.declare_op reg "inverse" [ t ] t;
+      (* declare models for the whole refinement chain, asserting axioms *)
+      let chain =
+        List.filter
+          (fun cc -> Registry.refines reg c.car_concept cc)
+          [ "Semigroup"; "Monoid"; "Group"; "AbelianGroup" ]
+      in
+      List.iter
+        (fun cc ->
+          Registry.declare_model reg cc [ t ] ~axioms:(axioms_of_chain cc)
+            ~complexity:[ ("op", Complexity.constant) ])
+        chain)
+    standard_carriers;
+  (* strict weak orders on ordered element types *)
+  List.iter
+    (fun e ->
+      let t = n e in
+      Registry.declare_op reg "lt" [ t; t ] (n "bool");
+      Registry.declare_model reg "StrictWeakOrder" [ t ]
+        ~axioms:
+          [ "irreflexivity"; "transitivity"; "equivalence_transitivity" ])
+    [ "int"; "string"; "rational" ]

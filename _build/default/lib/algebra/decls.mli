@@ -1,0 +1,37 @@
+(** Runtime concept declarations for the algebraic hierarchy: mirrors
+    {!Sigs} into a gp_concepts registry so checking, propagation,
+    overloading and rewrite guards can reason about "(x, +) models
+    Monoid" (Fig. 5). A model is a (type, operation) pair, represented
+    in the type language as a carrier named ["elem[op]"] (e.g.
+    ["int[+]"]). *)
+
+(** {2 The concept definitions} *)
+
+val semigroup : Gp_concepts.Concept.t
+val monoid : Gp_concepts.Concept.t
+val group : Gp_concepts.Concept.t
+val abelian_group : Gp_concepts.Concept.t
+val ring : Gp_concepts.Concept.t
+val field : Gp_concepts.Concept.t
+
+val strict_weak_order : Gp_concepts.Concept.t
+(** Fig. 6, as a concept with its three axioms. *)
+
+val all_concepts : Gp_concepts.Concept.t list
+
+(** {2 Carrier declarations} *)
+
+type carrier = {
+  car_name : string;  (** e.g. "int[+]" *)
+  car_elem : string;
+  car_concept : string;  (** most refined concept modeled *)
+  car_axioms : string list;
+}
+
+val carrier : elem:string -> label:string -> concept:string -> carrier
+val axioms_of_chain : string -> string list
+val standard_carriers : carrier list
+
+val declare : Gp_concepts.Registry.t -> unit
+(** Declare concepts, element types, carriers with their operations, and
+    checked model declarations into the registry. *)

@@ -1,0 +1,131 @@
+(* The concrete instances of Fig. 5, as modules.
+
+   Fig. 5's Monoid row: [i*1 -> i], [f*1.0 -> f], [b && true -> b],
+   [i & 0xFFF... -> i], [concat(s,"") -> s], [A . I -> A].
+   Group row: [i + (-i) -> 0], [f * (1.0/f) -> 1.0], [r * r^-1 -> 1],
+   [A . A^-1 -> I]. *)
+
+module Int_add : Sigs.ABELIAN_GROUP with type t = int = struct
+  type t = int
+
+  let equal = Int.equal
+  let pp = Fmt.int
+  let op = ( + )
+  let id = 0
+  let inverse x = -x
+end
+
+module Int_mul : Sigs.MONOID with type t = int = struct
+  type t = int
+
+  let equal = Int.equal
+  let pp = Fmt.int
+  let op = ( * )
+  let id = 1
+end
+
+(* All bits set: the identity of bitwise-and ([i & 0xFF..F -> i]). *)
+module Int_band : Sigs.MONOID with type t = int = struct
+  type t = int
+
+  let equal = Int.equal
+  let pp ppf i = Fmt.pf ppf "0x%x" i
+  let op = ( land )
+  let id = -1
+end
+
+module Int_bor : Sigs.MONOID with type t = int = struct
+  type t = int
+
+  let equal = Int.equal
+  let pp ppf i = Fmt.pf ppf "0x%x" i
+  let op = ( lor )
+  let id = 0
+end
+
+module Bool_and : Sigs.MONOID with type t = bool = struct
+  type t = bool
+
+  let equal = Bool.equal
+  let pp = Fmt.bool
+  let op = ( && )
+  let id = true
+end
+
+module Bool_or : Sigs.MONOID with type t = bool = struct
+  type t = bool
+
+  let equal = Bool.equal
+  let pp = Fmt.bool
+  let op = ( || )
+  let id = false
+end
+
+module String_concat : Sigs.MONOID with type t = string = struct
+  type t = string
+
+  let equal = String.equal
+  let pp = Fmt.string
+  let op = ( ^ )
+  let id = ""
+end
+
+(* Floating point models the Monoid/Group axioms only approximately
+   (rounding, infinities, NaN); Fig. 5 lists it anyway. Kept as an instance
+   whose axioms are *asserted*, never certified — exactly the distinction
+   the checker's warnings surface. *)
+module Float_mul : Sigs.GROUP with type t = float = struct
+  type t = float
+
+  let equal a b = Float.equal a b
+  let pp = Fmt.float
+  let op = ( *. )
+  let id = 1.0
+  let inverse x = 1.0 /. x
+end
+
+module Float_add : Sigs.ABELIAN_GROUP with type t = float = struct
+  type t = float
+
+  let equal a b = Float.equal a b
+  let pp = Fmt.float
+  let op = ( +. )
+  let id = 0.0
+  let inverse x = -.x
+end
+
+module Int_ring : Sigs.RING with type t = int = struct
+  type t = int
+
+  let equal = Int.equal
+  let pp = Fmt.int
+  let zero = 0
+  let one = 1
+  let add = ( + )
+  let neg x = -x
+  let mul = ( * )
+end
+
+module Float_field : Sigs.FIELD with type t = float = struct
+  type t = float
+
+  let equal a b = Float.equal a b
+  let pp = Fmt.float
+  let zero = 0.0
+  let one = 1.0
+  let add = ( +. )
+  let neg x = -.x
+  let mul = ( *. )
+  let inv x = if x = 0.0 then raise Division_by_zero else 1.0 /. x
+end
+
+module Rational_field = Rational.Field
+
+(* Matrices over the exact rationals: the honest matrix Group instance. *)
+module Qmat = Matrix.Over_field (Rational.Field)
+
+(* Matrices over float for performance benches. *)
+module Fmat = Matrix.Over_field (Float_field)
+
+(* Matrices over int: a Monoid only (no inverses in general). *)
+module Imat = Matrix.Make (Int_ring)

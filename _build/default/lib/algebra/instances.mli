@@ -1,0 +1,35 @@
+(** The concrete instances of Fig. 5, as modules: the Monoid row
+    (int*, float*, bool&&, int&, string^, matrix·) and the Group row
+    (int+, float*, rational*, matrix·), plus companions. Float instances
+    satisfy the axioms only approximately — they are asserted, never
+    certified, and the checker's warnings say so. *)
+
+module Int_add : Sigs.ABELIAN_GROUP with type t = int
+module Int_mul : Sigs.MONOID with type t = int
+
+module Int_band : Sigs.MONOID with type t = int
+(** Identity: all bits set ([i & ~0 = i]). *)
+
+module Int_bor : Sigs.MONOID with type t = int
+module Bool_and : Sigs.MONOID with type t = bool
+module Bool_or : Sigs.MONOID with type t = bool
+module String_concat : Sigs.MONOID with type t = string
+module Float_mul : Sigs.GROUP with type t = float
+module Float_add : Sigs.ABELIAN_GROUP with type t = float
+module Int_ring : Sigs.RING with type t = int
+module Float_field : Sigs.FIELD with type t = float
+module Rational_field : Sigs.FIELD with type t = Rational.t
+
+module Qmat : sig
+  include module type of Matrix.Over_field (Rational.Field)
+end
+(** Matrices over the exact rationals: the honest matrix Group. *)
+
+module Fmat : sig
+  include module type of Matrix.Over_field (Float_field)
+end
+
+module Imat : sig
+  include module type of Matrix.Make (Int_ring)
+end
+(** Integer matrices: a multiplicative Monoid only. *)

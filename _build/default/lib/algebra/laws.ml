@@ -1,0 +1,69 @@
+(* Executable algebraic laws.
+
+   Each law is a predicate over sample elements; the property-test suite
+   instantiates them with qcheck generators per instance. The point
+   (Section 3.3) is that the axioms of a semantic concept are *checkable
+   statements*, not documentation: here by testing, in gp_athena by proof. *)
+
+module Semigroup (S : Sigs.SEMIGROUP) = struct
+  let associative a b c = S.equal (S.op (S.op a b) c) (S.op a (S.op b c))
+end
+
+module Monoid (M : Sigs.MONOID) = struct
+  include Semigroup (M)
+
+  let left_identity a = M.equal (M.op M.id a) a
+  let right_identity a = M.equal (M.op a M.id) a
+end
+
+module Group (G : Sigs.GROUP) = struct
+  include Monoid (G)
+
+  let left_inverse a = G.equal (G.op (G.inverse a) a) G.id
+  let right_inverse a = G.equal (G.op a (G.inverse a)) G.id
+end
+
+module Abelian (G : Sigs.ABELIAN_GROUP) = struct
+  include Group (G)
+
+  let commutative a b = G.equal (G.op a b) (G.op b a)
+end
+
+module Ring (R : Sigs.RING) = struct
+  module Add = Abelian (Sigs.Additive (R))
+  module Mul = Monoid (Sigs.Multiplicative (R))
+
+  let left_distributive a b c =
+    R.equal (R.mul a (R.add b c)) (R.add (R.mul a b) (R.mul a c))
+
+  let right_distributive a b c =
+    R.equal (R.mul (R.add a b) c) (R.add (R.mul a c) (R.mul b c))
+end
+
+module Field (F : Sigs.FIELD) = struct
+  include Ring (F)
+
+  let multiplicative_inverse a =
+    F.equal a F.zero || F.equal (F.mul a (F.inv a)) F.one
+
+  let mul_commutative a b = F.equal (F.mul a b) (F.mul b a)
+end
+
+(* Strict weak order laws (Fig. 6): irreflexivity, transitivity, and
+   transitivity of the induced equivalence E(a,b) := !(a<b) && !(b<a).
+   Symmetry and reflexivity of E are derivable (and derived in gp_athena);
+   they are included here so tests can confirm the derivation empirically. *)
+module Strict_weak_order (T : sig
+  type t
+
+  val lt : t -> t -> bool
+end) =
+struct
+  let e a b = (not (T.lt a b)) && not (T.lt b a)
+  let irreflexive a = not (T.lt a a)
+
+  let lt_transitive a b c = (not (T.lt a b && T.lt b c)) || T.lt a c
+  let e_transitive a b c = (not (e a b && e b c)) || e a c
+  let e_symmetric a b = e a b = e b a (* theorem *)
+  let e_reflexive a = e a a (* theorem, from irreflexivity *)
+end

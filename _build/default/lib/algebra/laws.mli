@@ -1,0 +1,65 @@
+(** Executable algebraic laws: the axioms of each semantic concept as
+    predicates, instantiated with qcheck generators per instance in the
+    property-test suites. The statements are checkable by testing here
+    and by proof in gp_athena. *)
+
+module Semigroup (S : Sigs.SEMIGROUP) : sig
+  val associative : S.t -> S.t -> S.t -> bool
+end
+
+module Monoid (M : Sigs.MONOID) : sig
+  val associative : M.t -> M.t -> M.t -> bool
+  val left_identity : M.t -> bool
+  val right_identity : M.t -> bool
+end
+
+module Group (G : Sigs.GROUP) : sig
+  val associative : G.t -> G.t -> G.t -> bool
+  val left_identity : G.t -> bool
+  val right_identity : G.t -> bool
+  val left_inverse : G.t -> bool
+  val right_inverse : G.t -> bool
+end
+
+module Abelian (G : Sigs.ABELIAN_GROUP) : sig
+  val associative : G.t -> G.t -> G.t -> bool
+  val left_identity : G.t -> bool
+  val right_identity : G.t -> bool
+  val left_inverse : G.t -> bool
+  val right_inverse : G.t -> bool
+  val commutative : G.t -> G.t -> bool
+end
+
+module Ring (R : Sigs.RING) : sig
+  val left_distributive : R.t -> R.t -> R.t -> bool
+  val right_distributive : R.t -> R.t -> R.t -> bool
+end
+
+module Field (F : Sigs.FIELD) : sig
+  val left_distributive : F.t -> F.t -> F.t -> bool
+  val right_distributive : F.t -> F.t -> F.t -> bool
+  val multiplicative_inverse : F.t -> bool
+  val mul_commutative : F.t -> F.t -> bool
+end
+
+(** Strict weak order laws (Fig. 6): the axioms plus the derived
+    symmetry/reflexivity of the induced equivalence, checkable
+    empirically. *)
+module Strict_weak_order (T : sig
+  type t
+
+  val lt : t -> t -> bool
+end) : sig
+  val e : T.t -> T.t -> bool
+  (** The induced equivalence: neither compares less. *)
+
+  val irreflexive : T.t -> bool
+  val lt_transitive : T.t -> T.t -> T.t -> bool
+  val e_transitive : T.t -> T.t -> T.t -> bool
+
+  val e_symmetric : T.t -> T.t -> bool
+  (** A theorem, derived in gp_athena. *)
+
+  val e_reflexive : T.t -> bool
+  (** A theorem, derived in gp_athena. *)
+end

@@ -1,0 +1,139 @@
+(* Square matrices over a ring — the user-defined Monoid/Group instance of
+   Fig. 5 ([A . I -> A], [A . A^-1 -> I]).
+
+   A functor so the same code gives int matrices (Monoid under
+   multiplication), rational matrices (Group for invertible matrices, with
+   Gauss-Jordan inverse over a Field), and float matrices for the
+   performance benches. Matrices are dimension-tagged; operations on
+   mismatched dimensions raise [Invalid_argument]. *)
+
+module Make (R : Sigs.RING) = struct
+  type t = { n : int; data : R.t array } (* row-major n x n *)
+
+  let dim m = m.n
+  let get m i j = m.data.((i * m.n) + j)
+  let set m i j v = m.data.((i * m.n) + j) <- v
+
+  let init n f =
+    if n <= 0 then invalid_arg "Matrix.init: dimension must be positive";
+    { n; data = Array.init (n * n) (fun k -> f (k / n) (k mod n)) }
+
+  let make n v = init n (fun _ _ -> v)
+  let identity n = init n (fun i j -> if i = j then R.one else R.zero)
+  let zero n = make n R.zero
+
+  let of_rows rows =
+    let n = List.length rows in
+    let m = init n (fun _ _ -> R.zero) in
+    List.iteri
+      (fun i row ->
+        if List.length row <> n then
+          invalid_arg "Matrix.of_rows: ragged rows";
+        List.iteri (fun j v -> set m i j v) row)
+      rows;
+    m
+
+  let equal a b =
+    a.n = b.n && Array.for_all2 R.equal a.data b.data
+
+  let add a b =
+    if a.n <> b.n then invalid_arg "Matrix.add: dimension mismatch";
+    { n = a.n; data = Array.map2 R.add a.data b.data }
+
+  let neg a = { a with data = Array.map R.neg a.data }
+
+  let mul a b =
+    if a.n <> b.n then invalid_arg "Matrix.mul: dimension mismatch";
+    let n = a.n in
+    init n (fun i j ->
+        let rec go acc k =
+          if k = n then acc
+          else go (R.add acc (R.mul (get a i k) (get b k j))) (k + 1)
+        in
+        go R.zero 0)
+
+  let scale s a = { a with data = Array.map (R.mul s) a.data }
+
+  let transpose a = init a.n (fun i j -> get a j i)
+
+  let is_identity a =
+    let id = identity a.n in
+    equal a id
+
+  let pp ppf m =
+    Fmt.pf ppf "@[<v>%a@]"
+      Fmt.(
+        list ~sep:cut (fun ppf i ->
+            pf ppf "[%a]"
+              (list ~sep:(any " ") R.pp)
+              (List.init m.n (fun j -> get m i j))))
+      (List.init m.n (fun i -> i))
+
+  (** (matrices, mul, I): the Fig. 5 user-defined Monoid. *)
+  module Mul_monoid (N : sig
+    val n : int
+  end) : Sigs.MONOID with type t = t = struct
+    type nonrec t = t
+
+    let equal = equal
+    let pp = pp
+    let op = mul
+    let id = identity N.n
+  end
+end
+
+module Over_field (F : Sigs.FIELD) = struct
+  include Make (F)
+
+  exception Singular
+
+  (* Gauss-Jordan with partial pivoting on the first nonzero pivot.
+     Raises [Singular] when no inverse exists. *)
+  let inverse m =
+    let n = m.n in
+    let a = { n; data = Array.copy m.data } in
+    let inv = identity n in
+    let swap_rows mat r1 r2 =
+      if r1 <> r2 then
+        for j = 0 to n - 1 do
+          let t = get mat r1 j in
+          set mat r1 j (get mat r2 j);
+          set mat r2 j t
+        done
+    in
+    for col = 0 to n - 1 do
+      (* find pivot *)
+      let pivot = ref (-1) in
+      (try
+         for r = col to n - 1 do
+           if not (F.equal (get a r col) F.zero) then begin
+             pivot := r;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !pivot < 0 then raise Singular;
+      swap_rows a col !pivot;
+      swap_rows inv col !pivot;
+      let p = get a col col in
+      let pinv = F.inv p in
+      for j = 0 to n - 1 do
+        set a col j (F.mul pinv (get a col j));
+        set inv col j (F.mul pinv (get inv col j))
+      done;
+      for r = 0 to n - 1 do
+        if r <> col then begin
+          let factor = get a r col in
+          if not (F.equal factor F.zero) then
+            for j = 0 to n - 1 do
+              set a r j (F.add (get a r j) (F.neg (F.mul factor (get a col j))));
+              set inv r j
+                (F.add (get inv r j) (F.neg (F.mul factor (get inv col j))))
+            done
+        end
+      done
+    done;
+    inv
+
+  let invertible m = match inverse m with _ -> true | exception Singular -> false
+end

@@ -1,0 +1,46 @@
+(** Square matrices over a ring — the user-defined Monoid/Group instance
+    of Fig. 5 ([A·I -> A], [A·A⁻¹ -> I]). Dimension-tagged; operations
+    on mismatched dimensions raise [Invalid_argument]. *)
+
+module Make (R : Sigs.RING) : sig
+  type t
+
+  val dim : t -> int
+  val get : t -> int -> int -> R.t
+  val set : t -> int -> int -> R.t -> unit
+
+  val init : int -> (int -> int -> R.t) -> t
+  (** Raises [Invalid_argument] on a non-positive dimension. *)
+
+  val make : int -> R.t -> t
+  val identity : int -> t
+  val zero : int -> t
+
+  val of_rows : R.t list list -> t
+  (** Raises [Invalid_argument] on ragged rows. *)
+
+  val equal : t -> t -> bool
+  val add : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val scale : R.t -> t -> t
+  val transpose : t -> t
+  val is_identity : t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  (** The multiplicative Monoid at a fixed dimension. *)
+  module Mul_monoid (N : sig
+    val n : int
+  end) : Sigs.MONOID with type t = t
+end
+
+module Over_field (F : Sigs.FIELD) : sig
+  include module type of Make (F)
+
+  exception Singular
+
+  val inverse : t -> t
+  (** Gauss-Jordan; raises {!Singular} when no inverse exists. *)
+
+  val invertible : t -> bool
+end

@@ -1,0 +1,1 @@
+lib/athena/ab.ml: Fmt List Logic

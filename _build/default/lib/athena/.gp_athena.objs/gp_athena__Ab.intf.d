@@ -1,0 +1,1 @@
+lib/athena/ab.mli: Format Logic

@@ -1,0 +1,1 @@
+lib/athena/deduction.ml: Ab Fmt List Logic

@@ -1,0 +1,1 @@
+lib/athena/deduction.mli: Ab Format Logic

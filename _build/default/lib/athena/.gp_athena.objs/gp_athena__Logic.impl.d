@@ -1,0 +1,1 @@
+lib/athena/logic.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/athena/logic.mli: Format

@@ -1,0 +1,1 @@
+lib/athena/theorems.ml: Deduction List Logic Printf Theory

@@ -1,0 +1,1 @@
+lib/athena/theorems.mli: Deduction Logic Theory

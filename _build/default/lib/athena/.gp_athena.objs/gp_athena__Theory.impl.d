@@ -1,0 +1,1 @@
+lib/athena/theory.ml: List Logic

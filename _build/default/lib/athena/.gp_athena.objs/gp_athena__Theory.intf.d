@@ -1,0 +1,1 @@
+lib/athena/theory.mli: Logic

@@ -1,0 +1,62 @@
+(** Deductions and their checker (the Denotational Proof Language core).
+
+    "Like expressions, deductions are executed. Proper deductions ...
+    produce theorems; improper deductions result in an error condition."
+
+    [eval ab d] executes [d] against assumption base [ab], returning the
+    proposition it proves or raising {!Proof_error}. Soundness is by
+    construction: every constructor checks its side conditions and
+    evaluates sub-deductions recursively. First-class {e methods} are
+    plain OCaml functions returning deductions. *)
+
+exception Proof_error of string
+
+type t =
+  | Claim of Logic.prop  (** [p], if [p] is in the assumption base *)
+  | Assume of Logic.prop * t  (** hypothetical: yields [p ==> q] *)
+  | Suppose_absurd of Logic.prop * t
+      (** body must prove [False]; yields [~p] *)
+  | Mp of t * t  (** modus ponens *)
+  | Mt of t * t  (** modus tollens *)
+  | Both of t * t  (** and-introduction *)
+  | Left_and of t
+  | Right_and of t
+  | Either_left of t * Logic.prop  (** or-introduction, left operand proved *)
+  | Either_right of Logic.prop * t
+  | Cases of t * t * t  (** or-elimination *)
+  | Absurd of t * t  (** from [p] and [~p] derive [False] *)
+  | From_false of t * Logic.prop  (** ex falso *)
+  | Double_neg of t
+  | Iff_intro of t * t
+  | Iff_left of t
+  | Iff_right of t
+  | Refl of Logic.term  (** [t = t] *)
+  | Sym of t
+  | Trans of t * t
+  | Congruence of string * t list
+      (** from [ai = bi] derive [f(a..) = f(b..)] *)
+  | Leibniz of t * string * Logic.prop * t
+      (** [Leibniz (eq, x, pattern, d)]: [eq] proves [a = b], [d] proves
+          [pattern[x:=a]]; derive [pattern[x:=b]] *)
+  | Inst of t * Logic.term list  (** universal elimination *)
+  | Gen of string list * t
+      (** universal introduction; the generalised variables must not
+          occur free in the assumption base (eigenvariable condition) *)
+  | Seq of t list
+      (** evaluate in order, each result added to the base; value = last *)
+
+val eval : Ab.t -> t -> Logic.prop
+(** Execute (check) a deduction. Raises {!Proof_error} on any improper
+    step. *)
+
+type verdict = Proved | Wrong_conclusion of Logic.prop | Improper of string
+
+val check : axioms:Logic.prop list -> goal:Logic.prop -> t -> verdict
+(** Run the checker from the given axioms; [Proved] iff the deduction is
+    proper and proves [goal] up to alpha-equality. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val size : t -> int
+(** Number of inference nodes — the proof-effort measure of
+    experiment C7. *)

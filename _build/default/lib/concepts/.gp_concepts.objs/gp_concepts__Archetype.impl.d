@@ -1,0 +1,1 @@
+lib/concepts/archetype.ml: Check Concept Ctype List Printf Registry

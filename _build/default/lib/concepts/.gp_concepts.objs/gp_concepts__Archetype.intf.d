@@ -1,0 +1,1 @@
+lib/concepts/archetype.mli: Ctype Registry

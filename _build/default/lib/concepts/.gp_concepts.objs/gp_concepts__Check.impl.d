@@ -1,0 +1,1 @@
+lib/concepts/check.ml: Complexity Concept Ctype Fmt List Option Registry String

@@ -1,0 +1,1 @@
+lib/concepts/check.mli: Complexity Concept Ctype Format Registry

@@ -1,0 +1,1 @@
+lib/concepts/complexity.ml: Fmt List Map Printf String

@@ -1,0 +1,1 @@
+lib/concepts/complexity.mli: Format

@@ -1,0 +1,1 @@
+lib/concepts/concept.ml: Complexity Ctype Fmt List

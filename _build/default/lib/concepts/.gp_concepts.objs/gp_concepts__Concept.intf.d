@@ -1,0 +1,1 @@
+lib/concepts/concept.mli: Complexity Ctype Format

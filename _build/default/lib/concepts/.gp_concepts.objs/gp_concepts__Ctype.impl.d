@@ -1,0 +1,1 @@
+lib/concepts/ctype.ml: Fmt Int List String

@@ -1,0 +1,1 @@
+lib/concepts/ctype.mli: Format

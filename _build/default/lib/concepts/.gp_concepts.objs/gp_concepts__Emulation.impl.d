@@ -1,0 +1,1 @@
+lib/concepts/emulation.ml: Concept Ctype Fmt List Registry String

@@ -1,0 +1,1 @@
+lib/concepts/emulation.mli: Concept Format Registry

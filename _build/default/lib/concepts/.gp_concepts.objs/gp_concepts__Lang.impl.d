@@ -1,0 +1,1 @@
+lib/concepts/lang.ml: Buffer Complexity Concept Ctype Fmt List Registry String

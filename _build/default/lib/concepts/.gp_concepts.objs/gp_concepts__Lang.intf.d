@@ -1,0 +1,1 @@
+lib/concepts/lang.mli: Concept Ctype Format Registry

@@ -1,0 +1,1 @@
+lib/concepts/overload.ml: Check Concept Ctype Fmt List Registry

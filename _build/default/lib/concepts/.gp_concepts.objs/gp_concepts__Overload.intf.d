@@ -1,0 +1,1 @@
+lib/concepts/overload.mli: Check Ctype Format Registry

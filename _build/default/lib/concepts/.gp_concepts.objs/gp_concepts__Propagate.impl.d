@@ -1,0 +1,1 @@
+lib/concepts/propagate.ml: Concept Ctype Fmt List Registry String

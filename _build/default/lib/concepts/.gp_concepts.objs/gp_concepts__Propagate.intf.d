@@ -1,0 +1,1 @@
+lib/concepts/propagate.mli: Ctype Format Registry

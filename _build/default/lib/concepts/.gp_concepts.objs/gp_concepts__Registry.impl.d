@@ -1,0 +1,1 @@
+lib/concepts/registry.ml: Complexity Concept Ctype List String

@@ -1,0 +1,1 @@
+lib/concepts/registry.mli: Complexity Concept Ctype

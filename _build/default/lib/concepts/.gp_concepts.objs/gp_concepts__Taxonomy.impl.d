@@ -1,0 +1,1 @@
+lib/concepts/taxonomy.ml: Complexity Fmt Int List Option Registry String

@@ -1,0 +1,1 @@
+lib/concepts/taxonomy.mli: Complexity Format

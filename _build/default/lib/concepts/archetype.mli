@@ -1,0 +1,29 @@
+(** Concept archetypes (paper Sections 2.1 and 3.1).
+
+    A syntactic archetype is a minimal model of a concept: exactly the
+    associated types and operations the concept requires, nothing more.
+    Instantiating a generic algorithm with an archetype detects
+    requirements the algorithm uses but its declared concept does not
+    state. Semantic archetypes (most-restrictive runtime behaviour, e.g.
+    the single-pass input iterator) are built on these descriptors by
+    gp_sequence and gp_stllint. *)
+
+type instantiation = {
+  arch_concept : string;
+  arch_args : Ctype.t list;  (** fresh ground types, one per parameter *)
+  arch_types : string list;  (** every fresh type created *)
+}
+
+val instantiate : Registry.t -> string -> instantiation
+(** Synthesise a minimal model of the named concept directly into the
+    registry: fresh types for parameters and associated types, exactly
+    the required operations, same-type constraints unified, nested
+    concept obligations satisfied recursively, and the model declared
+    nominally with all axioms vouched. Raises [Invalid_argument] on an
+    unknown concept. *)
+
+val implies : Registry.t -> declared:string -> used:string -> bool
+(** Over-requirement detection: does the archetype of [declared] also
+    model [used]? Checked nominally, so purely semantic refinements
+    (Forward vs Input) are distinguished. If [false], an algorithm
+    declaring [declared] but exercising [used] over-requires. *)

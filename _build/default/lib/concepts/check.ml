@@ -1,0 +1,385 @@
+(* Concept checking with call-site-quality diagnostics.
+
+   The paper's Section 2.1 complaint about C++: "passing a non-conforming
+   data type usually results in lengthy error messages referring to the
+   implementation of the generic function instead of the actual point of
+   error". This checker produces structured failures that say exactly which
+   requirement of which concept a type fails, so callers (examples, the
+   overload resolver, the lint tool) can present the error at the right
+   level of abstraction. *)
+
+type failure =
+  | Unknown_concept of string
+  | Unknown_type of Ctype.t
+  | Arity_mismatch of { concept : string; expected : int; got : int }
+  | Unresolved_type of { ty : Ctype.t; context : string }
+  | Missing_assoc_type of { ty : Ctype.t; assoc : string }
+  | Missing_operation of { expected : Concept.signature }
+  | Return_type_mismatch of {
+      op : string;
+      expected : Ctype.t;
+      found : Ctype.t;
+    }
+  | Same_type_violated of { left : Ctype.t; right : Ctype.t }
+  | Refinement_failed of {
+      concept : string;
+      args : Ctype.t list;
+      causes : failure list;
+    }
+  | Nested_model_failed of {
+      concept : string;
+      args : Ctype.t list;
+      causes : failure list;
+    }
+  | Complexity_too_weak of {
+      op : string;
+      required : Complexity.t;
+      declared : Complexity.t;
+    }
+  | No_model_declared of { concept : string; args : Ctype.t list }
+
+type warning =
+  | Axiom_asserted_not_proved of { concept : string; axiom : string }
+  | Axiom_not_asserted of { concept : string; axiom : string }
+  | No_complexity_declared of { concept : string; op : string }
+
+type report = {
+  rep_concept : string;
+  rep_args : Ctype.t list;
+  rep_failures : failure list;
+  rep_warnings : warning list;
+}
+
+let ok report = report.rep_failures = []
+
+type mode =
+  | Structural (* ML-signature style: structure alone decides *)
+  | Nominal (* Haskell-type-class style: a model declaration is required *)
+
+let rec pp_failure ppf = function
+  | Unknown_concept c -> Fmt.pf ppf "unknown concept %s" c
+  | Unknown_type ty -> Fmt.pf ppf "unknown type %a" Ctype.pp ty
+  | Arity_mismatch { concept; expected; got } ->
+    Fmt.pf ppf "concept %s expects %d type argument(s), got %d" concept
+      expected got
+  | Unresolved_type { ty; context } ->
+    Fmt.pf ppf "cannot resolve type %a (%s)" Ctype.pp ty context
+  | Missing_assoc_type { ty; assoc } ->
+    Fmt.pf ppf "type %a does not provide associated type %s" Ctype.pp ty assoc
+  | Missing_operation { expected } ->
+    Fmt.pf ppf "no operation %a" Concept.pp_signature expected
+  | Return_type_mismatch { op; expected; found } ->
+    Fmt.pf ppf "operation %s returns %a where %a is required" op Ctype.pp
+      found Ctype.pp expected
+  | Same_type_violated { left; right } ->
+    Fmt.pf ppf "types %a and %a must be equal" Ctype.pp left Ctype.pp right
+  | Refinement_failed { concept; args; causes } ->
+    Fmt.pf ppf "@[<v2>refined concept %s<%a> not modeled:@,%a@]" concept
+      Fmt.(list ~sep:comma Ctype.pp)
+      args
+      Fmt.(list ~sep:cut pp_failure)
+      causes
+  | Nested_model_failed { concept; args; causes } ->
+    Fmt.pf ppf "@[<v2>required model %s<%a> fails:@,%a@]" concept
+      Fmt.(list ~sep:comma Ctype.pp)
+      args
+      Fmt.(list ~sep:cut pp_failure)
+      causes
+  | Complexity_too_weak { op; required; declared } ->
+    Fmt.pf ppf "operation %s declared %a, concept requires %a" op
+      Complexity.pp declared Complexity.pp required
+  | No_model_declared { concept; args } ->
+    Fmt.pf ppf "no model of %s declared for <%a> (nominal mode)" concept
+      Fmt.(list ~sep:comma Ctype.pp)
+      args
+
+let pp_warning ppf = function
+  | Axiom_asserted_not_proved { concept; axiom } ->
+    Fmt.pf ppf "axiom %s.%s is asserted but not backed by a checked proof"
+      concept axiom
+  | Axiom_not_asserted { concept; axiom } ->
+    Fmt.pf ppf "axiom %s.%s is neither asserted nor proved" concept axiom
+  | No_complexity_declared { concept; op } ->
+    Fmt.pf ppf "model declares no complexity bound for %s.%s" concept op
+
+let pp_report ppf r =
+  if r.rep_failures = [] then
+    Fmt.pf ppf "@[<v2><%a> models %s%a@]"
+      Fmt.(list ~sep:comma Ctype.pp)
+      r.rep_args r.rep_concept
+      Fmt.(
+        list ~sep:nop (fun ppf w -> pf ppf "@,warning: %a" pp_warning w))
+      r.rep_warnings
+  else
+    Fmt.pf ppf "@[<v2><%a> does NOT model %s:@,%a@]"
+      Fmt.(list ~sep:comma Ctype.pp)
+      r.rep_args r.rep_concept
+      Fmt.(list ~sep:cut pp_failure)
+      r.rep_failures
+
+(* The axiom-proof certification table: (concept, axiom, type-args) triples
+   that have been discharged by a checked proof. gp_simplicissimus's Certify
+   and the athena examples insert into this through [certify_axiom]. *)
+let certified : (string * string * string) list ref = ref []
+
+let axiom_key concept axiom args =
+  ( concept,
+    axiom,
+    String.concat "," (List.map Ctype.to_string args) )
+
+let certify_axiom ~concept ~axiom ~args =
+  let key = axiom_key concept axiom args in
+  if not (List.mem key !certified) then certified := key :: !certified
+
+let axiom_certified ~concept ~axiom ~args =
+  List.mem (axiom_key concept axiom args) !certified
+
+let rec check_concept ?(mode = Structural) ~visited reg concept_name args =
+  let fail f = ([ f ], []) in
+  match Registry.find_concept reg concept_name with
+  | None -> fail (Unknown_concept concept_name)
+  | Some con ->
+    let params = con.Concept.params in
+    if List.length params <> List.length args then
+      fail
+        (Arity_mismatch
+           {
+             concept = concept_name;
+             expected = List.length params;
+             got = List.length args;
+           })
+    else
+      let key = (concept_name, List.map Ctype.to_string args) in
+      if List.mem key visited then ([], []) (* assume on cycles *)
+      else
+        let visited = key :: visited in
+        let env = List.combine params args in
+        let model = Registry.find_model reg concept_name args in
+        let nominal_failures =
+          match mode, model with
+          | Nominal, None ->
+            [ No_model_declared { concept = concept_name; args } ]
+          | (Nominal | Structural), _ -> []
+        in
+        let resolve_or ty context k =
+          let ty = Ctype.subst env ty in
+          match Registry.resolve reg ty with
+          | Some g -> k g
+          | None -> [ Unresolved_type { ty; context } ]
+        in
+        (* refined concepts *)
+        let refine_results =
+          List.map
+            (fun (rname, rargs) ->
+              let rargs = List.map (Ctype.subst env) rargs in
+              let rargs_resolved =
+                List.map
+                  (fun a ->
+                    match Registry.resolve reg a with Some g -> g | None -> a)
+                  rargs
+              in
+              let fs, ws =
+                check_concept ~mode ~visited reg rname rargs_resolved
+              in
+              if fs = [] then ([], ws)
+              else
+                ( [
+                    Refinement_failed
+                      { concept = rname; args = rargs_resolved; causes = fs };
+                  ],
+                  ws ))
+            con.Concept.refines
+        in
+        let req_results =
+          List.map
+            (fun req ->
+              match req with
+              | Concept.Assoc_type { at_name; at_constraints } ->
+                (* associated types belong to the first parameter *)
+                let owner = List.hd args in
+                let proj = Ctype.Assoc (owner, at_name) in
+                (match Registry.resolve reg proj with
+                | None ->
+                  ([ Missing_assoc_type { ty = owner; assoc = at_name } ], [])
+                | Some _ ->
+                  let sub =
+                    check_constraints ~mode ~visited reg env at_constraints
+                  in
+                  sub)
+              | Concept.Operation s ->
+                let check_op () =
+                  let param_tys =
+                    List.map (Ctype.subst env) s.Concept.op_params
+                  in
+                  let resolved =
+                    List.map (Registry.resolve reg) param_tys
+                  in
+                  if List.exists Option.is_none resolved then
+                    ( [
+                        Unresolved_type
+                          {
+                            ty = List.hd param_tys;
+                            context = "parameter of " ^ s.Concept.op_name;
+                          };
+                      ],
+                      [] )
+                  else
+                    let param_tys = List.map Option.get resolved in
+                    match
+                      Registry.find_ops reg s.Concept.op_name param_tys
+                    with
+                    | [] ->
+                      ( [
+                          Missing_operation
+                            {
+                              expected =
+                                {
+                                  s with
+                                  Concept.op_params = param_tys;
+                                  op_return =
+                                    Ctype.subst env s.Concept.op_return;
+                                };
+                            };
+                        ],
+                        [] )
+                    | candidates ->
+                      resolve_or s.Concept.op_return
+                        ("return of " ^ s.Concept.op_name) (fun expected ->
+                          let returns =
+                            List.filter_map
+                              (fun (c : Concept.signature) ->
+                                Registry.resolve reg c.Concept.op_return)
+                              candidates
+                          in
+                          if List.exists (Ctype.equal expected) returns then
+                            []
+                          else
+                            match returns with
+                            | found :: _ ->
+                              [
+                                Return_type_mismatch
+                                  { op = s.Concept.op_name; expected; found };
+                              ]
+                            | [] ->
+                              [
+                                Unresolved_type
+                                  {
+                                    ty = s.Concept.op_return;
+                                    context =
+                                      "return of found op "
+                                      ^ s.Concept.op_name;
+                                  };
+                              ])
+                      |> fun fs -> (fs, [])
+                in
+                check_op ()
+              | Concept.Constraint c ->
+                check_constraints ~mode ~visited reg env [ c ]
+              | Concept.Axiom a ->
+                let warn =
+                  if
+                    axiom_certified ~concept:concept_name ~axiom:a.ax_name
+                      ~args
+                  then []
+                  else
+                    match model with
+                    | Some m
+                      when List.mem a.Concept.ax_name m.Registry.mo_axioms_asserted
+                      ->
+                      [
+                        Axiom_asserted_not_proved
+                          { concept = concept_name; axiom = a.Concept.ax_name };
+                      ]
+                    | _ ->
+                      [
+                        Axiom_not_asserted
+                          { concept = concept_name; axiom = a.Concept.ax_name };
+                      ]
+                in
+                ([], warn)
+              | Concept.Complexity_guarantee cg -> (
+                match model with
+                | None ->
+                  ( [],
+                    [
+                      No_complexity_declared
+                        { concept = concept_name; op = cg.Concept.cg_op };
+                    ] )
+                | Some m -> (
+                  match
+                    List.assoc_opt cg.Concept.cg_op m.Registry.mo_complexity
+                  with
+                  | None ->
+                    ( [],
+                      [
+                        No_complexity_declared
+                          { concept = concept_name; op = cg.Concept.cg_op };
+                      ] )
+                  | Some declared ->
+                    if Complexity.leq declared cg.Concept.cg_bound then
+                      ([], [])
+                    else
+                      ( [
+                          Complexity_too_weak
+                            {
+                              op = cg.Concept.cg_op;
+                              required = cg.Concept.cg_bound;
+                              declared;
+                            };
+                        ],
+                        [] ))))
+            con.Concept.requirements
+        in
+        let all = refine_results @ req_results in
+        ( nominal_failures @ List.concat_map fst all,
+          List.concat_map snd all )
+
+and check_constraints ~mode ~visited reg env cs =
+  let results =
+    List.map
+      (fun c ->
+        match c with
+        | Concept.Models (cname, cargs) ->
+          let cargs = List.map (Ctype.subst env) cargs in
+          let resolved =
+            List.map
+              (fun a ->
+                match Registry.resolve reg a with Some g -> g | None -> a)
+              cargs
+          in
+          let fs, ws = check_concept ~mode ~visited reg cname resolved in
+          if fs = [] then ([], ws)
+          else
+            ( [
+                Nested_model_failed
+                  { concept = cname; args = resolved; causes = fs };
+              ],
+              ws )
+        | Concept.Same_type (a, b) ->
+          let ra = Registry.resolve reg (Ctype.subst env a)
+          and rb = Registry.resolve reg (Ctype.subst env b) in
+          (match ra, rb with
+          | Some x, Some y when Ctype.equal x y -> ([], [])
+          | Some x, Some y ->
+            ([ Same_type_violated { left = x; right = y } ], [])
+          | None, _ ->
+            ( [ Unresolved_type { ty = a; context = "same-type constraint" } ],
+              [] )
+          | _, None ->
+            ( [ Unresolved_type { ty = b; context = "same-type constraint" } ],
+              [] )))
+      cs
+  in
+  (List.concat_map fst results, List.concat_map snd results)
+
+(* Public entry point: check whether ground types [args] model [concept]. *)
+let check ?(mode = Structural) reg concept args =
+  let failures, warnings = check_concept ~mode ~visited:[] reg concept args in
+  {
+    rep_concept = concept;
+    rep_args = args;
+    rep_failures = failures;
+    rep_warnings = warnings;
+  }
+
+let models ?mode reg concept args = ok (check ?mode reg concept args)

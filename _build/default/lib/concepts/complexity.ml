@@ -1,0 +1,114 @@
+(* Symbolic asymptotic complexity bounds.
+
+   Concepts carry complexity guarantees ("amortized O(1) push_back",
+   "O(n log n) sort"); algorithm taxonomies compare algorithms by these
+   bounds (Sections 1 and 4 of the paper). We represent a bound as a sum of
+   monomials over named size variables, where each monomial tracks a
+   polynomial degree and a logarithmic degree per variable. Constants are
+   irrelevant asymptotically and are dropped.
+
+   Examples: [linear "n"] is O(n); [mul (linear "n") (log_ "n")] is
+   O(n log n); [add (linear "n") (linear "m")] is O(n + m). *)
+
+module Smap = Map.Make (String)
+
+(* A monomial maps a variable to [(poly_degree, log_degree)]; the constant
+   monomial is the empty map. *)
+type monomial = (int * int) Smap.t
+
+type t = { terms : monomial list } (* sum of monomials; invariant: maximal *)
+
+let monomial_equal (a : monomial) (b : monomial) = Smap.equal ( = ) a b
+
+(* [dominates a b] iff monomial [a] grows at least as fast as [b] for every
+   variable, i.e. a >= b pointwise on (poly, log) degrees. *)
+let dominates (a : monomial) (b : monomial) =
+  Smap.for_all
+    (fun v (pb, lb) ->
+      match Smap.find_opt v a with
+      | Some (pa, la) -> pa > pb || (pa = pb && la >= lb)
+      | None -> pb = 0 && lb = 0)
+    b
+
+let normalize terms =
+  let keep m =
+    not
+      (List.exists
+         (fun m' -> (not (monomial_equal m m')) && dominates m' m)
+         terms)
+  in
+  let kept = List.filter keep terms in
+  (* dedupe *)
+  List.fold_left
+    (fun acc m -> if List.exists (monomial_equal m) acc then acc else m :: acc)
+    [] kept
+  |> List.rev
+
+let of_terms terms = { terms = normalize terms }
+
+let constant = of_terms [ Smap.empty ]
+
+let poly_log var ~poly ~log =
+  of_terms [ Smap.singleton var (poly, log) ]
+
+let linear var = poly_log var ~poly:1 ~log:0
+let log_ var = poly_log var ~poly:0 ~log:1
+let n_log_n var = poly_log var ~poly:1 ~log:1
+let quadratic var = poly_log var ~poly:2 ~log:0
+let cubic var = poly_log var ~poly:3 ~log:0
+let power var k = poly_log var ~poly:k ~log:0
+
+let add a b = of_terms (a.terms @ b.terms)
+
+let mul_monomial (a : monomial) (b : monomial) : monomial =
+  Smap.union (fun _ (pa, la) (pb, lb) -> Some (pa + pb, la + lb)) a b
+
+let mul a b =
+  of_terms
+    (List.concat_map (fun ma -> List.map (mul_monomial ma) b.terms) a.terms)
+
+let equal a b =
+  List.length a.terms = List.length b.terms
+  && List.for_all (fun m -> List.exists (monomial_equal m) b.terms) a.terms
+
+(* Partial order on bounds: [leq a b] iff every monomial of [a] is dominated
+   by some monomial of [b]. Returns [None] when incomparable growth (e.g.
+   O(n) vs O(m)). *)
+let leq a b =
+  List.for_all (fun ma -> List.exists (fun mb -> dominates mb ma) b.terms)
+    a.terms
+
+let compare_growth a b =
+  match leq a b, leq b a with
+  | true, true -> Some 0
+  | true, false -> Some (-1)
+  | false, true -> Some 1
+  | false, false -> None
+
+let pp_monomial ppf (m : monomial) =
+  if Smap.is_empty m then Fmt.string ppf "1"
+  else
+    let factors =
+      Smap.bindings m
+      |> List.concat_map (fun (v, (p, l)) ->
+             let poly =
+               match p with
+               | 0 -> []
+               | 1 -> [ v ]
+               | k -> [ Printf.sprintf "%s^%d" v k ]
+             and log =
+               match l with
+               | 0 -> []
+               | 1 -> [ Printf.sprintf "log %s" v ]
+               | k -> [ Printf.sprintf "log^%d %s" k v ]
+             in
+             poly @ log)
+    in
+    Fmt.string ppf (String.concat " " factors)
+
+let pp ppf t =
+  match t.terms with
+  | [] -> Fmt.string ppf "O(0)"
+  | ts -> Fmt.pf ppf "O(%a)" Fmt.(list ~sep:(any " + ") pp_monomial) ts
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,50 @@
+(** Symbolic asymptotic complexity bounds.
+
+    Concepts carry complexity guarantees ("amortized O(1) push_back",
+    "O(n log n) sort") and taxonomies compare algorithms by them. A bound
+    is a sum of monomials over named size variables; each monomial tracks
+    polynomial and logarithmic degree per variable. Constants are
+    irrelevant asymptotically and dropped. *)
+
+type t
+
+val constant : t
+(** O(1). *)
+
+val linear : string -> t
+(** [linear "n"] is O(n). *)
+
+val log_ : string -> t
+(** [log_ "n"] is O(log n). *)
+
+val n_log_n : string -> t
+(** [n_log_n "n"] is O(n log n). *)
+
+val quadratic : string -> t
+val cubic : string -> t
+
+val power : string -> int -> t
+(** [power "n" k] is O(n{^ k}). *)
+
+val poly_log : string -> poly:int -> log:int -> t
+(** [poly_log "n" ~poly:p ~log:l] is O(n{^ p} log{^ l} n). *)
+
+val add : t -> t -> t
+(** Sum of bounds: dominated monomials are absorbed, so
+    [add (linear "n") (quadratic "n")] = O(n{^ 2}) while
+    [add (linear "n") (linear "m")] = O(n + m). *)
+
+val mul : t -> t -> t
+(** Product of bounds: [mul (linear "n") (log_ "n")] = O(n log n). *)
+
+val equal : t -> t -> bool
+
+val leq : t -> t -> bool
+(** [leq a b]: [a] grows no faster than [b]. A partial order —
+    O(n) and O(m) are incomparable. *)
+
+val compare_growth : t -> t -> int option
+(** [Some (-1|0|1)] when comparable, [None] otherwise. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

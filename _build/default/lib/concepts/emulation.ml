@@ -1,0 +1,124 @@
+(* The associated-type emulation translation (paper Section 2.2).
+
+   Languages without member types emulate associated types by "adding a
+   new type parameter for each associated type" (the C# IEnumerable<T>
+   idiom); the paper shows IncidenceGraph becoming
+   IncidenceGraph<Vertex, Edge, OutEdgeIter> with the constraints
+   flattened onto the parameter list, and reports that this "often more
+   than doubled" the number of type parameters. This module performs that
+   translation mechanically, so its cost can be measured (experiment C3)
+   and the flattened form displayed. *)
+
+type flat_interface = {
+  fi_name : string;
+  fi_params : string list; (* original params + one per associated type *)
+  fi_where : string list; (* rendered constraints on the parameters *)
+  fi_ops : Concept.signature list; (* signatures with projections replaced *)
+}
+
+(* Rewrite a type so associated-type projections from parameter [p]
+   become direct references to the fresh parameter that stands for them. *)
+let rec flatten_ty renaming ty =
+  match ty with
+  | Ctype.Assoc (base, field) -> (
+    let base' = flatten_ty renaming base in
+    match base' with
+    | Ctype.Var v -> (
+      match List.assoc_opt (v, field) renaming with
+      | Some fresh -> Ctype.Var fresh
+      | None -> Ctype.Assoc (base', field))
+    | _ -> Ctype.Assoc (base', field))
+  | Ctype.Named _ | Ctype.Var _ -> ty
+  | Ctype.App (f, args) -> Ctype.App (f, List.map (flatten_ty renaming) args)
+
+(* Fresh parameter name for an associated type: "vertex_type" -> Vertex,
+   "out_edge_iterator" -> OutEdgeIterator. *)
+let param_for _owner at_name =
+  let base =
+    if
+      String.length at_name > 5
+      && String.sub at_name (String.length at_name - 5) 5 = "_type"
+    then String.sub at_name 0 (String.length at_name - 5)
+    else at_name
+  in
+  String.split_on_char '_' base
+  |> List.map String.capitalize_ascii
+  |> String.concat ""
+
+(* Translate one concept into its flattened interface. Associated types
+   are assumed to belong to the first parameter (the engine's
+   convention). *)
+let translate reg (con : Concept.t) =
+  let owner = List.hd con.Concept.params in
+  let assoc = Concept.associated_types con in
+  let renaming =
+    List.map (fun at -> ((owner, at), param_for owner at)) assoc
+  in
+  let fresh_params = List.map snd renaming in
+  let fi_params = con.Concept.params @ fresh_params in
+  let rename ty = flatten_ty renaming ty in
+  let render_constraint = function
+    | Concept.Models (c, args) ->
+      Fmt.str "%a : %s" Fmt.(list ~sep:comma Ctype.pp) (List.map rename args) c
+    | Concept.Same_type (a, b) ->
+      Fmt.str "%a == %a" Ctype.pp (rename a) Ctype.pp (rename b)
+  in
+  let where =
+    (* refinements become constraints on the full parameter list *)
+    List.map
+      (fun (rname, rargs) ->
+        let sub =
+          match Registry.find_concept reg rname with
+          | Some rcon when List.length rcon.Concept.params = List.length rargs
+            ->
+            (* the refined concept is itself flattened: its associated
+               types must be re-listed too (this is the blowup) *)
+            let rflat = Concept.associated_types rcon in
+            let extra =
+              List.map (fun at -> Ctype.Var (param_for owner at)) rflat
+            in
+            List.map rename rargs @ extra
+          | _ -> List.map rename rargs
+        in
+        Fmt.str "%a : %s" Fmt.(list ~sep:comma Ctype.pp) sub rname)
+      con.Concept.refines
+    @ List.concat_map
+        (fun req ->
+          match req with
+          | Concept.Assoc_type { at_constraints; _ } ->
+            List.map render_constraint at_constraints
+          | Concept.Constraint c -> [ render_constraint c ]
+          | Concept.Operation _ | Concept.Axiom _
+          | Concept.Complexity_guarantee _ ->
+            [])
+        con.Concept.requirements
+  in
+  let ops =
+    List.map
+      (fun (s : Concept.signature) ->
+        {
+          s with
+          Concept.op_params = List.map rename s.Concept.op_params;
+          op_return = rename s.Concept.op_return;
+        })
+      (Concept.operations con)
+  in
+  { fi_name = con.Concept.name; fi_params; fi_where = where; fi_ops = ops }
+
+(* Type-parameter blowup factor for a concept: flattened params vs
+   original params. The paper's study found this "often more than
+   doubled". *)
+let blowup reg con =
+  let flat = translate reg con in
+  ( List.length con.Concept.params,
+    List.length flat.fi_params )
+
+let pp ppf fi =
+  Fmt.pf ppf "@[<v2>interface %s<%a>%a {@,%a@]@,}" fi.fi_name
+    Fmt.(list ~sep:comma string)
+    fi.fi_params
+    Fmt.(
+      list ~sep:nop (fun ppf w -> pf ppf "@,  where %s" w))
+    fi.fi_where
+    Fmt.(list ~sep:cut Concept.pp_signature)
+    fi.fi_ops

@@ -1,0 +1,26 @@
+(** The associated-type emulation translation (paper Section 2.2).
+
+    Translates a concept with member (associated) types into the
+    flattened interface a language without member types forces: one
+    extra type parameter per associated type, with the constraints
+    restated as where-clauses on the parameter list — the form whose
+    cost the paper's comparative study measured ("the number of type
+    parameters in generic algorithms was often more than doubled"). *)
+
+type flat_interface = {
+  fi_name : string;
+  fi_params : string list;
+  fi_where : string list;  (** rendered constraints *)
+  fi_ops : Concept.signature list;
+}
+
+val translate : Registry.t -> Concept.t -> flat_interface
+(** Associated types become parameters (e.g. [vertex_type] -> [Vertex]);
+    projections in signatures and constraints are rewritten to the
+    parameters. Associated types are assumed to belong to the first
+    concept parameter. *)
+
+val blowup : Registry.t -> Concept.t -> int * int
+(** (original, flattened) type-parameter counts. *)
+
+val pp : Format.formatter -> flat_interface -> unit

@@ -1,0 +1,93 @@
+(* Constraint propagation (paper Section 2.3).
+
+   Declaring "G models IncidenceGraph" should implicitly make available every
+   constraint that follows: the refined concepts of IncidenceGraph, and the
+   constraints IncidenceGraph places on its associated types (edge_type
+   models GraphEdge, out_edge_iterator models Iterator, ...). Languages
+   without propagation force the programmer to restate the whole closure at
+   every generic function (the paper's first_neighbor example, and the 2^n
+   blowup of Section 2.4).
+
+   [closure] computes the full implied constraint set; [explicit_size]
+   counts how many constraints a language *without* propagation would
+   require the programmer to write, which is what experiment C3
+   regenerates. *)
+
+type obligation = {
+  ob_concept : string;
+  ob_args : Ctype.t list; (* in terms of the root's parameters / assoc paths *)
+}
+
+let obligation_equal a b =
+  String.equal a.ob_concept b.ob_concept
+  && List.length a.ob_args = List.length b.ob_args
+  && List.for_all2 Ctype.equal a.ob_args b.ob_args
+
+(* All obligations implied by [concept<args>], including itself. [depth]
+   bounds recursion through associated types (cyclic concept references such
+   as container<->iterator are legal). *)
+let closure ?(max_depth = 8) reg concept args =
+  let acc = ref [] in
+  let add ob =
+    if not (List.exists (obligation_equal ob) !acc) then (
+      acc := ob :: !acc;
+      true)
+    else false
+  in
+  let rec go depth concept args =
+    if depth > max_depth then ()
+    else
+      let ob = { ob_concept = concept; ob_args = args } in
+      if add ob then
+        match Registry.find_concept reg concept with
+        | None -> ()
+        | Some con ->
+          let env = List.combine con.Concept.params args in
+          List.iter
+            (fun (rname, rargs) ->
+              go (depth + 1) rname (List.map (Ctype.subst env) rargs))
+            con.Concept.refines;
+          List.iter
+            (fun req ->
+              let constraints =
+                match req with
+                | Concept.Assoc_type { at_constraints; _ } -> at_constraints
+                | Concept.Constraint c -> [ c ]
+                | Concept.Operation _ | Concept.Axiom _
+                | Concept.Complexity_guarantee _ ->
+                  []
+              in
+              List.iter
+                (function
+                  | Concept.Models (cname, cargs) ->
+                    go (depth + 1) cname (List.map (Ctype.subst env) cargs)
+                  | Concept.Same_type _ -> ())
+                constraints)
+            con.Concept.requirements
+  in
+  go 0 concept args;
+  List.rev !acc
+
+(* Number of constraints the programmer writes with propagation: just the
+   root constraint. *)
+let declared_size = 1
+
+(* Number of constraints the programmer must write without propagation: the
+   whole closure (each "X models C" clause spelled out). *)
+let explicit_size ?max_depth reg concept args =
+  List.length (closure ?max_depth reg concept args)
+
+(* Associated-type parameter count: how many extra type parameters the
+   "one parameter per associated type" emulation (Section 2.2) needs for a
+   single use of [concept]. Counts associated types across the closure. *)
+let emulation_type_parameters ?max_depth reg concept args =
+  let obs = closure ?max_depth reg concept args in
+  List.fold_left
+    (fun n ob ->
+      match Registry.find_concept reg ob.ob_concept with
+      | None -> n
+      | Some con -> n + List.length (Concept.associated_types con))
+    0 obs
+
+let pp_obligation ppf ob =
+  Fmt.pf ppf "%a : %s" Fmt.(list ~sep:comma Ctype.pp) ob.ob_args ob.ob_concept

@@ -1,0 +1,157 @@
+(* The registry holds everything the concept engine knows about a world of
+   types: concept definitions, per-type structural descriptions (associated
+   types), a global table of (free) operations, and declared models.
+
+   Structural information supports ML-signature-style checking; declared
+   models support Haskell-type-class-style nominal conformance; the paper
+   (Section 2.1) discusses both. Our checker verifies the structure behind
+   every nominal declaration, so a declared model is a *checked claim*. *)
+
+type type_desc = {
+  td_name : string;
+  td_assoc : (string * Ctype.t) list; (* associated type bindings *)
+  td_doc : string;
+}
+
+type model = {
+  mo_concept : string;
+  mo_args : Ctype.t list; (* ground argument types *)
+  mo_axioms_asserted : string list;
+      (* axioms of the concept the declarer vouches for (or has proved) *)
+  mo_complexity : (string * Complexity.t) list;
+      (* declared bound per operation name *)
+  mo_doc : string;
+}
+
+type t = {
+  mutable concepts : (string * Concept.t) list;
+  mutable types : (string * type_desc) list;
+  mutable ops : Concept.signature list;
+  mutable models : model list;
+  mutable refinement_edges : (string * string) list;
+      (* (refining, refined) pairs, derived from concept definitions *)
+}
+
+let create () =
+  { concepts = []; types = []; ops = []; models = []; refinement_edges = [] }
+
+exception Duplicate of string
+
+let declare_concept t (c : Concept.t) =
+  if List.mem_assoc c.Concept.name t.concepts then
+    raise (Duplicate ("concept " ^ c.Concept.name));
+  t.concepts <- (c.Concept.name, c) :: t.concepts;
+  t.refinement_edges <-
+    List.map (fun (r, _) -> (c.Concept.name, r)) c.Concept.refines
+    @ t.refinement_edges
+
+let declare_type ?(doc = "") ?(assoc = []) t name =
+  if List.mem_assoc name t.types then raise (Duplicate ("type " ^ name));
+  t.types <- (name, { td_name = name; td_assoc = assoc; td_doc = doc }) :: t.types
+
+let declare_op ?(doc = "") t op_name op_params op_return =
+  t.ops <-
+    { Concept.op_name; op_params; op_return; op_doc = doc } :: t.ops
+
+let declare_model ?(doc = "") ?(axioms = []) ?(complexity = []) t concept args
+    =
+  t.models <-
+    {
+      mo_concept = concept;
+      mo_args = args;
+      mo_axioms_asserted = axioms;
+      mo_complexity = complexity;
+      mo_doc = doc;
+    }
+    :: t.models
+
+let find_concept t name = List.assoc_opt name t.concepts
+let find_type t name = List.assoc_opt name t.types
+
+let find_model t concept args =
+  List.find_opt
+    (fun m ->
+      String.equal m.mo_concept concept
+      && List.length m.mo_args = List.length args
+      && List.for_all2 Ctype.equal m.mo_args args)
+    t.models
+
+let concepts t = List.map snd t.concepts
+let models t = t.models
+
+(* Resolve a type expression to ground normal form: associated-type
+   projections are looked up in the type descriptions. *)
+let rec resolve t ty =
+  match ty with
+  | Ctype.Named _ | Ctype.Var _ -> Some ty
+  | Ctype.App (f, args) ->
+    let rec go acc = function
+      | [] -> Some (Ctype.App (f, List.rev acc))
+      | a :: rest -> (
+        match resolve t a with
+        | Some a' -> go (a' :: acc) rest
+        | None -> None)
+    in
+    go [] args
+  | Ctype.Assoc (base, field) -> (
+    match resolve t base with
+    | Some (Ctype.Named n) -> (
+      match find_type t n with
+      | Some td -> (
+        match List.assoc_opt field td.td_assoc with
+        | Some bound -> resolve t bound
+        | None -> None)
+      | None -> None)
+    | Some _ | None -> None)
+
+(* Look up ground operations matching name + parameter types. Several ops
+   may share name and parameters but differ in return type (e.g. the nullary
+   "id" of every monoid carrier), so callers needing the return type filter
+   over all matches. *)
+let find_ops t name params =
+  List.filter
+    (fun (s : Concept.signature) ->
+      String.equal s.Concept.op_name name
+      && List.length s.Concept.op_params = List.length params
+      && List.for_all2 Ctype.equal s.Concept.op_params params)
+    t.ops
+
+let find_op t name params =
+  match find_ops t name params with [] -> None | s :: _ -> Some s
+
+(* Transitive refinement: does concept [a] (directly or indirectly) refine
+   concept [b]? Reflexive. *)
+let refines t a b =
+  if String.equal a b then true
+  else
+    let rec go visited frontier =
+      match frontier with
+      | [] -> false
+      | c :: rest ->
+        if List.mem c visited then go visited rest
+        else if String.equal c b then true
+        else
+          let nexts =
+            List.filter_map
+              (fun (x, y) -> if String.equal x c then Some y else None)
+              t.refinement_edges
+          in
+          go (c :: visited) (nexts @ rest)
+    in
+    go [] [ a ]
+
+(* Refinement depth of a concept: length of the longest refinement chain
+   below it. Used for most-refined-wins overload resolution. *)
+let refinement_depth t name =
+  let rec depth visited c =
+    if List.mem c visited then 0
+    else
+      match find_concept t c with
+      | None -> 0
+      | Some con ->
+        let below =
+          List.map (fun (r, _) -> depth (c :: visited) r) con.Concept.refines
+        in
+        1 + List.fold_left max 0 below
+  in
+  depth [] name

@@ -1,0 +1,179 @@
+(* Algorithm concept taxonomies (paper Sections 1 and 4).
+
+   A taxonomy is a DAG of concept nodes, each carrying attribute
+   classifications (the distributed taxonomy's seven orthogonal dimensions
+   are attributes) and performance annotations (asymptotic bounds per cost
+   measure: messages, time, local computation, comparisons, ...).
+
+   Queries supported:
+   - refinement reachability and most-specific classification,
+   - "algorithms applicable in situation S" (attribute filters),
+   - "pick the correct algorithm": among applicable entries, minimal cost on
+     a chosen measure (Section 4: "helps a system designer to pick the
+     correct algorithm for a particular application"). *)
+
+type node = {
+  nd_name : string;
+  nd_parents : string list; (* refined (more general) nodes *)
+  nd_attributes : (string * string) list; (* dimension -> value *)
+  nd_doc : string;
+}
+
+type measurement = {
+  ms_measure : string; (* e.g. "messages" *)
+  ms_param : int; (* the size the sample was taken at, e.g. ring size *)
+  ms_value : float;
+}
+
+type entry = {
+  en_name : string; (* concrete algorithm, e.g. "LCR leader election" *)
+  en_node : string; (* most specific taxonomy node it models *)
+  en_costs : (string * Complexity.t) list; (* measure -> analytic bound *)
+  en_doc : string;
+  en_measured : measurement list ref;
+      (* actual performance samples recorded against the entry — "concept
+         descriptions can also organize and present detailed actual
+         performance measurements" (paper Section 4) *)
+}
+
+type t = {
+  tax_name : string;
+  mutable nodes : (string * node) list;
+  mutable entries : entry list;
+}
+
+let create tax_name = { tax_name; nodes = []; entries = [] }
+
+let add_node ?(doc = "") ?(attributes = []) ?(parents = []) t name =
+  if List.mem_assoc name t.nodes then
+    raise (Registry.Duplicate ("taxonomy node " ^ name));
+  List.iter
+    (fun p ->
+      if not (List.mem_assoc p t.nodes) then
+        invalid_arg ("Taxonomy.add_node: unknown parent " ^ p))
+    parents;
+  t.nodes <-
+    t.nodes
+    @ [ (name, { nd_name = name; nd_parents = parents; nd_attributes = attributes; nd_doc = doc }) ]
+
+let add_entry ?(doc = "") ?(costs = []) t ~name ~node =
+  if not (List.mem_assoc node t.nodes) then
+    invalid_arg ("Taxonomy.add_entry: unknown node " ^ node);
+  t.entries <-
+    t.entries
+    @ [ { en_name = name; en_node = node; en_costs = costs; en_doc = doc;
+          en_measured = ref [] } ]
+
+let find_entry t name =
+  List.find_opt (fun e -> String.equal e.en_name name) t.entries
+
+(* Attach an actual performance sample to an algorithm entry. *)
+let record_measurement t ~entry ~measure ~param ~value =
+  match find_entry t entry with
+  | None -> invalid_arg ("Taxonomy.record_measurement: unknown entry " ^ entry)
+  | Some e ->
+    e.en_measured :=
+      { ms_measure = measure; ms_param = param; ms_value = value }
+      :: !(e.en_measured)
+
+let measurements t ~entry ~measure =
+  match find_entry t entry with
+  | None -> []
+  | Some e ->
+    List.filter (fun m -> String.equal m.ms_measure measure) !(e.en_measured)
+    |> List.sort (fun a b -> Int.compare a.ms_param b.ms_param)
+
+let find_node t name = List.assoc_opt name t.nodes
+
+(* Reflexive-transitive: does node [a] refine node [b]? *)
+let refines t a b =
+  let rec go visited = function
+    | [] -> false
+    | c :: rest ->
+      if List.mem c visited then go visited rest
+      else if String.equal c b then true
+      else
+        let parents =
+          match find_node t c with Some n -> n.nd_parents | None -> []
+        in
+        go (c :: visited) (parents @ rest)
+  in
+  String.equal a b || go [] [ a ]
+
+(* Effective attributes of a node: own attributes override inherited ones. *)
+let attributes t name =
+  let rec go visited name =
+    if List.mem name visited then []
+    else
+      match find_node t name with
+      | None -> []
+      | Some n ->
+        let inherited =
+          List.concat_map (go (name :: visited)) n.nd_parents
+        in
+        n.nd_attributes
+        @ List.filter
+            (fun (k, _) -> not (List.mem_assoc k n.nd_attributes))
+            inherited
+  in
+  go [] name
+
+(* All entries whose node satisfies every required attribute. *)
+let applicable t ~requirements =
+  List.filter
+    (fun e ->
+      let attrs = attributes t e.en_node in
+      List.for_all
+        (fun (dim, v) ->
+          match List.assoc_opt dim attrs with
+          | Some v' -> String.equal v v'
+          | None -> false)
+        requirements)
+    t.entries
+
+(* Pick the best applicable algorithm by a cost measure; entries lacking the
+   measure are considered last. Ties are all returned. *)
+let pick t ~requirements ~measure =
+  let candidates = applicable t ~requirements in
+  let with_cost =
+    List.filter_map
+      (fun e ->
+        Option.map (fun c -> (e, c)) (List.assoc_opt measure e.en_costs))
+      candidates
+  in
+  match with_cost with
+  | [] -> candidates (* no cost info: return all applicable *)
+  | (e0, c0) :: rest ->
+    let minimal =
+      List.fold_left
+        (fun (acc, cmin) (e, c) ->
+          match Complexity.compare_growth c cmin with
+          | Some n when n < 0 -> ([ e ], c)
+          | Some 0 -> (e :: acc, cmin)
+          | Some _ -> (acc, cmin)
+          | None -> (e :: acc, cmin) (* incomparable: keep both *))
+        ([ e0 ], c0) rest
+    in
+    List.rev (fst minimal)
+
+(* Gaps: leaf nodes with no registered algorithm — the paper: a taxonomy
+   "helps in the design of new [algorithms] (based on situations where no
+   known algorithms for a particular concept refinement exist)". *)
+let gaps t =
+  let has_child name =
+    List.exists (fun (_, n) -> List.mem name n.nd_parents) t.nodes
+  in
+  List.filter_map
+    (fun (name, _) ->
+      if
+        (not (has_child name))
+        && not (List.exists (fun e -> refines t e.en_node name) t.entries)
+      then Some name
+      else None)
+    t.nodes
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%s [%s]%a" e.en_name e.en_node
+    Fmt.(
+      list ~sep:nop (fun ppf (m, c) -> pf ppf " %s=%a" m Complexity.pp c))
+    e.en_costs

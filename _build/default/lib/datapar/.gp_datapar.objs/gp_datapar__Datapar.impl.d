@@ -1,0 +1,1 @@
+lib/datapar/datapar.ml: Array Domain Gp_algebra List Printf

@@ -1,0 +1,1 @@
+lib/datapar/datapar.mli: Gp_algebra

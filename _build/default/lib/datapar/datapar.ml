@@ -1,0 +1,233 @@
+(* Data-parallel primitives (paper Section 4).
+
+   "Data-parallel programs can generally be expressed at a higher level of
+   abstraction. The programmer still thinks and programs in parallel, but
+   more abstractly." The library exposes the classic data-parallel
+   operations — map, reduce, scan, zip_with, filter — over arrays, with two
+   interchangeable executors: [Seq] (reference semantics) and [Par]
+   (OCaml 5 domains over chunks). The two are tested for extensional
+   equality; [Par] requires the combining operation to be an associative
+   Monoid (the concept requirement that makes chunked reduction valid —
+   exactly the paper's point that semantic concepts license
+   transformations).
+
+   A [monoid] here is the first-class value form of Gp_algebra.Sigs.MONOID,
+   polymorphic in the element type. *)
+
+type 'a monoid = { op : 'a -> 'a -> 'a; id : 'a }
+
+let int_sum = { op = ( + ); id = 0 }
+let int_max = { op = max; id = min_int }
+let float_sum = { op = ( +. ); id = 0.0 }
+
+(* Bridge from the module-level concept: any Gp_algebra Monoid instance
+   is a valid combining structure for reduce/scan. *)
+let of_monoid (type a) (module M : Gp_algebra.Sigs.MONOID with type t = a) :
+    a monoid =
+  { op = M.op; id = M.id }
+
+(* ------------------------------------------------------------------ *)
+(* Chunking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Split [0, n) into at most [k] contiguous chunks of near-equal size. *)
+let chunks ~k n =
+  if n = 0 then []
+  else begin
+    let k = max 1 (min k n) in
+    let base = n / k and extra = n mod k in
+    let rec go i start acc =
+      if i = k then List.rev acc
+      else
+        let len = base + if i < extra then 1 else 0 in
+        go (i + 1) (start + len) ((start, len) :: acc)
+    in
+    go 0 0 []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Executors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module type EXECUTOR = sig
+  val name : string
+  val map : ('a -> 'b) -> 'a array -> 'b array
+  val mapi : (int -> 'a -> 'b) -> 'a array -> 'b array
+  val reduce : 'a monoid -> 'a array -> 'a
+
+  (** Exclusive prefix scan: [scan m a].(i) = fold of a.(0..i-1). Returns
+      the scanned array and the total. *)
+  val scan : 'a monoid -> 'a array -> 'a array * 'a
+
+  val zip_with : ('a -> 'b -> 'c) -> 'a array -> 'b array -> 'c array
+  val filter : ('a -> bool) -> 'a array -> 'a array
+  val count : ('a -> bool) -> 'a array -> int
+end
+
+module Seq_exec : EXECUTOR = struct
+  let name = "sequential"
+  let map = Array.map
+  let mapi = Array.mapi
+
+  let reduce m a = Array.fold_left m.op m.id a
+
+  let scan m a =
+    let n = Array.length a in
+    let out = Array.make n m.id in
+    let acc = ref m.id in
+    for i = 0 to n - 1 do
+      out.(i) <- !acc;
+      acc := m.op !acc a.(i)
+    done;
+    (out, !acc)
+
+  let zip_with f a b =
+    if Array.length a <> Array.length b then
+      invalid_arg "zip_with: length mismatch";
+    Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+  let filter p a = Array.of_list (List.filter p (Array.to_list a))
+  let count p a = Array.fold_left (fun n x -> if p x then n + 1 else n) 0 a
+end
+
+(* Parallel executor over OCaml 5 domains. The domain count is fixed at
+   functor-application time so executors are values you can hand around
+   (and bench against each other). *)
+module Par_exec (D : sig
+  val domains : int
+end) : EXECUTOR = struct
+  let domains = max 1 D.domains
+  let name = Printf.sprintf "parallel(%d domains)" domains
+
+  (* Run one domain per chunk; each writes its private range of a shared
+     output array (disjoint ranges: no races). *)
+  let parallel_chunks n f =
+    match chunks ~k:domains n with
+    | [] -> ()
+    | [ (start, len) ] -> f start len
+    | (start0, len0) :: rest ->
+      let handles =
+        List.map (fun (start, len) -> Domain.spawn (fun () -> f start len)) rest
+      in
+      f start0 len0;
+      List.iter Domain.join handles
+
+  let mapi f a =
+    let n = Array.length a in
+    if n = 0 then [||]
+    else begin
+      let out = Array.make n (f 0 a.(0)) in
+      parallel_chunks n (fun start len ->
+          for i = start to start + len - 1 do
+            out.(i) <- f i a.(i)
+          done);
+      out
+    end
+
+  let map f a = mapi (fun _ x -> f x) a
+
+  let reduce m a =
+    let n = Array.length a in
+    if n = 0 then m.id
+    else begin
+      let cs = chunks ~k:domains n in
+      let partial = Array.make (List.length cs) m.id in
+      let idx = List.mapi (fun i c -> (i, c)) cs in
+      (match idx with
+      | [] -> ()
+      | (i0, (s0, l0)) :: rest ->
+        let work i start len =
+          let acc = ref m.id in
+          for k = start to start + len - 1 do
+            acc := m.op !acc a.(k)
+          done;
+          partial.(i) <- !acc
+        in
+        let handles =
+          List.map
+            (fun (i, (s, l)) -> Domain.spawn (fun () -> work i s l))
+            rest
+        in
+        work i0 s0 l0;
+        List.iter Domain.join handles);
+      Array.fold_left m.op m.id partial
+    end
+
+  (* Two-phase parallel scan: per-chunk totals, sequential exclusive scan
+     of the (few) totals, then per-chunk local scans with offsets. Valid
+     because the monoid is associative. *)
+  let scan m a =
+    let n = Array.length a in
+    if n = 0 then ([||], m.id)
+    else begin
+      let cs = Array.of_list (chunks ~k:domains n) in
+      let k = Array.length cs in
+      let totals = Array.make k m.id in
+      let phase1 i =
+        let start, len = cs.(i) in
+        let acc = ref m.id in
+        for j = start to start + len - 1 do
+          acc := m.op !acc a.(j)
+        done;
+        totals.(i) <- !acc
+      in
+      let spawn_over work =
+        if k = 1 then work 0
+        else begin
+          let handles =
+            List.init (k - 1) (fun i ->
+                Domain.spawn (fun () -> work (i + 1)))
+          in
+          work 0;
+          List.iter Domain.join handles
+        end
+      in
+      spawn_over phase1;
+      let offsets = Array.make k m.id in
+      let acc = ref m.id in
+      for i = 0 to k - 1 do
+        offsets.(i) <- !acc;
+        acc := m.op !acc totals.(i)
+      done;
+      let out = Array.make n m.id in
+      let phase2 i =
+        let start, len = cs.(i) in
+        let local = ref offsets.(i) in
+        for j = start to start + len - 1 do
+          out.(j) <- !local;
+          local := m.op !local a.(j)
+        done
+      in
+      spawn_over phase2;
+      (out, !acc)
+    end
+
+  let zip_with f a b =
+    if Array.length a <> Array.length b then
+      invalid_arg "zip_with: length mismatch";
+    mapi (fun i x -> f x b.(i)) a
+
+  (* Parallel filter via flags + scan of counts (the textbook data-parallel
+     pack). *)
+  let filter p a =
+    let n = Array.length a in
+    if n = 0 then [||]
+    else begin
+      let flags = map (fun x -> if p x then 1 else 0) a in
+      let pos, total = scan int_sum flags in
+      if total = 0 then [||]
+      else begin
+        let out = Array.make total a.(0) in
+        parallel_chunks n (fun start len ->
+            for i = start to start + len - 1 do
+              if flags.(i) = 1 then out.(pos.(i)) <- a.(i)
+            done);
+        out
+      end
+    end
+
+  let count p a = reduce int_sum (map (fun x -> if p x then 1 else 0) a)
+end
+
+let default_domains () =
+  max 1 (Domain.recommended_domain_count () - 1)

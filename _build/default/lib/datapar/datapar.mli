@@ -1,0 +1,52 @@
+(** Data-parallel primitives (paper Section 4): map, reduce, scan,
+    zip_with, filter over arrays, with interchangeable executors.
+
+    {!Seq_exec} gives reference semantics; {!Par_exec} runs chunked over
+    OCaml 5 domains. The two are extensionally equal (property-tested);
+    chunked reduction and the two-phase scan are licensed by the
+    combining operation being an associative {!monoid} — the semantic
+    concept requirement that makes the parallel transformation valid. *)
+
+type 'a monoid = { op : 'a -> 'a -> 'a; id : 'a }
+(** First-class-value form of [Gp_algebra.Sigs.MONOID]; [op] must be
+    associative with identity [id] (commutativity NOT required). *)
+
+val int_sum : int monoid
+val int_max : int monoid
+val float_sum : float monoid
+
+val of_monoid : (module Gp_algebra.Sigs.MONOID with type t = 'a) -> 'a monoid
+(** Any gp_algebra Monoid instance is a valid combining structure. *)
+
+val chunks : k:int -> int -> (int * int) list
+(** [chunks ~k n]: at most [k] contiguous (start, length) chunks of
+    near-equal size covering [0, n). *)
+
+module type EXECUTOR = sig
+  val name : string
+  val map : ('a -> 'b) -> 'a array -> 'b array
+  val mapi : (int -> 'a -> 'b) -> 'a array -> 'b array
+  val reduce : 'a monoid -> 'a array -> 'a
+
+  val scan : 'a monoid -> 'a array -> 'a array * 'a
+  (** Exclusive prefix scan: result.(i) = fold of elements [0..i-1];
+      also returns the total. *)
+
+  val zip_with : ('a -> 'b -> 'c) -> 'a array -> 'b array -> 'c array
+  (** Raises [Invalid_argument] on length mismatch. *)
+
+  val filter : ('a -> bool) -> 'a array -> 'a array
+  val count : ('a -> bool) -> 'a array -> int
+end
+
+module Seq_exec : EXECUTOR
+
+module Par_exec (_ : sig
+  val domains : int
+end) : EXECUTOR
+(** Chunked execution over the given number of domains (clamped to at
+    least 1). [filter] is the textbook data-parallel pack
+    (flags + scan + scatter). *)
+
+val default_domains : unit -> int
+(** [recommended_domain_count - 1], at least 1. *)

@@ -1,0 +1,1 @@
+lib/distsim/algorithms.ml: Array Engine List Random String Topology

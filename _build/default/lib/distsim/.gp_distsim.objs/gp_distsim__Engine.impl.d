@@ -1,0 +1,1 @@
+lib/distsim/engine.ml: Array Float Fmt Hashtbl List Random Topology

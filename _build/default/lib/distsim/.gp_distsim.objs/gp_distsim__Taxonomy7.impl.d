@@ -1,0 +1,1 @@
+lib/distsim/taxonomy7.ml: Complexity Gp_concepts Taxonomy

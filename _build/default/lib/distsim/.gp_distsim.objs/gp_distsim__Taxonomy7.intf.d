@@ -1,0 +1,1 @@
+lib/distsim/taxonomy7.mli: Gp_concepts

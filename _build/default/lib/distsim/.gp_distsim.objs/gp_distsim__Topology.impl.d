@@ -1,0 +1,1 @@
+lib/distsim/topology.ml: Array List Printf Queue Random

@@ -1,0 +1,462 @@
+(* Distributed algorithms over the simulator — the concrete entries of the
+   seven-dimensional taxonomy, instrumented for messages, time and local
+   computation.
+
+   Each algorithm defines its message type, its per-node state machine, and
+   a [run] function returning the engine result. Asymptotics reproduced by
+   experiment C5: LCR uses O(n^2) messages on a unidirectional ring, HS
+   uses O(n log n) on a bidirectional ring, flooding uses O(m). *)
+
+open Engine
+
+(* ------------------------------------------------------------------ *)
+(* LCR leader election (Le Lann / Chang-Roberts)                       *)
+(* ------------------------------------------------------------------ *)
+
+module Lcr = struct
+  type msg = Token of int | Leader of int
+
+  type state = { uid : int; is_leader : bool }
+
+  (* charge 1 per comparison: the local-computation account *)
+  let algorithm ~uids =
+    {
+      algo_name = "LCR";
+      initial =
+        (fun ctx ->
+          let uid = uids.(ctx.self) in
+          List.iter (fun nb -> ctx.send nb (Token uid)) ctx.neighbors;
+          { uid; is_leader = false });
+      on_message =
+        (fun ctx st ~src:_ msg ->
+          match msg with
+          | Token u ->
+            ctx.charge 1;
+            if u > st.uid then begin
+              List.iter (fun nb -> ctx.send nb (Token u)) ctx.neighbors;
+              st
+            end
+            else if u = st.uid then begin
+              (* token went all the way around: elected *)
+              ctx.decide (string_of_int st.uid);
+              List.iter (fun nb -> ctx.send nb (Leader st.uid)) ctx.neighbors;
+              { st with is_leader = true }
+            end
+            else st (* swallow smaller token *)
+          | Leader l ->
+            if not st.is_leader then begin
+              ctx.decide (string_of_int l);
+              List.iter (fun nb -> ctx.send nb (Leader l)) ctx.neighbors;
+              ctx.halt ()
+            end
+            else ctx.halt ();
+            st);
+    }
+
+  let run ?config ~uids topo = Engine.run ?config topo (algorithm ~uids)
+end
+
+(* ------------------------------------------------------------------ *)
+(* HS leader election (Hirschberg-Sinclair)                            *)
+(* ------------------------------------------------------------------ *)
+
+module Hs = struct
+  (* dir: which neighbour the token travels toward, encoded as the index
+     into the (cw, ccw) pair. *)
+  type msg =
+    | Out of { uid : int; hops : int; dir : int }
+    | In of { uid : int; dir : int }
+    | Leader of int
+
+  type state = {
+    uid : int;
+    phase : int;
+    returned : bool * bool; (* cw, ccw tokens back? *)
+    is_leader : bool;
+    done_ : bool;
+  }
+
+  let cw ctx = List.nth ctx.neighbors 0
+  let ccw ctx = List.nth ctx.neighbors (min 1 (List.length ctx.neighbors - 1))
+
+  let neighbor ctx dir = if dir = 0 then cw ctx else ccw ctx
+  let opposite ctx dir = if dir = 0 then ccw ctx else cw ctx
+
+  let launch ctx uid phase =
+    let hops = 1 lsl phase in
+    ctx.send (cw ctx) (Out { uid; hops; dir = 0 });
+    ctx.send (ccw ctx) (Out { uid; hops; dir = 1 })
+
+  let algorithm ~uids =
+    {
+      algo_name = "HS";
+      initial =
+        (fun ctx ->
+          let uid = uids.(ctx.self) in
+          launch ctx uid 0;
+          { uid; phase = 0; returned = (false, false); is_leader = false;
+            done_ = false });
+      on_message =
+        (fun ctx st ~src:_ msg ->
+          match msg with
+          | Out { uid; hops; dir } ->
+            ctx.charge 1;
+            if uid > st.uid then begin
+              (* relay or bounce *)
+              if hops > 1 then
+                ctx.send (neighbor ctx dir) (Out { uid; hops = hops - 1; dir })
+              else ctx.send (opposite ctx dir) (In { uid; dir });
+              st
+            end
+            else if uid = st.uid then begin
+              (* own token circumnavigated: elected *)
+              if not st.is_leader then begin
+                ctx.decide (string_of_int st.uid);
+                ctx.send (cw ctx) (Leader st.uid)
+              end;
+              { st with is_leader = true }
+            end
+            else st
+          | In { uid; dir } ->
+            if uid <> st.uid then begin
+              (* keep travelling home: an In token moving in direction dir
+                 was bounced back, so forward it the way it is going *)
+              ctx.send (opposite ctx dir) (In { uid; dir });
+              st
+            end
+            else begin
+              let r0, r1 = st.returned in
+              let returned = if dir = 0 then (true, r1) else (r0, true) in
+              let st = { st with returned } in
+              if fst st.returned && snd st.returned && not st.done_ then begin
+                let phase = st.phase + 1 in
+                launch ctx st.uid phase;
+                { st with phase; returned = (false, false) }
+              end
+              else st
+            end
+          | Leader l ->
+            if not st.is_leader && not st.done_ then begin
+              ctx.decide (string_of_int l);
+              ctx.send (cw ctx) (Leader l)
+            end;
+            ctx.halt ();
+            { st with done_ = true });
+    }
+
+  let run ?config ~uids topo =
+    if Topology.num_nodes topo < 3 then
+      invalid_arg "Hs.run: needs a bidirectional ring of at least 3 nodes";
+    Engine.run ?config topo (algorithm ~uids)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flooding broadcast                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Flood = struct
+  type msg = Payload of int
+
+  type state = { informed : bool }
+
+  let algorithm ~root ~value =
+    {
+      algo_name = "flooding broadcast";
+      initial =
+        (fun ctx ->
+          if ctx.self = root then begin
+            ctx.decide (string_of_int value);
+            List.iter (fun nb -> ctx.send nb (Payload value)) ctx.neighbors;
+            { informed = true }
+          end
+          else { informed = false });
+      on_message =
+        (fun ctx st ~src (Payload v) ->
+          ctx.charge 1;
+          if st.informed then st
+          else begin
+            ctx.decide (string_of_int v);
+            List.iter
+              (fun nb -> if nb <> src then ctx.send nb (Payload v))
+              ctx.neighbors;
+            { informed = true }
+          end);
+    }
+
+  let run ?config ~root ~value topo =
+    Engine.run ?config topo (algorithm ~root ~value)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Probe-echo (Segall): spanning tree + convergecast aggregation       *)
+(* ------------------------------------------------------------------ *)
+
+module Echo = struct
+  type msg = Probe | Echo of int (* subtree size *)
+
+  type state = {
+    parent : int option;
+    pending : int; (* echoes still expected *)
+    acc : int; (* accumulated subtree size *)
+    seen : bool;
+  }
+
+  let algorithm ~root =
+    {
+      algo_name = "probe-echo";
+      initial =
+        (fun ctx ->
+          if ctx.self = root then begin
+            List.iter (fun nb -> ctx.send nb Probe) ctx.neighbors;
+            { parent = None; pending = List.length ctx.neighbors; acc = 1;
+              seen = true }
+          end
+          else { parent = None; pending = 0; acc = 1; seen = false });
+      on_message =
+        (fun ctx st ~src msg ->
+          ctx.charge 1;
+          let finish st =
+            if st.pending = 0 then begin
+              (match st.parent with
+              | Some p -> ctx.send p (Echo st.acc)
+              | None -> ctx.decide (string_of_int st.acc));
+              st
+            end
+            else st
+          in
+          match msg with
+          | Probe ->
+            if not st.seen then begin
+              let others = List.filter (fun nb -> nb <> src) ctx.neighbors in
+              List.iter (fun nb -> ctx.send nb Probe) others;
+              finish
+                { parent = Some src; pending = List.length others; acc = 1;
+                  seen = true }
+            end
+            else begin
+              (* already in the tree: answer with an empty echo *)
+              ctx.send src (Echo 0);
+              st
+            end
+          | Echo k ->
+            finish { st with pending = st.pending - 1; acc = st.acc + k });
+    }
+
+  let run ?config ~root topo = Engine.run ?config topo (algorithm ~root)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Synchronous BFS spanning tree                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Bfs_tree = struct
+  type msg = Level of int
+
+  type state = { dist : int option }
+
+  let algorithm ~root =
+    {
+      algo_name = "synchronous BFS tree";
+      initial =
+        (fun ctx ->
+          if ctx.self = root then begin
+            ctx.decide "0";
+            List.iter (fun nb -> ctx.send nb (Level 0)) ctx.neighbors;
+            { dist = Some 0 }
+          end
+          else { dist = None });
+      on_message =
+        (fun ctx st ~src:_ (Level d) ->
+          ctx.charge 1;
+          match st.dist with
+          | Some _ -> st
+          | None ->
+            let mine = d + 1 in
+            ctx.decide (string_of_int mine);
+            List.iter (fun nb -> ctx.send nb (Level mine)) ctx.neighbors;
+            { dist = Some mine });
+    }
+
+  let run ?config ~root topo = Engine.run ?config topo (algorithm ~root)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Asynchronous Bellman-Ford (hop counts)                              *)
+(* ------------------------------------------------------------------ *)
+
+module Bellman_ford = struct
+  type msg = Dist of int
+
+  type state = { dist : int }
+
+  let algorithm ~root =
+    {
+      algo_name = "async Bellman-Ford";
+      initial =
+        (fun ctx ->
+          if ctx.self = root then begin
+            ctx.decide "0";
+            List.iter (fun nb -> ctx.send nb (Dist 0)) ctx.neighbors;
+            { dist = 0 }
+          end
+          else { dist = max_int });
+      on_message =
+        (fun ctx st ~src:_ (Dist d) ->
+          ctx.charge 1;
+          let candidate = d + 1 in
+          if candidate < st.dist then begin
+            ctx.decide (string_of_int candidate);
+            List.iter (fun nb -> ctx.send nb (Dist candidate)) ctx.neighbors;
+            { dist = candidate }
+          end
+          else st);
+    }
+
+  let run ?config ~root topo = Engine.run ?config topo (algorithm ~root)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Randomized leader election on an anonymous ring                     *)
+(* ------------------------------------------------------------------ *)
+
+module Randomized_election = struct
+  (* Anonymous nodes draw large random identifiers and run LCR over them;
+     the draw is seeded so runs are reproducible. Collisions over a 30-bit
+     space are vanishingly rare; the run reports whether one occurred. *)
+  let draw ~seed n =
+    let st = Random.State.make [| seed; 0x5eed |] in
+    Array.init n (fun _ -> 1 + Random.State.int st ((1 lsl 30) - 1))
+
+  let run ?config ~seed topo =
+    let n = Topology.num_nodes topo in
+    let uids = draw ~seed n in
+    let distinct =
+      Array.length uids
+      = List.length (List.sort_uniq compare (Array.to_list uids))
+    in
+    (Lcr.run ?config ~uids topo, distinct)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Token-ring mutual exclusion                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Token_ring = struct
+  (* A single token circulates a unidirectional ring; holding it grants
+     the critical section. The run ends when the token has completed
+     [entries] full circuits (measured at node 0), at which point every
+     node has entered its critical section exactly [entries] times.
+     Message complexity: exactly entries * n. *)
+  type msg = Token
+
+  type state = { cs_entries : int }
+
+  let forward ctx =
+    match ctx.neighbors with nb :: _ -> ctx.send nb Token | [] -> ()
+
+  let algorithm ~entries =
+    {
+      algo_name = "token-ring mutual exclusion";
+      initial =
+        (fun ctx ->
+          if ctx.self = 0 then begin
+            (* node 0 enters the critical section and launches the token *)
+            ctx.charge 1;
+            ctx.decide "1";
+            forward ctx;
+            { cs_entries = 1 }
+          end
+          else { cs_entries = 0 });
+      on_message =
+        (fun ctx st ~src:_ Token ->
+          ctx.charge 1;
+          if ctx.self = 0 then begin
+            (* a receipt at node 0 means a circuit just completed; node 0
+               entered once at the start of each circuit *)
+            if st.cs_entries >= entries then begin
+              ctx.halt ();
+              st
+            end
+            else begin
+              let st = { cs_entries = st.cs_entries + 1 } in
+              ctx.decide (string_of_int st.cs_entries);
+              forward ctx;
+              st
+            end
+          end
+          else begin
+            let st = { cs_entries = st.cs_entries + 1 } in
+            ctx.decide (string_of_int st.cs_entries);
+            forward ctx;
+            st
+          end);
+    }
+
+  let run ?config ~entries topo = Engine.run ?config topo (algorithm ~entries)
+end
+
+(* ------------------------------------------------------------------ *)
+(* FloodMax leader election on arbitrary graphs                        *)
+(* ------------------------------------------------------------------ *)
+
+module Floodmax = struct
+  (* Every node floods the largest uid it has seen, with a hop budget of
+     the graph diameter; after quiescence every node has the global max.
+     Works on any connected topology (the taxonomy's election beyond
+     rings). Messages O(diam * m) worst case. *)
+  type msg = Max of { uid : int; ttl : int }
+
+  type state = { best : int; best_ttl : int }
+
+  (* A node re-broadcasts when it learns a larger uid OR when the same
+     best uid arrives with more remaining hop budget than any copy it
+     forwarded before (under asynchrony a long-path copy with a small
+     budget can arrive first; without this, propagation can die early). *)
+  let algorithm ~uids ~diameter =
+    {
+      algo_name = "FloodMax";
+      initial =
+        (fun ctx ->
+          let uid = uids.(ctx.self) in
+          ctx.decide (string_of_int uid);
+          List.iter
+            (fun nb -> ctx.send nb (Max { uid; ttl = diameter }))
+            ctx.neighbors;
+          { best = uid; best_ttl = diameter });
+      on_message =
+        (fun ctx st ~src (Max { uid; ttl }) ->
+          ctx.charge 1;
+          let improves =
+            uid > st.best || (uid = st.best && ttl > st.best_ttl)
+          in
+          if improves then begin
+            if uid > st.best then ctx.decide (string_of_int uid);
+            if ttl > 0 then
+              List.iter
+                (fun nb ->
+                  if nb <> src then ctx.send nb (Max { uid; ttl = ttl - 1 }))
+                ctx.neighbors;
+            { best = uid; best_ttl = ttl }
+          end
+          else st);
+    }
+
+  let run ?config ~uids topo =
+    let diameter = Topology.diameter topo in
+    Engine.run ?config topo (algorithm ~uids ~diameter)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Result digests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Agreement: every non-crashed node decided the same value. *)
+let agreed (r : Engine.result) =
+  let values =
+    Array.to_list r.decisions |> List.filter_map (fun x -> x)
+    |> List.sort_uniq String.compare
+  in
+  match values with [ v ] -> Some v | _ -> None
+
+let all_decided (r : Engine.result) =
+  Array.for_all (fun d -> d <> None) r.decisions

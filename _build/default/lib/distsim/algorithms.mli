@@ -1,0 +1,106 @@
+(** Distributed algorithms over the simulator — the concrete entries of
+    the seven-dimensional taxonomy, instrumented for messages, time and
+    local computation. Asymptotics reproduced by experiment C5: LCR
+    Θ(n²) messages, HS Θ(n log n), flooding Θ(m). *)
+
+(** LCR (Le Lann / Chang-Roberts) leader election on a unidirectional
+    ring: forward the maximum uid; the owner of a token that
+    circumnavigates is elected and announces. *)
+module Lcr : sig
+  type msg = Token of int | Leader of int
+  type state
+
+  val algorithm : uids:int array -> (state, msg) Engine.algorithm
+  val run : ?config:msg Engine.config -> uids:int array -> Topology.t -> Engine.result
+end
+
+(** HS (Hirschberg-Sinclair) on a bidirectional ring: doubling probes in
+    both directions; O(n log n) messages. Requires at least 3 nodes. *)
+module Hs : sig
+  type msg
+  type state
+
+  val algorithm : uids:int array -> (state, msg) Engine.algorithm
+  val run : ?config:msg Engine.config -> uids:int array -> Topology.t -> Engine.result
+end
+
+(** Flooding broadcast: forward on first receipt; O(m) messages. *)
+module Flood : sig
+  type msg = Payload of int
+  type state
+
+  val algorithm : root:int -> value:int -> (state, msg) Engine.algorithm
+  val run :
+    ?config:msg Engine.config -> root:int -> value:int -> Topology.t ->
+    Engine.result
+end
+
+(** Segall's probe-echo: spanning tree + convergecast; the root decides
+    the network size. *)
+module Echo : sig
+  type msg = Probe | Echo of int
+  type state
+
+  val algorithm : root:int -> (state, msg) Engine.algorithm
+  val run : ?config:msg Engine.config -> root:int -> Topology.t -> Engine.result
+end
+
+(** Synchronous BFS spanning tree: each node decides its hop distance. *)
+module Bfs_tree : sig
+  type msg = Level of int
+  type state
+
+  val algorithm : root:int -> (state, msg) Engine.algorithm
+  val run : ?config:msg Engine.config -> root:int -> Topology.t -> Engine.result
+end
+
+(** Asynchronous Bellman-Ford over hop counts: relax and re-broadcast on
+    improvement. *)
+module Bellman_ford : sig
+  type msg = Dist of int
+  type state
+
+  val algorithm : root:int -> (state, msg) Engine.algorithm
+  val run : ?config:msg Engine.config -> root:int -> Topology.t -> Engine.result
+end
+
+(** Randomized leader election on an anonymous ring: draw seeded random
+    identifiers, then LCR; also reports whether the draw was
+    collision-free. *)
+module Randomized_election : sig
+  val draw : seed:int -> int -> int array
+  val run :
+    ?config:Lcr.msg Engine.config -> seed:int -> Topology.t ->
+    Engine.result * bool
+end
+
+(** Token-ring mutual exclusion: a single circulating token grants the
+    critical section; exactly entries×n messages. *)
+module Token_ring : sig
+  type msg = Token
+  type state
+
+  val algorithm : entries:int -> (state, msg) Engine.algorithm
+  val run :
+    ?config:msg Engine.config -> entries:int -> Topology.t -> Engine.result
+end
+
+(** FloodMax election on arbitrary connected graphs: flood the largest
+    uid with a diameter hop budget; re-broadcasts on higher-TTL
+    re-receipt (required for correctness under asynchrony). *)
+module Floodmax : sig
+  type msg
+  type state
+
+  val algorithm :
+    uids:int array -> diameter:int -> (state, msg) Engine.algorithm
+
+  val run : ?config:msg Engine.config -> uids:int array -> Topology.t -> Engine.result
+end
+
+(** {2 Result digests} *)
+
+val agreed : Engine.result -> string option
+(** The single decided value, when every deciding node agrees. *)
+
+val all_decided : Engine.result -> bool

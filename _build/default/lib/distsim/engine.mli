@@ -1,0 +1,77 @@
+(** The deterministic discrete-event message-passing simulator — the
+    testbed substitute for paper Section 4.
+
+    Distributed algorithms run as per-node state machines exchanging
+    messages under a timing model, with seeded failure injection.
+    Metrics cover messages, simulated time, {e and local computation per
+    node} — the cost the paper notes is "rarely accounted for". Equal
+    seeds give identical runs. *)
+
+(** Timing models (taxonomy dimension 6). *)
+type timing =
+  | Synchronous  (** every message takes exactly one time unit *)
+  | Asynchronous of { max_delay : float }  (** uniform (0, max_delay] *)
+  | Partially_synchronous of { bound : float }
+      (** uniform (0, bound], with the bound known *)
+
+(** Failure models (taxonomy dimension 3). *)
+type 'msg failure =
+  | Crash of { node : int; at : float }  (** crash-stop at time [at] *)
+  | Drop_links of { prob : float }
+  | Byzantine of { node : int; corrupt : 'msg -> 'msg }
+      (** the node's outgoing messages are corrupted *)
+
+type 'msg config = {
+  timing : timing;
+  failures : 'msg failure list;
+  seed : int;
+  max_time : float;
+  max_events : int;
+}
+
+val default_config : 'msg config
+(** Synchronous, no failures, seed 42. *)
+
+(** Per-node context with effect handles: [send] to a neighbour,
+    [charge] local computation steps, [decide] the node's output,
+    [halt] the node. *)
+type 'msg ctx = {
+  self : int;
+  neighbors : int list;
+  now : unit -> float;
+  send : int -> 'msg -> unit;
+  charge : int -> unit;
+  decide : string -> unit;
+  halt : unit -> unit;
+}
+
+type ('state, 'msg) algorithm = {
+  algo_name : string;
+  initial : 'msg ctx -> 'state;
+  on_message : 'msg ctx -> 'state -> src:int -> 'msg -> 'state;
+}
+
+type metrics = {
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+  local_steps : int array;  (** per node *)
+  finish_time : float;
+  events : int;
+}
+
+val total_local_steps : metrics -> int
+val max_local_steps : metrics -> int
+
+type result = {
+  decisions : string option array;
+  halted : bool array;
+  metrics : metrics;
+}
+
+val run :
+  ?config:'m config -> Topology.t -> ('s, 'm) algorithm -> result
+(** Simulate until quiescence (or the safety horizon). Crashed and
+    halted nodes neither send nor receive. *)
+
+val pp_metrics : Format.formatter -> metrics -> unit

@@ -1,0 +1,134 @@
+(* The seven-dimensional distributed-algorithms taxonomy (Section 4):
+
+   (1) problem, (2) topology, (3) fault tolerance, (4) information sharing,
+   (5) strategy, (6) timing, (7) process management.
+
+   Built on the generic Gp_concepts.Taxonomy: nodes classify by the seven
+   orthogonal dimensions, entries carry measured-or-analytic cost bounds on
+   messages, time AND local computation (the measure the paper says is
+   "rarely accounted for"), and queries pick the right algorithm for a
+   situation. *)
+
+open Gp_concepts
+
+let dimensions =
+  [ "problem"; "topology"; "fault-tolerance"; "information-sharing";
+    "strategy"; "timing"; "process-management" ]
+
+let build () =
+  let t = Taxonomy.create "distributed algorithms" in
+  (* roots per problem *)
+  Taxonomy.add_node t "distributed"
+    ~attributes:
+      [ ("information-sharing", "message-passing");
+        ("process-management", "static") ];
+  Taxonomy.add_node t "leader-election" ~parents:[ "distributed" ]
+    ~attributes:[ ("problem", "leader-election") ];
+  Taxonomy.add_node t "broadcast" ~parents:[ "distributed" ]
+    ~attributes:[ ("problem", "broadcast") ];
+  Taxonomy.add_node t "aggregation" ~parents:[ "distributed" ]
+    ~attributes:[ ("problem", "aggregation") ];
+  Taxonomy.add_node t "shortest-paths" ~parents:[ "distributed" ]
+    ~attributes:[ ("problem", "shortest-paths") ];
+  Taxonomy.add_node t "spanning-tree" ~parents:[ "distributed" ]
+    ~attributes:[ ("problem", "spanning-tree") ];
+  (* refinements by topology / timing / strategy *)
+  Taxonomy.add_node t "election-uni-ring" ~parents:[ "leader-election" ]
+    ~attributes:
+      [ ("topology", "unidirectional-ring"); ("timing", "asynchronous");
+        ("strategy", "comparison"); ("fault-tolerance", "none") ];
+  Taxonomy.add_node t "election-bi-ring" ~parents:[ "leader-election" ]
+    ~attributes:
+      [ ("topology", "bidirectional-ring"); ("timing", "asynchronous");
+        ("strategy", "comparison"); ("fault-tolerance", "none") ];
+  Taxonomy.add_node t "election-anon-ring" ~parents:[ "leader-election" ]
+    ~attributes:
+      [ ("topology", "unidirectional-ring"); ("timing", "asynchronous");
+        ("strategy", "randomized"); ("fault-tolerance", "none");
+        ("process-management", "anonymous") ];
+  Taxonomy.add_node t "broadcast-arbitrary" ~parents:[ "broadcast" ]
+    ~attributes:
+      [ ("topology", "arbitrary"); ("timing", "asynchronous");
+        ("strategy", "flooding"); ("fault-tolerance", "none") ];
+  Taxonomy.add_node t "aggregation-arbitrary" ~parents:[ "aggregation" ]
+    ~attributes:
+      [ ("topology", "arbitrary"); ("timing", "asynchronous");
+        ("strategy", "probe-echo"); ("fault-tolerance", "none") ];
+  Taxonomy.add_node t "bfs-sync" ~parents:[ "spanning-tree" ]
+    ~attributes:
+      [ ("topology", "arbitrary"); ("timing", "synchronous");
+        ("strategy", "flooding"); ("fault-tolerance", "none") ];
+  Taxonomy.add_node t "sp-async" ~parents:[ "shortest-paths" ]
+    ~attributes:
+      [ ("topology", "arbitrary"); ("timing", "asynchronous");
+        ("strategy", "distributed-control"); ("fault-tolerance", "none") ];
+  Taxonomy.add_node t "mutual-exclusion" ~parents:[ "distributed" ]
+    ~attributes:[ ("problem", "mutual-exclusion") ];
+  Taxonomy.add_node t "mutex-ring" ~parents:[ "mutual-exclusion" ]
+    ~attributes:
+      [ ("topology", "unidirectional-ring"); ("timing", "asynchronous");
+        ("strategy", "token-based"); ("fault-tolerance", "none") ];
+  Taxonomy.add_node t "election-arbitrary" ~parents:[ "leader-election" ]
+    ~attributes:
+      [ ("topology", "arbitrary"); ("timing", "asynchronous");
+        ("strategy", "flooding"); ("fault-tolerance", "none") ];
+  (* entries: analytic bounds; benches attach measured numbers *)
+  Taxonomy.add_entry t ~name:"LCR" ~node:"election-uni-ring"
+    ~costs:
+      [ ("messages", Complexity.quadratic "n");
+        ("time", Complexity.linear "n");
+        ("local-computation", Complexity.quadratic "n") ]
+    ~doc:"Le Lann / Chang-Roberts: forward the maximum uid";
+  Taxonomy.add_entry t ~name:"HS" ~node:"election-bi-ring"
+    ~costs:
+      [ ("messages", Complexity.n_log_n "n");
+        ("time", Complexity.linear "n");
+        ("local-computation", Complexity.n_log_n "n") ]
+    ~doc:"Hirschberg-Sinclair: doubling probes in both directions";
+  Taxonomy.add_entry t ~name:"randomized-LCR" ~node:"election-anon-ring"
+    ~costs:
+      [ ("messages", Complexity.quadratic "n");
+        ("time", Complexity.linear "n") ]
+    ~doc:"draw random ids, then LCR (anonymous ring)";
+  Taxonomy.add_entry t ~name:"flooding" ~node:"broadcast-arbitrary"
+    ~costs:
+      [ ("messages", Complexity.linear "m");
+        ("time", Complexity.linear "D");
+        ("local-computation", Complexity.linear "m") ]
+    ~doc:"forward on first receipt";
+  Taxonomy.add_entry t ~name:"probe-echo" ~node:"aggregation-arbitrary"
+    ~costs:
+      [ ("messages", Complexity.linear "m");
+        ("time", Complexity.linear "D") ]
+    ~doc:"Segall's probe-echo convergecast";
+  Taxonomy.add_entry t ~name:"sync-BFS" ~node:"bfs-sync"
+    ~costs:
+      [ ("messages", Complexity.linear "m");
+        ("time", Complexity.linear "D") ]
+    ~doc:"level-by-level flooding under synchrony";
+  Taxonomy.add_entry t ~name:"token-ring" ~node:"mutex-ring"
+    ~costs:
+      [ ("messages", Complexity.linear "n");
+        ("time", Complexity.linear "n") ]
+    ~doc:"circulating token grants the critical section (per circuit)";
+  Taxonomy.add_entry t ~name:"FloodMax" ~node:"election-arbitrary"
+    ~costs:
+      [ ("messages", Complexity.mul (Complexity.linear "D") (Complexity.linear "m"));
+        ("time", Complexity.linear "D") ]
+    ~doc:"flood the maximum uid with a diameter hop budget";
+  Taxonomy.add_entry t ~name:"async-Bellman-Ford" ~node:"sp-async"
+    ~costs:
+      [ ("messages", Complexity.mul (Complexity.linear "n") (Complexity.linear "m"));
+        ("time", Complexity.linear "n") ]
+    ~doc:"relaxation with re-broadcast on improvement";
+  t
+
+(* Pick the correct algorithm for a situation (Section 4's "helps a system
+   designer to pick the correct algorithm for a particular application"). *)
+let pick_for t ~problem ~topology ~measure =
+  Taxonomy.pick t
+    ~requirements:[ ("problem", problem); ("topology", topology) ]
+    ~measure
+
+(* Situations with no algorithm registered — design gaps. *)
+let gaps = Taxonomy.gaps

@@ -1,0 +1,22 @@
+(** The seven-dimensional distributed-algorithms taxonomy (Section 4):
+    problem, topology, fault tolerance, information sharing, strategy,
+    timing, process management — built on {!Gp_concepts.Taxonomy} with
+    cost annotations including local computation. *)
+
+val dimensions : string list
+(** The seven orthogonal dimensions. *)
+
+val build : unit -> Gp_concepts.Taxonomy.t
+(** Nodes for the classification, entries for every algorithm in
+    {!Algorithms} with analytic cost bounds. *)
+
+val pick_for :
+  Gp_concepts.Taxonomy.t ->
+  problem:string ->
+  topology:string ->
+  measure:string ->
+  Gp_concepts.Taxonomy.entry list
+(** "Pick the correct algorithm for a particular application." *)
+
+val gaps : Gp_concepts.Taxonomy.t -> string list
+(** Refinements with no registered algorithm — design opportunities. *)

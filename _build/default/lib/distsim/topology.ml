@@ -1,0 +1,110 @@
+(* Network topologies — dimension 2 of the seven-dimensional taxonomy
+   ("Some algorithms are designed for specialized topologies, while others
+   are for arbitrary topologies. Further refining this concept leads to
+   some of the well known topologies like ring, completely connected graph,
+   etc."). A topology is an adjacency structure over nodes 0..n-1. *)
+
+type t = {
+  name : string;
+  n : int;
+  neighbors : int list array; (* outgoing neighbours, in deterministic order *)
+}
+
+let make name n f =
+  if n <= 0 then invalid_arg "Topology.make: need at least one node";
+  { name; n; neighbors = Array.init n f }
+
+(* Unidirectional ring: each node sends clockwise only (LCR's model). *)
+let ring_unidirectional n =
+  make (Printf.sprintf "ring-uni-%d" n) n (fun i -> [ (i + 1) mod n ])
+
+(* Bidirectional ring (HS's model). *)
+let ring n =
+  make (Printf.sprintf "ring-%d" n) n (fun i ->
+      if n = 1 then []
+      else if n = 2 then [ (i + 1) mod n ]
+      else [ (i + 1) mod n; (i + n - 1) mod n ])
+
+let complete n =
+  make (Printf.sprintf "complete-%d" n) n (fun i ->
+      List.filter (fun j -> j <> i) (List.init n (fun j -> j)))
+
+let star n =
+  (* node 0 is the hub *)
+  make (Printf.sprintf "star-%d" n) n (fun i ->
+      if i = 0 then List.init (n - 1) (fun j -> j + 1) else [ 0 ])
+
+let line n =
+  make (Printf.sprintf "line-%d" n) n (fun i ->
+      List.filter (fun j -> j >= 0 && j < n) [ i - 1; i + 1 ])
+
+let grid rows cols =
+  let n = rows * cols in
+  make (Printf.sprintf "grid-%dx%d" rows cols) n (fun i ->
+      let r = i / cols and c = i mod cols in
+      List.filter_map
+        (fun (dr, dc) ->
+          let r' = r + dr and c' = c + dc in
+          if r' >= 0 && r' < rows && c' >= 0 && c' < cols then
+            Some ((r' * cols) + c')
+          else None)
+        [ (-1, 0); (1, 0); (0, -1); (0, 1) ])
+
+(* Balanced binary tree rooted at 0. *)
+let binary_tree n =
+  make (Printf.sprintf "tree-%d" n) n (fun i ->
+      let kids = List.filter (fun j -> j < n) [ (2 * i) + 1; (2 * i) + 2 ] in
+      if i = 0 then kids else ((i - 1) / 2) :: kids)
+
+(* Erdős–Rényi-style random undirected graph, seeded and forced connected
+   by overlaying a line. *)
+let random ~seed ~p n =
+  let st = Random.State.make [| seed; n |] in
+  let adj = Array.make n [] in
+  let add i j =
+    if not (List.mem j adj.(i)) then adj.(i) <- j :: adj.(i)
+  in
+  for i = 0 to n - 2 do
+    add i (i + 1);
+    add (i + 1) i
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float st 1.0 < p then begin
+        add i j;
+        add j i
+      end
+    done
+  done;
+  make (Printf.sprintf "random-%d-p%.2f" n p) n (fun i -> List.rev adj.(i))
+
+let num_nodes t = t.n
+let neighbors t i = t.neighbors.(i)
+let degree t i = List.length t.neighbors.(i)
+
+let num_edges t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.neighbors
+
+(* Hop diameter via BFS from every node (directed). Unreachable pairs are
+   ignored; returns 0 for a single node. *)
+let diameter t =
+  let n = t.n in
+  let worst = ref 0 in
+  for s = 0 to n - 1 do
+    let dist = Array.make n (-1) in
+    let q = Queue.create () in
+    dist.(s) <- 0;
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        t.neighbors.(u)
+    done;
+    Array.iter (fun d -> if d > !worst then worst := d) dist
+  done;
+  !worst

@@ -1,0 +1,37 @@
+(** Network topologies — dimension 2 of the seven-dimensional taxonomy.
+    A topology is an adjacency structure over nodes [0..n-1] with
+    deterministic neighbour order. *)
+
+type t
+
+val make : string -> int -> (int -> int list) -> t
+(** [make name n neighbours]; raises [Invalid_argument] on [n <= 0]. *)
+
+val ring_unidirectional : int -> t
+(** Each node's single neighbour is clockwise (LCR's model). *)
+
+val ring : int -> t
+(** Bidirectional ring: neighbours [cw; ccw] (HS's model). *)
+
+val complete : int -> t
+val star : int -> t
+(** Node 0 is the hub. *)
+
+val line : int -> t
+val grid : int -> int -> t
+val binary_tree : int -> t
+(** Balanced binary tree rooted at 0; children and parent as
+    neighbours. *)
+
+val random : seed:int -> p:float -> int -> t
+(** Seeded Erdős–Rényi-style undirected graph, forced connected by an
+    overlaid line. *)
+
+val num_nodes : t -> int
+val neighbors : t -> int -> int list
+val degree : t -> int -> int
+val num_edges : t -> int
+(** Directed edge count (each undirected edge counts twice). *)
+
+val diameter : t -> int
+(** Hop diameter via all-sources BFS; 0 for a single node. *)

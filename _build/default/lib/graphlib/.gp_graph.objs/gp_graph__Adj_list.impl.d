@@ -1,0 +1,1 @@
+lib/graphlib/adj_list.ml: Array Fmt List Seq Sigs

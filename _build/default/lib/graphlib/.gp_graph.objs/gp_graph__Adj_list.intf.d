@@ -1,0 +1,1 @@
+lib/graphlib/adj_list.mli: Format Seq Sigs

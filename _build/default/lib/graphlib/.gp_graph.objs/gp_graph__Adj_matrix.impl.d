@@ -1,0 +1,1 @@
+lib/graphlib/adj_matrix.ml: Array List Option Seq Sigs

@@ -1,0 +1,1 @@
+lib/graphlib/adj_matrix.mli: Seq Sigs

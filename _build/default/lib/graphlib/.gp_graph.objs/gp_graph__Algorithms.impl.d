@@ -1,0 +1,1 @@
+lib/graphlib/algorithms.ml: Array Heap List Option Queue Seq Sigs

@@ -1,0 +1,1 @@
+lib/graphlib/algorithms.mli: Sigs

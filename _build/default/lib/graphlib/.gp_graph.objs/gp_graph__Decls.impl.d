@@ -1,0 +1,1 @@
+lib/graphlib/decls.ml: Adj_list Adj_matrix Algorithms Complexity Concept Ctype Gp_concepts List Overload Registry

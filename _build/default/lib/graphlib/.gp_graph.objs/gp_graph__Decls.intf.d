@@ -1,0 +1,1 @@
+lib/graphlib/decls.mli: Adj_list Adj_matrix Gp_concepts

@@ -1,0 +1,1 @@
+lib/graphlib/property_map.ml: Array Hashtbl Heap Seq Sigs

@@ -1,0 +1,1 @@
+lib/graphlib/taxonomy_bgl.ml: Complexity Gp_concepts List Taxonomy

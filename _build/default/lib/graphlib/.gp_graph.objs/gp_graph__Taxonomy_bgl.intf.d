@@ -1,0 +1,1 @@
+lib/graphlib/taxonomy_bgl.mli: Gp_concepts

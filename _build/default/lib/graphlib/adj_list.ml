@@ -1,0 +1,96 @@
+(* Adjacency-list graph: vertices are dense integer ids; each vertex holds
+   its out-edge list. Models IncidenceGraph / VertexListGraph /
+   WeightedGraph. Out-edge enumeration is O(out_degree); edge lookup is
+   O(out_degree) — contrast with {!Adj_matrix}. *)
+
+type edge = { src : int; dst : int; w : float }
+
+type t = {
+  mutable adj : edge list array; (* index = vertex id; lists reversed *)
+  mutable n : int;
+  mutable m : int; (* edge count *)
+}
+
+let create ?(n = 0) () =
+  { adj = Array.make (max n 1) []; n; m = 0 }
+
+let num_vertices t = t.n
+let num_edges t = t.m
+
+let add_vertex t =
+  if t.n = Array.length t.adj then begin
+    let fresh = Array.make (2 * t.n) [] in
+    Array.blit t.adj 0 fresh 0 t.n;
+    t.adj <- fresh
+  end;
+  let v = t.n in
+  t.n <- t.n + 1;
+  v
+
+let check_vertex t v =
+  if v < 0 || v >= t.n then invalid_arg "Adj_list: vertex out of range"
+
+let add_edge ?(w = 1.0) t u v =
+  check_vertex t u;
+  check_vertex t v;
+  let e = { src = u; dst = v; w } in
+  t.adj.(u) <- e :: t.adj.(u);
+  t.m <- t.m + 1;
+  e
+
+let add_undirected_edge ?(w = 1.0) t u v =
+  let e = add_edge ~w t u v in
+  let _ = add_edge ~w t v u in
+  e
+
+let source e = e.src
+let target e = e.dst
+let weight _ e = e.w
+
+let out_edges t v =
+  check_vertex t v;
+  List.to_seq (List.rev t.adj.(v))
+
+let out_degree t v =
+  check_vertex t v;
+  List.length t.adj.(v)
+
+let vertices t = Seq.init t.n (fun i -> i)
+let vertex_index _ v = v
+
+(* O(out_degree) edge lookup — what an adjacency list can do. *)
+let edge t u v =
+  check_vertex t u;
+  check_vertex t v;
+  List.find_opt (fun e -> e.dst = v) t.adj.(u)
+
+let of_edges ~n edges =
+  let t = create ~n () in
+  List.iter (fun (u, v, w) -> ignore (add_edge ~w t u v)) edges;
+  t
+
+(* The module-type view, for the functorised algorithms. *)
+module G : Sigs.WEIGHTED_GRAPH with type t = t and type vertex = int
+                                 and type edge = edge = struct
+  type nonrec t = t
+  type vertex = int
+  type nonrec edge = edge
+
+  let out_edges = out_edges
+  let out_degree = out_degree
+  let source = source
+  let target = target
+  let vertices = vertices
+  let num_vertices = num_vertices
+  let vertex_index = vertex_index
+  let weight = weight
+end
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>graph (%d vertices, %d edges)@,%a@]" t.n t.m
+    Fmt.(
+      list ~sep:cut (fun ppf v ->
+          pf ppf "%d -> %a" v
+            (list ~sep:(any " ") (fun ppf e -> pf ppf "%d" e.dst))
+            (List.rev t.adj.(v))))
+    (List.init t.n (fun i -> i))

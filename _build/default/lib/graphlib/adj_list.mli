@@ -1,0 +1,37 @@
+(** Adjacency-list graph: dense integer vertex ids, per-vertex out-edge
+    lists. Models IncidenceGraph / VertexListGraph / WeightedGraph;
+    out-edge enumeration is O(out_degree) and edge lookup is
+    O(out_degree) — contrast {!Adj_matrix}. *)
+
+type edge
+
+type t
+
+val create : ?n:int -> unit -> t
+val num_vertices : t -> int
+val num_edges : t -> int
+val add_vertex : t -> int
+
+val add_edge : ?w:float -> t -> int -> int -> edge
+(** Raises [Invalid_argument] on out-of-range vertices. *)
+
+val add_undirected_edge : ?w:float -> t -> int -> int -> edge
+val of_edges : n:int -> (int * int * float) list -> t
+
+val source : edge -> int
+val target : edge -> int
+val weight : t -> edge -> float
+
+val out_edges : t -> int -> edge Seq.t
+val out_degree : t -> int -> int
+val vertices : t -> int Seq.t
+val vertex_index : t -> int -> int
+
+val edge : t -> int -> int -> edge option
+(** O(out_degree) scan. *)
+
+(** The module-type view for the functorised algorithms. *)
+module G :
+  Sigs.WEIGHTED_GRAPH with type t = t and type vertex = int and type edge = edge
+
+val pp : Format.formatter -> t -> unit

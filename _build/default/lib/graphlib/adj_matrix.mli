@@ -1,0 +1,33 @@
+(** Adjacency-matrix graph over a fixed vertex count: O(1) edge lookup,
+    O(n) out-edge enumeration. Models AdjacencyMatrix (hence
+    IncidenceGraph); its O(1) [edge] is what the dispatched lookup
+    selects. *)
+
+type edge
+
+type t
+
+val create : int -> t
+val num_vertices : t -> int
+
+val num_edges : t -> int
+(** Parallel edges collapse (a matrix cell holds one edge). *)
+
+val add_edge : ?w:float -> t -> int -> int -> edge
+val add_undirected_edge : ?w:float -> t -> int -> int -> edge
+val of_edges : n:int -> (int * int * float) list -> t
+
+val source : edge -> int
+val target : edge -> int
+val weight : t -> edge -> float
+
+val edge : t -> int -> int -> edge option
+(** O(1) — the AdjacencyMatrix refinement's defining capability. *)
+
+val out_edges : t -> int -> edge Seq.t
+val out_degree : t -> int -> int
+val vertices : t -> int Seq.t
+val vertex_index : t -> int -> int
+
+module G :
+  Sigs.ADJACENCY_MATRIX with type t = t and type vertex = int and type edge = edge

@@ -1,0 +1,249 @@
+(* Generic graph algorithms as functors over the graph module types —
+   everything written against the concepts of Figs. 1–2, never against a
+   concrete representation, so each algorithm works unchanged on
+   {!Adj_list} and {!Adj_matrix}. *)
+
+module Bfs (G : Sigs.VERTEX_LIST_GRAPH) = struct
+  (* Breadth-first search from [source]; returns (dist, parent) property
+     maps indexed by vertex_index; unreachable = max_int / none. *)
+  let run g source =
+    let n = G.num_vertices g in
+    let dist = Array.make n max_int in
+    let parent = Array.make n None in
+    let q = Queue.create () in
+    let si = G.vertex_index g source in
+    dist.(si) <- 0;
+    Queue.add source q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      let ui = G.vertex_index g u in
+      Seq.iter
+        (fun e ->
+          let v = G.target e in
+          let vi = G.vertex_index g v in
+          if dist.(vi) = max_int then begin
+            dist.(vi) <- dist.(ui) + 1;
+            parent.(vi) <- Some u;
+            Queue.add v q
+          end)
+        (G.out_edges g u)
+    done;
+    (dist, parent)
+end
+
+module Dfs (G : Sigs.VERTEX_LIST_GRAPH) = struct
+  type color = White | Gray | Black
+
+  (* Full DFS forest; returns discovery/finish times and a cycle flag
+     (back edge seen). Iterative to survive deep graphs. *)
+  let run g =
+    let n = G.num_vertices g in
+    let color = Array.make n White in
+    let discover = Array.make n (-1) in
+    let finish = Array.make n (-1) in
+    let has_cycle = ref false in
+    let time = ref 0 in
+    let tick () = incr time; !time in
+    let visit root =
+      let stack = ref [ (root, G.out_edges g root) ] in
+      color.(G.vertex_index g root) <- Gray;
+      discover.(G.vertex_index g root) <- tick ();
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (u, edges) :: rest -> (
+          match edges () with
+          | Seq.Nil ->
+            color.(G.vertex_index g u) <- Black;
+            finish.(G.vertex_index g u) <- tick ();
+            stack := rest
+          | Seq.Cons (e, tl) ->
+            stack := (u, tl) :: rest;
+            let v = G.target e in
+            let vi = G.vertex_index g v in
+            (match color.(vi) with
+            | White ->
+              color.(vi) <- Gray;
+              discover.(vi) <- tick ();
+              stack := (v, G.out_edges g v) :: !stack
+            | Gray -> has_cycle := true
+            | Black -> ()))
+      done
+    in
+    Seq.iter
+      (fun v -> if color.(G.vertex_index g v) = White then visit v)
+      (G.vertices g);
+    (discover, finish, !has_cycle)
+end
+
+module Topological_sort (G : Sigs.VERTEX_LIST_GRAPH) = struct
+  exception Cycle
+
+  (* Kahn's algorithm; raises [Cycle] on cyclic input. *)
+  let run g =
+    let n = G.num_vertices g in
+    let indeg = Array.make n 0 in
+    Seq.iter
+      (fun u ->
+        Seq.iter
+          (fun e -> let vi = G.vertex_index g (G.target e) in
+                    indeg.(vi) <- indeg.(vi) + 1)
+          (G.out_edges g u))
+      (G.vertices g);
+    let q = Queue.create () in
+    Seq.iter
+      (fun v -> if indeg.(G.vertex_index g v) = 0 then Queue.add v q)
+      (G.vertices g);
+    let order = ref [] in
+    let count = ref 0 in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      order := u :: !order;
+      incr count;
+      Seq.iter
+        (fun e ->
+          let v = G.target e in
+          let vi = G.vertex_index g v in
+          indeg.(vi) <- indeg.(vi) - 1;
+          if indeg.(vi) = 0 then Queue.add v q)
+        (G.out_edges g u)
+    done;
+    if !count <> n then raise Cycle;
+    List.rev !order
+end
+
+module Dijkstra (G : Sigs.WEIGHTED_GRAPH) = struct
+  (* Single-source shortest paths with a binary heap: O((n + m) log n).
+     Negative edge weights are rejected. *)
+  let run g source =
+    let n = G.num_vertices g in
+    let dist = Array.make n infinity in
+    let parent = Array.make n None in
+    let heap = Heap.create ~max_id:n in
+    let si = G.vertex_index g source in
+    dist.(si) <- 0.0;
+    Heap.push heap ~id:si ~key:0.0;
+    let vertex_of = Array.make n source in
+    Seq.iter (fun v -> vertex_of.(G.vertex_index g v) <- v) (G.vertices g);
+    while not (Heap.is_empty heap) do
+      let ui, du = Heap.pop_min heap in
+      let u = vertex_of.(ui) in
+      Seq.iter
+        (fun e ->
+          let w = G.weight g e in
+          if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+          let v = G.target e in
+          let vi = G.vertex_index g v in
+          let alt = du +. w in
+          if alt < dist.(vi) then begin
+            dist.(vi) <- alt;
+            parent.(vi) <- Some u;
+            if Heap.mem heap vi then Heap.decrease_key heap ~id:vi ~key:alt
+            else Heap.push heap ~id:vi ~key:alt
+          end)
+        (G.out_edges g u)
+    done;
+    (dist, parent)
+
+  let path g ~source ~dest =
+    let _, parent = run g source in
+    let rec build acc v =
+      if G.vertex_index g v = G.vertex_index g source then v :: acc
+      else
+        match parent.(G.vertex_index g v) with
+        | Some p -> build (v :: acc) p
+        | None -> []
+    in
+    build [] dest
+end
+
+module Bellman_ford (G : Sigs.WEIGHTED_GRAPH) = struct
+  (* Single-source shortest paths tolerating negative edge weights:
+     O(n * m) relaxation rounds. Returns [Error `Negative_cycle] when a
+     cycle with negative total weight is reachable — the case Dijkstra's
+     precondition excludes. The taxonomy records the trade-off: Dijkstra
+     O((n+m) log n) for non-negative weights, Bellman-Ford O(nm) for
+     arbitrary ones. *)
+  let run g source =
+    let n = G.num_vertices g in
+    let dist = Array.make n infinity in
+    let parent = Array.make n None in
+    dist.(G.vertex_index g source) <- 0.0;
+    let relax_all () =
+      let changed = ref false in
+      Seq.iter
+        (fun u ->
+          let ui = G.vertex_index g u in
+          if dist.(ui) < infinity then
+            Seq.iter
+              (fun e ->
+                let v = G.target e in
+                let vi = G.vertex_index g v in
+                let alt = dist.(ui) +. G.weight g e in
+                if alt < dist.(vi) then begin
+                  dist.(vi) <- alt;
+                  parent.(vi) <- Some u;
+                  changed := true
+                end)
+              (G.out_edges g u))
+        (G.vertices g);
+      !changed
+    in
+    let rec rounds k =
+      if k = 0 then false (* converged within n-1 rounds: no neg cycle *)
+      else if relax_all () then rounds (k - 1)
+      else false
+    in
+    ignore (rounds (n - 1));
+    (* one more round: any further improvement implies a negative cycle *)
+    if relax_all () then Error `Negative_cycle else Ok (dist, parent)
+end
+
+module Connected_components (G : Sigs.VERTEX_LIST_GRAPH) = struct
+  (* Components of the *underlying undirected* reachability only if the
+     graph stores both edge directions; otherwise weakly directed forward
+     reachability components. *)
+  let run g =
+    let n = G.num_vertices g in
+    let comp = Array.make n (-1) in
+    let next = ref 0 in
+    Seq.iter
+      (fun v ->
+        let vi = G.vertex_index g v in
+        if comp.(vi) = -1 then begin
+          let c = !next in
+          incr next;
+          let q = Queue.create () in
+          comp.(vi) <- c;
+          Queue.add v q;
+          while not (Queue.is_empty q) do
+            let u = Queue.pop q in
+            Seq.iter
+              (fun e ->
+                let wv = G.target e in
+                let wi = G.vertex_index g wv in
+                if comp.(wi) = -1 then begin
+                  comp.(wi) <- c;
+                  Queue.add wv q
+                end)
+              (G.out_edges g u)
+          done
+        end)
+      (G.vertices g);
+    (comp, !next)
+end
+
+(* Concept-dispatched edge lookup: the generic [has_edge] uses the O(1)
+   matrix capability when the graph models AdjacencyMatrix, and falls back
+   to scanning out-edges otherwise. Reified here as two functors; the
+   dispatch decision is made by the Overload machinery in {!Decls}. *)
+module Edge_lookup_scan (G : Sigs.VERTEX_LIST_GRAPH) = struct
+  let has_edge g u v =
+    Seq.exists
+      (fun e -> G.vertex_index g (G.target e) = G.vertex_index g v)
+      (G.out_edges g u)
+end
+
+module Edge_lookup_direct (G : Sigs.ADJACENCY_MATRIX) = struct
+  let has_edge g u v = Option.is_some (G.edge g u v)
+end

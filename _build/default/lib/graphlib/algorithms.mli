@@ -1,0 +1,59 @@
+(** Generic graph algorithms as functors over the Fig. 1/2 module types:
+    written against the concepts, never a concrete representation, so
+    each works unchanged on {!Adj_list} and {!Adj_matrix}. *)
+
+module Bfs (G : Sigs.VERTEX_LIST_GRAPH) : sig
+  val run : G.t -> G.vertex -> int array * G.vertex option array
+  (** (hop distances, parents), indexed by [vertex_index]; unreachable =
+      [max_int] / [None]. *)
+end
+
+module Dfs (G : Sigs.VERTEX_LIST_GRAPH) : sig
+  type color = White | Gray | Black
+
+  val run : G.t -> int array * int array * bool
+  (** (discovery times, finish times, back-edge seen). Iterative, so deep
+      graphs are fine. *)
+end
+
+module Topological_sort (G : Sigs.VERTEX_LIST_GRAPH) : sig
+  exception Cycle
+
+  val run : G.t -> G.vertex list
+  (** Kahn's algorithm; raises {!Cycle} on cyclic input. *)
+end
+
+module Dijkstra (G : Sigs.WEIGHTED_GRAPH) : sig
+  val run : G.t -> G.vertex -> float array * G.vertex option array
+  (** O((n+m) log n) with a binary heap. Raises [Invalid_argument] on a
+      negative edge weight (use {!Bellman_ford} for those). *)
+
+  val path : G.t -> source:G.vertex -> dest:G.vertex -> G.vertex list
+  (** Empty when unreachable. *)
+end
+
+module Bellman_ford (G : Sigs.WEIGHTED_GRAPH) : sig
+  val run :
+    G.t ->
+    G.vertex ->
+    (float array * G.vertex option array, [ `Negative_cycle ]) result
+  (** O(nm); tolerates negative weights, detects reachable negative
+      cycles. *)
+end
+
+module Connected_components (G : Sigs.VERTEX_LIST_GRAPH) : sig
+  val run : G.t -> int array * int
+  (** (component id per vertex, component count) over forward
+      reachability; symmetric graphs give true connected components. *)
+end
+
+(** Edge-lookup implementations behind the dispatched [has_edge]: the
+    O(out_degree) scan any incidence graph supports, and the O(1) probe
+    an adjacency matrix adds. *)
+module Edge_lookup_scan (G : Sigs.VERTEX_LIST_GRAPH) : sig
+  val has_edge : G.t -> G.vertex -> G.vertex -> bool
+end
+
+module Edge_lookup_direct (G : Sigs.ADJACENCY_MATRIX) : sig
+  val has_edge : G.t -> G.vertex -> G.vertex -> bool
+end

@@ -1,0 +1,78 @@
+(* Binary min-heap with decrease-key via position tracking — the priority
+   queue substrate for Dijkstra. Keys are floats; payloads are dense
+   integer ids (vertex indices), so positions are tracked in a flat array. *)
+
+type t = {
+  mutable keys : float array; (* heap-ordered *)
+  mutable ids : int array; (* payload at each heap slot *)
+  mutable pos : int array; (* id -> heap slot, or -1 *)
+  mutable size : int;
+}
+
+let create ~max_id =
+  {
+    keys = Array.make (max 1 max_id) infinity;
+    ids = Array.make (max 1 max_id) (-1);
+    pos = Array.make (max 1 max_id) (-1);
+    size = 0;
+  }
+
+let is_empty h = h.size = 0
+let mem h id = id < Array.length h.pos && h.pos.(id) >= 0
+
+let swap h i j =
+  let ki = h.keys.(i) and ii = h.ids.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.ids.(i) <- h.ids.(j);
+  h.keys.(j) <- ki;
+  h.ids.(j) <- ii;
+  h.pos.(h.ids.(i)) <- i;
+  h.pos.(h.ids.(j)) <- j
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(i) < h.keys.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+  if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h ~id ~key =
+  if mem h id then invalid_arg "Heap.push: id already present";
+  let i = h.size in
+  h.keys.(i) <- key;
+  h.ids.(i) <- id;
+  h.pos.(id) <- i;
+  h.size <- h.size + 1;
+  sift_up h i
+
+let pop_min h =
+  if h.size = 0 then invalid_arg "Heap.pop_min: empty";
+  let id = h.ids.(0) and key = h.keys.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.keys.(0) <- h.keys.(h.size);
+    h.ids.(0) <- h.ids.(h.size);
+    h.pos.(h.ids.(0)) <- 0;
+    sift_down h 0
+  end;
+  h.pos.(id) <- -1;
+  (id, key)
+
+let decrease_key h ~id ~key =
+  let i = h.pos.(id) in
+  if i < 0 then invalid_arg "Heap.decrease_key: id not present";
+  if key > h.keys.(i) then invalid_arg "Heap.decrease_key: key increased";
+  h.keys.(i) <- key;
+  sift_up h i

@@ -1,0 +1,17 @@
+(** Binary min-heap with decrease-key via dense-id position tracking —
+    the priority-queue substrate for Dijkstra. *)
+
+type t
+
+val create : max_id:int -> t
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+val push : t -> id:int -> key:float -> unit
+(** Raises [Invalid_argument] if [id] is already present. *)
+
+val pop_min : t -> int * float
+(** Raises [Invalid_argument] on an empty heap. *)
+
+val decrease_key : t -> id:int -> key:float -> unit
+(** Raises [Invalid_argument] if [id] is absent or the key increased. *)

@@ -1,0 +1,92 @@
+(* External property maps — the BGL pattern the paper's group pioneered:
+   algorithms never store per-vertex/per-edge data inside the graph;
+   they go through a property-map concept, so the same algorithm works
+   with array-backed maps (dense integer vertices), hash-backed maps
+   (sparse keys), or constant maps (uniform weights). *)
+
+(* The ReadWritePropertyMap concept as a first-class record. *)
+type ('k, 'v) t = {
+  pm_get : 'k -> 'v;
+  pm_set : 'k -> 'v -> unit;
+  pm_name : string;
+}
+
+let get m k = m.pm_get k
+let set m k v = m.pm_set k v
+
+(* Array-backed: O(1) access for dense integer keys via an index map. *)
+let array_backed ~name ~size ~index ~default =
+  let data = Array.make size default in
+  {
+    pm_get = (fun k -> data.(index k));
+    pm_set = (fun k v -> data.(index k) <- v);
+    pm_name = name;
+  }
+
+(* Hash-backed: sparse or non-integer keys. *)
+let hash_backed (type k) ~name ~default () =
+  let tbl : (k, 'v) Hashtbl.t = Hashtbl.create 16 in
+  {
+    pm_get = (fun k -> match Hashtbl.find_opt tbl k with Some v -> v | None -> default);
+    pm_set = (fun k v -> Hashtbl.replace tbl k v);
+    pm_name = name;
+  }
+
+(* Read-only constant map: e.g. unit edge weights. Writing raises. *)
+let constant ~name v =
+  {
+    pm_get = (fun _ -> v);
+    pm_set = (fun _ _ -> invalid_arg (name ^ ": constant property map is read-only"));
+    pm_name = name;
+  }
+
+(* A function-backed read-only map. *)
+let of_function ~name f =
+  {
+    pm_get = f;
+    pm_set = (fun _ _ -> invalid_arg (name ^ ": derived property map is read-only"));
+    pm_name = name;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* A property-map-parameterised algorithm: Dijkstra whose distance,     *)
+(* parent and weight stores are all external maps.                      *)
+(* ------------------------------------------------------------------ *)
+
+module Dijkstra_pm (G : Sigs.VERTEX_LIST_GRAPH) = struct
+  (* [run g source ~weight ~dist ~parent] relaxes into the caller's maps:
+     the caller chooses the storage (array, hash, whatever models the
+     property-map concept). [weight] is read-only per edge. *)
+  let run g source ~(weight : (G.edge, float) t)
+      ~(dist : (G.vertex, float) t)
+      ~(parent : (G.vertex, G.vertex option) t) =
+    let n = G.num_vertices g in
+    let heap = Heap.create ~max_id:n in
+    let vertex_of = Array.make n source in
+    Seq.iter
+      (fun v ->
+        vertex_of.(G.vertex_index g v) <- v;
+        set dist v infinity;
+        set parent v None)
+      (G.vertices g);
+    set dist source 0.0;
+    Heap.push heap ~id:(G.vertex_index g source) ~key:0.0;
+    while not (Heap.is_empty heap) do
+      let ui, du = Heap.pop_min heap in
+      let u = vertex_of.(ui) in
+      Seq.iter
+        (fun e ->
+          let w = get weight e in
+          if w < 0.0 then invalid_arg "Dijkstra_pm: negative edge weight";
+          let v = G.target e in
+          let vi = G.vertex_index g v in
+          let alt = du +. w in
+          if alt < get dist v then begin
+            set dist v alt;
+            set parent v (Some u);
+            if Heap.mem heap vi then Heap.decrease_key heap ~id:vi ~key:alt
+            else Heap.push heap ~id:vi ~key:alt
+          end)
+        (G.out_edges g u)
+    done
+end

@@ -1,0 +1,37 @@
+(** External property maps — the BGL pattern: algorithms read and write
+    per-vertex/per-edge data through a property-map concept instead of
+    storing it in the graph, so one algorithm works with array-backed,
+    hash-backed, constant or derived storage. *)
+
+type ('k, 'v) t = {
+  pm_get : 'k -> 'v;
+  pm_set : 'k -> 'v -> unit;
+  pm_name : string;
+}
+
+val get : ('k, 'v) t -> 'k -> 'v
+val set : ('k, 'v) t -> 'k -> 'v -> unit
+
+val array_backed :
+  name:string -> size:int -> index:('k -> int) -> default:'v -> ('k, 'v) t
+(** O(1) access for dense keys via an index map. *)
+
+val hash_backed : name:string -> default:'v -> unit -> ('k, 'v) t
+
+val constant : name:string -> 'v -> ('k, 'v) t
+(** Read-only uniform value (e.g. unit edge weights); writing raises. *)
+
+val of_function : name:string -> ('k -> 'v) -> ('k, 'v) t
+(** Read-only derived map; writing raises. *)
+
+(** Dijkstra parameterised by property maps: the caller supplies weight
+    (read-only), distance and parent stores. *)
+module Dijkstra_pm (G : Sigs.VERTEX_LIST_GRAPH) : sig
+  val run :
+    G.t ->
+    G.vertex ->
+    weight:(G.edge, float) t ->
+    dist:(G.vertex, float) t ->
+    parent:(G.vertex, G.vertex option) t ->
+    unit
+end

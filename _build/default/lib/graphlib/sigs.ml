@@ -1,0 +1,74 @@
+(* Graph concepts as OCaml module types — the compile-time face of the
+   paper's Figs. 1 and 2.
+
+   Fig. 1 (Graph Edge): an edge type with an associated vertex type and
+   source/target operations. Fig. 2 (Incidence Graph): a graph type with
+   associated vertex, edge and out-edge-iterator types, where the edge type
+   models Graph Edge and the iterator's value type equals the edge type.
+
+   In OCaml the associated types become abstract types in the signature and
+   the same-type constraints become sharing constraints — which is exactly
+   the ML-signature encoding the paper discusses in Section 2.1. The
+   runtime-concept mirror lives in {!Decls}. *)
+
+(** Fig. 1: the Graph Edge concept. *)
+module type GRAPH_EDGE = sig
+  type edge
+  type vertex (* the associated vertex type *)
+
+  val source : edge -> vertex
+  val target : edge -> vertex
+end
+
+(** Fig. 2: the Incidence Graph concept. The same-type constraint
+    "out_edge_iterator::value_type == edge_type" is realised by [out_edges]
+    yielding values of type [edge]. *)
+module type INCIDENCE_GRAPH = sig
+  type t
+  type vertex
+  type edge
+
+  (** The out-edge iterator is exposed as a [Seq.t] — OCaml's idiom for a
+      forward-iterable range. *)
+  val out_edges : t -> vertex -> edge Seq.t
+
+  val out_degree : t -> vertex -> int
+
+  include GRAPH_EDGE with type edge := edge and type vertex := vertex
+end
+
+(** Incidence graph whose vertex set is enumerable, with an index map for
+    array-based property maps (the BGL pattern). *)
+module type VERTEX_LIST_GRAPH = sig
+  include INCIDENCE_GRAPH
+
+  val vertices : t -> vertex Seq.t
+  val num_vertices : t -> int
+  val vertex_index : t -> vertex -> int
+end
+
+(** Direct O(1) edge lookup — what an adjacency matrix adds. *)
+module type ADJACENCY_MATRIX = sig
+  include VERTEX_LIST_GRAPH
+
+  val edge : t -> vertex -> vertex -> edge option
+end
+
+(** Edge weights, for shortest-path algorithms. *)
+module type WEIGHTED_GRAPH = sig
+  include VERTEX_LIST_GRAPH
+
+  val weight : t -> edge -> float
+end
+
+(** First neighbor of a vertex — the Section 2.3 running example. Thanks to
+    the signature encapsulating the associated types and their constraints,
+    this generic algorithm states exactly ONE constraint (G models
+    IncidenceGraph + vertex enumeration), not the expanded closure the
+    paper shows for languages without constraint propagation. *)
+module First_neighbor (G : INCIDENCE_GRAPH) = struct
+  let first_neighbor g v =
+    match G.out_edges g v () with
+    | Seq.Nil -> None
+    | Seq.Cons (e, _) -> Some (G.target e)
+end

@@ -1,0 +1,59 @@
+(* The graph algorithm concept taxonomy for the BGL domain
+   (paper Section 1: "graph algorithms from BGL").
+
+   Classifies traversals and shortest-path algorithms by problem, the
+   graph concept they require, and edge-weight assumptions, with costs
+   over n (vertices) and m (edges). *)
+
+open Gp_concepts
+
+let build () =
+  let t = Taxonomy.create "BGL graph algorithms" in
+  Taxonomy.add_node t "graph-algorithm" ~attributes:[];
+  List.iter
+    (fun p ->
+      Taxonomy.add_node t p ~parents:[ "graph-algorithm" ]
+        ~attributes:[ ("problem", p) ])
+    [ "traversal"; "shortest-paths"; "ordering"; "connectivity" ];
+  Taxonomy.add_node t "sp-unweighted" ~parents:[ "shortest-paths" ]
+    ~attributes:
+      [ ("weights", "unit"); ("graph-concept", "VertexListGraph") ];
+  Taxonomy.add_node t "sp-nonnegative" ~parents:[ "shortest-paths" ]
+    ~attributes:
+      [ ("weights", "non-negative"); ("graph-concept", "WeightedGraph") ];
+  Taxonomy.add_node t "sp-arbitrary" ~parents:[ "shortest-paths" ]
+    ~attributes:
+      [ ("weights", "arbitrary"); ("graph-concept", "WeightedGraph") ];
+  Taxonomy.add_node t "traversal-any" ~parents:[ "traversal" ]
+    ~attributes:[ ("graph-concept", "VertexListGraph") ];
+  Taxonomy.add_node t "ordering-dag" ~parents:[ "ordering" ]
+    ~attributes:[ ("graph-concept", "VertexListGraph"); ("input", "dag") ];
+  Taxonomy.add_node t "connectivity-any" ~parents:[ "connectivity" ]
+    ~attributes:[ ("graph-concept", "VertexListGraph") ];
+  let n = Complexity.linear "n" and m = Complexity.linear "m" in
+  let n_plus_m = Complexity.add (Complexity.linear "n") (Complexity.linear "m") in
+  Taxonomy.add_entry t ~name:"BFS" ~node:"sp-unweighted"
+    ~costs:[ ("time", n_plus_m); ("space", n) ];
+  Taxonomy.add_entry t ~name:"Dijkstra (binary heap)" ~node:"sp-nonnegative"
+    ~costs:
+      [ ( "time",
+          Complexity.mul n_plus_m (Complexity.log_ "n") );
+        ("space", n) ];
+  Taxonomy.add_entry t ~name:"Bellman-Ford" ~node:"sp-arbitrary"
+    ~costs:[ ("time", Complexity.mul n m); ("space", n) ]
+    ~doc:"tolerates negative weights; detects negative cycles";
+  Taxonomy.add_entry t ~name:"DFS" ~node:"traversal-any"
+    ~costs:[ ("time", n_plus_m); ("space", n) ];
+  Taxonomy.add_entry t ~name:"topological sort (Kahn)" ~node:"ordering-dag"
+    ~costs:[ ("time", n_plus_m) ];
+  Taxonomy.add_entry t ~name:"connected components (BFS)"
+    ~node:"connectivity-any"
+    ~costs:[ ("time", n_plus_m) ];
+  t
+
+(* "Which shortest-path algorithm for these weights?" — the query a
+   generic library's dispatcher asks. *)
+let best_shortest_paths t ~weights =
+  Taxonomy.pick t
+    ~requirements:[ ("problem", "shortest-paths"); ("weights", weights) ]
+    ~measure:"time"

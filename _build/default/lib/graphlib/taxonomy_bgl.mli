@@ -1,0 +1,10 @@
+(** The graph algorithm concept taxonomy for the BGL domain (paper
+    Section 1): traversals, orderings and shortest-path algorithms
+    classified by required graph concept and weight assumptions. *)
+
+val build : unit -> Gp_concepts.Taxonomy.t
+
+val best_shortest_paths :
+  Gp_concepts.Taxonomy.t -> weights:string -> Gp_concepts.Taxonomy.entry list
+(** ["unit"] -> BFS; ["non-negative"] -> Dijkstra; ["arbitrary"] ->
+    Bellman-Ford. *)

@@ -1,0 +1,1 @@
+lib/linalg/complexf.ml: Float Fmt Gp_algebra

@@ -1,0 +1,1 @@
+lib/linalg/complexf.mli: Format Gp_algebra

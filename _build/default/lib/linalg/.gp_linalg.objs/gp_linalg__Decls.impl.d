@@ -1,0 +1,1 @@
+lib/linalg/decls.ml: Concept Ctype Gp_algebra Gp_concepts List Registry

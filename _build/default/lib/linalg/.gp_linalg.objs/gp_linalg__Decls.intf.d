@@ -1,0 +1,1 @@
+lib/linalg/decls.mli: Gp_concepts

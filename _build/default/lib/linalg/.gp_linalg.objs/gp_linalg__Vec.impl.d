@@ -1,0 +1,1 @@
+lib/linalg/vec.ml: Array Complexf Fmt Gp_algebra

@@ -1,0 +1,1 @@
+lib/linalg/vec.mli: Complexf Format Gp_algebra

@@ -1,0 +1,58 @@
+(* Complex numbers for the mixed-precision experiments.
+
+   The paper's CLACRM example multiplies a *single-precision complex* matrix
+   by a *single-precision real* matrix (Section 2.4). OCaml has no native
+   32-bit float arithmetic, so the reproduction uses doubles throughout; the
+   complex-times-real vs promote-to-complex operation-count difference —
+   the thing the example is about — is unchanged (2 multiplications versus
+   4 multiplications + 2 additions per element product). *)
+
+type t = { re : float; im : float }
+
+let make re im = { re; im }
+let zero = { re = 0.0; im = 0.0 }
+let one = { re = 1.0; im = 0.0 }
+let i = { re = 0.0; im = 1.0 }
+let re t = t.re
+let im t = t.im
+let of_float x = { re = x; im = 0.0 }
+let conj t = { t with im = -.t.im }
+let add a b = { re = a.re +. b.re; im = a.im +. b.im }
+let sub a b = { re = a.re -. b.re; im = a.im -. b.im }
+let neg a = { re = -.a.re; im = -.a.im }
+
+(* Full complex multiply: 4 real multiplications, 2 additions. *)
+let mul a b =
+  { re = (a.re *. b.re) -. (a.im *. b.im);
+    im = (a.re *. b.im) +. (a.im *. b.re) }
+
+(* Mixed complex-by-real multiply: 2 real multiplications — the operation
+   CLACRM exploits and an associated-type formulation of Vector Space would
+   forbid. *)
+let mul_real a s = { re = a.re *. s; im = a.im *. s }
+
+let norm2 a = (a.re *. a.re) +. (a.im *. a.im)
+let abs a = sqrt (norm2 a)
+
+let inv a =
+  let n = norm2 a in
+  if n = 0.0 then raise Division_by_zero;
+  { re = a.re /. n; im = -.(a.im /. n) }
+
+let div a b = mul a (inv b)
+let equal a b = Float.equal a.re b.re && Float.equal a.im b.im
+let close ?(eps = 1e-9) a b = Float.abs (a.re -. b.re) < eps && Float.abs (a.im -. b.im) < eps
+let pp ppf a = Fmt.pf ppf "(%g%+gi)" a.re a.im
+
+module Field : Gp_algebra.Sigs.FIELD with type t = t = struct
+  type nonrec t = t
+
+  let equal = equal
+  let pp = pp
+  let zero = zero
+  let one = one
+  let add = add
+  let neg = neg
+  let mul = mul
+  let inv = inv
+end

@@ -1,0 +1,76 @@
+(* Dense vectors over a field — the V in the Vector Space concept (Fig. 3).
+
+   The functor is parameterised by the element field; the *scalar* type of
+   the vector space is deliberately NOT an associated type of the vector:
+   [scale_by] takes the scalar operation as an argument, so the same complex
+   vector forms a vector space over the complex scalars AND over the real
+   scalars (with the cheaper mixed multiply) — the Section 2.4 point. *)
+
+module Make (F : Gp_algebra.Sigs.FIELD) = struct
+  type t = F.t array
+
+  let create n = Array.make n F.zero
+  let init = Array.init
+  let of_array a = Array.copy a
+  let dim = Array.length
+  let get = Array.get
+  let set = Array.set
+
+  let equal a b = Array.length a = Array.length b && Array.for_all2 F.equal a b
+
+  let check_dims a b =
+    if Array.length a <> Array.length b then
+      invalid_arg "Vec: dimension mismatch"
+
+  let add a b =
+    check_dims a b;
+    Array.map2 F.add a b
+
+  let sub a b =
+    check_dims a b;
+    Array.map2 (fun x y -> F.add x (F.neg y)) a b
+
+  let neg a = Array.map F.neg a
+  let scale s a = Array.map (F.mul s) a
+
+  (* Scalar multiplication with an arbitrary scalar type: the generic
+     mult(v, s) of the Vector Space concept. *)
+  let scale_by (mul_scalar : F.t -> 's -> F.t) (s : 's) a =
+    Array.map (fun x -> mul_scalar x s) a
+
+  let dot a b =
+    check_dims a b;
+    let acc = ref F.zero in
+    for k = 0 to Array.length a - 1 do
+      acc := F.add !acc (F.mul a.(k) b.(k))
+    done;
+    !acc
+
+  (* y <- a*x + y, in place. *)
+  let axpy ~a x y =
+    check_dims x y;
+    for k = 0 to Array.length x - 1 do
+      y.(k) <- F.add y.(k) (F.mul a x.(k))
+    done
+
+  let pp ppf a =
+    Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any "; ") F.pp) a
+end
+
+module Rvec = Make (Gp_algebra.Instances.Float_field)
+module Cvec = Make (Complexf.Field)
+module Qvec = Make (Gp_algebra.Rational.Field)
+
+(* The two vector-space structures on complex vectors, made explicit:
+   over complex scalars (full multiply) and over real scalars (mixed
+   multiply, 2x fewer real multiplications). *)
+let cvec_scale_complex (s : Complexf.t) (v : Cvec.t) = Cvec.scale s v
+
+let cvec_scale_real (s : float) (v : Cvec.t) =
+  Array.map (fun x -> Complexf.mul_real x s) v
+
+(* The promotion-based alternative the paper criticises: convert the real
+   scalar to complex, then full complex multiply. Semantically identical,
+   operationally 2x the multiplications. *)
+let cvec_scale_real_promoted (s : float) (v : Cvec.t) =
+  Cvec.scale (Complexf.of_float s) v

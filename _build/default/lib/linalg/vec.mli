@@ -1,0 +1,52 @@
+(** Dense vectors over a field — the V in the Fig. 3 Vector Space.
+
+    The scalar type is deliberately NOT an associated type of the
+    vector: {!Make.scale_by} takes the scalar multiplication as an
+    argument, so one vector type forms vector spaces over several scalar
+    types (the Section 2.4 point; see {!cvec_scale_real} vs
+    {!cvec_scale_complex}). *)
+
+module Make (F : Gp_algebra.Sigs.FIELD) : sig
+  type t = F.t array
+
+  val create : int -> t
+  (** Zero vector. *)
+
+  val init : int -> (int -> F.t) -> t
+  val of_array : F.t array -> t
+  val dim : t -> int
+  val get : t -> int -> F.t
+  val set : t -> int -> F.t -> unit
+  val equal : t -> t -> bool
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val scale : F.t -> t -> t
+
+  val scale_by : (F.t -> 's -> F.t) -> 's -> t -> t
+  (** Scalar multiplication with an arbitrary scalar type: the generic
+      [mult(v, s)] of the Vector Space concept. *)
+
+  val dot : t -> t -> F.t
+
+  val axpy : a:F.t -> t -> t -> unit
+  (** [axpy ~a x y]: y <- a*x + y in place. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Rvec : module type of Make (Gp_algebra.Instances.Float_field)
+module Cvec : module type of Make (Complexf.Field)
+module Qvec : module type of Make (Gp_algebra.Rational.Field)
+
+(** {2 The two vector-space structures on complex vectors} *)
+
+val cvec_scale_complex : Complexf.t -> Cvec.t -> Cvec.t
+
+val cvec_scale_real : float -> Cvec.t -> Cvec.t
+(** The CLACRM path: 2 real multiplications per element. *)
+
+val cvec_scale_real_promoted : float -> Cvec.t -> Cvec.t
+(** The promotion baseline: 4 multiplications + 2 additions per
+    element; semantically identical to {!cvec_scale_real}. *)

@@ -1,0 +1,1 @@
+lib/sequence/algorithms.ml: Float Iter List

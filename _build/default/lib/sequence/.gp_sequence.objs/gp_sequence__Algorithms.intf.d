@@ -1,0 +1,1 @@
+lib/sequence/algorithms.mli: Iter

@@ -1,0 +1,1 @@
+lib/sequence/decls.ml: Algorithms Complexity Concept Ctype Gp_concepts Iter List Overload Registry

@@ -1,0 +1,1 @@
+lib/sequence/decls.mli: Gp_concepts Iter

@@ -1,0 +1,1 @@
+lib/sequence/deque.ml: Array Fmt Iter List

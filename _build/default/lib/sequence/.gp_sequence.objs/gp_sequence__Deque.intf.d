@@ -1,0 +1,1 @@
+lib/sequence/deque.mli: Format Iter

@@ -1,0 +1,1 @@
+lib/sequence/dlist.ml: Fmt Iter List

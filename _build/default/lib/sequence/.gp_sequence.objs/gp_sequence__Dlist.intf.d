@@ -1,0 +1,1 @@
+lib/sequence/dlist.mli: Format Iter

@@ -1,0 +1,1 @@
+lib/sequence/iter.mli:

@@ -1,0 +1,1 @@
+lib/sequence/taxonomy_stl.ml: Complexity Gp_concepts List Taxonomy

@@ -1,0 +1,1 @@
+lib/sequence/taxonomy_stl.mli: Gp_concepts

@@ -1,0 +1,1 @@
+lib/sequence/varray.ml: Array Fmt Iter List

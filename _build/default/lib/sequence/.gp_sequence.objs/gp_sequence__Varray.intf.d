@@ -1,0 +1,1 @@
+lib/sequence/varray.mli: Format Iter

@@ -1,0 +1,24 @@
+(** A double-ended queue (growable ring buffer) with checked
+    random-access iterators. Conservatively, any push or pop invalidates
+    outstanding iterators (as a reallocating [std::deque] may). *)
+
+type 'a t
+
+val create : dummy:'a -> unit -> 'a t
+val of_list : dummy:'a -> 'a list -> 'a t
+val to_list : 'a t -> 'a list
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+val push_back : 'a t -> 'a -> unit
+val push_front : 'a t -> 'a -> unit
+val pop_back : 'a t -> unit
+val pop_front : 'a t -> unit
+
+val begin_ : 'a t -> 'a Iter.t
+val end_ : 'a t -> 'a Iter.t
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,137 @@
+(* A doubly-linked list with a sentinel node and checked bidirectional
+   iterators.
+
+   Invalidation semantics mirror std::list: insertion invalidates nothing;
+   erase invalidates only iterators to the erased element (dead nodes are
+   marked, and iterators detect them on use). This difference from
+   {!Varray} is precisely what the iterator-invalidation analysis in
+   gp_stllint keys on. *)
+
+type 'a node = {
+  nid : int;
+  mutable value : 'a option; (* None only for the sentinel *)
+  mutable prev : 'a node;
+  mutable next : 'a node;
+  mutable dead : bool;
+}
+
+type 'a t = { uid : int; sentinel : 'a node; mutable len : int }
+
+let create () =
+  let rec sentinel =
+    { nid = 0; value = None; prev = sentinel; next = sentinel; dead = false }
+  in
+  { uid = Iter.fresh_uid (); sentinel; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let nid_counter = ref 0
+
+let fresh_node v prev next =
+  incr nid_counter;
+  { nid = !nid_counter; value = Some v; prev; next; dead = false }
+
+let link_before t node v =
+  let fresh = fresh_node v node.prev node in
+  node.prev.next <- fresh;
+  node.prev <- fresh;
+  t.len <- t.len + 1;
+  fresh
+
+let push_back t v = ignore (link_before t t.sentinel v)
+let push_front t v = ignore (link_before t t.sentinel.next v)
+
+let of_list xs =
+  let t = create () in
+  List.iter (push_back t) xs;
+  t
+
+let to_list t =
+  let rec go acc node =
+    if node == t.sentinel then List.rev acc
+    else
+      match node.value with
+      | Some v -> go (v :: acc) node.next
+      | None -> go acc node.next
+  in
+  go [] t.sentinel.next
+
+let rec iter_at t node : 'a Iter.t =
+  let check () =
+    if node.dead then
+      raise (Iter.Invalidated "list iterator to an erased element")
+  in
+  {
+    Iter.cat = Iter.Bidirectional;
+    ident = (t.uid, node.nid);
+    get =
+      (fun () ->
+        check ();
+        match node.value with
+        | Some v -> v
+        | None -> raise (Iter.Singular "dereference of past-the-end list iterator"));
+    put =
+      Some
+        (fun v ->
+          check ();
+          match node.value with
+          | Some _ -> node.value <- Some v
+          | None ->
+            raise (Iter.Singular "write through past-the-end list iterator"));
+    step =
+      (fun () ->
+        check ();
+        if node == t.sentinel then
+          raise (Iter.Singular "increment of past-the-end list iterator");
+        iter_at t node.next);
+    back =
+      Some
+        (fun () ->
+          check ();
+          if node.prev == t.sentinel && node == t.sentinel then
+            raise (Iter.Singular "decrement before the beginning of a list");
+          iter_at t node.prev);
+    jump = None;
+    ixget = None;
+    ixset = None;
+  }
+
+let begin_ t = iter_at t t.sentinel.next
+let end_ t = iter_at t t.sentinel
+
+let node_of t (it : 'a Iter.t) =
+  let uid, nid = it.Iter.ident in
+  if uid <> t.uid then invalid_arg "Dlist.node_of: foreign iterator";
+  let rec find node =
+    if node.nid = nid then node
+    else if node.next == t.sentinel then
+      if t.sentinel.nid = nid then t.sentinel
+      else invalid_arg "Dlist.node_of: stale iterator"
+    else find node.next
+  in
+  if t.sentinel.nid = nid then t.sentinel else find t.sentinel.next
+
+(* Erase the element at [it]. Only iterators to this node are invalidated;
+   returns an iterator to the following element. *)
+let erase t it =
+  let node = node_of t it in
+  if node == t.sentinel then invalid_arg "Dlist.erase: past-the-end";
+  node.prev.next <- node.next;
+  node.next.prev <- node.prev;
+  node.dead <- true;
+  t.len <- t.len - 1;
+  iter_at t node.next
+
+(* Insert [v] before [it]; nothing is invalidated. *)
+let insert t it v =
+  let node = node_of t it in
+  let fresh = link_before t node v in
+  iter_at t fresh
+
+let pp pp_elem ppf t =
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") pp_elem) (to_list t)
+
+(* Back- and front-inserting output iterators. *)
+let back_inserter t = Iter.output_to (push_back t)
+let front_inserter t = Iter.output_to (push_front t)

@@ -1,0 +1,254 @@
+(* First-class iterators with STL categories.
+
+   An iterator is an immutable value denoting a position in a sequence;
+   copying one is free and saves the position (the "multipass" capability of
+   Forward and stronger iterators). Category determines which operations are
+   available; calling an unsupported operation raises [Category_violation] —
+   the runtime analogue of a concept-check failure.
+
+   Iterators are *checked*: each captures the owning container's version at
+   creation, and containers bump their version on invalidating mutations.
+   Using an invalidated iterator raises [Invalidated] — the dynamic
+   counterpart of the static invalidation analysis in gp_stllint. *)
+
+type category = Input | Output | Forward | Bidirectional | Random_access
+
+let category_name = function
+  | Input -> "InputIterator"
+  | Output -> "OutputIterator"
+  | Forward -> "ForwardIterator"
+  | Bidirectional -> "BidirectionalIterator"
+  | Random_access -> "RandomAccessIterator"
+
+(* Refinement rank along the input chain; Output is off-chain. *)
+let rank = function
+  | Input -> 0
+  | Forward -> 1
+  | Bidirectional -> 2
+  | Random_access -> 3
+  | Output -> -1
+
+(* [satisfies ~required cat]: does an iterator of category [cat] provide the
+   capabilities of [required]? *)
+let satisfies ~required cat =
+  match required with
+  | Output -> cat = Output || rank cat >= rank Forward
+  | r -> rank cat >= rank r && rank cat >= 0
+
+exception Category_violation of string
+exception Invalidated of string
+exception Singular of string
+exception Multipass_violation of string
+
+type 'a t = {
+  cat : category;
+  ident : int * int; (* (container uid, position token); (-1,-1) = singular *)
+  get : unit -> 'a;
+  put : ('a -> unit) option;
+  step : unit -> 'a t;
+  back : (unit -> 'a t) option;
+  jump : (int -> 'a t) option;
+  (* Constant-time indexed access relative to this iterator — the runtime
+     form of the RandomAccessIterator capability. [ixget]/[ixset] avoid
+     materialising an iterator value per access, which is what lets the
+     dispatched introsort actually run at array speed. Present only on
+     random-access iterators. *)
+  ixget : (int -> 'a) option;
+  ixset : (int -> 'a -> unit) option;
+}
+
+let uid_counter = ref 0
+
+let fresh_uid () =
+  incr uid_counter;
+  !uid_counter
+
+let equal a b = a.ident = b.ident
+let category it = it.cat
+
+let violation it what =
+  raise
+    (Category_violation
+       (Printf.sprintf "%s does not support %s" (category_name it.cat) what))
+
+let get it = it.get ()
+
+let set it v =
+  match it.put with Some p -> p v | None -> violation it "writing"
+
+let step it = it.step ()
+
+let back it =
+  match it.back with Some b -> b () | None -> violation it "stepping back"
+
+let jump it n =
+  match it.jump with Some j -> j n | None -> violation it "random access"
+
+(* The singular iterator: points nowhere; any use other than assignment
+   raises. Erase results and default-initialised iterators are singular. *)
+let singular : unit -> 'a t =
+ fun () ->
+  let fail what () = raise (Singular ("use of a singular iterator: " ^ what)) in
+  {
+    cat = Input;
+    ident = (-1, -1);
+    get = fail "dereference";
+    put = None;
+    step = fail "increment";
+    back = None;
+    jump = None;
+    ixget = None;
+    ixset = None;
+  }
+
+let is_singular it = it.ident = (-1, -1)
+
+(* Downgrade an iterator's advertised category — used to hand a
+   random-access iterator to an algorithm as if it were weaker, which is how
+   the dispatch tests and benches compare algorithm variants on identical
+   data. The underlying capabilities are restricted accordingly. *)
+let rec restrict cat it =
+  if rank cat > rank it.cat then
+    invalid_arg "Iter.restrict: cannot strengthen an iterator";
+  {
+    it with
+    cat;
+    step = (fun () -> restrict cat (it.step ()));
+    back =
+      (if rank cat >= rank Bidirectional then
+         Option.map (fun b () -> restrict cat (b ())) it.back
+       else None);
+    jump =
+      (if cat = Random_access then
+         Option.map (fun j n -> restrict cat (j n)) it.jump
+       else None);
+    put = (if cat = Output || rank cat >= rank Forward then it.put else None);
+    ixget = (if cat = Random_access then it.ixget else None);
+    ixset = (if cat = Random_access then it.ixset else None);
+  }
+
+(* A single-pass input iterator over a generator function: the semantic
+   archetype of the Input Iterator concept (paper Section 3.1). All copies
+   share the stream; once any copy advances past position [p], dereferencing
+   another copy at or before [p] raises [Multipass_violation]. STLlint uses
+   exactly this to expose max_element's undeclared multipass requirement. *)
+type 'a stream_state = {
+  src : int -> 'a option; (* None = end of stream *)
+  mutable watermark : int; (* highest position consumed *)
+  suid : int;
+}
+
+let rec stream_at st pos =
+  let eof = st.src pos = None in
+  let ident = (st.suid, if eof then -1 else pos) in
+  {
+    cat = Input;
+    ident;
+    get =
+      (fun () ->
+        if eof then raise (Singular "dereference of past-the-end iterator");
+        if pos < st.watermark then
+          raise
+            (Multipass_violation
+               (Printf.sprintf
+                  "input iterator re-reads position %d after the stream \
+                   advanced to %d (single-pass)"
+                  pos st.watermark));
+        match st.src pos with Some v -> v | None -> assert false);
+    put = None;
+    step =
+      (fun () ->
+        if eof then raise (Singular "increment of past-the-end iterator");
+        if pos < st.watermark then
+          raise
+            (Multipass_violation
+               (Printf.sprintf
+                  "input iterator re-traverses position %d (single-pass)" pos));
+        st.watermark <- max st.watermark (pos + 1);
+        stream_at st (pos + 1));
+    back = None;
+    jump = None;
+    ixget = None;
+    ixset = None;
+  }
+
+(* [of_stream f] returns [(first, last)] input iterators over the stream
+   generated by [f]. *)
+let of_stream src =
+  let st = { src; watermark = 0; suid = fresh_uid () } in
+  let eof_ident = (st.suid, -1) in
+  let last =
+    {
+      cat = Input;
+      ident = eof_ident;
+      get = (fun () -> raise (Singular "dereference of past-the-end iterator"));
+      put = None;
+      step = (fun () -> raise (Singular "increment of past-the-end iterator"));
+      back = None;
+      jump = None;
+      ixget = None;
+      ixset = None;
+    }
+  in
+  (stream_at st 0, last)
+
+let of_list xs =
+  let arr = Array.of_list xs in
+  of_stream (fun i -> if i < Array.length arr then Some arr.(i) else None)
+
+(* An output iterator writing through [sink] — the building block for
+   back_inserter and ostream-style iterators. Stepping yields a fresh
+   position token; reading raises (write-only). *)
+let output_to sink =
+  let uid = fresh_uid () in
+  let rec at pos =
+    {
+      cat = Output;
+      ident = (uid, pos);
+      get =
+        (fun () ->
+          raise (Category_violation "OutputIterator does not support reading"));
+      put = Some sink;
+      step = (fun () -> at (pos + 1));
+      back = None;
+      jump = None;
+      ixget = None;
+      ixset = None;
+    }
+  in
+  at 0
+
+(* Instrumented wrapper: counts dereferences and steps through a shared
+   cell. Used by the benches to report operation counts alongside wall-clock
+   time (the taxonomy work wants "detailed actual performance
+   measurements"). *)
+type counters = { mutable derefs : int; mutable steps : int }
+
+let counters () = { derefs = 0; steps = 0 }
+
+let rec counting c it =
+  {
+    it with
+    get =
+      (fun () ->
+        c.derefs <- c.derefs + 1;
+        it.get ());
+    step =
+      (fun () ->
+        c.steps <- c.steps + 1;
+        counting c (it.step ()));
+    back = Option.map (fun b () -> c.steps <- c.steps + 1; counting c (b ())) it.back;
+    jump = Option.map (fun j n -> c.steps <- c.steps + 1; counting c (j n)) it.jump;
+    ixget =
+      Option.map
+        (fun g n ->
+          c.derefs <- c.derefs + 1;
+          g n)
+        it.ixget;
+    ixset =
+      Option.map
+        (fun s n v ->
+          c.derefs <- c.derefs + 1;
+          s n v)
+        it.ixset;
+  }

@@ -1,0 +1,98 @@
+(** First-class checked iterators with STL categories.
+
+    An iterator is an immutable value denoting a position in a sequence;
+    copying one saves the position (the multipass capability of Forward
+    and stronger categories). Category determines available operations;
+    unsupported operations raise {!Category_violation} — the runtime
+    analogue of a concept-check failure.
+
+    Iterators are {e checked}: containers version their state and
+    iterators capture the version, so use after an invalidating mutation
+    raises {!Invalidated} — the dynamic counterpart of gp_stllint's
+    static analysis. *)
+
+type category = Input | Output | Forward | Bidirectional | Random_access
+
+val category_name : category -> string
+
+val rank : category -> int
+(** Refinement rank along the input chain; [Output] is off-chain. *)
+
+val satisfies : required:category -> category -> bool
+(** Does an iterator of this category provide the capabilities of
+    [required]? *)
+
+exception Category_violation of string
+exception Invalidated of string
+exception Singular of string
+exception Multipass_violation of string
+
+type 'a t = {
+  cat : category;
+  ident : int * int;
+      (** (container uid, position token); [(-1, -1)] = singular *)
+  get : unit -> 'a;
+  put : ('a -> unit) option;
+  step : unit -> 'a t;
+  back : (unit -> 'a t) option;
+  jump : (int -> 'a t) option;
+  ixget : (int -> 'a) option;
+      (** O(1) indexed read relative to this iterator (random access
+          only): array-speed access without materialising iterators *)
+  ixset : (int -> 'a -> unit) option;
+}
+
+val fresh_uid : unit -> int
+(** A unique container identifier (used by container implementors). *)
+
+(** {2 Operations} *)
+
+val equal : 'a t -> 'a t -> bool
+(** Position equality (same container, same position). *)
+
+val category : 'a t -> category
+val get : 'a t -> 'a
+val set : 'a t -> 'a -> unit
+val step : 'a t -> 'a t
+val back : 'a t -> 'a t
+val jump : 'a t -> int -> 'a t
+
+(** {2 Special iterators} *)
+
+val singular : unit -> 'a t
+(** Points nowhere; any use raises {!Singular}. *)
+
+val is_singular : 'a t -> bool
+
+val restrict : category -> 'a t -> 'a t
+(** Downgrade the advertised category (and strip the corresponding
+    capabilities); raises [Invalid_argument] on an attempt to
+    strengthen. Used to drive algorithms with weaker iterators over the
+    same data. *)
+
+(** {2 Input streams (semantic archetype)} *)
+
+val of_stream : (int -> 'a option) -> 'a t * 'a t
+(** [(first, last)] single-pass input iterators over a generator
+    ([None] = end of stream). This is the {e semantic archetype} of the
+    Input Iterator concept (paper Section 3.1): once any copy advances
+    past a position, re-reading it raises {!Multipass_violation}. *)
+
+val of_list : 'a list -> 'a t * 'a t
+
+(** {2 Output iterators} *)
+
+val output_to : ('a -> unit) -> 'a t
+(** A write-only iterator calling [sink] on every {!set} — the building
+    block for back-inserters and ostream-style output. Reading raises
+    {!Category_violation}. *)
+
+(** {2 Instrumentation} *)
+
+type counters = { mutable derefs : int; mutable steps : int }
+
+val counters : unit -> counters
+
+val counting : counters -> 'a t -> 'a t
+(** Wrap an iterator so dereferences and steps are counted — operation
+    counts reported alongside wall-clock time in the benches. *)

@@ -1,0 +1,80 @@
+(* The sequential algorithm concept taxonomy for the STL domain
+   (paper Section 1, citing Musser's "Algorithm Concepts").
+
+   Classifies the sequence algorithms by problem, iterator-concept
+   requirement, mutability, and stability, with complexity costs in
+   comparisons/steps — precise enough to "make useful distinctions"
+   between algorithms solving the same problem (the paper's stated goal
+   for these taxonomies). *)
+
+open Gp_concepts
+
+let build () =
+  let t = Taxonomy.create "STL sequence algorithms" in
+  Taxonomy.add_node t "sequence-algorithm" ~attributes:[];
+  (* problems *)
+  List.iter
+    (fun p ->
+      Taxonomy.add_node t p ~parents:[ "sequence-algorithm" ]
+        ~attributes:[ ("problem", p) ])
+    [ "searching"; "sorting"; "permuting"; "accumulating"; "partitioning" ];
+  (* refinements by iterator requirement / input assumption *)
+  Taxonomy.add_node t "linear-search" ~parents:[ "searching" ]
+    ~attributes:[ ("iterator", "input"); ("input-assumption", "none") ];
+  Taxonomy.add_node t "sorted-search" ~parents:[ "searching" ]
+    ~attributes:[ ("iterator", "forward"); ("input-assumption", "sorted") ];
+  Taxonomy.add_node t "comparison-sort-ra" ~parents:[ "sorting" ]
+    ~attributes:
+      [ ("iterator", "random-access"); ("stable", "no");
+        ("in-place", "yes") ];
+  Taxonomy.add_node t "comparison-sort-stable" ~parents:[ "sorting" ]
+    ~attributes:
+      [ ("iterator", "forward"); ("stable", "yes"); ("in-place", "no") ];
+  Taxonomy.add_node t "selection" ~parents:[ "sorting" ]
+    ~attributes:[ ("iterator", "random-access"); ("stable", "no") ];
+  Taxonomy.add_node t "reversal" ~parents:[ "permuting" ]
+    ~attributes:[ ("iterator", "bidirectional") ];
+  Taxonomy.add_node t "rotation" ~parents:[ "permuting" ]
+    ~attributes:[ ("iterator", "forward") ];
+  Taxonomy.add_node t "fold" ~parents:[ "accumulating" ]
+    ~attributes:[ ("iterator", "input") ];
+  Taxonomy.add_node t "partition-fwd" ~parents:[ "partitioning" ]
+    ~attributes:[ ("iterator", "forward"); ("stable", "no") ];
+  (* entries, with cost distinctions *)
+  let lin = Complexity.linear "n" in
+  let log = Complexity.log_ "n" in
+  let nlogn = Complexity.n_log_n "n" in
+  Taxonomy.add_entry t ~name:"find" ~node:"linear-search"
+    ~costs:[ ("comparisons", lin); ("steps", lin) ];
+  Taxonomy.add_entry t ~name:"lower_bound" ~node:"sorted-search"
+    ~costs:[ ("comparisons", log); ("steps", lin) ]
+    ~doc:"O(log n) comparisons even on forward iterators; O(log n) steps \
+          only with random access";
+  Taxonomy.add_entry t ~name:"binary_search" ~node:"sorted-search"
+    ~costs:[ ("comparisons", log) ];
+  Taxonomy.add_entry t ~name:"introsort" ~node:"comparison-sort-ra"
+    ~costs:[ ("comparisons", nlogn); ("extra-space", Complexity.log_ "n") ];
+  Taxonomy.add_entry t ~name:"mergesort" ~node:"comparison-sort-stable"
+    ~costs:[ ("comparisons", nlogn); ("extra-space", lin) ];
+  Taxonomy.add_entry t ~name:"nth_element" ~node:"selection"
+    ~costs:[ ("comparisons", lin) ]
+    ~doc:"expected linear selection (quickselect)";
+  Taxonomy.add_entry t ~name:"reverse" ~node:"reversal"
+    ~costs:[ ("swaps", lin) ];
+  Taxonomy.add_entry t ~name:"rotate" ~node:"rotation"
+    ~costs:[ ("swaps", lin) ];
+  Taxonomy.add_entry t ~name:"accumulate" ~node:"fold"
+    ~costs:[ ("operations", lin) ];
+  Taxonomy.add_entry t ~name:"partition" ~node:"partition-fwd"
+    ~costs:[ ("swaps", lin) ];
+  t
+
+(* The motivating query: searching a sorted sequence — the taxonomy
+   distinguishes find from lower_bound by comparison count, which is what
+   STLlint's Section 3.2 suggestion exploits. *)
+let best_search t ~sorted =
+  Taxonomy.pick t
+    ~requirements:
+      [ ("problem", "searching");
+        ("input-assumption", if sorted then "sorted" else "none") ]
+    ~measure:"comparisons"

@@ -1,0 +1,11 @@
+(** The sequential algorithm concept taxonomy for the STL domain (paper
+    Section 1): algorithms classified by problem, iterator requirement,
+    input assumptions, stability and in-placeness, with cost bounds
+    precise enough to distinguish algorithms solving the same problem. *)
+
+val build : unit -> Gp_concepts.Taxonomy.t
+
+val best_search :
+  Gp_concepts.Taxonomy.t -> sorted:bool -> Gp_concepts.Taxonomy.entry list
+(** Fewest comparisons for searching, given whether the input is sorted
+    — the decision behind STLlint's Section 3.2 suggestion. *)

@@ -1,0 +1,173 @@
+(* A growable array ("vector") with checked random-access iterators.
+
+   Invalidation semantics mirror std::vector: any reallocation or erasure
+   invalidates all outstanding iterators (we are conservative: push_back
+   always bumps the version, as iterators hold positions into a buffer that
+   may have moved). Iterators capture the version at creation; use after an
+   invalidating mutation raises {!Iter.Invalidated}. *)
+
+type 'a t = {
+  uid : int;
+  mutable data : 'a array;
+  mutable len : int;
+  mutable version : int;
+  dummy : 'a; (* fill value for unused slots *)
+}
+
+let create ~dummy () =
+  { uid = Iter.fresh_uid (); data = Array.make 8 dummy; len = 0; version = 0; dummy }
+
+let of_list ~dummy xs =
+  let t = create ~dummy () in
+  let arr = Array.of_list xs in
+  t.data <- (if Array.length arr = 0 then Array.make 8 dummy else arr);
+  t.len <- Array.length arr;
+  t
+
+let of_array ~dummy arr =
+  of_list ~dummy (Array.to_list arr)
+
+let length t = t.len
+let capacity t = Array.length t.data
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Varray.get: index out of bounds";
+  t.data.(i)
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Varray.set: index out of bounds";
+  t.data.(i) <- v
+
+let ensure_capacity t n =
+  if n > Array.length t.data then begin
+    let cap = max n (2 * Array.length t.data) in
+    let fresh = Array.make cap t.dummy in
+    Array.blit t.data 0 fresh 0 t.len;
+    t.data <- fresh
+  end
+
+(* Invalidates all iterators (conservatively, like a reallocating
+   std::vector push_back). *)
+let push_back t v =
+  ensure_capacity t (t.len + 1);
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.version <- t.version + 1
+
+let pop_back t =
+  if t.len = 0 then invalid_arg "Varray.pop_back: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len) <- t.dummy;
+  t.version <- t.version + 1
+
+let clear t =
+  t.len <- 0;
+  t.version <- t.version + 1
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+(* Iterator at index [i] bound to version [v]. *)
+let rec iter_at t v i : 'a Iter.t =
+  let check () =
+    if t.version <> v then
+      raise
+        (Iter.Invalidated
+           "vector iterator used after an invalidating mutation \
+            (push_back/erase/insert)")
+  in
+  let in_range () =
+    check ();
+    if i < 0 || i >= t.len then
+      raise (Iter.Singular "dereference of past-the-end vector iterator")
+  in
+  {
+    Iter.cat = Iter.Random_access;
+    ident = (t.uid, i);
+    get =
+      (fun () ->
+        in_range ();
+        t.data.(i));
+    put =
+      Some
+        (fun x ->
+          in_range ();
+          t.data.(i) <- x);
+    step =
+      (fun () ->
+        check ();
+        if i >= t.len then
+          raise (Iter.Singular "increment past the end of a vector");
+        iter_at t v (i + 1));
+    back =
+      Some
+        (fun () ->
+          check ();
+          if i <= 0 then
+            raise (Iter.Singular "decrement before the beginning of a vector");
+          iter_at t v (i - 1));
+    jump =
+      Some
+        (fun n ->
+          check ();
+          let j = i + n in
+          if j < 0 || j > t.len then
+            raise (Iter.Singular "random-access jump outside [begin, end]");
+          iter_at t v j);
+    ixget =
+      Some
+        (fun n ->
+          check ();
+          let j = i + n in
+          if j < 0 || j >= t.len then
+            raise (Iter.Singular "indexed access outside [begin, end)");
+          t.data.(j));
+    ixset =
+      Some
+        (fun n x ->
+          check ();
+          let j = i + n in
+          if j < 0 || j >= t.len then
+            raise (Iter.Singular "indexed access outside [begin, end)");
+          t.data.(j) <- x);
+  }
+
+let begin_ t = iter_at t t.version 0
+let end_ t = iter_at t t.version t.len
+
+(* Index of an iterator into this vector; raises if foreign. *)
+let index_of t (it : 'a Iter.t) =
+  let uid, i = it.Iter.ident in
+  if uid <> t.uid then invalid_arg "Varray.index_of: foreign iterator";
+  i
+
+(* Erase the element at [it]; like std::vector::erase this shifts the tail
+   left and invalidates all iterators. Returns an iterator to the element
+   after the erased one (in the new version). *)
+let erase t it =
+  let i = index_of t it in
+  if i < 0 || i >= t.len then invalid_arg "Varray.erase: past-the-end";
+  Array.blit t.data (i + 1) t.data i (t.len - i - 1);
+  t.len <- t.len - 1;
+  t.data.(t.len) <- t.dummy;
+  t.version <- t.version + 1;
+  iter_at t t.version i
+
+(* Insert [v] before [it]; invalidates all iterators; returns an iterator to
+   the inserted element. *)
+let insert t it v =
+  let i = index_of t it in
+  if i < 0 || i > t.len then invalid_arg "Varray.insert: bad position";
+  ensure_capacity t (t.len + 1);
+  Array.blit t.data i t.data (i + 1) (t.len - i);
+  t.data.(i) <- v;
+  t.len <- t.len + 1;
+  t.version <- t.version + 1;
+  iter_at t t.version i
+
+let pp pp_elem ppf t =
+  Fmt.pf ppf "[|%a|]" Fmt.(list ~sep:(any "; ") pp_elem) (to_list t)
+
+(* A back-inserting output iterator: writing appends; remains usable
+   across the container's own reallocations (it references the container,
+   not a buffer position). *)
+let back_inserter t = Iter.output_to (push_back t)

@@ -1,0 +1,1 @@
+lib/simplicissimus/certify.ml: Deduction Fmt Gp_athena Gp_concepts Instances List Logic Printf Rules Theorems Theory

@@ -1,0 +1,1 @@
+lib/simplicissimus/certify.mli: Format Gp_athena Instances Rules

@@ -1,0 +1,1 @@
+lib/simplicissimus/engine.ml: Expr Fmt Instances List Rules String

@@ -1,0 +1,1 @@
+lib/simplicissimus/engine.mli: Expr Format Instances Rules

@@ -1,0 +1,1 @@
+lib/simplicissimus/eval.ml: Expr Fmt Gp_algebra List

@@ -1,0 +1,1 @@
+lib/simplicissimus/eval.mli: Expr

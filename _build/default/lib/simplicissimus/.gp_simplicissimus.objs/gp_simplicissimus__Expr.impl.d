@@ -1,0 +1,1 @@
+lib/simplicissimus/expr.ml: Float Fmt Gp_algebra List String

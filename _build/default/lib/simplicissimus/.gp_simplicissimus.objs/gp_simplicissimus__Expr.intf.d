@@ -1,0 +1,1 @@
+lib/simplicissimus/expr.mli: Format Gp_algebra

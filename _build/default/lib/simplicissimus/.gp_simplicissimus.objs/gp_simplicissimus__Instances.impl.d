@@ -1,0 +1,1 @@
+lib/simplicissimus/instances.ml: Expr Gp_algebra Gp_athena List Printf String

@@ -1,0 +1,1 @@
+lib/simplicissimus/instances.mli: Expr Gp_athena

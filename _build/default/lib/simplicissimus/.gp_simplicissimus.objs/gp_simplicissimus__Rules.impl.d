@@ -1,0 +1,1 @@
+lib/simplicissimus/rules.ml: Expr Fmt Instances List Printf String

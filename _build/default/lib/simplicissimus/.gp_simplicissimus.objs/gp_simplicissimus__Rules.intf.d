@@ -1,0 +1,1 @@
+lib/simplicissimus/rules.mli: Expr Format Instances

@@ -1,0 +1,1 @@
+lib/simplicissimus/sparser.ml: Buffer Expr Fmt List String

@@ -1,0 +1,1 @@
+lib/simplicissimus/sparser.mli: Expr

@@ -1,0 +1,134 @@
+(* Rule certification through the proof checker.
+
+   Fig. 5, advantage 2: "The concept-based rules are directly related to
+   and derivable from the axioms governing the Monoid and Group concepts."
+   Certify makes that statement executable: each built-in rule names the
+   theorem whose equation it implements; the theorem's generic proof is run
+   through gp_athena's checker, and only then is the rule marked certified.
+   The engine's [only_certified] mode refuses to apply anything else.
+
+   Certification also discharges instance axioms in the gp_concepts
+   world: for every instance mapping with proved axioms, the derived
+   equations (right inverse from the minimal group presentation, etc.) are
+   registered via [Check.certify_axiom], which silences the checker's
+   "asserted but not proved" warnings for those carriers. *)
+
+open Gp_athena
+
+type certification = {
+  cert_rule : string;
+  cert_theorem : string;
+  cert_verdict : Deduction.verdict;
+}
+
+(* The theorem backing each built-in rule, over a canonical mapping. The
+   proof is generic: checking it once per rule suffices for every carrier
+   that models the guard concept. *)
+let theorem_for (r : Rules.t) : Theorems.theorem option =
+  let m = Theory.int_add in
+  (* canonical mapping; the proof is symbol-generic *)
+  if r == Rules.right_identity then Some (Theorems.monoid_right_identity m)
+  else if r == Rules.left_identity then
+    let axs = Theory.monoid m in
+    let p = Theory.find axs "left_identity" in
+    Some { Theorems.thm_name = "Monoid: left identity"; goal = p;
+           proof = Deduction.Claim p }
+  else if r == Rules.right_inverse then Some (Theorems.group_right_inverse m)
+  else if r == Rules.left_inverse then
+    let axs = Theory.group_minimal m in
+    let p = Theory.find axs "left_inverse" in
+    Some { Theorems.thm_name = "Group: left inverse"; goal = p;
+           proof = Deduction.Claim p }
+  else if r == Rules.double_inverse then
+    Some (Theorems.group_double_inverse m)
+  else if r == Rules.mul_zero_right then
+    let rm = { Theory.r_name = "int"; add = Theory.int_add; mul = Theory.int_mul } in
+    Some (Theorems.ring_mul_zero rm)
+  else if r == Rules.mul_zero_left then
+    let rm = { Theory.r_name = "int"; add = Theory.int_add; mul = Theory.int_mul } in
+    Some (Theorems.ring_zero_mul rm)
+  else if r == Rules.identity_fold then
+    (* op(e, e) = e: right identity instantiated at the identity itself *)
+    let axs = Theory.monoid m in
+    let rid = Theory.find axs "right_identity" in
+    let e = Theory.e_of m in
+    Some
+      {
+        Theorems.thm_name = "Monoid: identity absorbs identity";
+        goal = Logic.Eq (Theory.( %. ) m (e, e), e);
+        proof = Deduction.Inst (Deduction.Claim rid, [ e ]);
+      }
+  else None
+
+let axioms_for (r : Rules.t) =
+  let m = Theory.int_add in
+  if r.Rules.requires_ring then
+    Theory.ring { Theory.r_name = "int"; add = Theory.int_add; mul = Theory.int_mul }
+  else
+    match r.Rules.guard with
+    | Instances.Semigroup -> Theory.semigroup m
+    | Instances.Monoid -> Theory.monoid m
+    | Instances.Group | Instances.Abelian_group -> Theory.group_minimal m
+
+(* Certify one rule: check its backing theorem; on success flip the flag. *)
+let certify_rule (r : Rules.t) =
+  match theorem_for r with
+  | None ->
+    {
+      cert_rule = r.Rules.rule_name;
+      cert_theorem = "(none: user rule, trusted as a library fact)";
+      cert_verdict = Deduction.Improper "no backing theorem";
+    }
+  | Some thm ->
+    let verdict = Theorems.verify ~axioms:(axioms_for r) thm in
+    (match verdict with
+    | Deduction.Proved -> r.Rules.certified := true
+    | _ -> ());
+    {
+      cert_rule = r.Rules.rule_name;
+      cert_theorem = thm.Theorems.thm_name;
+      cert_verdict = verdict;
+    }
+
+let certify_builtin () = List.map certify_rule Rules.builtin
+
+(* Discharge the derived group axioms for every exactly-modeled instance in
+   the gp_concepts certification table: the right_inverse/right_identity
+   axioms asserted by Gp_algebra.Decls become *proved* for these carriers. *)
+let discharge_instance_axioms insts =
+  List.concat_map
+    (fun (e : Instances.entry) ->
+      match e.Instances.e_mapping with
+      | Some m when e.Instances.e_axioms_proved ->
+        let carrier =
+          Gp_concepts.Ctype.Named
+            (Printf.sprintf "%s[%s]" e.Instances.e_type e.Instances.e_op)
+        in
+        let discharged = ref [] in
+        (if Instances.level_at_least ~required:Instances.Group
+              e.Instances.e_level
+         then
+           let thm = Theorems.group_right_inverse m in
+           match Theorems.verify ~axioms:(Theory.group_minimal m) thm with
+           | Deduction.Proved ->
+             Gp_concepts.Check.certify_axiom ~concept:"Group"
+               ~axiom:"right_inverse" ~args:[ carrier ];
+             discharged := "right_inverse" :: !discharged
+           | _ -> ());
+        (if Instances.level_at_least ~required:Instances.Monoid
+              e.Instances.e_level
+         then
+           let thm = Theorems.monoid_right_identity m in
+           match Theorems.verify ~axioms:(Theory.monoid m) thm with
+           | Deduction.Proved ->
+             Gp_concepts.Check.certify_axiom ~concept:"Monoid"
+               ~axiom:"right_identity" ~args:[ carrier ];
+             discharged := "right_identity" :: !discharged
+           | _ -> ());
+        List.map (fun ax -> (Gp_athena.Theory.map_name m, ax)) !discharged
+      | _ -> [])
+    (Instances.entries insts)
+
+let pp_certification ppf c =
+  Fmt.pf ppf "%-18s <- %-32s : %a" c.cert_rule c.cert_theorem
+    Deduction.pp_verdict c.cert_verdict

@@ -1,0 +1,27 @@
+(** Rule certification through the proof checker (Fig. 5, advantage 2:
+    the rules are "directly related to and derivable from the axioms").
+
+    Each built-in rule names the theorem whose equation it implements;
+    the theorem's generic proof runs through gp_athena's checker and
+    only then is the rule flagged certified — which the engine's
+    [only_certified] mode enforces. *)
+
+type certification = {
+  cert_rule : string;
+  cert_theorem : string;
+  cert_verdict : Gp_athena.Deduction.verdict;
+}
+
+val theorem_for : Rules.t -> Gp_athena.Theorems.theorem option
+(** The backing theorem of a built-in rule ([None] for user rules). *)
+
+val certify_rule : Rules.t -> certification
+val certify_builtin : unit -> certification list
+
+val discharge_instance_axioms : Instances.t -> (string * string) list
+(** For every exactly-modeled instance, register the derived equations
+    (right inverse, right identity) in the gp_concepts certification
+    table, turning "asserted" axiom warnings into certified facts.
+    Returns (instance, axiom) pairs discharged. *)
+
+val pp_certification : Format.formatter -> certification -> unit

@@ -1,0 +1,131 @@
+(* The rewrite engine: bottom-up normalisation to a fixpoint, applying
+   concept-guarded rules wherever their guards hold.
+
+   "Since concept analysis is a necessary first step for use of a new data
+   type with a generic algorithm, optimization via concept-based rewrite
+   rules comes essentially for free": here the guard check is literally a
+   lookup of the modeling relation the instance table already records.
+
+   The engine logs every rule application (rule name, carrier, before,
+   after) so the Fig. 5 instance table can be *regenerated mechanically*
+   from the rules — bench f5 does exactly that. *)
+
+type step = {
+  st_rule : string;
+  st_carrier : string * string; (* (type, op) the guard was checked on *)
+  st_before : Expr.t;
+  st_after : Expr.t;
+}
+
+type result = {
+  input : Expr.t;
+  output : Expr.t;
+  steps : step list;
+  ops_before : int;
+  ops_after : int;
+}
+
+(* Candidate carriers for matching a rule at [node]: the node's own
+   (type, op), plus any carrier whose *inverse* op is the node's op (so a
+   root pattern like inv(inv x) finds its owning carrier). *)
+let carriers insts (node : Expr.t) =
+  match node with
+  | Expr.Op (o, t, _) ->
+    let own = [ (t, o) ] in
+    let via_inverse =
+      List.filter_map
+        (fun (e : Instances.entry) ->
+          if
+            String.equal e.Instances.e_type t
+            && e.Instances.e_inverse = Some o
+          then Some (t, e.Instances.e_op)
+          else None)
+        (Instances.entries insts)
+    in
+    own @ via_inverse
+  | Expr.Var _ | Expr.Lit _ | Expr.Ident _ -> []
+
+(* Try to apply one rule at [node] for carrier (ty, op); the concept guard
+   is checked first (user rules are guarded by their library type
+   instead). *)
+let try_rule insts ~only_certified (r : Rules.t) ~ty ~op node =
+  let guard_ok =
+    match r.Rules.user_type with
+    | Some ut ->
+      (* library-specific rule: fires on its own type/op only *)
+      String.equal ut ty
+      && (match r.Rules.user_op with
+         | Some uo -> String.equal uo op
+         | None -> true)
+    | None ->
+      Instances.models insts ~ty ~op ~required:r.Rules.guard
+      && ((not r.Rules.requires_ring)
+         || Instances.ring_for insts ~ty ~op <> None)
+      && ((not only_certified) || !(r.Rules.certified))
+  in
+  if not guard_ok then None
+  else
+    match Rules.match_pattern insts ~ty ~op r.Rules.lhs node with
+    | Some bindings ->
+      Some (Rules.instantiate insts ~ty ~op bindings r.Rules.rhs)
+    | None -> None
+
+let max_steps = 10_000
+
+exception Did_not_terminate of Expr.t
+
+let rewrite ?(only_certified = false) ~rules ~insts expr =
+  let steps = ref [] in
+  let budget = ref max_steps in
+  let spend () =
+    decr budget;
+    if !budget <= 0 then raise (Did_not_terminate expr)
+  in
+  (* apply rules at the root of [node] until none fires *)
+  let rec at_root node =
+    let fired =
+      List.find_map
+        (fun r ->
+          List.find_map
+            (fun (ty, op) ->
+              match try_rule insts ~only_certified r ~ty ~op node with
+              | Some after ->
+                Some
+                  {
+                    st_rule = r.Rules.rule_name;
+                    st_carrier = (ty, op);
+                    st_before = node;
+                    st_after = after;
+                  }
+              | None -> None)
+            (carriers insts node))
+        rules
+    in
+    match fired with
+    | Some step ->
+      spend ();
+      steps := step :: !steps;
+      (* the replacement may expose new redexes below the root *)
+      normalize step.st_after
+    | None -> node
+  and normalize node =
+    match node with
+    | Expr.Var _ | Expr.Lit _ | Expr.Ident _ -> at_root node
+    | Expr.Op (o, t, args) -> at_root (Expr.Op (o, t, List.map normalize args))
+  in
+  let output = normalize expr in
+  {
+    input = expr;
+    output;
+    steps = List.rev !steps;
+    ops_before = Expr.op_count expr;
+    ops_after = Expr.op_count output;
+  }
+
+let pp_step ppf s =
+  Fmt.pf ppf "%a  --[%s @@ (%s,%s)]-->  %a" Expr.pp s.st_before s.st_rule
+    (fst s.st_carrier) (snd s.st_carrier) Expr.pp s.st_after
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v>%a@,  ==>  %a   (%d ops -> %d ops, %d steps)@]" Expr.pp
+    r.input Expr.pp r.output r.ops_before r.ops_after (List.length r.steps)

@@ -1,0 +1,44 @@
+(** The rewrite engine: bottom-up normalisation to a fixpoint.
+
+    Rules fire wherever their concept guards hold against the instance
+    table — "optimization via concept-based rewrite rules comes
+    essentially for free" once the modeling relation is recorded. Every
+    application is logged, so the Fig. 5 instance table regenerates
+    mechanically from the rules (bench F5). *)
+
+type step = {
+  st_rule : string;
+  st_carrier : string * string;  (** (type, op) the guard was checked on *)
+  st_before : Expr.t;
+  st_after : Expr.t;
+}
+
+type result = {
+  input : Expr.t;
+  output : Expr.t;
+  steps : step list;
+  ops_before : int;
+  ops_after : int;
+}
+
+val carriers : Instances.t -> Expr.t -> (string * string) list
+(** Candidate carriers at a node: its own (type, op) plus any carrier
+    whose inverse operation is the node's op (so inv(inv x) finds its
+    owner). *)
+
+exception Did_not_terminate of Expr.t
+(** Raised if rewriting exceeds the internal step budget (a cyclic user
+    rule set). *)
+
+val rewrite :
+  ?only_certified:bool ->
+  rules:Rules.t list ->
+  insts:Instances.t ->
+  Expr.t ->
+  result
+(** Normalise to a fixpoint. With [only_certified], concept rules whose
+    backing theorem has not been proof-checked are skipped (user rules
+    are library facts and exempt). *)
+
+val pp_step : Format.formatter -> step -> unit
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,15 @@
+(** Evaluator for the expression IR — the semantic ground truth:
+    rewriting must never change an expression's value (property-tested),
+    and the benches time original vs simplified evaluation. *)
+
+exception Type_error of string
+
+val identity_value : mat_dim:int -> string -> string -> Expr.value
+(** Concrete identity of a carrier; matrix identities need the
+    dimension. Raises {!Type_error} on unknown carriers. *)
+
+val eval :
+  ?mat_dim:int -> env:(string * Expr.value) list -> Expr.t -> Expr.value
+(** Raises {!Type_error} on unbound variables or unknown operations, and
+    whatever the underlying arithmetic raises (e.g. [Division_by_zero],
+    [Qmat.Singular]). *)

@@ -1,0 +1,168 @@
+(* The instance table: which (carrier type, operation symbol) pairs model
+   which algebraic concept, with their identity elements and inverse
+   operations — the data behind the "Requirements" column of Fig. 5.
+
+   This mirrors the carrier declarations of {!Gp_algebra.Decls} but is keyed
+   the way the rewriter needs: by surface (type, op). Each entry also cross-
+   registers a model in a gp_concepts registry so the engine's guards are
+   genuine concept checks, and records how its axioms are discharged
+   (proved via gp_athena, or merely asserted — floats!). *)
+
+type level = Semigroup | Monoid | Group | Abelian_group
+
+let level_rank = function
+  | Semigroup -> 0
+  | Monoid -> 1
+  | Group -> 2
+  | Abelian_group -> 3
+
+let level_at_least ~required l = level_rank l >= level_rank required
+
+let level_name = function
+  | Semigroup -> "Semigroup"
+  | Monoid -> "Monoid"
+  | Group -> "Group"
+  | Abelian_group -> "AbelianGroup"
+
+type entry = {
+  e_type : string; (* carrier element type, e.g. "int" *)
+  e_op : string; (* operation symbol, e.g. "+" *)
+  e_level : level;
+  e_identity : Expr.value option; (* concrete identity literal, if fixed *)
+  e_inverse : string option; (* inverse op symbol, for Group and up *)
+  e_axioms_proved : bool; (* exact instance (true) vs asserted (float) *)
+  e_mapping : Gp_athena.Theory.mapping option; (* athena operator mapping *)
+}
+
+(* A ring structure ties two carriers on the same element type together:
+   (ty, add) an abelian group and (ty, mul) a monoid, with multiplication
+   annihilated by the additive zero (a theorem, see
+   Gp_athena.Theorems.ring_mul_zero). *)
+type ring_entry = {
+  rg_type : string;
+  rg_add : string; (* additive op symbol *)
+  rg_mul : string; (* multiplicative op symbol *)
+  rg_zero : Expr.value option; (* the additive zero, if concrete *)
+  rg_mapping : Gp_athena.Theory.ring_mapping option;
+}
+
+type t = { mutable entries : entry list; mutable rings : ring_entry list }
+
+let create () = { entries = []; rings = [] }
+
+let add t ?identity ?inverse ?mapping ?(proved = true) ~ty ~op level =
+  t.entries <-
+    {
+      e_type = ty;
+      e_op = op;
+      e_level = level;
+      e_identity = identity;
+      e_inverse = inverse;
+      e_axioms_proved = proved;
+      e_mapping = mapping;
+    }
+    :: t.entries
+
+let add_ring t ?zero ?mapping ~ty ~add_op ~mul_op () =
+  t.rings <-
+    { rg_type = ty; rg_add = add_op; rg_mul = mul_op; rg_zero = zero;
+      rg_mapping = mapping }
+    :: t.rings
+
+let find t ~ty ~op =
+  List.find_opt
+    (fun e -> String.equal e.e_type ty && String.equal e.e_op op)
+    t.entries
+
+(* The ring whose *multiplicative* operation is (ty, op), if any — what
+   the annihilation rules' guard asks. *)
+let ring_for t ~ty ~op =
+  List.find_opt
+    (fun r -> String.equal r.rg_type ty && String.equal r.rg_mul op)
+    t.rings
+
+(* Is [expr] the additive zero of the ring whose multiplication is
+   (ty, op)? *)
+let is_ring_zero t ~ty ~op (expr : Expr.t) =
+  match ring_for t ~ty ~op with
+  | None -> false
+  | Some r -> (
+    match expr with
+    | Expr.Ident (t', o') -> String.equal t' ty && String.equal o' r.rg_add
+    | Expr.Lit v -> (
+      match r.rg_zero with Some z -> Expr.value_equal v z | None -> false)
+    | Expr.Var _ | Expr.Op _ -> false)
+
+let ring_zero_expr t ~ty ~op =
+  match ring_for t ~ty ~op with
+  | Some { rg_zero = Some z; _ } -> Expr.Lit z
+  | Some { rg_add; _ } -> Expr.Ident (ty, rg_add)
+  | None -> invalid_arg (Printf.sprintf "no ring with multiplication (%s, %s)" ty op)
+
+(* Does (ty, op) model [concept]? The question every rewrite-rule guard
+   asks. *)
+let models t ~ty ~op ~(required : level) =
+  match find t ~ty ~op with
+  | Some e -> level_at_least ~required e.e_level
+  | None -> false
+
+(* Is [expr] the identity element of (ty, op)? Symbolic identities match by
+   construction; literals match by value. *)
+let is_identity t ~ty ~op (expr : Expr.t) =
+  match expr with
+  | Expr.Ident (t', o') -> String.equal t' ty && String.equal o' op
+  | Expr.Lit v -> (
+    match find t ~ty ~op with
+    | Some { e_identity = Some id; _ } -> Expr.value_equal v id
+    | Some { e_identity = None; _ } | None -> false)
+  | Expr.Var _ | Expr.Op _ -> false
+
+let identity_expr t ~ty ~op =
+  match find t ~ty ~op with
+  | Some { e_identity = Some v; _ } -> Expr.Lit v
+  | Some { e_identity = None; _ } -> Expr.Ident (ty, op)
+  | None -> invalid_arg (Printf.sprintf "no instance for (%s, %s)" ty op)
+
+let inverse_op t ~ty ~op =
+  match find t ~ty ~op with
+  | Some { e_inverse; _ } -> e_inverse
+  | None -> None
+
+(* The standard table: the ten Fig. 5 instances plus the exact rational and
+   bitwise/boolean companions. *)
+let standard () =
+  let t = create () in
+  let open Expr in
+  let open Gp_athena.Theory in
+  add t ~ty:"int" ~op:"+" Abelian_group ~identity:(VInt 0) ~inverse:"neg"
+    ~mapping:int_add;
+  add t ~ty:"int" ~op:"*" Monoid ~identity:(VInt 1) ~mapping:int_mul;
+  add t ~ty:"int" ~op:"&" Monoid ~identity:(VInt (-1)) ~mapping:int_band;
+  add t ~ty:"int" ~op:"|" Monoid ~identity:(VInt 0);
+  add t ~ty:"bool" ~op:"&&" Monoid ~identity:(VBool true) ~mapping:bool_and;
+  add t ~ty:"bool" ~op:"||" Monoid ~identity:(VBool false);
+  add t ~ty:"string" ~op:"^" Monoid ~identity:(VString "")
+    ~mapping:string_concat;
+  (* floats: the axioms hold only approximately — asserted, not proved *)
+  add t ~ty:"float" ~op:"+" Abelian_group ~identity:(VFloat 0.0)
+    ~inverse:"neg" ~proved:false;
+  add t ~ty:"float" ~op:"*" Group ~identity:(VFloat 1.0) ~inverse:"inv"
+    ~proved:false ~mapping:float_mul;
+  add t ~ty:"rational" ~op:"+" Abelian_group
+    ~identity:(VRat Gp_algebra.Rational.zero) ~inverse:"neg";
+  add t ~ty:"rational" ~op:"*" Group
+    ~identity:(VRat Gp_algebra.Rational.one) ~inverse:"inv"
+    ~mapping:rational_mul;
+  (* matrix identity is dimension-dependent: symbolic *)
+  add t ~ty:"matrix" ~op:"." Monoid ~mapping:matrix_mul;
+  add t ~ty:"invertible_matrix" ~op:"." Group ~inverse:"inv";
+  (* ring structures: the annihilation rules' guards *)
+  add_ring t ~ty:"int" ~add_op:"+" ~mul_op:"*" ~zero:(VInt 0)
+    ~mapping:{ r_name = "int"; add = int_add; mul = int_mul }
+    ();
+  add_ring t ~ty:"float" ~add_op:"+" ~mul_op:"*" ~zero:(VFloat 0.0) ();
+  add_ring t ~ty:"rational" ~add_op:"+" ~mul_op:"*"
+    ~zero:(VRat Gp_algebra.Rational.zero) ();
+  t
+
+let entries t = List.rev t.entries

@@ -1,0 +1,97 @@
+(** Concept-based rewrite rules (Fig. 5).
+
+    A rule is a pattern -> template pair guarded by a concept level the
+    carrier must model. Patterns are nonlinear (the same metavariable
+    must match structurally equal subexpressions — needed by
+    [x + (-x)]). User rules are library-specific: they fire on a fixed
+    carrier type/op instead of a concept guard. *)
+
+type pattern =
+  | P_any of string  (** metavariable; nonlinear *)
+  | P_identity  (** the carrier's identity element *)
+  | P_op of pattern list  (** the carrier's own operation *)
+  | P_inverse of pattern  (** the carrier's inverse operation *)
+  | P_lit of Expr.value
+  | P_exact of string * pattern list  (** a fixed op symbol (user rules) *)
+  | P_ring_zero
+      (** the additive zero of the ring whose multiplication is the
+          carrier *)
+
+type template =
+  | T_var of string
+  | T_identity
+  | T_op of template list
+  | T_inverse of template
+  | T_lit of Expr.value
+  | T_exact of string * template list
+  | T_ring_zero
+
+type t = {
+  rule_name : string;
+  guard : Instances.level;
+  requires_ring : bool;
+      (** additionally require a registered ring whose multiplication is
+          the carrier *)
+  lhs : pattern;
+  rhs : template;
+  user_type : string option;
+  user_op : string option;
+  certified : bool ref;  (** set by Certify after a checked proof *)
+}
+
+val make :
+  ?user_type:string ->
+  ?user_op:string ->
+  ?requires_ring:bool ->
+  name:string ->
+  guard:Instances.level ->
+  lhs:pattern ->
+  rhs:template ->
+  unit ->
+  t
+
+val match_pattern :
+  Instances.t ->
+  ty:string ->
+  op:string ->
+  pattern ->
+  Expr.t ->
+  (string * Expr.t) list option
+(** Match against an expression whose carrier is (ty, op); [Some
+    bindings] with nonlinear consistency enforced. *)
+
+val instantiate :
+  Instances.t ->
+  ty:string ->
+  op:string ->
+  (string * Expr.t) list ->
+  template ->
+  Expr.t
+
+(** {2 The built-in rules} *)
+
+val right_identity : t
+(** Fig. 5 row 1: [x + 0 -> x] for every Monoid carrier. *)
+
+val left_identity : t
+
+val right_inverse : t
+(** Fig. 5 row 2: [x + (-x) -> 0] for every Group carrier. *)
+
+val left_inverse : t
+val double_inverse : t
+val identity_fold : t
+
+val mul_zero_right : t
+(** Ring annihilation [x * 0 -> 0], certified by the athena theorem. *)
+
+val mul_zero_left : t
+
+val builtin : t list
+
+val lidia_inverse : t
+(** The Section 3.2 user rule: [1.0 / f -> Inverse(f)] on the "bigfloat"
+    library type only. *)
+
+val pp_level : Format.formatter -> Instances.level -> unit
+val pp : Format.formatter -> t -> unit

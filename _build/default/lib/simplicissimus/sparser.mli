@@ -1,0 +1,13 @@
+(** A surface syntax for the expression IR ([gp optimize --expr ...]).
+
+    Standard precedence (multiplicative over additive), parentheses,
+    int/float/bool/string literals, variables with optional type
+    annotations ([f:float]; default int), unary applications
+    ([neg(x)], [inv(x)], [Inverse(f)]). Binary [-] desugars to
+    [x + neg(y)], the IR's inverse form. *)
+
+exception Parse_error of string
+
+val parse : string -> Expr.t
+(** Raises {!Parse_error} on malformed input, including carrier-type
+    mismatches between operands. *)

@@ -1,0 +1,1 @@
+lib/stllint/ast.ml: Fmt Gp_sequence List

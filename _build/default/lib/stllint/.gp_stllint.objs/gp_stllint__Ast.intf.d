@@ -1,0 +1,1 @@
+lib/stllint/ast.mli: Format Gp_sequence

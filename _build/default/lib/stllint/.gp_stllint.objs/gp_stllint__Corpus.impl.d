@@ -1,0 +1,1 @@
+lib/stllint/corpus.ml: Ast List Printf

@@ -1,0 +1,1 @@
+lib/stllint/interp.ml: Ast Fmt Gp_sequence List Printf Spec State String

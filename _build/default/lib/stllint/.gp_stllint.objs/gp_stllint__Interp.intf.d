@@ -1,0 +1,1 @@
+lib/stllint/interp.mli: Ast Format

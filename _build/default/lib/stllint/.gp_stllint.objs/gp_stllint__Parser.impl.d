@@ -1,0 +1,1 @@
+lib/stllint/parser.ml: Ast Buffer Fmt Interp List Option String

@@ -1,0 +1,1 @@
+lib/stllint/parser.mli: Ast Interp

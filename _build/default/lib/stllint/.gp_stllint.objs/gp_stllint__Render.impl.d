@@ -1,0 +1,1 @@
+lib/stllint/render.ml: Ast Fmt List String

@@ -1,0 +1,1 @@
+lib/stllint/render.mli: Ast Format

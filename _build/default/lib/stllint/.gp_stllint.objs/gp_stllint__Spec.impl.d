@@ -1,0 +1,1 @@
+lib/stllint/spec.ml: Ast Gp_sequence List String

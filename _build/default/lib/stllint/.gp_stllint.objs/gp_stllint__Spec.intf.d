@@ -1,0 +1,1 @@
+lib/stllint/spec.mli: Ast Gp_sequence

@@ -1,0 +1,1 @@
+lib/stllint/state.ml: Ast Fmt List Map Spec String

@@ -1,0 +1,1 @@
+lib/stllint/state.mli: Ast Format Gp_sequence Map Spec

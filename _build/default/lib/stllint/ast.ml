@@ -1,0 +1,103 @@
+(* The little imperative language STLlint checks.
+
+   Programs manipulate containers, iterators and generic algorithms at the
+   same abstraction level as the paper's C++ examples: the checker never
+   sees an implementation, only the library-level operations with their
+   specifications (Spec). Statements carry a source label so diagnostics
+   point at the offending line, "the actual point of error" (Section 2.1). *)
+
+type container_kind =
+  | Vector (* random-access; mutations invalidate all iterators *)
+  | List_ (* bidirectional; erase invalidates only the erased position *)
+  | Deque (* random-access; mutations invalidate all iterators *)
+  | Istream (* an input stream: single-pass input iterators *)
+
+let kind_name = function
+  | Vector -> "vector"
+  | List_ -> "list"
+  | Deque -> "deque"
+  | Istream -> "istream"
+
+let kind_category = function
+  | Vector | Deque -> Gp_sequence.Iter.Random_access
+  | List_ -> Gp_sequence.Iter.Bidirectional
+  | Istream -> Gp_sequence.Iter.Input
+
+(* Value expressions are deliberately coarse: the checker reasons about
+   iterators and container states, not arithmetic. A [Deref] inside an
+   expression is what triggers dereference checking. *)
+type expr =
+  | Const of int
+  | Var of string
+  | Deref of string (* *it *)
+  | Call of string * expr list (* opaque helper, e.g. fgrade of the current element *)
+
+type cond =
+  | Iter_ne of string * string (* it != end *)
+  | Iter_eq of string * string
+  | Pred of expr (* opaque boolean over dereferenced iterators *)
+
+type iter_init =
+  | Begin_of of string
+  | End_of of string
+  | Copy_of of string
+  | Singular_init
+
+type range =
+  | R_container of string (* c.begin(), c.end() *)
+  | R_iters of string * string
+
+type arg =
+  | A_range of range
+  | A_iter of string
+  | A_value of expr
+  | A_pred of string (* predicate name, opaque *)
+
+type stmt = { label : string; node : node }
+
+and node =
+  | Decl_container of { name : string; kind : container_kind; sorted : bool }
+  | Decl_iter of { name : string; init : iter_init }
+  | Assign_iter of { name : string; init : iter_init }
+  | Incr of string
+  | Decr of string
+  | Deref_read of string (* use *it as an rvalue statement *)
+  | Deref_write of string * expr (* *it = e *)
+  | Push_back of string * expr
+  | Push_front of string * expr
+  | Pop_back of string
+  | Erase of { container : string; at : string; result : string option }
+  | Insert of {
+      container : string;
+      at : string;
+      value : expr;
+      result : string option;
+    }
+  | Algo of { algo : string; args : arg list; result : string option }
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+  | Expr_stmt of expr (* evaluate for effect; derefs are checked *)
+
+let stmt ?(label = "") node = { label; node }
+
+let rec pp_expr ppf = function
+  | Const i -> Fmt.int ppf i
+  | Var x -> Fmt.string ppf x
+  | Deref x -> Fmt.pf ppf "*%s" x
+  | Call (f, args) ->
+    Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:comma pp_expr) args
+
+let pp_cond ppf = function
+  | Iter_ne (a, b) -> Fmt.pf ppf "%s != %s" a b
+  | Iter_eq (a, b) -> Fmt.pf ppf "%s == %s" a b
+  | Pred e -> pp_expr ppf e
+
+(* Expressions mentioning a dereference of an iterator variable. *)
+let rec derefs_in = function
+  | Const _ | Var _ -> []
+  | Deref x -> [ x ]
+  | Call (_, args) -> List.concat_map derefs_in args
+
+let cond_derefs = function
+  | Iter_ne _ | Iter_eq _ -> []
+  | Pred e -> derefs_in e

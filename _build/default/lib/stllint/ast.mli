@@ -1,0 +1,73 @@
+(** The little imperative language STLlint checks: containers, iterators
+    and generic algorithms at the abstraction level of the paper's C++
+    examples. Statements carry a source label so diagnostics point at
+    the offending line. *)
+
+type container_kind =
+  | Vector  (** random-access; mutations invalidate all iterators *)
+  | List_  (** bidirectional; erase invalidates only the erased position *)
+  | Deque  (** random-access; mutations invalidate all iterators *)
+  | Istream  (** single-pass input iterators *)
+
+val kind_name : container_kind -> string
+val kind_category : container_kind -> Gp_sequence.Iter.category
+
+type expr =
+  | Const of int
+  | Var of string
+  | Deref of string  (** the dereference the checker checks *)
+  | Call of string * expr list  (** opaque helper *)
+
+type cond =
+  | Iter_ne of string * string
+  | Iter_eq of string * string
+  | Pred of expr
+
+type iter_init =
+  | Begin_of of string
+  | End_of of string
+  | Copy_of of string
+  | Singular_init
+
+type range = R_container of string | R_iters of string * string
+
+type arg =
+  | A_range of range
+  | A_iter of string
+  | A_value of expr
+  | A_pred of string
+
+type stmt = { label : string; node : node }
+
+and node =
+  | Decl_container of { name : string; kind : container_kind; sorted : bool }
+  | Decl_iter of { name : string; init : iter_init }
+  | Assign_iter of { name : string; init : iter_init }
+  | Incr of string
+  | Decr of string
+  | Deref_read of string
+  | Deref_write of string * expr
+  | Push_back of string * expr
+  | Push_front of string * expr
+  | Pop_back of string
+  | Erase of { container : string; at : string; result : string option }
+  | Insert of {
+      container : string;
+      at : string;
+      value : expr;
+      result : string option;
+    }
+  | Algo of { algo : string; args : arg list; result : string option }
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+  | Expr_stmt of expr
+
+val stmt : ?label:string -> node -> stmt
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_cond : Format.formatter -> cond -> unit
+
+val derefs_in : expr -> string list
+(** Iterator variables dereferenced inside an expression. *)
+
+val cond_derefs : cond -> string list

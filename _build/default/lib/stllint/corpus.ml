@@ -1,0 +1,454 @@
+(* Canonical checked programs: the paper's examples and their corrected
+   variants, used by the tests, the examples and the bench harness.
+
+   Each program is (name, AST, expectation). *)
+
+open Ast
+
+type expectation = {
+  expect_errors : int;
+  expect_warnings : int;
+  expect_suggestions : int;
+}
+
+type case = {
+  case_name : string;
+  program : stmt list;
+  expect : expectation;
+  description : string;
+}
+
+let case ?(errors = 0) ?(warnings = 0) ?(suggestions = 0) name description
+    program =
+  {
+    case_name = name;
+    program;
+    expect =
+      {
+        expect_errors = errors;
+        expect_warnings = warnings;
+        expect_suggestions = suggestions;
+      };
+    description;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: the misguided optimization                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The textbook routine that extracts and erases failing grades, with the
+   erase result discarded: after the first erase the loop re-tests
+   fgrade applied to a singular iterator dereference. *)
+let fig4_buggy =
+  [
+    stmt ~label:"vector<student_info> students"
+      (Decl_container { name = "students"; kind = Vector; sorted = false });
+    stmt ~label:"vector<student_info> fail"
+      (Decl_container { name = "fail"; kind = Vector; sorted = false });
+    stmt ~label:"iter = students.begin()"
+      (Decl_iter { name = "iter"; init = Begin_of "students" });
+    stmt ~label:"end_it = students.end()"
+      (Decl_iter { name = "end_it"; init = End_of "students" });
+    stmt ~label:"while (iter != end_it)"
+      (While
+         ( Iter_ne ("iter", "end_it"),
+           [
+             stmt ~label:"if (fgrade(*iter))"
+               (If
+                  ( Pred (Call ("fgrade", [ Deref "iter" ])),
+                    [
+                      stmt ~label:"fail.push_back(*iter)"
+                        (Push_back ("fail", Deref "iter"));
+                      stmt ~label:"students.erase(iter)"
+                        (Erase
+                           { container = "students"; at = "iter";
+                             result = None });
+                    ],
+                    [ stmt ~label:"++iter" (Incr "iter") ] ));
+           ] ));
+  ]
+
+(* The corrected routine: iter = students.erase(iter), and end re-fetched
+   (idiomatically, compare against students.end() each time). *)
+let fig4_fixed =
+  [
+    stmt ~label:"vector<student_info> students"
+      (Decl_container { name = "students"; kind = Vector; sorted = false });
+    stmt ~label:"vector<student_info> fail"
+      (Decl_container { name = "fail"; kind = Vector; sorted = false });
+    stmt ~label:"iter = students.begin()"
+      (Decl_iter { name = "iter"; init = Begin_of "students" });
+    stmt ~label:"end_it = students.end()"
+      (Decl_iter { name = "end_it"; init = End_of "students" });
+    stmt ~label:"while (iter != end_it)"
+      (While
+         ( Iter_ne ("iter", "end_it"),
+           [
+             stmt ~label:"if (fgrade(*iter))"
+               (If
+                  ( Pred (Call ("fgrade", [ Deref "iter" ])),
+                    [
+                      stmt ~label:"fail.push_back(*iter)"
+                        (Push_back ("fail", Deref "iter"));
+                      stmt ~label:"iter = students.erase(iter)"
+                        (Erase
+                           { container = "students"; at = "iter";
+                             result = Some "iter" });
+                      stmt ~label:"end_it = students.end()"
+                        (Assign_iter { name = "end_it"; init = End_of "students" });
+                    ],
+                    [ stmt ~label:"++iter" (Incr "iter") ] ));
+           ] ));
+  ]
+
+(* On a list, erase invalidates only the erased node — but discarding the
+   result still leaves iter singular. The list version with reassignment
+   is clean and does not even need to re-fetch end(). *)
+let list_erase_fixed =
+  [
+    stmt (Decl_container { name = "xs"; kind = List_; sorted = false });
+    stmt (Decl_iter { name = "it"; init = Begin_of "xs" });
+    stmt (Decl_iter { name = "last"; init = End_of "xs" });
+    stmt ~label:"while (it != last)"
+      (While
+         ( Iter_ne ("it", "last"),
+           [
+             stmt ~label:"if (pred(*it))"
+               (If
+                  ( Pred (Call ("pred", [ Deref "it" ])),
+                    [
+                      stmt ~label:"it = xs.erase(it)"
+                        (Erase { container = "xs"; at = "it"; result = Some "it" });
+                    ],
+                    [ stmt ~label:"++it" (Incr "it") ] ));
+           ] ));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation by growth                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* push_back while iterating a vector: every std::vector tutorial's
+   favourite trap. *)
+let push_back_while_iterating =
+  [
+    stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+    stmt (Decl_iter { name = "it"; init = Begin_of "v" });
+    stmt (Decl_iter { name = "last"; init = End_of "v" });
+    stmt ~label:"while (it != last)"
+      (While
+         ( Iter_ne ("it", "last"),
+           [
+             stmt ~label:"v.push_back(*it)" (Push_back ("v", Deref "it"));
+             stmt ~label:"++it" (Incr "it");
+           ] ));
+  ]
+
+(* The same pattern on a list is fine: list insertion invalidates
+   nothing. *)
+let push_back_while_iterating_list =
+  [
+    stmt (Decl_container { name = "l"; kind = List_; sorted = false });
+    stmt (Decl_iter { name = "it"; init = Begin_of "l" });
+    stmt (Decl_iter { name = "last"; init = End_of "l" });
+    stmt ~label:"while (it != last)"
+      (While
+         ( Iter_ne ("it", "last"),
+           [
+             stmt ~label:"l.push_back(*it)" (Push_back ("l", Deref "it"));
+             stmt ~label:"++it" (Incr "it");
+           ] ));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Past-the-end and unchecked results                                  *)
+(* ------------------------------------------------------------------ *)
+
+let deref_end =
+  [
+    stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+    stmt (Decl_iter { name = "e"; init = End_of "v" });
+    stmt ~label:"*e" (Deref_read "e");
+  ]
+
+let unchecked_find_result =
+  [
+    stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+    stmt ~label:"i = find(v.begin(), v.end(), 42)"
+      (Algo
+         { algo = "find";
+           args = [ A_range (R_container "v"); A_value (Const 42) ];
+           result = Some "i" });
+    stmt ~label:"*i" (Deref_read "i");
+  ]
+
+let checked_find_result =
+  [
+    stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+    stmt (Decl_iter { name = "last"; init = End_of "v" });
+    stmt ~label:"i = find(v.begin(), v.end(), 42)"
+      (Algo
+         { algo = "find";
+           args = [ A_range (R_container "v"); A_value (Const 42) ];
+           result = Some "i" });
+    stmt ~label:"if (i != last) use(*i)"
+      (If
+         ( Iter_ne ("i", "last"),
+           [ stmt ~label:"*i" (Deref_read "i") ],
+           [] ));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sortedness: precondition checking and optimization suggestion       *)
+(* ------------------------------------------------------------------ *)
+
+(* Section 3.2: sort then linear find — the suggestion to use
+   lower_bound. *)
+let sorted_then_linear_find =
+  [
+    stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+    stmt ~label:"sort(v.begin(), v.end())"
+      (Algo { algo = "sort"; args = [ A_range (R_container "v") ]; result = None });
+    stmt ~label:"i = find(v.begin(), v.end(), 42)"
+      (Algo
+         { algo = "find";
+           args = [ A_range (R_container "v"); A_value (Const 42) ];
+           result = Some "i" });
+  ]
+
+(* binary_search without sorting first: unverifiable precondition. *)
+let binary_search_unsorted =
+  [
+    stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+    stmt ~label:"binary_search(v.begin(), v.end(), 7)"
+      (Algo
+         { algo = "binary_search";
+           args = [ A_range (R_container "v"); A_value (Const 7) ];
+           result = None });
+  ]
+
+let binary_search_sorted =
+  [
+    stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+    stmt ~label:"sort(v.begin(), v.end())"
+      (Algo { algo = "sort"; args = [ A_range (R_container "v") ]; result = None });
+    stmt ~label:"binary_search(v.begin(), v.end(), 7)"
+      (Algo
+         { algo = "binary_search";
+           args = [ A_range (R_container "v"); A_value (Const 7) ];
+           result = None });
+  ]
+
+(* sortedness is destroyed by mutation: push_back after sort must bring
+   the precondition warning back. *)
+let sorted_then_push_then_binary_search =
+  [
+    stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+    stmt ~label:"sort(v)"
+      (Algo { algo = "sort"; args = [ A_range (R_container "v") ]; result = None });
+    stmt ~label:"v.push_back(99)" (Push_back ("v", Const 99));
+    stmt ~label:"binary_search(v, 7)"
+      (Algo
+         { algo = "binary_search";
+           args = [ A_range (R_container "v"); A_value (Const 7) ];
+           result = None });
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Iterator-concept requirements                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* sort on a list: requires random access. *)
+let sort_on_list =
+  [
+    stmt (Decl_container { name = "l"; kind = List_; sorted = false });
+    stmt ~label:"sort(l.begin(), l.end())"
+      (Algo { algo = "sort"; args = [ A_range (R_container "l") ]; result = None });
+  ]
+
+(* max_element over an input stream: the multipass violation detected via
+   the Input Iterator semantic archetype (Section 3.1). *)
+let max_element_on_stream =
+  [
+    stmt (Decl_container { name = "cin"; kind = Istream; sorted = false });
+    stmt ~label:"max_element(istream_begin, istream_end)"
+      (Algo
+         { algo = "max_element";
+           args = [ A_range (R_container "cin") ];
+           result = Some "m" });
+  ]
+
+(* accumulate over a stream is fine (single pass)... but doing it twice is
+   not. *)
+let stream_traversed_twice =
+  [
+    stmt (Decl_container { name = "cin"; kind = Istream; sorted = false });
+    stmt ~label:"s1 = accumulate(cin)"
+      (Algo
+         { algo = "accumulate"; args = [ A_range (R_container "cin") ];
+           result = None });
+    stmt ~label:"s2 = accumulate(cin)"
+      (Algo
+         { algo = "accumulate"; args = [ A_range (R_container "cin") ];
+           result = None });
+  ]
+
+let stream_single_traversal =
+  [
+    stmt (Decl_container { name = "cin"; kind = Istream; sorted = false });
+    stmt ~label:"s = accumulate(cin)"
+      (Algo
+         { algo = "accumulate"; args = [ A_range (R_container "cin") ];
+           result = None });
+  ]
+
+(* singular iterator: declared but never bound. *)
+let use_of_singular =
+  [
+    stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+    stmt (Decl_iter { name = "it"; init = Singular_init });
+    stmt ~label:"*it" (Deref_read "it");
+  ]
+
+(* a completely clean program: declare, fill, sort, lower_bound, checked
+   use. *)
+let clean_pipeline =
+  [
+    stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+    stmt ~label:"v.push_back(3)" (Push_back ("v", Const 3));
+    stmt ~label:"v.push_back(1)" (Push_back ("v", Const 1));
+    stmt ~label:"sort(v)"
+      (Algo { algo = "sort"; args = [ A_range (R_container "v") ]; result = None });
+    stmt (Decl_iter { name = "last"; init = End_of "v" });
+    stmt ~label:"i = lower_bound(v, 2)"
+      (Algo
+         { algo = "lower_bound";
+           args = [ A_range (R_container "v"); A_value (Const 2) ];
+           result = Some "i" });
+    stmt ~label:"if (i != last) use(*i)"
+      (If (Iter_ne ("i", "last"), [ stmt ~label:"*i" (Deref_read "i") ], []));
+  ]
+
+(* set operations need BOTH ranges sorted. *)
+let set_union_unsorted =
+  [
+    stmt (Decl_container { name = "a"; kind = Vector; sorted = false });
+    stmt (Decl_container { name = "b"; kind = Vector; sorted = false });
+    stmt ~label:"sort(a)"
+      (Algo { algo = "sort"; args = [ A_range (R_container "a") ]; result = None });
+    stmt ~label:"set_union(a, b, out)"
+      (Algo
+         { algo = "set_union";
+           args = [ A_range (R_container "a"); A_range (R_container "b") ];
+           result = None });
+  ]
+
+let set_union_sorted =
+  [
+    stmt (Decl_container { name = "a"; kind = Vector; sorted = false });
+    stmt (Decl_container { name = "b"; kind = Vector; sorted = false });
+    stmt ~label:"sort(a)"
+      (Algo { algo = "sort"; args = [ A_range (R_container "a") ]; result = None });
+    stmt ~label:"sort(b)"
+      (Algo { algo = "sort"; args = [ A_range (R_container "b") ]; result = None });
+    stmt ~label:"set_union(a, b, out)"
+      (Algo
+         { algo = "set_union";
+           args = [ A_range (R_container "a"); A_range (R_container "b") ];
+           result = None });
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The corpus                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let all : case list =
+  [
+    case "fig4-buggy" ~errors:1
+      "Fig. 4: erase discards its result; the loop dereferences a singular \
+       iterator"
+      fig4_buggy;
+    case "fig4-fixed"
+      "Fig. 4 corrected: iter = students.erase(iter), end refreshed"
+      fig4_fixed;
+    case "list-erase-fixed" "list erase with reassignment is clean"
+      list_erase_fixed;
+    case "push-back-while-iterating" ~errors:1
+      "vector push_back invalidates the loop iterator" push_back_while_iterating;
+    case "push-back-list-ok" "list push_back invalidates nothing"
+      push_back_while_iterating_list;
+    case "deref-end" ~errors:1 "dereference of end()" deref_end;
+    case "unchecked-find" ~warnings:1
+      "find result dereferenced without an end() check" unchecked_find_result;
+    case "checked-find" "find result compared against end() before use"
+      checked_find_result;
+    case "sorted-then-linear-find" ~suggestions:1
+      "Section 3.2: linear search over a sorted range" sorted_then_linear_find;
+    case "binary-search-unsorted" ~warnings:1
+      "binary_search precondition unverifiable" binary_search_unsorted;
+    case "binary-search-sorted" "sort establishes the precondition"
+      binary_search_sorted;
+    case "sorted-push-binary-search" ~warnings:1
+      "push_back destroys sortedness" sorted_then_push_then_binary_search;
+    case "sort-on-list" ~errors:1 "sort needs random access"
+      sort_on_list;
+    case "max-element-on-stream" ~errors:1
+      "Section 3.1: multipass requirement vs input iterator archetype"
+      max_element_on_stream;
+    case "stream-twice" ~errors:1 "single-pass stream traversed twice"
+      stream_traversed_twice;
+    case "stream-once" "single traversal of a stream is fine"
+      stream_single_traversal;
+    case "use-of-singular" ~errors:1 "default-initialised iterator used"
+      use_of_singular;
+    case "set-union-unsorted" ~warnings:1
+      "set_union requires both ranges sorted; only one was"
+      set_union_unsorted;
+    case "set-union-sorted" "both inputs sorted: clean" set_union_sorted;
+    case "clean-pipeline" "full pipeline with no defects" clean_pipeline;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Program generator (for the throughput bench): builds programs of      *)
+(* [n] loop blocks, a fixed fraction of them containing the Fig. 4 bug. *)
+(* ------------------------------------------------------------------ *)
+
+let generate ~blocks ~buggy_every =
+  let block i buggy =
+    let v = Printf.sprintf "v%d" i in
+    let it = Printf.sprintf "it%d" i in
+    let last = Printf.sprintf "last%d" i in
+    [
+      stmt (Decl_container { name = v; kind = Vector; sorted = false });
+      stmt (Decl_iter { name = it; init = Begin_of v });
+      stmt (Decl_iter { name = last; init = End_of v });
+      stmt
+        ~label:(Printf.sprintf "block %d while loop" i)
+        (While
+           ( Iter_ne (it, last),
+             [
+               stmt
+                 ~label:(Printf.sprintf "block %d body" i)
+                 (If
+                    ( Pred (Call ("p", [ Deref it ])),
+                      (if buggy then
+                         [
+                           stmt
+                             ~label:(Printf.sprintf "block %d erase" i)
+                             (Erase { container = v; at = it; result = None });
+                         ]
+                       else
+                         [
+                           stmt
+                             ~label:(Printf.sprintf "block %d erase" i)
+                             (Erase { container = v; at = it; result = Some it });
+                           stmt
+                             ~label:(Printf.sprintf "block %d refresh end" i)
+                             (Assign_iter { name = last; init = End_of v });
+                         ]),
+                      [ stmt ~label:"incr" (Incr it) ] ));
+             ] ));
+    ]
+  in
+  List.concat
+    (List.init blocks (fun i -> block i (buggy_every > 0 && i mod buggy_every = 0)))

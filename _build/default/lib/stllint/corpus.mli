@@ -1,0 +1,48 @@
+(** Canonical checked programs: the paper's examples (Fig. 4, the
+    Section 3.2 sorted-find, the Section 3.1 multipass archetype case)
+    and their corrected variants, each with expected diagnostic counts.
+    Used by the tests, the examples, the CLI and the bench harness. *)
+
+type expectation = {
+  expect_errors : int;
+  expect_warnings : int;
+  expect_suggestions : int;
+}
+
+type case = {
+  case_name : string;
+  program : Ast.stmt list;
+  expect : expectation;
+  description : string;
+}
+
+(** {2 Named programs} *)
+
+val fig4_buggy : Ast.stmt list
+(** The textbook erase loop with the result discarded. *)
+
+val fig4_fixed : Ast.stmt list
+val list_erase_fixed : Ast.stmt list
+val push_back_while_iterating : Ast.stmt list
+val push_back_while_iterating_list : Ast.stmt list
+val deref_end : Ast.stmt list
+val unchecked_find_result : Ast.stmt list
+val checked_find_result : Ast.stmt list
+val sorted_then_linear_find : Ast.stmt list
+val binary_search_unsorted : Ast.stmt list
+val binary_search_sorted : Ast.stmt list
+val sorted_then_push_then_binary_search : Ast.stmt list
+val sort_on_list : Ast.stmt list
+val max_element_on_stream : Ast.stmt list
+val stream_traversed_twice : Ast.stmt list
+val stream_single_traversal : Ast.stmt list
+val use_of_singular : Ast.stmt list
+val clean_pipeline : Ast.stmt list
+val set_union_unsorted : Ast.stmt list
+val set_union_sorted : Ast.stmt list
+
+val all : case list
+
+val generate : blocks:int -> buggy_every:int -> Ast.stmt list
+(** Programs of [blocks] loop blocks for the throughput bench; every
+    [buggy_every]-th block contains the Fig. 4 bug (0 = none). *)

@@ -1,0 +1,93 @@
+(* Render a checked-language AST back to the surface syntax of {!Parser}.
+   [Parser.parse_program (to_source p)] yields a structurally equal
+   program (labels aside), which the round-trip property test verifies
+   over the whole corpus. *)
+
+open Ast
+
+let rec pp_expr ppf = function
+  | Const k -> Fmt.int ppf k
+  | Var x -> Fmt.string ppf x
+  | Deref x -> Fmt.pf ppf "*%s" x
+  | Call (f, args) ->
+    Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp_expr) args
+
+let pp_cond ppf = function
+  | Iter_ne (a, b) -> Fmt.pf ppf "%s != %s" a b
+  | Iter_eq (a, b) -> Fmt.pf ppf "%s == %s" a b
+  | Pred e -> pp_expr ppf e
+
+let pp_arg ppf = function
+  | A_range (R_container c) -> Fmt.string ppf c
+  | A_range (R_iters (i, j)) -> Fmt.pf ppf "%s..%s" i j
+  | A_iter it -> Fmt.string ppf it
+  | A_value e -> pp_expr ppf e
+  | A_pred p -> Fmt.string ppf p
+
+let pp_init ppf = function
+  | Begin_of c -> Fmt.pf ppf "%s.begin()" c
+  | End_of c -> Fmt.pf ppf "%s.end()" c
+  | Copy_of x -> Fmt.string ppf x
+  | Singular_init -> Fmt.string ppf "singular"
+
+let rec pp_stmt ~indent ppf { node; _ } =
+  let pad = String.make indent ' ' in
+  match node with
+  | Decl_container { name; kind; sorted } ->
+    Fmt.pf ppf "%s%s<_> %s%s;" pad (kind_name kind) name
+      (if sorted then " sorted" else "")
+  | Decl_iter { name; init } -> Fmt.pf ppf "%siter %s = %a;" pad name pp_init init
+  | Assign_iter { name; init } -> Fmt.pf ppf "%s%s = %a;" pad name pp_init init
+  | Incr x -> Fmt.pf ppf "%s++%s;" pad x
+  | Decr x -> Fmt.pf ppf "%s--%s;" pad x
+  | Deref_read x -> Fmt.pf ppf "%s*%s;" pad x
+  | Deref_write (x, e) -> Fmt.pf ppf "%s*%s = %a;" pad x pp_expr e
+  | Push_back (c, e) -> Fmt.pf ppf "%s%s.push_back(%a);" pad c pp_expr e
+  | Push_front (c, e) -> Fmt.pf ppf "%s%s.push_front(%a);" pad c pp_expr e
+  | Pop_back c -> Fmt.pf ppf "%s%s.pop_back();" pad c
+  | Erase { container; at; result = None } ->
+    Fmt.pf ppf "%s%s.erase(%s);" pad container at
+  | Erase { container; at; result = Some r } ->
+    Fmt.pf ppf "%s%s = %s.erase(%s);" pad r container at
+  | Insert { container; at; value; result = None } ->
+    Fmt.pf ppf "%s%s.insert(%s, %a);" pad container at pp_expr value
+  | Insert { container; at; value; result = Some r } ->
+    Fmt.pf ppf "%s%s = %s.insert(%s, %a);" pad r container at pp_expr value
+  | Algo { algo; args; result = None } ->
+    Fmt.pf ppf "%s%s(%a);" pad algo Fmt.(list ~sep:(any ", ") pp_arg) args
+  | Algo { algo; args; result = Some r } ->
+    Fmt.pf ppf "%siter %s = %s(%a);" pad r algo
+      Fmt.(list ~sep:(any ", ") pp_arg)
+      args
+  | Expr_stmt e -> Fmt.pf ppf "%s%a;" pad pp_expr e
+  | If (cond, then_, []) ->
+    Fmt.pf ppf "%sif (%a) {@\n%a@\n%s}" pad pp_cond cond
+      (pp_block ~indent:(indent + 2))
+      then_ pad
+  | If (cond, then_, else_) ->
+    Fmt.pf ppf "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_cond cond
+      (pp_block ~indent:(indent + 2))
+      then_ pad
+      (pp_block ~indent:(indent + 2))
+      else_ pad
+  | While (cond, body) ->
+    Fmt.pf ppf "%swhile (%a) {@\n%a@\n%s}" pad pp_cond cond
+      (pp_block ~indent:(indent + 2))
+      body pad
+
+and pp_block ~indent ppf stmts =
+  Fmt.(list ~sep:(any "@\n") (pp_stmt ~indent)) ppf stmts
+
+let to_source program = Fmt.str "@[<v>%a@]" (pp_block ~indent:0) program
+
+(* Structural program equality ignoring labels — what the round-trip
+   preserves. *)
+let rec stmt_equal a b =
+  match a.node, b.node with
+  | If (c1, t1, e1), If (c2, t2, e2) ->
+    c1 = c2 && block_equal t1 t2 && block_equal e1 e2
+  | While (c1, b1), While (c2, b2) -> c1 = c2 && block_equal b1 b2
+  | n1, n2 -> n1 = n2
+
+and block_equal xs ys =
+  List.length xs = List.length ys && List.for_all2 stmt_equal xs ys

@@ -1,0 +1,13 @@
+(** Render a checked-language AST back to the {!Parser} surface syntax;
+    parsing the result reproduces the program structurally (labels
+    aside). *)
+
+val to_source : Ast.stmt list -> string
+
+val stmt_equal : Ast.stmt -> Ast.stmt -> bool
+(** Structural equality ignoring source labels. *)
+
+val block_equal : Ast.stmt list -> Ast.stmt list -> bool
+
+val pp_stmt : indent:int -> Format.formatter -> Ast.stmt -> unit
+val pp_block : indent:int -> Format.formatter -> Ast.stmt list -> unit

@@ -1,0 +1,104 @@
+(* Library-supplied semantic specifications.
+
+   "By analyzing the behavior of abstractions at a high level and ignoring
+   the implementation of the abstractions, STLlint is able to detect errors
+   in the use of libraries that could not be detected with traditional
+   language-level checking."
+
+   Each container operation declares its iterator-invalidation effect; each
+   algorithm declares its iterator-concept requirement (including the
+   *semantic* multipass requirement of Forward Iterator), its
+   preconditions (sortedness), its postconditions (sortedness established,
+   shape of the returned iterator), and an optional algorithmic-optimization
+   suggestion fired when the input is known sorted (Section 3.2). *)
+
+type invalidation =
+  | Invalidates_all (* vector/deque structural mutation *)
+  | Invalidates_point (* list erase: only the erased position *)
+  | Invalidates_none (* list insert *)
+
+let erase_effect = function
+  | Ast.Vector | Ast.Deque -> Invalidates_all
+  | Ast.List_ -> Invalidates_point
+  | Ast.Istream -> Invalidates_all
+
+let insert_effect = function
+  | Ast.Vector | Ast.Deque -> Invalidates_all
+  | Ast.List_ -> Invalidates_none
+  | Ast.Istream -> Invalidates_all
+
+let push_effect = function
+  | Ast.Vector | Ast.Deque -> Invalidates_all
+  | Ast.List_ -> Invalidates_none
+  | Ast.Istream -> Invalidates_all
+
+(* What kind of iterator an algorithm returns. *)
+type result_kind =
+  | R_none (* returns void / a scalar, no iterator *)
+  | R_iter_maybe_end (* an iterator that may equal end (find, ...) *)
+  | R_iter_valid (* an iterator guaranteed dereferenceable *)
+
+type algo_spec = {
+  sp_name : string;
+  sp_category : Gp_sequence.Iter.category; (* minimal concept required *)
+  sp_multipass : bool; (* semantic Forward requirement *)
+  sp_requires_sorted : bool;
+  sp_establishes_sorted : bool;
+  sp_mutates : bool; (* writes through the range (values only) *)
+  sp_result : result_kind;
+  sp_sorted_alternative : string option;
+      (* cheaper algorithm when the range is known sorted *)
+}
+
+let algo ?(multipass = false) ?(requires_sorted = false)
+    ?(establishes_sorted = false) ?(mutates = false) ?(result = R_none)
+    ?sorted_alternative name category =
+  {
+    sp_name = name;
+    sp_category = category;
+    sp_multipass = multipass;
+    sp_requires_sorted = requires_sorted;
+    sp_establishes_sorted = establishes_sorted;
+    sp_mutates = mutates;
+    sp_result = result;
+    sp_sorted_alternative = sorted_alternative;
+  }
+
+open Gp_sequence.Iter
+
+let algorithms =
+  [
+    algo "find" Input ~result:R_iter_maybe_end ~sorted_alternative:"lower_bound";
+    algo "find_if" Input ~result:R_iter_maybe_end;
+    algo "count" Input ~sorted_alternative:"equal_range";
+    algo "accumulate" Input;
+    algo "for_each" Input;
+    algo "copy" Input;
+    algo "equal" Input;
+    (* max_element keeps a saved iterator: the multipass requirement the
+       semantic Input-Iterator archetype exposes (Section 3.1) *)
+    algo "max_element" Forward ~multipass:true ~result:R_iter_maybe_end;
+    algo "min_element" Forward ~multipass:true ~result:R_iter_maybe_end;
+    algo "adjacent_find" Forward ~multipass:true ~result:R_iter_maybe_end;
+    algo "unique" Forward ~multipass:true ~mutates:true ~result:R_iter_maybe_end;
+    algo "remove" Forward ~mutates:true ~result:R_iter_maybe_end;
+    algo "rotate" Forward ~multipass:true ~mutates:true ~result:R_iter_maybe_end;
+    algo "fill" Forward ~mutates:true;
+    algo "reverse" Bidirectional ~mutates:true;
+    algo "sort" Random_access ~mutates:true ~establishes_sorted:true;
+    algo "stable_sort" Random_access ~mutates:true ~establishes_sorted:true;
+    algo "nth_element" Random_access ~mutates:true;
+    algo "lower_bound" Forward ~requires_sorted:true ~result:R_iter_maybe_end;
+    algo "upper_bound" Forward ~requires_sorted:true ~result:R_iter_maybe_end;
+    algo "binary_search" Forward ~requires_sorted:true;
+    algo "merge" Input ~requires_sorted:true;
+    algo "includes" Input ~requires_sorted:true;
+    algo "set_union" Input ~requires_sorted:true;
+    algo "set_intersection" Input ~requires_sorted:true;
+    algo "set_difference" Input ~requires_sorted:true;
+    algo "inplace_merge" Bidirectional ~requires_sorted:true ~mutates:true
+      ~establishes_sorted:true;
+  ]
+
+let find_algo name =
+  List.find_opt (fun s -> String.equal s.sp_name name) algorithms

@@ -1,0 +1,51 @@
+(** Library-supplied semantic specifications (paper Section 3.1): the
+    checker analyzes programs against these, never against
+    implementations.
+
+    Container operations declare their iterator-invalidation effects;
+    algorithms declare their iterator-concept requirement (including the
+    semantic multipass property), preconditions (sortedness),
+    postconditions, result shape, and an optional cheaper alternative
+    for sorted input (the Section 3.2 suggestion). *)
+
+type invalidation =
+  | Invalidates_all  (** vector/deque structural mutation *)
+  | Invalidates_point  (** list erase: only the erased position *)
+  | Invalidates_none  (** list insert *)
+
+val erase_effect : Ast.container_kind -> invalidation
+val insert_effect : Ast.container_kind -> invalidation
+val push_effect : Ast.container_kind -> invalidation
+
+type result_kind =
+  | R_none
+  | R_iter_maybe_end  (** may equal end (find, lower_bound, ...) *)
+  | R_iter_valid
+
+type algo_spec = {
+  sp_name : string;
+  sp_category : Gp_sequence.Iter.category;
+  sp_multipass : bool;
+  sp_requires_sorted : bool;
+  sp_establishes_sorted : bool;
+  sp_mutates : bool;
+  sp_result : result_kind;
+  sp_sorted_alternative : string option;
+}
+
+val algo :
+  ?multipass:bool ->
+  ?requires_sorted:bool ->
+  ?establishes_sorted:bool ->
+  ?mutates:bool ->
+  ?result:result_kind ->
+  ?sorted_alternative:string ->
+  string ->
+  Gp_sequence.Iter.category ->
+  algo_spec
+
+val algorithms : algo_spec list
+(** The shipped specification table (find, sort, binary_search,
+    max_element, ...). *)
+
+val find_algo : string -> algo_spec option

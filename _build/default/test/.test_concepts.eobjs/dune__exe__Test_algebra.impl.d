@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Gp_algebra Instances Laws QCheck QCheck_alcotest Random Rational Sigs

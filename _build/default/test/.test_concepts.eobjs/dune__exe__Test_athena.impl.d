@@ -1,0 +1,1 @@
+test/test_athena.ml: Ab Alcotest Deduction Gp_athena List Logic Theorems Theory

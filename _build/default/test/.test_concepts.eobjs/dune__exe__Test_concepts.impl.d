@@ -1,0 +1,1 @@
+test/test_concepts.ml: Alcotest Archetype Check Complexity Concept Ctype Emulation Fmt Gp_algebra Gp_concepts Gp_graph Gp_sequence List Option Overload Printf Propagate Registry String Taxonomy

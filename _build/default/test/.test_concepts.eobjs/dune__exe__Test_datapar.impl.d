@@ -1,0 +1,1 @@
+test/test_datapar.ml: Alcotest Array Datapar Gen Gp_algebra Gp_datapar QCheck QCheck_alcotest

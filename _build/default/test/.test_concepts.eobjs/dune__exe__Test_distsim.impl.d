@@ -1,0 +1,1 @@
+test/test_distsim.ml: Alcotest Algorithms Array Engine Float Gp_concepts Gp_distsim List Printf QCheck QCheck_alcotest Random Taxonomy7 Topology

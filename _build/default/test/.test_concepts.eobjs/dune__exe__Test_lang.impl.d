@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Check Complexity Concept Ctype Fmt Gp_algebra Gp_concepts Lang List Option Registry String

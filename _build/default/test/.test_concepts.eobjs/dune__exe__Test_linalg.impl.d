@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Check Complexf Ctype Decls Dense Float Gp_algebra Gp_concepts Gp_linalg QCheck QCheck_alcotest Random Registry Vec

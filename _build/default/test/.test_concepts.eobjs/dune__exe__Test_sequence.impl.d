@@ -1,0 +1,1 @@
+test/test_sequence.ml: Alcotest Algorithms Array Deque Dlist Fun Gp_concepts Gp_sequence Int Iter List QCheck QCheck_alcotest Stdlib Taxonomy_stl Varray

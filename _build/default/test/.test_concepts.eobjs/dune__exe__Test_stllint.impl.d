@@ -1,0 +1,1 @@
+test/test_stllint.ml: Alcotest Ast Corpus Fmt Gp_stllint Interp List String

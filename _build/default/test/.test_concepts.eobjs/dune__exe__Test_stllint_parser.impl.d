@@ -1,0 +1,1 @@
+test/test_stllint_parser.ml: Alcotest Ast Corpus Gp_stllint Interp List Parser Render String

@@ -1,0 +1,389 @@
+(* Tests for the proof checker: soundness (improper deductions rejected),
+   the Fig. 6 SWO theorems, the group derivations, and generic-proof
+   instantiation across operator mappings. *)
+
+open Gp_athena
+open Logic
+
+let check_thm ~axioms thm =
+  match Theorems.verify ~axioms thm with
+  | Deduction.Proved -> ()
+  | v ->
+    Alcotest.failf "%s: %a" thm.Theorems.thm_name Deduction.pp_verdict v
+
+(* ------------------------------------------------------------------ *)
+(* Logic basics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_alpha_equality () =
+  let p = Forall ("x", Atom ("P", [ Var "x" ])) in
+  let q = Forall ("y", Atom ("P", [ Var "y" ])) in
+  Alcotest.(check bool) "alpha equal" true (alpha_equal p q);
+  let r = Forall ("x", Atom ("P", [ Var "z" ])) in
+  Alcotest.(check bool) "different free var" false (alpha_equal p r)
+
+let test_capture_avoiding_subst () =
+  (* (forall y. P(x, y))[x := y]  must NOT capture: becomes forall y'. P(y, y') *)
+  let p = Forall ("y", Atom ("P", [ Var "x"; Var "y" ])) in
+  let s = subst [ ("x", Var "y") ] p in
+  match s with
+  | Forall (b, Atom ("P", [ Var "y"; Var b' ])) ->
+    Alcotest.(check bool) "binder renamed" true (b <> "y" && b = b')
+  | _ -> Alcotest.fail "unexpected substitution result"
+
+let test_free_vars () =
+  let p = Forall ("x", Atom ("P", [ Var "x"; Var "y" ])) in
+  Alcotest.(check (list string)) "only y free" [ "y" ] (free_vars [] p)
+
+(* ------------------------------------------------------------------ *)
+(* Checker soundness: improper deductions                              *)
+(* ------------------------------------------------------------------ *)
+
+let patom name = Atom (name, [])
+
+let expect_improper ~axioms d =
+  match Deduction.eval (Ab.of_list axioms) d with
+  | p -> Alcotest.failf "unsound: accepted %a" Logic.pp p
+  | exception Deduction.Proof_error _ -> ()
+
+let test_claim_requires_membership () =
+  expect_improper ~axioms:[] (Deduction.Claim (patom "p"))
+
+let test_mp_checks_premise () =
+  let p = patom "p" and q = patom "q" and r = patom "r" in
+  expect_improper
+    ~axioms:[ Implies (p, q); r ]
+    Deduction.(Mp (Claim (Implies (p, q)), Claim r))
+
+let test_suppose_absurd_needs_false () =
+  let p = patom "p" in
+  expect_improper ~axioms:[ p ]
+    Deduction.(Suppose_absurd (patom "q", Claim p))
+
+let test_eigenvariable_condition () =
+  (* With P(a) assumed, generalizing over a must fail. *)
+  let pa = Atom ("P", [ Var "a" ]) in
+  expect_improper ~axioms:[ pa ] Deduction.(Gen ([ "a" ], Claim pa))
+
+let test_trans_must_chain () =
+  let e1 = Eq (const "a", const "b") in
+  let e2 = Eq (const "c", const "d") in
+  expect_improper ~axioms:[ e1; e2 ]
+    Deduction.(Trans (Claim e1, Claim e2))
+
+let test_leibniz_pattern_mismatch () =
+  let eq = Eq (const "a", const "b") in
+  let pa = Atom ("P", [ const "a" ]) in
+  let wrong = Atom ("Q", [ const "a" ]) in
+  expect_improper ~axioms:[ eq; wrong ]
+    Deduction.(Leibniz (Claim eq, "x", Atom ("P", [ Var "x" ]), Claim wrong));
+  (* and the proper use succeeds *)
+  let good =
+    Deduction.eval
+      (Ab.of_list [ eq; pa ])
+      Deduction.(Leibniz (Claim eq, "x", Atom ("P", [ Var "x" ]), Claim pa))
+  in
+  Alcotest.(check bool) "leibniz rewrites" true
+    (alpha_equal good (Atom ("P", [ const "b" ])))
+
+let test_assume_discharges () =
+  let p = patom "p" in
+  let d = Deduction.(Assume (p, Claim p)) in
+  let r = Deduction.eval Ab.empty d in
+  Alcotest.(check bool) "p ==> p" true (alpha_equal r (Implies (p, p)))
+
+let test_cases () =
+  let p = patom "p" and q = patom "q" and r = patom "r" in
+  let axioms = [ Or (p, q); Implies (p, r); Implies (q, r) ] in
+  let d =
+    Deduction.(
+      Cases
+        ( Claim (Or (p, q)),
+          Claim (Implies (p, r)),
+          Claim (Implies (q, r)) ))
+  in
+  let res = Deduction.eval (Ab.of_list axioms) d in
+  Alcotest.(check bool) "or-elim yields r" true (alpha_equal res r)
+
+let test_or_intro_and_ex_falso () =
+  let p = patom "p" and q = patom "q" in
+  let ab = Ab.of_list [ p; False ] in
+  Alcotest.(check bool) "either-left" true
+    (alpha_equal
+       (Deduction.eval ab (Deduction.Either_left (Deduction.Claim p, q)))
+       (Or (p, q)));
+  Alcotest.(check bool) "either-right" true
+    (alpha_equal
+       (Deduction.eval ab (Deduction.Either_right (q, Deduction.Claim p)))
+       (Or (q, p)));
+  Alcotest.(check bool) "ex falso" true
+    (alpha_equal
+       (Deduction.eval ab (Deduction.From_false (Deduction.Claim False, q)))
+       q)
+
+let test_iff_rules () =
+  let p = patom "p" and q = patom "q" in
+  let ab = Ab.of_list [ Implies (p, q); Implies (q, p) ] in
+  let iff =
+    Deduction.(
+      Iff_intro (Claim (Implies (p, q)), Claim (Implies (q, p))))
+  in
+  Alcotest.(check bool) "iff-intro" true
+    (alpha_equal (Deduction.eval ab iff) (Iff (p, q)));
+  Alcotest.(check bool) "iff-left" true
+    (alpha_equal (Deduction.eval ab (Deduction.Iff_left iff)) (Implies (p, q)));
+  Alcotest.(check bool) "iff-right" true
+    (alpha_equal (Deduction.eval ab (Deduction.Iff_right iff)) (Implies (q, p)));
+  (* mismatched halves rejected *)
+  let r = patom "r" in
+  expect_improper
+    ~axioms:[ Implies (p, q); Implies (r, p) ]
+    Deduction.(Iff_intro (Claim (Implies (p, q)), Claim (Implies (r, p))))
+
+let test_mt_and_double_neg () =
+  let p = patom "p" and q = patom "q" in
+  let ab = Ab.of_list [ Implies (p, q); Not q; Not (Not p) ] in
+  Alcotest.(check bool) "modus tollens" true
+    (alpha_equal
+       (Deduction.eval ab
+          Deduction.(Mt (Claim (Implies (p, q)), Claim (Not q))))
+       (Not p));
+  Alcotest.(check bool) "double negation" true
+    (alpha_equal
+       (Deduction.eval ab (Deduction.Double_neg (Deduction.Claim (Not (Not p)))))
+       p)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: SWO theorems                                                *)
+(* ------------------------------------------------------------------ *)
+
+let swo_axioms lt () = Theory.strict_weak_order ~lt
+
+let test_swo_reflexive () =
+  check_thm ~axioms:(swo_axioms "lt" ()) (Theorems.swo_e_reflexive ~lt:"lt")
+
+let test_swo_symmetric () =
+  check_thm ~axioms:(swo_axioms "lt" ()) (Theorems.swo_e_symmetric ~lt:"lt")
+
+let test_swo_transitive () =
+  check_thm ~axioms:(swo_axioms "lt" ()) (Theorems.swo_e_transitive ~lt:"lt")
+
+let test_swo_asymmetric () =
+  check_thm ~axioms:(swo_axioms "lt" ()) (Theorems.swo_asymmetric ~lt:"lt")
+
+(* The SWO proofs are generic in the relation symbol: instantiate for
+   int's <, string's <, and a reversed order. *)
+let test_swo_generic_instantiation () =
+  List.iter
+    (fun lt ->
+      check_thm ~axioms:(swo_axioms lt ()) (Theorems.swo_e_reflexive ~lt);
+      check_thm ~axioms:(swo_axioms lt ()) (Theorems.swo_e_symmetric ~lt);
+      check_thm ~axioms:(swo_axioms lt ()) (Theorems.swo_asymmetric ~lt))
+    [ "int_lt"; "string_lt"; "int_gt" ]
+
+(* Wrong axioms: the reflexivity proof must NOT check against a partial
+   order's axioms (no irreflexivity axiom there). *)
+let test_swo_proof_fails_on_wrong_theory () =
+  let axioms = Theory.props (Theory.partial_order ~leq:"lt") in
+  let thm = Theorems.swo_e_reflexive ~lt:"lt" in
+  match Deduction.check ~axioms ~goal:thm.Theorems.goal thm.Theorems.proof with
+  | Deduction.Proved -> Alcotest.fail "proof checked against wrong theory"
+  | Deduction.Improper _ | Deduction.Wrong_conclusion _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Monoid / group derivations                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_monoid_identity_unique () =
+  check_thm
+    ~axioms:(Theory.monoid Theory.int_mul)
+    (Theorems.monoid_identity_unique Theory.int_mul)
+
+let test_group_right_inverse () =
+  check_thm
+    ~axioms:(Theory.group_minimal Theory.int_add)
+    (Theorems.group_right_inverse Theory.int_add)
+
+let test_group_right_identity () =
+  check_thm
+    ~axioms:(Theory.group_minimal Theory.int_add)
+    (Theorems.group_right_identity Theory.int_add)
+
+let test_group_double_inverse () =
+  check_thm
+    ~axioms:(Theory.group_minimal Theory.int_add)
+    (Theorems.group_double_inverse Theory.int_add)
+
+(* One generic proof, many instances: every Fig. 5 group carrier. *)
+let test_group_theorems_all_instances () =
+  let results =
+    Theorems.check_for_instances
+      ~theorem:Theorems.group_right_inverse
+      ~axioms:Theory.group_minimal Theory.group_instances
+  in
+  List.iter
+    (fun (name, verdict) ->
+      match verdict with
+      | Deduction.Proved -> ()
+      | v -> Alcotest.failf "%s: %a" name Deduction.pp_verdict v)
+    results;
+  Alcotest.(check int) "all instances checked"
+    (List.length Theory.group_instances)
+    (List.length results)
+
+let int_ring =
+  { Theory.r_name = "int"; add = Theory.int_add; mul = Theory.int_mul }
+
+let test_group_left_cancellation () =
+  check_thm
+    ~axioms:(Theory.group_minimal Theory.int_add)
+    (Theorems.group_left_cancellation Theory.int_add)
+
+let test_ring_mul_zero () =
+  check_thm ~axioms:(Theory.ring int_ring) (Theorems.ring_mul_zero int_ring)
+
+let test_ring_zero_mul () =
+  check_thm ~axioms:(Theory.ring int_ring) (Theorems.ring_zero_mul int_ring)
+
+(* the annihilation proof needs the ring axioms: it must NOT check against
+   a bare monoid base *)
+let test_ring_proof_needs_ring_axioms () =
+  let thm = Theorems.ring_mul_zero int_ring in
+  match
+    Deduction.check
+      ~axioms:(Theory.props (Theory.monoid Theory.int_mul))
+      ~goal:thm.Theorems.goal thm.Theorems.proof
+  with
+  | Deduction.Proved -> Alcotest.fail "checked against insufficient axioms"
+  | _ -> ()
+
+(* Tampered proof: swapping two steps must be rejected. *)
+let test_tampered_proof_rejected () =
+  let m = Theory.int_add in
+  let thm = Theorems.group_right_inverse m in
+  let tampered =
+    match thm.Theorems.proof with
+    | Deduction.Gen (xs, Deduction.Trans (a, b)) ->
+      Deduction.Gen (xs, Deduction.Trans (b, a))
+    | d -> d
+  in
+  match
+    Deduction.check
+      ~axioms:(Theory.props (Theory.group_minimal m))
+      ~goal:thm.Theorems.goal tampered
+  with
+  | Deduction.Proved -> Alcotest.fail "tampered proof accepted"
+  | _ -> ()
+
+(* Order-theory morphism: the strict part of a total order satisfies the
+   SWO axioms — all three derived theorems check. *)
+let test_total_order_strict_is_swo () =
+  List.iter
+    (fun leq ->
+      List.iter
+        (fun thm_fn ->
+          check_thm ~axioms:(Theory.total_order ~leq) (thm_fn ~leq))
+        [ Theorems.strict_irreflexive; Theorems.strict_transitive;
+          Theorems.strict_equiv_transitive ])
+    [ "int_le"; "string_le" ]
+
+(* ... but equivalence transitivity genuinely needs totality: it must
+   NOT check against a mere partial order (incomparability is not
+   transitive in posets). *)
+let test_equiv_transitivity_needs_totality () =
+  let thm = Theorems.strict_equiv_transitive ~leq:"le" in
+  match
+    Deduction.check
+      ~axioms:(Theory.props (Theory.partial_order ~leq:"le"))
+      ~goal:thm.Theorems.goal thm.Theorems.proof
+  with
+  | Deduction.Proved -> Alcotest.fail "proved without totality"
+  | _ -> ();
+  (* the other two hold already for partial orders *)
+  check_thm ~axioms:(Theory.partial_order ~leq:"le")
+    (Theorems.strict_irreflexive ~leq:"le");
+  check_thm ~axioms:(Theory.partial_order ~leq:"le")
+    (Theorems.strict_transitive ~leq:"le")
+
+(* Ring theory sanity: axiom naming and counts. *)
+let test_ring_theory_shape () =
+  let rm =
+    { Theory.r_name = "int"; add = Theory.int_add; mul = Theory.int_mul }
+  in
+  let axs = Theory.ring rm in
+  Alcotest.(check bool) "has add_commutativity" true
+    (List.exists (fun ax -> ax.Theory.ax_name = "add_commutativity") axs);
+  Alcotest.(check bool) "has distributivity" true
+    (List.exists (fun ax -> ax.Theory.ax_name = "left_distributivity") axs)
+
+let test_proof_size () =
+  let thm = Theorems.group_right_inverse Theory.int_add in
+  Alcotest.(check bool) "non-trivial proof" true
+    (Deduction.size thm.Theorems.proof > 10)
+
+let () =
+  Alcotest.run "gp_athena"
+    [
+      ( "logic",
+        [
+          Alcotest.test_case "alpha equality" `Quick test_alpha_equality;
+          Alcotest.test_case "capture-avoiding subst" `Quick
+            test_capture_avoiding_subst;
+          Alcotest.test_case "free vars" `Quick test_free_vars;
+        ] );
+      ( "checker soundness",
+        [
+          Alcotest.test_case "claim membership" `Quick
+            test_claim_requires_membership;
+          Alcotest.test_case "mp premise" `Quick test_mp_checks_premise;
+          Alcotest.test_case "suppose-absurd" `Quick
+            test_suppose_absurd_needs_false;
+          Alcotest.test_case "eigenvariable" `Quick
+            test_eigenvariable_condition;
+          Alcotest.test_case "trans chains" `Quick test_trans_must_chain;
+          Alcotest.test_case "leibniz" `Quick test_leibniz_pattern_mismatch;
+          Alcotest.test_case "assume" `Quick test_assume_discharges;
+          Alcotest.test_case "cases" `Quick test_cases;
+          Alcotest.test_case "or-intro / ex falso" `Quick
+            test_or_intro_and_ex_falso;
+          Alcotest.test_case "iff rules" `Quick test_iff_rules;
+          Alcotest.test_case "mt / double-neg" `Quick test_mt_and_double_neg;
+        ] );
+      ( "fig6 swo",
+        [
+          Alcotest.test_case "E reflexive" `Quick test_swo_reflexive;
+          Alcotest.test_case "E symmetric" `Quick test_swo_symmetric;
+          Alcotest.test_case "E transitive" `Quick test_swo_transitive;
+          Alcotest.test_case "lt asymmetric" `Quick test_swo_asymmetric;
+          Alcotest.test_case "generic instantiation" `Quick
+            test_swo_generic_instantiation;
+          Alcotest.test_case "wrong theory rejected" `Quick
+            test_swo_proof_fails_on_wrong_theory;
+        ] );
+      ( "algebra theorems",
+        [
+          Alcotest.test_case "identity unique" `Quick
+            test_monoid_identity_unique;
+          Alcotest.test_case "right inverse" `Quick test_group_right_inverse;
+          Alcotest.test_case "right identity" `Quick
+            test_group_right_identity;
+          Alcotest.test_case "double inverse" `Quick
+            test_group_double_inverse;
+          Alcotest.test_case "all instances" `Quick
+            test_group_theorems_all_instances;
+          Alcotest.test_case "left cancellation" `Quick
+            test_group_left_cancellation;
+          Alcotest.test_case "ring: x*0 = 0" `Quick test_ring_mul_zero;
+          Alcotest.test_case "ring: 0*x = 0" `Quick test_ring_zero_mul;
+          Alcotest.test_case "ring proof needs ring axioms" `Quick
+            test_ring_proof_needs_ring_axioms;
+          Alcotest.test_case "total order strict part is SWO" `Quick
+            test_total_order_strict_is_swo;
+          Alcotest.test_case "equiv transitivity needs totality" `Quick
+            test_equiv_transitivity_needs_totality;
+          Alcotest.test_case "tampered rejected" `Quick
+            test_tampered_proof_rejected;
+          Alcotest.test_case "ring shape" `Quick test_ring_theory_shape;
+          Alcotest.test_case "proof size" `Quick test_proof_size;
+        ] );
+    ]

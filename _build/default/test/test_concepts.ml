@@ -1,0 +1,601 @@
+(* Tests for the concept engine: type language, complexity algebra,
+   checking, propagation, archetypes, overloading, taxonomies. *)
+
+open Gp_concepts
+
+let n name = Ctype.Named name
+let v name = Ctype.Var name
+
+let contains s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  lb = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Ctype                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ctype_subst () =
+  let t = Ctype.Assoc (v "G", "vertex_type") in
+  let s = Ctype.subst [ ("G", n "graph") ] t in
+  Alcotest.(check string) "subst resolves var" "graph.vertex_type"
+    (Ctype.to_string s);
+  Alcotest.(check bool) "ground after subst" true (Ctype.is_ground s)
+
+let test_ctype_vars () =
+  let t = Ctype.App ("pair", [ v "A"; Ctype.Assoc (v "B", "elem") ]) in
+  Alcotest.(check (list string)) "vars in order" [ "A"; "B" ] (Ctype.vars t)
+
+let test_ctype_equal () =
+  let a = Ctype.App ("list", [ n "int" ]) in
+  let b = Ctype.App ("list", [ n "int" ]) in
+  let c = Ctype.App ("list", [ n "float" ]) in
+  Alcotest.(check bool) "equal" true (Ctype.equal a b);
+  Alcotest.(check bool) "not equal" false (Ctype.equal a c);
+  Alcotest.(check int) "compare equal" 0 (Ctype.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Complexity                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_complexity_order () =
+  let open Complexity in
+  Alcotest.(check bool) "1 <= log n" true (leq constant (log_ "n"));
+  Alcotest.(check bool) "log n <= n" true (leq (log_ "n") (linear "n"));
+  Alcotest.(check bool) "n <= n log n" true (leq (linear "n") (n_log_n "n"));
+  Alcotest.(check bool) "n log n <= n^2" true (leq (n_log_n "n") (quadratic "n"));
+  Alcotest.(check bool) "n^2 not <= n log n" false
+    (leq (quadratic "n") (n_log_n "n"));
+  Alcotest.(check bool) "incomparable n vs m" true
+    (compare_growth (linear "n") (linear "m") = None)
+
+let test_complexity_algebra () =
+  let open Complexity in
+  let nlogn = mul (linear "n") (log_ "n") in
+  Alcotest.(check bool) "n * log n = n log n" true (equal nlogn (n_log_n "n"));
+  (* O(n) + O(n^2) collapses to O(n^2) *)
+  let s = add (linear "n") (quadratic "n") in
+  Alcotest.(check bool) "sum absorbs dominated" true (equal s (quadratic "n"));
+  (* O(n + m) keeps both *)
+  let nm = add (linear "n") (linear "m") in
+  Alcotest.(check string) "multi-var sum" "O(n + m)" (to_string nm)
+
+let test_complexity_pp () =
+  let open Complexity in
+  Alcotest.(check string) "constant" "O(1)" (to_string constant);
+  Alcotest.(check string) "n log n" "O(n log n)" (to_string (n_log_n "n"));
+  Alcotest.(check string) "n^2" "O(n^2)" (to_string (quadratic "n"))
+
+(* ------------------------------------------------------------------ *)
+(* Checking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny world: concept Hashable, type key provides hash. *)
+let hashable =
+  Concept.make ~params:[ "T" ] "Hashable"
+    [ Concept.signature "hash" [ v "T" ] (n "int") ]
+
+let test_check_pass () =
+  let reg = Registry.create () in
+  Registry.declare_concept reg hashable;
+  Registry.declare_type reg "int";
+  Registry.declare_type reg "key";
+  Registry.declare_op reg "hash" [ n "key" ] (n "int");
+  Alcotest.(check bool) "key models Hashable" true
+    (Check.models reg "Hashable" [ n "key" ])
+
+let test_check_missing_op () =
+  let reg = Registry.create () in
+  Registry.declare_concept reg hashable;
+  Registry.declare_type reg "key";
+  let report = Check.check reg "Hashable" [ n "key" ] in
+  Alcotest.(check bool) "fails" false (Check.ok report);
+  match report.Check.rep_failures with
+  | [ Check.Missing_operation { expected } ] ->
+    Alcotest.(check string) "names the op" "hash" expected.Concept.op_name
+  | _ -> Alcotest.fail "expected a single Missing_operation failure"
+
+let test_check_return_mismatch () =
+  let reg = Registry.create () in
+  Registry.declare_concept reg hashable;
+  Registry.declare_type reg "key";
+  Registry.declare_op reg "hash" [ n "key" ] (n "string");
+  let report = Check.check reg "Hashable" [ n "key" ] in
+  match report.Check.rep_failures with
+  | [ Check.Return_type_mismatch { op; _ } ] ->
+    Alcotest.(check string) "op name" "hash" op
+  | _ -> Alcotest.fail "expected Return_type_mismatch"
+
+let test_check_refinement_failure_is_structured () =
+  let reg = Registry.create () in
+  Registry.declare_concept reg hashable;
+  Registry.declare_concept reg
+    (Concept.make ~params:[ "T" ] "HashSetElement"
+       ~refines:[ ("Hashable", [ v "T" ]) ]
+       [ Concept.signature "eq" [ v "T"; v "T" ] (n "bool") ]);
+  Registry.declare_type reg "key";
+  Registry.declare_op reg "eq" [ n "key"; n "key" ] (n "bool");
+  let report = Check.check reg "HashSetElement" [ n "key" ] in
+  match report.Check.rep_failures with
+  | [ Check.Refinement_failed { concept; causes; _ } ] ->
+    Alcotest.(check string) "refined concept" "Hashable" concept;
+    Alcotest.(check int) "one cause" 1 (List.length causes)
+  | _ -> Alcotest.fail "expected Refinement_failed"
+
+let test_check_assoc_and_same_type () =
+  let reg = Registry.create () in
+  let cont =
+    Concept.make ~params:[ "C" ] "MiniContainer"
+      [
+        Concept.assoc_type "value_type";
+        Concept.assoc_type "iterator"
+          ~constraints:
+            [
+              Concept.Same_type
+                ( Ctype.Assoc (Ctype.Assoc (v "C", "iterator"), "value_type"),
+                  Ctype.Assoc (v "C", "value_type") );
+            ];
+      ]
+  in
+  Registry.declare_concept reg cont;
+  Registry.declare_type reg "int";
+  Registry.declare_type reg "float";
+  Registry.declare_type reg "intvec_iter"
+    ~assoc:[ ("value_type", n "int") ];
+  Registry.declare_type reg "intvec"
+    ~assoc:[ ("value_type", n "int"); ("iterator", n "intvec_iter") ];
+  Alcotest.(check bool) "intvec ok" true
+    (Check.models reg "MiniContainer" [ n "intvec" ]);
+  (* now a broken container whose iterator disagrees on value_type *)
+  Registry.declare_type reg "badvec"
+    ~assoc:[ ("value_type", n "float"); ("iterator", n "intvec_iter") ];
+  let report = Check.check reg "MiniContainer" [ n "badvec" ] in
+  Alcotest.(check bool) "badvec rejected" false (Check.ok report)
+
+let test_check_axiom_warnings () =
+  let reg = Registry.create () in
+  Gp_algebra.Decls.declare reg;
+  let report = Check.check reg "Monoid" [ n "float[*]" ] in
+  Alcotest.(check bool) "syntactically fine" true (Check.ok report);
+  Alcotest.(check bool) "axiom warnings present" true
+    (report.Check.rep_warnings <> [])
+
+let test_certified_axiom_clears_warning () =
+  let reg = Registry.create () in
+  Gp_algebra.Decls.declare reg;
+  let args = [ n "int[+]" ] in
+  List.iter
+    (fun ax -> Check.certify_axiom ~concept:"Semigroup" ~axiom:ax ~args)
+    [ "associativity" ];
+  let report = Check.check reg "Semigroup" [ n "int[+]" ] in
+  Alcotest.(check bool) "ok" true (Check.ok report);
+  let still_warned =
+    List.exists
+      (function
+        | Check.Axiom_asserted_not_proved { axiom = "associativity"; _ } ->
+          true
+        | _ -> false)
+      report.Check.rep_warnings
+  in
+  Alcotest.(check bool) "associativity warning gone" false still_warned
+
+let test_nominal_mode_requires_declaration () =
+  let reg = Registry.create () in
+  Registry.declare_concept reg hashable;
+  Registry.declare_type reg "key";
+  Registry.declare_op reg "hash" [ n "key" ] (n "int");
+  (* structurally fine, but no model declared *)
+  Alcotest.(check bool) "structural ok" true
+    (Check.models ~mode:Check.Structural reg "Hashable" [ n "key" ]);
+  Alcotest.(check bool) "nominal rejected" false
+    (Check.models ~mode:Check.Nominal reg "Hashable" [ n "key" ]);
+  Registry.declare_model reg "Hashable" [ n "key" ];
+  Alcotest.(check bool) "nominal ok after declaration" true
+    (Check.models ~mode:Check.Nominal reg "Hashable" [ n "key" ])
+
+let test_complexity_guarantee_checked () =
+  let reg = Registry.create () in
+  Registry.declare_concept reg
+    (Concept.make ~params:[ "C" ] "FastSize"
+       [
+         Concept.signature "size" [ v "C" ] (n "int");
+         Concept.complexity "size" Complexity.constant;
+       ]);
+  Registry.declare_type reg "int";
+  Registry.declare_type reg "slowlist";
+  Registry.declare_op reg "size" [ n "slowlist" ] (n "int");
+  Registry.declare_model reg "FastSize" [ n "slowlist" ]
+    ~complexity:[ ("size", Complexity.linear "n") ];
+  let report = Check.check reg "FastSize" [ n "slowlist" ] in
+  let weak =
+    List.exists
+      (function Check.Complexity_too_weak _ -> true | _ -> false)
+      report.Check.rep_failures
+  in
+  Alcotest.(check bool) "O(n) size rejected against O(1) guarantee" true weak
+
+(* ------------------------------------------------------------------ *)
+(* Graph concepts: Figs. 1 and 2                                       *)
+(* ------------------------------------------------------------------ *)
+
+let graph_world () =
+  let reg = Registry.create () in
+  Gp_graph.Decls.declare reg;
+  reg
+
+let test_fig1_fig2 () =
+  let reg = graph_world () in
+  Alcotest.(check bool) "edge models GraphEdge (Fig 1)" true
+    (Check.models reg "GraphEdge" [ n "adjacency_list::edge" ]);
+  Alcotest.(check bool) "adjacency_list models IncidenceGraph (Fig 2)" true
+    (Check.models reg "IncidenceGraph" [ n "adjacency_list" ]);
+  Alcotest.(check bool) "adjacency_matrix models AdjacencyMatrixGraph" true
+    (Check.models reg "AdjacencyMatrixGraph" [ n "adjacency_matrix" ]);
+  Alcotest.(check bool) "adjacency_list does NOT model AdjacencyMatrixGraph"
+    false
+    (Check.models reg "AdjacencyMatrixGraph" [ n "adjacency_list" ])
+
+let test_fig2_broken_graph () =
+  let reg = graph_world () in
+  (* a graph whose edge type lacks target() *)
+  Registry.declare_type reg "broken::edge"
+    ~assoc:[ ("vertex_type", n "vertex") ];
+  Registry.declare_op reg "source" [ n "broken::edge" ] (n "vertex");
+  Registry.declare_type reg "broken::iter"
+    ~assoc:[ ("value_type", n "broken::edge") ];
+  Registry.declare_op reg "deref" [ n "broken::iter" ] (n "broken::edge");
+  Registry.declare_op reg "succ" [ n "broken::iter" ] (n "broken::iter");
+  Registry.declare_op reg "iter_eq" [ n "broken::iter"; n "broken::iter" ]
+    (n "bool");
+  Registry.declare_type reg "broken"
+    ~assoc:
+      [ ("vertex_type", n "vertex"); ("edge_type", n "broken::edge");
+        ("out_edge_iterator", n "broken::iter") ];
+  Registry.declare_op reg "out_edges" [ n "vertex"; n "broken" ]
+    (n "broken::iter");
+  Registry.declare_op reg "out_degree" [ n "vertex"; n "broken" ] (n "int");
+  let report = Check.check reg "IncidenceGraph" [ n "broken" ] in
+  Alcotest.(check bool) "broken graph rejected" false (Check.ok report);
+  (* the diagnostic names the missing target op, nested in the edge model *)
+  let mentions_target = contains (Fmt.str "%a" Check.pp_report report) "target" in
+  Alcotest.(check bool) "diagnostic mentions target" true mentions_target
+
+(* ------------------------------------------------------------------ *)
+(* Propagation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_propagation_closure () =
+  let reg = graph_world () in
+  let obs = Propagate.closure reg "IncidenceGraph" [ n "adjacency_list" ] in
+  (* root + GraphEdge on edge_type + InputIterator on out_edge_iterator *)
+  Alcotest.(check bool) "closure has >= 3 obligations" true
+    (List.length obs >= 3);
+  let has c =
+    List.exists (fun ob -> ob.Propagate.ob_concept = c) obs
+  in
+  Alcotest.(check bool) "includes GraphEdge" true (has "GraphEdge");
+  Alcotest.(check bool) "includes InputIterator" true (has "InputIterator")
+
+let test_propagation_idempotent () =
+  let reg = graph_world () in
+  let size1 = Propagate.explicit_size reg "VertexListGraph" [ n "adjacency_list" ] in
+  let size2 = Propagate.explicit_size reg "VertexListGraph" [ n "adjacency_list" ] in
+  Alcotest.(check int) "stable" size1 size2;
+  Alcotest.(check bool) "propagation saves constraints" true
+    (size1 > Propagate.declared_size)
+
+(* The 2^n blowup of Section 2.4: a tower of two-type concepts, each
+   refining two instances of the level below. *)
+let test_propagation_exponential_tower () =
+  let reg = Registry.create () in
+  Registry.declare_type reg "a";
+  Registry.declare_type reg "b";
+  Registry.declare_concept reg
+    (Concept.make ~params:[ "V"; "S" ] "Level0" [ Concept.axiom "t" "true" ]);
+  let depth = 6 in
+  for i = 1 to depth do
+    Registry.declare_concept reg
+      (Concept.make ~params:[ "V"; "S" ]
+         (Printf.sprintf "Level%d" i)
+         ~refines:
+           [
+             (Printf.sprintf "Level%d" (i - 1), [ v "V"; v "S" ]);
+             (Printf.sprintf "Level%d" (i - 1), [ v "S"; v "V" ]);
+           ]
+         [ Concept.axiom "t" "true" ])
+  done;
+  (* without dedup the closure would be 2^(depth+1)-1; obligations dedup to
+     2 per level (V,S and S,V) but the *written-out* form in a language
+     without propagation is the full tree. *)
+  let obs =
+    Propagate.closure ~max_depth:20 reg
+      (Printf.sprintf "Level%d" depth)
+      [ n "a"; n "b" ]
+  in
+  Alcotest.(check bool) "closure deduplicates" true (List.length obs <= 2 * (depth + 1));
+  Alcotest.(check bool) "more than one obligation" true (List.length obs > depth)
+
+(* ------------------------------------------------------------------ *)
+(* Archetypes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_archetype_models_its_concept () =
+  let reg = graph_world () in
+  let inst = Archetype.instantiate reg "IncidenceGraph" in
+  Alcotest.(check bool) "archetype models IncidenceGraph" true
+    (Check.models reg "IncidenceGraph" inst.Archetype.arch_args)
+
+let test_archetype_minimal () =
+  let reg = graph_world () in
+  let inst = Archetype.instantiate reg "GraphEdge" in
+  (* the GraphEdge archetype must NOT model IncidenceGraph *)
+  Alcotest.(check bool) "GraphEdge archetype lacks IncidenceGraph" false
+    (Check.models reg "IncidenceGraph" inst.Archetype.arch_args)
+
+let test_archetype_implies () =
+  let reg = Registry.create () in
+  Gp_sequence.Decls.declare reg;
+  Alcotest.(check bool) "RandomAccess implies Forward" true
+    (Archetype.implies reg ~declared:"RandomAccessIterator"
+       ~used:"ForwardIterator");
+  Alcotest.(check bool) "Input does not imply Forward" false
+    (Archetype.implies reg ~declared:"InputIterator" ~used:"ForwardIterator")
+
+(* ------------------------------------------------------------------ *)
+(* Overloading                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_overload_most_refined_wins () =
+  let reg = Registry.create () in
+  Gp_sequence.Decls.declare reg;
+  let g = Gp_sequence.Decls.sort_generic () in
+  let res = Overload.resolve reg g [ n "vector<int>::iterator" ] in
+  (match res with
+  | Overload.Selected (c, losers) ->
+    Alcotest.(check string) "picks introsort" "introsort (random access)"
+      c.Overload.cand_name;
+    Alcotest.(check int) "forward candidate also matched" 1
+      (List.length losers)
+  | _ -> Alcotest.fail "expected Selected");
+  let res = Overload.resolve reg g [ n "list<int>::iterator" ] in
+  match res with
+  | Overload.Selected (c, _) ->
+    Alcotest.(check string) "picks mergesort for list"
+      "mergesort (forward)" c.Overload.cand_name
+  | _ -> Alcotest.fail "expected Selected for list"
+
+let test_overload_no_match_reports () =
+  let reg = Registry.create () in
+  Gp_sequence.Decls.declare reg;
+  let g = Gp_sequence.Decls.sort_generic () in
+  match Overload.resolve reg g [ n "istream<int>::iterator" ] with
+  | Overload.No_match reports ->
+    Alcotest.(check int) "both candidates reported" 2 (List.length reports)
+  | _ -> Alcotest.fail "input iterator must not satisfy sort"
+
+let test_overload_ambiguity_detected () =
+  let reg = Registry.create () in
+  Registry.declare_concept reg
+    (Concept.make ~params:[ "T" ] "A" [ Concept.axiom "t" "true" ]);
+  Registry.declare_concept reg
+    (Concept.make ~params:[ "T" ] "B" [ Concept.axiom "t" "true" ]);
+  Registry.declare_type reg "x";
+  Registry.declare_model reg "A" [ n "x" ];
+  Registry.declare_model reg "B" [ n "x" ];
+  let g = Overload.create "f" in
+  Overload.add_candidate g ~name:"via A" ~guard:"A" (fun _ -> Overload.Unit);
+  Overload.add_candidate g ~name:"via B" ~guard:"B" (fun _ -> Overload.Unit);
+  match Overload.resolve reg g [ n "x" ] with
+  | Overload.Ambiguous cs -> Alcotest.(check int) "two" 2 (List.length cs)
+  | _ -> Alcotest.fail "expected ambiguity between unrelated concepts"
+
+(* ------------------------------------------------------------------ *)
+(* Taxonomy                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mini_taxonomy () =
+  let t = Taxonomy.create "sorting" in
+  Taxonomy.add_node t "sort" ~attributes:[ ("problem", "sorting") ];
+  Taxonomy.add_node t "comparison_sort" ~parents:[ "sort" ]
+    ~attributes:[ ("method", "comparison") ];
+  Taxonomy.add_node t "ra_sort" ~parents:[ "comparison_sort" ]
+    ~attributes:[ ("access", "random") ];
+  Taxonomy.add_node t "fwd_sort" ~parents:[ "comparison_sort" ]
+    ~attributes:[ ("access", "forward") ];
+  Taxonomy.add_entry t ~name:"introsort" ~node:"ra_sort"
+    ~costs:[ ("comparisons", Complexity.n_log_n "n") ];
+  Taxonomy.add_entry t ~name:"mergesort" ~node:"fwd_sort"
+    ~costs:[ ("comparisons", Complexity.n_log_n "n") ];
+  Taxonomy.add_entry t ~name:"bubblesort" ~node:"ra_sort"
+    ~costs:[ ("comparisons", Complexity.quadratic "n") ];
+  t
+
+let test_taxonomy_refines_and_attributes () =
+  let t = mini_taxonomy () in
+  Alcotest.(check bool) "ra refines sort" true
+    (Taxonomy.refines t "ra_sort" "sort");
+  Alcotest.(check bool) "sort not refines ra" false
+    (Taxonomy.refines t "sort" "ra_sort");
+  let attrs = Taxonomy.attributes t "ra_sort" in
+  Alcotest.(check (option string)) "inherits problem" (Some "sorting")
+    (List.assoc_opt "problem" attrs);
+  Alcotest.(check (option string)) "own access" (Some "random")
+    (List.assoc_opt "access" attrs)
+
+let test_taxonomy_pick () =
+  let t = mini_taxonomy () in
+  let best =
+    Taxonomy.pick t
+      ~requirements:[ ("access", "random") ]
+      ~measure:"comparisons"
+  in
+  Alcotest.(check (list string)) "picks introsort over bubblesort"
+    [ "introsort" ]
+    (List.map (fun e -> e.Taxonomy.en_name) best)
+
+let test_taxonomy_gaps () =
+  let t = mini_taxonomy () in
+  Taxonomy.add_node t "parallel_sort" ~parents:[ "comparison_sort" ]
+    ~attributes:[ ("access", "parallel") ];
+  let gaps = Taxonomy.gaps t in
+  Alcotest.(check (list string)) "parallel_sort is a gap" [ "parallel_sort" ]
+    gaps
+
+(* Mutually recursive concepts (Container <-> Iterator style) must not
+   loop the checker; the visited set assumes on cycles. *)
+let test_cyclic_concepts () =
+  let reg = Registry.create () in
+  Registry.declare_concept reg
+    (Concept.make ~params:[ "C" ] "Cont"
+       [
+         Concept.assoc_type "iter"
+           ~constraints:
+             [ Concept.Models ("It", [ Ctype.Assoc (v "C", "iter") ]) ];
+       ]);
+  Registry.declare_concept reg
+    (Concept.make ~params:[ "I" ] "It"
+       [
+         Concept.assoc_type "owner"
+           ~constraints:
+             [ Concept.Models ("Cont", [ Ctype.Assoc (v "I", "owner") ]) ];
+       ]);
+  Registry.declare_type reg "c" ~assoc:[ ("iter", n "i") ];
+  Registry.declare_type reg "i" ~assoc:[ ("owner", n "c") ];
+  Alcotest.(check bool) "cyclic check terminates and passes" true
+    (Check.models reg "Cont" [ n "c" ]);
+  (* and the propagation closure terminates (bounded by max_depth, since
+     each level names a syntactically new projection chain) *)
+  let obs = Propagate.closure ~max_depth:8 reg "Cont" [ n "c" ] in
+  Alcotest.(check bool) "finite closure" true (List.length obs <= 2 * 9)
+
+(* ------------------------------------------------------------------ *)
+(* Emulation translation (Section 2.2)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_emulation_flattens_incidence_graph () =
+  let reg = graph_world () in
+  let con = Option.get (Registry.find_concept reg "IncidenceGraph") in
+  let flat = Emulation.translate reg con in
+  (* Graph + Vertex + Edge + OutEdgeIter: the paper's flattened form *)
+  Alcotest.(check int) "four parameters" 4 (List.length flat.Emulation.fi_params);
+  Alcotest.(check bool) "includes Vertex param" true
+    (List.mem "Vertex" flat.Emulation.fi_params);
+  Alcotest.(check bool) "includes Edge param" true
+    (List.mem "Edge" flat.Emulation.fi_params);
+  (* the where clauses restate the nested model constraints *)
+  Alcotest.(check bool) "where clause mentions GraphEdge" true
+    (List.exists (fun w -> contains w "GraphEdge") flat.Emulation.fi_where);
+  (* signatures now reference the parameters, not projections *)
+  let rendered = Fmt.str "%a" Emulation.pp flat in
+  Alcotest.(check bool) "no projections left in out_edges" false
+    (contains rendered "Graph.vertex_type")
+
+let test_emulation_blowup () =
+  let reg = graph_world () in
+  let con = Option.get (Registry.find_concept reg "IncidenceGraph") in
+  let original, flattened = Emulation.blowup reg con in
+  Alcotest.(check int) "original 1" 1 original;
+  Alcotest.(check bool) "more than doubled (paper's study)" true
+    (flattened > 2 * original)
+
+(* ------------------------------------------------------------------ *)
+(* Overload ablation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_first_match_is_worse () =
+  let reg = Registry.create () in
+  Gp_sequence.Decls.declare reg;
+  let g = Gp_sequence.Decls.sort_generic () in
+  let args = [ n "vector<int>::iterator" ] in
+  (match Overload.resolve reg g args with
+  | Overload.Selected (c, _) ->
+    Alcotest.(check string) "ranked picks introsort"
+      "introsort (random access)" c.Overload.cand_name
+  | _ -> Alcotest.fail "expected Selected");
+  match Overload.resolve_first_match reg g args with
+  | Overload.Selected (c, _) ->
+    Alcotest.(check string) "first-match picks the general candidate"
+      "mergesort (forward)" c.Overload.cand_name
+  | _ -> Alcotest.fail "expected Selected (first match)"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "gp_concepts"
+    [
+      ( "ctype",
+        [
+          Alcotest.test_case "subst" `Quick test_ctype_subst;
+          Alcotest.test_case "vars" `Quick test_ctype_vars;
+          Alcotest.test_case "equal" `Quick test_ctype_equal;
+        ] );
+      ( "complexity",
+        [
+          Alcotest.test_case "order" `Quick test_complexity_order;
+          Alcotest.test_case "algebra" `Quick test_complexity_algebra;
+          Alcotest.test_case "pp" `Quick test_complexity_pp;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "pass" `Quick test_check_pass;
+          Alcotest.test_case "missing op" `Quick test_check_missing_op;
+          Alcotest.test_case "return mismatch" `Quick
+            test_check_return_mismatch;
+          Alcotest.test_case "refinement failure" `Quick
+            test_check_refinement_failure_is_structured;
+          Alcotest.test_case "assoc + same-type" `Quick
+            test_check_assoc_and_same_type;
+          Alcotest.test_case "axiom warnings" `Quick test_check_axiom_warnings;
+          Alcotest.test_case "certified axiom" `Quick
+            test_certified_axiom_clears_warning;
+          Alcotest.test_case "nominal mode" `Quick
+            test_nominal_mode_requires_declaration;
+          Alcotest.test_case "complexity guarantee" `Quick
+            test_complexity_guarantee_checked;
+        ] );
+      ( "graph concepts",
+        [
+          Alcotest.test_case "fig1+fig2" `Quick test_fig1_fig2;
+          Alcotest.test_case "broken graph diagnosed" `Quick
+            test_fig2_broken_graph;
+        ] );
+      ( "propagation",
+        [
+          Alcotest.test_case "closure" `Quick test_propagation_closure;
+          Alcotest.test_case "idempotent" `Quick test_propagation_idempotent;
+          Alcotest.test_case "tower" `Quick
+            test_propagation_exponential_tower;
+        ] );
+      ( "archetype",
+        [
+          Alcotest.test_case "models own concept" `Quick
+            test_archetype_models_its_concept;
+          Alcotest.test_case "minimal" `Quick test_archetype_minimal;
+          Alcotest.test_case "implies" `Quick test_archetype_implies;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "most refined wins" `Quick
+            test_overload_most_refined_wins;
+          Alcotest.test_case "no match reports" `Quick
+            test_overload_no_match_reports;
+          Alcotest.test_case "ambiguity" `Quick
+            test_overload_ambiguity_detected;
+        ] );
+      ( "taxonomy",
+        [
+          Alcotest.test_case "refines/attributes" `Quick
+            test_taxonomy_refines_and_attributes;
+          Alcotest.test_case "pick" `Quick test_taxonomy_pick;
+          Alcotest.test_case "gaps" `Quick test_taxonomy_gaps;
+        ] );
+      ( "emulation",
+        [
+          Alcotest.test_case "cyclic concepts" `Quick test_cyclic_concepts;
+          Alcotest.test_case "flattens incidence graph" `Quick
+            test_emulation_flattens_incidence_graph;
+          Alcotest.test_case "blowup" `Quick test_emulation_blowup;
+          Alcotest.test_case "first-match ablation" `Quick
+            test_first_match_is_worse;
+        ] );
+    ]

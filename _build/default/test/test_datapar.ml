@@ -1,0 +1,123 @@
+(* Tests for the data-parallel library: Par_exec must agree extensionally
+   with Seq_exec on every primitive, for random inputs and domain counts. *)
+
+open Gp_datapar
+
+let qtest = QCheck_alcotest.to_alcotest
+
+module Par2 = Datapar.Par_exec (struct
+  let domains = 2
+end)
+
+module Par4 = Datapar.Par_exec (struct
+  let domains = 4
+end)
+
+let arr = QCheck.(map Array.of_list (list_of_size (Gen.int_range 0 200) small_int))
+
+let test_chunks () =
+  Alcotest.(check (list (pair int int))) "even split" [ (0, 3); (3, 3); (6, 3) ]
+    (Datapar.chunks ~k:3 9);
+  Alcotest.(check (list (pair int int))) "uneven split"
+    [ (0, 4); (4, 3); (7, 3) ]
+    (Datapar.chunks ~k:3 10);
+  Alcotest.(check (list (pair int int))) "more chunks than items"
+    [ (0, 1); (1, 1) ]
+    (Datapar.chunks ~k:8 2);
+  Alcotest.(check (list (pair int int))) "empty" [] (Datapar.chunks ~k:4 0)
+
+let test_seq_scan () =
+  let a = [| 1; 2; 3; 4 |] in
+  let out, total = Datapar.Seq_exec.scan Datapar.int_sum a in
+  Alcotest.(check (array int)) "exclusive scan" [| 0; 1; 3; 6 |] out;
+  Alcotest.(check int) "total" 10 total
+
+let agree_prop name f =
+  qtest (QCheck.Test.make ~name ~count:150 arr f)
+
+let par_seq_props =
+  [
+    agree_prop "map agrees" (fun a ->
+        Par4.map (fun x -> (x * 7) + 1) a
+        = Datapar.Seq_exec.map (fun x -> (x * 7) + 1) a);
+    agree_prop "mapi agrees" (fun a ->
+        Par2.mapi (fun i x -> i + x) a = Datapar.Seq_exec.mapi (fun i x -> i + x) a);
+    agree_prop "reduce sum agrees" (fun a ->
+        Par4.reduce Datapar.int_sum a
+        = Datapar.Seq_exec.reduce Datapar.int_sum a);
+    agree_prop "reduce max agrees" (fun a ->
+        Par2.reduce Datapar.int_max a
+        = Datapar.Seq_exec.reduce Datapar.int_max a);
+    agree_prop "scan agrees" (fun a ->
+        Par4.scan Datapar.int_sum a = Datapar.Seq_exec.scan Datapar.int_sum a);
+    agree_prop "filter agrees" (fun a ->
+        Par4.filter (fun x -> x mod 3 = 0) a
+        = Datapar.Seq_exec.filter (fun x -> x mod 3 = 0) a);
+    agree_prop "count agrees" (fun a ->
+        Par2.count (fun x -> x mod 2 = 0) a
+        = Datapar.Seq_exec.count (fun x -> x mod 2 = 0) a);
+    qtest
+      (QCheck.Test.make ~name:"zip_with agrees" ~count:100
+         QCheck.(pair arr arr)
+         (fun (a, b) ->
+           let n = min (Array.length a) (Array.length b) in
+           let a = Array.sub a 0 n and b = Array.sub b 0 n in
+           Par4.zip_with ( + ) a b = Datapar.Seq_exec.zip_with ( + ) a b));
+  ]
+
+(* An associative-but-not-commutative monoid (string concat analogue over
+   int lists): chunked reduction still agrees because associativity alone
+   is the concept requirement. *)
+let concat_monoid : int list Datapar.monoid = { op = ( @ ); id = [] }
+
+let assoc_only_prop =
+  qtest
+    (QCheck.Test.make ~name:"non-commutative monoid reduces correctly"
+       ~count:100 arr (fun a ->
+         let lists = Array.map (fun x -> [ x ]) a in
+         Par4.reduce concat_monoid lists
+         = Datapar.Seq_exec.reduce concat_monoid lists
+         && Par4.reduce concat_monoid lists = Array.to_list a))
+
+let test_zip_mismatch () =
+  Alcotest.check_raises "mismatch raises"
+    (Invalid_argument "zip_with: length mismatch") (fun () ->
+      ignore (Par2.zip_with ( + ) [| 1 |] [| 1; 2 |]))
+
+let test_scan_large () =
+  let n = 100_000 in
+  let a = Array.make n 1 in
+  let out, total = Par4.scan Datapar.int_sum a in
+  Alcotest.(check int) "total" n total;
+  Alcotest.(check int) "mid prefix" 50_000 out.(50_000)
+
+let test_default_domains () =
+  Alcotest.(check bool) "at least one" true (Datapar.default_domains () >= 1)
+
+(* The gp_algebra bridge: reduce with module-level Monoid instances. *)
+let test_of_monoid_bridge () =
+  let words = [| "gen"; "eric"; " program"; "ming" |] in
+  let m = Datapar.of_monoid (module Gp_algebra.Instances.String_concat) in
+  Alcotest.(check string) "string concat reduce" "generic programming"
+    (Par2.reduce m words);
+  let bits = [| 0b1010; 0b0110; 0b0011 |] in
+  let band = Datapar.of_monoid (module Gp_algebra.Instances.Int_band) in
+  Alcotest.(check int) "bitwise-and reduce" 0b0010 (Par4.reduce band bits)
+
+let () =
+  Alcotest.run "gp_datapar"
+    [
+      ( "chunks",
+        [
+          Alcotest.test_case "chunking" `Quick test_chunks;
+          Alcotest.test_case "seq scan" `Quick test_seq_scan;
+        ] );
+      ("par = seq", par_seq_props @ [ assoc_only_prop ]);
+      ( "edges",
+        [
+          Alcotest.test_case "zip mismatch" `Quick test_zip_mismatch;
+          Alcotest.test_case "large scan" `Quick test_scan_large;
+          Alcotest.test_case "default domains" `Quick test_default_domains;
+          Alcotest.test_case "of_monoid bridge" `Quick test_of_monoid_bridge;
+        ] );
+    ]

@@ -1,0 +1,425 @@
+(* Tests for the distributed-systems simulator: topology invariants,
+   engine determinism, every algorithm's correctness under sync and async
+   timing, failure injection, asymptotic message-count bounds, and the
+   seven-dimension taxonomy queries. *)
+
+open Gp_distsim
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let permutation ~seed n =
+  let st = Random.State.make [| seed |] in
+  let a = Array.init n (fun i -> i + 1) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let async = Engine.Asynchronous { max_delay = 3.0 }
+let config ?(timing = Engine.Synchronous) ?(failures = []) ?(seed = 7) () =
+  { Engine.default_config with Engine.timing; failures; seed }
+
+(* ------------------------------------------------------------------ *)
+(* Topologies                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_topologies () =
+  let ring = Topology.ring 6 in
+  Alcotest.(check int) "ring degree" 2 (Topology.degree ring 3);
+  Alcotest.(check int) "ring diameter" 3 (Topology.diameter ring);
+  let comp = Topology.complete 5 in
+  Alcotest.(check int) "complete edges" 20 (Topology.num_edges comp);
+  Alcotest.(check int) "complete diameter" 1 (Topology.diameter comp);
+  let star = Topology.star 7 in
+  Alcotest.(check int) "star hub degree" 6 (Topology.degree star 0);
+  Alcotest.(check int) "star diameter" 2 (Topology.diameter star);
+  let grid = Topology.grid 3 4 in
+  Alcotest.(check int) "grid nodes" 12 (Topology.num_nodes grid);
+  Alcotest.(check int) "grid corner degree" 2 (Topology.degree grid 0);
+  Alcotest.(check int) "grid diameter" 5 (Topology.diameter grid);
+  let line = Topology.line 5 in
+  Alcotest.(check int) "line diameter" 4 (Topology.diameter line)
+
+let test_random_topology_connected () =
+  let t = Topology.random ~seed:3 ~p:0.1 20 in
+  Alcotest.(check bool) "diameter finite => connected" true
+    (Topology.diameter t > 0)
+
+let test_tree_topology () =
+  let t = Topology.binary_tree 7 in
+  Alcotest.(check (list int)) "root children" [ 1; 2 ] (Topology.neighbors t 0);
+  Alcotest.(check (list int)) "inner node" [ 0; 3; 4 ] (Topology.neighbors t 1)
+
+(* ------------------------------------------------------------------ *)
+(* Engine basics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_determinism () =
+  let topo = Topology.ring 9 in
+  let uids = permutation ~seed:11 9 in
+  let run () = Algorithms.Lcr.run ~config:(config ~timing:async ()) ~uids topo in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check int) "same message count"
+    r1.Engine.metrics.Engine.messages_sent r2.Engine.metrics.Engine.messages_sent;
+  Alcotest.(check bool) "same decisions" true
+    (r1.Engine.decisions = r2.Engine.decisions);
+  (* a different seed may deliver in a different order but elects the same
+     leader *)
+  let r3 =
+    Algorithms.Lcr.run ~config:(config ~timing:async ~seed:99 ()) ~uids topo
+  in
+  Alcotest.(check bool) "same leader under different schedule" true
+    (Algorithms.agreed r1 = Algorithms.agreed r3)
+
+(* ------------------------------------------------------------------ *)
+(* LCR                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lcr_elects_max () =
+  let n = 10 in
+  let topo = Topology.ring_unidirectional n in
+  let uids = permutation ~seed:5 n in
+  let r = Algorithms.Lcr.run ~config:(config ()) ~uids topo in
+  Alcotest.(check (option string)) "max uid elected" (Some (string_of_int n))
+    (Algorithms.agreed r);
+  Alcotest.(check bool) "everyone decided" true (Algorithms.all_decided r)
+
+let lcr_prop =
+  qtest
+    (QCheck.Test.make ~name:"LCR elects the max uid (async, any seed)"
+       ~count:60
+       QCheck.(pair (int_range 3 25) (int_range 0 10_000))
+       (fun (n, seed) ->
+         let topo = Topology.ring_unidirectional n in
+         let uids = permutation ~seed n in
+         let r =
+           Algorithms.Lcr.run ~config:(config ~timing:async ~seed ()) ~uids topo
+         in
+         Algorithms.agreed r = Some (string_of_int n)))
+
+(* Worst case for LCR: uids decreasing along the send direction gives the
+   Theta(n^2) message bound. *)
+let test_lcr_message_bounds () =
+  let n = 24 in
+  let topo = Topology.ring_unidirectional n in
+  let worst = Array.init n (fun i -> n - i) in
+  let r = Algorithms.Lcr.run ~config:(config ()) ~uids:worst topo in
+  let sent = r.Engine.metrics.Engine.messages_sent in
+  (* sum of token travels = n + n-1 + ... + 1 plus n leader messages *)
+  Alcotest.(check bool)
+    (Printf.sprintf "worst case quadratic (%d msgs)" sent)
+    true
+    (sent >= n * (n + 1) / 2);
+  let best = Array.init n (fun i -> i + 1) in
+  let r2 = Algorithms.Lcr.run ~config:(config ()) ~uids:best topo in
+  Alcotest.(check bool) "best case linear-ish" true
+    (r2.Engine.metrics.Engine.messages_sent <= 3 * n)
+
+(* ------------------------------------------------------------------ *)
+(* HS                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let hs_prop =
+  qtest
+    (QCheck.Test.make ~name:"HS elects the max uid" ~count:50
+       QCheck.(pair (int_range 3 20) (int_range 0 10_000))
+       (fun (n, seed) ->
+         let topo = Topology.ring n in
+         let uids = permutation ~seed n in
+         let r =
+           Algorithms.Hs.run ~config:(config ~timing:async ~seed ()) ~uids topo
+         in
+         Algorithms.agreed r = Some (string_of_int n)))
+
+(* HS uses O(n log n) messages even on the LCR-worst-case ordering. *)
+let test_hs_beats_lcr_on_messages () =
+  let n = 64 in
+  let worst = Array.init n (fun i -> n - i) in
+  let lcr =
+    Algorithms.Lcr.run ~config:(config ())
+      ~uids:worst (Topology.ring_unidirectional n)
+  in
+  let hs = Algorithms.Hs.run ~config:(config ()) ~uids:worst (Topology.ring n) in
+  let lcr_msgs = lcr.Engine.metrics.Engine.messages_sent in
+  let hs_msgs = hs.Engine.metrics.Engine.messages_sent in
+  Alcotest.(check bool)
+    (Printf.sprintf "HS (%d) < LCR (%d) at n=%d" hs_msgs lcr_msgs n)
+    true (hs_msgs < lcr_msgs);
+  (* and within the analytic bound ~ 8 n (log n + 1) *)
+  let bound =
+    int_of_float (8.0 *. float_of_int n *. (Float.log2 (float_of_int n) +. 1.0))
+  in
+  Alcotest.(check bool) "HS within O(n log n) bound" true (hs_msgs <= bound)
+
+(* ------------------------------------------------------------------ *)
+(* Broadcast / echo / BFS / Bellman-Ford                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_flooding_informs_all () =
+  let topo = Topology.random ~seed:4 ~p:0.15 25 in
+  let r = Algorithms.Flood.run ~config:(config ~timing:async ()) ~root:0 ~value:77 topo in
+  Alcotest.(check (option string)) "all decided payload" (Some "77")
+    (Algorithms.agreed r);
+  (* message bound: at most one send per directed edge plus root's burst *)
+  Alcotest.(check bool) "O(m) messages" true
+    (r.Engine.metrics.Engine.messages_sent <= Topology.num_edges topo + 1)
+
+let test_echo_counts_nodes () =
+  List.iter
+    (fun topo ->
+      let r = Algorithms.Echo.run ~config:(config ~timing:async ()) ~root:0 topo in
+      Alcotest.(check (option string))
+        (Topology.num_nodes topo |> Printf.sprintf "echo count on %d nodes")
+        (Some (string_of_int (Topology.num_nodes topo)))
+        r.Engine.decisions.(0))
+    [ Topology.ring 8; Topology.grid 4 5; Topology.random ~seed:9 ~p:0.2 30;
+      Topology.binary_tree 15 ]
+
+let test_bfs_tree_distances () =
+  let topo = Topology.grid 3 3 in
+  let r = Algorithms.Bfs_tree.run ~config:(config ()) ~root:0 topo in
+  (* manhattan distances from corner 0 in a 3x3 grid *)
+  let expected = [| 0; 1; 2; 1; 2; 3; 2; 3; 4 |] in
+  Array.iteri
+    (fun i d ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "node %d" i)
+        (Some (string_of_int d))
+        r.Engine.decisions.(i))
+    expected
+
+let bellman_ford_prop =
+  qtest
+    (QCheck.Test.make ~name:"async Bellman-Ford = BFS distances" ~count:40
+       QCheck.(pair (int_range 5 20) (int_range 0 1000))
+       (fun (n, seed) ->
+         let topo = Topology.random ~seed ~p:0.15 n in
+         let sync_r = Algorithms.Bfs_tree.run ~config:(config ()) ~root:0 topo in
+         let async_r =
+           Algorithms.Bellman_ford.run
+             ~config:(config ~timing:async ~seed ())
+             ~root:0 topo
+         in
+         sync_r.Engine.decisions = async_r.Engine.decisions))
+
+(* ------------------------------------------------------------------ *)
+(* Token ring & FloodMax (extensions)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_token_ring_entries () =
+  let n = 9 and entries = 4 in
+  let topo = Topology.ring_unidirectional n in
+  let r = Algorithms.Token_ring.run ~config:(config ()) ~entries topo in
+  Alcotest.(check (option string)) "everyone entered exactly `entries` times"
+    (Some (string_of_int entries))
+    (Algorithms.agreed r);
+  Alcotest.(check int) "messages = entries * n" (entries * n)
+    r.Engine.metrics.Engine.messages_sent
+
+let token_ring_prop =
+  qtest
+    (QCheck.Test.make ~name:"token ring: mutual exclusion bound holds"
+       ~count:40
+       QCheck.(pair (int_range 2 20) (int_range 1 6))
+       (fun (n, entries) ->
+         let topo = Topology.ring_unidirectional n in
+         let r =
+           Algorithms.Token_ring.run
+             ~config:(config ~timing:async ())
+             ~entries topo
+         in
+         Algorithms.agreed r = Some (string_of_int entries)
+         && r.Engine.metrics.Engine.messages_sent = entries * n))
+
+let floodmax_prop =
+  qtest
+    (QCheck.Test.make ~name:"FloodMax elects the max on arbitrary graphs"
+       ~count:40
+       QCheck.(pair (int_range 2 20) (int_range 0 1000))
+       (fun (n, seed) ->
+         let topo = Topology.random ~seed ~p:0.2 n in
+         let uids = permutation ~seed:(seed + 1) n in
+         let r =
+           Algorithms.Floodmax.run ~config:(config ~timing:async ~seed ())
+             ~uids topo
+         in
+         Algorithms.agreed r = Some (string_of_int n)))
+
+let test_partially_synchronous () =
+  let topo = Topology.ring_unidirectional 8 in
+  let uids = permutation ~seed:2 8 in
+  let config =
+    { Engine.default_config with
+      Engine.timing = Engine.Partially_synchronous { bound = 2.0 } }
+  in
+  let r = Algorithms.Lcr.run ~config ~uids topo in
+  Alcotest.(check (option string)) "leader elected under bounded delay"
+    (Some "8") (Algorithms.agreed r);
+  Alcotest.(check bool) "finish time respects the bound" true
+    (r.Engine.metrics.Engine.finish_time
+    <= 2.0 *. float_of_int r.Engine.metrics.Engine.messages_delivered)
+
+(* ------------------------------------------------------------------ *)
+(* Failures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_partitions_broadcast () =
+  (* crash the middle of a line before it can forward: nodes beyond stay
+     uninformed *)
+  let topo = Topology.line 7 in
+  let r =
+    Algorithms.Flood.run
+      ~config:
+        (config ~failures:[ Engine.Crash { node = 3; at = 0.5 } ] ())
+      ~root:0 ~value:5 topo
+  in
+  Alcotest.(check bool) "node beyond crash uninformed" true
+    (r.Engine.decisions.(6) = None);
+  Alcotest.(check bool) "node before crash informed" true
+    (r.Engine.decisions.(2) = Some "5")
+
+let test_drop_all_links () =
+  let topo = Topology.ring 6 in
+  let r =
+    Algorithms.Flood.run
+      ~config:(config ~failures:[ Engine.Drop_links { prob = 1.0 } ] ())
+      ~root:0 ~value:9 topo
+  in
+  Alcotest.(check int) "all dropped"
+    r.Engine.metrics.Engine.messages_sent
+    r.Engine.metrics.Engine.messages_dropped;
+  Alcotest.(check bool) "only root decided" true
+    (r.Engine.decisions.(1) = None && r.Engine.decisions.(0) = Some "9")
+
+let test_byzantine_corruption () =
+  (* a byzantine hub corrupts the payload: leaves disagree with the root *)
+  let topo = Topology.star 5 in
+  let r =
+    Algorithms.Flood.run
+      ~config:
+        (config
+           ~failures:
+             [ Engine.Byzantine
+                 { node = 0;
+                   corrupt = (fun (Algorithms.Flood.Payload _) ->
+                     Algorithms.Flood.Payload 666) } ]
+           ())
+      ~root:0 ~value:1 topo
+  in
+  Alcotest.(check bool) "no agreement" true (Algorithms.agreed r = None);
+  Alcotest.(check (option string)) "leaf got corrupted value" (Some "666")
+    r.Engine.decisions.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized election, local computation accounting                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_randomized_election () =
+  let topo = Topology.ring_unidirectional 12 in
+  let r, distinct = Algorithms.Randomized_election.run ~config:(config ()) ~seed:21 topo in
+  Alcotest.(check bool) "ids distinct" true distinct;
+  Alcotest.(check bool) "a unique leader" true (Algorithms.agreed r <> None)
+
+let test_local_computation_accounted () =
+  let n = 16 in
+  let topo = Topology.ring_unidirectional n in
+  let uids = Array.init n (fun i -> n - i) in
+  let r = Algorithms.Lcr.run ~config:(config ()) ~uids topo in
+  let total = Engine.total_local_steps r.Engine.metrics in
+  Alcotest.(check bool) "local steps tracked" true (total > 0);
+  (* comparisons are counted per token receipt, so local work tracks
+     message deliveries for LCR *)
+  Alcotest.(check bool) "local steps <= deliveries" true
+    (total <= r.Engine.metrics.Engine.messages_delivered)
+
+(* ------------------------------------------------------------------ *)
+(* Taxonomy                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_taxonomy_pick () =
+  let t = Taxonomy7.build () in
+  let best =
+    Taxonomy7.pick_for t ~problem:"leader-election"
+      ~topology:"bidirectional-ring" ~measure:"messages"
+  in
+  Alcotest.(check (list string)) "HS for bidirectional rings" [ "HS" ]
+    (List.map (fun e -> e.Gp_concepts.Taxonomy.en_name) best);
+  let uni =
+    Taxonomy7.pick_for t ~problem:"leader-election"
+      ~topology:"unidirectional-ring" ~measure:"messages"
+  in
+  Alcotest.(check bool) "LCR among unidirectional candidates" true
+    (List.exists
+       (fun e -> e.Gp_concepts.Taxonomy.en_name = "LCR")
+       uni)
+
+let test_taxonomy_attributes_inherited () =
+  let t = Taxonomy7.build () in
+  let attrs = Gp_concepts.Taxonomy.attributes t "election-uni-ring" in
+  Alcotest.(check (option string)) "inherits information-sharing"
+    (Some "message-passing")
+    (List.assoc_opt "information-sharing" attrs);
+  Alcotest.(check (option string)) "own timing" (Some "asynchronous")
+    (List.assoc_opt "timing" attrs)
+
+let () =
+  Alcotest.run "gp_distsim"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "shapes" `Quick test_topologies;
+          Alcotest.test_case "random connected" `Quick
+            test_random_topology_connected;
+          Alcotest.test_case "tree" `Quick test_tree_topology;
+        ] );
+      ( "engine",
+        [ Alcotest.test_case "determinism" `Quick test_determinism ] );
+      ( "leader election",
+        [
+          Alcotest.test_case "LCR elects max" `Quick test_lcr_elects_max;
+          lcr_prop;
+          Alcotest.test_case "LCR message bounds" `Quick
+            test_lcr_message_bounds;
+          hs_prop;
+          Alcotest.test_case "HS beats LCR" `Quick
+            test_hs_beats_lcr_on_messages;
+          Alcotest.test_case "randomized election" `Quick
+            test_randomized_election;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "token ring" `Quick test_token_ring_entries;
+          token_ring_prop;
+          floodmax_prop;
+          Alcotest.test_case "partially synchronous" `Quick
+            test_partially_synchronous;
+        ] );
+      ( "broadcast & trees",
+        [
+          Alcotest.test_case "flooding" `Quick test_flooding_informs_all;
+          Alcotest.test_case "echo counts nodes" `Quick test_echo_counts_nodes;
+          Alcotest.test_case "bfs distances" `Quick test_bfs_tree_distances;
+          bellman_ford_prop;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "crash partitions" `Quick
+            test_crash_partitions_broadcast;
+          Alcotest.test_case "drop all" `Quick test_drop_all_links;
+          Alcotest.test_case "byzantine" `Quick test_byzantine_corruption;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "local computation" `Quick
+            test_local_computation_accounted;
+        ] );
+      ( "taxonomy",
+        [
+          Alcotest.test_case "pick" `Quick test_taxonomy_pick;
+          Alcotest.test_case "attributes" `Quick
+            test_taxonomy_attributes_inherited;
+        ] );
+    ]

@@ -1,0 +1,413 @@
+(* Tests for gp_graph: both graph models against both module types, each
+   algorithm vs a brute-force reference on random graphs. *)
+
+open Gp_graph
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Random directed graph as an edge list over n vertices. *)
+let graph_gen =
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";"
+           (List.map (fun (u, v, _) -> Printf.sprintf "%d->%d" u v) edges)))
+    QCheck.Gen.(
+      int_range 1 12 >>= fun n ->
+      list_size (int_range 0 30)
+        (triple (int_range 0 (n - 1)) (int_range 0 (n - 1))
+           (float_range 0.5 9.5))
+      >>= fun edges -> return (n, edges))
+
+(* Brute-force Floyd-Warshall hop distances for BFS reference. *)
+let bfs_reference n edges src =
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (u, v, _) ->
+        if dist.(u) < max_int && dist.(u) + 1 < dist.(v) then begin
+          dist.(v) <- dist.(u) + 1;
+          changed := true
+        end)
+      edges
+  done;
+  dist
+
+(* Bellman-Ford weighted reference for Dijkstra. *)
+let dijkstra_reference n edges src =
+  let dist = Array.make n infinity in
+  dist.(src) <- 0.0;
+  for _ = 1 to n do
+    List.iter
+      (fun (u, v, w) ->
+        if dist.(u) +. w < dist.(v) then dist.(v) <- dist.(u) +. w)
+      edges
+  done;
+  dist
+
+let test_first_neighbor () =
+  let g = Adj_list.of_edges ~n:3 [ (0, 1, 1.0); (0, 2, 1.0) ] in
+  let module FN = Sigs.First_neighbor (Adj_list.G) in
+  Alcotest.(check (option int)) "neighbor of 0" (Some 1) (FN.first_neighbor g 0);
+  Alcotest.(check (option int)) "no neighbor of 2" None (FN.first_neighbor g 2)
+
+let test_adj_list_basics () =
+  let g = Adj_list.create () in
+  let a = Adj_list.add_vertex g in
+  let b = Adj_list.add_vertex g in
+  let _ = Adj_list.add_edge g a b ~w:2.5 in
+  Alcotest.(check int) "vertices" 2 (Adj_list.num_vertices g);
+  Alcotest.(check int) "edges" 1 (Adj_list.num_edges g);
+  Alcotest.(check int) "out degree" 1 (Adj_list.out_degree g a);
+  (match Adj_list.edge g a b with
+  | Some e ->
+    Alcotest.(check int) "source" a (Adj_list.source e);
+    Alcotest.(check int) "target" b (Adj_list.target e);
+    Alcotest.(check (float 0.0)) "weight" 2.5 (Adj_list.weight g e)
+  | None -> Alcotest.fail "edge missing");
+  Alcotest.(check bool) "reverse edge absent" true
+    (Adj_list.edge g b a = None)
+
+let test_adj_matrix_basics () =
+  let g = Adj_matrix.create 3 in
+  let _ = Adj_matrix.add_edge g 0 1 in
+  let _ = Adj_matrix.add_edge g 0 2 in
+  let _ = Adj_matrix.add_edge g 0 1 in
+  (* duplicate: no double count *)
+  Alcotest.(check int) "edge count dedups" 2 (Adj_matrix.num_edges g);
+  Alcotest.(check int) "out degree" 2 (Adj_matrix.out_degree g 0);
+  Alcotest.(check bool) "O(1) lookup hit" true
+    (Adj_matrix.edge g 0 1 <> None);
+  Alcotest.(check bool) "O(1) lookup miss" true (Adj_matrix.edge g 1 0 = None)
+
+let test_bfs_line () =
+  let g = Adj_list.of_edges ~n:4 [ (0, 1, 1.); (1, 2, 1.); (2, 3, 1.) ] in
+  let module B = Algorithms.Bfs (Adj_list.G) in
+  let dist, parent = B.run g 0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3 |] dist;
+  Alcotest.(check (option int)) "parent of 3" (Some 2) parent.(3)
+
+let bfs_prop =
+  qtest
+    (QCheck.Test.make ~name:"BFS = relaxation reference (both models)"
+       ~count:150 graph_gen (fun (n, edges) ->
+         let gl = Adj_list.of_edges ~n edges in
+         let gm = Adj_matrix.of_edges ~n edges in
+         let module BL = Algorithms.Bfs (Adj_list.G) in
+         let module BM = Algorithms.Bfs (Adj_matrix.G) in
+         let dl, _ = BL.run gl 0 in
+         let dm, _ = BM.run gm 0 in
+         let dedup_edges =
+           List.sort_uniq compare (List.map (fun (u, v, _) -> (u, v)) edges)
+           |> List.map (fun (u, v) -> (u, v, 1.0))
+         in
+         let reference = bfs_reference n dedup_edges 0 in
+         dl = reference && dm = reference))
+
+let dijkstra_prop =
+  qtest
+    (QCheck.Test.make ~name:"Dijkstra = Bellman-Ford reference" ~count:150
+       graph_gen (fun (n, edges) ->
+         (* matrix dedups parallel edges; use the list model only *)
+         let g = Adj_list.of_edges ~n edges in
+         let module D = Algorithms.Dijkstra (Adj_list.G) in
+         let dist, _ = D.run g 0 in
+         let reference = dijkstra_reference n edges 0 in
+         Array.for_all2
+           (fun a b ->
+             (Float.is_integer a && a = b)
+             || Float.abs (a -. b) < 1e-9
+             || (a = infinity && b = infinity))
+           dist reference))
+
+let test_dijkstra_negative_rejected () =
+  let g = Adj_list.of_edges ~n:2 [ (0, 1, -1.0) ] in
+  let module D = Algorithms.Dijkstra (Adj_list.G) in
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Dijkstra: negative edge weight") (fun () ->
+      ignore (D.run g 0))
+
+let test_dijkstra_path () =
+  let g =
+    Adj_list.of_edges ~n:4
+      [ (0, 1, 1.); (1, 3, 1.); (0, 2, 5.); (2, 3, 1.); (0, 3, 10.) ]
+  in
+  let module D = Algorithms.Dijkstra (Adj_list.G) in
+  Alcotest.(check (list int)) "shortest path" [ 0; 1; 3 ]
+    (D.path g ~source:0 ~dest:3)
+
+let test_topological_sort () =
+  let g = Adj_list.of_edges ~n:4 [ (0, 1, 1.); (0, 2, 1.); (1, 3, 1.); (2, 3, 1.) ] in
+  let module T = Algorithms.Topological_sort (Adj_list.G) in
+  let order = T.run g in
+  let pos = Array.make 4 0 in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  Alcotest.(check bool) "0 before 1" true (pos.(0) < pos.(1));
+  Alcotest.(check bool) "1 before 3" true (pos.(1) < pos.(3));
+  Alcotest.(check bool) "2 before 3" true (pos.(2) < pos.(3));
+  let cyclic = Adj_list.of_edges ~n:2 [ (0, 1, 1.); (1, 0, 1.) ] in
+  Alcotest.check_raises "cycle" T.Cycle (fun () -> ignore (T.run cyclic))
+
+let topo_prop =
+  qtest
+    (QCheck.Test.make ~name:"topological order respects all edges" ~count:150
+       graph_gen (fun (n, edges) ->
+         (* make it a DAG: only forward edges *)
+         let dag = List.filter_map (fun (u, v, w) ->
+             if u < v then Some (u, v, w) else None) edges in
+         let g = Adj_list.of_edges ~n dag in
+         let module T = Algorithms.Topological_sort (Adj_list.G) in
+         let order = T.run g in
+         let pos = Array.make n 0 in
+         List.iteri (fun i vx -> pos.(vx) <- i) order;
+         List.for_all (fun (u, v, _) -> pos.(u) < pos.(v)) dag))
+
+let test_dfs_cycle_detection () =
+  let acyclic = Adj_list.of_edges ~n:3 [ (0, 1, 1.); (1, 2, 1.) ] in
+  let cyclic = Adj_list.of_edges ~n:3 [ (0, 1, 1.); (1, 2, 1.); (2, 0, 1.) ] in
+  let module D = Algorithms.Dfs (Adj_list.G) in
+  let _, _, c1 = D.run acyclic in
+  let _, _, c2 = D.run cyclic in
+  Alcotest.(check bool) "acyclic" false c1;
+  Alcotest.(check bool) "cyclic" true c2
+
+let dfs_times_prop =
+  qtest
+    (QCheck.Test.make ~name:"DFS discovery < finish, all visited" ~count:150
+       graph_gen (fun (n, edges) ->
+         let g = Adj_list.of_edges ~n edges in
+         let module D = Algorithms.Dfs (Adj_list.G) in
+         let discover, finish, _ = D.run g in
+         Array.for_all2 (fun d f -> d >= 1 && d < f) discover finish))
+
+let test_connected_components () =
+  let g =
+    Adj_list.of_edges ~n:5
+      [ (0, 1, 1.); (1, 0, 1.); (2, 3, 1.); (3, 2, 1.) ]
+  in
+  let module C = Algorithms.Connected_components (Adj_list.G) in
+  let comp, count = C.run g in
+  Alcotest.(check int) "three components" 3 count;
+  Alcotest.(check bool) "0 and 1 together" true (comp.(0) = comp.(1));
+  Alcotest.(check bool) "2 and 3 together" true (comp.(2) = comp.(3));
+  Alcotest.(check bool) "4 alone" true
+    (comp.(4) <> comp.(0) && comp.(4) <> comp.(2))
+
+let test_edge_lookup_dispatch () =
+  let open Gp_concepts in
+  let reg = Registry.create () in
+  Decls.declare reg;
+  let g = Decls.has_edge_generic () in
+  (match Overload.resolve reg g [ Ctype.Named "adjacency_matrix" ] with
+  | Overload.Selected (c, _) ->
+    Alcotest.(check string) "matrix gets direct lookup"
+      "direct cell lookup (adjacency matrix)" c.Overload.cand_name
+  | _ -> Alcotest.fail "expected Selected for matrix");
+  (match Overload.resolve reg g [ Ctype.Named "adjacency_list" ] with
+  | Overload.Selected (c, _) ->
+    Alcotest.(check string) "list falls back to scan"
+      "scan out-edges (incidence graph)" c.Overload.cand_name
+  | _ -> Alcotest.fail "expected Selected for list");
+  (* and the implementations agree *)
+  let gm = Adj_matrix.of_edges ~n:3 [ (0, 1, 1.0) ] in
+  match
+    Overload.call reg g
+      ~types:[ Ctype.Named "adjacency_matrix" ]
+      ~values:[ Decls.Matrix_query (gm, 0, 1) ]
+  with
+  | Ok (Decls.Bool true) -> ()
+  | _ -> Alcotest.fail "dispatched has_edge should find the edge"
+
+let heap_prop =
+  qtest
+    (QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 50)
+          (QCheck.float_range 0.0 100.0))
+       (fun keys ->
+         let keys = List.sort_uniq compare keys in
+         let h = Heap.create ~max_id:(List.length keys + 1) in
+         List.iteri (fun i k -> Heap.push h ~id:i ~key:k) keys;
+         let out = ref [] in
+         while not (Heap.is_empty h) do
+           out := snd (Heap.pop_min h) :: !out
+         done;
+         List.rev !out = keys))
+
+let test_heap_decrease_key () =
+  let h = Heap.create ~max_id:3 in
+  Heap.push h ~id:0 ~key:10.0;
+  Heap.push h ~id:1 ~key:20.0;
+  Heap.push h ~id:2 ~key:30.0;
+  Heap.decrease_key h ~id:2 ~key:5.0;
+  Alcotest.(check int) "decreased key pops first" 2 (fst (Heap.pop_min h));
+  Alcotest.check_raises "increase rejected"
+    (Invalid_argument "Heap.decrease_key: key increased") (fun () ->
+      Heap.decrease_key h ~id:1 ~key:99.0)
+
+(* weighted Bellman-Ford: negative edges allowed, agrees with Dijkstra on
+   non-negative inputs, detects negative cycles. *)
+let test_bellman_ford_negative_edges () =
+  let g =
+    Adj_list.of_edges ~n:4
+      [ (0, 1, 4.0); (0, 2, 5.0); (1, 3, 3.0); (2, 1, -3.0); (2, 3, 4.0) ]
+  in
+  let module B = Algorithms.Bellman_ford (Adj_list.G) in
+  match B.run g 0 with
+  | Ok (dist, parent) ->
+    Alcotest.(check (float 1e-9)) "via the negative edge" 5.0 dist.(3);
+    Alcotest.(check (option int)) "parent of 1 is 2" (Some 2) parent.(1)
+  | Error `Negative_cycle -> Alcotest.fail "no negative cycle here"
+
+let test_bellman_ford_negative_cycle () =
+  let g =
+    Adj_list.of_edges ~n:3 [ (0, 1, 1.0); (1, 2, -2.0); (2, 1, 1.0) ]
+  in
+  let module B = Algorithms.Bellman_ford (Adj_list.G) in
+  match B.run g 0 with
+  | Error `Negative_cycle -> ()
+  | Ok _ -> Alcotest.fail "negative cycle missed"
+
+let bellman_ford_vs_dijkstra =
+  qtest
+    (QCheck.Test.make ~name:"Bellman-Ford = Dijkstra on non-negative"
+       ~count:100 graph_gen (fun (n, edges) ->
+         let g = Adj_list.of_edges ~n edges in
+         let module B = Algorithms.Bellman_ford (Adj_list.G) in
+         let module D = Algorithms.Dijkstra (Adj_list.G) in
+         match B.run g 0 with
+         | Ok (bf, _) ->
+           let dj, _ = D.run g 0 in
+           Array.for_all2
+             (fun a b ->
+               (a = infinity && b = infinity) || Float.abs (a -. b) < 1e-9)
+             bf dj
+         | Error `Negative_cycle -> false))
+
+let test_taxonomy_measurements () =
+  let t = Taxonomy_bgl.build () in
+  Gp_concepts.Taxonomy.record_measurement t ~entry:"BFS" ~measure:"time"
+    ~param:100 ~value:42.0;
+  Gp_concepts.Taxonomy.record_measurement t ~entry:"BFS" ~measure:"time"
+    ~param:10 ~value:4.0;
+  let ms = Gp_concepts.Taxonomy.measurements t ~entry:"BFS" ~measure:"time" in
+  Alcotest.(check (list int)) "sorted by size" [ 10; 100 ]
+    (List.map (fun m -> m.Gp_concepts.Taxonomy.ms_param) ms);
+  Alcotest.check_raises "unknown entry"
+    (Invalid_argument "Taxonomy.record_measurement: unknown entry nope")
+    (fun () ->
+      Gp_concepts.Taxonomy.record_measurement t ~entry:"nope" ~measure:"x"
+        ~param:1 ~value:0.0)
+
+(* Property maps: the same Dijkstra with array-backed, hash-backed and
+   constant/function weight maps. *)
+let test_property_map_dijkstra () =
+  let g =
+    Adj_list.of_edges ~n:4
+      [ (0, 1, 1.); (1, 3, 1.); (0, 2, 5.); (2, 3, 1.); (0, 3, 10.) ]
+  in
+  let module D = Property_map.Dijkstra_pm (Adj_list.G) in
+  let weight =
+    Property_map.of_function ~name:"weight" (Adj_list.weight g)
+  in
+  (* array-backed stores *)
+  let dist =
+    Property_map.array_backed ~name:"dist" ~size:4 ~index:Fun.id
+      ~default:infinity
+  in
+  let parent =
+    Property_map.array_backed ~name:"parent" ~size:4 ~index:Fun.id
+      ~default:None
+  in
+  D.run g 0 ~weight ~dist ~parent;
+  Alcotest.(check (float 1e-9)) "array-backed dist" 2.0
+    (Property_map.get dist 3);
+  (* hash-backed stores give identical results *)
+  let hdist = Property_map.hash_backed ~name:"dist" ~default:infinity () in
+  let hparent = Property_map.hash_backed ~name:"parent" ~default:None () in
+  D.run g 0 ~weight ~dist:hdist ~parent:hparent;
+  Alcotest.(check (float 1e-9)) "hash-backed dist" 2.0
+    (Property_map.get hdist 3);
+  (* constant unit weights turn it into BFS distances *)
+  let unit_w = Property_map.constant ~name:"unit" 1.0 in
+  D.run g 0 ~weight:unit_w ~dist ~parent;
+  Alcotest.(check (float 1e-9)) "unit weights = hops" 1.0
+    (Property_map.get dist 3);
+  let some_edge = Option.get (Adj_list.edge g 0 1) in
+  Alcotest.check_raises "constant map is read-only"
+    (Invalid_argument "unit: constant property map is read-only") (fun () ->
+      Property_map.set unit_w some_edge 2.0)
+
+let test_bgl_taxonomy () =
+  let t = Taxonomy_bgl.build () in
+  let unit_w = Taxonomy_bgl.best_shortest_paths t ~weights:"unit" in
+  Alcotest.(check (list string)) "unit weights -> BFS" [ "BFS" ]
+    (List.map (fun e -> e.Gp_concepts.Taxonomy.en_name) unit_w);
+  let nonneg = Taxonomy_bgl.best_shortest_paths t ~weights:"non-negative" in
+  Alcotest.(check (list string)) "non-negative -> Dijkstra"
+    [ "Dijkstra (binary heap)" ]
+    (List.map (fun e -> e.Gp_concepts.Taxonomy.en_name) nonneg);
+  Alcotest.(check (list string)) "no gaps" []
+    (Gp_concepts.Taxonomy.gaps t)
+
+let () =
+  Alcotest.run "gp_graph"
+    [
+      ( "models",
+        [
+          Alcotest.test_case "adj_list basics" `Quick test_adj_list_basics;
+          Alcotest.test_case "adj_matrix basics" `Quick
+            test_adj_matrix_basics;
+          Alcotest.test_case "first_neighbor" `Quick test_first_neighbor;
+        ] );
+      ( "bfs/dfs",
+        [
+          Alcotest.test_case "bfs line" `Quick test_bfs_line;
+          bfs_prop;
+          Alcotest.test_case "dfs cycle detection" `Quick
+            test_dfs_cycle_detection;
+          dfs_times_prop;
+        ] );
+      ( "dijkstra",
+        [
+          Alcotest.test_case "negative rejected" `Quick
+            test_dijkstra_negative_rejected;
+          Alcotest.test_case "path" `Quick test_dijkstra_path;
+          dijkstra_prop;
+        ] );
+      ( "topo/components",
+        [
+          Alcotest.test_case "topological sort" `Quick test_topological_sort;
+          topo_prop;
+          Alcotest.test_case "connected components" `Quick
+            test_connected_components;
+        ] );
+      ( "dispatch",
+        [ Alcotest.test_case "edge lookup" `Quick test_edge_lookup_dispatch ] );
+      ( "heap",
+        [
+          heap_prop;
+          Alcotest.test_case "decrease key" `Quick test_heap_decrease_key;
+        ] );
+      ( "taxonomy",
+        [
+          Alcotest.test_case "bgl" `Quick test_bgl_taxonomy;
+          Alcotest.test_case "measurements" `Quick
+            test_taxonomy_measurements;
+        ] );
+      ( "property maps",
+        [
+          Alcotest.test_case "dijkstra over maps" `Quick
+            test_property_map_dijkstra;
+        ] );
+      ( "bellman-ford",
+        [
+          Alcotest.test_case "negative edges" `Quick
+            test_bellman_ford_negative_edges;
+          Alcotest.test_case "negative cycle" `Quick
+            test_bellman_ford_negative_cycle;
+          bellman_ford_vs_dijkstra;
+        ] );
+    ]

@@ -1,0 +1,321 @@
+(* Tests for the concept surface syntax: parsing, loading, checking
+   against parsed declarations, error positions, and round-tripping. *)
+
+open Gp_concepts
+
+let n x = Ctype.Named x
+
+let monoid_src =
+  {|
+  // the algebraic chain, written in the surface syntax
+  concept Semigroup<T> {
+    op : T, T -> T;
+    axiom associativity(a, b, c): "op(op(a,b),c) = op(a,op(b,c))";
+    complexity op O(1);
+  }
+
+  concept Monoid<T> refines Semigroup<T> {
+    id : -> T;
+    axiom left_identity(a): "op(id,a) = a";
+    axiom right_identity(a): "op(a,id) = a";
+  }
+
+  type "int[+]" { elem = int; }
+  type int;
+  op op : "int[+]", "int[+]" -> "int[+]";
+  op id : -> "int[+]";
+  model Semigroup<"int[+]"> asserting associativity;
+  model Monoid<"int[+]"> asserting left_identity, right_identity;
+|}
+
+let test_parse_and_check () =
+  let reg = Registry.create () in
+  Lang.load_string reg monoid_src;
+  Alcotest.(check bool) "Monoid parsed" true
+    (Registry.find_concept reg "Monoid" <> None);
+  Alcotest.(check bool) "int[+] models Monoid (structural)" true
+    (Check.models reg "Monoid" [ n "int[+]" ]);
+  Alcotest.(check bool) "int[+] models Monoid (nominal)" true
+    (Check.models ~mode:Check.Nominal reg "Monoid" [ n "int[+]" ]);
+  (* refinement edge present *)
+  Alcotest.(check bool) "Monoid refines Semigroup" true
+    (Registry.refines reg "Monoid" "Semigroup")
+
+let test_parsed_equals_programmatic () =
+  (* the parsed Semigroup matches the programmatic one structurally *)
+  let reg = Registry.create () in
+  Lang.load_string reg monoid_src;
+  let parsed = Option.get (Registry.find_concept reg "Semigroup") in
+  let programmatic = Gp_algebra.Decls.semigroup in
+  Alcotest.(check (list string)) "params" programmatic.Concept.params
+    parsed.Concept.params;
+  Alcotest.(check int) "op count"
+    (List.length (Concept.operations programmatic))
+    (List.length (Concept.operations parsed));
+  Alcotest.(check (list string)) "axiom names"
+    (List.map (fun a -> a.Concept.ax_name) (Concept.axioms programmatic))
+    (List.map (fun a -> a.Concept.ax_name) (Concept.axioms parsed))
+
+let graph_src =
+  {|
+  concept InputIterator<I> {
+    type value_type;
+    deref : I -> I.value_type;
+    succ : I -> I;
+    iter_eq : I, I -> bool;
+    axiom single_pass(i): "copies are invalidated by succ";
+  }
+
+  concept GraphEdge<Edge> {
+    type vertex_type;
+    source : Edge -> Edge.vertex_type;
+    target : Edge -> Edge.vertex_type;
+  }
+
+  concept IncidenceGraph<Graph> {
+    type vertex_type;
+    type edge_type where models GraphEdge<Graph.edge_type>;
+    type out_edge_iterator where models InputIterator<Graph.out_edge_iterator>;
+    same Graph.out_edge_iterator.value_type == Graph.edge_type;
+    out_edges : Graph.vertex_type, Graph -> Graph.out_edge_iterator;
+    out_degree : Graph.vertex_type, Graph -> int;
+    complexity out_edges O(1);
+  }
+|}
+
+let test_parse_graph_concepts () =
+  let reg = Registry.create () in
+  Lang.load_string reg graph_src;
+  (* declare a conforming model programmatically and check it against the
+     PARSED concepts *)
+  Registry.declare_type reg "vertex";
+  Registry.declare_type reg "int";
+  Registry.declare_type reg "e" ~assoc:[ ("vertex_type", n "vertex") ];
+  Registry.declare_op reg "source" [ n "e" ] (n "vertex");
+  Registry.declare_op reg "target" [ n "e" ] (n "vertex");
+  Registry.declare_type reg "it" ~assoc:[ ("value_type", n "e") ];
+  Registry.declare_op reg "deref" [ n "it" ] (n "e");
+  Registry.declare_op reg "succ" [ n "it" ] (n "it");
+  Registry.declare_op reg "iter_eq" [ n "it"; n "it" ] (n "bool");
+  Registry.declare_type reg "g"
+    ~assoc:
+      [ ("vertex_type", n "vertex"); ("edge_type", n "e");
+        ("out_edge_iterator", n "it") ];
+  Registry.declare_op reg "out_edges" [ n "vertex"; n "g" ] (n "it");
+  Registry.declare_op reg "out_degree" [ n "vertex"; n "g" ] (n "int");
+  let report = Check.check reg "IncidenceGraph" [ n "g" ] in
+  Alcotest.(check bool)
+    (Fmt.str "parsed IncidenceGraph checks: %a" Check.pp_report report)
+    true (Check.ok report)
+
+(* NOTE: the '== Graph.edge_type' clause on out_edge_iterator constrains
+   the iterator's value_type... actually it constrains the assoc type
+   projection itself. Verify a violation is caught. *)
+let test_parsed_same_type_violation () =
+  let reg = Registry.create () in
+  Lang.load_string reg graph_src;
+  Registry.declare_type reg "vertex";
+  Registry.declare_type reg "other";
+  Registry.declare_type reg "e2" ~assoc:[ ("vertex_type", n "vertex") ];
+  Registry.declare_op reg "source" [ n "e2" ] (n "vertex");
+  Registry.declare_op reg "target" [ n "e2" ] (n "vertex");
+  Registry.declare_type reg "bad"
+    ~assoc:
+      [ ("vertex_type", n "vertex"); ("edge_type", n "e2");
+        ("out_edge_iterator", n "other") ];
+  let report = Check.check reg "IncidenceGraph" [ n "bad" ] in
+  Alcotest.(check bool) "violation caught" false (Check.ok report)
+
+let test_complexity_syntax () =
+  let src =
+    {|
+    concept Fast<C> {
+      size : C -> int;
+      complexity size O(1);
+      complexity scan O(n);
+      complexity sort O(n log n);
+      complexity pairs O(n^2);
+      complexity mixed O(n + m);
+      complexity push O(1) amortized;
+    }
+  |}
+  in
+  let items = Lang.parse_string src in
+  match items with
+  | [ Lang.Iconcept c ] ->
+    let cgs = Concept.complexity_guarantees c in
+    let find op = (List.find (fun g -> g.Concept.cg_op = op) cgs).Concept.cg_bound in
+    Alcotest.(check string) "O(1)" "O(1)" (Complexity.to_string (find "size"));
+    Alcotest.(check string) "O(n)" "O(n)" (Complexity.to_string (find "scan"));
+    Alcotest.(check string) "O(n log n)" "O(n log n)"
+      (Complexity.to_string (find "sort"));
+    Alcotest.(check string) "O(n^2)" "O(n^2)"
+      (Complexity.to_string (find "pairs"));
+    Alcotest.(check string) "O(n + m)" "O(n + m)"
+      (Complexity.to_string (find "mixed"));
+    Alcotest.(check bool) "amortized flag" true
+      (List.exists
+         (fun g -> g.Concept.cg_op = "push" && g.Concept.cg_amortized)
+         cgs)
+  | _ -> Alcotest.fail "expected one concept"
+
+let test_parse_error_position () =
+  let src = "concept Broken<T> {\n  op : T, T -> ;\n}" in
+  match Lang.parse_string src with
+  | _ -> Alcotest.fail "expected a parse error"
+  | exception Lang.Parse_error { line; message; _ } ->
+    Alcotest.(check int) "error on line 2" 2 line;
+    Alcotest.(check bool) "message mentions type" true
+      (String.length message > 0)
+
+let test_unterminated_string () =
+  match Lang.parse_string "type \"oops" with
+  | _ -> Alcotest.fail "expected a parse error"
+  | exception Lang.Parse_error _ -> ()
+
+let test_roundtrip () =
+  let reg = Registry.create () in
+  Lang.load_string reg monoid_src;
+  let original = Option.get (Registry.find_concept reg "Monoid") in
+  let source = Lang.to_source original in
+  let reparsed =
+    match Lang.parse_string source with
+    | [ Lang.Iconcept c ] -> c
+    | _ -> Alcotest.fail "round-trip did not yield one concept"
+  in
+  Alcotest.(check string) "name" original.Concept.name reparsed.Concept.name;
+  Alcotest.(check int) "requirement count"
+    (List.length original.Concept.requirements)
+    (List.length reparsed.Concept.requirements)
+
+let test_multi_param_concept () =
+  let src =
+    {|
+    concept VectorSpace<V, S> refines AbelianGroup<V>, Field<S> {
+      mult : V, S -> V;
+      mult : S, V -> V;
+      axiom unit_scalar(x): "mult(x, one) = x";
+    }
+  |}
+  in
+  match Lang.parse_string src with
+  | [ Lang.Iconcept c ] ->
+    Alcotest.(check (list string)) "two params" [ "V"; "S" ] c.Concept.params;
+    Alcotest.(check int) "two refinements" 2 (List.length c.Concept.refines);
+    Alcotest.(check int) "two mult signatures" 2
+      (List.length (Concept.operations c))
+  | _ -> Alcotest.fail "expected one concept"
+
+(* constructor applications in types: IEnumerable<Edge> etc. *)
+let test_app_types () =
+  let src =
+    {|
+    concept EdgeRange<C> {
+      type edge;
+      edges : C -> seq<C.edge>;
+      pairs : C -> map<C.edge, int>;
+    }
+  |}
+  in
+  match Lang.parse_string src with
+  | [ Lang.Iconcept c ] -> (
+    match Concept.operations c with
+    | [ edges; pairs ] ->
+      let cedge = Ctype.Assoc (Ctype.Var "C", "edge") in
+      Alcotest.(check bool) "seq applied" true
+        (Ctype.equal edges.Concept.op_return (Ctype.App ("seq", [ cedge ])));
+      Alcotest.(check bool) "two-arg app" true
+        (Ctype.equal pairs.Concept.op_return
+           (Ctype.App ("map", [ cedge; Ctype.Named "int" ])))
+    | _ -> Alcotest.fail "expected two operations")
+  | _ -> Alcotest.fail "expected one concept"
+
+(* quoted type names with every special character we rely on. *)
+let test_quoted_names () =
+  let src =
+    {|
+    type "vector<int>::iterator" { value_type = int; }
+    op deref : "vector<int>::iterator" -> int;
+    |}
+  in
+  let reg = Registry.create () in
+  Lang.load_string reg src;
+  Alcotest.(check bool) "type registered" true
+    (Registry.find_type reg "vector<int>::iterator" <> None);
+  Alcotest.(check bool) "op registered" true
+    (Registry.find_op reg "deref" [ n "vector<int>::iterator" ] <> None)
+
+(* comments everywhere, including before EOF *)
+let test_comments () =
+  let src = "// leading\nconcept C<T> { // inline\n f : T -> T; \n } // trailing" in
+  Alcotest.(check int) "parses" 1 (List.length (Lang.parse_string src))
+
+(* re-declaring a type merges assoc bindings instead of failing *)
+let test_type_merge () =
+  let reg = Registry.create () in
+  Lang.load_string reg "type widget { a = int; }";
+  Lang.load_string reg "type widget { b = bool; }";
+  match Registry.find_type reg "widget" with
+  | Some td ->
+    Alcotest.(check bool) "both bindings" true
+      (List.mem_assoc "a" td.Registry.td_assoc
+      && List.mem_assoc "b" td.Registry.td_assoc)
+  | None -> Alcotest.fail "widget missing"
+
+(* the shipped example file loads and its checks behave as documented *)
+let test_shapes_world () =
+  let src =
+    {|
+    concept HasArea<S> { area : S -> float; complexity area O(1); }
+    concept HasPerimeter<S> { perimeter : S -> float; }
+    concept ClosedShape<S> refines HasArea<S>, HasPerimeter<S> {
+      axiom isoperimetric(s): "4 pi area <= perimeter^2";
+    }
+    type float;
+    type circle;
+    op area : circle -> float;
+    op perimeter : circle -> float;
+    type segment;
+    op perimeter : segment -> float;
+    model ClosedShape<circle> asserting isoperimetric;
+  |}
+  in
+  let reg = Registry.create () in
+  Lang.load_string reg src;
+  Alcotest.(check bool) "circle is a ClosedShape" true
+    (Check.models reg "ClosedShape" [ n "circle" ]);
+  Alcotest.(check bool) "segment is not" false
+    (Check.models reg "ClosedShape" [ n "segment" ]);
+  Alcotest.(check bool) "nominal needs the declaration" false
+    (Check.models ~mode:Check.Nominal reg "HasArea" [ n "circle" ])
+
+let () =
+  Alcotest.run "gp_lang"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "parse + check" `Quick test_parse_and_check;
+          Alcotest.test_case "matches programmatic" `Quick
+            test_parsed_equals_programmatic;
+          Alcotest.test_case "graph concepts" `Quick test_parse_graph_concepts;
+          Alcotest.test_case "same-type violation" `Quick
+            test_parsed_same_type_violation;
+          Alcotest.test_case "complexity syntax" `Quick test_complexity_syntax;
+          Alcotest.test_case "multi-param" `Quick test_multi_param_concept;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "position" `Quick test_parse_error_position;
+          Alcotest.test_case "unterminated string" `Quick
+            test_unterminated_string;
+        ] );
+      ("roundtrip", [ Alcotest.test_case "monoid" `Quick test_roundtrip ]);
+      ( "surface details",
+        [
+          Alcotest.test_case "app types" `Quick test_app_types;
+          Alcotest.test_case "quoted names" `Quick test_quoted_names;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "type merge" `Quick test_type_merge;
+          Alcotest.test_case "shapes world" `Quick test_shapes_world;
+        ] );
+    ]

@@ -1,0 +1,412 @@
+(* Tests for the concept-based rewriting optimizer: every Fig. 5 instance,
+   guard soundness (rules must NOT fire on non-models), user rules,
+   certification, and semantics preservation on random expressions. *)
+
+open Gp_simplicissimus
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let insts = Instances.standard ()
+let rules = Rules.builtin @ [ Rules.lidia_inverse ]
+
+let rw e = (Engine.rewrite ~rules ~insts e).Engine.output
+
+let check_rw name e expected =
+  Alcotest.(check string) name (Expr.to_string expected) (Expr.to_string (rw e))
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5 row 1: x + 0 -> x for each Monoid instance                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig5_monoid_instances () =
+  let open Expr in
+  (* i * 1 -> i *)
+  check_rw "i*1 -> i" (binop "*" (ivar "i") (int 1)) (ivar "i");
+  (* f * 1.0 -> f *)
+  check_rw "f*1.0 -> f" (binop "*" (fvar "f") (float 1.0)) (fvar "f");
+  (* b && true -> b *)
+  check_rw "b&&true -> b" (binop "&&" (bvar "b") (bool true)) (bvar "b");
+  (* i & ~0 -> i *)
+  check_rw "i & allbits -> i" (binop "&" (ivar "i") (int (-1))) (ivar "i");
+  (* concat(s, "") -> s *)
+  check_rw "s^\"\" -> s" (binop "^" (svar "s") (string "")) (svar "s");
+  (* A . I -> A *)
+  check_rw "A.I -> A"
+    (binop "." (mvar "A") (Ident ("matrix", ".")))
+    (mvar "A");
+  (* left identities too *)
+  check_rw "1*i -> i" (binop "*" (int 1) (ivar "i")) (ivar "i");
+  check_rw "0+i -> i" (binop "+" (int 0) (ivar "i")) (ivar "i")
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5 row 2: x + (-x) -> 0 for each Group instance                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig5_group_instances () =
+  let open Expr in
+  (* i + (-i) -> 0 *)
+  check_rw "i+(-i) -> 0"
+    (binop "+" (ivar "i") (unop "neg" (ivar "i")))
+    (int 0);
+  (* f * (1/f) -> 1.0 *)
+  check_rw "f*(inv f) -> 1.0"
+    (binop "*" (fvar "f") (unop "inv" (fvar "f")))
+    (float 1.0);
+  (* r * r^-1 -> 1 *)
+  check_rw "r*(inv r) -> 1"
+    (binop "*" (qvar "r") (unop "inv" (qvar "r")))
+    (rat Gp_algebra.Rational.one);
+  (* A . A^-1 -> I (invertible matrices) *)
+  let a = Var ("A", "invertible_matrix") in
+  check_rw "A.A^-1 -> I"
+    (Op (".", "invertible_matrix", [ a; Op ("inv", "invertible_matrix", [ a ]) ]))
+    (Ident ("invertible_matrix", "."));
+  (* left inverse *)
+  check_rw "(-i)+i -> 0"
+    (binop "+" (unop "neg" (ivar "i")) (ivar "i"))
+    (int 0);
+  (* double inverse *)
+  check_rw "neg(neg i) -> i" (unop "neg" (unop "neg" (ivar "i"))) (ivar "i")
+
+(* ------------------------------------------------------------------ *)
+(* Guard soundness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* int-with-times is a Monoid but NOT a Group: i * inv(i) must not
+   rewrite. *)
+let test_group_rule_does_not_fire_on_monoid () =
+  let open Expr in
+  let e = binop "*" (ivar "i") (Op ("inv", "int", [ ivar "i" ])) in
+  Alcotest.(check string) "no rewrite" (Expr.to_string e)
+    (Expr.to_string (rw e))
+
+(* string has no inverse; matrix (non-invertible) is Monoid only. *)
+let test_no_inverse_no_fire () =
+  let open Expr in
+  let e = binop "." (mvar "A") (Op ("inv", "matrix", [ mvar "A" ])) in
+  Alcotest.(check string) "matrix monoid: A . inv A stays" (Expr.to_string e)
+    (Expr.to_string (rw e))
+
+(* x + (-y) with x <> y: the nonlinear pattern must not fire. *)
+let test_nonlinear_pattern () =
+  let open Expr in
+  let e = binop "+" (ivar "x") (unop "neg" (ivar "y")) in
+  Alcotest.(check string) "x+(-y) stays" (Expr.to_string e)
+    (Expr.to_string (rw e));
+  (* but structurally equal compound operands do fire *)
+  let xy = binop "*" (ivar "x") (ivar "y") in
+  let e2 = binop "+" xy (unop "neg" (binop "*" (ivar "x") (ivar "y"))) in
+  check_rw "(x*y)+-(x*y) -> 0" e2 (int 0)
+
+(* An unknown carrier: no instance entry, no rewriting at all. *)
+let test_unknown_carrier () =
+  let open Expr in
+  let e = Op ("+", "widget", [ Var ("w", "widget"); Lit (VInt 0) ]) in
+  Alcotest.(check string) "unknown type untouched" (Expr.to_string e)
+    (Expr.to_string (rw e))
+
+(* ------------------------------------------------------------------ *)
+(* Nested and repeated application                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_nested_fixpoint () =
+  let open Expr in
+  (* ((i + 0) * 1) + (-(i)) -> 0 : needs identity rules to expose the
+     inverse redex *)
+  let e =
+    binop "+"
+      (binop "*" (binop "+" (ivar "i") (int 0)) (int 1))
+      (unop "neg" (ivar "i"))
+  in
+  check_rw "nested chain" e (int 0)
+
+let test_step_trace_records_rules () =
+  let open Expr in
+  let e = binop "+" (binop "+" (ivar "i") (int 0)) (unop "neg" (ivar "i")) in
+  let r = Engine.rewrite ~rules ~insts e in
+  let names = List.map (fun s -> s.Engine.st_rule) r.Engine.steps in
+  Alcotest.(check (list string)) "trace"
+    [ "right-identity"; "right-inverse" ]
+    names;
+  Alcotest.(check int) "ops collapse" 0 r.Engine.ops_after
+
+(* ------------------------------------------------------------------ *)
+(* User rules: the LiDIA example                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_lidia_rule () =
+  let open Expr in
+  let f = Var ("f", "bigfloat") in
+  let e = Op ("/", "bigfloat", [ float 1.0; f ]) in
+  let out = rw e in
+  Alcotest.(check string) "1.0/f -> Inverse(f)" "Inverse(f)"
+    (Expr.to_string out);
+  (* the rule is type-specific: plain float division is untouched *)
+  let e2 = Op ("/", "float", [ float 1.0; fvar "g" ]) in
+  Alcotest.(check string) "float / untouched" (Expr.to_string e2)
+    (Expr.to_string (rw e2))
+
+(* ------------------------------------------------------------------ *)
+(* Ring annihilation rules                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_annihilation () =
+  let open Expr in
+  check_rw "i*0 -> 0" (binop "*" (ivar "i") (int 0)) (int 0);
+  check_rw "0*i -> 0" (binop "*" (int 0) (ivar "i")) (int 0);
+  check_rw "f*0.0 -> 0.0" (binop "*" (fvar "f") (float 0.0)) (float 0.0);
+  check_rw "r*0 -> 0"
+    (binop "*" (qvar "r") (rat Gp_algebra.Rational.zero))
+    (rat Gp_algebra.Rational.zero);
+  (* nested: (i*0) + j -> j via annihilation then left identity *)
+  check_rw "(i*0)+j -> j"
+    (binop "+" (binop "*" (ivar "i") (int 0)) (ivar "j"))
+    (ivar "j")
+
+let test_ring_guard_sound () =
+  let open Expr in
+  (* strings have no ring: s ^ "" is identity (fires) but there is no
+     annihilation notion — and an unregistered carrier stays untouched *)
+  let e = Op ("*", "widget", [ Var ("w", "widget"); Lit (VInt 0) ]) in
+  Alcotest.(check string) "no ring, no fire" (Expr.to_string e)
+    (Expr.to_string (rw e));
+  (* bool && has no ring registered either: b && false must NOT rewrite
+     via the ring rule (no (bool, &&, ||) ring declared) *)
+  let e2 = binop "&&" (bvar "b") (bool false) in
+  Alcotest.(check string) "no bool ring" (Expr.to_string e2)
+    (Expr.to_string (rw e2))
+
+(* ------------------------------------------------------------------ *)
+(* Certification                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_certification () =
+  let reports = Certify.certify_builtin () in
+  List.iter
+    (fun c ->
+      match c.Certify.cert_verdict with
+      | Gp_athena.Deduction.Proved -> ()
+      | v ->
+        Alcotest.failf "rule %s not certified: %a" c.Certify.cert_rule
+          Gp_athena.Deduction.pp_verdict v)
+    reports;
+  Alcotest.(check int) "all builtin rules certified"
+    (List.length Rules.builtin) (List.length reports);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Rules.rule_name ^ " flagged certified")
+        true
+        !(r.Rules.certified))
+    Rules.builtin
+
+let test_only_certified_mode () =
+  (* fresh, uncertified copies of the rules: nothing may fire *)
+  let fresh_rule =
+    Rules.make ~name:"right-identity (uncertified)" ~guard:Instances.Monoid
+      ~lhs:(Rules.P_op [ Rules.P_any "x"; Rules.P_identity ])
+      ~rhs:(Rules.T_var "x") ()
+  in
+  let open Expr in
+  let e = binop "*" (ivar "i") (int 1) in
+  let r =
+    Engine.rewrite ~only_certified:true ~rules:[ fresh_rule ] ~insts e
+  in
+  Alcotest.(check string) "uncertified rule skipped" (Expr.to_string e)
+    (Expr.to_string r.Engine.output);
+  fresh_rule.Rules.certified := true;
+  let r2 =
+    Engine.rewrite ~only_certified:true ~rules:[ fresh_rule ] ~insts e
+  in
+  Alcotest.(check string) "certified rule fires" "i"
+    (Expr.to_string r2.Engine.output)
+
+let test_discharge_instance_axioms () =
+  let discharged = Certify.discharge_instance_axioms insts in
+  Alcotest.(check bool) "some axioms discharged" true (discharged <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Surface syntax                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_sparser_basics () =
+  Alcotest.(check string) "precedence" "(y + (x * 1))"
+    (Expr.to_string (Sparser.parse "y + x*1"));
+  Alcotest.(check string) "parens" "((y + x) * 1)"
+    (Expr.to_string (Sparser.parse "(y + x) * 1"));
+  Alcotest.(check string) "minus desugars" "(x + neg(y))"
+    (Expr.to_string (Sparser.parse "x - y"));
+  Alcotest.(check string) "typed var + float lit" "(f * 1)"
+    (Expr.to_string (Sparser.parse "f:float * 1.0"));
+  Alcotest.(check string) "unary application" "neg(x)"
+    (Expr.to_string (Sparser.parse "neg(x)"));
+  Alcotest.(check string) "strings and concat" "(s ^ \"\")"
+    (Expr.to_string (Sparser.parse {|s:string ^ ""|}))
+
+let test_sparser_type_mismatch () =
+  List.iter
+    (fun src ->
+      match Sparser.parse src with
+      | e -> Alcotest.failf "accepted %S as %s" src (Expr.to_string e)
+      | exception Sparser.Parse_error _ -> ())
+    [ "x + 1.0"; "x:float + 1"; "b:bool + 1"; "x + "; "(x"; "x ~ y" ]
+
+let test_sparser_pipeline () =
+  (* parse, rewrite, evaluate end-to-end *)
+  let e = Sparser.parse "(x*1 + 0) + (0 - x)" in
+  let r = Engine.rewrite ~rules ~insts e in
+  Alcotest.(check string) "collapses to 0" "0"
+    (Expr.to_string r.Engine.output);
+  let v = Eval.eval ~env:[ ("x", Expr.VInt 9) ] e in
+  Alcotest.(check bool) "original also evaluates to 0" true
+    (Expr.value_equal v (Expr.VInt 0))
+
+(* ------------------------------------------------------------------ *)
+(* Semantics preservation (property)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Random int expressions over +, *, &, |, neg with variables x,y,z and
+   identity-heavy literals (to give the rules targets). *)
+let int_expr_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then
+            oneof
+              [
+                map Expr.int (oneof [ return 0; return 1; return (-1); int_range (-9) 9 ]);
+                oneofl [ Expr.ivar "x"; Expr.ivar "y"; Expr.ivar "z" ];
+              ]
+          else
+            oneof
+              [
+                map2
+                  (fun op (a, b) -> Expr.binop op a b)
+                  (oneofl [ "+"; "*"; "&"; "|" ])
+                  (pair (self (n / 2)) (self (n / 2)));
+                map (fun a -> Expr.unop "neg" a) (self (n - 1));
+              ])
+        (min n 20))
+
+let int_expr = QCheck.make ~print:Expr.to_string int_expr_gen
+
+let semantics_prop =
+  qtest
+    (QCheck.Test.make ~name:"rewriting preserves evaluation (int)" ~count:500
+       int_expr (fun e ->
+         let env = [ ("x", Expr.VInt 3); ("y", Expr.VInt (-7)); ("z", Expr.VInt 11) ] in
+         let before = Eval.eval ~env e in
+         let after = Eval.eval ~env (rw e) in
+         Expr.value_equal before after))
+
+let shrink_prop =
+  qtest
+    (QCheck.Test.make ~name:"rewriting never grows the expression" ~count:500
+       int_expr (fun e ->
+         Expr.op_count (rw e) <= Expr.op_count e))
+
+let idempotent_prop =
+  qtest
+    (QCheck.Test.make ~name:"rewriting is idempotent" ~count:300 int_expr
+       (fun e ->
+         let once = rw e in
+         Expr.equal (rw once) once))
+
+(* rational expressions: + * neg inv with nonzero literals *)
+let rat_expr_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then
+            oneof
+              [
+                map
+                  (fun (a, b) ->
+                    Expr.rat (Gp_algebra.Rational.make a b))
+                  (pair (int_range 1 9) (int_range 1 9));
+                oneofl [ Expr.qvar "p"; Expr.qvar "q" ];
+              ]
+          else
+            oneof
+              [
+                map2
+                  (fun op (a, b) -> Expr.binop op a b)
+                  (oneofl [ "+"; "*" ])
+                  (pair (self (n / 2)) (self (n / 2)));
+                map (fun a -> Expr.unop "neg" a) (self (n - 1));
+              ])
+        (min n 14))
+
+let rat_semantics_prop =
+  qtest
+    (QCheck.Test.make ~name:"rewriting preserves evaluation (rational)"
+       ~count:300
+       (QCheck.make ~print:Expr.to_string rat_expr_gen)
+       (fun e ->
+         let env =
+           [ ("p", Expr.VRat (Gp_algebra.Rational.make 2 3));
+             ("q", Expr.VRat (Gp_algebra.Rational.make (-5) 4)) ]
+         in
+         Expr.value_equal (Eval.eval ~env e) (Eval.eval ~env (rw e))))
+
+let test_matrix_eval () =
+  let open Expr in
+  let q = Gp_algebra.Rational.of_int in
+  let m = Gp_algebra.Instances.Qmat.of_rows [ [ q 1; q 2 ]; [ q 3; q 4 ] ] in
+  let e = binop "." (Lit (VMat m)) (Ident ("matrix", ".")) in
+  let v = Eval.eval ~env:[] ~mat_dim:2 e in
+  Alcotest.(check bool) "M . I = M" true
+    (Expr.value_equal v (VMat m));
+  (* and the rewriter removes the multiplication entirely *)
+  let r = Engine.rewrite ~rules ~insts e in
+  Alcotest.(check int) "0 ops after" 0 r.Engine.ops_after
+
+let () =
+  Alcotest.run "gp_simplicissimus"
+    [
+      ( "fig5 instances",
+        [
+          Alcotest.test_case "monoid row" `Quick test_fig5_monoid_instances;
+          Alcotest.test_case "group row" `Quick test_fig5_group_instances;
+        ] );
+      ( "guard soundness",
+        [
+          Alcotest.test_case "group rule vs monoid" `Quick
+            test_group_rule_does_not_fire_on_monoid;
+          Alcotest.test_case "no inverse no fire" `Quick
+            test_no_inverse_no_fire;
+          Alcotest.test_case "nonlinear pattern" `Quick test_nonlinear_pattern;
+          Alcotest.test_case "unknown carrier" `Quick test_unknown_carrier;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "nested fixpoint" `Quick test_nested_fixpoint;
+          Alcotest.test_case "step trace" `Quick test_step_trace_records_rules;
+          Alcotest.test_case "matrix eval" `Quick test_matrix_eval;
+        ] );
+      ("user rules", [ Alcotest.test_case "lidia" `Quick test_lidia_rule ]);
+      ( "ring rules",
+        [
+          Alcotest.test_case "annihilation" `Quick test_ring_annihilation;
+          Alcotest.test_case "ring guard" `Quick test_ring_guard_sound;
+        ] );
+      ( "surface syntax",
+        [
+          Alcotest.test_case "basics" `Quick test_sparser_basics;
+          Alcotest.test_case "type mismatch" `Quick
+            test_sparser_type_mismatch;
+          Alcotest.test_case "pipeline" `Quick test_sparser_pipeline;
+        ] );
+      ( "certification",
+        [
+          Alcotest.test_case "builtin certified" `Quick test_certification;
+          Alcotest.test_case "only-certified mode" `Quick
+            test_only_certified_mode;
+          Alcotest.test_case "instance axioms discharged" `Quick
+            test_discharge_instance_axioms;
+        ] );
+      ( "properties",
+        [ semantics_prop; shrink_prop; idempotent_prop; rat_semantics_prop ] );
+    ]

@@ -1,0 +1,255 @@
+(* Tests for the STLlint reproduction: the whole corpus against its
+   expectations, the exact Fig. 4 and Section 3.2 messages, flow
+   sensitivity, and the generated-program scaling harness. *)
+
+open Gp_stllint
+
+let contains s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  lb = 0 || go 0
+
+let count_sev sev ds =
+  List.length (List.filter (fun d -> d.Interp.d_severity = sev) ds)
+
+(* Every corpus case matches its expected diagnostic counts. *)
+let test_corpus_case (c : Corpus.case) () =
+  let ds = Interp.check c.Corpus.program in
+  let show = Fmt.str "%a" Interp.pp_report ds in
+  Alcotest.(check int)
+    (c.Corpus.case_name ^ " errors: " ^ show)
+    c.Corpus.expect.Corpus.expect_errors
+    (count_sev Interp.Error ds);
+  Alcotest.(check int)
+    (c.Corpus.case_name ^ " warnings: " ^ show)
+    c.Corpus.expect.Corpus.expect_warnings
+    (count_sev Interp.Warning ds);
+  Alcotest.(check int)
+    (c.Corpus.case_name ^ " suggestions: " ^ show)
+    c.Corpus.expect.Corpus.expect_suggestions
+    (count_sev Interp.Suggestion ds)
+
+let corpus_tests =
+  List.map
+    (fun c ->
+      Alcotest.test_case c.Corpus.case_name `Quick (test_corpus_case c))
+    Corpus.all
+
+(* ------------------------------------------------------------------ *)
+(* Exact message reproduction                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Fig. 4's published output: "Warning: attempt to dereference a singular
+   iterator / if (fgrade(*iter))" *)
+let test_fig4_message () =
+  let ds = Interp.check Corpus.fig4_buggy in
+  let hit =
+    List.find_opt
+      (fun d -> contains d.Interp.d_message "dereference a singular iterator")
+      ds
+  in
+  match hit with
+  | Some d ->
+    Alcotest.(check bool) "points at the if-condition" true
+      (contains d.Interp.d_where "fgrade")
+  | None -> Alcotest.fail "singular-iterator diagnostic missing"
+
+(* Section 3.2's published suggestion text. *)
+let test_sorted_find_suggestion_text () =
+  let ds = Interp.check Corpus.sorted_then_linear_find in
+  let hit =
+    List.find_opt (fun d -> d.Interp.d_severity = Interp.Suggestion) ds
+  in
+  match hit with
+  | Some d ->
+    Alcotest.(check bool) "mentions the sorted sequence" true
+      (contains d.Interp.d_message
+         "the incoming sequence [first, last) is sorted, but will be \
+          searched linearly");
+    Alcotest.(check bool) "suggests lower_bound" true
+      (contains d.Interp.d_message "lower_bound")
+  | None -> Alcotest.fail "optimization suggestion missing"
+
+let test_multipass_message () =
+  let ds = Interp.check Corpus.max_element_on_stream in
+  Alcotest.(check bool) "multipass message" true
+    (List.exists
+       (fun d ->
+         contains d.Interp.d_message "multipass"
+         && contains d.Interp.d_message "one traversal")
+       ds)
+
+let test_category_message () =
+  let ds = Interp.check Corpus.sort_on_list in
+  Alcotest.(check bool) "category mismatch names both concepts" true
+    (List.exists
+       (fun d ->
+         contains d.Interp.d_message "RandomAccessIterator"
+         && contains d.Interp.d_message "BidirectionalIterator")
+       ds)
+
+(* ------------------------------------------------------------------ *)
+(* Flow sensitivity details                                            *)
+(* ------------------------------------------------------------------ *)
+
+open Ast
+
+(* An if/else where only one branch invalidates: the join must still warn
+   on a later use. *)
+let test_join_of_branches () =
+  let program =
+    [
+      stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+      stmt (Decl_iter { name = "it"; init = Begin_of "v" });
+      stmt (Decl_iter { name = "last"; init = End_of "v" });
+      stmt ~label:"if (...) v.push_back(1)"
+        (If
+           ( Pred (Var "flag"),
+             [ stmt ~label:"v.push_back(1)" (Push_back ("v", Const 1)) ],
+             [] ));
+      stmt ~label:"while (it != last) *it"
+        (While
+           ( Iter_ne ("it", "last"),
+             [ stmt ~label:"*it" (Deref_read "it"); stmt (Incr "it") ] ));
+    ]
+  in
+  let ds = Interp.check program in
+  Alcotest.(check bool) "maybe-invalidated use reported" true
+    (List.exists (fun d -> d.Interp.d_severity = Interp.Error) ds)
+
+(* Sortedness survives a non-mutating traversal. *)
+let test_sortedness_survives_reads () =
+  let program =
+    [
+      stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+      stmt (Algo { algo = "sort"; args = [ A_range (R_container "v") ]; result = None });
+      stmt
+        (Algo { algo = "accumulate"; args = [ A_range (R_container "v") ]; result = None });
+      stmt ~label:"binary_search"
+        (Algo
+           { algo = "binary_search";
+             args = [ A_range (R_container "v"); A_value (Const 1) ];
+             result = None });
+    ]
+  in
+  let ds = Interp.check program in
+  Alcotest.(check int) "no warnings" 0 (count_sev Interp.Warning ds)
+
+(* reverse destroys sortedness. *)
+let test_reverse_destroys_sortedness () =
+  let program =
+    [
+      stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+      stmt (Algo { algo = "sort"; args = [ A_range (R_container "v") ]; result = None });
+      stmt (Algo { algo = "reverse"; args = [ A_range (R_container "v") ]; result = None });
+      stmt ~label:"binary_search"
+        (Algo
+           { algo = "binary_search";
+             args = [ A_range (R_container "v"); A_value (Const 1) ];
+             result = None });
+    ]
+  in
+  let ds = Interp.check program in
+  Alcotest.(check int) "warning returns" 1 (count_sev Interp.Warning ds)
+
+(* Iterator assignment: reassigning a singular iterator makes it usable
+   again (no sticky errors). *)
+let test_reassignment_clears_state () =
+  let program =
+    [
+      stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+      stmt (Decl_iter { name = "it"; init = Singular_init });
+      stmt ~label:"it = v.begin()"
+        (Assign_iter { name = "it"; init = Begin_of "v" });
+      stmt (Decl_iter { name = "last"; init = End_of "v" });
+      stmt ~label:"guarded use"
+        (If (Iter_ne ("it", "last"), [ stmt ~label:"*it" (Deref_read "it") ], []));
+    ]
+  in
+  let ds = Interp.check program in
+  Alcotest.(check int) "clean" 0 (List.length ds)
+
+(* Copying an iterator copies its abstract state. *)
+let test_copy_propagates_state () =
+  let program =
+    [
+      stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+      stmt (Decl_iter { name = "e"; init = End_of "v" });
+      stmt (Decl_iter { name = "c"; init = Copy_of "e" });
+      stmt ~label:"*c" (Deref_read "c");
+    ]
+  in
+  let ds = Interp.check program in
+  Alcotest.(check int) "copy of end also flagged" 1
+    (count_sev Interp.Error ds)
+
+(* Unknown algorithm: warn, do not crash. *)
+let test_unknown_algorithm () =
+  let program =
+    [
+      stmt (Decl_container { name = "v"; kind = Vector; sorted = false });
+      stmt ~label:"frobnicate(v)"
+        (Algo { algo = "frobnicate"; args = [ A_range (R_container "v") ]; result = None });
+    ]
+  in
+  let ds = Interp.check program in
+  Alcotest.(check bool) "warned about missing spec" true
+    (List.exists
+       (fun d -> contains d.Interp.d_message "no specification")
+       ds)
+
+(* ------------------------------------------------------------------ *)
+(* Generated corpus: detection scales with program size                *)
+(* ------------------------------------------------------------------ *)
+
+let test_generated_detection () =
+  (* 30 blocks, every 3rd buggy: exactly 10 singular-deref errors *)
+  let program = Corpus.generate ~blocks:30 ~buggy_every:3 in
+  let ds = Interp.check program in
+  let errs =
+    List.filter
+      (fun d ->
+        d.Interp.d_severity = Interp.Error
+        && contains d.Interp.d_message "singular")
+      ds
+  in
+  Alcotest.(check int) "one error per buggy block" 10 (List.length errs)
+
+let test_generated_clean () =
+  let program = Corpus.generate ~blocks:25 ~buggy_every:0 in
+  let ds = Interp.check program in
+  Alcotest.(check int) "no errors in clean program" 0
+    (count_sev Interp.Error ds)
+
+let () =
+  Alcotest.run "gp_stllint"
+    [
+      ("corpus", corpus_tests);
+      ( "messages",
+        [
+          Alcotest.test_case "fig4 text" `Quick test_fig4_message;
+          Alcotest.test_case "sorted-find suggestion" `Quick
+            test_sorted_find_suggestion_text;
+          Alcotest.test_case "multipass text" `Quick test_multipass_message;
+          Alcotest.test_case "category text" `Quick test_category_message;
+        ] );
+      ( "flow sensitivity",
+        [
+          Alcotest.test_case "branch join" `Quick test_join_of_branches;
+          Alcotest.test_case "sortedness survives reads" `Quick
+            test_sortedness_survives_reads;
+          Alcotest.test_case "reverse destroys sortedness" `Quick
+            test_reverse_destroys_sortedness;
+          Alcotest.test_case "reassignment" `Quick
+            test_reassignment_clears_state;
+          Alcotest.test_case "copy state" `Quick test_copy_propagates_state;
+          Alcotest.test_case "unknown algorithm" `Quick
+            test_unknown_algorithm;
+        ] );
+      ( "generated programs",
+        [
+          Alcotest.test_case "detection count" `Quick
+            test_generated_detection;
+          Alcotest.test_case "clean program" `Quick test_generated_clean;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(* Tests for the STLlint surface syntax: the Fig. 4 program written as
+   program text must produce the same diagnostics as the hand-built AST,
+   and the frontend's contextual argument typing must hold up. *)
+
+open Gp_stllint
+
+let contains s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  lb = 0 || go 0
+
+let count_sev sev ds =
+  List.length (List.filter (fun d -> d.Interp.d_severity = sev) ds)
+
+(* Fig. 4, as source text. *)
+let fig4_src =
+  {|
+  // extract and erase failing grades -- the buggy version
+  vector<student> students;
+  vector<student> fail;
+  iter it = students.begin();
+  iter last = students.end();
+  while (it != last) {
+    if (fgrade(*it)) {
+      fail.push_back(*it);
+      students.erase(it);     // result discarded: it becomes singular
+    } else {
+      ++it;
+    }
+  }
+|}
+
+let test_fig4_from_source () =
+  let ds = Parser.check_source fig4_src in
+  Alcotest.(check int) "one error" 1 (count_sev Interp.Error ds);
+  Alcotest.(check bool) "the singular message" true
+    (List.exists
+       (fun d -> contains d.Interp.d_message "singular iterator")
+       ds)
+
+let fig4_fixed_src =
+  {|
+  vector<student> students;
+  vector<student> fail;
+  iter it = students.begin();
+  iter last = students.end();
+  while (it != last) {
+    if (fgrade(*it)) {
+      fail.push_back(*it);
+      it = students.erase(it);
+      last = students.end();
+    } else {
+      ++it;
+    }
+  }
+|}
+
+let test_fig4_fixed_from_source () =
+  let ds = Parser.check_source fig4_fixed_src in
+  Alcotest.(check int) "clean" 0 (List.length ds)
+
+let test_sorted_find_from_source () =
+  let ds =
+    Parser.check_source
+      {|
+      vector<int> v;
+      sort(v);
+      iter i = find(v, 42);
+    |}
+  in
+  Alcotest.(check int) "one suggestion" 1 (count_sev Interp.Suggestion ds);
+  Alcotest.(check bool) "lower_bound suggested" true
+    (List.exists (fun d -> contains d.Interp.d_message "lower_bound") ds)
+
+let test_stream_from_source () =
+  let ds =
+    Parser.check_source
+      {|
+      istream cin;
+      iter m = max_element(cin);
+    |}
+  in
+  Alcotest.(check bool) "multipass error" true
+    (List.exists (fun d -> contains d.Interp.d_message "multipass") ds)
+
+(* contextual argument typing: container vs iterator range vs predicate *)
+let test_argument_typing () =
+  let program =
+    Parser.parse_program
+      {|
+      vector<int> v;
+      iter a = v.begin();
+      iter b = v.end();
+      count_if(a..b, is_even);
+    |}
+  in
+  match List.rev program with
+  | { Ast.node = Ast.Algo { args; _ }; _ } :: _ ->
+    Alcotest.(check bool) "range arg" true
+      (List.exists
+         (function Ast.A_range (Ast.R_iters ("a", "b")) -> true | _ -> false)
+         args);
+    Alcotest.(check bool) "pred arg" true
+      (List.exists (function Ast.A_pred "is_even" -> true | _ -> false) args)
+  | _ -> Alcotest.fail "expected an algorithm call"
+
+let test_sorted_annotation () =
+  let ds =
+    Parser.check_source
+      {|
+      vector<int> v sorted;
+      binary_search(v, 7);
+    |}
+  in
+  Alcotest.(check int) "no warnings: declared sorted" 0
+    (count_sev Interp.Warning ds)
+
+let test_labels_carry_source () =
+  let ds = Parser.check_source fig4_src in
+  match List.find_opt (fun d -> d.Interp.d_severity = Interp.Error) ds with
+  | Some d ->
+    Alcotest.(check bool) "label shows the offending source" true
+      (contains d.Interp.d_where "fgrade")
+  | None -> Alcotest.fail "no error"
+
+let test_parse_errors () =
+  let cases =
+    [ "vector<int> v"; (* missing ; *) "iter x = ;"; "while (x) {";
+      "v.push_back(1);" (* undeclared container -> undeclared name error *) ]
+  in
+  List.iter
+    (fun src ->
+      match Parser.parse_program src with
+      | _ -> Alcotest.failf "accepted %S" src
+      | exception Parser.Parse_error _ -> ())
+    cases
+
+let test_deque_and_members () =
+  let ds =
+    Parser.check_source
+      {|
+      deque<int> d;
+      d.push_front(1);
+      d.push_back(2);
+      d.pop_back();
+      iter i = d.begin();
+      iter e = d.end();
+      if (i != e) { *i; }
+    |}
+  in
+  Alcotest.(check int) "clean" 0 (List.length ds)
+
+(* Round-trip: every corpus program renders to surface syntax and parses
+   back structurally equal — and with identical diagnostics. *)
+let test_roundtrip_corpus () =
+  List.iter
+    (fun (c : Corpus.case) ->
+      let src = Render.to_source c.Corpus.program in
+      match Parser.parse_program src with
+      | reparsed ->
+        Alcotest.(check bool)
+          (c.Corpus.case_name ^ " round-trips:\n" ^ src)
+          true
+          (Render.block_equal c.Corpus.program reparsed);
+        let d1 = Interp.check c.Corpus.program in
+        let d2 = Interp.check reparsed in
+        Alcotest.(check (list string))
+          (c.Corpus.case_name ^ " same diagnostics")
+          (List.map (fun d -> d.Interp.d_message) d1)
+          (List.map (fun d -> d.Interp.d_message) d2)
+      | exception Parser.Parse_error { line; message } ->
+        Alcotest.failf "%s: rendered source fails to parse (line %d: %s)\n%s"
+          c.Corpus.case_name line message src)
+    Corpus.all
+
+let test_roundtrip_generated () =
+  let program = Corpus.generate ~blocks:12 ~buggy_every:3 in
+  let reparsed = Parser.parse_program (Render.to_source program) in
+  Alcotest.(check bool) "generated corpus round-trips" true
+    (Render.block_equal program reparsed)
+
+let () =
+  Alcotest.run "gp_stllint_parser"
+    [
+      ( "end to end",
+        [
+          Alcotest.test_case "fig4 buggy" `Quick test_fig4_from_source;
+          Alcotest.test_case "fig4 fixed" `Quick test_fig4_fixed_from_source;
+          Alcotest.test_case "sorted find" `Quick
+            test_sorted_find_from_source;
+          Alcotest.test_case "stream multipass" `Quick
+            test_stream_from_source;
+        ] );
+      ( "frontend",
+        [
+          Alcotest.test_case "argument typing" `Quick test_argument_typing;
+          Alcotest.test_case "sorted annotation" `Quick
+            test_sorted_annotation;
+          Alcotest.test_case "labels" `Quick test_labels_carry_source;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "deque members" `Quick test_deque_and_members;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "corpus" `Quick test_roundtrip_corpus;
+          Alcotest.test_case "generated" `Quick test_roundtrip_generated;
+        ] );
+    ]
