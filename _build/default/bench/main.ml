@@ -675,13 +675,72 @@ let a1 () =
     (ns_str t_iter) (t_iter /. t_raw)
 
 (* ------------------------------------------------------------------ *)
+(* S1: service throughput — cold vs warm caches                        *)
+(* ------------------------------------------------------------------ *)
+
+let s1 () =
+  section "S1" "gp_service throughput: cold vs warm caches under a Zipf \
+                workload";
+  let open Gp_service in
+  let declare_standard reg =
+    Gp_concepts.(ignore (reg : Registry.t));
+    Gp_algebra.Decls.declare reg;
+    Gp_sequence.Decls.declare reg;
+    Gp_graph.Decls.declare reg;
+    Gp_linalg.Decls.declare reg
+  in
+  let n = if !quota < 0.5 then 150 else 600 in
+  let seed = 42 in
+  let reqs = Workload.generate ~seed ~n () in
+  let replay = Workload.generate ~seed ~n () in
+  assert (Workload.fingerprint reqs = Workload.fingerprint replay);
+  Fmt.pr "workload: n=%d seed=%d mix=[%a]@." n seed Workload.pp_mix
+    Workload.default_mix;
+  Fmt.pr "fingerprint: %s (replay deterministic: verified)@."
+    (Workload.fingerprint reqs);
+  let run server =
+    let t0 = Unix.gettimeofday () in
+    let rsps = Server.process server reqs in
+    let dt = Unix.gettimeofday () -. t0 in
+    let ok = List.length (List.filter Request.ok rsps) in
+    (dt, float_of_int n /. dt, ok)
+  in
+  (* no-cache baseline: every request recomputed from scratch *)
+  let nocache =
+    Server.create
+      ~config:{ Server.default_config with caching = false }
+      ~declare_standard ()
+  in
+  let base_dt, base_rps, base_ok = run nocache in
+  (* cold: fresh caches, first pass pays every miss; warm: the same
+     server replays the identical stream against populated caches *)
+  let server = Server.create ~declare_standard () in
+  let cold_dt, cold_rps, cold_ok = run server in
+  let warm_dt, warm_rps, warm_ok = run server in
+  Fmt.pr "@.%-10s %10s %12s %6s@." "pass" "wall" "req/s" "ok";
+  let row name dt rps ok =
+    Fmt.pr "%-10s %9.1fms %12.0f %6d@." name (dt *. 1e3) rps ok
+  in
+  row "no-cache" base_dt base_rps base_ok;
+  row "cold" cold_dt cold_rps cold_ok;
+  row "warm" warm_dt warm_rps warm_ok;
+  Fmt.pr "@.warm/cold speedup: %.2fx   warm/no-cache: %.2fx   %s@."
+    (warm_rps /. cold_rps)
+    (warm_rps /. base_rps)
+    (if warm_rps > cold_rps then "(warm strictly faster: yes)"
+     else "(WARM NOT FASTER — cache regression?)");
+  Fmt.pr "@.%s@." (Server.report server);
+  Fmt.pr "(the report aggregates both passes; hit ratios mix the cold \
+          misses with the warm hits)@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("f1", f1_f2); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6);
     ("c1", c1); ("c2", c2); ("c3", c3); ("c5", c5); ("c6", c6); ("c8", c8);
-    ("a1", a1) ]
+    ("a1", a1); ("s1", s1) ]
 
 let () =
   let requested =

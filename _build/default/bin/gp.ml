@@ -6,18 +6,22 @@
      gp optimize                             Simplicissimus demo + certification
      gp prove [--theory swo|group|monoid]    run the proof checker
      gp elect --algo lcr|hs --nodes N        leader election on a ring
-     gp taxonomy --problem P --topology T    pick the right algorithm *)
+     gp taxonomy --problem P --topology T    pick the right algorithm
+     gp serve [--file F]                     serve JSONL requests (gp_service)
+     gp workload --n N --seed S              run a synthetic serving workload *)
 
 open Cmdliner
 
 (* The "standard world": every registry declaration the libraries ship. *)
-let standard_registry () =
-  let open Gp_concepts in
-  let reg = Registry.create () in
+let standard_declare reg =
   Gp_algebra.Decls.declare reg;
   Gp_sequence.Decls.declare reg;
   Gp_graph.Decls.declare reg;
-  Gp_linalg.Decls.declare reg;
+  Gp_linalg.Decls.declare reg
+
+let standard_registry () =
+  let reg = Gp_concepts.Registry.create () in
+  standard_declare reg;
   reg
 
 (* ------------------------------------------------------------------ *)
@@ -398,6 +402,155 @@ let taxonomy_cmd =
        ~doc:"Query the seven-dimension distributed-algorithms taxonomy")
     Term.(const run $ problem $ topology $ measure)
 
+(* ------------------------------------------------------------------ *)
+(* gp serve / gp workload                                               *)
+(* ------------------------------------------------------------------ *)
+
+let server_config ~no_cache ~cache_capacity ~queue ~max_steps ~timeout =
+  { Gp_service.Server.default_config with
+    Gp_service.Server.caching = not no_cache;
+    cache_capacity;
+    queue_capacity = queue;
+    max_steps;
+    timeout }
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ] ~doc:"Disable the memo caches entirely.")
+
+let cache_capacity_arg =
+  Arg.(value & opt int 256
+       & info [ "cache-capacity" ] ~doc:"Entries per LRU cache.")
+
+let queue_arg =
+  Arg.(value & opt int 64
+       & info [ "queue" ] ~doc:"Admission-queue capacity.")
+
+let max_steps_arg =
+  Arg.(value & opt int 100_000
+       & info [ "max-steps" ] ~doc:"Per-request step budget.")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ] ~doc:"Per-request deadline in seconds.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the metrics report to stderr when the input ends.")
+
+let serve_cmd =
+  let file =
+    Arg.(value
+         & opt (some file) None
+         & info [ "file" ]
+             ~doc:"Read request lines from this file instead of stdin.")
+  in
+  let run file no_cache cache_capacity queue max_steps timeout metrics =
+    let open Gp_service in
+    let config =
+      server_config ~no_cache ~cache_capacity ~queue ~max_steps ~timeout
+    in
+    let server = Server.create ~config ~declare_standard:standard_declare () in
+    let served =
+      match file with
+      | None -> Server.serve_channel server stdin stdout
+      | Some path ->
+        In_channel.with_open_text path (fun ic ->
+            Server.serve_channel server ic stdout)
+    in
+    if metrics then Fmt.epr "%s@." (Server.report server);
+    if served > 0 then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve JSONL-ish toolchain requests from a file or stdin")
+    Term.(const run $ file $ no_cache_arg $ cache_capacity_arg $ queue_arg
+          $ max_steps_arg $ timeout_arg $ metrics_arg)
+
+let workload_cmd =
+  let n_arg =
+    Arg.(value & opt int 400 & info [ "requests"; "n" ] ~doc:"Number of requests.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let mix_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "mix" ]
+             ~doc:"Kind mix as weights, e.g. \
+                   \"closure=3,lint=2,prove=1\".")
+  in
+  let zipf =
+    Arg.(value & opt float 1.1
+         & info [ "zipf" ] ~doc:"Zipf exponent for key reuse.")
+  in
+  let keyspace =
+    Arg.(value & opt int 40
+         & info [ "keyspace" ] ~doc:"Distinct keys per request kind.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"Small fixed workload (n=60, seed=7): the smoke-test \
+                   configuration run under dune runtest.")
+  in
+  let print_responses =
+    Arg.(value & flag
+         & info [ "print" ] ~doc:"Print every response line.")
+  in
+  let run n seed mix_spec zipf keyspace quick print_responses no_cache
+      cache_capacity queue max_steps timeout =
+    let open Gp_service in
+    let mix =
+      match mix_spec with
+      | None -> Workload.default_mix
+      | Some spec -> (
+        match Workload.parse_mix spec with
+        | Ok m -> m
+        | Error e ->
+          Fmt.epr "bad --mix: %s@." e;
+          exit 2)
+    in
+    let n, seed = if quick then (60, 7) else (n, seed) in
+    let reqs = Workload.generate ~mix ~zipf ~keyspace ~seed ~n () in
+    let config =
+      server_config ~no_cache ~cache_capacity ~queue ~max_steps ~timeout
+    in
+    let server = Server.create ~config ~declare_standard:standard_declare () in
+    let t0 = Unix.gettimeofday () in
+    let responses = Server.process server reqs in
+    let dt = Unix.gettimeofday () -. t0 in
+    if print_responses then
+      List.iter
+        (fun r -> Fmt.pr "%s@." (Wire.response_to_line r))
+        responses;
+    let ok = List.length (List.filter Request.ok responses) in
+    let cached =
+      List.length (List.filter (fun r -> r.Request.rsp_cached) responses)
+    in
+    Fmt.pr "workload: n=%d seed=%d zipf=%.2f keyspace=%d mix=[%a]@." n seed
+      zipf keyspace Workload.pp_mix mix;
+    Fmt.pr "fingerprint: %s@." (Workload.fingerprint reqs);
+    Fmt.pr "served %d requests in %.3fs (%.0f req/s): %d ok, %d errors, %d \
+            cache-served@.@."
+      (List.length responses) dt
+      (float_of_int (List.length responses) /. Float.max dt 1e-9)
+      ok
+      (List.length responses - ok)
+      cached;
+    Fmt.pr "%s@." (Server.report server);
+    (* the workload mix includes requests that *should* fail (bad checks
+       are part of the service's job); the exit code only reflects the
+       serving machinery itself *)
+    if List.length responses = n then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Generate and serve a seeded synthetic workload, then report")
+    Term.(const run $ n_arg $ seed $ mix_arg $ zipf $ keyspace $ quick
+          $ print_responses $ no_cache_arg $ cache_capacity_arg $ queue_arg
+          $ max_steps_arg $ timeout_arg)
+
 let () =
   let doc = "generic programming and high-performance libraries, reproduced" in
   let info = Cmd.info "gp" ~version:"1.0.0" ~doc in
@@ -405,4 +558,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ check_cmd; parse_cmd; concepts_cmd; lint_cmd; optimize_cmd;
-            prove_cmd; elect_cmd; taxonomy_cmd ]))
+            prove_cmd; elect_cmd; taxonomy_cmd; serve_cmd; workload_cmd ]))

@@ -1,1 +1,1 @@
-lib/concepts/propagate.mli: Ctype Format Registry
+lib/concepts/propagate.mli: Concept Ctype Format Registry

@@ -530,7 +530,8 @@ let load_items reg items =
           in
           reg.Registry.types <-
             (name, { td with Registry.td_assoc = merged })
-            :: List.remove_assoc name reg.Registry.types)
+            :: List.remove_assoc name reg.Registry.types;
+          Registry.touch reg)
       | Iop { name; params; ret } -> Registry.declare_op reg name params ret
       | Imodel { concept; args; axioms } ->
         Registry.declare_model reg concept args ~axioms)

@@ -25,8 +25,12 @@ let obligation_equal a b =
 
 (* All obligations implied by [concept<args>], including itself. [depth]
    bounds recursion through associated types (cyclic concept references such
-   as container<->iterator are legal). *)
-let closure ?(max_depth = 8) reg concept args =
+   as container<->iterator are legal).
+
+   The core is a pure function of a concept-lookup function, not of a
+   mutable registry: the same lookup always yields the same closure, which
+   is what lets gp_service memoise closures by content key alone. *)
+let closure_with ?(max_depth = 8) ~lookup concept args =
   let acc = ref [] in
   let add ob =
     if not (List.exists (obligation_equal ob) !acc) then (
@@ -39,7 +43,7 @@ let closure ?(max_depth = 8) reg concept args =
     else
       let ob = { ob_concept = concept; ob_args = args } in
       if add ob then
-        match Registry.find_concept reg concept with
+        match lookup concept with
         | None -> ()
         | Some con ->
           let env = List.combine con.Concept.params args in
@@ -67,6 +71,17 @@ let closure ?(max_depth = 8) reg concept args =
   in
   go 0 concept args;
   List.rev !acc
+
+let closure ?max_depth reg concept args =
+  closure_with ?max_depth ~lookup:(Registry.find_concept reg) concept args
+
+(* Canonical cache key for a closure query. The registry's generation
+   counter stands in for the lookup function: any declaration bumps it, so
+   a stale closure can never be served after the world changes. *)
+let request_key ?(max_depth = 8) reg concept args =
+  Printf.sprintf "closure|g%d|d%d|%s<%s>" (Registry.generation reg) max_depth
+    concept
+    (String.concat "," (List.map Ctype.to_string args))
 
 (* Number of constraints the programmer writes with propagation: just the
    root constraint. *)

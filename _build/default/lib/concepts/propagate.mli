@@ -11,11 +11,27 @@ type obligation = { ob_concept : string; ob_args : Ctype.t list }
 
 val obligation_equal : obligation -> obligation -> bool
 
+val closure_with :
+  ?max_depth:int ->
+  lookup:(string -> Concept.t option) ->
+  string ->
+  Ctype.t list ->
+  obligation list
+(** The pure core: all obligations implied by [concept<args>], including
+    itself, deduplicated, as a function of a concept-lookup function
+    alone. Same lookup, same answer — which is what makes closures
+    memoisable (gp_service keys its closure cache on
+    {!Registry.generation} plus the query). [max_depth] bounds recursion
+    through associated types (container/iterator cycles are legal). *)
+
 val closure :
   ?max_depth:int -> Registry.t -> string -> Ctype.t list -> obligation list
-(** All obligations implied by [concept<args>], including itself,
-    deduplicated. [max_depth] bounds recursion through associated types
-    (container/iterator cycles are legal). *)
+(** [closure_with] over [Registry.find_concept reg]. *)
+
+val request_key :
+  ?max_depth:int -> Registry.t -> string -> Ctype.t list -> string
+(** Canonical content key for memoising a closure query: encodes the
+    registry generation, the depth bound, and the query. *)
 
 val declared_size : int
 (** Constraints written {e with} propagation: always 1 (the root). *)

@@ -30,10 +30,17 @@ type t = {
   mutable models : model list;
   mutable refinement_edges : (string * string) list;
       (* (refining, refined) pairs, derived from concept definitions *)
+  mutable generation : int;
+      (* bumped on every declaration; memo caches key on it so a mutated
+         registry can never serve a stale closure *)
 }
 
 let create () =
-  { concepts = []; types = []; ops = []; models = []; refinement_edges = [] }
+  { concepts = []; types = []; ops = []; models = []; refinement_edges = [];
+    generation = 0 }
+
+let generation t = t.generation
+let touch t = t.generation <- t.generation + 1
 
 exception Duplicate of string
 
@@ -43,15 +50,18 @@ let declare_concept t (c : Concept.t) =
   t.concepts <- (c.Concept.name, c) :: t.concepts;
   t.refinement_edges <-
     List.map (fun (r, _) -> (c.Concept.name, r)) c.Concept.refines
-    @ t.refinement_edges
+    @ t.refinement_edges;
+  touch t
 
 let declare_type ?(doc = "") ?(assoc = []) t name =
   if List.mem_assoc name t.types then raise (Duplicate ("type " ^ name));
-  t.types <- (name, { td_name = name; td_assoc = assoc; td_doc = doc }) :: t.types
+  t.types <- (name, { td_name = name; td_assoc = assoc; td_doc = doc }) :: t.types;
+  touch t
 
 let declare_op ?(doc = "") t op_name op_params op_return =
   t.ops <-
-    { Concept.op_name; op_params; op_return; op_doc = doc } :: t.ops
+    { Concept.op_name; op_params; op_return; op_doc = doc } :: t.ops;
+  touch t
 
 let declare_model ?(doc = "") ?(axioms = []) ?(complexity = []) t concept args
     =
@@ -63,7 +73,8 @@ let declare_model ?(doc = "") ?(axioms = []) ?(complexity = []) t concept args
       mo_complexity = complexity;
       mo_doc = doc;
     }
-    :: t.models
+    :: t.models;
+  touch t
 
 let find_concept t name = List.assoc_opt name t.concepts
 let find_type t name = List.assoc_opt name t.types

@@ -29,9 +29,22 @@ type t = {
   mutable ops : Concept.signature list;
   mutable models : model list;
   mutable refinement_edges : (string * string) list;
+  mutable generation : int;
 }
 
 val create : unit -> t
+
+val generation : t -> int
+(** Monotone counter bumped by every declaration (and by {!touch}).
+    Memo caches over registry-dependent queries — e.g.
+    {!Propagate.closure} — include it in their keys, so mutating the
+    registry invalidates cached answers without any notification
+    machinery. *)
+
+val touch : t -> unit
+(** Bump {!generation}. Call after mutating the record fields directly
+    (as {!Lang.load_items} and {!Archetype} do for associated-type
+    refinement) so caches observe the change. *)
 
 exception Duplicate of string
 

@@ -1,0 +1,1 @@
+lib/service/budget.mli:

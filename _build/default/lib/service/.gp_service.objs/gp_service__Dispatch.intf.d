@@ -1,0 +1,1 @@
+lib/service/dispatch.mli: Budget Gp_concepts Gp_simplicissimus Gp_stllint Lru Request

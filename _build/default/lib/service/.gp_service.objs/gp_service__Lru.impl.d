@@ -1,0 +1,1 @@
+lib/service/lru.ml: Fmt Hashtbl List

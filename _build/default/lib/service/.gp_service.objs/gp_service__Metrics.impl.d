@@ -1,0 +1,1 @@
+lib/service/metrics.ml: Array Buffer Float Fmt Format Hashtbl List Lru Printf

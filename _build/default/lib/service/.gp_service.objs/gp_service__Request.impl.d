@@ -1,0 +1,1 @@
+lib/service/request.ml: Digest Fmt Option Printf Result String

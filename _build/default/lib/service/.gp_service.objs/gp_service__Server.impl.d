@@ -1,0 +1,1 @@
+lib/service/server.ml: Budget Dispatch List Metrics Option Printexc Printf Queue Request Result String Unix Wire

@@ -1,0 +1,1 @@
+lib/service/server.mli: Dispatch Gp_concepts Lru Metrics Request

@@ -1,0 +1,1 @@
+lib/service/wire.ml: Buffer Char List Printf Request Result String

@@ -1,0 +1,1 @@
+lib/service/workload.ml: Array Digest Float Fmt Gp_stllint List Printf Random Request String

@@ -1,0 +1,1 @@
+lib/service/workload.mli: Format Request

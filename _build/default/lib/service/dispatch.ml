@@ -1,0 +1,336 @@
+(* The dispatcher: one handler per request kind over the existing
+   libraries, threaded through the memo caches and the per-request budget.
+
+   Handlers are total over well-typed requests: library exceptions that a
+   request can legitimately provoke (parse errors, unknown names,
+   non-terminating rewrite systems) map to structured errors; anything
+   else is caught by the server and reported as Internal. Budget steps are
+   charged at stage boundaries — per declaration, statement, theorem,
+   obligation — so over-budget behaviour is deterministic. *)
+
+open Gp_concepts
+
+type caches = {
+  closures : Propagate.obligation list Lru.t; (* propagation closures *)
+  defs : Lang.item list Lru.t; (* parsed .gpc declarations *)
+  lint : Gp_stllint.Interp.diagnostic list Lru.t; (* verdicts by program hash *)
+  cert : Gp_simplicissimus.Certify.certification list Lru.t;
+      (* certified rewrite rules *)
+  proofs : (string * bool) list Lru.t; (* checked proof instantiations *)
+  rewrites : Gp_simplicissimus.Engine.result Lru.t; (* normal forms by expr *)
+}
+
+let create_caches ~capacity =
+  { closures = Lru.create ~capacity "closures";
+    defs = Lru.create ~capacity "defs";
+    lint = Lru.create ~capacity "lint";
+    cert = Lru.create ~capacity:4 "cert";
+    proofs = Lru.create ~capacity "proofs";
+    rewrites = Lru.create ~capacity "rewrites" }
+
+let cache_stats c =
+  [ Lru.stats c.closures; Lru.stats c.defs; Lru.stats c.lint;
+    Lru.stats c.cert; Lru.stats c.proofs; Lru.stats c.rewrites ]
+
+let clear_caches c =
+  Lru.clear c.closures;
+  Lru.clear c.defs;
+  Lru.clear c.lint;
+  Lru.clear c.cert;
+  Lru.clear c.proofs;
+  Lru.clear c.rewrites
+
+type t = {
+  registry : Registry.t; (* the shared standard world; never mutated here *)
+  declare_standard : Registry.t -> unit; (* to build per-request sandboxes *)
+  insts : Gp_simplicissimus.Instances.t;
+  rules : Gp_simplicissimus.Rules.t list;
+  caches : caches;
+}
+
+let create ~declare_standard ~cache_capacity () =
+  let registry = Registry.create () in
+  declare_standard registry;
+  { registry;
+    declare_standard;
+    insts = Gp_simplicissimus.Instances.standard ();
+    rules =
+      Gp_simplicissimus.Rules.builtin
+      @ [ Gp_simplicissimus.Rules.lidia_inverse ];
+    caches = create_caches ~capacity:cache_capacity }
+
+let registry t = t.registry
+let caches t = t.caches
+
+let err code detail = Error { Request.code; detail }
+
+(* ------------------------------------------------------------------ *)
+(* Stage helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Parse a .gpc source through the defs cache. *)
+let parsed_defs t ~caching ~budget source =
+  let key = "gpc|" ^ Digest.to_hex (Digest.string source) in
+  let items, hit =
+    Lru.find_or_compute t.caches.defs ~enabled:caching key (fun () ->
+        Lang.parse_string source)
+  in
+  Budget.spend budget (if hit then 1 else 1 + List.length items);
+  (items, hit)
+
+(* The certified-rule set, computed once (per eviction) and shared by
+   every optimize request: each built-in rule's backing theorem runs
+   through the proof checker — the expensive stage the cache elides. *)
+let certifications t ~caching ~budget =
+  let certs, hit =
+    Lru.find_or_compute t.caches.cert ~enabled:caching "builtin" (fun () ->
+        Gp_simplicissimus.Certify.certify_builtin ())
+  in
+  Budget.spend budget (if hit then 1 else 10 * List.length certs);
+  (certs, hit)
+
+(* ------------------------------------------------------------------ *)
+(* Handlers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let handle_check t ~caching ~budget ~concept ~types ~nominal ~defs =
+  let sandbox_result =
+    match defs with
+    | None -> Ok (t.registry, false)
+    | Some source -> (
+      match parsed_defs t ~caching ~budget source with
+      | items, hit -> (
+        let reg = Registry.create () in
+        t.declare_standard reg;
+        Budget.spend budget (List.length items);
+        match Lang.load_items reg items with
+        | () -> Ok (reg, hit)
+        | exception Registry.Duplicate what ->
+          Error ({ Request.code = Request.Parse_failure;
+                   detail = "duplicate declaration of " ^ what }, hit))
+      | exception Lang.Parse_error { line; col; message } ->
+        Error ({ Request.code = Request.Parse_failure;
+                 detail = Printf.sprintf ".gpc:%d:%d: %s" line col message },
+               false))
+  in
+  match sandbox_result with
+  | Error (e, hit) -> (Error e, hit)
+  | Ok (reg, hit) ->
+    let mode = if nominal then Check.Nominal else Check.Structural in
+    let args = List.map (fun ty -> Ctype.Named ty) types in
+    let report = Check.check ~mode reg concept args in
+    Budget.spend budget
+      (5
+      + List.length report.Check.rep_failures
+      + List.length report.Check.rep_warnings);
+    ( Ok
+        (Request.Checked
+           { ok = Check.ok report;
+             failures = List.length report.Check.rep_failures;
+             warnings = List.length report.Check.rep_warnings;
+             report = Fmt.str "%a" Check.pp_report report }),
+      hit )
+
+let handle_parse t ~caching ~budget ~source =
+  match parsed_defs t ~caching ~budget source with
+  | items, hit ->
+    let count p = List.length (List.filter p items) in
+    ( Ok
+        (Request.Parsed
+           { items = List.length items;
+             concepts = count (function Lang.Iconcept _ -> true | _ -> false);
+             models = count (function Lang.Imodel _ -> true | _ -> false) }),
+      hit )
+  | exception Lang.Parse_error { line; col; message } ->
+    (err Request.Parse_failure (Printf.sprintf ".gpc:%d:%d: %s" line col message),
+     false)
+
+let handle_lint t ~caching ~budget ~source =
+  let open Gp_stllint in
+  let key = "lint|" ^ Digest.to_hex (Digest.string source) in
+  match
+    Lru.find_or_compute t.caches.lint ~enabled:caching key (fun () ->
+        let program = Parser.parse_program source in
+        Budget.spend budget (List.length program);
+        Interp.check program)
+  with
+  | ds, hit ->
+    Budget.spend budget (1 + List.length ds);
+    ( Ok
+        (Request.Linted
+           { errors = List.length (Interp.errors ds);
+             warnings = List.length (Interp.warnings ds);
+             suggestions = List.length (Interp.suggestions ds);
+             messages =
+               List.map (fun d -> Fmt.str "%a" Interp.pp_diagnostic d) ds }),
+      hit )
+  | exception Parser.Parse_error { line; message } ->
+    (err Request.Parse_failure (Printf.sprintf "program:%d: %s" line message), false)
+
+let handle_optimize t ~caching ~budget ~expr ~certified_only =
+  let open Gp_simplicissimus in
+  match Sparser.parse expr with
+  | exception Sparser.Parse_error m -> (err Request.Parse_failure m, false)
+  | e -> (
+    (* Certification is the expensive stage; the engine's only_certified
+       mode reads the verdicts the certifier stamped on the rules. *)
+    let _, cert_hit = certifications t ~caching ~budget in
+    let key =
+      Printf.sprintf "rw|%b|%s" certified_only
+        (Digest.to_hex (Digest.string (Expr.to_string e)))
+    in
+    match
+      Lru.find_or_compute t.caches.rewrites ~enabled:caching key (fun () ->
+          Engine.rewrite ~only_certified:certified_only ~rules:t.rules
+            ~insts:t.insts e)
+    with
+    | r, hit ->
+      Budget.spend budget (1 + List.length r.Engine.steps);
+      ( Ok
+          (Request.Optimized
+             { output = Expr.to_string r.Engine.output;
+               steps = List.length r.Engine.steps;
+               ops_before = r.Engine.ops_before;
+               ops_after = r.Engine.ops_after }),
+        hit && cert_hit )
+    | exception Engine.Did_not_terminate _ ->
+      (err Request.Over_budget "rewriting exceeded its step budget", false))
+
+(* The prove tables mirror bin/gp's prove command: a theory names its
+   instance mappings, per-instance axioms, and theorem builders. *)
+let prove_plan theory instance =
+  let open Gp_athena in
+  let for_lts lts theorems axioms_of =
+    List.map
+      (fun lt ->
+        ( lt,
+          axioms_of lt,
+          List.map (fun f -> f ~lt) theorems ))
+      lts
+  in
+  let plan =
+    match theory with
+    | "swo" ->
+      Some
+        (for_lts [ "int_lt"; "string_lt" ]
+           [ Theorems.swo_e_reflexive; Theorems.swo_e_symmetric;
+             Theorems.swo_e_transitive; Theorems.swo_asymmetric ]
+           (fun lt -> Theory.strict_weak_order ~lt))
+    | "orders" ->
+      Some
+        (List.map
+           (fun leq ->
+             ( leq,
+               Theory.total_order ~leq,
+               List.map
+                 (fun f -> f ~leq)
+                 [ Theorems.strict_irreflexive; Theorems.strict_transitive;
+                   Theorems.strict_equiv_transitive ] ))
+           [ "int_le"; "string_le"; "rational_le" ])
+    | "monoid" ->
+      Some
+        (List.map
+           (fun m ->
+             ( Theory.map_name m,
+               Theory.monoid m,
+               List.map
+                 (fun f -> f m)
+                 [ Theorems.monoid_right_identity;
+                   Theorems.monoid_identity_unique ] ))
+           Theory.monoid_instances)
+    | "group" ->
+      Some
+        (List.map
+           (fun m ->
+             ( Theory.map_name m,
+               Theory.group_minimal m,
+               List.map
+                 (fun f -> f m)
+                 [ Theorems.group_right_inverse; Theorems.group_right_identity;
+                   Theorems.group_double_inverse;
+                   Theorems.group_left_cancellation ] ))
+           Theory.group_instances)
+    | "ring" ->
+      let rm =
+        { Theory.r_name = "int"; add = Theory.int_add; mul = Theory.int_mul }
+      in
+      Some
+        [ ( "int",
+            Theory.ring rm,
+            List.map
+              (fun f -> f rm)
+              [ Theorems.ring_mul_zero; Theorems.ring_zero_mul ] ) ]
+    | _ -> None
+  in
+  match plan with
+  | None -> Error ("unknown theory " ^ theory)
+  | Some all -> (
+    match instance with
+    | None -> Ok all
+    | Some name -> (
+      match List.filter (fun (n, _, _) -> n = name) all with
+      | [] ->
+        Error
+          (Printf.sprintf "theory %s has no instance %s (have: %s)" theory
+             name
+             (String.concat ", " (List.map (fun (n, _, _) -> n) all)))
+      | some -> Ok some))
+
+let handle_prove t ~caching ~budget ~theory ~instance =
+  let open Gp_athena in
+  match prove_plan theory instance with
+  | Error detail -> (err Request.Unknown_name detail, false)
+  | Ok plan -> (
+    let key =
+      Printf.sprintf "prove|%s|%s" theory (Option.value ~default:"*" instance)
+    in
+    match
+      Lru.find_or_compute t.caches.proofs ~enabled:caching key (fun () ->
+          List.concat_map
+            (fun (iname, axioms, theorems) ->
+              List.map
+                (fun (thm : Theorems.theorem) ->
+                  (* proof checking is the expensive stage: charge per
+                     theorem before running the checker *)
+                  Budget.spend budget 25;
+                  ( iname ^ "/" ^ thm.Theorems.thm_name,
+                    Theorems.verify ~axioms thm = Deduction.Proved ))
+                theorems)
+            plan)
+    with
+    | verdicts, hit ->
+      Budget.spend budget 1;
+      let failed = List.length (List.filter (fun (_, ok) -> not ok) verdicts) in
+      (Ok (Request.Proved { checked = List.length verdicts; failed }), hit))
+
+let handle_closure t ~caching ~budget ~concept ~types =
+  match Registry.find_concept t.registry concept with
+  | None -> (err Request.Unknown_name ("unknown concept " ^ concept), false)
+  | Some _ ->
+    let args = List.map (fun ty -> Ctype.Named ty) types in
+    let key = Propagate.request_key t.registry concept args in
+    let obs, hit =
+      Lru.find_or_compute t.caches.closures ~enabled:caching key (fun () ->
+          Propagate.closure t.registry concept args)
+    in
+    Budget.spend budget (if hit then 1 else 1 + List.length obs);
+    ( Ok
+        (Request.Closed
+           { size = List.length obs;
+             obligations =
+               List.map (fun ob -> Fmt.str "%a" Propagate.pp_obligation ob) obs }),
+      hit )
+
+let handle t ~caching ~budget (req : Request.t) :
+    (Request.payload, Request.error) result * bool =
+  match req with
+  | Request.Check { concept; types; nominal; defs } ->
+    handle_check t ~caching ~budget ~concept ~types ~nominal ~defs
+  | Request.Parse { source } -> handle_parse t ~caching ~budget ~source
+  | Request.Lint { source } -> handle_lint t ~caching ~budget ~source
+  | Request.Optimize { expr; certified_only } ->
+    handle_optimize t ~caching ~budget ~expr ~certified_only
+  | Request.Prove { theory; instance } ->
+    handle_prove t ~caching ~budget ~theory ~instance
+  | Request.Closure { concept; types } ->
+    handle_closure t ~caching ~budget ~concept ~types

@@ -1,0 +1,47 @@
+(** The dispatcher: one handler per request kind over the existing
+    libraries, threaded through the memo caches and the per-request
+    budget.
+
+    Handlers are total over well-typed requests: parse errors, unknown
+    names and rewrite non-termination become structured errors; budget
+    exhaustion escapes as {!Budget.Exhausted} for the server to convert.
+    The shared standard registry is never mutated — [Check] requests
+    carrying extra [.gpc] declarations get a per-request sandbox. *)
+
+type caches = {
+  closures : Gp_concepts.Propagate.obligation list Lru.t;
+  defs : Gp_concepts.Lang.item list Lru.t;
+  lint : Gp_stllint.Interp.diagnostic list Lru.t;
+  cert : Gp_simplicissimus.Certify.certification list Lru.t;
+  proofs : (string * bool) list Lru.t;
+  rewrites : Gp_simplicissimus.Engine.result Lru.t;
+}
+
+val create_caches : capacity:int -> caches
+val cache_stats : caches -> Lru.stats list
+val clear_caches : caches -> unit
+
+type t
+
+val create :
+  declare_standard:(Gp_concepts.Registry.t -> unit) ->
+  cache_capacity:int ->
+  unit ->
+  t
+(** [declare_standard] populates a fresh registry with the standard
+    world; it is called once for the shared registry and once per
+    sandboxed [Check] request carrying defs. *)
+
+val registry : t -> Gp_concepts.Registry.t
+val caches : t -> caches
+
+val handle :
+  t ->
+  caching:bool ->
+  budget:Budget.t ->
+  Request.t ->
+  (Request.payload, Request.error) result * bool
+(** [(result, served_from_cache)]. May raise {!Budget.Exhausted} (the
+    server maps it to [Over_budget]/[Timeout]); any other escaping
+    exception is a dispatcher bug that the server reports as
+    [Internal]. *)

@@ -1,0 +1,51 @@
+(** Content-keyed LRU memo cache with hit/miss accounting.
+
+    Keys are canonical content strings ({!Request.key},
+    {!Gp_concepts.Propagate.request_key}), so cache identity is data
+    identity: nothing is ever invalidated, only evicted by recency when
+    the capacity bound is hit. *)
+
+type 'v t
+
+type stats = {
+  st_name : string;
+  st_capacity : int;
+  st_size : int;
+  st_hits : int;
+  st_misses : int;
+  st_evictions : int;
+}
+
+val create : capacity:int -> string -> 'v t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val name : _ t -> string
+val size : _ t -> int
+
+val find : 'v t -> string -> 'v option
+(** Records a hit or miss; a hit refreshes recency. *)
+
+val mem : _ t -> string -> bool
+(** Pure membership probe: no stats traffic, no recency refresh. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Insert as most-recent, replacing any previous binding; evicts the
+    least-recently-used entry when full. *)
+
+val find_or_compute : 'v t -> enabled:bool -> string -> (unit -> 'v) -> 'v * bool
+(** [(value, was_hit)]. With [enabled:false] the cache is bypassed
+    entirely — no lookup, no insertion, no stats — so a cache-off server
+    reports all-zero tables. *)
+
+val clear : 'v t -> unit
+(** Drop all entries; stats are kept (see {!reset_stats}). *)
+
+val reset_stats : _ t -> unit
+val stats : _ t -> stats
+val hit_ratio : stats -> float
+
+val keys_mru_first : _ t -> string list
+(** Recency order, most-recent first — part of the contract, property
+    tested. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,141 @@
+(* Serving observability: per-kind request counters and log-scale latency
+   histograms, plus the rendered text report (counters, latency table,
+   cache hit-ratio table).
+
+   Histograms use fixed decade buckets over nanoseconds; quantiles are
+   read off the bucket table (upper-bound estimates), which is plenty for
+   a text report and keeps observation O(1) with no allocation. *)
+
+(* Bucket upper bounds in ns: 1us 10us 100us 1ms 10ms 100ms 1s +inf *)
+let bucket_bounds = [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; infinity |]
+let n_buckets = Array.length bucket_bounds
+
+let bucket_label i =
+  if i = 0 then "<1us"
+  else if bucket_bounds.(i) = infinity then ">1s"
+  else
+    let b = bucket_bounds.(i) in
+    if b < 1e6 then Printf.sprintf "<%.0fus" (b /. 1e3)
+    else if b < 1e9 then Printf.sprintf "<%.0fms" (b /. 1e6)
+    else "<1s"
+
+type series = {
+  mutable count : int;
+  mutable ok : int;
+  mutable cached : int;
+  mutable errors : (string * int) list; (* by error-code name *)
+  buckets : int array;
+  mutable sum_ns : float;
+  mutable min_ns : float;
+  mutable max_ns : float;
+}
+
+let new_series () =
+  { count = 0; ok = 0; cached = 0; errors = []; buckets = Array.make n_buckets 0;
+    sum_ns = 0.0; min_ns = infinity; max_ns = 0.0 }
+
+type t = {
+  tbl : (string, series) Hashtbl.t;
+  mutable order : string list; (* first-observation order, for the report *)
+}
+
+let create () = { tbl = Hashtbl.create 8; order = [] }
+
+let series t kind =
+  match Hashtbl.find_opt t.tbl kind with
+  | Some s -> s
+  | None ->
+    let s = new_series () in
+    Hashtbl.add t.tbl kind s;
+    t.order <- t.order @ [ kind ];
+    s
+
+let bucket_of ns =
+  let rec go i = if i >= n_buckets - 1 || ns <= bucket_bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe t ~kind ~ok ~error_code ~cached ~ns =
+  let s = series t kind in
+  s.count <- s.count + 1;
+  if ok then s.ok <- s.ok + 1;
+  if cached then s.cached <- s.cached + 1;
+  (match error_code with
+  | None -> ()
+  | Some code ->
+    let n = try List.assoc code s.errors with Not_found -> 0 in
+    s.errors <- (code, n + 1) :: List.remove_assoc code s.errors);
+  let b = bucket_of ns in
+  s.buckets.(b) <- s.buckets.(b) + 1;
+  s.sum_ns <- s.sum_ns +. ns;
+  if ns < s.min_ns then s.min_ns <- ns;
+  if ns > s.max_ns then s.max_ns <- ns
+
+let requests t =
+  Hashtbl.fold (fun _ s acc -> acc + s.count) t.tbl 0
+
+let errors t =
+  Hashtbl.fold
+    (fun _ s acc -> acc + List.fold_left (fun a (_, n) -> a + n) 0 s.errors)
+    t.tbl 0
+
+(* Upper-bound estimate of the [q]-quantile from the bucket table. *)
+let quantile_label s q =
+  if s.count = 0 then "-"
+  else
+    let target = int_of_float (ceil (q *. float_of_int s.count)) in
+    let rec go i acc =
+      if i >= n_buckets then bucket_label (n_buckets - 1)
+      else
+        let acc = acc + s.buckets.(i) in
+        if acc >= target then bucket_label i else go (i + 1) acc
+    in
+    go 0 0
+
+let pp_ns ppf ns =
+  if Float.is_nan ns || ns = infinity then Fmt.string ppf "-"
+  else if ns < 1e3 then Fmt.pf ppf "%.0fns" ns
+  else if ns < 1e6 then Fmt.pf ppf "%.1fus" (ns /. 1e3)
+  else if ns < 1e9 then Fmt.pf ppf "%.2fms" (ns /. 1e6)
+  else Fmt.pf ppf "%.2fs" (ns /. 1e9)
+
+let report ?(cache_stats = []) t =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Fmt.pf ppf "requests by kind@.";
+  Fmt.pf ppf "  %-9s %8s %8s %8s %8s %9s %7s %7s %9s@." "kind" "count" "ok"
+    "err" "cached" "mean" "p50" "p90" "max";
+  List.iter
+    (fun kind ->
+      let s = Hashtbl.find t.tbl kind in
+      let errs = List.fold_left (fun a (_, n) -> a + n) 0 s.errors in
+      let mean =
+        if s.count = 0 then nan else s.sum_ns /. float_of_int s.count
+      in
+      Fmt.pf ppf "  %-9s %8d %8d %8d %8d %9s %7s %7s %9s@." kind s.count s.ok
+        errs s.cached
+        (Fmt.str "%a" pp_ns mean)
+        (quantile_label s 0.50) (quantile_label s 0.90)
+        (Fmt.str "%a" pp_ns s.max_ns))
+    t.order;
+  let all_errors =
+    List.concat_map
+      (fun kind -> (Hashtbl.find t.tbl kind).errors)
+      t.order
+    |> List.fold_left
+         (fun acc (code, n) ->
+           let m = try List.assoc code acc with Not_found -> 0 in
+           (code, m + n) :: List.remove_assoc code acc)
+         []
+  in
+  if all_errors <> [] then begin
+    Fmt.pf ppf "@.errors by code@.";
+    List.iter
+      (fun (code, n) -> Fmt.pf ppf "  %-15s %d@." code n)
+      (List.sort compare all_errors)
+  end;
+  if cache_stats <> [] then begin
+    Fmt.pf ppf "@.caches (hit ratio over lookups)@.";
+    List.iter (fun st -> Fmt.pf ppf "  %a@." Lru.pp_stats st) cache_stats
+  end;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Serving observability: per-kind request counters, log-scale latency
+    histograms (decade buckets over ns, O(1) observation), and the text
+    report combining counters, latency quantile estimates, error-code
+    totals and cache hit-ratio tables. *)
+
+type t
+
+val create : unit -> t
+
+val observe :
+  t ->
+  kind:string ->
+  ok:bool ->
+  error_code:string option ->
+  cached:bool ->
+  ns:float ->
+  unit
+
+val requests : t -> int
+val errors : t -> int
+
+val report : ?cache_stats:Lru.stats list -> t -> string
+(** The rendered text report. Quantiles are bucket upper-bound
+    estimates. *)
+
+val pp_ns : Format.formatter -> float -> unit

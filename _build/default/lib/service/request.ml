@@ -1,0 +1,151 @@
+(* The request/response IR of the serving layer.
+
+   Each request names one of the toolchain's five one-shot pipelines plus
+   the propagation-closure query that backs them. Responses are total: a
+   request either produces a typed payload or a *structured* error — the
+   dispatcher never lets an exception escape, because a malformed request
+   must not take the server down. *)
+
+type t =
+  | Check of {
+      concept : string;
+      types : string list;
+      nominal : bool;
+      defs : string option; (* extra .gpc declarations, checked in a sandbox *)
+    }
+  | Parse of { source : string } (* a .gpc definitions file *)
+  | Lint of { source : string } (* a program in the STLlint surface syntax *)
+  | Optimize of { expr : string; certified_only : bool }
+  | Prove of { theory : string; instance : string option }
+  | Closure of { concept : string; types : string list }
+
+type kind = Kcheck | Kparse | Klint | Koptimize | Kprove | Kclosure
+
+let kind = function
+  | Check _ -> Kcheck
+  | Parse _ -> Kparse
+  | Lint _ -> Klint
+  | Optimize _ -> Koptimize
+  | Prove _ -> Kprove
+  | Closure _ -> Kclosure
+
+let all_kinds = [ Kcheck; Kparse; Klint; Koptimize; Kprove; Kclosure ]
+
+let kind_name = function
+  | Kcheck -> "check"
+  | Kparse -> "parse"
+  | Klint -> "lint"
+  | Koptimize -> "optimize"
+  | Kprove -> "prove"
+  | Kclosure -> "closure"
+
+let kind_of_name = function
+  | "check" -> Some Kcheck
+  | "parse" -> Some Kparse
+  | "lint" -> Some Klint
+  | "optimize" -> Some Koptimize
+  | "prove" -> Some Kprove
+  | "closure" -> Some Kclosure
+  | _ -> None
+
+(* A canonical one-line rendering. Long sources are represented by their
+   digest, which is exactly what the content-keyed caches want; it also
+   makes workload fingerprints cheap. *)
+let key req =
+  let dgst s = Digest.to_hex (Digest.string s) in
+  match req with
+  | Check { concept; types; nominal; defs } ->
+    Printf.sprintf "check|%s|%s|%b|%s" concept (String.concat "," types)
+      nominal
+      (match defs with None -> "-" | Some d -> dgst d)
+  | Parse { source } -> "parse|" ^ dgst source
+  | Lint { source } -> "lint|" ^ dgst source
+  | Optimize { expr; certified_only } ->
+    Printf.sprintf "optimize|%b|%s" certified_only expr
+  | Prove { theory; instance } ->
+    Printf.sprintf "prove|%s|%s" theory (Option.value ~default:"*" instance)
+  | Closure { concept; types } ->
+    Printf.sprintf "closure|%s|%s" concept (String.concat "," types)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type error_code =
+  | Bad_request (* unparseable request line / unknown kind / missing field *)
+  | Parse_failure (* bad .gpc, lint program or expression inside a request *)
+  | Unknown_name (* unknown concept, theory or instance *)
+  | Over_budget (* per-request step budget exhausted *)
+  | Timeout (* per-request deadline exceeded *)
+  | Queue_full (* admission control rejected the request *)
+  | Internal (* unexpected exception; the server survives and reports it *)
+
+let error_code_name = function
+  | Bad_request -> "bad-request"
+  | Parse_failure -> "parse-failure"
+  | Unknown_name -> "unknown-name"
+  | Over_budget -> "over-budget"
+  | Timeout -> "timeout"
+  | Queue_full -> "queue-full"
+  | Internal -> "internal"
+
+type error = { code : error_code; detail : string }
+
+type payload =
+  | Checked of { ok : bool; failures : int; warnings : int; report : string }
+  | Parsed of { items : int; concepts : int; models : int }
+  | Linted of {
+      errors : int;
+      warnings : int;
+      suggestions : int;
+      messages : string list;
+    }
+  | Optimized of {
+      output : string;
+      steps : int;
+      ops_before : int;
+      ops_after : int;
+    }
+  | Proved of { checked : int; failed : int }
+  | Closed of { size : int; obligations : string list }
+
+type response = {
+  rsp_id : int;
+  rsp_kind : kind option; (* [None] when the request line did not parse *)
+  rsp_result : (payload, error) result;
+  rsp_cached : bool; (* served from a memo cache *)
+  rsp_steps : int; (* budget steps charged *)
+}
+
+let ok rsp = Result.is_ok rsp.rsp_result
+
+(* Equality of the part the client observes — ids, cache provenance and
+   step accounting excluded. The cache-transparency property tests compare
+   exactly this. *)
+let result_equal (a : response) (b : response) =
+  a.rsp_kind = b.rsp_kind && a.rsp_result = b.rsp_result
+
+let pp_payload ppf = function
+  | Checked { ok; failures; warnings; _ } ->
+    Fmt.pf ppf "checked ok=%b failures=%d warnings=%d" ok failures warnings
+  | Parsed { items; concepts; models } ->
+    Fmt.pf ppf "parsed items=%d concepts=%d models=%d" items concepts models
+  | Linted { errors; warnings; suggestions; _ } ->
+    Fmt.pf ppf "linted errors=%d warnings=%d suggestions=%d" errors warnings
+      suggestions
+  | Optimized { output; steps; ops_before; ops_after } ->
+    Fmt.pf ppf "optimized %S steps=%d ops %d->%d" output steps ops_before
+      ops_after
+  | Proved { checked; failed } ->
+    Fmt.pf ppf "proved checked=%d failed=%d" checked failed
+  | Closed { size; _ } -> Fmt.pf ppf "closure size=%d" size
+
+let pp_error ppf e =
+  Fmt.pf ppf "error %s: %s" (error_code_name e.code) e.detail
+
+let pp_response ppf r =
+  Fmt.pf ppf "#%d %s%s %a" r.rsp_id
+    (match r.rsp_kind with None -> "?" | Some k -> kind_name k)
+    (if r.rsp_cached then " (cached)" else "")
+    (Fmt.result ~ok:pp_payload ~error:pp_error)
+    r.rsp_result

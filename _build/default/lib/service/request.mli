@@ -1,0 +1,88 @@
+(** The typed request/response IR of the serving layer.
+
+    One constructor per pipeline the toolchain exposes (concept check,
+    [.gpc] parse, lint, optimize, prove) plus the propagation-closure
+    query that backs generic-signature checking. Responses are total:
+    every request yields either a typed payload or a {e structured}
+    error — malformed input must never kill the server. *)
+
+type t =
+  | Check of {
+      concept : string;
+      types : string list;
+      nominal : bool;
+      defs : string option;
+          (** extra [.gpc] declarations loaded into a per-request sandbox
+              registry, leaving the shared world untouched *)
+    }
+  | Parse of { source : string }  (** a [.gpc] definitions source *)
+  | Lint of { source : string }  (** STLlint surface-syntax program *)
+  | Optimize of { expr : string; certified_only : bool }
+  | Prove of { theory : string; instance : string option }
+      (** theory ∈ swo/monoid/group/ring/orders; [instance] restricts to
+          one operator mapping (e.g. ["int\[+\]"]) *)
+  | Closure of { concept : string; types : string list }
+
+type kind = Kcheck | Kparse | Klint | Koptimize | Kprove | Kclosure
+
+val kind : t -> kind
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+val key : t -> string
+(** Canonical content key: embedded sources are digested, so equal keys
+    mean observably equal requests. Used by the memo caches and by
+    workload fingerprints. *)
+
+(** {2 Responses} *)
+
+type error_code =
+  | Bad_request
+  | Parse_failure
+  | Unknown_name
+  | Over_budget
+  | Timeout
+  | Queue_full
+  | Internal
+
+val error_code_name : error_code -> string
+
+type error = { code : error_code; detail : string }
+
+type payload =
+  | Checked of { ok : bool; failures : int; warnings : int; report : string }
+  | Parsed of { items : int; concepts : int; models : int }
+  | Linted of {
+      errors : int;
+      warnings : int;
+      suggestions : int;
+      messages : string list;
+    }
+  | Optimized of {
+      output : string;
+      steps : int;
+      ops_before : int;
+      ops_after : int;
+    }
+  | Proved of { checked : int; failed : int }
+  | Closed of { size : int; obligations : string list }
+
+type response = {
+  rsp_id : int;
+  rsp_kind : kind option;  (** [None] when the request line did not parse *)
+  rsp_result : (payload, error) result;
+  rsp_cached : bool;
+  rsp_steps : int;
+}
+
+val ok : response -> bool
+
+val result_equal : response -> response -> bool
+(** Equality of what the client observes (kind and result); ids, cache
+    provenance and step accounting excluded — the cache-transparency
+    property compares exactly this. *)
+
+val pp_payload : Format.formatter -> payload -> unit
+val pp_error : Format.formatter -> error -> unit
+val pp_response : Format.formatter -> response -> unit

@@ -1,0 +1,212 @@
+(* The serving engine: admission control, per-request budgets, dispatch,
+   metrics.
+
+   Single-threaded and deterministic: requests are admitted into a bounded
+   queue (overflow yields a structured Queue_full response immediately) and
+   drained in FIFO order. The clock is injectable, so the timeout path and
+   every latency number are reproducible under test. No request — however
+   malformed — escapes as an exception: the last-resort handler maps
+   anything unexpected to an Internal error response and the server keeps
+   serving. *)
+
+type config = {
+  caching : bool;
+  cache_capacity : int; (* entries per LRU *)
+  queue_capacity : int;
+  max_steps : int; (* per-request step budget *)
+  timeout : float option; (* per-request deadline, seconds *)
+  now : unit -> float; (* injectable clock, seconds *)
+}
+
+let default_config =
+  { caching = true;
+    cache_capacity = 256;
+    queue_capacity = 64;
+    max_steps = 100_000;
+    timeout = None;
+    now = Unix.gettimeofday }
+
+type t = {
+  config : config;
+  dispatch : Dispatch.t;
+  metrics : Metrics.t;
+  queue : (int * Request.t) Queue.t;
+  mutable next_id : int;
+}
+
+let create ?(config = default_config) ~declare_standard () =
+  { config;
+    dispatch =
+      Dispatch.create ~declare_standard
+        ~cache_capacity:config.cache_capacity ();
+    metrics = Metrics.create ();
+    queue = Queue.create ();
+    next_id = 0 }
+
+let config t = t.config
+let metrics t = t.metrics
+let registry t = Dispatch.registry t.dispatch
+let caches t = Dispatch.caches t.dispatch
+let cache_stats t = Dispatch.cache_stats (caches t)
+let clear_caches t = Dispatch.clear_caches (caches t)
+let queue_length t = Queue.length t.queue
+
+let fresh_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+let observe t ~kind ~id ~t0 (result : (Request.payload, Request.error) result)
+    ~cached ~steps =
+  let ns = (t.config.now () -. t0) *. 1e9 in
+  Metrics.observe t.metrics
+    ~kind:(match kind with Some k -> Request.kind_name k | None -> "invalid")
+    ~ok:(Result.is_ok result)
+    ~error_code:
+      (match result with
+      | Ok _ -> None
+      | Error e -> Some (Request.error_code_name e.Request.code))
+    ~cached ~ns;
+  { Request.rsp_id = id; rsp_kind = kind; rsp_result = result;
+    rsp_cached = cached; rsp_steps = steps }
+
+(* Handle one request to completion. Total: budget exhaustion and any
+   unexpected exception become structured errors. *)
+let handle ?id t req =
+  let id = match id with Some id -> id | None -> fresh_id t in
+  let t0 = t.config.now () in
+  let budget =
+    Budget.create ~max_steps:t.config.max_steps
+      ?deadline:(Option.map (fun s -> t0 +. s) t.config.timeout)
+      ~now:t.config.now ()
+  in
+  let result, cached =
+    match Dispatch.handle t.dispatch ~caching:t.config.caching ~budget req with
+    | result -> result
+    | exception Budget.Exhausted Budget.Steps ->
+      ( Error
+          { Request.code = Request.Over_budget;
+            detail =
+              Printf.sprintf "request exceeded its %d-step budget"
+                t.config.max_steps },
+        false )
+    | exception Budget.Exhausted Budget.Deadline ->
+      ( Error
+          { Request.code = Request.Timeout;
+            detail =
+              Printf.sprintf "request exceeded its %.3fs deadline"
+                (Option.value ~default:0.0 t.config.timeout) },
+        false )
+    | exception exn ->
+      ( Error
+          { Request.code = Request.Internal;
+            detail = Printexc.to_string exn },
+        false )
+  in
+  observe t ~kind:(Some (Request.kind req)) ~id ~t0 result ~cached
+    ~steps:(Budget.used budget)
+
+(* A request line that did not even parse still gets a full response (and
+   a metrics entry under kind "invalid"). *)
+let reject_invalid t detail =
+  let id = fresh_id t in
+  let t0 = t.config.now () in
+  observe t ~kind:None ~id ~t0
+    (Error { Request.code = Request.Bad_request; detail })
+    ~cached:false ~steps:0
+
+(* ------------------------------------------------------------------ *)
+(* Admission queue                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let submit t req =
+  if Queue.length t.queue >= t.config.queue_capacity then begin
+    let id = fresh_id t in
+    let t0 = t.config.now () in
+    `Rejected
+      (observe t ~kind:(Some (Request.kind req)) ~id ~t0
+         (Error
+            { Request.code = Request.Queue_full;
+              detail =
+                Printf.sprintf "queue full (capacity %d)"
+                  t.config.queue_capacity })
+         ~cached:false ~steps:0)
+  end
+  else begin
+    let id = fresh_id t in
+    Queue.add (id, req) t.queue;
+    `Admitted id
+  end
+
+let drain t =
+  let rec go acc =
+    match Queue.take_opt t.queue with
+    | None -> List.rev acc
+    | Some (id, req) -> go (handle ~id t req :: acc)
+  in
+  go []
+
+(* Submit a burst, then drain: exercises admission control — requests past
+   the queue capacity are rejected with Queue_full. *)
+let process_burst t reqs =
+  let submitted = List.map (fun req -> submit t req) reqs in
+  let processed = drain t in
+  let processed = ref processed in
+  List.map
+    (fun outcome ->
+      match outcome with
+      | `Rejected rsp -> rsp
+      | `Admitted id -> (
+        match !processed with
+        | rsp :: rest when rsp.Request.rsp_id = id ->
+          processed := rest;
+          rsp
+        | _ -> assert false (* drain returns FIFO, ids match *)))
+    submitted
+
+(* Steady-state processing: drain whenever the queue fills, so every
+   request is eventually served. This is the workload driver's path. *)
+let process t reqs =
+  let out = ref [] in
+  List.iter
+    (fun req ->
+      match submit t req with
+      | `Admitted _ -> ()
+      | `Rejected _ ->
+        out := List.rev_append (drain t) !out;
+        (match submit t req with
+        | `Admitted _ -> ()
+        | `Rejected rsp -> out := rsp :: !out))
+    reqs;
+  out := List.rev_append (drain t) !out;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Line-oriented serving                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_line t line =
+  if String.trim line = "" then None
+  else
+    match Wire.request_of_line line with
+    | Ok (id, req) ->
+      let id = match id with Some id -> id | None -> fresh_id t in
+      Some (handle ~id t req)
+    | Error detail -> Some (reject_invalid t detail)
+
+let serve_channel t ic oc =
+  let served = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       match serve_line t line with
+       | None -> ()
+       | Some rsp ->
+         incr served;
+         output_string oc (Wire.response_to_line rsp);
+         output_char oc '\n'
+     done
+   with End_of_file -> ());
+  flush oc;
+  !served
+
+let report t = Metrics.report ~cache_stats:(cache_stats t) t.metrics

@@ -1,0 +1,66 @@
+(** The serving engine: bounded admission queue, per-request budgets and
+    deadlines, dispatch through the memo caches, metrics.
+
+    Single-threaded and deterministic: requests drain in FIFO order and
+    the clock is injectable, so timeout behaviour and latency accounting
+    reproduce exactly under test. Total over arbitrary input — a
+    malformed or exploding request yields a structured error response,
+    never a crash. *)
+
+type config = {
+  caching : bool;
+  cache_capacity : int;  (** entries per LRU cache *)
+  queue_capacity : int;
+  max_steps : int;  (** per-request step budget *)
+  timeout : float option;  (** per-request deadline, seconds *)
+  now : unit -> float;  (** injectable clock, seconds *)
+}
+
+val default_config : config
+(** caching on, 256-entry caches, queue of 64, 100k steps, no timeout,
+    [Unix.gettimeofday]. *)
+
+type t
+
+val create :
+  ?config:config -> declare_standard:(Gp_concepts.Registry.t -> unit) -> unit -> t
+(** [declare_standard] populates the server's shared registry (and any
+    per-request sandbox) with the standard world. *)
+
+val config : t -> config
+val metrics : t -> Metrics.t
+val registry : t -> Gp_concepts.Registry.t
+val caches : t -> Dispatch.caches
+val cache_stats : t -> Lru.stats list
+val clear_caches : t -> unit
+val queue_length : t -> int
+
+val handle : ?id:int -> t -> Request.t -> Request.response
+(** Process one request to completion, bypassing the queue. Never
+    raises. *)
+
+val submit : t -> Request.t -> [ `Admitted of int | `Rejected of Request.response ]
+(** Admission control: a full queue rejects with a [Queue_full]
+    response immediately. *)
+
+val drain : t -> Request.response list
+(** Serve everything queued, FIFO. *)
+
+val process_burst : t -> Request.t list -> Request.response list
+(** Submit the whole list as one burst, then drain; responses in request
+    order. Requests beyond the queue capacity come back [Queue_full] —
+    this is the admission-control test path. *)
+
+val process : t -> Request.t list -> Request.response list
+(** Steady-state driver: drains whenever the queue fills, so every
+    request is served; responses in request order. *)
+
+val serve_line : t -> string -> Request.response option
+(** Decode and serve one wire line ([None] for a blank line). *)
+
+val serve_channel : t -> in_channel -> out_channel -> int
+(** Serve request lines from a channel until EOF, writing one response
+    line each; returns the number of responses written. *)
+
+val report : t -> string
+(** The metrics report including cache hit-ratio tables. *)

@@ -1,0 +1,410 @@
+(* The wire format: one JSON object per line, hand-rolled against a small
+   JSON subset (objects, arrays, strings with escapes, integers, floats,
+   booleans, null). No JSON dependency ships in this tree, and the subset
+   keeps the malformed-input surface small enough to test exhaustively.
+
+   Requests:
+     {"id":1,"kind":"check","concept":"Container","types":["varray<int>"]}
+     {"kind":"lint","source":"vector<int> v;\n..."}
+     {"kind":"optimize","expr":"x*1+0","certified_only":true}
+     {"kind":"prove","theory":"group","instance":"int[+]"}
+     {"kind":"closure","concept":"IncidenceGraph","types":["adjacency_list"]}
+     {"kind":"parse","source":"concept Foo<T> { }"}
+
+   Responses mirror the typed IR: id, kind, ok/error, payload fields,
+   cached flag and step count. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail "at %d: expected %c, found %c" c.pos ch x
+  | None -> fail "at %d: expected %c, found end of input" c.pos ch
+
+let parse_string_body c =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | None -> fail "unterminated escape"
+      | Some ch ->
+        advance c;
+        (match ch with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          (* \uXXXX: decode the BMP code point to UTF-8 *)
+          if c.pos + 4 > String.length c.src then fail "truncated \\u escape";
+          let hex = String.sub c.src c.pos 4 in
+          let cp =
+            try int_of_string ("0x" ^ hex)
+            with _ -> fail "bad \\u escape %s" hex
+          in
+          c.pos <- c.pos + 4;
+          if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+          else if cp < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+          end
+        | _ -> fail "bad escape \\%c" ch);
+        go ())
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail "bad number %S" s)
+
+let parse_literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.src
+    && String.sub c.src c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail "at %d: bad literal" c.pos
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "unexpected end of input"
+  | Some '"' ->
+    advance c;
+    Str (parse_string_body c)
+  | Some '{' ->
+    advance c;
+    parse_obj c []
+  | Some '[' ->
+    advance c;
+    parse_arr c []
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some 'n' -> parse_literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail "at %d: unexpected %c" c.pos ch
+
+and parse_obj c acc =
+  skip_ws c;
+  match peek c with
+  | Some '}' ->
+    advance c;
+    Obj (List.rev acc)
+  | _ ->
+    skip_ws c;
+    expect c '"';
+    let key = parse_string_body c in
+    skip_ws c;
+    expect c ':';
+    let v = parse_value c in
+    skip_ws c;
+    (match peek c with
+    | Some ',' ->
+      advance c;
+      parse_obj c ((key, v) :: acc)
+    | Some '}' ->
+      advance c;
+      Obj (List.rev ((key, v) :: acc))
+    | _ -> fail "at %d: expected , or } in object" c.pos)
+
+and parse_arr c acc =
+  skip_ws c;
+  match peek c with
+  | Some ']' ->
+    advance c;
+    Arr (List.rev acc)
+  | _ ->
+    let v = parse_value c in
+    skip_ws c;
+    (match peek c with
+    | Some ',' ->
+      advance c;
+      parse_arr c (v :: acc)
+    | Some ']' ->
+      advance c;
+      Arr (List.rev (v :: acc))
+    | _ -> fail "at %d: expected , or ] in array" c.pos)
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  (match peek c with
+  | Some ch -> fail "at %d: trailing %c after value" c.pos ch
+  | None -> ());
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_into buf s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec print_into buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (Printf.sprintf "%g" f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape_into buf s;
+    Buffer.add_char buf '"'
+  | Arr vs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        print_into buf v)
+      vs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape_into buf k;
+        Buffer.add_string buf "\":";
+        print_into buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 64 in
+  print_into buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let field fields name = List.assoc_opt name fields
+
+let str_field fields name =
+  match field fields name with
+  | Some (Str s) -> Ok s
+  | Some _ -> Result.error (Printf.sprintf "field %S must be a string" name)
+  | None -> Result.error (Printf.sprintf "missing field %S" name)
+
+let opt_str_field fields name =
+  match field fields name with
+  | Some (Str s) -> Ok (Some s)
+  | None | Some Null -> Ok None
+  | Some _ -> Result.error (Printf.sprintf "field %S must be a string" name)
+
+let bool_field ~default fields name =
+  match field fields name with
+  | Some (Bool b) -> Ok b
+  | None -> Ok default
+  | Some _ -> Result.error (Printf.sprintf "field %S must be a boolean" name)
+
+let str_list_field fields name =
+  match field fields name with
+  | Some (Arr vs) ->
+    List.fold_left
+      (fun acc v ->
+        match (acc, v) with
+        | Ok xs, Str s -> Ok (xs @ [ s ])
+        | Ok _, _ ->
+          Result.error
+            (Printf.sprintf "field %S must be an array of strings" name)
+        | (Error _ as e), _ -> e)
+      (Ok []) vs
+  | Some _ ->
+    Result.error (Printf.sprintf "field %S must be an array of strings" name)
+  | None -> Result.error (Printf.sprintf "missing field %S" name)
+
+let ( let* ) = Result.bind
+
+let request_of_fields fields =
+  let* kind = str_field fields "kind" in
+  match Request.kind_of_name kind with
+  | None -> Result.error (Printf.sprintf "unknown request kind %S" kind)
+  | Some Request.Kcheck ->
+    let* concept = str_field fields "concept" in
+    let* types = str_list_field fields "types" in
+    let* nominal = bool_field ~default:false fields "nominal" in
+    let* defs = opt_str_field fields "defs" in
+    Ok (Request.Check { concept; types; nominal; defs })
+  | Some Request.Kparse ->
+    let* source = str_field fields "source" in
+    Ok (Request.Parse { source })
+  | Some Request.Klint ->
+    let* source = str_field fields "source" in
+    Ok (Request.Lint { source })
+  | Some Request.Koptimize ->
+    let* expr = str_field fields "expr" in
+    let* certified_only = bool_field ~default:false fields "certified_only" in
+    Ok (Request.Optimize { expr; certified_only })
+  | Some Request.Kprove ->
+    let* theory = str_field fields "theory" in
+    let* instance = opt_str_field fields "instance" in
+    Ok (Request.Prove { theory; instance })
+  | Some Request.Kclosure ->
+    let* concept = str_field fields "concept" in
+    let* types = str_list_field fields "types" in
+    Ok (Request.Closure { concept; types })
+
+let request_of_line line =
+  match parse line with
+  | exception Error m -> Result.error ("bad request line: " ^ m)
+  | Obj fields -> (
+    let id =
+      match field fields "id" with Some (Int i) -> Some i | _ -> None
+    in
+    match request_of_fields fields with
+    | Ok req -> Ok (id, req)
+    | Error m -> Result.error ("bad request: " ^ m))
+  | _ -> Result.error "bad request line: expected a JSON object"
+
+let request_to_line ?id req =
+  let base =
+    match id with None -> [] | Some i -> [ ("id", Int i) ]
+  in
+  let fields =
+    match req with
+    | Request.Check { concept; types; nominal; defs } ->
+      [ ("kind", Str "check"); ("concept", Str concept);
+        ("types", Arr (List.map (fun s -> Str s) types));
+        ("nominal", Bool nominal) ]
+      @ (match defs with None -> [] | Some d -> [ ("defs", Str d) ])
+    | Request.Parse { source } ->
+      [ ("kind", Str "parse"); ("source", Str source) ]
+    | Request.Lint { source } ->
+      [ ("kind", Str "lint"); ("source", Str source) ]
+    | Request.Optimize { expr; certified_only } ->
+      [ ("kind", Str "optimize"); ("expr", Str expr);
+        ("certified_only", Bool certified_only) ]
+    | Request.Prove { theory; instance } ->
+      [ ("kind", Str "prove"); ("theory", Str theory) ]
+      @ (match instance with None -> [] | Some i -> [ ("instance", Str i) ])
+    | Request.Closure { concept; types } ->
+      [ ("kind", Str "closure"); ("concept", Str concept);
+        ("types", Arr (List.map (fun s -> Str s) types)) ]
+  in
+  to_string (Obj (base @ fields))
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let payload_fields = function
+  | Request.Checked { ok; failures; warnings; report } ->
+    [ ("ok", Bool ok); ("failures", Int failures); ("warnings", Int warnings);
+      ("report", Str report) ]
+  | Request.Parsed { items; concepts; models } ->
+    [ ("items", Int items); ("concepts", Int concepts); ("models", Int models) ]
+  | Request.Linted { errors; warnings; suggestions; messages } ->
+    [ ("errors", Int errors); ("warnings", Int warnings);
+      ("suggestions", Int suggestions);
+      ("messages", Arr (List.map (fun m -> Str m) messages)) ]
+  (* "rewrite_steps", not "steps": the envelope already has a "steps"
+     field for the budget charge *)
+  | Request.Optimized { output; steps; ops_before; ops_after } ->
+    [ ("output", Str output); ("rewrite_steps", Int steps);
+      ("ops_before", Int ops_before); ("ops_after", Int ops_after) ]
+  | Request.Proved { checked; failed } ->
+    [ ("checked", Int checked); ("failed", Int failed) ]
+  | Request.Closed { size; obligations } ->
+    [ ("size", Int size);
+      ("obligations", Arr (List.map (fun o -> Str o) obligations)) ]
+
+let response_to_line (r : Request.response) =
+  let status_fields =
+    match r.Request.rsp_result with
+    | Ok payload -> ("status", Str "ok") :: payload_fields payload
+    | Error e ->
+      [ ("status", Str "error");
+        ("error", Str (Request.error_code_name e.Request.code));
+        ("detail", Str e.Request.detail) ]
+  in
+  to_string
+    (Obj
+       ([ ("id", Int r.Request.rsp_id);
+          ( "kind",
+            match r.Request.rsp_kind with
+            | Some k -> Str (Request.kind_name k)
+            | None -> Null ) ]
+       @ status_fields
+       @ [ ("cached", Bool r.Request.rsp_cached);
+           ("steps", Int r.Request.rsp_steps) ]))

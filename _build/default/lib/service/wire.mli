@@ -1,0 +1,37 @@
+(** The wire format: one JSON object per line ("JSONL-ish"), over a
+    hand-rolled JSON subset — objects, arrays, strings with escapes,
+    integers, floats, booleans, null. No external JSON dependency.
+
+    Example request lines:
+    {v
+    {"id":1,"kind":"check","concept":"Container","types":["varray<int>"]}
+    {"kind":"optimize","expr":"x*1+0","certified_only":true}
+    {"kind":"prove","theory":"group","instance":"int[+]"}
+    v} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Error of string
+
+val parse : string -> json
+(** Raises {!Error} on malformed input. *)
+
+val to_string : json -> string
+(** Canonical single-line rendering; [parse (to_string v)] round-trips. *)
+
+val request_of_line : string -> (int option * Request.t, string) result
+(** Decode one request line: optional client-chosen [id] plus the typed
+    request. [Error] carries a human-readable reason — the server turns
+    it into a structured [Bad_request] response, never an exception. *)
+
+val request_to_line : ?id:int -> Request.t -> string
+(** Encode a request; [request_of_line (request_to_line r)] round-trips. *)
+
+val response_to_line : Request.response -> string

@@ -1,0 +1,192 @@
+(* The synthetic workload generator: a seeded request stream with a
+   configurable kind mix and Zipf-like key reuse.
+
+   Each kind owns a pool of distinct request payloads ("keys"). A Zipf(s)
+   rank distribution over the pool skews traffic towards a few hot keys —
+   the regime where content-keyed caches earn their keep — while the tail
+   keeps cold keys arriving. Everything derives from one Random.State
+   seeded by [seed], so a fixed seed replays the identical stream
+   (fingerprints are digests of the canonical wire rendering, making
+   "identical" checkable across processes). *)
+
+type mix = (Request.kind * int) list
+
+let default_mix =
+  [ (Request.Kclosure, 25); (Request.Klint, 20); (Request.Kcheck, 15);
+    (Request.Koptimize, 15); (Request.Kprove, 15); (Request.Kparse, 10) ]
+
+let parse_mix spec =
+  let parts = String.split_on_char ',' spec in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+      match String.split_on_char '=' (String.trim part) with
+      | [ name; weight ] -> (
+        match (Request.kind_of_name name, int_of_string_opt weight) with
+        | Some kind, Some w when w >= 0 -> go ((kind, w) :: acc) rest
+        | None, _ -> Error (Printf.sprintf "unknown kind %S in mix" name)
+        | _, _ -> Error (Printf.sprintf "bad weight in %S" part))
+      | _ -> Error (Printf.sprintf "bad mix component %S (want kind=weight)" part))
+  in
+  match go [] parts with
+  | Ok [] -> Error "empty mix"
+  | Ok m when List.for_all (fun (_, w) -> w = 0) m -> Error "all-zero mix"
+  | r -> r
+
+(* ------------------------------------------------------------------ *)
+(* Key pools                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny .gpc world, distinct per key. *)
+let gpc_source k =
+  Printf.sprintf
+    "// workload defs %d\n\
+     concept W%d<T> {\n\
+    \  f%d : T -> T;\n\
+    \  axiom involution(a): \"f%d(f%d(a)) = a\";\n\
+    \  complexity f%d O(1);\n\
+     }\n\
+     type w%d { }\n\
+     op f%d : w%d -> w%d;\n"
+    k k k k k k k k k k
+
+(* Lint programs: rendered from generated ASTs, with a key comment so
+   each key hashes distinctly even when shapes coincide. *)
+let lint_source k =
+  let blocks = 1 + (k mod 4) in
+  let buggy_every = if k mod 3 = 0 then 2 else 0 in
+  Printf.sprintf "// workload lint key %d\n%s" k
+    (Gp_stllint.Render.to_source
+       (Gp_stllint.Corpus.generate ~blocks ~buggy_every))
+
+(* Expressions with redexes at varying depth; variable names carry the
+   key so distinct keys stay distinct after parsing. *)
+let optimize_expr k =
+  (* the wrapping identity must match the base expression's carrier, or
+     Sparser (correctly) rejects the mixed-type operation *)
+  let base, one =
+    match k mod 4 with
+    | 0 -> (Printf.sprintf "x%d * 1 + 0" k, "1")
+    | 1 -> (Printf.sprintf "(f%d:float) * 1.0" k, "1.0")
+    | 2 -> (Printf.sprintf "x%d - x%d" k k, "1")
+    | _ -> (Printf.sprintf "x%d * 0 * 1" k, "1")
+  in
+  let rec wrap depth e =
+    if depth = 0 then e else wrap (depth - 1) (Printf.sprintf "(%s) * %s" e one)
+  in
+  wrap (k mod 3) base
+
+let check_pool =
+  [ ("IncidenceGraph", [ "adjacency_list" ], false);
+    ("IncidenceGraph", [ "adjacency_matrix" ], false);
+    ("GraphEdge", [ "adjacency_list::edge" ], false);
+    ("VertexListGraph", [ "adjacency_list" ], false);
+    ("AdjacencyMatrixGraph", [ "adjacency_list" ], false) (* fails *);
+    ("RandomAccessIterator", [ "vector<int>::iterator" ], true);
+    ("ForwardIterator", [ "list<int>::iterator" ], true);
+    ("RandomAccessContainer", [ "deque<int>" ], true);
+    ("Container", [ "vector<int>" ], false);
+    ("VectorSpace", [ "cvec"; "complex" ], false) ]
+
+let closure_pool =
+  [ ("IncidenceGraph", [ "adjacency_list" ]);
+    ("IncidenceGraph", [ "adjacency_matrix" ]);
+    ("VertexListGraph", [ "adjacency_list" ]);
+    ("AdjacencyMatrixGraph", [ "adjacency_matrix" ]);
+    ("GraphEdge", [ "adjacency_list::edge" ]);
+    ("RandomAccessIterator", [ "vector<int>::iterator" ]);
+    ("BidirectionalIterator", [ "list<int>::iterator" ]);
+    ("Container", [ "vector<int>" ]);
+    ("Sequence", [ "list<int>" ]);
+    ("VectorSpace", [ "cvec"; "complex" ]) ]
+
+let prove_pool =
+  [ ("swo", Some "int_lt"); ("swo", Some "string_lt"); ("swo", None);
+    ("orders", Some "int_le"); ("orders", Some "string_le");
+    ("orders", Some "rational_le");
+    ("monoid", Some "int[*]"); ("monoid", Some "float[*]");
+    ("monoid", Some "bool[&&]"); ("monoid", Some "string[^]");
+    ("monoid", Some "matrix[.]"); ("monoid", None);
+    ("group", Some "int[+]"); ("group", Some "float[*]");
+    ("group", Some "rational[*]"); ("group", Some "matrix[.]");
+    ("ring", Some "int"); ("ring", None) ]
+
+let nth_mod pool k = List.nth pool (k mod List.length pool)
+
+let request_for kind k =
+  match kind with
+  | Request.Kcheck ->
+    (* every fourth check key carries sandbox defs, exercising the
+       defs cache from the check path too *)
+    if k mod 4 = 3 then
+      Request.Check
+        { concept = Printf.sprintf "W%d" k;
+          types = [ Printf.sprintf "w%d" k ];
+          nominal = false;
+          defs = Some (gpc_source k) }
+    else
+      let concept, types, nominal = nth_mod check_pool k in
+      Request.Check { concept; types; nominal; defs = None }
+  | Request.Kparse -> Request.Parse { source = gpc_source k }
+  | Request.Klint -> Request.Lint { source = lint_source k }
+  | Request.Koptimize ->
+    Request.Optimize { expr = optimize_expr k; certified_only = k mod 2 = 0 }
+  | Request.Kprove ->
+    let theory, instance = nth_mod prove_pool k in
+    Request.Prove { theory; instance }
+  | Request.Kclosure ->
+    let concept, types = nth_mod closure_pool k in
+    Request.Closure { concept; types }
+
+(* ------------------------------------------------------------------ *)
+(* Sampling                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Precomputed CDF of the Zipf(s) rank distribution over [keyspace]
+   ranks; sampling is a binary-search-free linear scan (keyspace is
+   small). *)
+let zipf_cdf ~s ~keyspace =
+  let w = Array.init keyspace (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let sample_rank st cdf =
+  let u = Random.State.float st 1.0 in
+  let n = Array.length cdf in
+  let rec go i = if i >= n - 1 || u <= cdf.(i) then i else go (i + 1) in
+  go 0
+
+let pick_kind st mix =
+  let total = List.fold_left (fun a (_, w) -> a + w) 0 mix in
+  let x = Random.State.int st total in
+  let rec go acc = function
+    | [] -> assert false
+    | (kind, w) :: rest -> if x < acc + w then kind else go (acc + w) rest
+  in
+  go 0 mix
+
+let generate ?(mix = default_mix) ?(zipf = 1.1) ?(keyspace = 40) ~seed ~n () =
+  if n < 0 then invalid_arg "Workload.generate: n < 0";
+  if keyspace < 1 then invalid_arg "Workload.generate: keyspace < 1";
+  let st = Random.State.make [| 0x5e1; seed |] in
+  let cdf = zipf_cdf ~s:zipf ~keyspace in
+  List.init n (fun _ ->
+      let kind = pick_kind st mix in
+      (* rank 0 is the hottest key; permute per kind so distinct kinds
+         don't all hammer key 0 of their pools in lockstep *)
+      let rank = sample_rank st cdf in
+      request_for kind rank)
+
+let fingerprint reqs =
+  Digest.to_hex
+    (Digest.string (String.concat "\n" (List.map Request.key reqs)))
+
+let pp_mix ppf mix =
+  Fmt.(list ~sep:comma (fun ppf (k, w) ->
+           Fmt.pf ppf "%s=%d" (Request.kind_name k) w))
+    ppf mix

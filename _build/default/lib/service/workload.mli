@@ -1,0 +1,29 @@
+(** Seeded synthetic workloads: a request stream with a configurable
+    kind mix and Zipf-like key reuse, so content-keyed caches face a
+    realistic hot-set/cold-tail split.
+
+    Deterministic: a fixed (seed, n, mix, zipf, keyspace) tuple replays
+    the identical stream; {!fingerprint} digests the canonical request
+    renderings so replays are checkable across processes. *)
+
+type mix = (Request.kind * int) list
+(** Relative weights per request kind. *)
+
+val default_mix : mix
+
+val parse_mix : string -> (mix, string) result
+(** Parse ["check=2,lint=3,prove=1"]; rejects unknown kinds, negative
+    weights, and all-zero mixes. *)
+
+val generate :
+  ?mix:mix -> ?zipf:float -> ?keyspace:int -> seed:int -> n:int -> unit ->
+  Request.t list
+(** [zipf] is the rank-distribution exponent (higher = hotter hot keys,
+    default 1.1); [keyspace] the number of distinct keys per kind
+    (default 40). *)
+
+val fingerprint : Request.t list -> string
+(** Digest of the canonical renderings — equal iff the streams are
+    request-for-request identical. *)
+
+val pp_mix : Format.formatter -> mix -> unit

@@ -1,0 +1,601 @@
+(* Tests for the serving layer: LRU memo caches, budgets, the wire
+   codec, the robustness corpus (malformed input never kills the
+   server), cache transparency, workload determinism, and the
+   propagation-closure refactor that makes closures memoisable. *)
+
+open Gp_service
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let declare_standard reg =
+  Gp_algebra.Decls.declare reg;
+  Gp_sequence.Decls.declare reg;
+  Gp_graph.Decls.declare reg;
+  Gp_linalg.Decls.declare reg
+
+let mkserver ?config () = Server.create ?config ~declare_standard ()
+
+let code_name rsp =
+  match rsp.Request.rsp_result with
+  | Ok _ -> "ok"
+  | Error e -> Request.error_code_name e.Request.code
+
+let check_code name expected rsp =
+  Alcotest.(check string) name (Request.error_code_name expected) (code_name rsp)
+
+(* A request cheap enough to fit even a 10-step budget. *)
+let good_request = Request.Parse { source = "type smoke_t { }\n" }
+
+let assert_alive server =
+  Alcotest.(check bool) "server still serves" true
+    (Request.ok (Server.handle server good_request))
+
+let contains s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  lb = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Lru                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_basic () =
+  let c = Lru.create ~capacity:2 "t" in
+  Alcotest.(check (option int)) "miss" None (Lru.find c "a");
+  Lru.add c "a" 1;
+  Alcotest.(check (option int)) "hit" (Some 1) (Lru.find c "a");
+  Lru.add c "b" 2;
+  Lru.add c "c" 3;
+  (* a was MRU after the hit, then b, c arrived: a is the LRU victim *)
+  Alcotest.(check (option int)) "evicted" None (Lru.find c "a");
+  Alcotest.(check (option int)) "survivor" (Some 3) (Lru.find c "c");
+  let s = Lru.stats c in
+  Alcotest.(check int) "hits" 2 s.Lru.st_hits;
+  Alcotest.(check int) "misses" 2 s.Lru.st_misses;
+  Alcotest.(check int) "evictions" 1 s.Lru.st_evictions;
+  Alcotest.(check int) "size" 2 s.Lru.st_size;
+  Lru.add c "b" 20;
+  Alcotest.(check (option int)) "replace keeps size" (Some 20) (Lru.find c "b");
+  Alcotest.(check int) "no growth on replace" 2 (Lru.size c)
+
+let test_lru_recency () =
+  let c = Lru.create ~capacity:3 "t" in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "c" 3;
+  Alcotest.(check (list string)) "mru first" [ "c"; "b"; "a" ]
+    (Lru.keys_mru_first c);
+  ignore (Lru.find c "a");
+  Alcotest.(check (list string)) "hit refreshes" [ "a"; "c"; "b" ]
+    (Lru.keys_mru_first c);
+  Alcotest.(check bool) "mem is pure" true (Lru.mem c "b");
+  Alcotest.(check (list string)) "mem does not refresh" [ "a"; "c"; "b" ]
+    (Lru.keys_mru_first c);
+  Lru.add c "d" 4;
+  Alcotest.(check (list string)) "evicts the lru" [ "d"; "a"; "c" ]
+    (Lru.keys_mru_first c)
+
+let test_lru_find_or_compute () =
+  let c = Lru.create ~capacity:4 "t" in
+  let calls = ref 0 in
+  let f () = incr calls; 42 in
+  let v, hit = Lru.find_or_compute c ~enabled:true "k" f in
+  Alcotest.(check int) "computed" 42 v;
+  Alcotest.(check bool) "first is a miss" false hit;
+  let v, hit = Lru.find_or_compute c ~enabled:true "k" f in
+  Alcotest.(check int) "memoised" 42 v;
+  Alcotest.(check bool) "second is a hit" true hit;
+  Alcotest.(check int) "computed once" 1 !calls;
+  (* disabled: total bypass — no entries, no stats *)
+  let c2 = Lru.create ~capacity:4 "t2" in
+  let _ = Lru.find_or_compute c2 ~enabled:false "k" f in
+  let _ = Lru.find_or_compute c2 ~enabled:false "k" f in
+  Alcotest.(check int) "recomputed each time" 3 !calls;
+  let s = Lru.stats c2 in
+  Alcotest.(check int) "bypass: no hits" 0 s.Lru.st_hits;
+  Alcotest.(check int) "bypass: no misses" 0 s.Lru.st_misses;
+  Alcotest.(check int) "bypass: empty" 0 s.Lru.st_size
+
+let test_lru_invalid_capacity () =
+  match Lru.create ~capacity:0 "bad" with
+  | _ -> Alcotest.fail "capacity 0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* The recency contract, against a reference model: an assoc list kept
+   in MRU order, truncated to capacity. *)
+let lru_model_prop =
+  QCheck.Test.make ~name:"lru matches the reference model" ~count:300
+    QCheck.(pair (int_range 1 5) (small_list (pair bool (int_range 0 8))))
+    (fun (cap, ops) ->
+      let c = Lru.create ~capacity:cap "model" in
+      let model = ref [] in
+      List.iter
+        (fun (is_add, k) ->
+          let key = string_of_int k in
+          if is_add then begin
+            Lru.add c key k;
+            model := (key, k) :: List.remove_assoc key !model;
+            if List.length !model > cap then
+              model := List.filteri (fun i _ -> i < cap) !model
+          end
+          else begin
+            let expect = List.assoc_opt key !model in
+            let got = Lru.find c key in
+            if got <> expect then
+              QCheck.Test.fail_reportf "find %S: got %s, model says %s" key
+                (match got with Some v -> string_of_int v | None -> "none")
+                (match expect with Some v -> string_of_int v | None -> "none");
+            match expect with
+            | Some v -> model := (key, v) :: List.remove_assoc key !model
+            | None -> ()
+          end)
+        ops;
+      Lru.keys_mru_first c = List.map fst !model)
+
+(* ------------------------------------------------------------------ *)
+(* Budget                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_steps () =
+  let b = Budget.create ~max_steps:10 ~now:(fun () -> 0.0) () in
+  Budget.spend b 4;
+  Budget.spend b 6;
+  Alcotest.(check int) "used" 10 (Budget.used b);
+  Alcotest.(check int) "remaining" 0 (Budget.remaining b);
+  Alcotest.check_raises "11th step trips"
+    (Budget.Exhausted Budget.Steps)
+    (fun () -> Budget.spend b 1)
+
+let test_budget_unlimited () =
+  let b = Budget.create ~now:(fun () -> 0.0) () in
+  Budget.spend b 1_000_000;
+  Alcotest.(check int) "used tracks anyway" 1_000_000 (Budget.used b)
+
+let test_budget_deadline () =
+  let clock = ref 0.0 in
+  let b = Budget.create ~deadline:5.0 ~now:(fun () -> !clock) () in
+  Budget.spend b 1;
+  Budget.check_deadline b;
+  clock := 6.0;
+  Alcotest.check_raises "spend checks the clock"
+    (Budget.Exhausted Budget.Deadline)
+    (fun () -> Budget.spend b 1);
+  Alcotest.check_raises "explicit check too"
+    (Budget.Exhausted Budget.Deadline)
+    (fun () -> Budget.check_deadline b)
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_json_roundtrip () =
+  let v =
+    Wire.Obj
+      [ ("a", Wire.Arr [ Wire.Int 1; Wire.Float 2.5; Wire.Null ]);
+        ("s", Wire.Str "a\"b\\c\nd\ttab");
+        ("t", Wire.Bool true); ("f", Wire.Bool false) ]
+  in
+  Alcotest.(check bool) "parse inverts to_string" true
+    (Wire.parse (Wire.to_string v) = v);
+  Alcotest.(check bool) "unicode escape" true
+    (Wire.parse "\"\\u0041\"" = Wire.Str "A")
+
+let request_samples =
+  [ Request.Check
+      { concept = "Container"; types = [ "vector<int>" ]; nominal = false;
+        defs = None };
+    Request.Check
+      { concept = "W1"; types = [ "w1" ]; nominal = true;
+        defs = Some "concept W1<T> { }\n" };
+    Request.Parse { source = "type t { }\n" };
+    Request.Lint { source = "{ int x; }" };
+    Request.Optimize { expr = "x * 1 + 0"; certified_only = true };
+    Request.Prove { theory = "group"; instance = Some "int[+]" };
+    Request.Prove { theory = "swo"; instance = None };
+    Request.Closure { concept = "IncidenceGraph"; types = [ "adjacency_list" ] }
+  ]
+
+let test_wire_request_roundtrip () =
+  List.iter
+    (fun r ->
+      let line = Wire.request_to_line ~id:7 r in
+      match Wire.request_of_line line with
+      | Ok (Some 7, r') ->
+        Alcotest.(check bool) ("roundtrip: " ^ Request.key r) true (r = r')
+      | Ok (_, _) -> Alcotest.failf "id lost on %s" (Request.key r)
+      | Error e -> Alcotest.failf "%s failed to decode: %s" (Request.key r) e)
+    request_samples;
+  match Wire.request_of_line (Wire.request_to_line (List.hd request_samples)) with
+  | Ok (None, _) -> ()
+  | Ok (Some _, _) -> Alcotest.fail "id invented from nowhere"
+  | Error e -> Alcotest.fail e
+
+let test_wire_bad_lines () =
+  let expect_err line =
+    match Wire.request_of_line line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "line %S should not decode" line
+  in
+  List.iter expect_err
+    [ "{"; "[1,2]"; "null"; {|{"kind":"frobnicate"}|}; {|{"kind":42}|};
+      {|{"kind":"check"}|}; {|{"kind":"prove"}|}; {|{"id":"x","kind":"lint"}|} ]
+
+let test_wire_response_encodes () =
+  let server = mkserver () in
+  let rsp = Server.handle server good_request in
+  match Wire.parse (Wire.response_to_line rsp) with
+  | Wire.Obj fields ->
+    Alcotest.(check bool) "has status" true (List.mem_assoc "status" fields);
+    Alcotest.(check bool) "has id" true (List.mem_assoc "id" fields)
+  | _ -> Alcotest.fail "response line is not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Robustness: the malformed-request corpus                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One long-lived server takes the whole corpus; after every abuse it
+   must still serve a good request. *)
+let test_malformed_corpus () =
+  let server = mkserver () in
+  (match Server.serve_line server "{ not json" with
+  | Some rsp ->
+    check_code "garbage line" Request.Bad_request rsp;
+    Alcotest.(check bool) "no kind on a garbage line" true
+      (rsp.Request.rsp_kind = None)
+  | None -> Alcotest.fail "garbage line must get a response");
+  assert_alive server;
+  (match Server.serve_line server {|{"kind":"frobnicate"}|} with
+  | Some rsp -> check_code "unknown kind" Request.Bad_request rsp
+  | None -> Alcotest.fail "unknown kind must get a response");
+  Alcotest.(check bool) "blank line skipped" true
+    (Server.serve_line server "   " = None);
+  check_code "bad .gpc" Request.Parse_failure
+    (Server.handle server (Request.Parse { source = "concept ??? {" }));
+  assert_alive server;
+  check_code "bad sandbox defs" Request.Parse_failure
+    (Server.handle server
+       (Request.Check
+          { concept = "C"; types = [ "t" ]; nominal = false;
+            defs = Some "concept ??? {" }));
+  check_code "unparseable lint program" Request.Parse_failure
+    (Server.handle server (Request.Lint { source = "int x = @@garbage;;" }));
+  check_code "bad optimize expr" Request.Parse_failure
+    (Server.handle server
+       (Request.Optimize { expr = "x * * 1"; certified_only = false }));
+  check_code "unknown concept" Request.Unknown_name
+    (Server.handle server
+       (Request.Closure { concept = "NoSuchConcept"; types = [ "int" ] }));
+  check_code "unknown theory" Request.Unknown_name
+    (Server.handle server (Request.Prove { theory = "astrology"; instance = None }));
+  check_code "unknown instance" Request.Unknown_name
+    (Server.handle server
+       (Request.Prove { theory = "group"; instance = Some "quaternion[?]" }));
+  assert_alive server
+
+let test_over_budget () =
+  let config =
+    { Server.default_config with max_steps = 10; caching = false }
+  in
+  let server = mkserver ~config () in
+  (* proof checking charges 25 steps per theorem: deterministic trip *)
+  check_code "prove trips the step budget" Request.Over_budget
+    (Server.handle server (Request.Prove { theory = "swo"; instance = None }));
+  assert_alive server
+
+let test_timeout () =
+  let clock = ref 0.0 in
+  let ticking = ref true in
+  let now () =
+    if !ticking then clock := !clock +. 1.0;
+    !clock
+  in
+  let config =
+    { Server.default_config with timeout = Some 0.5; caching = false; now }
+  in
+  let server = mkserver ~config () in
+  check_code "fake clock trips the deadline" Request.Timeout
+    (Server.handle server
+       (Request.Prove { theory = "swo"; instance = Some "int_lt" }));
+  (* freeze the clock: the same server recovers *)
+  ticking := false;
+  assert_alive server
+
+let test_queue_full () =
+  let config = { Server.default_config with queue_capacity = 2 } in
+  let server = mkserver ~config () in
+  let rsps = Server.process_burst server (List.init 5 (fun _ -> good_request)) in
+  Alcotest.(check int) "every request answered" 5 (List.length rsps);
+  Alcotest.(check int) "queue capacity admitted" 2
+    (List.length (List.filter Request.ok rsps));
+  List.iteri
+    (fun i rsp ->
+      if i >= 2 then
+        check_code (Printf.sprintf "overflow %d rejected" i) Request.Queue_full
+          rsp)
+    rsps;
+  (* the steady-state driver drains instead of dropping *)
+  let rsps = Server.process server (List.init 7 (fun _ -> good_request)) in
+  Alcotest.(check int) "process serves everything" 7
+    (List.length (List.filter Request.ok rsps));
+  assert_alive server
+
+let test_metrics_accounting () =
+  let server = mkserver () in
+  ignore (Server.handle server good_request);
+  ignore (Server.handle server good_request);
+  ignore
+    (Server.handle server (Request.Prove { theory = "astrology"; instance = None }));
+  Alcotest.(check int) "requests counted" 3 (Metrics.requests (Server.metrics server));
+  Alcotest.(check int) "errors counted" 1 (Metrics.errors (Server.metrics server));
+  let report = Server.report server in
+  Alcotest.(check bool) "report names the kind" true (contains report "parse");
+  Alcotest.(check bool) "report names the error code" true
+    (contains report "unknown-name");
+  Alcotest.(check bool) "report includes cache tables" true
+    (contains report "caches")
+
+(* ------------------------------------------------------------------ *)
+(* Cache transparency                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Caching must be observationally invisible: the same stream against a
+   caching server (twice — the second pass is all-warm), and against a
+   cache-free server, yields result-equal responses. *)
+let transparency_prop =
+  QCheck.Test.make ~name:"caching on = caching off = warm replay" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let reqs = Workload.generate ~seed ~n:25 () in
+      let cached = mkserver () in
+      let plain =
+        mkserver ~config:{ Server.default_config with caching = false } ()
+      in
+      let cold = List.map (Server.handle cached) reqs in
+      let warm = List.map (Server.handle cached) reqs in
+      let direct = List.map (Server.handle plain) reqs in
+      List.exists (fun r -> r.Request.rsp_cached) warm
+      && List.for_all2 Request.result_equal cold warm
+      && List.for_all2 Request.result_equal cold direct)
+
+(* The service answers exactly what the libraries answer directly. *)
+let test_direct_library_equivalence () =
+  let server = mkserver () in
+  let reg = Gp_concepts.Registry.create () in
+  declare_standard reg;
+  List.iter
+    (fun (concept, types) ->
+      let rsp = Server.handle server (Request.Closure { concept; types }) in
+      let args = List.map (fun x -> Gp_concepts.Ctype.Named x) types in
+      let direct = Gp_concepts.Propagate.closure reg concept args in
+      match rsp.Request.rsp_result with
+      | Ok (Request.Closed { size; obligations }) ->
+        Alcotest.(check int) (concept ^ ": closure size") (List.length direct)
+          size;
+        Alcotest.(check int) (concept ^ ": obligations listed") size
+          (List.length obligations)
+      | _ -> Alcotest.failf "closure %s did not succeed" concept)
+    [ ("IncidenceGraph", [ "adjacency_list" ]);
+      ("Container", [ "vector<int>" ]) ];
+  let source =
+    Gp_stllint.Render.to_source
+      (Gp_stllint.Corpus.generate ~blocks:2 ~buggy_every:2)
+  in
+  let direct = Gp_stllint.Interp.check (Gp_stllint.Parser.parse_program source) in
+  (match (Server.handle server (Request.Lint { source })).Request.rsp_result with
+  | Ok (Request.Linted { errors; warnings; suggestions; messages }) ->
+    Alcotest.(check int) "lint errors"
+      (List.length (Gp_stllint.Interp.errors direct))
+      errors;
+    Alcotest.(check int) "lint warnings"
+      (List.length (Gp_stllint.Interp.warnings direct))
+      warnings;
+    Alcotest.(check int) "lint suggestions"
+      (List.length (Gp_stllint.Interp.suggestions direct))
+      suggestions;
+    Alcotest.(check int) "every diagnostic rendered" (List.length direct)
+      (List.length messages)
+  | _ -> Alcotest.fail "lint did not succeed");
+  let open Gp_simplicissimus in
+  let expr = "x * 1 + 0" in
+  let direct =
+    Engine.rewrite
+      ~rules:(Rules.builtin @ [ Rules.lidia_inverse ])
+      ~insts:(Instances.standard ()) (Sparser.parse expr)
+  in
+  (match
+     (Server.handle server (Request.Optimize { expr; certified_only = false }))
+       .Request.rsp_result
+   with
+  | Ok (Request.Optimized { output; ops_before; ops_after; _ }) ->
+    Alcotest.(check string) "same normal form"
+      (Expr.to_string direct.Engine.output)
+      output;
+    Alcotest.(check int) "same ops before" direct.Engine.ops_before ops_before;
+    Alcotest.(check int) "same ops after" direct.Engine.ops_after ops_after
+  | _ -> Alcotest.fail "optimize did not succeed");
+  match
+    (Server.handle server
+       (Request.Prove { theory = "group"; instance = Some "int[+]" }))
+      .Request.rsp_result
+  with
+  | Ok (Request.Proved { checked; failed }) ->
+    Alcotest.(check int) "group int[+]: four theorems" 4 checked;
+    Alcotest.(check int) "group int[+]: none fail" 0 failed
+  | _ -> Alcotest.fail "prove did not succeed"
+
+let test_cache_off_reports_zero () =
+  let server =
+    mkserver ~config:{ Server.default_config with caching = false } ()
+  in
+  ignore (Server.process server (Workload.generate ~seed:3 ~n:20 ()));
+  List.iter
+    (fun s ->
+      Alcotest.(check int) (s.Lru.st_name ^ ": no hits") 0 s.Lru.st_hits;
+      Alcotest.(check int) (s.Lru.st_name ^ ": no misses") 0 s.Lru.st_misses;
+      Alcotest.(check int) (s.Lru.st_name ^ ": stays empty") 0 s.Lru.st_size)
+    (Server.cache_stats server)
+
+let test_cache_hits_on_replay () =
+  let server = mkserver () in
+  let reqs = Workload.generate ~seed:3 ~n:20 () in
+  ignore (Server.process server reqs);
+  let rsps = Server.process server reqs in
+  Alcotest.(check bool) "replay is cache-served" true
+    (List.exists (fun r -> r.Request.rsp_cached) rsps);
+  Alcotest.(check bool) "hit counters populated" true
+    (List.exists (fun s -> s.Lru.st_hits > 0) (Server.cache_stats server));
+  Server.clear_caches server;
+  List.iter
+    (fun s -> Alcotest.(check int) (s.Lru.st_name ^ ": cleared") 0 s.Lru.st_size)
+    (Server.cache_stats server)
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_determinism () =
+  let a = Workload.generate ~seed:42 ~n:80 () in
+  let b = Workload.generate ~seed:42 ~n:80 () in
+  let c = Workload.generate ~seed:43 ~n:80 () in
+  Alcotest.(check string) "same seed, same fingerprint"
+    (Workload.fingerprint a) (Workload.fingerprint b);
+  Alcotest.(check bool) "same seed, same requests" true (a = b);
+  Alcotest.(check bool) "different seed, different stream" true
+    (Workload.fingerprint a <> Workload.fingerprint c)
+
+let workload_pure_prop =
+  QCheck.Test.make ~name:"generation is a pure function of the seed" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      Workload.generate ~seed ~n:15 () = Workload.generate ~seed ~n:15 ())
+
+let test_workload_mix () =
+  (match Workload.parse_mix "check=2,lint=3" with
+  | Ok m ->
+    Alcotest.(check int) "two components" 2 (List.length m);
+    Alcotest.(check bool) "only the mixed kinds" true
+      (List.for_all
+         (fun r ->
+           match Request.kind r with
+           | Request.Kcheck | Request.Klint -> true
+           | _ -> false)
+         (Workload.generate ~mix:m ~seed:1 ~n:50 ()))
+  | Error e -> Alcotest.fail e);
+  (match Workload.parse_mix "prove=1" with
+  | Ok m ->
+    Alcotest.(check bool) "single-kind mix" true
+      (List.for_all
+         (fun r -> Request.kind r = Request.Kprove)
+         (Workload.generate ~mix:m ~seed:5 ~n:10 ()))
+  | Error e -> Alcotest.fail e);
+  let expect_err spec =
+    match Workload.parse_mix spec with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "mix %S should be rejected" spec
+  in
+  List.iter expect_err [ "frobnicate=1"; "check=-2"; "check=0,lint=0"; "" ]
+
+let test_workload_validation () =
+  (match Workload.generate ~keyspace:0 ~seed:1 ~n:5 () with
+  | _ -> Alcotest.fail "keyspace 0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Workload.generate ~seed:1 ~n:(-1) () with
+  | _ -> Alcotest.fail "negative n must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The Propagate refactor and generation-keyed memo safety             *)
+(* ------------------------------------------------------------------ *)
+
+let test_propagate_closure_with () =
+  let open Gp_concepts in
+  let reg = Registry.create () in
+  declare_standard reg;
+  List.iter
+    (fun (concept, types) ->
+      let args = List.map (fun x -> Ctype.Named x) types in
+      let via_reg = Propagate.closure reg concept args in
+      let via_lookup =
+        Propagate.closure_with ~lookup:(Registry.find_concept reg) concept args
+      in
+      Alcotest.(check int) (concept ^ ": same size") (List.length via_reg)
+        (List.length via_lookup);
+      Alcotest.(check bool) (concept ^ ": same obligations") true
+        (List.for_all2 Propagate.obligation_equal via_reg via_lookup))
+    [ ("IncidenceGraph", [ "adjacency_list" ]);
+      ("RandomAccessIterator", [ "vector<int>::iterator" ]);
+      ("VectorSpace", [ "cvec"; "complex" ]) ]
+
+let test_registry_generation () =
+  let open Gp_concepts in
+  let reg = Registry.create () in
+  let g0 = Registry.generation reg in
+  Registry.declare_type reg "gen_probe";
+  Alcotest.(check bool) "declaration bumps the generation" true
+    (Registry.generation reg > g0);
+  let g1 = Registry.generation reg in
+  Registry.touch reg;
+  Alcotest.(check int) "touch bumps by one" (g1 + 1) (Registry.generation reg)
+
+let test_request_key_tracks_generation () =
+  let open Gp_concepts in
+  let reg = Registry.create () in
+  declare_standard reg;
+  let args = [ Ctype.Named "vector<int>" ] in
+  let k1 = Propagate.request_key reg "Container" args in
+  Alcotest.(check string) "stable while the registry is unchanged" k1
+    (Propagate.request_key reg "Container" args);
+  Registry.touch reg;
+  Alcotest.(check bool) "any mutation changes the key" true
+    (k1 <> Propagate.request_key reg "Container" args)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "service"
+    [ ( "lru",
+        [ Alcotest.test_case "hit/miss/evict" `Quick test_lru_basic;
+          Alcotest.test_case "recency order" `Quick test_lru_recency;
+          Alcotest.test_case "find_or_compute" `Quick test_lru_find_or_compute;
+          Alcotest.test_case "invalid capacity" `Quick test_lru_invalid_capacity;
+          qtest lru_model_prop ] );
+      ( "budget",
+        [ Alcotest.test_case "step allowance" `Quick test_budget_steps;
+          Alcotest.test_case "unlimited default" `Quick test_budget_unlimited;
+          Alcotest.test_case "deadline over a fake clock" `Quick
+            test_budget_deadline ] );
+      ( "wire",
+        [ Alcotest.test_case "json roundtrip" `Quick test_wire_json_roundtrip;
+          Alcotest.test_case "request roundtrip" `Quick
+            test_wire_request_roundtrip;
+          Alcotest.test_case "bad lines rejected" `Quick test_wire_bad_lines;
+          Alcotest.test_case "response encodes" `Quick
+            test_wire_response_encodes ] );
+      ( "robustness",
+        [ Alcotest.test_case "malformed corpus" `Quick test_malformed_corpus;
+          Alcotest.test_case "over budget" `Quick test_over_budget;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+          Alcotest.test_case "queue full" `Quick test_queue_full;
+          Alcotest.test_case "metrics accounting" `Quick
+            test_metrics_accounting ] );
+      ( "transparency",
+        [ Alcotest.test_case "direct library equivalence" `Quick
+            test_direct_library_equivalence;
+          Alcotest.test_case "cache off reports zero" `Quick
+            test_cache_off_reports_zero;
+          Alcotest.test_case "cache hits on replay" `Quick
+            test_cache_hits_on_replay;
+          qtest transparency_prop ] );
+      ( "workload",
+        [ Alcotest.test_case "deterministic per seed" `Quick
+            test_workload_determinism;
+          Alcotest.test_case "mix parsing" `Quick test_workload_mix;
+          Alcotest.test_case "input validation" `Quick test_workload_validation;
+          qtest workload_pure_prop ] );
+      ( "propagate",
+        [ Alcotest.test_case "closure_with agrees with closure" `Quick
+            test_propagate_closure_with;
+          Alcotest.test_case "registry generation" `Quick
+            test_registry_generation;
+          Alcotest.test_case "request_key tracks generation" `Quick
+            test_request_key_tracks_generation ] ) ]

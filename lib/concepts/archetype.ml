@@ -64,7 +64,8 @@ and populate reg (con : Concept.t) args =
           | Some td when not (List.mem_assoc f td.Registry.td_assoc) ->
             reg.Registry.types <-
               (n, { td with Registry.td_assoc = (f, ty) :: td.Registry.td_assoc })
-              :: List.remove_assoc n reg.Registry.types
+              :: List.remove_assoc n reg.Registry.types;
+            Registry.touch reg
           | _ -> ())
         assoc
     | None ->
