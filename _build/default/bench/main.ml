@@ -50,6 +50,44 @@ let section id title =
   Fmt.pr "@.%s@.%s — %s@.%s@." line id title thin
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results (--json FILE)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Sections record named scalar results (ns/op, speedups); at exit the
+   driver writes them as one JSON object keyed by experiment id, so CI
+   can diff measured numbers across commits without scraping stdout. *)
+let json_path : string option ref = ref None
+let metrics : (string * string * float) list ref = ref []
+
+let record ~experiment name v = metrics := (experiment, name, v) :: !metrics
+
+let write_json path =
+  let oc = open_out path in
+  let all = List.rev !metrics in
+  let secs =
+    List.fold_left
+      (fun acc (s, _, _) -> if List.mem s acc then acc else acc @ [ s ])
+      [] all
+  in
+  Printf.fprintf oc "{\n  \"sections\": {\n";
+  List.iteri
+    (fun i sec ->
+      Printf.fprintf oc "    %S: {\n" sec;
+      let rows = List.filter (fun (s, _, _) -> String.equal s sec) all in
+      List.iteri
+        (fun j (_, name, v) ->
+          let value =
+            if Float.is_nan v then "null" else Printf.sprintf "%.3f" v
+          in
+          Printf.fprintf oc "      %S: %s%s\n" name value
+            (if j = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "    }%s\n" (if i = List.length secs - 1 then "" else ","))
+    secs;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
 (* F1/F2: graph concepts (Figs. 1 and 2)                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -734,20 +772,252 @@ let s1 () =
           misses with the warm hits)@."
 
 (* ------------------------------------------------------------------ *)
+(* S2: indexed dispatch vs the seed linear scans                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Three hot paths gained generation-keyed indexes: registry lookups
+   (hashed concept/type/op/model tables + a precomputed refinement
+   closure), the rewrite engine (head-symbol rule index, O(1) carrier
+   lookups, guard memo), and propagation closure (hashed worklist). The
+   seed implementations survive as reference oracles; this section
+   times both sides on a large synthetic world. *)
+
+let s2 () =
+  section "S2"
+    "indexed dispatch: registry lookups, rule indexing, worklist closure \
+     vs the seed linear scans";
+  let open Gp_concepts in
+  let quick = !quota < 0.5 in
+  let n x = Ctype.Named x in
+  (* -------- registry: hundreds of types/concepts/ops/models -------- *)
+  let ntypes = if quick then 60 else 300 in
+  let nconcepts = if quick then 40 else 120 in
+  let reg = Registry.create () in
+  for i = 0 to ntypes - 1 do
+    Registry.declare_type reg (Printf.sprintf "T%d" i)
+  done;
+  (* one long refinement chain K0 <- K1 <- ... so transitive refines
+     queries have real depth *)
+  for i = 0 to nconcepts - 1 do
+    let refines =
+      if i = 0 then []
+      else [ (Printf.sprintf "K%d" (i - 1), [ Ctype.Var "X" ]) ]
+    in
+    Registry.declare_concept reg
+      (Concept.make ~params:[ "X" ] ~refines
+         (Printf.sprintf "K%d" i)
+         [ Concept.axiom "t" "true" ])
+  done;
+  for i = 0 to (2 * ntypes) - 1 do
+    Registry.declare_op reg
+      (Printf.sprintf "op%d" (i mod 7))
+      [ n (Printf.sprintf "T%d" (i mod ntypes)) ]
+      (n "T0")
+  done;
+  for i = 0 to ntypes - 1 do
+    Registry.declare_model reg
+      (Printf.sprintf "K%d" (i mod nconcepts))
+      [ n (Printf.sprintf "T%d" i) ]
+  done;
+  Fmt.pr "world: %d types, %d chained concepts, %d ops, %d models@." ntypes
+    nconcepts (2 * ntypes) ntypes;
+  (* the seed lookups: scans over the registry's exposed lists *)
+  let args_equal a1 a2 =
+    List.length a1 = List.length a2 && List.for_all2 Ctype.equal a1 a2
+  in
+  let find_model_ref concept args =
+    List.find_opt
+      (fun m ->
+        String.equal m.Registry.mo_concept concept
+        && args_equal m.Registry.mo_args args)
+      reg.Registry.models
+  in
+  let refines_ref a b =
+    let rec go visited c =
+      if String.equal c b then true
+      else if List.mem c visited then false
+      else
+        List.exists
+          (fun (x, y) -> String.equal x c && go (c :: visited) y)
+          reg.Registry.refinement_edges
+    in
+    go [] a
+  in
+  let probe_tys =
+    List.init 32 (fun i -> Printf.sprintf "T%d" (i * 9 mod ntypes))
+  in
+  let top = Printf.sprintf "K%d" (nconcepts - 1) in
+  let probe ~find_model ~refines () =
+    List.fold_left
+      (fun acc ty ->
+        acc
+        + (match find_model "K3" [ n ty ] with Some _ -> 1 | None -> 0)
+        + (if refines top "K0" then 1 else 0))
+      0 probe_tys
+  in
+  (* both sides must agree before we time anything *)
+  assert (
+    probe ~find_model:(Registry.find_model reg)
+      ~refines:(Registry.refines reg) ()
+    = probe ~find_model:find_model_ref ~refines:refines_ref ());
+  let t_reg_ix =
+    time_ns "registry lookups (indexed)" (fun () ->
+        Sys.opaque_identity
+          (probe ~find_model:(Registry.find_model reg)
+             ~refines:(Registry.refines reg) ()))
+  in
+  let t_reg_ref =
+    time_ns "registry lookups (linear)" (fun () ->
+        Sys.opaque_identity
+          (probe ~find_model:find_model_ref ~refines:refines_ref ()))
+  in
+  (* -------- propagation: a wide refinement fan-out ----------------- *)
+  let mids = if quick then 10 else 50 in
+  let leaves = if quick then 10 else 50 in
+  let preg = Registry.create () in
+  Registry.declare_type preg "P";
+  for m = 0 to mids - 1 do
+    for l = 0 to leaves - 1 do
+      Registry.declare_concept preg
+        (Concept.make ~params:[ "X" ]
+           (Printf.sprintf "Leaf_%d_%d" m l)
+           [ Concept.axiom "t" "true" ])
+    done
+  done;
+  for m = 0 to mids - 1 do
+    Registry.declare_concept preg
+      (Concept.make ~params:[ "X" ]
+         ~refines:
+           (List.init leaves (fun l ->
+                (Printf.sprintf "Leaf_%d_%d" m l, [ Ctype.Var "X" ])))
+         (Printf.sprintf "Mid_%d" m)
+         [ Concept.axiom "t" "true" ])
+  done;
+  Registry.declare_concept preg
+    (Concept.make ~params:[ "X" ]
+       ~refines:
+         (List.init mids (fun m -> (Printf.sprintf "Mid_%d" m, [ Ctype.Var "X" ])))
+       "Root"
+       [ Concept.axiom "t" "true" ]);
+  let obs = Propagate.closure preg "Root" [ n "P" ] in
+  let obs_ref = Propagate.closure_reference preg "Root" [ n "P" ] in
+  assert (
+    List.length obs = List.length obs_ref
+    && List.for_all2 Propagate.obligation_equal obs obs_ref);
+  Fmt.pr "propagation fan-out: %d obligations in the closure@."
+    (List.length obs);
+  let t_prop =
+    time_ns "closure (worklist)" (fun () ->
+        Sys.opaque_identity (Propagate.closure preg "Root" [ n "P" ]))
+  in
+  let t_prop_ref =
+    time_ns "closure (quadratic reference)" (fun () ->
+        Sys.opaque_identity (Propagate.closure_reference preg "Root" [ n "P" ]))
+  in
+  (* -------- cold rewrite throughput -------------------------------- *)
+  let open Gp_simplicissimus in
+  let nentries = if quick then 60 else 250 in
+  let nrules = if quick then 50 else 200 in
+  let insts2 = Instances.create () in
+  for i = 0 to nentries - 1 do
+    Instances.add insts2
+      ~ty:(Printf.sprintf "u%d" i)
+      ~op:"+" ~identity:(Expr.VInt 0) ~inverse:"neg" Instances.Abelian_group
+  done;
+  let user_rules =
+    List.init nrules (fun i ->
+        Rules.make ~user_type:"u0"
+          ~user_op:(Printf.sprintf "g%d" i)
+          ~name:(Printf.sprintf "user-g%d" i)
+          ~guard:Instances.Semigroup
+          ~lhs:(Rules.P_exact (Printf.sprintf "g%d" i, [ Rules.P_any "x" ]))
+          ~rhs:(Rules.T_var "x") ())
+  in
+  let rules2 = Rules.builtin @ user_rules in
+  let rec build k =
+    if k = 0 then Expr.Var ("x", "u0")
+    else
+      Expr.Op
+        ( "g" ^ string_of_int (k mod nrules),
+          "u0",
+          [ Expr.Op
+              ( "+",
+                "u0",
+                [ Expr.Op ("+", "u0", [ build (k - 1); Expr.Ident ("u0", "+") ]);
+                  Expr.Op
+                    ( "+",
+                      "u0",
+                      [ Expr.Var ("y", "u0");
+                        Expr.Op ("neg", "u0", [ Expr.Var ("y", "u0") ]) ] )
+                ] ) ] )
+  in
+  let e = build (if quick then 12 else 40) in
+  let r_ix = Engine.rewrite ~rules:rules2 ~insts:insts2 e in
+  let r_ref = Engine.rewrite_reference ~rules:rules2 ~insts:insts2 e in
+  assert (Expr.equal r_ix.Engine.output r_ref.Engine.output);
+  assert (List.length r_ix.Engine.steps = List.length r_ref.Engine.steps);
+  Fmt.pr
+    "cold rewrite: %d rules over %d instance entries, %d-op expression, %d \
+     steps fired@."
+    (List.length rules2) nentries (Expr.op_count e)
+    (List.length r_ix.Engine.steps);
+  let t_rw =
+    time_ns "cold rewrite (indexed)" (fun () ->
+        Sys.opaque_identity (Engine.rewrite ~rules:rules2 ~insts:insts2 e))
+  in
+  let t_rw_ref =
+    time_ns "cold rewrite (linear reference)" (fun () ->
+        Sys.opaque_identity
+          (Engine.rewrite_reference ~rules:rules2 ~insts:insts2 e))
+  in
+  (* -------- table + machine-readable record ------------------------ *)
+  Fmt.pr "@.%-36s %13s %13s %9s@." "hot path" "linear scan" "indexed"
+    "speedup";
+  let row label t_ref t_ix names =
+    Fmt.pr "%-36s %13s %13s %8.1fx@." label (ns_str t_ref) (ns_str t_ix)
+      (t_ref /. t_ix);
+    let ref_name, ix_name, sp_name = names in
+    record ~experiment:"s2" ref_name t_ref;
+    record ~experiment:"s2" ix_name t_ix;
+    record ~experiment:"s2" sp_name (t_ref /. t_ix)
+  in
+  row "registry find_model + refines" t_reg_ref t_reg_ix
+    ("registry_linear_ns", "registry_indexed_ns", "registry_speedup");
+  row
+    (Printf.sprintf "propagation closure (%d obs)" (List.length obs))
+    t_prop_ref t_prop
+    ("closure_reference_ns", "closure_worklist_ns", "closure_speedup");
+  row
+    (Printf.sprintf "cold rewrite (%d rules)" (List.length rules2))
+    t_rw_ref t_rw
+    ("rewrite_reference_ns", "rewrite_indexed_ns", "rewrite_speedup");
+  Fmt.pr
+    "@.(acceptance: cold rewrite >= 3x over the linear-scan reference; the \
+     qcheck@. equivalence suite pins both engines to identical outputs and \
+     step traces)@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("f1", f1_f2); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6);
     ("c1", c1); ("c2", c2); ("c3", c3); ("c5", c5); ("c6", c6); ("c8", c8);
-    ("a1", a1); ("s1", s1) ]
+    ("a1", a1); ("s1", s1); ("s2", s2) ]
 
 let () =
-  let requested =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a -> not (String.length a > 0 && a.[0] = '-'))
+  let rec parse = function
+    | [] -> []
+    | "--quick" :: rest ->
+      quota := 0.1;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | a :: rest when String.length a > 0 && a.[0] = '-' -> parse rest
+    | a :: rest -> a :: parse rest
   in
-  if List.mem "--quick" (Array.to_list Sys.argv) then quota := 0.1;
+  let requested = parse (List.tl (Array.to_list Sys.argv)) in
   let todo =
     if requested = [] then experiments
     else
@@ -759,4 +1029,9 @@ let () =
     Fmt.(list ~sep:sp string)
     (List.map fst todo);
   List.iter (fun (_, f) -> f ()) todo;
-  Fmt.pr "@.%s@.all experiments complete.@." line
+  Fmt.pr "@.%s@.all experiments complete.@." line;
+  match !json_path with
+  | Some path ->
+    write_json path;
+    Fmt.pr "results written to %s@." path
+  | None -> ()

@@ -1,1 +1,1 @@
-lib/concepts/propagate.ml: Concept Ctype Fmt List Printf Registry String
+lib/concepts/propagate.ml: Concept Ctype Fmt Hashtbl List Printf Registry String

@@ -1,1 +1,1 @@
-lib/concepts/registry.ml: Complexity Concept Ctype List String
+lib/concepts/registry.ml: Array Complexity Concept Ctype Hashtbl List Option String

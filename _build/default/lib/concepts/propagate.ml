@@ -29,8 +29,75 @@ let obligation_equal a b =
 
    The core is a pure function of a concept-lookup function, not of a
    mutable registry: the same lookup always yields the same closure, which
-   is what lets gp_service memoise closures by content key alone. *)
+   is what lets gp_service memoise closures by content key alone.
+
+   Implemented as an explicit worklist with a hashed seen-set (the seed's
+   [List.exists obligation_equal] dedup was quadratic in the closure
+   size; see [closure_with_reference] below for that oracle). Children
+   are pushed as a block ahead of the remaining work, so the emission
+   order is exactly the reference's depth-first pre-order. *)
+module Ob_tbl = Hashtbl.Make (struct
+  type t = string * Ctype.t list
+
+  let equal (c1, a1) (c2, a2) =
+    String.equal c1 c2
+    && List.length a1 = List.length a2
+    && List.for_all2 Ctype.equal a1 a2
+
+  (* Ctype equality is structural, so the polymorphic hash agrees *)
+  let hash = Hashtbl.hash
+end)
+
 let closure_with ?(max_depth = 8) ~lookup concept args =
+  let seen = Ob_tbl.create 64 in
+  let acc = ref [] in
+  let rec drain = function
+    | [] -> ()
+    | (depth, concept, args) :: rest ->
+      if depth > max_depth || Ob_tbl.mem seen (concept, args) then drain rest
+      else begin
+        Ob_tbl.add seen (concept, args) ();
+        acc := { ob_concept = concept; ob_args = args } :: !acc;
+        match lookup concept with
+        | None -> drain rest
+        | Some con ->
+          let env = List.combine con.Concept.params args in
+          let refined =
+            List.map
+              (fun (rname, rargs) ->
+                (depth + 1, rname, List.map (Ctype.subst env) rargs))
+              con.Concept.refines
+          in
+          let required =
+            List.concat_map
+              (fun req ->
+                let constraints =
+                  match req with
+                  | Concept.Assoc_type { at_constraints; _ } -> at_constraints
+                  | Concept.Constraint c -> [ c ]
+                  | Concept.Operation _ | Concept.Axiom _
+                  | Concept.Complexity_guarantee _ ->
+                    []
+                in
+                List.filter_map
+                  (function
+                    | Concept.Models (cname, cargs) ->
+                      Some
+                        (depth + 1, cname, List.map (Ctype.subst env) cargs)
+                    | Concept.Same_type _ -> None)
+                  constraints)
+              con.Concept.requirements
+          in
+          drain (refined @ required @ rest)
+      end
+  in
+  drain [ (0, concept, args) ];
+  List.rev !acc
+
+(* The seed implementation, retained verbatim as the oracle the qcheck
+   equivalence suite and the s2 bench compare against: dedup by linear
+   scan of the accumulator, recursive descent. *)
+let closure_with_reference ?(max_depth = 8) ~lookup concept args =
   let acc = ref [] in
   let add ob =
     if not (List.exists (obligation_equal ob) !acc) then (
@@ -74,6 +141,11 @@ let closure_with ?(max_depth = 8) ~lookup concept args =
 
 let closure ?max_depth reg concept args =
   closure_with ?max_depth ~lookup:(Registry.find_concept reg) concept args
+
+let closure_reference ?max_depth reg concept args =
+  closure_with_reference ?max_depth
+    ~lookup:(Registry.find_concept reg)
+    concept args
 
 (* Canonical cache key for a closure query. The registry's generation
    counter stands in for the lookup function: any declaration bumps it, so

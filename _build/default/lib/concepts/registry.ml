@@ -76,16 +76,123 @@ let declare_model ?(doc = "") ?(axioms = []) ?(complexity = []) t concept args
     :: t.models;
   touch t
 
-let find_concept t name = List.assoc_opt name t.concepts
-let find_type t name = List.assoc_opt name t.types
+(* ------------------------------------------------------------------ *)
+(* Generation-keyed indexes                                            *)
+(* ------------------------------------------------------------------ *)
 
-let find_model t concept args =
-  List.find_opt
+(* Hot lookups (find_concept / find_type / find_model / find_ops /
+   refines) go through hashtable indexes instead of scanning the
+   association lists. The record type is exposed transparently in the
+   .mli and callers such as Lang.load_items mutate its fields directly,
+   so the index cannot live inside [t]; it lives in a small side cache
+   keyed by physical identity and is rebuilt lazily whenever the
+   registry's generation counter has moved past the one the index was
+   built at. An evicted slot merely costs one rebuild on next use. *)
+
+(* (name, argument types) keys, compared with Ctype.equal. Ctype
+   equality is structural, so the polymorphic hash is consistent. *)
+module Key2_tbl = Hashtbl.Make (struct
+  type t = string * Ctype.t list
+
+  let equal (c1, a1) (c2, a2) =
+    String.equal c1 c2
+    && List.length a1 = List.length a2
+    && List.for_all2 Ctype.equal a1 a2
+
+  let hash = Hashtbl.hash
+end)
+
+type index = {
+  ix_generation : int;
+  ix_concepts : (string, Concept.t) Hashtbl.t;
+  ix_types : (string, type_desc) Hashtbl.t;
+  ix_ops : Concept.signature list Key2_tbl.t;
+      (* (name, params) -> matching ops, most recent first *)
+  ix_models : model Key2_tbl.t; (* (concept, args) -> most recent model *)
+  ix_reachable : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+      (* transitive-refinement closure: names reachable via >= 1 edge *)
+}
+
+let build_index t =
+  let ix_concepts = Hashtbl.create 64 in
+  (* the assoc lists are most-recent-first; first occurrence wins *)
+  List.iter
+    (fun (name, c) ->
+      if not (Hashtbl.mem ix_concepts name) then Hashtbl.add ix_concepts name c)
+    t.concepts;
+  let ix_types = Hashtbl.create 64 in
+  List.iter
+    (fun (name, td) ->
+      if not (Hashtbl.mem ix_types name) then Hashtbl.add ix_types name td)
+    t.types;
+  let ix_ops = Key2_tbl.create 64 in
+  (* iterate oldest-first and prepend, so buckets end most-recent-first
+     like the list scan they replace *)
+  List.iter
+    (fun (s : Concept.signature) ->
+      let key = (s.Concept.op_name, s.Concept.op_params) in
+      let prev = Option.value ~default:[] (Key2_tbl.find_opt ix_ops key) in
+      Key2_tbl.replace ix_ops key (s :: prev))
+    (List.rev t.ops);
+  let ix_models = Key2_tbl.create 64 in
+  List.iter
     (fun m ->
-      String.equal m.mo_concept concept
-      && List.length m.mo_args = List.length args
-      && List.for_all2 Ctype.equal m.mo_args args)
-    t.models
+      let key = (m.mo_concept, m.mo_args) in
+      if not (Key2_tbl.mem ix_models key) then Key2_tbl.add ix_models key m)
+    t.models;
+  let ix_reachable = Hashtbl.create 64 in
+  let adj = Hashtbl.create 64 in
+  List.iter (fun (x, y) -> Hashtbl.add adj x y) t.refinement_edges;
+  List.iter
+    (fun (x, _) ->
+      if not (Hashtbl.mem ix_reachable x) then begin
+        let seen = Hashtbl.create 16 in
+        let rec dfs c =
+          List.iter
+            (fun y ->
+              if not (Hashtbl.mem seen y) then begin
+                Hashtbl.add seen y ();
+                dfs y
+              end)
+            (Hashtbl.find_all adj c)
+        in
+        dfs x;
+        Hashtbl.add ix_reachable x seen
+      end)
+    t.refinement_edges;
+  { ix_generation = t.generation; ix_concepts; ix_types; ix_ops; ix_models;
+    ix_reachable }
+
+let index_cache : (t * index) option array = Array.make 8 None
+let index_clock = ref 0
+
+let index_of t =
+  let slots = Array.length index_cache in
+  let rec scan i =
+    if i = slots then None
+    else
+      match index_cache.(i) with
+      | Some (r, _) when r == t -> Some i
+      | Some _ | None -> scan (i + 1)
+  in
+  match scan 0 with
+  | Some i -> (
+    match index_cache.(i) with
+    | Some (_, ix) when ix.ix_generation = t.generation -> ix
+    | Some _ | None ->
+      let ix = build_index t in
+      index_cache.(i) <- Some (t, ix);
+      ix)
+  | None ->
+    let ix = build_index t in
+    let slot = !index_clock mod slots in
+    index_clock := !index_clock + 1;
+    index_cache.(slot) <- Some (t, ix);
+    ix
+
+let find_concept t name = Hashtbl.find_opt (index_of t).ix_concepts name
+let find_type t name = Hashtbl.find_opt (index_of t).ix_types name
+let find_model t concept args = Key2_tbl.find_opt (index_of t).ix_models (concept, args)
 
 let concepts t = List.map snd t.concepts
 let models t = t.models
@@ -120,36 +227,20 @@ let rec resolve t ty =
    "id" of every monoid carrier), so callers needing the return type filter
    over all matches. *)
 let find_ops t name params =
-  List.filter
-    (fun (s : Concept.signature) ->
-      String.equal s.Concept.op_name name
-      && List.length s.Concept.op_params = List.length params
-      && List.for_all2 Ctype.equal s.Concept.op_params params)
-    t.ops
+  Option.value ~default:[]
+    (Key2_tbl.find_opt (index_of t).ix_ops (name, params))
 
 let find_op t name params =
   match find_ops t name params with [] -> None | s :: _ -> Some s
 
 (* Transitive refinement: does concept [a] (directly or indirectly) refine
-   concept [b]? Reflexive. *)
+   concept [b]? Reflexive. Answered from the precomputed closure. *)
 let refines t a b =
-  if String.equal a b then true
-  else
-    let rec go visited frontier =
-      match frontier with
-      | [] -> false
-      | c :: rest ->
-        if List.mem c visited then go visited rest
-        else if String.equal c b then true
-        else
-          let nexts =
-            List.filter_map
-              (fun (x, y) -> if String.equal x c then Some y else None)
-              t.refinement_edges
-          in
-          go (c :: visited) (nexts @ rest)
-    in
-    go [] [ a ]
+  String.equal a b
+  ||
+  match Hashtbl.find_opt (index_of t).ix_reachable a with
+  | None -> false
+  | Some reachable -> Hashtbl.mem reachable b
 
 (* Refinement depth of a concept: length of the longest refinement chain
    below it. Used for most-refined-wins overload resolution. *)

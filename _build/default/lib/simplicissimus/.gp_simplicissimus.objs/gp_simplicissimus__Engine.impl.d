@@ -1,1 +1,1 @@
-lib/simplicissimus/engine.ml: Expr Fmt Instances List Rules String
+lib/simplicissimus/engine.ml: Expr Fmt Hashtbl Instances Int List Option Rules String

@@ -1,1 +1,1 @@
-lib/simplicissimus/instances.ml: Expr Gp_algebra Gp_athena List Printf String
+lib/simplicissimus/instances.ml: Expr Gp_algebra Gp_athena Hashtbl List Option Printf String

@@ -27,8 +27,190 @@ type result = {
 
 (* Candidate carriers for matching a rule at [node]: the node's own
    (type, op), plus any carrier whose *inverse* op is the node's op (so a
-   root pattern like inv(inv x) finds its owning carrier). *)
+   root pattern like inv(inv x) finds its owning carrier). Both come
+   from instance-table indexes — no entry-list scan per node. *)
 let carriers insts (node : Expr.t) =
+  match node with
+  | Expr.Op (o, t, _) -> (t, o) :: Instances.inverse_carriers insts ~ty:t ~op:o
+  | Expr.Var _ | Expr.Lit _ | Expr.Ident _ -> []
+
+(* Try to apply one rule at [node] for carrier (ty, op); the concept guard
+   is checked first (user rules are guarded by their library type
+   instead). [guard_memo] caches the instance-table part of the guard —
+   keyed (ty, op, required level, ring?) — across one whole rewrite, so
+   repeated guard checks on the same carrier cost one hash probe. *)
+let try_rule insts ~only_certified ~guard_memo (r : Rules.t) ~ty ~op node =
+  let guard_ok =
+    match r.Rules.user_type with
+    | Some ut ->
+      (* library-specific rule: fires on its own type/op only *)
+      String.equal ut ty
+      && (match r.Rules.user_op with
+         | Some uo -> String.equal uo op
+         | None -> true)
+    | None ->
+      let key =
+        (ty, op, Instances.level_rank r.Rules.guard, r.Rules.requires_ring)
+      in
+      let instance_ok =
+        match Hashtbl.find_opt guard_memo key with
+        | Some b -> b
+        | None ->
+          let b =
+            Instances.models insts ~ty ~op ~required:r.Rules.guard
+            && ((not r.Rules.requires_ring)
+               || Instances.ring_for insts ~ty ~op <> None)
+          in
+          Hashtbl.add guard_memo key b;
+          b
+      in
+      instance_ok && ((not only_certified) || !(r.Rules.certified))
+  in
+  if not guard_ok then None
+  else
+    match Rules.match_pattern insts ~ty ~op r.Rules.lhs node with
+    | Some bindings ->
+      Some (Rules.instantiate insts ~ty ~op bindings r.Rules.rhs)
+    | None -> None
+
+let max_steps = 10_000
+
+exception
+  Did_not_terminate of {
+    dnt_input : Expr.t;
+    dnt_partial : Expr.t;
+    dnt_steps : step list;
+  }
+
+(* The per-rewrite rule index: rules bucketed by what their LHS root can
+   match (Rules.head), each paired with its position in the caller's
+   list so the pruned iteration preserves the original rule order — and
+   with it which rule a trace records when several could fire. *)
+type rule_index = {
+  rx_exact : (string, (int * Rules.t) list) Hashtbl.t;
+      (* fixed-symbol rules, by symbol *)
+  rx_rest : (int * Rules.t) list;
+      (* carrier-op, carrier-inverse and wildcard rules *)
+  rx_cands : (string, (int * Rules.t) list) Hashtbl.t;
+      (* memo: node root symbol -> merged candidate list *)
+}
+
+let index_rules rules =
+  let rx_exact = Hashtbl.create 16 in
+  let rest = ref [] in
+  List.iteri
+    (fun i r ->
+      match Rules.head r with
+      | Rules.Head_exact o ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt rx_exact o) in
+        Hashtbl.replace rx_exact o (prev @ [ (i, r) ])
+      | Rules.Head_carrier_op | Rules.Head_carrier_inverse | Rules.Head_any ->
+        rest := (i, r) :: !rest)
+    rules;
+  { rx_exact; rx_rest = List.rev !rest; rx_cands = Hashtbl.create 16 }
+
+(* Rules that can possibly match a node whose root symbol is [o], in
+   original list order: the fixed-symbol bucket for [o] merged with
+   everything symbol-free. *)
+let candidates rx o =
+  match Hashtbl.find_opt rx.rx_cands o with
+  | Some l -> l
+  | None ->
+    let exact = Option.value ~default:[] (Hashtbl.find_opt rx.rx_exact o) in
+    let merged =
+      List.merge (fun (i, _) (j, _) -> Int.compare i j) exact rx.rx_rest
+    in
+    Hashtbl.replace rx.rx_cands o merged;
+    merged
+
+let rewrite ?(only_certified = false) ~rules ~insts expr =
+  let steps = ref [] in
+  let budget = ref max_steps in
+  let exhausted = ref false in
+  let rx = index_rules rules in
+  let guard_memo = Hashtbl.create 64 in
+  (* apply rules at the root of [node] until none fires *)
+  let rec at_root node =
+    match node with
+    | Expr.Var _ | Expr.Lit _ | Expr.Ident _ -> node
+    | Expr.Op _ when !exhausted -> node
+    | Expr.Op (o, _, _) -> (
+      let cs = carriers insts node in
+      let fired =
+        List.find_map
+          (fun (_, r) ->
+            let cs =
+              match Rules.head r with
+              | Rules.Head_carrier_op ->
+                (* a P_op root only matches when the carrier op IS the
+                   node symbol — i.e. the own-carrier at the list head *)
+                (match cs with own :: _ -> [ own ] | [] -> [])
+              | Rules.Head_exact _ | Rules.Head_carrier_inverse
+              | Rules.Head_any ->
+                cs
+            in
+            List.find_map
+              (fun (ty, op) ->
+                match
+                  try_rule insts ~only_certified ~guard_memo r ~ty ~op node
+                with
+                | Some after ->
+                  Some
+                    {
+                      st_rule = r.Rules.rule_name;
+                      st_carrier = (ty, op);
+                      st_before = node;
+                      st_after = after;
+                    }
+                | None -> None)
+              cs)
+          (candidates rx o)
+      in
+      match fired with
+      | Some step ->
+        decr budget;
+        if !budget <= 0 then begin
+          (* budget exhausted: drop the offending step (as the seed
+             did), stop firing rules, and let [normalize] finish
+             rebuilding so the exception can carry the partially
+             normalized term and every step taken so far *)
+          exhausted := true;
+          node
+        end
+        else begin
+          steps := step :: !steps;
+          (* the replacement may expose new redexes below the root *)
+          normalize step.st_after
+        end
+      | None -> node)
+  and normalize node =
+    match node with
+    | Expr.Var _ | Expr.Lit _ | Expr.Ident _ -> at_root node
+    | Expr.Op (o, t, args) -> at_root (Expr.Op (o, t, List.map normalize args))
+  in
+  let output = normalize expr in
+  if !exhausted then
+    raise
+      (Did_not_terminate
+         { dnt_input = expr; dnt_partial = output; dnt_steps = List.rev !steps });
+  {
+    input = expr;
+    output;
+    steps = List.rev !steps;
+    ops_before = Expr.op_count expr;
+    ops_after = Expr.op_count output;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The seed linear-scan engine, retained as the equivalence oracle      *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything below reproduces the pre-index engine: candidate carriers
+   by scanning the whole entry list at every node, every rule tried at
+   every node, no guard memo. The qcheck equivalence suite checks
+   [rewrite] against it on random worlds; bench s2 times both. *)
+
+let carriers_reference insts (node : Expr.t) =
   match node with
   | Expr.Op (o, t, _) ->
     let own = [ (t, o) ] in
@@ -45,14 +227,10 @@ let carriers insts (node : Expr.t) =
     own @ via_inverse
   | Expr.Var _ | Expr.Lit _ | Expr.Ident _ -> []
 
-(* Try to apply one rule at [node] for carrier (ty, op); the concept guard
-   is checked first (user rules are guarded by their library type
-   instead). *)
-let try_rule insts ~only_certified (r : Rules.t) ~ty ~op node =
+let try_rule_reference insts ~only_certified (r : Rules.t) ~ty ~op node =
   let guard_ok =
     match r.Rules.user_type with
     | Some ut ->
-      (* library-specific rule: fires on its own type/op only *)
       String.equal ut ty
       && (match r.Rules.user_op with
          | Some uo -> String.equal uo op
@@ -70,50 +248,53 @@ let try_rule insts ~only_certified (r : Rules.t) ~ty ~op node =
       Some (Rules.instantiate insts ~ty ~op bindings r.Rules.rhs)
     | None -> None
 
-let max_steps = 10_000
-
-exception Did_not_terminate of Expr.t
-
-let rewrite ?(only_certified = false) ~rules ~insts expr =
+let rewrite_reference ?(only_certified = false) ~rules ~insts expr =
   let steps = ref [] in
   let budget = ref max_steps in
-  let spend () =
-    decr budget;
-    if !budget <= 0 then raise (Did_not_terminate expr)
-  in
-  (* apply rules at the root of [node] until none fires *)
+  let exhausted = ref false in
   let rec at_root node =
-    let fired =
-      List.find_map
-        (fun r ->
-          List.find_map
-            (fun (ty, op) ->
-              match try_rule insts ~only_certified r ~ty ~op node with
-              | Some after ->
-                Some
-                  {
-                    st_rule = r.Rules.rule_name;
-                    st_carrier = (ty, op);
-                    st_before = node;
-                    st_after = after;
-                  }
-              | None -> None)
-            (carriers insts node))
-        rules
-    in
-    match fired with
-    | Some step ->
-      spend ();
-      steps := step :: !steps;
-      (* the replacement may expose new redexes below the root *)
-      normalize step.st_after
-    | None -> node
+    if !exhausted then node
+    else
+      let fired =
+        List.find_map
+          (fun r ->
+            List.find_map
+              (fun (ty, op) ->
+                match try_rule_reference insts ~only_certified r ~ty ~op node with
+                | Some after ->
+                  Some
+                    {
+                      st_rule = r.Rules.rule_name;
+                      st_carrier = (ty, op);
+                      st_before = node;
+                      st_after = after;
+                    }
+                | None -> None)
+              (carriers_reference insts node))
+          rules
+      in
+      match fired with
+      | Some step ->
+        decr budget;
+        if !budget <= 0 then begin
+          exhausted := true;
+          node
+        end
+        else begin
+          steps := step :: !steps;
+          normalize step.st_after
+        end
+      | None -> node
   and normalize node =
     match node with
     | Expr.Var _ | Expr.Lit _ | Expr.Ident _ -> at_root node
     | Expr.Op (o, t, args) -> at_root (Expr.Op (o, t, List.map normalize args))
   in
   let output = normalize expr in
+  if !exhausted then
+    raise
+      (Did_not_terminate
+         { dnt_input = expr; dnt_partial = output; dnt_steps = List.rev !steps });
   {
     input = expr;
     output;

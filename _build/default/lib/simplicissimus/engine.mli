@@ -26,9 +26,20 @@ val carriers : Instances.t -> Expr.t -> (string * string) list
     whose inverse operation is the node's op (so inv(inv x) finds its
     owner). *)
 
-exception Did_not_terminate of Expr.t
+exception
+  Did_not_terminate of {
+    dnt_input : Expr.t;  (** the expression rewriting started from *)
+    dnt_partial : Expr.t;
+        (** the partially-normalised term at the moment the budget ran
+            out — rule firing stops but reconstruction completes, so
+            this is a well-formed expression *)
+    dnt_steps : step list;
+        (** every step taken before exhaustion, in order (the step that
+            tripped the budget is not included) *)
+  }
 (** Raised if rewriting exceeds the internal step budget (a cyclic user
-    rule set). *)
+    rule set). The payload reports how far rewriting got, so a caller
+    can diagnose the looping rule from the step trace. *)
 
 val rewrite :
   ?only_certified:bool ->
@@ -38,7 +49,25 @@ val rewrite :
   result
 (** Normalise to a fixpoint. With [only_certified], concept rules whose
     backing theorem has not been proof-checked are skipped (user rules
-    are library facts and exempt). *)
+    are library facts and exempt).
+
+    Internally the rule list is indexed by what each rule's LHS root can
+    match ({!Rules.head}), so a node only ever tries rules that could
+    possibly fire at it; guard checks are memoised per (carrier, level)
+    across the whole call. Firing order is identical to
+    {!rewrite_reference}. *)
+
+val rewrite_reference :
+  ?only_certified:bool ->
+  rules:Rules.t list ->
+  insts:Instances.t ->
+  Expr.t ->
+  result
+(** The seed linear-scan engine, retained as an equivalence oracle: every
+    rule tried at every node, candidate carriers recomputed by scanning
+    the whole entry list per rule, no guard memo. Semantically identical
+    to {!rewrite} (the qcheck suite checks this on random worlds); bench
+    s2 measures the gap. *)
 
 val pp_step : Format.formatter -> step -> unit
 val pp_result : Format.formatter -> result -> unit

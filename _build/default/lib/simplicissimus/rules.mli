@@ -50,6 +50,18 @@ val make :
   unit ->
   t
 
+(** What the root of a rule's LHS can match — the engine's dispatch key:
+    rules whose head cannot produce the node's root symbol are never
+    tried. *)
+type head =
+  | Head_exact of string  (** root must be this fixed op symbol *)
+  | Head_carrier_op  (** root must be the carrier's own op ([P_op]) *)
+  | Head_carrier_inverse
+      (** root must be a carrier's inverse op ([P_inverse]) *)
+  | Head_any  (** variable-headed pattern: no symbol constraint *)
+
+val head : t -> head
+
 val match_pattern :
   Instances.t ->
   ty:string ->

@@ -1,1 +1,1 @@
-test/test_simplicissimus.ml: Alcotest Certify Engine Eval Expr Gp_algebra Gp_athena Gp_simplicissimus Instances List QCheck QCheck_alcotest Rules Sparser
+test/test_simplicissimus.ml: Alcotest Certify Engine Eval Expr Gp_algebra Gp_athena Gp_simplicissimus Instances List QCheck QCheck_alcotest Rules Sparser String

@@ -316,6 +316,217 @@ let test_propagation_exponential_tower () =
   Alcotest.(check bool) "more than one obligation" true (List.length obs > depth)
 
 (* ------------------------------------------------------------------ *)
+(* Indexed registry lookups == linear-scan reference (property)        *)
+(* ------------------------------------------------------------------ *)
+
+(* The registry now answers find_concept / find_type / find_model /
+   find_ops / refines from generation-keyed hashtable indexes. These
+   properties pit every lookup against a scan of the registry's exposed
+   association lists (the seed implementation), on random worlds, before
+   and after interleaved mutations — including a Lang.load_items-style
+   direct field write — so a stale index can never go unnoticed. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let nconcepts = 8
+let ntypes = 5
+let cname i = Printf.sprintf "C%d" i
+let tyname i = Printf.sprintf "ty%d" i
+
+let find_concept_ref (reg : Registry.t) name =
+  List.assoc_opt name reg.Registry.concepts
+
+let find_type_ref (reg : Registry.t) name =
+  List.assoc_opt name reg.Registry.types
+
+let ctype_args_equal a1 a2 =
+  List.length a1 = List.length a2 && List.for_all2 Ctype.equal a1 a2
+
+let find_model_ref (reg : Registry.t) concept args =
+  List.find_opt
+    (fun m ->
+      String.equal m.Registry.mo_concept concept
+      && ctype_args_equal m.Registry.mo_args args)
+    reg.Registry.models
+
+let find_ops_ref (reg : Registry.t) name params =
+  List.filter
+    (fun (s : Concept.signature) ->
+      String.equal s.Concept.op_name name
+      && ctype_args_equal s.Concept.op_params params)
+    reg.Registry.ops
+
+let refines_ref (reg : Registry.t) a b =
+  let rec go visited c =
+    if String.equal c b then true
+    else if List.mem c visited then false
+    else
+      List.exists
+        (fun (x, y) -> String.equal x c && go (c :: visited) y)
+        reg.Registry.refinement_edges
+  in
+  go [] a
+
+type world_decl = {
+  w_edges : (int * int) list; (* concept i refines concept j, j < i *)
+  w_reqs : (int * int) list; (* concept i requires Models C_j, j < i *)
+  w_ops : (string * int list * int) list;
+  w_models : (int * int) list; (* (concept index, argument type index) *)
+}
+
+let world_arb =
+  let open QCheck.Gen in
+  let edge =
+    int_range 1 (nconcepts - 1) >>= fun i ->
+    int_range 0 (i - 1) >>= fun j -> return (i, j)
+  in
+  let op =
+    oneofl [ "f"; "g"; "h" ] >>= fun name ->
+    list_size (int_range 0 2) (int_range 0 (ntypes - 1)) >>= fun ps ->
+    int_range 0 (ntypes - 1) >>= fun ret -> return (name, ps, ret)
+  in
+  let model =
+    int_range 0 (nconcepts - 1) >>= fun c ->
+    int_range 0 (ntypes - 1) >>= fun a -> return (c, a)
+  in
+  QCheck.make
+    ( list_size (int_range 0 10) edge >>= fun w_edges ->
+      list_size (int_range 0 6) edge >>= fun w_reqs ->
+      list_size (int_range 0 12) op >>= fun w_ops ->
+      list_size (int_range 0 10) model >>= fun w_models ->
+      return { w_edges; w_reqs; w_ops; w_models } )
+
+let build_registry w =
+  let reg = Registry.create () in
+  for i = 0 to ntypes - 1 do
+    Registry.declare_type reg (tyname i)
+  done;
+  for i = 0 to nconcepts - 1 do
+    let refines =
+      List.filter_map
+        (fun (x, j) ->
+          if x = i then Some (cname j, [ Ctype.Var "T" ]) else None)
+        w.w_edges
+    in
+    let reqs =
+      List.filter_map
+        (fun (x, j) ->
+          if x = i then
+            Some
+              (Concept.Constraint (Concept.Models (cname j, [ Ctype.Var "T" ])))
+          else None)
+        w.w_reqs
+    in
+    Registry.declare_concept reg
+      (Concept.make ~params:[ "T" ] ~refines (cname i)
+         (Concept.axiom "t" "true" :: reqs))
+  done;
+  List.iter
+    (fun (name, ps, ret) ->
+      Registry.declare_op reg name
+        (List.map (fun p -> n (tyname p)) ps)
+        (n (tyname ret)))
+    w.w_ops;
+  List.iter
+    (fun (c, a) -> Registry.declare_model reg (cname c) [ n (tyname a) ])
+    w.w_models;
+  reg
+
+(* Apply a second declaration batch to an existing registry: more ops and
+   models, a fresh concept, and a Lang.load_items-style direct mutation
+   of the [types] field followed by [touch]. *)
+let mutate_registry reg w =
+  List.iter
+    (fun (name, ps, ret) ->
+      Registry.declare_op reg name
+        (List.map (fun p -> n (tyname p)) ps)
+        (n (tyname ret)))
+    w.w_ops;
+  List.iter
+    (fun (c, a) -> Registry.declare_model reg (cname c) [ n (tyname a) ])
+    w.w_models;
+  (match w.w_edges with
+  | (_, j) :: _ ->
+    Registry.declare_concept reg
+      (Concept.make ~params:[ "T" ]
+         ~refines:[ (cname j, [ Ctype.Var "T" ]) ]
+         "Extra"
+         [ Concept.axiom "t" "true" ])
+  | [] -> ());
+  reg.Registry.types <-
+    ( tyname 0,
+      { Registry.td_name = tyname 0; td_assoc = [ ("elem", n (tyname 1)) ];
+        td_doc = "shadow" } )
+    :: reg.Registry.types;
+  Registry.touch reg
+
+let registry_lookups_agree w reg =
+  let ok = ref true in
+  let check b = ok := !ok && b in
+  for i = 0 to nconcepts - 1 do
+    check
+      (Registry.find_concept reg (cname i) = find_concept_ref reg (cname i));
+    for j = 0 to nconcepts - 1 do
+      check
+        (Registry.refines reg (cname i) (cname j)
+        = refines_ref reg (cname i) (cname j))
+    done;
+    for a = 0 to ntypes - 1 do
+      check
+        (Registry.find_model reg (cname i) [ n (tyname a) ]
+        = find_model_ref reg (cname i) [ n (tyname a) ])
+    done
+  done;
+  for t = 0 to ntypes - 1 do
+    check (Registry.find_type reg (tyname t) = find_type_ref reg (tyname t))
+  done;
+  List.iter
+    (fun (name, ps, _) ->
+      let params = List.map (fun p -> n (tyname p)) ps in
+      check (Registry.find_ops reg name params = find_ops_ref reg name params))
+    w.w_ops;
+  check (Registry.find_concept reg "nope" = None);
+  check (Registry.find_type reg "nope" = None);
+  check (Registry.find_ops reg "zz" [] = []);
+  check (Registry.refines reg "nope" (cname 0) = refines_ref reg "nope" (cname 0));
+  !ok
+
+let closures_agree reg =
+  let idxs = List.init nconcepts (fun i -> i) in
+  List.for_all
+    (fun i ->
+      Propagate.closure reg (cname i) [ n (tyname 0) ]
+      = Propagate.closure_reference reg (cname i) [ n (tyname 0) ])
+    idxs
+
+let registry_equiv_prop =
+  qtest
+    (QCheck.Test.make
+       ~name:"indexed registry lookups == list scans (random worlds)"
+       ~count:200
+       (QCheck.pair world_arb world_arb)
+       (fun (w1, w2) ->
+         let reg = build_registry w1 in
+         registry_lookups_agree w1 reg
+         && begin
+              mutate_registry reg w2;
+              registry_lookups_agree w2 reg
+            end))
+
+let closure_equiv_prop =
+  qtest
+    (QCheck.Test.make
+       ~name:"hashed worklist closure == quadratic reference" ~count:200
+       (QCheck.pair world_arb world_arb)
+       (fun (w1, w2) ->
+         let reg = build_registry w1 in
+         closures_agree reg
+         && begin
+              mutate_registry reg w2;
+              closures_agree reg
+            end))
+
+(* ------------------------------------------------------------------ *)
 (* Archetypes                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -566,6 +777,7 @@ let () =
           Alcotest.test_case "tower" `Quick
             test_propagation_exponential_tower;
         ] );
+      ("registry index", [ registry_equiv_prop; closure_equiv_prop ]);
       ( "archetype",
         [
           Alcotest.test_case "models own concept" `Quick

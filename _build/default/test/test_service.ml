@@ -549,6 +549,52 @@ let test_request_key_tracks_generation () =
   Alcotest.(check bool) "any mutation changes the key" true
     (k1 <> Propagate.request_key reg "Container" args)
 
+(* A served closure must track registry mutations: the generation-keyed
+   request key prevents the LRU from ever serving an answer computed
+   against the old world — which matters doubly now that the registry's
+   own lookups go through generation-keyed indexes. *)
+let test_closure_tracks_registry_mutation () =
+  let open Gp_concepts in
+  let server = mkserver () in
+  let closure_req name =
+    Request.Closure { concept = name; types = [ "int" ] }
+  in
+  check_code "unknown before declaration" Request.Unknown_name
+    (Server.handle server (closure_req "FreshConcept"));
+  let reg = Server.registry server in
+  Registry.declare_concept reg
+    (Concept.make ~params:[ "T" ] "FreshConcept" [ Concept.axiom "t" "true" ]);
+  (match
+     (Server.handle server (closure_req "FreshConcept")).Request.rsp_result
+   with
+  | Ok (Request.Closed { size; _ }) ->
+    Alcotest.(check int) "closure of a leaf concept" 1 size
+  | _ -> Alcotest.fail "closure after declaration should succeed");
+  Registry.declare_concept reg
+    (Concept.make ~params:[ "T" ]
+       ~refines:[ ("FreshConcept", [ Ctype.Var "T" ]) ]
+       "FresherConcept"
+       [ Concept.axiom "t" "true" ]);
+  (match
+     (Server.handle server (closure_req "FresherConcept")).Request.rsp_result
+   with
+  | Ok (Request.Closed { size; _ }) ->
+    Alcotest.(check int) "refining closure sees the refined" 2 size
+  | _ -> Alcotest.fail "closure of the refining concept should succeed");
+  let replay = Server.handle server (closure_req "FresherConcept") in
+  Alcotest.(check bool) "replay is served from cache" true
+    replay.Request.rsp_cached;
+  (* any further declaration bumps the generation: the same request must
+     recompute against the current world, not replay the cached answer *)
+  Registry.declare_type reg "fresh_probe";
+  let after = Server.handle server (closure_req "FresherConcept") in
+  Alcotest.(check bool) "mutation invalidates the cached closure" false
+    after.Request.rsp_cached;
+  (match after.Request.rsp_result with
+  | Ok (Request.Closed { size; _ }) ->
+    Alcotest.(check int) "recomputed answer is correct" 2 size
+  | _ -> Alcotest.fail "recomputed closure should succeed")
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -598,4 +644,6 @@ let () =
           Alcotest.test_case "registry generation" `Quick
             test_registry_generation;
           Alcotest.test_case "request_key tracks generation" `Quick
-            test_request_key_tracks_generation ] ) ]
+            test_request_key_tracks_generation;
+          Alcotest.test_case "served closure tracks mutations" `Quick
+            test_closure_tracks_registry_mutation ] ) ]

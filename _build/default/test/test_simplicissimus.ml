@@ -351,6 +351,247 @@ let rat_semantics_prop =
          in
          Expr.value_equal (Eval.eval ~env e) (Eval.eval ~env (rw e))))
 
+(* ------------------------------------------------------------------ *)
+(* Budget exhaustion: payload of Did_not_terminate                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately looping user rule: f(x, y) -> f(y, x) swaps forever.
+   The engine must stop at its step budget and report how far it got. *)
+let test_budget_exhaustion () =
+  let swap =
+    Rules.make ~user_type:"int" ~user_op:"f" ~name:"swap-forever"
+      ~guard:Instances.Semigroup
+      ~lhs:(Rules.P_exact ("f", [ Rules.P_any "x"; Rules.P_any "y" ]))
+      ~rhs:(Rules.T_exact ("f", [ Rules.T_var "y"; Rules.T_var "x" ]))
+      ()
+  in
+  let e = Expr.Op ("f", "int", [ Expr.ivar "a"; Expr.ivar "b" ]) in
+  let run engine =
+    match engine ~rules:(rules @ [ swap ]) ~insts e with
+    | (_ : Engine.result) -> Alcotest.fail "looping rule terminated"
+    | exception Engine.Did_not_terminate { dnt_input; dnt_partial; dnt_steps }
+      ->
+      (dnt_input, dnt_partial, dnt_steps)
+  in
+  let input, partial, steps =
+    run (fun ~rules ~insts e -> Engine.rewrite ~rules ~insts e)
+  in
+  Alcotest.(check bool) "input preserved" true (Expr.equal input e);
+  Alcotest.(check int) "steps accumulated up to the budget" 9_999
+    (List.length steps);
+  (* every recorded step is the swap rule on the int carrier *)
+  List.iter
+    (fun (s : Engine.step) ->
+      Alcotest.(check string) "rule name" "swap-forever" s.Engine.st_rule)
+    steps;
+  (* the partial term is well-formed: still an f-node over {a, b} *)
+  (match partial with
+  | Expr.Op ("f", "int", [ x; y ]) ->
+    Alcotest.(check bool) "args are a permutation of {a, b}" true
+      ((Expr.equal x (Expr.ivar "a") && Expr.equal y (Expr.ivar "b"))
+      || (Expr.equal x (Expr.ivar "b") && Expr.equal y (Expr.ivar "a")))
+  | other ->
+    Alcotest.failf "unexpected partial term %s" (Expr.to_string other));
+  (* the reference engine exhausts identically *)
+  let _, ref_partial, ref_steps =
+    run (fun ~rules ~insts e -> Engine.rewrite_reference ~rules ~insts e)
+  in
+  Alcotest.(check int) "reference steps" (List.length steps)
+    (List.length ref_steps);
+  Alcotest.(check bool) "reference partial" true
+    (Expr.equal partial ref_partial)
+
+(* ------------------------------------------------------------------ *)
+(* Instance-table index invariants                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_entries_memoised () =
+  let t = Instances.create () in
+  Instances.add t ~ty:"a" ~op:"+" Instances.Monoid;
+  Instances.add t ~ty:"b" ~op:"*" Instances.Monoid;
+  let l1 = Instances.entries t in
+  Alcotest.(check bool) "same list between mutations (physical)" true
+    (Instances.entries t == l1);
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b" ]
+    (List.map (fun e -> e.Instances.e_type) l1);
+  Instances.add t ~ty:"c" ~op:"." Instances.Semigroup;
+  let l2 = Instances.entries t in
+  Alcotest.(check bool) "mutation invalidates the memo" true (not (l1 == l2));
+  Alcotest.(check (list string)) "order after mutation" [ "a"; "b"; "c" ]
+    (List.map (fun e -> e.Instances.e_type) l2)
+
+(* ------------------------------------------------------------------ *)
+(* Indexed engine == linear-scan reference (property)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Random instance worlds over a small pool of types/ops, with random
+   levels, identities and inverse ops; random expressions over the same
+   symbols.  The indexed engine must agree with the retained seed
+   implementation step-for-step — including after interleaved table
+   mutations (stale-index detection). *)
+
+let world_gen =
+  let open QCheck.Gen in
+  let tys = [ "int"; "float"; "t0"; "t1"; "t2" ] in
+  let ops = [ "+"; "*"; "op0"; "op1"; "op2" ] in
+  let invs = [ "neg"; "inv"; "iop0" ] in
+  let level =
+    oneofl
+      [ Instances.Semigroup; Instances.Monoid; Instances.Group;
+        Instances.Abelian_group ]
+  in
+  let decl =
+    oneofl tys >>= fun ty ->
+    oneofl ops >>= fun op ->
+    level >>= fun lv ->
+    oneofl [ None; Some (Expr.VInt 0); Some (Expr.VInt 1) ]
+    >>= fun identity ->
+    (match lv with
+    | Instances.Group | Instances.Abelian_group ->
+      map (fun i -> Some i) (oneofl invs)
+    | Instances.Semigroup | Instances.Monoid ->
+      oneofl [ None; Some "neg" ])
+    >>= fun inverse -> return (ty, op, lv, identity, inverse)
+  in
+  pair (list_size (int_range 1 12) decl) (list_size (int_range 0 4) decl)
+
+let world_expr_gen =
+  let open QCheck.Gen in
+  let tys = [ "int"; "float"; "t0"; "t1"; "t2" ] in
+  let ops = [ "+"; "*"; "op0"; "op1"; "op2" ] in
+  let invs = [ "neg"; "inv"; "iop0" ] in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then
+            oneof
+              [
+                map Expr.int (int_range (-3) 3);
+                oneofl [ Expr.ivar "x"; Expr.ivar "y" ];
+                map2
+                  (fun t o -> Expr.Ident (t, o))
+                  (oneofl tys) (oneofl ops);
+              ]
+          else
+            oneof
+              [
+                (oneofl ops >>= fun o ->
+                 oneofl tys >>= fun t ->
+                 map2
+                   (fun a b -> Expr.Op (o, t, [ a; b ]))
+                   (self (n / 2)) (self (n / 2)));
+                (oneofl invs >>= fun o ->
+                 oneofl tys >>= fun t ->
+                 map (fun a -> Expr.Op (o, t, [ a ])) (self (n - 1)));
+              ])
+        (min n 16))
+
+let build_world (decls, _) =
+  let t = Instances.create () in
+  List.iter
+    (fun (ty, op, lv, identity, inverse) ->
+      Instances.add t ?identity ?inverse ~ty ~op lv)
+    decls;
+  t
+
+let apply_second_batch t (_, extra) =
+  List.iter
+    (fun (ty, op, lv, identity, inverse) ->
+      Instances.add t ?identity ?inverse ~ty ~op lv)
+    extra
+
+let step_equal (a : Engine.step) (b : Engine.step) =
+  String.equal a.Engine.st_rule b.Engine.st_rule
+  && a.Engine.st_carrier = b.Engine.st_carrier
+  && Expr.equal a.Engine.st_before b.Engine.st_before
+  && Expr.equal a.Engine.st_after b.Engine.st_after
+
+let engines_agree ~rules ~insts e =
+  let run f =
+    try Ok (f ())
+    with Engine.Did_not_terminate { dnt_partial; dnt_steps; _ } ->
+      Error (dnt_partial, List.length dnt_steps)
+  in
+  let a = run (fun () -> Engine.rewrite ~rules ~insts e) in
+  let b = run (fun () -> Engine.rewrite_reference ~rules ~insts e) in
+  match a, b with
+  | Ok ra, Ok rb ->
+    Expr.equal ra.Engine.output rb.Engine.output
+    && List.length ra.Engine.steps = List.length rb.Engine.steps
+    && List.for_all2 step_equal ra.Engine.steps rb.Engine.steps
+    && ra.Engine.ops_after = rb.Engine.ops_after
+  | Error (pa, na), Error (pb, nb) -> Expr.equal pa pb && na = nb
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let equiv_rules =
+  Rules.builtin
+  @ [
+      Rules.lidia_inverse;
+      (* a user rule whose exact head symbol collides with a generated op *)
+      Rules.make ~user_type:"t0" ~user_op:"op0" ~name:"u0-project"
+        ~guard:Instances.Semigroup
+        ~lhs:(Rules.P_exact ("op0", [ Rules.P_any "x"; Rules.P_any "y" ]))
+        ~rhs:(Rules.T_var "x") ();
+    ]
+
+let engine_equiv_prop =
+  qtest
+    (QCheck.Test.make
+       ~name:"indexed rewrite == linear-scan reference (random worlds)"
+       ~count:300
+       (QCheck.pair
+          (QCheck.make world_gen)
+          (QCheck.make ~print:Expr.to_string world_expr_gen))
+       (fun (world, e) ->
+         let insts = build_world world in
+         engines_agree ~rules:equiv_rules ~insts e
+         && begin
+              (* mutate the table, then re-check: the indexes (by_key,
+                 by_inverse, entries memo) must track the mutation *)
+              apply_second_batch insts world;
+              engines_agree ~rules:equiv_rules ~insts e
+            end))
+
+let lookup_equiv_prop =
+  qtest
+    (QCheck.Test.make
+       ~name:"indexed find/inverse_carriers == entry-list scan"
+       ~count:300 (QCheck.make world_gen)
+       (fun world ->
+         let insts = build_world world in
+         let check () =
+           let es = Instances.entries insts in
+           let recent_first = List.rev es in
+           List.for_all
+             (fun (e : Instances.entry) ->
+               let ty = e.Instances.e_type and op = e.Instances.e_op in
+               (* find: most recent declaration wins *)
+               let ref_find =
+                 List.find_opt
+                   (fun (e' : Instances.entry) ->
+                     String.equal e'.Instances.e_type ty
+                     && String.equal e'.Instances.e_op op)
+                   recent_first
+               in
+               Instances.find insts ~ty ~op = ref_find
+               (* inverse_carriers: insertion-order filter of the list *)
+               && Instances.inverse_carriers insts ~ty ~op
+                  = List.filter_map
+                      (fun (e' : Instances.entry) ->
+                        if
+                          String.equal e'.Instances.e_type ty
+                          && e'.Instances.e_inverse = Some op
+                        then Some (ty, e'.Instances.e_op)
+                        else None)
+                      es)
+             es
+         in
+         check ()
+         && begin
+              apply_second_batch insts world;
+              check ()
+            end))
+
 let test_matrix_eval () =
   let open Expr in
   let q = Gp_algebra.Rational.of_int in
@@ -385,6 +626,14 @@ let () =
           Alcotest.test_case "nested fixpoint" `Quick test_nested_fixpoint;
           Alcotest.test_case "step trace" `Quick test_step_trace_records_rules;
           Alcotest.test_case "matrix eval" `Quick test_matrix_eval;
+          Alcotest.test_case "budget exhaustion payload" `Quick
+            test_budget_exhaustion;
+        ] );
+      ( "indexes",
+        [
+          Alcotest.test_case "entries memoised" `Quick test_entries_memoised;
+          engine_equiv_prop;
+          lookup_equiv_prop;
         ] );
       ("user rules", [ Alcotest.test_case "lidia" `Quick test_lidia_rule ]);
       ( "ring rules",

@@ -46,12 +46,30 @@ type ring_entry = {
   rg_mapping : Gp_athena.Theory.ring_mapping option;
 }
 
-type t = { mutable entries : entry list; mutable rings : ring_entry list }
+(* Lookups are all keyed by (type, op) pairs, so the table maintains
+   hashtable indexes eagerly alongside the entry lists (every mutation
+   goes through [add] / [add_ring]; there is no external mutation path).
+   [Hashtbl.replace] gives the same most-recent-declaration-wins
+   semantics as the head-first list scans it replaces. *)
+type t = {
+  mutable entries : entry list; (* most-recent-first *)
+  mutable rings : ring_entry list; (* most-recent-first *)
+  mutable entries_cache : entry list option;
+      (* memoised insertion-order view served by [entries] *)
+  by_key : (string * string, entry) Hashtbl.t; (* (ty, op) -> entry *)
+  by_inverse : (string * string, (string * string) list) Hashtbl.t;
+      (* (ty, inverse op) -> owning carriers (ty, op), insertion order *)
+  ring_by_mul : (string * string, ring_entry) Hashtbl.t;
+      (* (ty, multiplicative op) -> ring *)
+}
 
-let create () = { entries = []; rings = [] }
+let create () =
+  { entries = []; rings = []; entries_cache = None;
+    by_key = Hashtbl.create 32; by_inverse = Hashtbl.create 16;
+    ring_by_mul = Hashtbl.create 8 }
 
 let add t ?identity ?inverse ?mapping ?(proved = true) ~ty ~op level =
-  t.entries <-
+  let e =
     {
       e_type = ty;
       e_op = op;
@@ -61,25 +79,36 @@ let add t ?identity ?inverse ?mapping ?(proved = true) ~ty ~op level =
       e_axioms_proved = proved;
       e_mapping = mapping;
     }
-    :: t.entries
+  in
+  t.entries <- e :: t.entries;
+  t.entries_cache <- None;
+  Hashtbl.replace t.by_key (ty, op) e;
+  match inverse with
+  | None -> ()
+  | Some inv ->
+    let key = (ty, inv) in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t.by_inverse key) in
+    Hashtbl.replace t.by_inverse key (prev @ [ (ty, op) ])
 
 let add_ring t ?zero ?mapping ~ty ~add_op ~mul_op () =
-  t.rings <-
+  let r =
     { rg_type = ty; rg_add = add_op; rg_mul = mul_op; rg_zero = zero;
       rg_mapping = mapping }
-    :: t.rings
+  in
+  t.rings <- r :: t.rings;
+  Hashtbl.replace t.ring_by_mul (ty, mul_op) r
 
-let find t ~ty ~op =
-  List.find_opt
-    (fun e -> String.equal e.e_type ty && String.equal e.e_op op)
-    t.entries
+let find t ~ty ~op = Hashtbl.find_opt t.by_key (ty, op)
 
 (* The ring whose *multiplicative* operation is (ty, op), if any — what
    the annihilation rules' guard asks. *)
-let ring_for t ~ty ~op =
-  List.find_opt
-    (fun r -> String.equal r.rg_type ty && String.equal r.rg_mul op)
-    t.rings
+let ring_for t ~ty ~op = Hashtbl.find_opt t.ring_by_mul (ty, op)
+
+(* Carriers whose declared inverse operation is (ty, op) — what
+   {!Gp_simplicissimus.Engine.carriers} asks at every Op node; the index
+   replaces its scan (and re-reversal) of the whole entry list. *)
+let inverse_carriers t ~ty ~op =
+  Option.value ~default:[] (Hashtbl.find_opt t.by_inverse (ty, op))
 
 (* Is [expr] the additive zero of the ring whose multiplication is
    (ty, op)? *)
@@ -165,4 +194,12 @@ let standard () =
     ~zero:(VRat Gp_algebra.Rational.zero) ();
   t
 
-let entries t = List.rev t.entries
+let entries t =
+  match t.entries_cache with
+  | Some l -> l
+  | None ->
+    let l = List.rev t.entries in
+    t.entries_cache <- Some l;
+    l
+
+let rings t = List.rev t.rings

@@ -57,9 +57,17 @@ val add_ring :
   unit
 
 val find : t -> ty:string -> op:string -> entry option
+(** Indexed (ty, op) lookup; when a carrier was declared more than once,
+    the most recent declaration wins. *)
 
 val ring_for : t -> ty:string -> op:string -> ring_entry option
 (** The ring whose multiplication is (ty, op). *)
+
+val inverse_carriers : t -> ty:string -> op:string -> (string * string) list
+(** Carriers [(ty, op')] whose declared inverse operation is [op] — the
+    candidates {!Gp_simplicissimus.Engine.carriers} adds at a node whose
+    root symbol is an inverse (so [inv (inv x)] finds its owner without
+    scanning the entry list). Insertion order. *)
 
 val is_ring_zero : t -> ty:string -> op:string -> Expr.t -> bool
 val ring_zero_expr : t -> ty:string -> op:string -> Expr.t
@@ -80,3 +88,11 @@ val standard : unit -> t
     companions. *)
 
 val entries : t -> entry list
+(** All entries in insertion (declaration) order. The returned list is
+    memoised: repeated calls between mutations return the {e same} list
+    (physical equality), so callers may iterate it freely without
+    paying a fresh allocation per call. *)
+
+val rings : t -> ring_entry list
+(** All ring structures in insertion order (the linear-scan reference
+    oracles in the test suite rebuild {!ring_for} from this). *)

@@ -50,6 +50,25 @@ let make ?user_type ?user_op ?(requires_ring = false) ~name ~guard ~lhs ~rhs
   { rule_name = name; guard; requires_ring; lhs; rhs; user_type; user_op;
     certified = ref false }
 
+(* What the root of the LHS can match — the engine's dispatch key. A
+   [P_op] root only ever matches a node whose symbol IS the carrier op
+   under trial, and a [P_inverse] root only a node whose symbol is a
+   carrier's inverse op; [P_exact] pins a symbol outright; everything
+   else (a bare metavariable, identity, literal, ring zero) is a
+   wildcard that must be tried everywhere. *)
+type head =
+  | Head_exact of string (* root must be this op symbol *)
+  | Head_carrier_op (* root must be the carrier's own op *)
+  | Head_carrier_inverse (* root must be a carrier's inverse op *)
+  | Head_any (* variable-headed: no symbol constraint *)
+
+let head r =
+  match r.lhs with
+  | P_exact (o, _) -> Head_exact o
+  | P_op _ -> Head_carrier_op
+  | P_inverse _ -> Head_carrier_inverse
+  | P_any _ | P_identity | P_lit _ | P_ring_zero -> Head_any
+
 (* ------------------------------------------------------------------ *)
 (* Matching                                                            *)
 (* ------------------------------------------------------------------ *)
