@@ -782,6 +782,50 @@ let s1 () =
    seed implementations survive as reference oracles; this section
    times both sides on a large synthetic world. *)
 
+(* The cold-rewrite world shared by s2 and s3: [nentries] abelian-group
+   instance entries, [nrules] user rules on top of the builtins, and a
+   deep expression carrying a redex at every level. Returns
+   (insts, rules, expr, nentries). *)
+let rewrite_world ~quick =
+  let open Gp_simplicissimus in
+  let nentries = if quick then 60 else 250 in
+  let nrules = if quick then 50 else 200 in
+  let insts = Instances.create () in
+  for i = 0 to nentries - 1 do
+    Instances.add insts
+      ~ty:(Printf.sprintf "u%d" i)
+      ~op:"+" ~identity:(Expr.VInt 0) ~inverse:"neg" Instances.Abelian_group
+  done;
+  let user_rules =
+    List.init nrules (fun i ->
+        Rules.make ~user_type:"u0"
+          ~user_op:(Printf.sprintf "g%d" i)
+          ~name:(Printf.sprintf "user-g%d" i)
+          ~guard:Instances.Semigroup
+          ~lhs:(Rules.P_exact (Printf.sprintf "g%d" i, [ Rules.P_any "x" ]))
+          ~rhs:(Rules.T_var "x") ())
+  in
+  let rules = Rules.builtin @ user_rules in
+  let rec build k =
+    if k = 0 then Expr.Var ("x", "u0")
+    else
+      Expr.Op
+        ( "g" ^ string_of_int (k mod nrules),
+          "u0",
+          [ Expr.Op
+              ( "+",
+                "u0",
+                [ Expr.Op ("+", "u0", [ build (k - 1); Expr.Ident ("u0", "+") ]);
+                  Expr.Op
+                    ( "+",
+                      "u0",
+                      [ Expr.Var ("y", "u0");
+                        Expr.Op ("neg", "u0", [ Expr.Var ("y", "u0") ]) ] )
+                ] ) ] )
+  in
+  let e = build (if quick then 12 else 40) in
+  (insts, rules, e, nentries)
+
 let s2 () =
   section "S2"
     "indexed dispatch: registry lookups, rule indexing, worklist closure \
@@ -916,42 +960,7 @@ let s2 () =
   in
   (* -------- cold rewrite throughput -------------------------------- *)
   let open Gp_simplicissimus in
-  let nentries = if quick then 60 else 250 in
-  let nrules = if quick then 50 else 200 in
-  let insts2 = Instances.create () in
-  for i = 0 to nentries - 1 do
-    Instances.add insts2
-      ~ty:(Printf.sprintf "u%d" i)
-      ~op:"+" ~identity:(Expr.VInt 0) ~inverse:"neg" Instances.Abelian_group
-  done;
-  let user_rules =
-    List.init nrules (fun i ->
-        Rules.make ~user_type:"u0"
-          ~user_op:(Printf.sprintf "g%d" i)
-          ~name:(Printf.sprintf "user-g%d" i)
-          ~guard:Instances.Semigroup
-          ~lhs:(Rules.P_exact (Printf.sprintf "g%d" i, [ Rules.P_any "x" ]))
-          ~rhs:(Rules.T_var "x") ())
-  in
-  let rules2 = Rules.builtin @ user_rules in
-  let rec build k =
-    if k = 0 then Expr.Var ("x", "u0")
-    else
-      Expr.Op
-        ( "g" ^ string_of_int (k mod nrules),
-          "u0",
-          [ Expr.Op
-              ( "+",
-                "u0",
-                [ Expr.Op ("+", "u0", [ build (k - 1); Expr.Ident ("u0", "+") ]);
-                  Expr.Op
-                    ( "+",
-                      "u0",
-                      [ Expr.Var ("y", "u0");
-                        Expr.Op ("neg", "u0", [ Expr.Var ("y", "u0") ]) ] )
-                ] ) ] )
-  in
-  let e = build (if quick then 12 else 40) in
+  let insts2, rules2, e, nentries = rewrite_world ~quick in
   let r_ix = Engine.rewrite ~rules:rules2 ~insts:insts2 e in
   let r_ref = Engine.rewrite_reference ~rules:rules2 ~insts:insts2 e in
   assert (Expr.equal r_ix.Engine.output r_ref.Engine.output);
@@ -997,13 +1006,78 @@ let s2 () =
      step traces)@."
 
 (* ------------------------------------------------------------------ *)
+(* S3: telemetry overhead                                              *)
+(* ------------------------------------------------------------------ *)
+
+let s3 () =
+  section "S3"
+    "telemetry overhead on the s2 rewrite workload: bare core vs \
+     instrumented with no sink (the shipped default) vs a full sink";
+  let open Gp_simplicissimus in
+  let module Tel = Gp_telemetry.Tel in
+  let quick = !quota < 0.5 in
+  let insts, rules, e, nentries = rewrite_world ~quick in
+  assert (not (Tel.is_enabled ()));
+  (* all three paths must produce the same result before we time them *)
+  let r_core = Engine.rewrite_uninstrumented ~rules ~insts e in
+  let r_off = Engine.rewrite ~rules ~insts e in
+  let r_on, spans_per_call, counters =
+    Tel.with_installed (fun sink ->
+        let r = Engine.rewrite ~rules ~insts e in
+        ( r,
+          Gp_telemetry.Trace.recorded sink.Tel.trace,
+          Gp_telemetry.Metrics.total sink.Tel.metrics
+            "gp_engine_guard_probes_total" ))
+  in
+  assert (Expr.equal r_core.Engine.output r_off.Engine.output);
+  assert (Expr.equal r_core.Engine.output r_on.Engine.output);
+  assert (
+    List.length r_core.Engine.steps = List.length r_on.Engine.steps);
+  Fmt.pr
+    "world: %d rules over %d instance entries, %d-op expression, %d steps; \
+     enabled run records %d span(s), %.0f guard probes@."
+    (List.length rules) nentries (Expr.op_count e)
+    (List.length r_core.Engine.steps)
+    spans_per_call counters;
+  let t_core =
+    time_ns "rewrite (uninstrumented core)" (fun () ->
+        Sys.opaque_identity (Engine.rewrite_uninstrumented ~rules ~insts e))
+  in
+  let t_off =
+    time_ns "rewrite (instrumented, no sink)" (fun () ->
+        Sys.opaque_identity (Engine.rewrite ~rules ~insts e))
+  in
+  let t_on =
+    Tel.with_installed (fun _sink ->
+        time_ns "rewrite (instrumented, sink installed)" (fun () ->
+            Sys.opaque_identity (Engine.rewrite ~rules ~insts e)))
+  in
+  let pct t = ((t /. t_core) -. 1.0) *. 100.0 in
+  Fmt.pr "@.%-36s %13s %10s@." "variant" "per rewrite" "vs core";
+  let row label t names =
+    Fmt.pr "%-36s %13s %+9.2f%%@." label (ns_str t) (pct t);
+    let t_name, pct_name = names in
+    record ~experiment:"s3" t_name t;
+    if pct_name <> "" then record ~experiment:"s3" pct_name (pct t)
+  in
+  row "uninstrumented core" t_core ("uninstrumented_ns", "");
+  row "instrumented, telemetry off" t_off
+    ("disabled_ns", "disabled_overhead_pct");
+  row "instrumented, telemetry on" t_on
+    ("enabled_ns", "enabled_overhead_pct");
+  Fmt.pr
+    "@.(acceptance: the disabled path — what every caller pays when nobody \
+     installed a sink —@. stays within a few percent of the bare core; the \
+     target in ISSUE/EXPERIMENTS is < 5%%)@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("f1", f1_f2); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6);
     ("c1", c1); ("c2", c2); ("c3", c3); ("c5", c5); ("c6", c6); ("c8", c8);
-    ("a1", a1); ("s1", s1); ("s2", s2) ]
+    ("a1", a1); ("s1", s1); ("s2", s2); ("s3", s3) ]
 
 let () =
   let rec parse = function

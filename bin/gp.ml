@@ -439,6 +439,10 @@ let metrics_arg =
        & info [ "metrics" ]
            ~doc:"Print the metrics report to stderr when the input ends.")
 
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc contents)
+
 let serve_cmd =
   let file =
     Arg.(value
@@ -446,10 +450,33 @@ let serve_cmd =
          & info [ "file" ]
              ~doc:"Read request lines from this file instead of stdin.")
   in
-  let run file no_cache cache_capacity queue max_steps timeout metrics =
+  let stats_json =
+    Arg.(value
+         & opt (some string) None
+         & info [ "stats-json" ]
+             ~doc:"When the input ends, write the machine-readable metrics \
+                   report (counters, interpolated latency quantiles, cache \
+                   stats) to this file.")
+  in
+  let trace_file =
+    Arg.(value
+         & opt (some string) None
+         & info [ "trace" ]
+             ~doc:"Trace every request (a service.request root span over \
+                   the engine spans it triggers) and write Chrome \
+                   trace-event JSON to this file when the input ends. Also \
+                   enables the slow-request log.")
+  in
+  let run file no_cache cache_capacity queue max_steps timeout metrics
+      stats_json trace_file =
     let open Gp_service in
     let config =
       server_config ~no_cache ~cache_capacity ~queue ~max_steps ~timeout
+    in
+    let sink =
+      if trace_file <> None then
+        Some (Gp_telemetry.Tel.install ~trace_capacity:65536 ())
+      else None
     in
     let server = Server.create ~config ~declare_standard:standard_declare () in
     let served =
@@ -460,13 +487,23 @@ let serve_cmd =
             Server.serve_channel server ic stdout)
     in
     if metrics then Fmt.epr "%s@." (Server.report server);
+    (match stats_json with
+    | None -> ()
+    | Some path -> write_file path (Server.report_json server));
+    (match trace_file, sink with
+    | Some path, Some sink ->
+      write_file path (Gp_telemetry.Trace.to_chrome_json sink.trace);
+      Fmt.epr "%a@."
+        Server.pp_slow (Server.slow_requests server)
+    | _ -> ());
     if served > 0 then 0 else 2
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve JSONL-ish toolchain requests from a file or stdin")
     Term.(const run $ file $ no_cache_arg $ cache_capacity_arg $ queue_arg
-          $ max_steps_arg $ timeout_arg $ metrics_arg)
+          $ max_steps_arg $ timeout_arg $ metrics_arg $ stats_json
+          $ trace_file)
 
 let workload_cmd =
   let n_arg =
@@ -551,6 +588,116 @@ let workload_cmd =
           $ print_responses $ no_cache_arg $ cache_capacity_arg $ queue_arg
           $ max_steps_arg $ timeout_arg)
 
+(* ------------------------------------------------------------------ *)
+(* gp trace                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a representative slice of each subsystem under an installed
+   telemetry sink and export the Chrome trace. The slices reuse the same
+   worlds the other subcommands exercise: the standard registry, the
+   STLlint corpus, the optimizer demo set, a 16-node election. *)
+let trace_cmd =
+  let pipeline =
+    Arg.(value
+         & pos 0
+             (enum
+                [ ("all", `All); ("check", `Check); ("closure", `Closure);
+                  ("lint", `Lint); ("optimize", `Optimize);
+                  ("elect", `Elect) ])
+             `All
+         & info [] ~docv:"PIPELINE"
+             ~doc:"Which pipeline to trace: all, check, closure, lint, \
+                   optimize or elect.")
+  in
+  let out =
+    Arg.(value
+         & opt (some string) None
+         & info [ "out"; "o" ]
+             ~doc:"Write Chrome trace-event JSON (chrome://tracing, \
+                   Perfetto) to this file instead of stdout.")
+  in
+  let tree =
+    Arg.(value & flag
+         & info [ "tree" ] ~doc:"Print the span tree to stderr.")
+  in
+  let run pipeline out tree metrics =
+    let sink = Gp_telemetry.Tel.install ~trace_capacity:65536 () in
+    let reg = standard_registry () in
+    let do_check () =
+      let open Gp_concepts in
+      List.iter
+        (fun (c : Concept.t) ->
+          let args = List.map (fun _ -> Ctype.Named "int") c.Concept.params in
+          ignore (Check.check reg c.Concept.name args))
+        (Registry.concepts reg)
+    in
+    let do_closure () =
+      let open Gp_concepts in
+      List.iter
+        (fun (c : Concept.t) ->
+          ignore
+            (Propagate.closure reg c.Concept.name
+               (List.map (fun p -> Ctype.Var p) c.Concept.params)))
+        (Registry.concepts reg)
+    in
+    let do_lint () =
+      List.iter
+        (fun (c : Gp_stllint.Corpus.case) ->
+          ignore (Gp_stllint.Interp.check c.Gp_stllint.Corpus.program))
+        Gp_stllint.Corpus.all
+    in
+    let do_optimize () =
+      let open Gp_simplicissimus in
+      let insts = Instances.standard () in
+      let rules = Rules.builtin @ [ Rules.lidia_inverse ] in
+      let open Expr in
+      List.iter
+        (fun e -> ignore (Engine.rewrite ~rules ~insts e))
+        [ binop "*" (binop "+" (ivar "x") (int 0)) (int 1);
+          binop "+" (ivar "x") (unop "neg" (ivar "x"));
+          binop "*" (ivar "x") (int 0);
+          binop "." (mvar "A") (Ident ("matrix", "."));
+          Op ("/", "bigfloat", [ float 1.0; Var ("f", "bigfloat") ]) ]
+    in
+    let do_elect () =
+      let open Gp_distsim in
+      let uids = Array.init 16 (fun i -> 16 - i) in
+      ignore (Algorithms.Lcr.run ~uids (Topology.ring_unidirectional 16));
+      ignore (Algorithms.Hs.run ~uids (Topology.ring 16))
+    in
+    (match pipeline with
+    | `All ->
+      do_check ();
+      do_closure ();
+      do_lint ();
+      do_optimize ();
+      do_elect ()
+    | `Check -> do_check ()
+    | `Closure -> do_closure ()
+    | `Lint -> do_lint ()
+    | `Optimize -> do_optimize ()
+    | `Elect -> do_elect ());
+    let json = Gp_telemetry.Trace.to_chrome_json sink.Gp_telemetry.Tel.trace in
+    (match out with
+    | None -> print_string json
+    | Some path ->
+      write_file path json;
+      Fmt.epr "wrote %d spans to %s@."
+        (Gp_telemetry.Trace.recorded sink.Gp_telemetry.Tel.trace)
+        path);
+    if tree then
+      Fmt.epr "%a@." Gp_telemetry.Trace.pp_tree
+        (Gp_telemetry.Trace.spans sink.Gp_telemetry.Tel.trace);
+    if metrics then
+      Fmt.epr "%s@."
+        (Gp_telemetry.Metrics.to_prometheus sink.Gp_telemetry.Tel.metrics);
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Trace a toolchain pipeline and export Chrome trace-event JSON")
+    Term.(const run $ pipeline $ out $ tree $ metrics_arg)
+
 let () =
   let doc = "generic programming and high-performance libraries, reproduced" in
   let info = Cmd.info "gp" ~version:"1.0.0" ~doc in
@@ -558,4 +705,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ check_cmd; parse_cmd; concepts_cmd; lint_cmd; optimize_cmd;
-            prove_cmd; elect_cmd; taxonomy_cmd; serve_cmd; workload_cmd ]))
+            prove_cmd; elect_cmd; taxonomy_cmd; serve_cmd; workload_cmd;
+            trace_cmd ]))

@@ -374,12 +374,30 @@ and check_constraints ~mode ~visited reg env cs =
 
 (* Public entry point: check whether ground types [args] model [concept]. *)
 let check ?(mode = Structural) reg concept args =
-  let failures, warnings = check_concept ~mode ~visited:[] reg concept args in
-  {
-    rep_concept = concept;
-    rep_args = args;
-    rep_failures = failures;
-    rep_warnings = warnings;
-  }
+  Gp_telemetry.Tel.with_span ~name:"concepts.check"
+    ~attrs:(fun () ->
+      [
+        ( "mode",
+          match mode with Structural -> "structural" | Nominal -> "nominal" );
+        ("concept", concept);
+      ])
+    (fun () ->
+      let failures, warnings =
+        check_concept ~mode ~visited:[] reg concept args
+      in
+      let module Tel = Gp_telemetry.Tel in
+      if Tel.is_enabled () then begin
+        let outcome = if failures = [] then "ok" else "failed" in
+        Tel.count ~labels:[ ("outcome", outcome) ] "gp_checks_total" 1;
+        Tel.count "gp_check_failures_total" (List.length failures);
+        Tel.count "gp_check_warnings_total" (List.length warnings);
+        Tel.attr "outcome" outcome
+      end;
+      {
+        rep_concept = concept;
+        rep_args = args;
+        rep_failures = failures;
+        rep_warnings = warnings;
+      })
 
 let models ?mode reg concept args = ok (check ?mode reg concept args)

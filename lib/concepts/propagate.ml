@@ -13,6 +13,8 @@
    require the programmer to write, which is what experiment C3
    regenerates. *)
 
+module Tel = Gp_telemetry.Tel
+
 type obligation = {
   ob_concept : string;
   ob_args : Ctype.t list; (* in terms of the root's parameters / assoc paths *)
@@ -49,50 +51,68 @@ module Ob_tbl = Hashtbl.Make (struct
 end)
 
 let closure_with ?(max_depth = 8) ~lookup concept args =
-  let seen = Ob_tbl.create 64 in
-  let acc = ref [] in
-  let rec drain = function
-    | [] -> ()
-    | (depth, concept, args) :: rest ->
-      if depth > max_depth || Ob_tbl.mem seen (concept, args) then drain rest
-      else begin
-        Ob_tbl.add seen (concept, args) ();
-        acc := { ob_concept = concept; ob_args = args } :: !acc;
-        match lookup concept with
-        | None -> drain rest
-        | Some con ->
-          let env = List.combine con.Concept.params args in
-          let refined =
-            List.map
-              (fun (rname, rargs) ->
-                (depth + 1, rname, List.map (Ctype.subst env) rargs))
-              con.Concept.refines
-          in
-          let required =
-            List.concat_map
-              (fun req ->
-                let constraints =
-                  match req with
-                  | Concept.Assoc_type { at_constraints; _ } -> at_constraints
-                  | Concept.Constraint c -> [ c ]
-                  | Concept.Operation _ | Concept.Axiom _
-                  | Concept.Complexity_guarantee _ ->
-                    []
-                in
-                List.filter_map
-                  (function
-                    | Concept.Models (cname, cargs) ->
-                      Some
-                        (depth + 1, cname, List.map (Ctype.subst env) cargs)
-                    | Concept.Same_type _ -> None)
-                  constraints)
-              con.Concept.requirements
-          in
-          drain (refined @ required @ rest)
-      end
-  in
-  drain [ (0, concept, args) ];
-  List.rev !acc
+  Tel.with_span ~name:"concepts.closure"
+    ~attrs:(fun () -> [ ("concept", concept) ])
+    (fun () ->
+      let seen = Ob_tbl.create 64 in
+      let acc = ref [] in
+      (* items ever enqueued on the worklist, duplicates included — one
+         int store per push; flushed to telemetry only when enabled *)
+      let pushed = ref 1 in
+      let rec drain = function
+        | [] -> ()
+        | (depth, concept, args) :: rest ->
+          if depth > max_depth || Ob_tbl.mem seen (concept, args) then
+            drain rest
+          else begin
+            Ob_tbl.add seen (concept, args) ();
+            acc := { ob_concept = concept; ob_args = args } :: !acc;
+            match lookup concept with
+            | None -> drain rest
+            | Some con ->
+              let env = List.combine con.Concept.params args in
+              let refined =
+                List.map
+                  (fun (rname, rargs) ->
+                    (depth + 1, rname, List.map (Ctype.subst env) rargs))
+                  con.Concept.refines
+              in
+              let required =
+                List.concat_map
+                  (fun req ->
+                    let constraints =
+                      match req with
+                      | Concept.Assoc_type { at_constraints; _ } ->
+                        at_constraints
+                      | Concept.Constraint c -> [ c ]
+                      | Concept.Operation _ | Concept.Axiom _
+                      | Concept.Complexity_guarantee _ ->
+                        []
+                    in
+                    List.filter_map
+                      (function
+                        | Concept.Models (cname, cargs) ->
+                          Some
+                            (depth + 1, cname, List.map (Ctype.subst env) cargs)
+                        | Concept.Same_type _ -> None)
+                      constraints)
+                  con.Concept.requirements
+              in
+              pushed := !pushed + List.length refined + List.length required;
+              drain (refined @ required @ rest)
+          end
+      in
+      drain [ (0, concept, args) ];
+      let obs = List.rev !acc in
+      if Tel.is_enabled () then begin
+        let size = List.length obs in
+        Tel.count "gp_closure_calls_total" 1;
+        Tel.count "gp_closure_worklist_pushes_total" !pushed;
+        Tel.observe "gp_closure_size" (float_of_int size);
+        Tel.attr "size" (string_of_int size);
+        Tel.attr "worklist_pushes" (string_of_int !pushed)
+      end;
+      obs)
 
 (* The seed implementation, retained verbatim as the oracle the qcheck
    equivalence suite and the s2 bench compare against: dedup by linear

@@ -166,6 +166,13 @@ let build_index t =
 let index_cache : (t * index) option array = Array.make 8 None
 let index_clock = ref 0
 
+(* A rebuild means the side cache missed: either the registry mutated
+   since the cached index (generation bump) or this registry was evicted
+   from the 8-slot cache. Counted so an operator can spot declare-heavy
+   workloads thrashing the index. *)
+let count_rebuild () =
+  Gp_telemetry.Tel.count "gp_registry_index_rebuilds_total" 1
+
 let index_of t =
   let slots = Array.length index_cache in
   let rec scan i =
@@ -180,10 +187,12 @@ let index_of t =
     match index_cache.(i) with
     | Some (_, ix) when ix.ix_generation = t.generation -> ix
     | Some _ | None ->
+      count_rebuild ();
       let ix = build_index t in
       index_cache.(i) <- Some (t, ix);
       ix)
   | None ->
+    count_rebuild ();
     let ix = build_index t in
     let slot = !index_clock mod slots in
     index_clock := !index_clock + 1;

@@ -150,7 +150,11 @@ end
 (* Simulation                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run (type s m) ?(config = default_config) (topo : Topology.t)
+(* The simulation core is untouched by telemetry: the RNG stream, event
+   order and metrics are computed exactly as before, and the wrapper only
+   reads the finished result — identical transcripts per seed with a sink
+   installed or not (the transparency property tests pin this down). *)
+let run_core (type s m) ~(config : m config) (topo : Topology.t)
     (algo : (s, m) algorithm) : result =
   let n = Topology.num_nodes topo in
   let rng = Random.State.make [| config.seed |] in
@@ -247,6 +251,36 @@ let run (type s m) ?(config = default_config) (topo : Topology.t)
         events = !events;
       };
   }
+
+let run ?(config = default_config) topo algo =
+  let module Tel = Gp_telemetry.Tel in
+  Tel.with_span ~name:"distsim.run"
+    ~attrs:(fun () ->
+      [
+        ("algorithm", algo.algo_name);
+        ("nodes", string_of_int (Topology.num_nodes topo));
+        ("seed", string_of_int config.seed);
+      ])
+    (fun () ->
+      let r = run_core ~config topo algo in
+      if Tel.is_enabled () then begin
+        let labels = [ ("algorithm", algo.algo_name) ] in
+        Tel.count ~labels "gp_distsim_runs_total" 1;
+        Tel.count ~labels "gp_distsim_events_total" r.metrics.events;
+        Tel.count ~labels "gp_distsim_messages_sent_total"
+          r.metrics.messages_sent;
+        Tel.count ~labels "gp_distsim_messages_delivered_total"
+          r.metrics.messages_delivered;
+        Tel.count ~labels "gp_distsim_messages_dropped_total"
+          r.metrics.messages_dropped;
+        Tel.count ~labels "gp_distsim_local_steps_total"
+          (total_local_steps r.metrics);
+        Tel.observe ~labels "gp_distsim_finish_time"
+          r.metrics.finish_time;
+        Tel.attr "events" (string_of_int r.metrics.events);
+        Tel.attr "finish_time" (Printf.sprintf "%.2f" r.metrics.finish_time)
+      end;
+      r)
 
 let pp_metrics ppf m =
   Fmt.pf ppf

@@ -1,95 +1,60 @@
-(* Serving observability: per-kind request counters and log-scale latency
-   histograms, plus the rendered text report (counters, latency table,
-   cache hit-ratio table).
+(* Serving observability, as a thin veneer over the shared telemetry
+   registry (Gp_telemetry.Metrics).
 
-   Histograms use fixed decade buckets over nanoseconds; quantiles are
-   read off the bucket table (upper-bound estimates), which is plenty for
-   a text report and keeps observation O(1) with no allocation. *)
+   The decade-bucket histogram code that used to live here moved into
+   Gp_telemetry.Histogram, generalised to configurable log-scale buckets
+   with within-bucket interpolated quantiles — the report below prints
+   interpolated p50/p90 instead of the old bucket-upper-bound labels.
+   Every server metric is an ordinary registry family, so the same data
+   renders three ways: the human text [report], the machine
+   [report_json], and the Prometheus exposition [to_prometheus]. *)
 
-(* Bucket upper bounds in ns: 1us 10us 100us 1ms 10ms 100ms 1s +inf *)
-let bucket_bounds = [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; infinity |]
-let n_buckets = Array.length bucket_bounds
+module M = Gp_telemetry.Metrics
+module Histogram = Gp_telemetry.Histogram
 
-let bucket_label i =
-  if i = 0 then "<1us"
-  else if bucket_bounds.(i) = infinity then ">1s"
-  else
-    let b = bucket_bounds.(i) in
-    if b < 1e6 then Printf.sprintf "<%.0fus" (b /. 1e3)
-    else if b < 1e9 then Printf.sprintf "<%.0fms" (b /. 1e6)
-    else "<1s"
-
-type series = {
-  mutable count : int;
-  mutable ok : int;
-  mutable cached : int;
-  mutable errors : (string * int) list; (* by error-code name *)
-  buckets : int array;
-  mutable sum_ns : float;
-  mutable min_ns : float;
-  mutable max_ns : float;
-}
-
-let new_series () =
-  { count = 0; ok = 0; cached = 0; errors = []; buckets = Array.make n_buckets 0;
-    sum_ns = 0.0; min_ns = infinity; max_ns = 0.0 }
+let latency_family = "gp_request_latency_ns"
 
 type t = {
-  tbl : (string, series) Hashtbl.t;
-  mutable order : string list; (* first-observation order, for the report *)
+  reg : M.t;
+  mutable kinds : string list; (* first-observation order, for the report *)
 }
 
-let create () = { tbl = Hashtbl.create 8; order = [] }
+let create () =
+  let reg = M.create () in
+  (* service latencies: 100ns .. 10s at 5 buckets/decade (ratio ~1.58),
+     same span the old decade table covered but 10x the resolution *)
+  M.set_histogram_factory reg (fun _ ->
+      Histogram.create ~lo:100.0 ~hi:1e10 ~buckets_per_decade:5 ());
+  M.declare reg ~kind:M.Counter ~name:"gp_requests_total"
+    ~help:"Requests handled, by kind.";
+  M.declare reg ~kind:M.Counter ~name:"gp_requests_ok_total"
+    ~help:"Requests answered without error, by kind.";
+  M.declare reg ~kind:M.Counter ~name:"gp_requests_cached_total"
+    ~help:"Requests served from a response cache, by kind.";
+  M.declare reg ~kind:M.Counter ~name:"gp_request_errors_total"
+    ~help:"Request errors, by kind and error code.";
+  M.declare reg ~kind:M.Histo ~name:latency_family
+    ~help:"Request service time in nanoseconds, by kind.";
+  { reg; kinds = [] }
 
-let series t kind =
-  match Hashtbl.find_opt t.tbl kind with
-  | Some s -> s
-  | None ->
-    let s = new_series () in
-    Hashtbl.add t.tbl kind s;
-    t.order <- t.order @ [ kind ];
-    s
-
-let bucket_of ns =
-  let rec go i = if i >= n_buckets - 1 || ns <= bucket_bounds.(i) then i else go (i + 1) in
-  go 0
+let registry t = t.reg
 
 let observe t ~kind ~ok ~error_code ~cached ~ns =
-  let s = series t kind in
-  s.count <- s.count + 1;
-  if ok then s.ok <- s.ok + 1;
-  if cached then s.cached <- s.cached + 1;
+  if not (List.mem kind t.kinds) then t.kinds <- t.kinds @ [ kind ];
+  let labels = [ ("kind", kind) ] in
+  M.inc t.reg ~labels "gp_requests_total";
+  if ok then M.inc t.reg ~labels "gp_requests_ok_total";
+  if cached then M.inc t.reg ~labels "gp_requests_cached_total";
   (match error_code with
   | None -> ()
   | Some code ->
-    let n = try List.assoc code s.errors with Not_found -> 0 in
-    s.errors <- (code, n + 1) :: List.remove_assoc code s.errors);
-  let b = bucket_of ns in
-  s.buckets.(b) <- s.buckets.(b) + 1;
-  s.sum_ns <- s.sum_ns +. ns;
-  if ns < s.min_ns then s.min_ns <- ns;
-  if ns > s.max_ns then s.max_ns <- ns
+    M.inc t.reg
+      ~labels:[ ("kind", kind); ("code", code) ]
+      "gp_request_errors_total");
+  M.observe t.reg ~labels latency_family ns
 
-let requests t =
-  Hashtbl.fold (fun _ s acc -> acc + s.count) t.tbl 0
-
-let errors t =
-  Hashtbl.fold
-    (fun _ s acc -> acc + List.fold_left (fun a (_, n) -> a + n) 0 s.errors)
-    t.tbl 0
-
-(* Upper-bound estimate of the [q]-quantile from the bucket table. *)
-let quantile_label s q =
-  if s.count = 0 then "-"
-  else
-    let target = int_of_float (ceil (q *. float_of_int s.count)) in
-    let rec go i acc =
-      if i >= n_buckets then bucket_label (n_buckets - 1)
-      else
-        let acc = acc + s.buckets.(i) in
-        if acc >= target then bucket_label i else go (i + 1) acc
-    in
-    go 0 0
+let requests t = int_of_float (M.total t.reg "gp_requests_total")
+let errors t = int_of_float (M.total t.reg "gp_request_errors_total")
 
 let pp_ns ppf ns =
   if Float.is_nan ns || ns = infinity then Fmt.string ppf "-"
@@ -98,35 +63,51 @@ let pp_ns ppf ns =
   else if ns < 1e9 then Fmt.pf ppf "%.2fms" (ns /. 1e6)
   else Fmt.pf ppf "%.2fs" (ns /. 1e9)
 
+let kind_value t ?(extra = []) name kind =
+  int_of_float (M.value t.reg ~labels:(("kind", kind) :: extra) name)
+
+(* errors for one kind, summed across codes *)
+let kind_errors t kind =
+  List.fold_left
+    (fun acc (labels, v) ->
+      if List.assoc_opt "kind" labels = Some kind then acc + int_of_float v
+      else acc)
+    0
+    (M.counter_series t.reg "gp_request_errors_total")
+
+let errors_by_code t =
+  List.fold_left
+    (fun acc (labels, v) ->
+      match List.assoc_opt "code" labels with
+      | None -> acc
+      | Some code ->
+        let n = try List.assoc code acc with Not_found -> 0 in
+        (code, n + int_of_float v) :: List.remove_assoc code acc)
+    []
+    (M.counter_series t.reg "gp_request_errors_total")
+
 let report ?(cache_stats = []) t =
   let buf = Buffer.create 1024 in
   let ppf = Format.formatter_of_buffer buf in
   Fmt.pf ppf "requests by kind@.";
-  Fmt.pf ppf "  %-9s %8s %8s %8s %8s %9s %7s %7s %9s@." "kind" "count" "ok"
+  Fmt.pf ppf "  %-9s %8s %8s %8s %8s %9s %9s %9s %9s@." "kind" "count" "ok"
     "err" "cached" "mean" "p50" "p90" "max";
   List.iter
     (fun kind ->
-      let s = Hashtbl.find t.tbl kind in
-      let errs = List.fold_left (fun a (_, n) -> a + n) 0 s.errors in
-      let mean =
-        if s.count = 0 then nan else s.sum_ns /. float_of_int s.count
-      in
-      Fmt.pf ppf "  %-9s %8d %8d %8d %8d %9s %7s %7s %9s@." kind s.count s.ok
-        errs s.cached
-        (Fmt.str "%a" pp_ns mean)
-        (quantile_label s 0.50) (quantile_label s 0.90)
-        (Fmt.str "%a" pp_ns s.max_ns))
-    t.order;
-  let all_errors =
-    List.concat_map
-      (fun kind -> (Hashtbl.find t.tbl kind).errors)
-      t.order
-    |> List.fold_left
-         (fun acc (code, n) ->
-           let m = try List.assoc code acc with Not_found -> 0 in
-           (code, m + n) :: List.remove_assoc code acc)
-         []
-  in
+      let labels = [ ("kind", kind) ] in
+      let h = M.find_histogram t.reg ~labels latency_family in
+      let stat f = match h with None -> nan | Some h -> f h in
+      Fmt.pf ppf "  %-9s %8d %8d %8d %8d %9s %9s %9s %9s@." kind
+        (kind_value t "gp_requests_total" kind)
+        (kind_value t "gp_requests_ok_total" kind)
+        (kind_errors t kind)
+        (kind_value t "gp_requests_cached_total" kind)
+        (Fmt.str "%a" pp_ns (stat Histogram.mean))
+        (Fmt.str "%a" pp_ns (stat (fun h -> Histogram.quantile h 0.50)))
+        (Fmt.str "%a" pp_ns (stat (fun h -> Histogram.quantile h 0.90)))
+        (Fmt.str "%a" pp_ns (stat Histogram.max_value)))
+    t.kinds;
+  let all_errors = errors_by_code t in
   if all_errors <> [] then begin
     Fmt.pf ppf "@.errors by code@.";
     List.iter
@@ -139,3 +120,18 @@ let report ?(cache_stats = []) t =
   end;
   Format.pp_print_flush ppf ();
   Buffer.contents buf
+
+let report_json ?(cache_stats = []) t =
+  let module J = Gp_telemetry.Json in
+  let cache_json (st : Lru.stats) =
+    Printf.sprintf
+      "{\"name\":%s,\"capacity\":%d,\"size\":%d,\"hits\":%d,\"misses\":%d,\"evictions\":%d}"
+      (J.str st.Lru.st_name) st.Lru.st_capacity st.Lru.st_size st.Lru.st_hits
+      st.Lru.st_misses st.Lru.st_evictions
+  in
+  Printf.sprintf "{\"requests\":%d,\"errors\":%d,\"caches\":[%s],\"registry\":%s}"
+    (requests t) (errors t)
+    (String.concat "," (List.map cache_json cache_stats))
+    (M.to_json t.reg)
+
+let to_prometheus t = M.to_prometheus t.reg

@@ -1,11 +1,17 @@
-(** Serving observability: per-kind request counters, log-scale latency
-    histograms (decade buckets over ns, O(1) observation), and the text
-    report combining counters, latency quantile estimates, error-code
-    totals and cache hit-ratio tables. *)
+(** Serving observability: a thin veneer over the shared telemetry
+    registry ({!Gp_telemetry.Metrics}). Per-kind request counters and
+    log-scale latency histograms with {e interpolated} p50/p90 in the
+    text report, plus machine-readable JSON and Prometheus expositions
+    of the same registry. *)
 
 type t
 
 val create : unit -> t
+
+val registry : t -> Gp_telemetry.Metrics.t
+(** The backing registry — the families are ordinary metrics
+    ([gp_requests_total{kind}], [gp_request_errors_total{kind,code}],
+    [gp_request_latency_ns{kind}], ...). *)
 
 val observe :
   t ->
@@ -20,7 +26,16 @@ val requests : t -> int
 val errors : t -> int
 
 val report : ?cache_stats:Lru.stats list -> t -> string
-(** The rendered text report. Quantiles are bucket upper-bound
-    estimates. *)
+(** The rendered text report. Quantiles are within-bucket
+    log-interpolated estimates (see {!Gp_telemetry.Histogram.quantile}),
+    accurate to one bucket ratio (~1.58x). *)
+
+val report_json : ?cache_stats:Lru.stats list -> t -> string
+(** Machine-readable twin of {!report}: request/error totals, cache
+    stats, and the full registry dump
+    ({!Gp_telemetry.Metrics.to_json}). *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition of the backing registry. *)
 
 val pp_ns : Format.formatter -> float -> unit

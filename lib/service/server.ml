@@ -9,6 +9,9 @@
    anything unexpected to an Internal error response and the server keeps
    serving. *)
 
+module Tel = Gp_telemetry.Tel
+module Trace = Gp_telemetry.Trace
+
 type config = {
   caching : bool;
   cache_capacity : int; (* entries per LRU *)
@@ -16,6 +19,7 @@ type config = {
   max_steps : int; (* per-request step budget *)
   timeout : float option; (* per-request deadline, seconds *)
   now : unit -> float; (* injectable clock, seconds *)
+  slow_log : int; (* slowest requests kept with their span trees *)
 }
 
 let default_config =
@@ -24,7 +28,15 @@ let default_config =
     queue_capacity = 64;
     max_steps = 100_000;
     timeout = None;
-    now = Unix.gettimeofday }
+    now = Unix.gettimeofday;
+    slow_log = 5 }
+
+type slow_entry = {
+  se_id : int;
+  se_kind : string;
+  se_ns : float;
+  se_spans : Trace.span list;
+}
 
 type t = {
   config : config;
@@ -32,6 +44,7 @@ type t = {
   metrics : Metrics.t;
   queue : (int * Request.t) Queue.t;
   mutable next_id : int;
+  mutable slow : slow_entry list; (* slowest first, <= config.slow_log *)
 }
 
 let create ?(config = default_config) ~declare_standard () =
@@ -41,7 +54,8 @@ let create ?(config = default_config) ~declare_standard () =
         ~cache_capacity:config.cache_capacity ();
     metrics = Metrics.create ();
     queue = Queue.create ();
-    next_id = 0 }
+    next_id = 0;
+    slow = [] }
 
 let config t = t.config
 let metrics t = t.metrics
@@ -71,8 +85,7 @@ let observe t ~kind ~id ~t0 (result : (Request.payload, Request.error) result)
 
 (* Handle one request to completion. Total: budget exhaustion and any
    unexpected exception become structured errors. *)
-let handle ?id t req =
-  let id = match id with Some id -> id | None -> fresh_id t in
+let handle_core ~id t req =
   let t0 = t.config.now () in
   let budget =
     Budget.create ~max_steps:t.config.max_steps
@@ -104,6 +117,44 @@ let handle ?id t req =
   in
   observe t ~kind:(Some (Request.kind req)) ~id ~t0 result ~cached
     ~steps:(Budget.used budget)
+
+(* Keep the [config.slow_log] slowest requests with the span trees their
+   root span covered. The duration ranking a request by is its root
+   span's, so the log is self-consistent with the trace export. *)
+let record_slow t ~id ~kind spans =
+  match List.rev spans with
+  | [] -> () (* ring dropped everything: nothing worth keeping *)
+  | root :: _ ->
+    let entry =
+      { se_id = id; se_kind = kind; se_ns = root.Trace.sp_dur_ns;
+        se_spans = spans }
+    in
+    let merged =
+      List.merge
+        (fun a b -> Float.compare b.se_ns a.se_ns)
+        [ entry ] t.slow
+    in
+    t.slow <- List.filteri (fun i _ -> i < t.config.slow_log) merged
+
+let handle ?id t req =
+  let id = match id with Some id -> id | None -> fresh_id t in
+  if not (Tel.is_enabled ()) then handle_core ~id t req
+  else begin
+    let m = Tel.mark () in
+    let rsp =
+      Tel.with_span ~name:"service.request"
+        ~attrs:(fun () ->
+          [
+            ("kind", Request.kind_name (Request.kind req));
+            ("id", string_of_int id);
+          ])
+        (fun () -> handle_core ~id t req)
+    in
+    record_slow t ~id
+      ~kind:(Request.kind_name (Request.kind req))
+      (Tel.spans_since m);
+    rsp
+  end
 
 (* A request line that did not even parse still gets a full response (and
    a metrics entry under kind "invalid"). *)
@@ -210,3 +261,19 @@ let serve_channel t ic oc =
   !served
 
 let report t = Metrics.report ~cache_stats:(cache_stats t) t.metrics
+let report_json t = Metrics.report_json ~cache_stats:(cache_stats t) t.metrics
+
+let slow_requests t = t.slow
+
+let pp_slow ppf entries =
+  if entries = [] then
+    Fmt.string ppf "slow-request log: empty (telemetry disabled or no traffic)"
+  else begin
+    Fmt.pf ppf "@[<v>slowest requests";
+    List.iter
+      (fun e ->
+        Fmt.pf ppf "@,#%d %s  %a@,%a" e.se_id e.se_kind Trace.pp_dur e.se_ns
+          Trace.pp_tree e.se_spans)
+      entries;
+    Fmt.pf ppf "@]"
+  end

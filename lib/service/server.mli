@@ -14,11 +14,12 @@ type config = {
   max_steps : int;  (** per-request step budget *)
   timeout : float option;  (** per-request deadline, seconds *)
   now : unit -> float;  (** injectable clock, seconds *)
+  slow_log : int;  (** slowest requests kept with their span trees *)
 }
 
 val default_config : config
 (** caching on, 256-entry caches, queue of 64, 100k steps, no timeout,
-    [Unix.gettimeofday]. *)
+    [Unix.gettimeofday], 5-entry slow log. *)
 
 type t
 
@@ -37,7 +38,10 @@ val queue_length : t -> int
 
 val handle : ?id:int -> t -> Request.t -> Request.response
 (** Process one request to completion, bypassing the queue. Never
-    raises. *)
+    raises. When a telemetry sink is installed
+    ([Gp_telemetry.Tel.install]) each request runs under a
+    [service.request] root span and feeds the slow-request log; the
+    response is identical either way. *)
 
 val submit : t -> Request.t -> [ `Admitted of int | `Rejected of Request.response ]
 (** Admission control: a full queue rejects with a [Queue_full]
@@ -64,3 +68,21 @@ val serve_channel : t -> in_channel -> out_channel -> int
 
 val report : t -> string
 (** The metrics report including cache hit-ratio tables. *)
+
+val report_json : t -> string
+(** Machine-readable twin of {!report}: totals, cache stats, and the
+    full metric-registry dump ({!Metrics.report_json}). *)
+
+type slow_entry = {
+  se_id : int;
+  se_kind : string;
+  se_ns : float;  (** root-span duration *)
+  se_spans : Gp_telemetry.Trace.span list;  (** the request's span tree *)
+}
+
+val slow_requests : t -> slow_entry list
+(** The [config.slow_log] slowest requests seen so far, slowest first.
+    Populated only while a telemetry sink is installed. *)
+
+val pp_slow : Format.formatter -> slow_entry list -> unit
+(** Render the slow-request log as indented span trees. *)

@@ -10,6 +10,8 @@
    after) so the Fig. 5 instance table can be *regenerated mechanically*
    from the rules — bench f5 does exactly that. *)
 
+module Tel = Gp_telemetry.Tel
+
 type step = {
   st_rule : string;
   st_carrier : string * string; (* (type, op) the guard was checked on *)
@@ -34,12 +36,18 @@ let carriers insts (node : Expr.t) =
   | Expr.Op (o, t, _) -> (t, o) :: Instances.inverse_carriers insts ~ty:t ~op:o
   | Expr.Var _ | Expr.Lit _ | Expr.Ident _ -> []
 
+(* Per-rewrite counters the core maintains unconditionally (two int
+   stores per guard probe — noise); the instrumented wrapper flushes
+   them to the telemetry registry when a sink is installed. *)
+type core_stats = { mutable guard_probes : int; mutable guard_hits : int }
+
 (* Try to apply one rule at [node] for carrier (ty, op); the concept guard
    is checked first (user rules are guarded by their library type
    instead). [guard_memo] caches the instance-table part of the guard —
    keyed (ty, op, required level, ring?) — across one whole rewrite, so
    repeated guard checks on the same carrier cost one hash probe. *)
-let try_rule insts ~only_certified ~guard_memo (r : Rules.t) ~ty ~op node =
+let try_rule insts ~only_certified ~guard_memo ~stats (r : Rules.t) ~ty ~op
+    node =
   let guard_ok =
     match r.Rules.user_type with
     | Some ut ->
@@ -52,9 +60,12 @@ let try_rule insts ~only_certified ~guard_memo (r : Rules.t) ~ty ~op node =
       let key =
         (ty, op, Instances.level_rank r.Rules.guard, r.Rules.requires_ring)
       in
+      stats.guard_probes <- stats.guard_probes + 1;
       let instance_ok =
         match Hashtbl.find_opt guard_memo key with
-        | Some b -> b
+        | Some b ->
+          stats.guard_hits <- stats.guard_hits + 1;
+          b
         | None ->
           let b =
             Instances.models insts ~ty ~op ~required:r.Rules.guard
@@ -123,12 +134,13 @@ let candidates rx o =
     Hashtbl.replace rx.rx_cands o merged;
     merged
 
-let rewrite ?(only_certified = false) ~rules ~insts expr =
+let rewrite_core ?(only_certified = false) ~rules ~insts expr =
   let steps = ref [] in
   let budget = ref max_steps in
   let exhausted = ref false in
   let rx = index_rules rules in
   let guard_memo = Hashtbl.create 64 in
+  let stats = { guard_probes = 0; guard_hits = 0 } in
   (* apply rules at the root of [node] until none fires *)
   let rec at_root node =
     match node with
@@ -152,7 +164,8 @@ let rewrite ?(only_certified = false) ~rules ~insts expr =
             List.find_map
               (fun (ty, op) ->
                 match
-                  try_rule insts ~only_certified ~guard_memo r ~ty ~op node
+                  try_rule insts ~only_certified ~guard_memo ~stats r ~ty ~op
+                    node
                 with
                 | Some after ->
                   Some
@@ -193,13 +206,50 @@ let rewrite ?(only_certified = false) ~rules ~insts expr =
     raise
       (Did_not_terminate
          { dnt_input = expr; dnt_partial = output; dnt_steps = List.rev !steps });
-  {
-    input = expr;
-    output;
-    steps = List.rev !steps;
-    ops_before = Expr.op_count expr;
-    ops_after = Expr.op_count output;
-  }
+  ( {
+      input = expr;
+      output;
+      steps = List.rev !steps;
+      ops_before = Expr.op_count expr;
+      ops_after = Expr.op_count output;
+    },
+    stats )
+
+let rewrite_uninstrumented ?only_certified ~rules ~insts expr =
+  fst (rewrite_core ?only_certified ~rules ~insts expr)
+
+let head_symbol (e : Expr.t) =
+  match e with
+  | Expr.Op (o, _, _) -> o
+  | Expr.Var _ -> "var"
+  | Expr.Lit _ -> "lit"
+  | Expr.Ident _ -> "ident"
+
+(* The public entry point. Disabled, it is one flag check and a closure
+   away from [rewrite_uninstrumented] (bench s3 measures exactly that
+   gap); enabled, it opens a span and flushes per-rewrite counters —
+   including rules fired per head symbol, recovered from the step trace
+   after the core returns so the hot loop never touches telemetry. *)
+let rewrite ?only_certified ~rules ~insts expr =
+  if not (Tel.is_enabled ()) then
+    fst (rewrite_core ?only_certified ~rules ~insts expr)
+  else
+    Tel.with_span ~name:"simplicissimus.rewrite" (fun () ->
+        let r, stats = rewrite_core ?only_certified ~rules ~insts expr in
+        Tel.count "gp_engine_rewrites_total" 1;
+        Tel.count "gp_engine_steps_total" (List.length r.steps);
+        Tel.count "gp_engine_guard_probes_total" stats.guard_probes;
+        Tel.count "gp_engine_guard_memo_hits_total" stats.guard_hits;
+        List.iter
+          (fun s ->
+            Tel.count
+              ~labels:[ ("head", head_symbol s.st_before) ]
+              "gp_engine_rules_fired_total" 1)
+          r.steps;
+        Tel.attr "steps" (string_of_int (List.length r.steps));
+        Tel.attr "ops_before" (string_of_int r.ops_before);
+        Tel.attr "ops_after" (string_of_int r.ops_after);
+        r)
 
 (* ------------------------------------------------------------------ *)
 (* The seed linear-scan engine, retained as the equivalence oracle      *)

@@ -55,7 +55,24 @@ val rewrite :
     match ({!Rules.head}), so a node only ever tries rules that could
     possibly fire at it; guard checks are memoised per (carrier, level)
     across the whole call. Firing order is identical to
-    {!rewrite_reference}. *)
+    {!rewrite_reference}.
+
+    When a telemetry sink is installed ([Gp_telemetry.Tel.install]) each
+    call opens a [simplicissimus.rewrite] span and emits step, guard-memo
+    and rules-fired-per-head-symbol counters; with no sink installed the
+    instrumentation is a single flag check (bench s3 measures the gap
+    against {!rewrite_uninstrumented}). The result is identical either
+    way. *)
+
+val rewrite_uninstrumented :
+  ?only_certified:bool ->
+  rules:Rules.t list ->
+  insts:Instances.t ->
+  Expr.t ->
+  result
+(** The bare indexed engine with no telemetry wrapper at all — the
+    honest baseline bench s3 compares {!rewrite} against. Semantically
+    identical to {!rewrite}. *)
 
 val rewrite_reference :
   ?only_certified:bool ->

@@ -32,6 +32,7 @@ let sorted_linear_search_message alternative =
 
 type ctx = {
   mutable diags : diagnostic list; (* reverse order; deduplicated *)
+  mutable steps : int; (* symbolic statements executed, loop bodies included *)
 }
 
 let emit ctx severity message where =
@@ -199,6 +200,7 @@ let set_container_sorted st c sorted =
   | None -> st
 
 let rec exec_stmt ctx st ({ Ast.label; node } : Ast.stmt) =
+  ctx.steps <- ctx.steps + 1;
   match node with
   | Ast.Decl_container { name; kind; sorted } ->
     State.set_container st name
@@ -451,9 +453,32 @@ and exec_algo ctx st label algo args result =
 
 (* Entry point: check a whole program. *)
 let check (program : Ast.stmt list) =
-  let ctx = { diags = [] } in
-  let _final = exec_block ctx State.empty program in
-  List.rev ctx.diags
+  let module Tel = Gp_telemetry.Tel in
+  Tel.with_span ~name:"stllint.check"
+    ~attrs:(fun () -> [ ("stmts", string_of_int (List.length program)) ])
+    (fun () ->
+      let ctx = { diags = []; steps = 0 } in
+      let _final = exec_block ctx State.empty program in
+      let diags = List.rev ctx.diags in
+      if Tel.is_enabled () then begin
+        Tel.count "gp_lint_programs_total" 1;
+        Tel.count "gp_lint_symbolic_steps_total" ctx.steps;
+        List.iter
+          (fun d ->
+            let sev =
+              match d.d_severity with
+              | Error -> "error"
+              | Warning -> "warning"
+              | Suggestion -> "suggestion"
+            in
+            Tel.count
+              ~labels:[ ("severity", sev) ]
+              "gp_lint_diagnostics_total" 1)
+          diags;
+        Tel.attr "symbolic_steps" (string_of_int ctx.steps);
+        Tel.attr "diagnostics" (string_of_int (List.length diags))
+      end;
+      diags)
 
 let errors ds = List.filter (fun d -> d.d_severity = Error) ds
 let warnings ds = List.filter (fun d -> d.d_severity = Warning) ds

@@ -1,0 +1,11 @@
+(** Minimal JSON emission helpers shared by the exporters (emission
+    only — parsing lives in the test suite's validator). *)
+
+val escape : string -> string
+(** Escape for inclusion inside a JSON string literal (no quotes). *)
+
+val str : string -> string
+(** A quoted, escaped JSON string literal. *)
+
+val num : float -> string
+(** A JSON number; [nan] and infinities become [null]. *)

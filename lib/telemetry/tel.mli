@@ -1,0 +1,51 @@
+(** The global switchboard instrumented hot paths call through.
+
+    Default state is OFF: every entry point is a single flag check, so
+    instrumentation compiled into the engines is ~free until a sink is
+    installed (bench s3 measures this). The process is single-threaded;
+    one global sink serves the whole toolchain. *)
+
+type sink = {
+  clock : Clock.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
+}
+
+val make_sink : ?clock:Clock.t -> ?trace_capacity:int -> unit -> sink
+(** Build a sink without installing it (defaults: wall clock, 4096-span
+    ring). *)
+
+val install : ?clock:Clock.t -> ?trace_capacity:int -> unit -> sink
+(** Create a sink, install it globally, enable every call site. *)
+
+val install_sink : sink -> unit
+val uninstall : unit -> unit  (** Back to the no-op default. *)
+
+val is_enabled : unit -> bool
+val current : unit -> sink option  (** [None] when disabled. *)
+
+val with_installed :
+  ?clock:Clock.t -> ?trace_capacity:int -> (sink -> 'a) -> 'a
+(** Install a fresh sink around the thunk, restoring the previous global
+    state afterwards (exception-safe) — the test-suite idiom. *)
+
+val with_span :
+  name:string -> ?attrs:(unit -> (string * string) list) ->
+  (unit -> 'a) -> 'a
+(** {!Trace.with_span} on the installed sink; calls the thunk directly
+    when disabled. [attrs] is only evaluated when enabled. *)
+
+val attr : string -> string -> unit
+(** {!Trace.add_attr} on the innermost open span; no-op when disabled.
+    Guard argument computation with {!is_enabled} when it allocates. *)
+
+val mark : unit -> int
+val spans_since : int -> Trace.span list
+(** Per-request span capture; [spans_since (mark ())] brackets. *)
+
+val count : ?labels:(string * string) list -> string -> int -> unit
+(** Add to a counter; no-op when disabled. *)
+
+val gauge : ?labels:(string * string) list -> string -> float -> unit
+val observe : ?labels:(string * string) list -> string -> float -> unit
+(** Histogram observation; no-op when disabled. *)

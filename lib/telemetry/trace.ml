@@ -1,0 +1,195 @@
+(* Span tracing: nested regions timed by the injectable clock, kept in a
+   bounded ring buffer (old spans are overwritten, never allocated
+   past the capacity), exported as Chrome trace-event JSON.
+
+   Spans close in LIFO order on one thread — the engine and the service
+   are single-threaded — so parenthood is the open-span stack. A span is
+   recorded at close time; an exception inside [with_span] still records
+   the span (tagged error=true) and re-raises. *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_start_ns : float;
+  sp_dur_ns : float;
+  sp_attrs : (string * string) list;
+}
+
+type open_span = {
+  o_id : int;
+  o_parent : int option;
+  o_name : string;
+  o_start : float;
+  o_attrs : (unit -> (string * string) list) option;
+  mutable o_extra : (string * string) list; (* add_attr, reverse order *)
+}
+
+type t = {
+  clock : Clock.t;
+  capacity : int;
+  ring : span array; (* slot i holds recorded span (recorded-retained+i) *)
+  mutable recorded : int; (* total spans ever recorded *)
+  mutable next_id : int;
+  mutable stack : open_span list;
+}
+
+let dummy =
+  { sp_id = 0; sp_parent = None; sp_name = ""; sp_start_ns = 0.0;
+    sp_dur_ns = 0.0; sp_attrs = [] }
+
+let create ?(capacity = 4096) ~clock () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity < 1";
+  { clock; capacity; ring = Array.make capacity dummy; recorded = 0;
+    next_id = 0; stack = [] }
+
+let record t sp =
+  t.ring.(t.recorded mod t.capacity) <- sp;
+  t.recorded <- t.recorded + 1
+
+let close t o ~error =
+  let stop = t.clock () in
+  let attrs =
+    (match o.o_attrs with Some f -> f () | None -> [])
+    @ List.rev o.o_extra
+    @ (if error then [ ("error", "true") ] else [])
+  in
+  record t
+    { sp_id = o.o_id; sp_parent = o.o_parent; sp_name = o.o_name;
+      sp_start_ns = o.o_start; sp_dur_ns = Float.max 0.0 (stop -. o.o_start);
+      sp_attrs = attrs }
+
+let with_span t ~name ?attrs f =
+  t.next_id <- t.next_id + 1;
+  let o =
+    { o_id = t.next_id;
+      o_parent = (match t.stack with o :: _ -> Some o.o_id | [] -> None);
+      o_name = name;
+      o_start = t.clock ();
+      o_attrs = attrs;
+      o_extra = [] }
+  in
+  t.stack <- o :: t.stack;
+  let pop () = t.stack <- (match t.stack with _ :: rest -> rest | [] -> []) in
+  match f () with
+  | v ->
+    pop ();
+    close t o ~error:false;
+    v
+  | exception exn ->
+    pop ();
+    close t o ~error:true;
+    raise exn
+
+let add_attr t key v =
+  match t.stack with
+  | o :: _ -> o.o_extra <- (key, v) :: o.o_extra
+  | [] -> ()
+
+let retained t = Int.min t.recorded t.capacity
+let recorded t = t.recorded
+let dropped t = Int.max 0 (t.recorded - t.capacity)
+
+(* Retained spans, oldest first. *)
+let spans t =
+  let n = retained t in
+  List.init n (fun i -> t.ring.((t.recorded - n + i) mod t.capacity))
+
+(* [mark]/[since]: a cursor into the record stream, for per-request span
+   capture (the service's slow-request log). *)
+let mark t = t.recorded
+
+let since t m =
+  let n = retained t in
+  let first = Int.max m (t.recorded - n) in
+  List.init (t.recorded - first) (fun i ->
+      t.ring.((first + i) mod t.capacity))
+
+let clear t =
+  t.recorded <- 0;
+  t.stack <- []
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One complete ("ph":"X") event per span; ts/dur are microseconds.
+   Timestamps are rebased to the earliest retained span — a wall clock's
+   epoch nanoseconds would swamp the printer's precision and every ts
+   would render identical. Nesting is inferred by the viewer from time
+   containment; the span and parent ids also ride along in args. *)
+let to_chrome_json t =
+  let sps = spans t in
+  let base =
+    List.fold_left (fun m sp -> Float.min m sp.sp_start_ns) infinity sps
+  in
+  let base = if Float.is_finite base then base else 0.0 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i sp ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%s,\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%s,\"dur\":%s,\
+            \"args\":{"
+           (Json.str sp.sp_name)
+           (Json.num ((sp.sp_start_ns -. base) /. 1e3))
+           (Json.num (sp.sp_dur_ns /. 1e3)));
+      let args =
+        [ ("span_id", string_of_int sp.sp_id) ]
+        @ (match sp.sp_parent with
+          | Some p -> [ ("parent_id", string_of_int p) ]
+          | None -> [])
+        @ sp.sp_attrs
+      in
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Json.str k ^ ":" ^ Json.str v))
+        args;
+      Buffer.add_string buf "}}")
+    sps;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"displayTimeUnit\":\"ns\",\"droppedSpans\":%d}"
+       (dropped t));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Span-tree rendering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let pp_dur ppf ns =
+  if Float.is_nan ns then Fmt.string ppf "-"
+  else if ns < 1e3 then Fmt.pf ppf "%.0fns" ns
+  else if ns < 1e6 then Fmt.pf ppf "%.1fus" (ns /. 1e3)
+  else if ns < 1e9 then Fmt.pf ppf "%.2fms" (ns /. 1e6)
+  else Fmt.pf ppf "%.2fs" (ns /. 1e9)
+
+(* Render a list of completed spans as an indented forest. Roots are
+   spans whose parent is absent from the list (the list may be a window,
+   e.g. one request's spans). *)
+let pp_tree ppf sps =
+  let present = List.map (fun s -> s.sp_id) sps in
+  let children p =
+    List.filter (fun s -> s.sp_parent = Some p) sps
+    |> List.sort (fun a b -> Float.compare a.sp_start_ns b.sp_start_ns)
+  in
+  let roots =
+    List.filter
+      (fun s ->
+        match s.sp_parent with
+        | None -> true
+        | Some p -> not (List.mem p present))
+      sps
+    |> List.sort (fun a b -> Float.compare a.sp_start_ns b.sp_start_ns)
+  in
+  let rec pp_span depth s =
+    Fmt.pf ppf "%s%-*s %a" (String.make (2 * depth) ' ')
+      (Int.max 1 (30 - (2 * depth)))
+      s.sp_name pp_dur s.sp_dur_ns;
+    List.iter (fun (k, v) -> Fmt.pf ppf " %s=%s" k v) s.sp_attrs;
+    Fmt.pf ppf "@.";
+    List.iter (pp_span (depth + 1)) (children s.sp_id)
+  in
+  List.iter (pp_span 0) roots

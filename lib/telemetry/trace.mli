@@ -1,0 +1,61 @@
+(** Span tracing: nested timed regions in a bounded in-memory ring
+    buffer, exported as Chrome trace-event JSON ([chrome://tracing] /
+    Perfetto). Single-threaded: parenthood is the open-span stack.
+
+    Spans record at close; once [capacity] is exceeded the oldest spans
+    are overwritten and counted in {!dropped}. *)
+
+type span = {
+  sp_id : int;  (** unique per trace, from 1 *)
+  sp_parent : int option;
+  sp_name : string;
+  sp_start_ns : float;
+  sp_dur_ns : float;
+  sp_attrs : (string * string) list;
+}
+
+type t
+
+val create : ?capacity:int -> clock:Clock.t -> unit -> t
+(** Default capacity 4096 spans. Raises [Invalid_argument] when
+    [capacity < 1]. *)
+
+val with_span :
+  t -> name:string -> ?attrs:(unit -> (string * string) list) ->
+  (unit -> 'a) -> 'a
+(** Run the thunk inside a span. [attrs] is evaluated once, at close.
+    If the thunk raises, the span is still recorded — tagged with
+    [error=true] — and the exception propagates. *)
+
+val add_attr : t -> string -> string -> unit
+(** Attach an attribute to the innermost open span (no-op outside any
+    span). Lets code record results computed mid-span. *)
+
+val spans : t -> span list
+(** Retained (up to capacity) completed spans, oldest first. *)
+
+val recorded : t -> int
+(** Total spans ever recorded. *)
+
+val dropped : t -> int
+(** Spans overwritten by the ring bound. *)
+
+val mark : t -> int
+(** A cursor into the record stream; see {!since}. *)
+
+val since : t -> int -> span list
+(** Spans recorded after the given {!mark} and still retained, oldest
+    first — the per-request capture used by the slow-request log. *)
+
+val clear : t -> unit
+
+val to_chrome_json : t -> string
+(** Chrome trace-event JSON: one complete ([ph:"X"]) event per retained
+    span, ts/dur in microseconds (ts rebased to the earliest retained
+    span), span/parent ids and attrs in [args]. *)
+
+val pp_dur : Format.formatter -> float -> unit
+
+val pp_tree : Format.formatter -> span list -> unit
+(** Render spans as an indented forest (roots = spans whose parent is
+    not in the list), with durations and attributes. *)

@@ -1,0 +1,151 @@
+(* A minimal recursive-descent JSON reader, used only to VALIDATE the
+   telemetry emitters (Chrome traces, metric dumps, report_json) — the
+   library itself never parses JSON. Strict enough to catch broken
+   escaping, trailing commas and truncated output. *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+exception Bad_json of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail m = raise (Bad_json (Printf.sprintf "%s at offset %d" m !pos)) in
+  let rec skip () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip ()
+    | _ -> ()
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let lit w v =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ w)
+  in
+  let number () =
+    let start = !pos in
+    let is_num = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num c | None -> false) do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Jnum f
+    | None -> fail "bad number"
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | Some '"' -> incr pos
+      | Some '\\' ->
+        incr pos;
+        (match peek () with
+        | Some 'n' -> Buffer.add_char b '\n'; incr pos
+        | Some 't' -> Buffer.add_char b '\t'; incr pos
+        | Some 'r' -> Buffer.add_char b '\r'; incr pos
+        | Some 'b' -> Buffer.add_char b '\b'; incr pos
+        | Some 'f' -> Buffer.add_char b '\012'; incr pos
+        | Some 'u' ->
+          (* \uXXXX: skipping the escape is enough for validation *)
+          if !pos + 5 > n then fail "truncated \\u escape";
+          pos := !pos + 5;
+          Buffer.add_char b '?'
+        | Some c -> Buffer.add_char b c; incr pos
+        | None -> fail "eof in string");
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+      | None -> fail "eof in string"
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec value () =
+    skip ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> Jstr (string_lit ())
+    | Some 't' -> lit "true" (Jbool true)
+    | Some 'f' -> lit "false" (Jbool false)
+    | Some 'n' -> lit "null" Jnull
+    | Some _ -> number ()
+    | None -> fail "eof"
+  and arr () =
+    expect '[';
+    skip ();
+    if peek () = Some ']' then begin
+      incr pos;
+      Jlist []
+    end
+    else
+      let rec items acc =
+        let v = value () in
+        skip ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          items (v :: acc)
+        | Some ']' ->
+          incr pos;
+          Jlist (List.rev (v :: acc))
+        | _ -> fail "bad array"
+      in
+      items []
+  and obj () =
+    expect '{';
+    skip ();
+    if peek () = Some '}' then begin
+      incr pos;
+      Jobj []
+    end
+    else
+      let rec fields acc =
+        skip ();
+        let k = string_lit () in
+        skip ();
+        expect ':';
+        let v = value () in
+        skip ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          incr pos;
+          Jobj (List.rev ((k, v) :: acc))
+        | _ -> fail "bad object"
+      in
+      fields []
+  in
+  let v = value () in
+  skip ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | Jobj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let jlist = function Jlist l -> l | _ -> raise (Bad_json "expected array")

@@ -526,6 +526,25 @@ let closure_equiv_prop =
               closures_agree reg
             end))
 
+(* Telemetry transparency: checking and propagation return the same
+   reports/observations with a sink installed (spans + counters
+   recorded) as with the default no-op switchboard. *)
+let telemetry_transparent_prop =
+  qtest
+    (QCheck.Test.make
+       ~name:"telemetry never changes check/closure results" ~count:100
+       world_arb
+       (fun w ->
+         let reg = build_registry w in
+         let run () =
+           List.init nconcepts (fun i ->
+               ( Check.check reg (cname i) [ n (tyname 0) ],
+                 Propagate.closure reg (cname i) [ n (tyname 0) ] ))
+         in
+         let off = run () in
+         let on = Gp_telemetry.Tel.with_installed (fun _sink -> run ()) in
+         off = on))
+
 (* ------------------------------------------------------------------ *)
 (* Archetypes                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -777,7 +796,9 @@ let () =
           Alcotest.test_case "tower" `Quick
             test_propagation_exponential_tower;
         ] );
-      ("registry index", [ registry_equiv_prop; closure_equiv_prop ]);
+      ("registry index",
+        [ registry_equiv_prop; closure_equiv_prop;
+          telemetry_transparent_prop ]);
       ( "archetype",
         [
           Alcotest.test_case "models own concept" `Quick

@@ -100,6 +100,24 @@ let lcr_prop =
          in
          Algorithms.agreed r = Some (string_of_int n)))
 
+(* Telemetry transparency: a simulation produces identical decisions and
+   metrics — same RNG stream, same event order — with a sink installed
+   (spans + per-algorithm counters recorded) as without. *)
+let telemetry_transparent_prop =
+  qtest
+    (QCheck.Test.make ~name:"telemetry never changes simulation results"
+       ~count:50
+       QCheck.(pair (int_range 3 15) (int_range 0 10_000))
+       (fun (n, seed) ->
+         let topo = Topology.ring_unidirectional n in
+         let uids = permutation ~seed n in
+         let run () =
+           Algorithms.Lcr.run ~config:(config ~timing:async ~seed ()) ~uids topo
+         in
+         let off = run () in
+         let on = Gp_telemetry.Tel.with_installed (fun _sink -> run ()) in
+         off = on))
+
 (* Worst case for LCR: uids decreasing along the send direction gives the
    Theta(n^2) message bound. *)
 let test_lcr_message_bounds () =
@@ -376,7 +394,8 @@ let () =
           Alcotest.test_case "tree" `Quick test_tree_topology;
         ] );
       ( "engine",
-        [ Alcotest.test_case "determinism" `Quick test_determinism ] );
+        [ Alcotest.test_case "determinism" `Quick test_determinism;
+          telemetry_transparent_prop ] );
       ( "leader election",
         [
           Alcotest.test_case "LCR elects max" `Quick test_lcr_elects_max;

@@ -351,6 +351,21 @@ let rat_semantics_prop =
          in
          Expr.value_equal (Eval.eval ~env e) (Eval.eval ~env (rw e))))
 
+(* Telemetry transparency: the instrumented entry point returns the same
+   result with no sink (flag-check-only path), with a sink installed
+   (spans + counters recorded), and as the bare uninstrumented core. *)
+let telemetry_transparent_prop =
+  qtest
+    (QCheck.Test.make ~name:"telemetry never changes rewrite results"
+       ~count:200 int_expr (fun e ->
+         let r_base = Engine.rewrite_uninstrumented ~rules ~insts e in
+         let r_off = Engine.rewrite ~rules ~insts e in
+         let r_on =
+           Gp_telemetry.Tel.with_installed (fun _sink ->
+               Engine.rewrite ~rules ~insts e)
+         in
+         r_base = r_off && r_off = r_on))
+
 (* ------------------------------------------------------------------ *)
 (* Budget exhaustion: payload of Did_not_terminate                     *)
 (* ------------------------------------------------------------------ *)
@@ -657,5 +672,6 @@ let () =
             test_discharge_instance_axioms;
         ] );
       ( "properties",
-        [ semantics_prop; shrink_prop; idempotent_prop; rat_semantics_prop ] );
+        [ semantics_prop; shrink_prop; idempotent_prop; rat_semantics_prop;
+          telemetry_transparent_prop ] );
     ]

@@ -221,6 +221,32 @@ let test_generated_clean () =
   Alcotest.(check int) "no errors in clean program" 0
     (count_sev Interp.Error ds)
 
+(* Telemetry transparency: the symbolic interpreter reports identical
+   diagnostics with a sink installed (spans + counters recorded) and
+   with the default no-op switchboard. *)
+let telemetry_transparent_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"telemetry never changes diagnostics" ~count:50
+       QCheck.(pair (int_range 0 40) (int_range 0 5))
+       (fun (blocks, buggy_every) ->
+         let program = Corpus.generate ~blocks ~buggy_every in
+         let off = Interp.check program in
+         let on =
+           Gp_telemetry.Tel.with_installed (fun _sink -> Interp.check program)
+         in
+         off = on))
+
+let test_telemetry_transparent_corpus () =
+  List.iter
+    (fun (c : Corpus.case) ->
+      let off = Interp.check c.Corpus.program in
+      let on =
+        Gp_telemetry.Tel.with_installed (fun _sink ->
+            Interp.check c.Corpus.program)
+      in
+      Alcotest.(check bool) (c.Corpus.case_name ^ " unchanged") true (off = on))
+    Corpus.all
+
 let () =
   Alcotest.run "gp_stllint"
     [
@@ -251,5 +277,11 @@ let () =
           Alcotest.test_case "detection count" `Quick
             test_generated_detection;
           Alcotest.test_case "clean program" `Quick test_generated_clean;
+        ] );
+      ( "telemetry transparency",
+        [
+          telemetry_transparent_prop;
+          Alcotest.test_case "corpus unchanged" `Quick
+            test_telemetry_transparent_corpus;
         ] );
     ]

@@ -1,0 +1,483 @@
+(* Tests for gp_telemetry: histogram quantile accuracy (including the
+   one-bucket-ratio error bound, property-tested), the metric registry
+   and its Prometheus/JSON expositions, deterministic span tracing under
+   a manual clock, the global switchboard, and the gp_service veneer.
+
+   The JSON emitters are validated by an actual parser
+   ({!Mini_json}), not by substring matching. *)
+
+open Gp_telemetry
+open Mini_json
+
+let qtest = QCheck_alcotest.to_alcotest
+let parse_json = Mini_json.parse
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* exact sample quantile: the ceil(q*n)-th smallest observation *)
+let exact_quantile samples q =
+  let sorted = List.sort Float.compare samples in
+  let n = List.length sorted in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  List.nth sorted (rank - 1)
+
+let test_histogram_exact_on_constants () =
+  let h = Histogram.create () in
+  for _ = 1 to 100 do
+    Histogram.observe h 5000.0
+  done;
+  (* clamping to [min, max] makes constant samples exact *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "q=%.2f" q)
+        5000.0 (Histogram.quantile h q))
+    [ 0.01; 0.5; 0.9; 0.99; 1.0 ];
+  Alcotest.(check (float 0.0)) "mean" 5000.0 (Histogram.mean h);
+  Alcotest.(check (float 0.0)) "min" 5000.0 (Histogram.min_value h);
+  Alcotest.(check (float 0.0)) "max" 5000.0 (Histogram.max_value h)
+
+let test_histogram_known_samples () =
+  let samples = List.init 1000 (fun i -> float_of_int (i + 1) *. 100.0) in
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) samples;
+  let r = Histogram.ratio h in
+  List.iter
+    (fun q ->
+      let exact = exact_quantile samples q in
+      let est = Histogram.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f within one bucket ratio (est %.0f, exact %.0f)"
+           q est exact)
+        true
+        (est <= exact *. r && est >= exact /. r))
+    [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ];
+  Alcotest.(check int) "count" 1000 (Histogram.count h);
+  Alcotest.(check (float 1e-6)) "sum" (List.fold_left ( +. ) 0.0 samples)
+    (Histogram.sum h)
+
+let test_histogram_empty_and_buckets () =
+  let h = Histogram.create ~lo:10.0 ~hi:1000.0 ~buckets_per_decade:1 () in
+  Alcotest.(check bool) "empty quantile nan" true
+    (Float.is_nan (Histogram.quantile h 0.5));
+  Alcotest.(check bool) "empty mean nan" true (Float.is_nan (Histogram.mean h));
+  let bs = Histogram.buckets h in
+  (* bounds 10, 100, +inf *)
+  Alcotest.(check int) "bucket count" 3 (Array.length bs);
+  Alcotest.(check bool) "last bound inf" true (fst bs.(2) = infinity);
+  Histogram.observe h 1e9;
+  (* an overflow observation lands in the +inf bucket; quantile clamps to
+     the observed max *)
+  Alcotest.(check (float 0.0)) "inf bucket clamped" 1e9
+    (Histogram.quantile h 1.0);
+  Alcotest.(check bool) "create validates" true
+    (match Histogram.create ~lo:0.0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let sample_gen = QCheck.make ~print:string_of_float QCheck.Gen.(float_range 1.0 1e6)
+
+let histogram_bound_prop =
+  qtest
+    (QCheck.Test.make
+       ~name:"histogram quantile within one bucket ratio of exact" ~count:200
+       QCheck.(
+         pair
+           (list_of_size Gen.(int_range 1 60) sample_gen)
+           (make ~print:string_of_float (Gen.float_range 0.01 1.0)))
+       (fun (samples, q) ->
+         QCheck.assume (samples <> []);
+         let h = Histogram.create () in
+         List.iter (Histogram.observe h) samples;
+         let exact = exact_quantile samples q in
+         let est = Histogram.quantile h q in
+         let r = Histogram.ratio h in
+         est <= exact *. r +. 1e-9 && est >= exact /. r -. 1e-9))
+
+let histogram_monotone_prop =
+  qtest
+    (QCheck.Test.make ~name:"histogram quantiles are monotone in q" ~count:200
+       QCheck.(list_of_size Gen.(int_range 1 60) sample_gen)
+       (fun samples ->
+         QCheck.assume (samples <> []);
+         let h = Histogram.create () in
+         List.iter (Histogram.observe h) samples;
+         let qs = [ 0.1; 0.3; 0.5; 0.7; 0.9; 1.0 ] in
+         let vs = List.map (Histogram.quantile h) qs in
+         let rec mono = function
+           | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+           | _ -> true
+         in
+         mono vs))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.inc m "requests";
+  Metrics.inc m ~by:2.0 "requests";
+  Metrics.inc m ~labels:[ ("kind", "check") ] "by_kind";
+  Metrics.inc m ~labels:[ ("kind", "lint") ] ~by:4.0 "by_kind";
+  Alcotest.(check (float 0.0)) "unlabelled" 3.0 (Metrics.value m "requests");
+  Alcotest.(check (float 0.0)) "labelled" 4.0
+    (Metrics.value m ~labels:[ ("kind", "lint") ] "by_kind");
+  Alcotest.(check (float 0.0)) "total over labels" 5.0
+    (Metrics.total m "by_kind");
+  Alcotest.(check (float 0.0)) "unknown is 0" 0.0 (Metrics.value m "nope");
+  (* label order must not matter *)
+  Metrics.inc m ~labels:[ ("a", "1"); ("b", "2") ] "two";
+  Metrics.inc m ~labels:[ ("b", "2"); ("a", "1") ] "two";
+  Alcotest.(check (float 0.0)) "canonical labels" 2.0
+    (Metrics.value m ~labels:[ ("a", "1"); ("b", "2") ] "two");
+  (* a name can hold only one kind *)
+  Alcotest.(check bool) "kind clash raises" true
+    (match Metrics.set m "requests" 1.0 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_metrics_prometheus () =
+  let m = Metrics.create () in
+  Metrics.declare m ~kind:Metrics.Counter ~name:"hits" ~help:"Cache hits.";
+  Metrics.inc m ~labels:[ ("cache", "a\"b\n") ] "hits";
+  Metrics.set m "queue_depth" 7.0;
+  Metrics.observe m "latency" 500.0;
+  Metrics.observe m "latency" 123456.0;
+  let text = Metrics.to_prometheus m in
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "help line" true (has "# HELP hits Cache hits.");
+  Alcotest.(check bool) "type line" true (has "# TYPE hits counter");
+  Alcotest.(check bool) "escaped label" true
+    (has "hits{cache=\"a\\\"b\\n\"} 1");
+  Alcotest.(check bool) "gauge sample" true (has "queue_depth 7");
+  Alcotest.(check bool) "+Inf bucket" true
+    (has "latency_bucket{le=\"+Inf\"} 2");
+  Alcotest.(check bool) "histogram count" true (has "latency_count 2");
+  (* cumulative buckets: every bucket line's value is <= the +Inf one,
+     and the series is non-decreasing top to bottom *)
+  let bucket_counts =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun line ->
+           if String.length line > 14 && String.sub line 0 14 = "latency_bucket"
+           then
+             match String.rindex_opt line ' ' with
+             | Some i ->
+               float_of_string_opt
+                 (String.sub line (i + 1) (String.length line - i - 1))
+             | None -> None
+           else None)
+  in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "buckets cumulative" true (nondecreasing bucket_counts)
+
+let test_metrics_json () =
+  let m = Metrics.create () in
+  Metrics.inc m ~labels:[ ("kind", "check") ] "requests";
+  Metrics.observe m "latency" 1000.0;
+  Metrics.observe m "latency" 100000.0;
+  match parse_json (Metrics.to_json m) with
+  | exception Bad_json e -> Alcotest.failf "to_json does not parse: %s" e
+  | j ->
+    let metrics = jlist (Option.get (member "metrics" j)) in
+    Alcotest.(check int) "two families" 2 (List.length metrics);
+    let latency =
+      List.find
+        (fun f -> member "name" f = Some (Jstr "latency"))
+        metrics
+    in
+    let series = jlist (Option.get (member "series" latency)) in
+    (match series with
+    | [ s ] ->
+      Alcotest.(check bool) "histogram count" true
+        (member "count" s = Some (Jnum 2.0));
+      Alcotest.(check bool) "has p50" true (member "p50" s <> None)
+    | _ -> Alcotest.fail "expected one latency series")
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let manual_trace ?(capacity = 16) () =
+  Trace.create ~capacity ~clock:(Clock.manual ~step:10.0 ()) ()
+
+let test_trace_nesting_and_durations () =
+  let t = manual_trace () in
+  let v =
+    Trace.with_span t ~name:"root"
+      ~attrs:(fun () -> [ ("k", "v") ])
+      (fun () ->
+        Trace.with_span t ~name:"child" (fun () -> Trace.add_attr t "x" "1");
+        17)
+  in
+  Alcotest.(check int) "value through" 17 v;
+  match Trace.spans t with
+  | [ child; root ] ->
+    (* reads: root start=0, child start=10, child stop=20, root stop=30 *)
+    Alcotest.(check string) "child name" "child" child.Trace.sp_name;
+    Alcotest.(check (float 0.0)) "child dur" 10.0 child.Trace.sp_dur_ns;
+    Alcotest.(check (float 0.0)) "root dur" 30.0 root.Trace.sp_dur_ns;
+    Alcotest.(check bool) "parent id" true
+      (child.Trace.sp_parent = Some root.Trace.sp_id);
+    Alcotest.(check bool) "root has no parent" true
+      (root.Trace.sp_parent = None);
+    Alcotest.(check bool) "add_attr landed on child" true
+      (List.mem ("x", "1") child.Trace.sp_attrs);
+    Alcotest.(check bool) "attrs thunk on root" true
+      (List.mem ("k", "v") root.Trace.sp_attrs)
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_trace_exception_safety () =
+  let t = manual_trace () in
+  (match Trace.with_span t ~name:"boom" (fun () -> failwith "no") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  match Trace.spans t with
+  | [ sp ] ->
+    Alcotest.(check bool) "error attr" true
+      (List.mem ("error", "true") sp.Trace.sp_attrs);
+    (* the stack is clean: a new span is again a root *)
+    Trace.with_span t ~name:"after" (fun () -> ());
+    let after = List.nth (Trace.spans t) 1 in
+    Alcotest.(check bool) "stack popped" true (after.Trace.sp_parent = None)
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let test_trace_ring_and_marks () =
+  let t = manual_trace ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.with_span t ~name:(Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "recorded" 10 (Trace.recorded t);
+  Alcotest.(check int) "dropped" 6 (Trace.dropped t);
+  let names = List.map (fun s -> s.Trace.sp_name) (Trace.spans t) in
+  Alcotest.(check (list string)) "retained oldest-first"
+    [ "s7"; "s8"; "s9"; "s10" ] names;
+  let m = Trace.mark t in
+  Trace.with_span t ~name:"fresh" (fun () -> ());
+  Alcotest.(check (list string)) "since mark" [ "fresh" ]
+    (List.map (fun s -> s.Trace.sp_name) (Trace.since t m))
+
+let test_trace_chrome_json () =
+  let t = manual_trace () in
+  Trace.with_span t ~name:"outer" (fun () ->
+      Trace.with_span t ~name:"inner \"quoted\"" (fun () -> ()));
+  match parse_json (Trace.to_chrome_json t) with
+  | exception Bad_json e -> Alcotest.failf "chrome json does not parse: %s" e
+  | j ->
+    let events = jlist (Option.get (member "traceEvents" j)) in
+    Alcotest.(check int) "two events" 2 (List.length events);
+    List.iter
+      (fun e ->
+        Alcotest.(check bool) "complete event" true
+          (member "ph" e = Some (Jstr "X"));
+        Alcotest.(check bool) "has ts" true (member "ts" e <> None);
+        Alcotest.(check bool) "has args.span_id" true
+          (match member "args" e with
+          | Some args -> member "span_id" args <> None
+          | None -> false))
+      events;
+    (* ts is rebased: the earliest event starts at 0 *)
+    let ts =
+      List.filter_map
+        (fun e -> match member "ts" e with Some (Jnum v) -> Some v | _ -> None)
+        events
+    in
+    Alcotest.(check (float 0.0)) "rebased ts" 0.0
+      (List.fold_left Float.min infinity ts)
+
+(* ------------------------------------------------------------------ *)
+(* The switchboard                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_tel_disabled_noops () =
+  Alcotest.(check bool) "default off" false (Tel.is_enabled ());
+  (* all no-ops, nothing raises, values flow through *)
+  Alcotest.(check int) "with_span passthrough" 3
+    (Tel.with_span ~name:"x" (fun () -> 3));
+  Tel.count "c" 1;
+  Tel.observe "h" 1.0;
+  Tel.attr "k" "v";
+  Alcotest.(check (list reject)) "no spans" []
+    (Tel.spans_since (Tel.mark ()));
+  Alcotest.(check bool) "no sink" true (Tel.current () = None)
+
+let test_tel_with_installed () =
+  let captured =
+    Tel.with_installed ~clock:(Clock.manual ~step:5.0 ()) (fun sink ->
+        Alcotest.(check bool) "enabled inside" true (Tel.is_enabled ());
+        Tel.with_span ~name:"work" (fun () -> Tel.count "c" 2);
+        Alcotest.(check (float 0.0)) "counter visible" 2.0
+          (Metrics.value sink.Tel.metrics "c");
+        Trace.spans sink.Tel.trace)
+  in
+  Alcotest.(check int) "span captured" 1 (List.length captured);
+  Alcotest.(check bool) "restored off" false (Tel.is_enabled ());
+  (* exception-safe restore *)
+  (match
+     Tel.with_installed (fun _ -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  Alcotest.(check bool) "restored off after raise" false (Tel.is_enabled ())
+
+(* ------------------------------------------------------------------ *)
+(* The gp_service veneer                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_service_veneer_report () =
+  let open Gp_service in
+  let m = Metrics.create () in
+  (* 100 known latencies for one kind: 1..100 ms *)
+  for i = 1 to 100 do
+    Metrics.observe m ~kind:"check" ~ok:true ~error_code:None ~cached:(i <= 25)
+      ~ns:(float_of_int i *. 1e6)
+  done;
+  Metrics.observe m ~kind:"lint" ~ok:false ~error_code:(Some "timeout")
+    ~cached:false ~ns:5e6;
+  Alcotest.(check int) "requests" 101 (Metrics.requests m);
+  Alcotest.(check int) "errors" 1 (Metrics.errors m);
+  (* the interpolated quantiles against the exact ones: within one bucket
+     ratio (5 buckets/decade -> ~1.585x) *)
+  let h =
+    Option.get
+      (Gp_telemetry.Metrics.find_histogram (Metrics.registry m)
+         ~labels:[ ("kind", "check") ] "gp_request_latency_ns")
+  in
+  let samples = List.init 100 (fun i -> float_of_int (i + 1) *. 1e6) in
+  let r = Gp_telemetry.Histogram.ratio h in
+  List.iter
+    (fun q ->
+      let exact = exact_quantile samples q in
+      let est = Gp_telemetry.Histogram.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "service p%.0f within ratio" (q *. 100.0))
+        true
+        (est <= exact *. r && est >= exact /. r))
+    [ 0.5; 0.9; 0.99 ];
+  let report = Metrics.report m in
+  Alcotest.(check bool) "report mentions both kinds" true
+    (let has needle =
+       let nl = String.length needle and tl = String.length report in
+       let rec go i =
+         i + nl <= tl && (String.sub report i nl = needle || go (i + 1))
+       in
+       go 0
+     in
+     has "check" && has "lint" && has "timeout")
+
+let test_service_report_json () =
+  let open Gp_service in
+  let m = Metrics.create () in
+  Metrics.observe m ~kind:"prove" ~ok:true ~error_code:None ~cached:false
+    ~ns:1e6;
+  match parse_json (Metrics.report_json m) with
+  | exception Bad_json e -> Alcotest.failf "report_json does not parse: %s" e
+  | j ->
+    Alcotest.(check bool) "requests field" true
+      (member "requests" j = Some (Jnum 1.0));
+    Alcotest.(check bool) "registry dump present" true
+      (match member "registry" j with
+      | Some reg -> member "metrics" reg <> None
+      | None -> false)
+
+let test_server_slow_log_and_json () =
+  let open Gp_service in
+  let declare_standard reg =
+    Gp_algebra.Decls.declare reg;
+    Gp_sequence.Decls.declare reg;
+    Gp_graph.Decls.declare reg;
+    Gp_linalg.Decls.declare reg
+  in
+  let server =
+    Server.create
+      ~config:{ Server.default_config with slow_log = 2 }
+      ~declare_standard ()
+  in
+  let req =
+    match Wire.request_of_line {|{"kind":"optimize","expr":"x*1 + 0"}|} with
+    | Ok (_, r) -> r
+    | Error e -> Alcotest.failf "wire: %s" e
+  in
+  (* without a sink: no slow log entries *)
+  ignore (Server.handle server req);
+  Alcotest.(check int) "slow log empty when disabled" 0
+    (List.length (Server.slow_requests server));
+  Tel.with_installed (fun _ ->
+      for _ = 1 to 5 do
+        ignore (Server.handle server req)
+      done);
+  let slow = Server.slow_requests server in
+  Alcotest.(check int) "slow log capped" 2 (List.length slow);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "kind" "optimize" e.Server.se_kind;
+      match e.Server.se_spans with
+      | root :: _ ->
+        Alcotest.(check string) "root span" "service.request"
+          root.Trace.sp_name
+      | [] -> Alcotest.fail "no spans captured")
+    slow;
+  (match slow with
+  | a :: b :: _ ->
+    Alcotest.(check bool) "sorted slowest first" true
+      (a.Server.se_ns >= b.Server.se_ns)
+  | _ -> ());
+  match parse_json (Server.report_json server) with
+  | exception Bad_json e ->
+    Alcotest.failf "server report_json does not parse: %s" e
+  | j ->
+    Alcotest.(check bool) "served count" true
+      (member "requests" j = Some (Jnum 6.0))
+
+let () =
+  Alcotest.run "gp_telemetry"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "constant samples exact" `Quick
+            test_histogram_exact_on_constants;
+          Alcotest.test_case "known samples within ratio" `Quick
+            test_histogram_known_samples;
+          Alcotest.test_case "empty + buckets + overflow" `Quick
+            test_histogram_empty_and_buckets;
+          histogram_bound_prop;
+          histogram_monotone_prop;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and labels" `Quick test_metrics_counters;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_metrics_prometheus;
+          Alcotest.test_case "json exposition" `Quick test_metrics_json;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and durations" `Quick
+            test_trace_nesting_and_durations;
+          Alcotest.test_case "exception safety" `Quick
+            test_trace_exception_safety;
+          Alcotest.test_case "ring and marks" `Quick test_trace_ring_and_marks;
+          Alcotest.test_case "chrome trace json" `Quick test_trace_chrome_json;
+        ] );
+      ( "switchboard",
+        [
+          Alcotest.test_case "disabled no-ops" `Quick test_tel_disabled_noops;
+          Alcotest.test_case "with_installed" `Quick test_tel_with_installed;
+        ] );
+      ( "service veneer",
+        [
+          Alcotest.test_case "report quantiles" `Quick
+            test_service_veneer_report;
+          Alcotest.test_case "report_json" `Quick test_service_report_json;
+          Alcotest.test_case "server slow log + json" `Quick
+            test_server_slow_log_and_json;
+        ] );
+    ]

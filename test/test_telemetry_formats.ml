@@ -1,0 +1,201 @@
+(* Format validator for the telemetry exports, run under `dune runtest`
+   against real `gp trace all` output (see test/dune):
+
+   - the Chrome trace-event JSON must parse, every event must be a
+     well-formed complete event, and the spans must cover all four
+     instrumented subsystems plus the concept checker;
+   - the Prometheus exposition must be line-well-formed: HELP/TYPE
+     comments or `name{labels} value` samples, histogram bucket series
+     cumulative and +Inf-terminated, `_count` equal to the +Inf bucket.
+
+   Exits non-zero with a diagnostic on the first violation. *)
+
+open Mini_json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path =
+  try In_channel.with_open_text path In_channel.input_all
+  with Sys_error e -> fail "cannot read %s: %s" path e
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let required_spans =
+  [ "concepts.check"; "concepts.closure"; "stllint.check";
+    "simplicissimus.rewrite"; "distsim.run" ]
+
+let validate_trace path =
+  let j =
+    match parse (read_file path) with
+    | j -> j
+    | exception Bad_json e -> fail "%s: invalid JSON: %s" path e
+  in
+  let events =
+    match member "traceEvents" j with
+    | Some (Jlist l) -> l
+    | _ -> fail "%s: no traceEvents array" path
+  in
+  if events = [] then fail "%s: empty trace" path;
+  List.iteri
+    (fun i e ->
+      let field k =
+        match member k e with
+        | Some v -> v
+        | None -> fail "%s: event %d lacks %S" path i k
+      in
+      (match field "ph" with
+      | Jstr "X" -> ()
+      | _ -> fail "%s: event %d is not a complete event" path i);
+      (match (field "ts", field "dur") with
+      | Jnum ts, Jnum dur when ts >= 0.0 && dur >= 0.0 -> ()
+      | _ -> fail "%s: event %d has bad ts/dur" path i);
+      match (field "name", member "args" e) with
+      | Jstr _, Some (Jobj _) -> ()
+      | _ -> fail "%s: event %d has bad name/args" path i)
+    events;
+  let names =
+    List.filter_map
+      (fun e -> match member "name" e with Some (Jstr s) -> Some s | _ -> None)
+      events
+  in
+  List.iter
+    (fun want ->
+      if not (List.mem want names) then
+        fail "%s: no %S span — subsystem not covered" path want)
+    required_spans;
+  Printf.printf "trace ok: %s, %d events, spans cover %s\n" path
+    (List.length events)
+    (String.concat " " required_spans)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+(* ------------------------------------------------------------------ *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Split a sample line into (metric name, labels minus le, le, value).
+   Label values in this toolchain never contain commas or braces, so a
+   comma split is exact here. *)
+let parse_sample path lineno line =
+  let sp =
+    match String.rindex_opt line ' ' with
+    | Some i -> i
+    | None -> fail "%s:%d: no value separator: %s" path lineno line
+  in
+  let series = String.sub line 0 sp in
+  let value =
+    match
+      float_of_string_opt (String.sub line (sp + 1) (String.length line - sp - 1))
+    with
+    | Some v -> v
+    | None -> fail "%s:%d: unparseable value: %s" path lineno line
+  in
+  let name, labels =
+    match String.index_opt series '{' with
+    | None -> (series, "")
+    | Some i ->
+      if series.[String.length series - 1] <> '}' then
+        fail "%s:%d: unterminated label set: %s" path lineno line;
+      ( String.sub series 0 i,
+        String.sub series (i + 1) (String.length series - i - 2) )
+  in
+  if name = "" then fail "%s:%d: empty metric name: %s" path lineno line;
+  let parts =
+    if labels = "" then [] else String.split_on_char ',' labels
+  in
+  let le, rest =
+    List.partition (fun p -> starts_with "le=\"" p) parts
+  in
+  let le =
+    match le with
+    | [ l ] ->
+      (* strip le=" ... " *)
+      Some (String.sub l 4 (String.length l - 5))
+    | [] -> None
+    | _ -> fail "%s:%d: duplicate le label: %s" path lineno line
+  in
+  (name, String.concat "," rest, le, value)
+
+let validate_prometheus path =
+  let lines = String.split_on_char '\n' (read_file path) in
+  let samples = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if line = "" then ()
+      else if starts_with "# HELP " line || starts_with "# TYPE " line then begin
+        if starts_with "# TYPE " line then
+          let kind =
+            match String.rindex_opt line ' ' with
+            | Some j -> String.sub line (j + 1) (String.length line - j - 1)
+            | None -> ""
+          in
+          if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+            fail "%s:%d: unknown TYPE %S" path lineno kind
+      end
+      else if starts_with "#" line then
+        fail "%s:%d: stray comment: %s" path lineno line
+      else samples := parse_sample path lineno line :: !samples)
+    lines;
+  let samples = List.rev !samples in
+  if samples = [] then fail "%s: no samples" path;
+  (* histogram invariants per bucket series — one series is a (family,
+     other-labels) pair, e.g. gp_distsim_finish_time{algorithm="lcr"} *)
+  let bucket_families =
+    List.filter_map
+      (fun (n, lbls, le, _) ->
+        if le <> None && Filename.check_suffix n "_bucket" then
+          Some (Filename.chop_suffix n "_bucket", lbls)
+        else None)
+      samples
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun (fam, lbls) ->
+      let pretty = if lbls = "" then fam else fam ^ "{" ^ lbls ^ "}" in
+      let buckets =
+        List.filter_map
+          (fun (n, l, le, v) ->
+            if n = fam ^ "_bucket" && l = lbls then
+              match le with Some le -> Some (le, v) | None -> None
+            else None)
+          samples
+      in
+      let rec check_cumulative = function
+        | (_, a) :: ((_, b) :: _ as rest) ->
+          if a > b then fail "%s: %s buckets not cumulative" path pretty;
+          check_cumulative rest
+        | _ -> ()
+      in
+      check_cumulative buckets;
+      let inf_count =
+        match List.assoc_opt "+Inf" buckets with
+        | Some v -> v
+        | None -> fail "%s: %s has no +Inf bucket" path pretty
+      in
+      match
+        List.find_opt
+          (fun (n, l, le, _) -> n = fam ^ "_count" && l = lbls && le = None)
+          samples
+      with
+      | Some (_, _, _, c) when c = inf_count -> ()
+      | Some (_, _, _, c) ->
+        fail "%s: %s_count %g <> +Inf bucket %g" path pretty c inf_count
+      | None -> fail "%s: %s has no _count sample" path pretty)
+    bucket_families;
+  Printf.printf "prometheus ok: %s, %d samples, %d histogram families\n" path
+    (List.length samples)
+    (List.length bucket_families)
+
+let () =
+  match Sys.argv with
+  | [| _; trace; prom |] ->
+    validate_trace trace;
+    validate_prometheus prom
+  | _ ->
+    prerr_endline "usage: test_telemetry_formats TRACE.json METRICS.prom";
+    exit 2
