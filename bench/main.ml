@@ -1071,13 +1071,115 @@ let s3 () =
      target in ISSUE/EXPERIMENTS is < 5%%)@."
 
 (* ------------------------------------------------------------------ *)
+(* S4: flight-recorder overhead and deterministic replay               *)
+(* ------------------------------------------------------------------ *)
+
+let s4 () =
+  section "S4"
+    "flight recorder: steady-state overhead over the enabled-telemetry \
+     baseline, and deterministic replay of a seeded error workload";
+  let open Gp_service in
+  let module Tel = Gp_telemetry.Tel in
+  let module Recorder = Gp_telemetry.Recorder in
+  let declare_standard reg =
+    Gp_concepts.(ignore (reg : Registry.t));
+    Gp_algebra.Decls.declare reg;
+    Gp_sequence.Decls.declare reg;
+    Gp_graph.Decls.declare reg;
+    Gp_linalg.Decls.declare reg
+  in
+  let quick = !quota < 0.5 in
+  let n = if quick then 60 else 200 in
+  let seed = 11 in
+  let errors = 0.2 in
+  let reqs = Workload.generate ~seed ~errors ~n () in
+  (* max_steps 2500 turns the injected identity-chain rewrite into a real
+     Over_budget error — the flight-recorder regime *)
+  let base_config =
+    { Server.default_config with max_steps = 2500; flight_capacity = 0 }
+  in
+  let on_config = { base_config with flight_capacity = 2 * n } in
+  Fmt.pr "workload: n=%d seed=%d errors=%.2f  max_steps=%d@." n seed errors
+    base_config.Server.max_steps;
+  (* Overhead: telemetry enabled on both sides (the s3 "enabled"
+     regime), so the only delta is the recorder's per-request dossier
+     work. Caches warmed by a throwaway pass on each server. *)
+  let t_off, t_on =
+    Tel.with_installed ~trace_capacity:65536 (fun _sink ->
+        let off = Server.create ~config:base_config ~declare_standard () in
+        ignore (Server.process off reqs);
+        let t_off =
+          time_ns "serve stream (recorder off)" (fun () ->
+              Sys.opaque_identity (Server.process off reqs))
+        in
+        let on = Server.create ~config:on_config ~declare_standard () in
+        ignore (Server.process on reqs);
+        let t_on =
+          time_ns "serve stream (recorder on)" (fun () ->
+              Sys.opaque_identity (Server.process on reqs))
+        in
+        (t_off, t_on))
+  in
+  let overhead_pct = ((t_on /. t_off) -. 1.0) *. 100.0 in
+  Fmt.pr "@.%-34s %13s %13s@." "variant" "per stream" "per request";
+  Fmt.pr "%-34s %13s %13s@." "telemetry on, recorder off" (ns_str t_off)
+    (ns_str (t_off /. float_of_int n));
+  Fmt.pr "%-34s %13s %13s@." "telemetry on, recorder on" (ns_str t_on)
+    (ns_str (t_on /. float_of_int n));
+  Fmt.pr "recorder overhead: %+.2f%%  (acceptance target: < 5%%)@."
+    overhead_pct;
+  record ~experiment:"s4" "recorder_off_ns" t_off;
+  record ~experiment:"s4" "recorder_on_ns" t_on;
+  record ~experiment:"s4" "recorder_overhead_pct" overhead_pct;
+  (* Deterministic replay: one fresh recorded pass, round-tripped
+     through the JSONL dump format (exactly what gp replay reads), then
+     re-executed from cold caches. Every fingerprint must match. *)
+  let dossiers =
+    Tel.with_installed ~trace_capacity:65536 (fun _sink ->
+        let server = Server.create ~config:on_config ~declare_standard () in
+        ignore (Server.process server reqs);
+        match Server.flight server with
+        | Some r -> Recorder.dossiers r
+        | None -> assert false)
+  in
+  assert (List.length dossiers = n);
+  let dump =
+    String.concat ""
+      (List.map (fun d -> Recorder.dossier_to_json d ^ "\n") dossiers)
+  in
+  let parsed =
+    match Flight.of_jsonl dump with Ok ds -> ds | Error m -> failwith m
+  in
+  assert (List.length parsed = n);
+  let outcome =
+    match Flight.replay ~declare_standard parsed with
+    | Ok o -> o
+    | Error m -> failwith m
+  in
+  assert (outcome.Flight.rep_total = n);
+  assert (Flight.all_matched outcome);
+  let errs =
+    List.length
+      (List.filter (fun d -> d.Recorder.do_outcome <> "ok") parsed)
+  in
+  assert (errs > 0);
+  Fmt.pr
+    "@.replay: %d/%d fingerprints matched from a cold-cache re-execution \
+     (%d error dossier(s) included) — deterministic@."
+    outcome.Flight.rep_matched outcome.Flight.rep_total errs;
+  record ~experiment:"s4" "replay_diverged_pct"
+    (100.0
+    *. float_of_int (List.length outcome.Flight.rep_diverged)
+    /. float_of_int n)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("f1", f1_f2); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6);
     ("c1", c1); ("c2", c2); ("c3", c3); ("c5", c5); ("c6", c6); ("c8", c8);
-    ("a1", a1); ("s1", s1); ("s2", s2); ("s3", s3) ]
+    ("a1", a1); ("s1", s1); ("s2", s2); ("s3", s3); ("s4", s4) ]
 
 let () =
   let rec parse = function

@@ -8,7 +8,9 @@
      gp elect --algo lcr|hs --nodes N        leader election on a ring
      gp taxonomy --problem P --topology T    pick the right algorithm
      gp serve [--file F]                     serve JSONL requests (gp_service)
-     gp workload --n N --seed S              run a synthetic serving workload *)
+     gp workload --n N --seed S              run a synthetic serving workload
+     gp replay <flight.jsonl>                re-execute a flight dump, verify
+     gp bench-diff <old.json> <new.json>     perf-regression guard over --json *)
 
 open Cmdliner
 
@@ -467,14 +469,24 @@ let serve_cmd =
                    trace-event JSON to this file when the input ends. Also \
                    enables the slow-request log.")
   in
+  let flight_file =
+    Arg.(value
+         & opt (some string) None
+         & info [ "flight" ]
+             ~doc:"When the input ends, dump the flight recorder — one \
+                   JSONL dossier per served request, with span trees and \
+                   metric deltas on error/slowest-k dossiers — to this \
+                   file ($(b,gp replay) input). Installs a telemetry sink \
+                   like $(b,--trace) so dossiers carry span trees.")
+  in
   let run file no_cache cache_capacity queue max_steps timeout metrics
-      stats_json trace_file =
+      stats_json trace_file flight_file =
     let open Gp_service in
     let config =
       server_config ~no_cache ~cache_capacity ~queue ~max_steps ~timeout
     in
     let sink =
-      if trace_file <> None then
+      if trace_file <> None || flight_file <> None then
         Some (Gp_telemetry.Tel.install ~trace_capacity:65536 ())
       else None
     in
@@ -496,6 +508,14 @@ let serve_cmd =
       Fmt.epr "%a@."
         Server.pp_slow (Server.slow_requests server)
     | _ -> ());
+    (match flight_file, Server.flight server with
+    | Some path, Some recorder ->
+      write_file path (Gp_telemetry.Recorder.to_jsonl recorder);
+      Fmt.epr "%a@." Gp_telemetry.Recorder.pp_summary recorder
+    | Some path, None ->
+      Fmt.epr "--flight %s: the flight recorder is disabled \
+               (flight_capacity = 0)@." path
+    | None, _ -> ());
     if served > 0 then 0 else 2
   in
   Cmd.v
@@ -503,7 +523,7 @@ let serve_cmd =
        ~doc:"Serve JSONL-ish toolchain requests from a file or stdin")
     Term.(const run $ file $ no_cache_arg $ cache_capacity_arg $ queue_arg
           $ max_steps_arg $ timeout_arg $ metrics_arg $ stats_json
-          $ trace_file)
+          $ trace_file $ flight_file)
 
 let workload_cmd =
   let n_arg =
@@ -535,8 +555,23 @@ let workload_cmd =
     Arg.(value & flag
          & info [ "print" ] ~doc:"Print every response line.")
   in
-  let run n seed mix_spec zipf keyspace quick print_responses no_cache
-      cache_capacity queue max_steps timeout =
+  let errors_arg =
+    Arg.(value & opt float 0.0
+         & info [ "errors" ]
+             ~doc:"Fraction (in [0,1]) of deterministically failing \
+                   requests to inject: malformed sources, unknown names, \
+                   and a rewrite that goes over budget when \
+                   $(b,--max-steps) is tightened to 2500 or below.")
+  in
+  let emit =
+    Arg.(value & flag
+         & info [ "emit" ]
+             ~doc:"Print the generated request lines (the $(b,gp serve) \
+                   wire format) instead of serving them — feeds a \
+                   workload file to $(b,gp serve --file).")
+  in
+  let run n seed mix_spec zipf keyspace quick print_responses errors emit
+      no_cache cache_capacity queue max_steps timeout =
     let open Gp_service in
     let mix =
       match mix_spec with
@@ -548,8 +583,16 @@ let workload_cmd =
           Fmt.epr "bad --mix: %s@." e;
           exit 2)
     in
+    if errors < 0.0 || errors > 1.0 then begin
+      Fmt.epr "bad --errors: %g outside [0,1]@." errors;
+      exit 2
+    end;
     let n, seed = if quick then (60, 7) else (n, seed) in
-    let reqs = Workload.generate ~mix ~zipf ~keyspace ~seed ~n () in
+    let reqs = Workload.generate ~mix ~zipf ~keyspace ~errors ~seed ~n () in
+    if emit then begin
+      List.iter (fun req -> print_endline (Wire.request_to_line req)) reqs;
+      exit 0
+    end;
     let config =
       server_config ~no_cache ~cache_capacity ~queue ~max_steps ~timeout
     in
@@ -565,8 +608,9 @@ let workload_cmd =
     let cached =
       List.length (List.filter (fun r -> r.Request.rsp_cached) responses)
     in
-    Fmt.pr "workload: n=%d seed=%d zipf=%.2f keyspace=%d mix=[%a]@." n seed
-      zipf keyspace Workload.pp_mix mix;
+    Fmt.pr "workload: n=%d seed=%d zipf=%.2f keyspace=%d errors=%.2f \
+            mix=[%a]@."
+      n seed zipf keyspace errors Workload.pp_mix mix;
     Fmt.pr "fingerprint: %s@." (Workload.fingerprint reqs);
     Fmt.pr "served %d requests in %.3fs (%.0f req/s): %d ok, %d errors, %d \
             cache-served@.@."
@@ -585,8 +629,8 @@ let workload_cmd =
     (Cmd.info "workload"
        ~doc:"Generate and serve a seeded synthetic workload, then report")
     Term.(const run $ n_arg $ seed $ mix_arg $ zipf $ keyspace $ quick
-          $ print_responses $ no_cache_arg $ cache_capacity_arg $ queue_arg
-          $ max_steps_arg $ timeout_arg)
+          $ print_responses $ errors_arg $ emit $ no_cache_arg
+          $ cache_capacity_arg $ queue_arg $ max_steps_arg $ timeout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gp trace                                                            *)
@@ -620,8 +664,25 @@ let trace_cmd =
     Arg.(value & flag
          & info [ "tree" ] ~doc:"Print the span tree to stderr.")
   in
-  let run pipeline out tree metrics =
-    let sink = Gp_telemetry.Tel.install ~trace_capacity:65536 () in
+  let folded =
+    Arg.(value & flag
+         & info [ "folded" ]
+             ~doc:"Emit collapsed-stack (\"folded\") lines — \
+                   root;child;leaf self-weight — instead of Chrome \
+                   trace-event JSON; pipe into a flamegraph renderer.")
+  in
+  let gc =
+    Arg.(value & flag
+         & info [ "gc" ]
+             ~doc:"Enable GC/allocation span profiling: every span \
+                   carries allocated-bytes and minor/major collection \
+                   deltas (Chrome args, tree annotations, and the \
+                   $(b,--folded) alloc weight).")
+  in
+  let run pipeline out tree folded gc metrics =
+    let sink =
+      Gp_telemetry.Tel.install ~trace_capacity:65536 ~profile:gc ()
+    in
     let reg = standard_registry () in
     let do_check () =
       let open Gp_concepts in
@@ -677,11 +738,18 @@ let trace_cmd =
     | `Lint -> do_lint ()
     | `Optimize -> do_optimize ()
     | `Elect -> do_elect ());
-    let json = Gp_telemetry.Trace.to_chrome_json sink.Gp_telemetry.Tel.trace in
+    let output =
+      if folded then
+        (* weight by allocated bytes when profiling, else by duration *)
+        Gp_telemetry.Trace.to_folded
+          ~weight:(if gc then `Alloc else `Dur)
+          sink.Gp_telemetry.Tel.trace
+      else Gp_telemetry.Trace.to_chrome_json sink.Gp_telemetry.Tel.trace
+    in
     (match out with
-    | None -> print_string json
+    | None -> print_string output
     | Some path ->
-      write_file path json;
+      write_file path output;
       Fmt.epr "wrote %d spans to %s@."
         (Gp_telemetry.Trace.recorded sink.Gp_telemetry.Tel.trace)
         path);
@@ -696,7 +764,148 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Trace a toolchain pipeline and export Chrome trace-event JSON")
-    Term.(const run $ pipeline $ out $ tree $ metrics_arg)
+    Term.(const run $ pipeline $ out $ tree $ folded $ gc $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gp replay                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FLIGHT.jsonl")
+  in
+  let run path =
+    let open Gp_service in
+    match Flight.load path with
+    | Error m ->
+      Fmt.epr "%s@." m;
+      2
+    | Ok ds -> (
+      match Flight.replay ~declare_standard:standard_declare ds with
+      | Error m ->
+        Fmt.epr "%s@." m;
+        2
+      | Ok o ->
+        Fmt.pr "%a@." Flight.pp_outcome o;
+        if Flight.all_matched o then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-execute a flight-recorder dump (gp serve --flight) against \
+             a freshly built server and verify every response fingerprint; \
+             prints recorded-vs-replayed span trees on divergence")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* gp bench-diff                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The perf-regression guard over two `bench --json` result files.
+   Metric names carry their own direction: the _speedup suffix is
+   higher-better as a ratio, _pct is lower-better in additive percentage
+   points, and everything else — the _ns times — is lower-better as a
+   ratio. *)
+let bench_diff_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.25
+         & info [ "tolerance" ]
+             ~doc:"Allowed relative slack per metric (default 0.25 = 25%; \
+                   for *_pct metrics, 100x this in additive points). Bench \
+                   numbers are noisy; keep this generous.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"Smoke mode: report regressions but exit 0 anyway — for \
+                   CI runs comparing against freshly regenerated \
+                   $(b,--quick) bench numbers, whose short quotas are too \
+                   noisy to gate on.")
+  in
+  let run old_path new_path tolerance quick =
+    let open Gp_service in
+    let load path =
+      match
+        Wire.parse (In_channel.with_open_text path In_channel.input_all)
+      with
+      | exception Sys_error m -> Error m
+      | exception Wire.Error m -> Error (path ^ ": " ^ m)
+      | Wire.Obj fields -> (
+        match List.assoc_opt "sections" fields with
+        | Some (Wire.Obj sections) -> Ok sections
+        | _ -> Error (path ^ ": no \"sections\" object"))
+      | _ -> Error (path ^ ": expected a JSON object")
+    in
+    let num = function
+      | Wire.Int i -> Some (float_of_int i)
+      | Wire.Float x when not (Float.is_nan x) -> Some x
+      | _ -> None (* null = not measured in that run: skip *)
+    in
+    let ends_with suffix s =
+      String.length s >= String.length suffix
+      && String.sub s (String.length s - String.length suffix)
+           (String.length suffix)
+         = suffix
+    in
+    match (load old_path, load new_path) with
+    | Error m, _ | _, Error m ->
+      Fmt.epr "%s@." m;
+      2
+    | Ok old_sections, Ok new_sections ->
+      let compared = ref 0 in
+      let regressions = ref 0 in
+      List.iter
+        (fun (sec, metrics) ->
+          match (metrics, List.assoc_opt sec old_sections) with
+          | Wire.Obj metrics, Some (Wire.Obj old_metrics) ->
+            List.iter
+              (fun (name, v) ->
+                match
+                  (num v, Option.bind (List.assoc_opt name old_metrics) num)
+                with
+                | Some nv, Some ov ->
+                  incr compared;
+                  let regressed, msg =
+                    if ends_with "_speedup" name then
+                      ( nv < ov *. (1.0 -. tolerance),
+                        Printf.sprintf "%.2fx -> %.2fx" ov nv )
+                    else if ends_with "_pct" name then
+                      ( nv > ov +. (tolerance *. 100.0),
+                        Printf.sprintf "%.2f%% -> %.2f%%" ov nv )
+                    else
+                      ( nv > ov *. (1.0 +. tolerance),
+                        Printf.sprintf "%.0f -> %.0f" ov nv )
+                  in
+                  if regressed then begin
+                    incr regressions;
+                    Fmt.pr "REGRESSION %s/%s: %s@." sec name msg
+                  end
+                | _ -> () (* null or missing on either side: skip *))
+              metrics
+          | _ -> () (* section absent from the old run: skip *))
+        new_sections;
+      if !compared = 0 then begin
+        Fmt.epr "no comparable metrics between %s and %s@." old_path new_path;
+        2
+      end
+      else begin
+        Fmt.pr "bench-diff: %d metric(s) compared, %d regression(s) \
+                (tolerance %.0f%%)%s@."
+          !compared !regressions (tolerance *. 100.0)
+          (if quick && !regressions > 0 then " [quick: not gating]" else "");
+        if !regressions > 0 && not quick then 1 else 0
+      end
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:"Compare two bench --json result files and fail (exit 1) on \
+             per-metric perf regressions beyond the tolerance")
+    Term.(const run $ old_arg $ new_arg $ tolerance $ quick)
 
 let () =
   let doc = "generic programming and high-performance libraries, reproduced" in
@@ -706,4 +915,4 @@ let () =
        (Cmd.group info
           [ check_cmd; parse_cmd; concepts_cmd; lint_cmd; optimize_cmd;
             prove_cmd; elect_cmd; taxonomy_cmd; serve_cmd; workload_cmd;
-            trace_cmd ]))
+            trace_cmd; replay_cmd; bench_diff_cmd ]))

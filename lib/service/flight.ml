@@ -1,0 +1,274 @@
+(* Deterministic replay of a flight-recorder dump.
+
+   A dossier carries everything a re-execution needs: the canonical wire
+   line, the config line the server ran under, and a digest of the
+   canonical response. Replay rebuilds a server from the recorded config
+   (fresh caches, fresh registry), re-serves each wire line in recorded
+   order under a fresh telemetry sink, and compares response
+   fingerprints. The fingerprint covers kind + full payload/error and
+   excludes ids, cache provenance and step accounting — so a replay from
+   cold caches must match a recording made with warm ones, which is
+   exactly the cache-transparency property the service guarantees.
+
+   Divergences are collected, not raised: the caller (gp replay, bench
+   s4) decides whether to print span-tree diffs or fail hard. *)
+
+module Recorder = Gp_telemetry.Recorder
+module Trace = Gp_telemetry.Trace
+module Profile = Gp_telemetry.Profile
+module Tel = Gp_telemetry.Tel
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Dossier JSONL decoding                                              *)
+(* ------------------------------------------------------------------ *)
+
+let str_field name fields =
+  match List.assoc_opt name fields with
+  | Some (Wire.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let int_field name fields =
+  match List.assoc_opt name fields with
+  | Some (Wire.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "field %S: expected an integer" name)
+
+let bool_field name fields =
+  match List.assoc_opt name fields with
+  | Some (Wire.Bool b) -> Ok b
+  | _ -> Error (Printf.sprintf "field %S: expected a boolean" name)
+
+(* Json.num renders integral floats without a decimal point (and nan as
+   null), so a recorded float can come back as any of the three. *)
+let num_field name fields =
+  match List.assoc_opt name fields with
+  | Some (Wire.Int i) -> Ok (float_of_int i)
+  | Some (Wire.Float f) -> Ok f
+  | Some Wire.Null -> Ok Float.nan
+  | _ -> Error (Printf.sprintf "field %S: expected a number" name)
+
+let list_field name fields =
+  match List.assoc_opt name fields with
+  | Some (Wire.Arr items) -> Ok items
+  | _ -> Error (Printf.sprintf "field %S: expected an array" name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let span_of_json = function
+  | Wire.Obj f ->
+    let* id = int_field "id" f in
+    let* parent =
+      match List.assoc_opt "parent" f with
+      | Some Wire.Null | None -> Ok None
+      | Some (Wire.Int p) -> Ok (Some p)
+      | Some _ -> Error "field \"parent\": expected an integer or null"
+    in
+    let* name = str_field "name" f in
+    let* start_ns = num_field "start_ns" f in
+    let* dur_ns = num_field "dur_ns" f in
+    let* attrs =
+      match List.assoc_opt "attrs" f with
+      | Some (Wire.Obj kvs) ->
+        map_result
+          (function
+            | k, Wire.Str v -> Ok (k, v)
+            | k, _ -> Error (Printf.sprintf "attr %S: expected a string" k))
+          kvs
+      | None -> Ok []
+      | Some _ -> Error "field \"attrs\": expected an object"
+    in
+    let* gc =
+      match List.assoc_opt "gc" f with
+      | Some Wire.Null | None -> Ok None
+      | Some (Wire.Obj g) ->
+        let* alloc = num_field "alloc_bytes" g in
+        let* minor = int_field "minor" g in
+        let* major = int_field "major" g in
+        Ok
+          (Some
+             { Profile.pc_alloc_bytes = alloc; pc_minor = minor;
+               pc_major = major })
+      | Some _ -> Error "field \"gc\": expected an object or null"
+    in
+    Ok
+      { Trace.sp_id = id; sp_parent = parent; sp_name = name;
+        sp_start_ns = start_ns; sp_dur_ns = dur_ns; sp_attrs = attrs;
+        sp_gc = gc }
+  | _ -> Error "span: expected an object"
+
+let chain_of_json = function
+  | Wire.Obj f ->
+    let* cache = str_field "cache" f in
+    let* hits = int_field "hits" f in
+    let* misses = int_field "misses" f in
+    Ok (cache, hits, misses)
+  | _ -> Error "cache_chain entry: expected an object"
+
+let delta_of_json = function
+  | Wire.Obj f ->
+    let* name = str_field "name" f in
+    let* delta = num_field "delta" f in
+    Ok (name, delta)
+  | _ -> Error "metric_deltas entry: expected an object"
+
+let dossier_of_line line =
+  match Wire.parse line with
+  | exception Wire.Error m -> Error ("bad dossier line: " ^ m)
+  | Wire.Obj f ->
+    let* do_id = int_field "id" f in
+    let* do_kind = str_field "kind" f in
+    let* do_wire = str_field "wire" f in
+    let* do_generation = int_field "generation" f in
+    let* do_config = str_field "config" f in
+    let* do_config_fp = str_field "config_fp" f in
+    let* do_outcome = str_field "outcome" f in
+    let* do_detail = str_field "detail" f in
+    let* do_cached = bool_field "cached" f in
+    let* do_steps = int_field "steps" f in
+    let* do_dur_ns = num_field "dur_ns" f in
+    let* do_response_fp = str_field "response_fp" f in
+    let* chain = list_field "cache_chain" f in
+    let* do_cache_chain = map_result chain_of_json chain in
+    let* deltas = list_field "metric_deltas" f in
+    let* do_metric_deltas = map_result delta_of_json deltas in
+    let* spans = list_field "spans" f in
+    let* do_spans = map_result span_of_json spans in
+    Ok
+      { Recorder.do_id; do_kind; do_wire = Lazy.from_val do_wire;
+        do_generation; do_config; do_config_fp; do_outcome; do_detail;
+        do_cached; do_steps; do_dur_ns;
+        do_response_fp = Lazy.from_val do_response_fp; do_cache_chain;
+        do_spans; do_metric_deltas }
+  | _ -> Error "bad dossier line: expected a JSON object"
+
+let of_jsonl contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go (lineno + 1) acc rest
+      else (
+        match dossier_of_line line with
+        | Ok d -> go (lineno + 1) (d :: acc) rest
+        | Error m -> Error (Printf.sprintf "line %d: %s" lineno m))
+  in
+  go 1 [] lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | contents -> of_jsonl contents
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type divergence = {
+  dv_dossier : Recorder.dossier;
+  dv_response : Request.response;
+  dv_response_fp : string;
+  dv_spans : Trace.span list;
+}
+
+type outcome = {
+  rep_config : Server.config;
+  rep_total : int;
+  rep_matched : int;
+  rep_generation_mismatches : int;
+  rep_diverged : divergence list;
+}
+
+let blank_line_response =
+  { Request.rsp_id = 0; rsp_kind = None;
+    rsp_result =
+      Error { Request.code = Request.Bad_request; detail = "blank wire line" };
+    rsp_cached = false; rsp_steps = 0 }
+
+let replay ?config ~declare_standard ds =
+  match ds with
+  | [] -> Error "empty flight dump: nothing to replay"
+  | first :: _ ->
+    let* config =
+      match config with
+      | Some c -> Ok c
+      | None -> Server.config_of_line first.Recorder.do_config
+    in
+    Tel.with_installed ~trace_capacity:65536 (fun _sink ->
+        (* the replay server serves the same requests under the same
+           budgets; its own flight ring stays off — we are reading a
+           recording, not making one *)
+        let server =
+          Server.create ~config:{ config with flight_capacity = 0 }
+            ~declare_standard ()
+        in
+        let generation =
+          Gp_concepts.Registry.generation (Server.registry server)
+        in
+        let mismatches = ref 0 in
+        let matched = ref 0 in
+        let diverged = ref [] in
+        List.iter
+          (fun d ->
+            if d.Recorder.do_generation <> generation then incr mismatches;
+            let m = Tel.mark () in
+            let rsp =
+              match Server.serve_line server (Lazy.force d.Recorder.do_wire)
+              with
+              | Some rsp -> rsp
+              | None -> blank_line_response
+            in
+            let fp = Request.response_fingerprint rsp in
+            if String.equal fp (Lazy.force d.Recorder.do_response_fp) then
+              incr matched
+            else
+              diverged :=
+                { dv_dossier = d; dv_response = rsp; dv_response_fp = fp;
+                  dv_spans = Tel.spans_since m }
+                :: !diverged)
+          ds;
+        Ok
+          { rep_config = config;
+            rep_total = List.length ds;
+            rep_matched = !matched;
+            rep_generation_mismatches = !mismatches;
+            rep_diverged = List.rev !diverged })
+
+let all_matched o = o.rep_matched = o.rep_total
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_divergence ppf dv =
+  let d = dv.dv_dossier in
+  Fmt.pf ppf "@[<v>dossier #%d (%s): %s@,wire: %s@,recorded: %s %s  fp %s@,\
+              replayed: %a  fp %s"
+    d.Recorder.do_id d.Recorder.do_kind
+    "response fingerprint mismatch"
+    (Lazy.force d.Recorder.do_wire)
+    d.Recorder.do_outcome d.Recorder.do_detail
+    (Lazy.force d.Recorder.do_response_fp)
+    Request.pp_response dv.dv_response dv.dv_response_fp;
+  if d.Recorder.do_spans <> [] then
+    Fmt.pf ppf "@,recorded span tree:@,%a" Trace.pp_tree d.Recorder.do_spans;
+  if dv.dv_spans <> [] then
+    Fmt.pf ppf "@,replayed span tree:@,%a" Trace.pp_tree dv.dv_spans;
+  Fmt.pf ppf "@]"
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "@[<v>replayed %d dossier(s): %d matched, %d diverged"
+    o.rep_total o.rep_matched
+    (List.length o.rep_diverged);
+  if o.rep_generation_mismatches > 0 then
+    Fmt.pf ppf
+      "@,warning: %d dossier(s) recorded under a different registry \
+       generation"
+      o.rep_generation_mismatches;
+  List.iter (fun dv -> Fmt.pf ppf "@,%a" pp_divergence dv) o.rep_diverged;
+  Fmt.pf ppf "@]"

@@ -125,6 +125,45 @@ let ok rsp = Result.is_ok rsp.rsp_result
 let result_equal (a : response) (b : response) =
   a.rsp_kind = b.rsp_kind && a.rsp_result = b.rsp_result
 
+(* A canonical rendering of exactly the fields [result_equal] compares —
+   kind plus the full payload or error — so equal fingerprints mean
+   client-observably equal responses. Ids, cache provenance and step
+   accounting are excluded on purpose: they vary with cache state, not
+   with the request's meaning, and replay must not flag them. *)
+let response_canonical (r : response) =
+  let b = Buffer.create 128 in
+  let add = Buffer.add_string b in
+  add (match r.rsp_kind with None -> "invalid" | Some k -> kind_name k);
+  (match r.rsp_result with
+  | Ok p -> (
+    add "|ok|";
+    match p with
+    | Checked { ok; failures; warnings; report } ->
+      add (Printf.sprintf "checked|%b|%d|%d|%s" ok failures warnings report)
+    | Parsed { items; concepts; models } ->
+      add (Printf.sprintf "parsed|%d|%d|%d" items concepts models)
+    | Linted { errors; warnings; suggestions; messages } ->
+      add
+        (Printf.sprintf "linted|%d|%d|%d|%s" errors warnings suggestions
+           (String.concat "\n" messages))
+    | Optimized { output; steps; ops_before; ops_after } ->
+      add
+        (Printf.sprintf "optimized|%s|%d|%d|%d" output steps ops_before
+           ops_after)
+    | Proved { checked; failed } ->
+      add (Printf.sprintf "proved|%d|%d" checked failed)
+    | Closed { size; obligations } ->
+      add (Printf.sprintf "closed|%d|%s" size (String.concat "\n" obligations)))
+  | Error e ->
+    add "|error|";
+    add (error_code_name e.code);
+    add "|";
+    add e.detail);
+  Buffer.contents b
+
+let response_fingerprint r =
+  Digest.to_hex (Digest.string (response_canonical r))
+
 let pp_payload ppf = function
   | Checked { ok; failures; warnings; _ } ->
     Fmt.pf ppf "checked ok=%b failures=%d warnings=%d" ok failures warnings

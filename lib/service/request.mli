@@ -83,6 +83,15 @@ val result_equal : response -> response -> bool
     provenance and step accounting excluded — the cache-transparency
     property compares exactly this. *)
 
+val response_canonical : response -> string
+(** Canonical rendering of exactly what {!result_equal} compares: kind
+    plus the full payload or error, with id/cached/steps excluded.
+    Equal strings iff [result_equal]. *)
+
+val response_fingerprint : response -> string
+(** Digest of {!response_canonical} — the equality flight-recorder
+    replay asserts. *)
+
 val pp_payload : Format.formatter -> payload -> unit
 val pp_error : Format.formatter -> error -> unit
 val pp_response : Format.formatter -> response -> unit

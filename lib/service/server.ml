@@ -11,6 +11,7 @@
 
 module Tel = Gp_telemetry.Tel
 module Trace = Gp_telemetry.Trace
+module Recorder = Gp_telemetry.Recorder
 
 type config = {
   caching : bool;
@@ -20,6 +21,8 @@ type config = {
   timeout : float option; (* per-request deadline, seconds *)
   now : unit -> float; (* injectable clock, seconds *)
   slow_log : int; (* slowest requests kept with their span trees *)
+  flight_capacity : int; (* flight-recorder ring; 0 disables it *)
+  flight_slowest : int; (* slowest-k dossiers kept with span trees *)
 }
 
 let default_config =
@@ -29,7 +32,66 @@ let default_config =
     max_steps = 100_000;
     timeout = None;
     now = Unix.gettimeofday;
-    slow_log = 5 }
+    slow_log = 5;
+    flight_capacity = 512;
+    flight_slowest = 8 }
+
+(* The canonical config line: every field that shapes observable
+   behaviour, in a fixed order ([now] is process wiring, not behaviour).
+   The fingerprint digests this line; a dossier carries both, so replay
+   can rebuild the server the dossier's request actually ran under. *)
+let config_to_line c =
+  Wire.to_string
+    (Wire.Obj
+       [ ("caching", Wire.Bool c.caching);
+         ("cache_capacity", Wire.Int c.cache_capacity);
+         ("queue_capacity", Wire.Int c.queue_capacity);
+         ("max_steps", Wire.Int c.max_steps);
+         ( "timeout",
+           match c.timeout with
+           | None -> Wire.Null
+           | Some s -> Wire.Float s );
+         ("slow_log", Wire.Int c.slow_log);
+         ("flight_capacity", Wire.Int c.flight_capacity);
+         ("flight_slowest", Wire.Int c.flight_slowest) ])
+
+let config_fingerprint c = Digest.to_hex (Digest.string (config_to_line c))
+
+let config_of_line line =
+  match Wire.parse line with
+  | exception Wire.Error m -> Error ("bad config line: " ^ m)
+  | Wire.Obj fields ->
+    let int_field name default =
+      match List.assoc_opt name fields with
+      | Some (Wire.Int i) -> Ok i
+      | None -> Ok default
+      | Some _ -> Error (Printf.sprintf "config field %S must be an int" name)
+    in
+    let ( let* ) = Result.bind in
+    let* caching =
+      match List.assoc_opt "caching" fields with
+      | Some (Wire.Bool b) -> Ok b
+      | None -> Ok default_config.caching
+      | Some _ -> Error "config field \"caching\" must be a boolean"
+    in
+    let* cache_capacity = int_field "cache_capacity" default_config.cache_capacity in
+    let* queue_capacity = int_field "queue_capacity" default_config.queue_capacity in
+    let* max_steps = int_field "max_steps" default_config.max_steps in
+    let* timeout =
+      match List.assoc_opt "timeout" fields with
+      | Some (Wire.Float s) -> Ok (Some s)
+      | Some (Wire.Int s) -> Ok (Some (float_of_int s))
+      | Some Wire.Null | None -> Ok None
+      | Some _ -> Error "config field \"timeout\" must be a number or null"
+    in
+    let* slow_log = int_field "slow_log" default_config.slow_log in
+    let* flight_capacity = int_field "flight_capacity" default_config.flight_capacity in
+    let* flight_slowest = int_field "flight_slowest" default_config.flight_slowest in
+    Ok
+      { default_config with
+        caching; cache_capacity; queue_capacity; max_steps; timeout;
+        slow_log; flight_capacity; flight_slowest }
+  | _ -> Error "bad config line: expected a JSON object"
 
 type slow_entry = {
   se_id : int;
@@ -43,6 +105,9 @@ type t = {
   dispatch : Dispatch.t;
   metrics : Metrics.t;
   queue : (int * Request.t) Queue.t;
+  recorder : Recorder.t option; (* flight recorder; None when disabled *)
+  config_line : string; (* precomputed: every dossier carries both *)
+  config_fp : string;
   mutable next_id : int;
   mutable slow : slow_entry list; (* slowest first, <= config.slow_log *)
 }
@@ -54,11 +119,20 @@ let create ?(config = default_config) ~declare_standard () =
         ~cache_capacity:config.cache_capacity ();
     metrics = Metrics.create ();
     queue = Queue.create ();
+    recorder =
+      (if config.flight_capacity > 0 then
+         Some
+           (Recorder.create ~capacity:config.flight_capacity
+              ~slowest:config.flight_slowest ())
+       else None);
+    config_line = config_to_line config;
+    config_fp = config_fingerprint config;
     next_id = 0;
     slow = [] }
 
 let config t = t.config
 let metrics t = t.metrics
+let flight t = t.recorder
 let registry t = Dispatch.registry t.dispatch
 let caches t = Dispatch.caches t.dispatch
 let cache_stats t = Dispatch.cache_stats (caches t)
@@ -136,34 +210,141 @@ let record_slow t ~id ~kind spans =
     in
     t.slow <- List.filteri (fun i _ -> i < t.config.slow_log) merged
 
-let handle ?id t req =
-  let id = match id with Some id -> id | None -> fresh_id t in
-  if not (Tel.is_enabled ()) then handle_core ~id t req
-  else begin
-    let m = Tel.mark () in
-    let rsp =
-      Tel.with_span ~name:"service.request"
-        ~attrs:(fun () ->
-          [
-            ("kind", Request.kind_name (Request.kind req));
-            ("id", string_of_int id);
-          ])
-        (fun () -> handle_core ~id t req)
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder dossier assembly                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Tmetrics = Gp_telemetry.Metrics
+
+(* Sink metric family totals, or [] when telemetry is off — the dossier
+   then simply records no metric deltas. *)
+let metric_totals () =
+  match Tel.current () with
+  | Some s -> Tmetrics.totals s.Tel.metrics
+  | None -> []
+
+(* New families only ever appear in [after]; totals are monotone, so a
+   missing [before] entry reads as 0. Zero deltas are dropped. *)
+let metric_delta before after =
+  List.filter_map
+    (fun (name, v) ->
+      let prev = Option.value ~default:0.0 (List.assoc_opt name before) in
+      let d = v -. prev in
+      if d <> 0.0 then Some (name, d) else None)
+    after
+
+(* [cache_stats] lists the six shared caches in a fixed order, so the
+   before/after snapshots pair positionally. Per-request sandbox caches
+   (Check-with-defs) never appear here — by design, they are private to
+   one request. *)
+let cache_delta before after =
+  List.filter
+    (fun (_, h, m) -> h <> 0 || m <> 0)
+    (List.map2
+       (fun (b : Lru.stats) (a : Lru.stats) ->
+         ( a.Lru.st_name,
+           a.Lru.st_hits - b.Lru.st_hits,
+           a.Lru.st_misses - b.Lru.st_misses ))
+       before after)
+
+let record_dossier t ~id ~kind ~wire ~spans ~dur_ns ~cache_chain
+    ~metric_deltas (rsp : Request.response) =
+  match t.recorder with
+  | None -> ()
+  | Some recorder ->
+    let outcome, detail =
+      match rsp.Request.rsp_result with
+      | Ok _ -> ("ok", "")
+      | Error e -> (Request.error_code_name e.Request.code, e.Request.detail)
     in
-    record_slow t ~id
-      ~kind:(Request.kind_name (Request.kind req))
-      (Tel.spans_since m);
-    rsp
-  end
+    Recorder.record recorder
+      { Recorder.do_id = id;
+        do_kind = kind;
+        do_wire = wire;
+        do_generation = Gp_concepts.Registry.generation (registry t);
+        do_config = t.config_line;
+        do_config_fp = t.config_fp;
+        do_outcome = outcome;
+        do_detail = detail;
+        do_cached = rsp.Request.rsp_cached;
+        do_steps = rsp.Request.rsp_steps;
+        do_dur_ns = dur_ns;
+        do_response_fp = lazy (Request.response_fingerprint rsp);
+        do_cache_chain = cache_chain;
+        do_spans = spans;
+        do_metric_deltas = metric_deltas }
+
+(* [wire], when given, is the raw line the request arrived on — reused
+   verbatim in the dossier instead of re-serializing the request. *)
+let handle_recorded ?id ?wire t req =
+  let id = match id with Some id -> id | None -> fresh_id t in
+  let kind = Request.kind_name (Request.kind req) in
+  let recording = Option.is_some t.recorder in
+  let wall0 = if recording then t.config.now () else 0.0 in
+  let cache_before = if recording then cache_stats t else [] in
+  let metrics_before = if recording then metric_totals () else [] in
+  let rsp, spans =
+    if not (Tel.is_enabled ()) then (handle_core ~id t req, [])
+    else begin
+      let m = Tel.mark () in
+      let rsp =
+        Tel.with_span ~name:"service.request"
+          ~attrs:(fun () -> [ ("kind", kind); ("id", string_of_int id) ])
+          (fun () -> handle_core ~id t req)
+      in
+      let spans = Tel.spans_since m in
+      record_slow t ~id ~kind spans;
+      (rsp, spans)
+    end
+  in
+  (match t.recorder with
+  | None -> ()
+  | Some recorder ->
+    (* rank by the root span's duration when telemetry is on — the same
+       number the slow log and trace export show — else wall clock *)
+    let dur_ns =
+      match List.rev spans with
+      | root :: _ -> root.Trace.sp_dur_ns
+      | [] -> (t.config.now () -. wall0) *. 1e9
+    in
+    (* the after-snapshot and delta matter only when the recorder will
+       keep the payload (non-ok outcome or slowest-k) — skip both on
+       the steady-state path *)
+    let metric_deltas =
+      if
+        Recorder.wants_payload recorder
+          ~ok:(Result.is_ok rsp.Request.rsp_result)
+          ~dur_ns
+      then metric_delta metrics_before (metric_totals ())
+      else []
+    in
+    let wire =
+      match wire with
+      | Some line -> Lazy.from_val line
+      | None -> lazy (Wire.request_to_line ~id req)
+    in
+    record_dossier t ~id ~kind ~wire ~spans ~dur_ns
+      ~cache_chain:(cache_delta cache_before (cache_stats t))
+      ~metric_deltas rsp);
+  rsp
+
+let handle ?id t req = handle_recorded ?id t req
 
 (* A request line that did not even parse still gets a full response (and
-   a metrics entry under kind "invalid"). *)
-let reject_invalid t detail =
+   a metrics entry under kind "invalid", and a dossier carrying the raw
+   line — the only re-servable rendering a non-request has). *)
+let reject_invalid ?(line = "") t detail =
   let id = fresh_id t in
   let t0 = t.config.now () in
-  observe t ~kind:None ~id ~t0
-    (Error { Request.code = Request.Bad_request; detail })
-    ~cached:false ~steps:0
+  let rsp =
+    observe t ~kind:None ~id ~t0
+      (Error { Request.code = Request.Bad_request; detail })
+      ~cached:false ~steps:0
+  in
+  record_dossier t ~id ~kind:"invalid" ~wire:(Lazy.from_val line) ~spans:[]
+    ~dur_ns:((t.config.now () -. t0) *. 1e9)
+    ~cache_chain:[] ~metric_deltas:[] rsp;
+  rsp
 
 (* ------------------------------------------------------------------ *)
 (* Admission queue                                                     *)
@@ -241,8 +422,8 @@ let serve_line t line =
     match Wire.request_of_line line with
     | Ok (id, req) ->
       let id = match id with Some id -> id | None -> fresh_id t in
-      Some (handle ~id t req)
-    | Error detail -> Some (reject_invalid t detail)
+      Some (handle_recorded ~id ~wire:line t req)
+    | Error detail -> Some (reject_invalid ~line t detail)
 
 let serve_channel t ic oc =
   let served = ref 0 in

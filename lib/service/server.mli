@@ -15,11 +15,27 @@ type config = {
   timeout : float option;  (** per-request deadline, seconds *)
   now : unit -> float;  (** injectable clock, seconds *)
   slow_log : int;  (** slowest requests kept with their span trees *)
+  flight_capacity : int;  (** flight-recorder dossier ring; 0 disables *)
+  flight_slowest : int;  (** slowest-k dossiers kept with span trees *)
 }
 
 val default_config : config
 (** caching on, 256-entry caches, queue of 64, 100k steps, no timeout,
-    [Unix.gettimeofday], 5-entry slow log. *)
+    [Unix.gettimeofday], 5-entry slow log, 512-dossier flight ring with
+    slowest-k of 8. *)
+
+val config_to_line : config -> string
+(** Canonical single-line JSON rendering of every behaviour-shaping
+    field ([now] excluded — it is process wiring, not behaviour). This
+    is what dossiers embed, so [gp replay] can rebuild the exact
+    server a request ran under. *)
+
+val config_of_line : string -> (config, string) result
+(** Inverse of {!config_to_line}; missing fields take their
+    {!default_config} values and [now] is always the default clock. *)
+
+val config_fingerprint : config -> string
+(** Digest of {!config_to_line} — dossiers carry it as [config_fp]. *)
 
 type t
 
@@ -30,6 +46,14 @@ val create :
 
 val config : t -> config
 val metrics : t -> Metrics.t
+
+val flight : t -> Gp_telemetry.Recorder.t option
+(** The flight recorder, when [config.flight_capacity > 0]. Every
+    request served — including unparseable lines — leaves a dossier;
+    error/over-budget/timeout and slowest-k dossiers additionally retain
+    their span tree and metric deltas. Queue-full rejections are
+    admission events, not served requests, and leave no dossier. *)
+
 val registry : t -> Gp_concepts.Registry.t
 val caches : t -> Dispatch.caches
 val cache_stats : t -> Lru.stats list

@@ -113,6 +113,43 @@ let prove_pool =
 
 let nth_mod pool k = List.nth pool (k mod List.length pool)
 
+(* ------------------------------------------------------------------ *)
+(* Error injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Requests that deterministically fail, one flavour per error surface
+   the service distinguishes: bad .gpc, bad lint syntax, bad expression,
+   unknown concept, unknown theory, and a budget-buster. The key [k]
+   rides along in names so distinct ranks stay distinct requests.
+
+   The budget-buster is a long identity chain whose rewrite fires one
+   step per link: ~3000 steps, legal under the 100k default budget but
+   Over_budget under the tightened budgets the flight-recorder tests and
+   bench s4 serve with (max_steps <= ~2500). The optimizer charges the
+   step count on hit and miss alike, so the outcome is cache-independent
+   — exactly what deterministic replay needs. *)
+let over_budget_expr k =
+  let b = Buffer.create 16_384 in
+  Buffer.add_string b (Printf.sprintf "x%d" k);
+  for _ = 1 to 3000 do
+    Buffer.add_string b "*1"
+  done;
+  Buffer.contents b
+
+let error_request k =
+  match k mod 6 with
+  | 0 -> Request.Parse { source = Printf.sprintf "concept Broken%d<T {" k }
+  | 1 -> Request.Lint { source = Printf.sprintf "oops %d (" k }
+  | 2 ->
+    Request.Optimize
+      { expr = Printf.sprintf "x%d * * 1" k; certified_only = false }
+  | 3 ->
+    Request.Closure
+      { concept = Printf.sprintf "NoSuchConcept%d" k; types = [ "int" ] }
+  | 4 -> Request.Prove { theory = Printf.sprintf "numerology%d" k; instance = None }
+  | _ ->
+    Request.Optimize { expr = over_budget_expr k; certified_only = false }
+
 let request_for kind k =
   match kind with
   | Request.Kcheck ->
@@ -170,9 +207,12 @@ let pick_kind st mix =
   in
   go 0 mix
 
-let generate ?(mix = default_mix) ?(zipf = 1.1) ?(keyspace = 40) ~seed ~n () =
+let generate ?(mix = default_mix) ?(zipf = 1.1) ?(keyspace = 40)
+    ?(errors = 0.0) ~seed ~n () =
   if n < 0 then invalid_arg "Workload.generate: n < 0";
   if keyspace < 1 then invalid_arg "Workload.generate: keyspace < 1";
+  if errors < 0.0 || errors > 1.0 then
+    invalid_arg "Workload.generate: errors outside [0,1]";
   let st = Random.State.make [| 0x5e1; seed |] in
   let cdf = zipf_cdf ~s:zipf ~keyspace in
   List.init n (fun _ ->
@@ -180,7 +220,11 @@ let generate ?(mix = default_mix) ?(zipf = 1.1) ?(keyspace = 40) ~seed ~n () =
       (* rank 0 is the hottest key; permute per kind so distinct kinds
          don't all hammer key 0 of their pools in lockstep *)
       let rank = sample_rank st cdf in
-      request_for kind rank)
+      (* the short-circuit keeps the RNG stream byte-identical to the
+         errors-free stream when errors = 0.0 *)
+      if errors > 0.0 && Random.State.float st 1.0 < errors then
+        error_request rank
+      else request_for kind rank)
 
 let fingerprint reqs =
   Digest.to_hex

@@ -16,11 +16,16 @@ val parse_mix : string -> (mix, string) result
     weights, and all-zero mixes. *)
 
 val generate :
-  ?mix:mix -> ?zipf:float -> ?keyspace:int -> seed:int -> n:int -> unit ->
-  Request.t list
+  ?mix:mix -> ?zipf:float -> ?keyspace:int -> ?errors:float -> seed:int ->
+  n:int -> unit -> Request.t list
 (** [zipf] is the rank-distribution exponent (higher = hotter hot keys,
     default 1.1); [keyspace] the number of distinct keys per kind
-    (default 40). *)
+    (default 40). [errors] (default 0.0, the stream is then identical to
+    earlier releases) injects that fraction of deterministically failing
+    requests: bad [.gpc]/lint/expression sources, unknown
+    concept/theory names, and a ~3000-step rewrite that goes
+    [Over_budget] under tightened budgets ([max_steps <= ~2500]) — the
+    flight-recorder test regime. *)
 
 val fingerprint : Request.t list -> string
 (** Digest of the canonical renderings — equal iff the streams are

@@ -38,4 +38,11 @@ val buckets : t -> (float * int) array
 (** [(upper_bound, count)] per bucket, non-cumulative; the last upper
     bound is [infinity]. *)
 
+val merge : t -> t -> t
+(** Aggregate two series into a fresh histogram (neither input is
+    mutated): per-bucket counts add, so count, sum and the observed
+    extremes are exact and quantiles keep the one-bucket-ratio error
+    bound of the merged exact sample. Raises [Invalid_argument] when
+    the bucket geometries differ. *)
+
 val clear : t -> unit

@@ -148,6 +148,10 @@ let counter_series t name =
 
 let families t = t.order
 
+(* Family totals in first-observation order: the cheap whole-registry
+   snapshot the flight recorder diffs around a request. *)
+let totals t = List.map (fun name -> (name, total t name)) t.order
+
 let clear t =
   Hashtbl.reset t.families;
   t.order <- []

@@ -41,6 +41,12 @@ val counter_series : t -> string -> ((string * string) list * float) list
 (** All numeric series of a family, first-observation order. *)
 
 val families : t -> string list
+
+val totals : t -> (string * float) list
+(** [(family, total)] for every family, first-observation order — the
+    whole-registry snapshot the flight recorder diffs around a
+    request. *)
+
 val clear : t -> unit
 
 val to_prometheus : t -> string

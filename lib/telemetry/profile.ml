@@ -1,0 +1,47 @@
+(* GC and allocation accounting for spans.
+
+   Same discipline as Tel: off by default, one flag check per call site.
+   [sample] returns [None] when profiling is disabled, so the tracer
+   pays a single branch (and no Gc.quick_stat call) on the common path —
+   bench s3's one-flag-check budget also covers this probe.
+
+   Counters are process-global (OCaml's GC is), so a span's delta
+   includes everything its children allocated — the same hierarchical
+   containment as wall time, which is what flamegraph weighting wants. *)
+
+type counters = {
+  pc_alloc_bytes : float;
+  pc_minor : int;
+  pc_major : int;
+}
+
+let enabled = ref false
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+let sample () =
+  if not !enabled then None
+  else
+    let s = Gc.quick_stat () in
+    Some
+      { pc_alloc_bytes = Gc.allocated_bytes ();
+        pc_minor = s.Gc.minor_collections;
+        pc_major = s.Gc.major_collections }
+
+let diff ~before ~after =
+  { pc_alloc_bytes = Float.max 0.0 (after.pc_alloc_bytes -. before.pc_alloc_bytes);
+    pc_minor = after.pc_minor - before.pc_minor;
+    pc_major = after.pc_major - before.pc_major }
+
+let with_profiling f =
+  let saved = !enabled in
+  enabled := true;
+  Fun.protect ~finally:(fun () -> enabled := saved) f
+
+let pp_bytes ppf b =
+  if Float.is_nan b then Fmt.string ppf "-"
+  else if b < 1e3 then Fmt.pf ppf "%.0fB" b
+  else if b < 1e6 then Fmt.pf ppf "%.1fkB" (b /. 1e3)
+  else if b < 1e9 then Fmt.pf ppf "%.2fMB" (b /. 1e6)
+  else Fmt.pf ppf "%.2fGB" (b /. 1e9)

@@ -1,0 +1,30 @@
+(** GC/allocation accounting for spans: a process-global probe over
+    [Gc.allocated_bytes] and the minor/major collection counters.
+
+    Off by default behind one flag check, like {!Tel} — the tracer
+    samples it at span open/close, so enabling it turns every span into
+    an allocation profile without touching instrumented code. *)
+
+type counters = {
+  pc_alloc_bytes : float;  (** bytes allocated (minor + major) *)
+  pc_minor : int;  (** minor collections *)
+  pc_major : int;  (** major collections *)
+}
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val sample : unit -> counters option
+(** Current process-global counters; [None] when disabled (the one-flag
+    fast path — no [Gc.quick_stat] call is made). *)
+
+val diff : before:counters -> after:counters -> counters
+(** Per-span delta; allocation is clamped at 0. *)
+
+val with_profiling : (unit -> 'a) -> 'a
+(** Enable around the thunk, restoring the previous state
+    (exception-safe). *)
+
+val pp_bytes : Format.formatter -> float -> unit
+(** Humanised byte count ([12.3kB]). *)

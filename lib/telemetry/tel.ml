@@ -26,10 +26,11 @@ let make_sink ?(clock = Clock.wall) ?(trace_capacity = 4096) () =
   { clock; trace = Trace.create ~capacity:trace_capacity ~clock ();
     metrics = Metrics.create () }
 
-let install ?clock ?trace_capacity () =
+let install ?clock ?trace_capacity ?(profile = false) () =
   let s = make_sink ?clock ?trace_capacity () in
   sink := Some s;
   enabled := true;
+  if profile then Profile.enable ();
   s
 
 let install_sink s =
@@ -38,18 +39,22 @@ let install_sink s =
 
 let uninstall () =
   enabled := false;
-  sink := None
+  sink := None;
+  Profile.disable ()
 
 let is_enabled () = !enabled
 let current () = if !enabled then !sink else None
 
-let with_installed ?clock ?trace_capacity f =
-  let saved_enabled = !enabled and saved_sink = !sink in
-  let s = install ?clock ?trace_capacity () in
+let with_installed ?clock ?trace_capacity ?profile f =
+  let saved_enabled = !enabled
+  and saved_sink = !sink
+  and saved_profile = Profile.is_enabled () in
+  let s = install ?clock ?trace_capacity ?profile () in
   Fun.protect
     ~finally:(fun () ->
       enabled := saved_enabled;
-      sink := saved_sink)
+      sink := saved_sink;
+      if saved_profile then Profile.enable () else Profile.disable ())
     (fun () -> f s)
 
 (* ------------------------------------------------------------------ *)

@@ -15,19 +15,24 @@ val make_sink : ?clock:Clock.t -> ?trace_capacity:int -> unit -> sink
 (** Build a sink without installing it (defaults: wall clock, 4096-span
     ring). *)
 
-val install : ?clock:Clock.t -> ?trace_capacity:int -> unit -> sink
-(** Create a sink, install it globally, enable every call site. *)
+val install : ?clock:Clock.t -> ?trace_capacity:int -> ?profile:bool -> unit -> sink
+(** Create a sink, install it globally, enable every call site.
+    [~profile:true] also enables {!Profile}, so every span carries a
+    GC/allocation delta. *)
 
 val install_sink : sink -> unit
-val uninstall : unit -> unit  (** Back to the no-op default. *)
+
+val uninstall : unit -> unit
+(** Back to the no-op default; also disables {!Profile}. *)
 
 val is_enabled : unit -> bool
 val current : unit -> sink option  (** [None] when disabled. *)
 
 val with_installed :
-  ?clock:Clock.t -> ?trace_capacity:int -> (sink -> 'a) -> 'a
+  ?clock:Clock.t -> ?trace_capacity:int -> ?profile:bool -> (sink -> 'a) -> 'a
 (** Install a fresh sink around the thunk, restoring the previous global
-    state afterwards (exception-safe) — the test-suite idiom. *)
+    state (including the {!Profile} flag) afterwards (exception-safe) —
+    the test-suite idiom. *)
 
 val with_span :
   name:string -> ?attrs:(unit -> (string * string) list) ->

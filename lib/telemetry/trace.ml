@@ -14,6 +14,7 @@ type span = {
   sp_start_ns : float;
   sp_dur_ns : float;
   sp_attrs : (string * string) list;
+  sp_gc : Profile.counters option; (* Some iff profiling was on at open *)
 }
 
 type open_span = {
@@ -21,6 +22,7 @@ type open_span = {
   o_parent : int option;
   o_name : string;
   o_start : float;
+  o_gc : Profile.counters option;
   o_attrs : (unit -> (string * string) list) option;
   mutable o_extra : (string * string) list; (* add_attr, reverse order *)
 }
@@ -36,7 +38,7 @@ type t = {
 
 let dummy =
   { sp_id = 0; sp_parent = None; sp_name = ""; sp_start_ns = 0.0;
-    sp_dur_ns = 0.0; sp_attrs = [] }
+    sp_dur_ns = 0.0; sp_attrs = []; sp_gc = None }
 
 let create ?(capacity = 4096) ~clock () =
   if capacity < 1 then invalid_arg "Trace.create: capacity < 1";
@@ -49,6 +51,14 @@ let record t sp =
 
 let close t o ~error =
   let stop = t.clock () in
+  let gc =
+    match o.o_gc with
+    | None -> None
+    | Some before -> (
+      match Profile.sample () with
+      | Some after -> Some (Profile.diff ~before ~after)
+      | None -> None (* profiling turned off mid-span *))
+  in
   let attrs =
     (match o.o_attrs with Some f -> f () | None -> [])
     @ List.rev o.o_extra
@@ -57,7 +67,7 @@ let close t o ~error =
   record t
     { sp_id = o.o_id; sp_parent = o.o_parent; sp_name = o.o_name;
       sp_start_ns = o.o_start; sp_dur_ns = Float.max 0.0 (stop -. o.o_start);
-      sp_attrs = attrs }
+      sp_attrs = attrs; sp_gc = gc }
 
 let with_span t ~name ?attrs f =
   t.next_id <- t.next_id + 1;
@@ -66,6 +76,7 @@ let with_span t ~name ?attrs f =
       o_parent = (match t.stack with o :: _ -> Some o.o_id | [] -> None);
       o_name = name;
       o_start = t.clock ();
+      o_gc = Profile.sample ();
       o_attrs = attrs;
       o_extra = [] }
   in
@@ -141,6 +152,12 @@ let to_chrome_json t =
         @ (match sp.sp_parent with
           | Some p -> [ ("parent_id", string_of_int p) ]
           | None -> [])
+        @ (match sp.sp_gc with
+          | Some g ->
+            [ ("alloc_bytes", Printf.sprintf "%.0f" g.Profile.pc_alloc_bytes);
+              ("minor_gcs", string_of_int g.Profile.pc_minor);
+              ("major_gcs", string_of_int g.Profile.pc_major) ]
+          | None -> [])
         @ sp.sp_attrs
       in
       List.iteri
@@ -188,8 +205,92 @@ let pp_tree ppf sps =
     Fmt.pf ppf "%s%-*s %a" (String.make (2 * depth) ' ')
       (Int.max 1 (30 - (2 * depth)))
       s.sp_name pp_dur s.sp_dur_ns;
+    (match s.sp_gc with
+    | Some g ->
+      Fmt.pf ppf " alloc=%a minor=%d major=%d" Profile.pp_bytes
+        g.Profile.pc_alloc_bytes g.Profile.pc_minor g.Profile.pc_major
+    | None -> ());
     List.iter (fun (k, v) -> Fmt.pf ppf " %s=%s" k v) s.sp_attrs;
     Fmt.pf ppf "@.";
     List.iter (pp_span (depth + 1)) (children s.sp_id)
   in
   List.iter (pp_span 0) roots
+
+(* ------------------------------------------------------------------ *)
+(* Collapsed-stack ("folded") export                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One "a;b;c weight" line per span, weighted by the span's SELF cost
+   (total minus the children's totals) so flamegraph tooling can re-sum
+   the hierarchy. Children are indexed by parent in one pass: the export
+   runs over full rings, where pp_tree's quadratic scan would hurt. *)
+let folded ?(weight = `Dur) sps =
+  let weight_of s =
+    match weight with
+    | `Dur -> s.sp_dur_ns
+    | `Alloc -> (
+      match s.sp_gc with Some g -> g.Profile.pc_alloc_bytes | None -> 0.0)
+  in
+  let present = Hashtbl.create 256 in
+  List.iter (fun s -> Hashtbl.replace present s.sp_id ()) sps;
+  let kids = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      match s.sp_parent with
+      | Some p when Hashtbl.mem present p ->
+        Hashtbl.replace kids p
+          (s :: (try Hashtbl.find kids p with Not_found -> []))
+      | _ -> ())
+    sps;
+  let children p =
+    (try List.rev (Hashtbl.find kids p) with Not_found -> [])
+    |> List.sort (fun a b -> Float.compare a.sp_start_ns b.sp_start_ns)
+  in
+  let roots =
+    List.filter
+      (fun s ->
+        match s.sp_parent with
+        | None -> true
+        | Some p -> not (Hashtbl.mem present p))
+      sps
+  in
+  let buf = Buffer.create 4096 in
+  let rec go stack s =
+    let cs = children s.sp_id in
+    let self =
+      Float.max 0.0
+        (weight_of s -. List.fold_left (fun a c -> a +. weight_of c) 0.0 cs)
+    in
+    let stack = if stack = "" then s.sp_name else stack ^ ";" ^ s.sp_name in
+    Buffer.add_string buf (Printf.sprintf "%s %.0f\n" stack self);
+    List.iter (go stack) cs
+  in
+  List.iter (go "") roots;
+  Buffer.contents buf
+
+let to_folded ?weight t = folded ?weight (spans t)
+
+(* ------------------------------------------------------------------ *)
+(* Per-span JSON (the flight recorder's dossier format)                *)
+(* ------------------------------------------------------------------ *)
+
+let span_to_json sp =
+  let attrs =
+    String.concat ","
+      (List.map (fun (k, v) -> Json.str k ^ ":" ^ Json.str v) sp.sp_attrs)
+  in
+  Printf.sprintf
+    "{\"id\":%d,\"parent\":%s,\"name\":%s,\"start_ns\":%s,\"dur_ns\":%s,\
+     \"attrs\":{%s},\"gc\":%s}"
+    sp.sp_id
+    (match sp.sp_parent with None -> "null" | Some p -> string_of_int p)
+    (Json.str sp.sp_name)
+    (Json.num sp.sp_start_ns)
+    (Json.num sp.sp_dur_ns)
+    attrs
+    (match sp.sp_gc with
+    | None -> "null"
+    | Some g ->
+      Printf.sprintf "{\"alloc_bytes\":%s,\"minor\":%d,\"major\":%d}"
+        (Json.num g.Profile.pc_alloc_bytes)
+        g.Profile.pc_minor g.Profile.pc_major)

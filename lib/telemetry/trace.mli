@@ -12,6 +12,10 @@ type span = {
   sp_start_ns : float;
   sp_dur_ns : float;
   sp_attrs : (string * string) list;
+  sp_gc : Profile.counters option;
+      (** GC/allocation delta over the span, when {!Profile} was enabled
+          at open. Process-global counters: a parent's delta includes
+          its children's. *)
 }
 
 type t
@@ -58,4 +62,18 @@ val pp_dur : Format.formatter -> float -> unit
 
 val pp_tree : Format.formatter -> span list -> unit
 (** Render spans as an indented forest (roots = spans whose parent is
-    not in the list), with durations and attributes. *)
+    not in the list), with durations, GC deltas and attributes. *)
+
+val folded : ?weight:[ `Dur | `Alloc ] -> span list -> string
+(** Collapsed-stack ("folded") rendering for flamegraph tooling: one
+    [root;child;leaf weight] line per span, weighted by the span's
+    {e self} cost — duration in ns by default, or allocated bytes with
+    [`Alloc] (0 for spans recorded without profiling). *)
+
+val to_folded : ?weight:[ `Dur | `Alloc ] -> t -> string
+(** {!folded} over the retained spans. *)
+
+val span_to_json : span -> string
+(** One span as a JSON object ([id], [parent], [name], [start_ns],
+    [dur_ns], [attrs], [gc]) — the representation flight-recorder
+    dossiers embed. *)

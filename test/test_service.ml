@@ -597,6 +597,199 @@ let test_closure_tracks_registry_mutation () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder + replay                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Tel = Gp_telemetry.Tel
+module Recorder = Gp_telemetry.Recorder
+
+let test_config_line_roundtrip () =
+  let config =
+    { Server.default_config with caching = false; cache_capacity = 17;
+      queue_capacity = 5; max_steps = 2500; timeout = Some 1.5;
+      slow_log = 3; flight_capacity = 99; flight_slowest = 2 }
+  in
+  (match Server.config_of_line (Server.config_to_line config) with
+  | Ok c ->
+    Alcotest.(check bool) "caching" false c.Server.caching;
+    Alcotest.(check int) "cache_capacity" 17 c.Server.cache_capacity;
+    Alcotest.(check int) "queue_capacity" 5 c.Server.queue_capacity;
+    Alcotest.(check int) "max_steps" 2500 c.Server.max_steps;
+    Alcotest.(check (option (float 1e-9))) "timeout" (Some 1.5)
+      c.Server.timeout;
+    Alcotest.(check int) "slow_log" 3 c.Server.slow_log;
+    Alcotest.(check int) "flight_capacity" 99 c.Server.flight_capacity;
+    Alcotest.(check int) "flight_slowest" 2 c.Server.flight_slowest;
+    Alcotest.(check string) "fingerprint stable"
+      (Server.config_fingerprint config)
+      (Server.config_fingerprint c)
+  | Error m -> Alcotest.failf "config roundtrip failed: %s" m);
+  (* missing fields fall back to the defaults; junk is rejected *)
+  (match Server.config_of_line "{}" with
+  | Ok c ->
+    Alcotest.(check int) "defaults fill in"
+      Server.default_config.Server.max_steps c.Server.max_steps
+  | Error m -> Alcotest.failf "empty object rejected: %s" m);
+  Alcotest.(check bool) "junk rejected" true
+    (Result.is_error (Server.config_of_line "[1,2"));
+  Alcotest.(check bool) "bad field type rejected" true
+    (Result.is_error (Server.config_of_line {|{"max_steps":"many"}|}))
+
+let test_slow_log_rendering () =
+  let server =
+    mkserver ~config:{ Server.default_config with slow_log = 2 } ()
+  in
+  Alcotest.(check bool) "empty log renders as empty" true
+    (contains
+       (Fmt.str "%a" Server.pp_slow (Server.slow_requests server))
+       "empty");
+  Tel.with_installed (fun _ ->
+      for _ = 1 to 3 do
+        ignore (Server.handle server good_request)
+      done);
+  let rendered = Fmt.str "%a" Server.pp_slow (Server.slow_requests server) in
+  Alcotest.(check bool) "header" true (contains rendered "slowest requests");
+  Alcotest.(check bool) "renders the root span" true
+    (contains rendered "service.request");
+  Alcotest.(check bool) "renders the kind" true (contains rendered "parse")
+
+let test_flight_dossiers () =
+  let config =
+    { Server.default_config with max_steps = 2500; flight_capacity = 16;
+      flight_slowest = 1 }
+  in
+  let server = mkserver ~config () in
+  let recorder = Option.get (Server.flight server) in
+  Tel.with_installed (fun _ ->
+      ignore (Server.serve_line server {|{"kind":"optimize","expr":"x*1+0"}|});
+      ignore
+        (Server.serve_line server
+           {|{"kind":"closure","concept":"NoSuchConcept","types":["int"]}|});
+      ignore (Server.serve_line server "this is not json"));
+  (match Recorder.dossiers recorder with
+  | [ ok_d; unk; inv ] ->
+    Alcotest.(check string) "ok outcome" "ok" ok_d.Recorder.do_outcome;
+    Alcotest.(check string) "kind" "optimize" ok_d.Recorder.do_kind;
+    Alcotest.(check bool) "wire line is re-servable" true
+      (Result.is_ok (Wire.request_of_line (Lazy.force ok_d.Recorder.do_wire)));
+    Alcotest.(check string) "config line embedded"
+      (Server.config_to_line config) ok_d.Recorder.do_config;
+    Alcotest.(check string) "config fp"
+      (Server.config_fingerprint config) ok_d.Recorder.do_config_fp;
+    Alcotest.(check int) "registry generation"
+      (Gp_concepts.Registry.generation (Server.registry server))
+      ok_d.Recorder.do_generation;
+    Alcotest.(check bool) "root-span duration positive" true
+      (ok_d.Recorder.do_dur_ns > 0.0);
+    Alcotest.(check bool) "cache chain recorded" true
+      (ok_d.Recorder.do_cache_chain <> []);
+    Alcotest.(check string) "error outcome" "unknown-name"
+      unk.Recorder.do_outcome;
+    Alcotest.(check bool) "error dossier keeps its span tree" true
+      (unk.Recorder.do_spans <> []);
+    (let spans = unk.Recorder.do_spans in
+     let root = List.nth spans (List.length spans - 1) in
+     Alcotest.(check string) "root is service.request" "service.request"
+       root.Gp_telemetry.Trace.sp_name);
+    Alcotest.(check string) "invalid kind" "invalid" inv.Recorder.do_kind;
+    Alcotest.(check string) "invalid outcome" "bad-request"
+      inv.Recorder.do_outcome;
+    Alcotest.(check string) "raw line preserved" "this is not json"
+      (Lazy.force inv.Recorder.do_wire)
+  | l -> Alcotest.failf "expected 3 dossiers, got %d" (List.length l));
+  Alcotest.(check bool) "flight_capacity = 0 disables the recorder" true
+    (Option.is_none
+       (Server.flight (mkserver ~config:{ config with flight_capacity = 0 } ())))
+
+let test_flight_replay () =
+  let config =
+    { Server.default_config with max_steps = 2500; flight_capacity = 256 }
+  in
+  let n = 40 in
+  let reqs = Workload.generate ~errors:0.3 ~seed:5 ~n () in
+  let dossiers =
+    Tel.with_installed (fun _ ->
+        let server = mkserver ~config () in
+        ignore (Server.process server reqs);
+        Recorder.dossiers (Option.get (Server.flight server)))
+  in
+  Alcotest.(check int) "one dossier per request" n (List.length dossiers);
+  (* round-trip through the JSONL dump format, as gp replay would *)
+  let dump =
+    String.concat ""
+      (List.map (fun d -> Recorder.dossier_to_json d ^ "\n") dossiers)
+  in
+  let parsed =
+    match Flight.of_jsonl dump with
+    | Ok ds -> ds
+    | Error m -> Alcotest.failf "dump does not parse: %s" m
+  in
+  Alcotest.(check bool) "injected errors rode along" true
+    (List.exists (fun d -> d.Recorder.do_outcome <> "ok") parsed);
+  let o =
+    match Flight.replay ~declare_standard parsed with
+    | Ok o -> o
+    | Error m -> Alcotest.failf "replay: %s" m
+  in
+  Alcotest.(check int) "total" n o.Flight.rep_total;
+  Alcotest.(check int) "all fingerprints match" n o.Flight.rep_matched;
+  Alcotest.(check bool) "all_matched" true (Flight.all_matched o);
+  Alcotest.(check int) "replayed under the recorded config"
+    config.Server.max_steps o.Flight.rep_config.Server.max_steps;
+  (* a tampered fingerprint is detected as exactly one divergence *)
+  let tampered =
+    List.mapi
+      (fun i d ->
+        if i = 3 then
+          { d with Recorder.do_response_fp = Lazy.from_val "0000" }
+        else d)
+      parsed
+  in
+  match Flight.replay ~declare_standard tampered with
+  | Error m -> Alcotest.failf "tampered replay errored: %s" m
+  | Ok o2 -> (
+    Alcotest.(check int) "one divergence" 1 (List.length o2.Flight.rep_diverged);
+    Alcotest.(check bool) "not all matched" false (Flight.all_matched o2);
+    match o2.Flight.rep_diverged with
+    | [ dv ] ->
+      Alcotest.(check int) "the tampered dossier diverged"
+        (List.nth parsed 3).Recorder.do_id
+        dv.Flight.dv_dossier.Recorder.do_id;
+      Alcotest.(check bool) "divergence report renders" true
+        (contains (Fmt.str "%a" Flight.pp_outcome o2) "mismatch")
+    | _ -> ())
+
+let test_workload_error_injection () =
+  (* errors = 0.0 keeps the stream byte-identical to the pre-errors API *)
+  Alcotest.(check string) "errors=0 is the plain stream"
+    (Workload.fingerprint (Workload.generate ~seed:3 ~n:50 ()))
+    (Workload.fingerprint (Workload.generate ~errors:0.0 ~seed:3 ~n:50 ()));
+  Alcotest.(check string) "seeded error stream deterministic"
+    (Workload.fingerprint (Workload.generate ~errors:0.5 ~seed:3 ~n:50 ()))
+    (Workload.fingerprint (Workload.generate ~errors:0.5 ~seed:3 ~n:50 ()));
+  Alcotest.(check bool) "injection changes the stream" true
+    (Workload.fingerprint (Workload.generate ~errors:0.5 ~seed:3 ~n:50 ())
+    <> Workload.fingerprint (Workload.generate ~seed:3 ~n:50 ()));
+  (* the injected requests actually fail when served, across several
+     distinct error surfaces, under a budget tight enough to catch the
+     identity-chain budget-buster *)
+  let server =
+    mkserver ~config:{ Server.default_config with max_steps = 2500 } ()
+  in
+  let rsps =
+    Server.process server (Workload.generate ~errors:0.4 ~seed:3 ~n:50 ())
+  in
+  let failed = List.filter (fun r -> not (Request.ok r)) rsps in
+  Alcotest.(check bool) "some requests fail" true (failed <> []);
+  let codes = List.sort_uniq compare (List.map code_name failed) in
+  Alcotest.(check bool) "several distinct error codes" true
+    (List.length codes >= 2);
+  Alcotest.(check bool) "errors outside [0,1] rejected" true
+    (match Workload.generate ~errors:1.5 ~seed:1 ~n:1 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let () =
   Alcotest.run "service"
     [ ( "lru",
@@ -637,7 +830,17 @@ let () =
             test_workload_determinism;
           Alcotest.test_case "mix parsing" `Quick test_workload_mix;
           Alcotest.test_case "input validation" `Quick test_workload_validation;
+          Alcotest.test_case "seeded error injection" `Quick
+            test_workload_error_injection;
           qtest workload_pure_prop ] );
+      ( "flight",
+        [ Alcotest.test_case "config line roundtrip" `Quick
+            test_config_line_roundtrip;
+          Alcotest.test_case "slow log renders span trees" `Quick
+            test_slow_log_rendering;
+          Alcotest.test_case "dossier capture" `Quick test_flight_dossiers;
+          Alcotest.test_case "replay matches recording" `Quick
+            test_flight_replay ] );
       ( "propagate",
         [ Alcotest.test_case "closure_with agrees with closure" `Quick
             test_propagate_closure_with;

@@ -112,6 +112,58 @@ let histogram_monotone_prop =
          in
          mono vs))
 
+let test_histogram_merge_known () =
+  let a = Histogram.create () in
+  let b = Histogram.create () in
+  List.iter (Histogram.observe a) [ 100.0; 200.0; 300.0 ];
+  List.iter (Histogram.observe b) [ 1000.0; 2000.0 ];
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "count exact" 5 (Histogram.count m);
+  Alcotest.(check (float 1e-9)) "sum exact" 3600.0 (Histogram.sum m);
+  Alcotest.(check (float 0.0)) "min" 100.0 (Histogram.min_value m);
+  Alcotest.(check (float 0.0)) "max" 2000.0 (Histogram.max_value m);
+  (* inputs untouched *)
+  Alcotest.(check int) "a untouched" 3 (Histogram.count a);
+  Alcotest.(check int) "b untouched" 2 (Histogram.count b);
+  (* mismatched bucket geometry is a programming error *)
+  Alcotest.(check bool) "geometry mismatch raises" true
+    (match
+       Histogram.merge a
+         (Histogram.create ~lo:10.0 ~hi:1000.0 ~buckets_per_decade:1 ())
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let histogram_merge_prop =
+  qtest
+    (QCheck.Test.make
+       ~name:
+         "merge: count/sum exact, quantiles within one bucket ratio of the \
+          merged sample"
+       ~count:200
+       QCheck.(
+         pair
+           (list_of_size Gen.(int_range 0 40) sample_gen)
+           (list_of_size Gen.(int_range 0 40) sample_gen))
+       (fun (xs, ys) ->
+         QCheck.assume (xs <> [] || ys <> []);
+         let ha = Histogram.create () in
+         let hb = Histogram.create () in
+         List.iter (Histogram.observe ha) xs;
+         List.iter (Histogram.observe hb) ys;
+         let m = Histogram.merge ha hb in
+         let all = xs @ ys in
+         Histogram.count m = List.length all
+         && Float.abs (Histogram.sum m -. List.fold_left ( +. ) 0.0 all)
+            <= 1e-6 *. Float.max 1.0 (Histogram.sum m)
+         && List.for_all
+              (fun q ->
+                let exact = exact_quantile all q in
+                let est = Histogram.quantile m q in
+                let r = Histogram.ratio m in
+                est <= exact *. r +. 1e-9 && est >= exact /. r -. 1e-9)
+              [ 0.25; 0.5; 0.9; 1.0 ]))
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -203,6 +255,16 @@ let test_metrics_json () =
       Alcotest.(check bool) "has p50" true (member "p50" s <> None)
     | _ -> Alcotest.fail "expected one latency series")
 
+let test_metrics_totals () =
+  let m = Metrics.create () in
+  Metrics.inc m ~labels:[ ("kind", "check") ] "requests";
+  Metrics.inc m ~labels:[ ("kind", "lint") ] ~by:2.0 "requests";
+  Metrics.set m "queue_depth" 7.0;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "totals in first-observation order"
+    [ ("requests", 3.0); ("queue_depth", 7.0) ]
+    (Metrics.totals m)
+
 (* ------------------------------------------------------------------ *)
 (* Trace                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -293,6 +355,224 @@ let test_trace_chrome_json () =
     in
     Alcotest.(check (float 0.0)) "rebased ts" 0.0
       (List.fold_left Float.min infinity ts)
+
+(* ------------------------------------------------------------------ *)
+(* GC/allocation profiling                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_counters () =
+  Alcotest.(check bool) "off by default" false (Profile.is_enabled ());
+  Alcotest.(check bool) "sample none when off" true (Profile.sample () = None);
+  Profile.with_profiling (fun () ->
+      Alcotest.(check bool) "on inside" true (Profile.is_enabled ());
+      let before = Option.get (Profile.sample ()) in
+      ignore (Sys.opaque_identity (Array.make 50_000 0.0));
+      let after = Option.get (Profile.sample ()) in
+      let d = Profile.diff ~before ~after in
+      (* a 50k-float array is ~400 kB; allow allocator slack downwards *)
+      Alcotest.(check bool) "alloc counted" true
+        (d.Profile.pc_alloc_bytes >= 350_000.0);
+      Alcotest.(check bool) "minor delta nonneg" true (d.Profile.pc_minor >= 0);
+      Alcotest.(check bool) "major delta nonneg" true (d.Profile.pc_major >= 0));
+  Alcotest.(check bool) "restored off" false (Profile.is_enabled ())
+
+let test_span_gc_accounting () =
+  (* profiling off: spans carry no GC delta *)
+  Tel.with_installed (fun sink ->
+      Tel.with_span ~name:"plain" (fun () -> ());
+      match Trace.spans sink.Tel.trace with
+      | [ sp ] ->
+        Alcotest.(check bool) "no gc when unprofiled" true (sp.Trace.sp_gc = None)
+      | l -> Alcotest.failf "expected 1 span, got %d" (List.length l));
+  (* profiling on: every span carries a delta, and an allocating span
+     shows its allocation *)
+  Tel.with_installed ~profile:true (fun sink ->
+      Tel.with_span ~name:"alloc" (fun () ->
+          ignore (Sys.opaque_identity (Array.make 50_000 0.0)));
+      (match Trace.spans sink.Tel.trace with
+      | [ sp ] -> (
+        match sp.Trace.sp_gc with
+        | Some g ->
+          Alcotest.(check bool) "alloc attributed to span" true
+            (g.Profile.pc_alloc_bytes >= 350_000.0)
+        | None -> Alcotest.fail "profiled span lost its gc delta")
+      | l -> Alcotest.failf "expected 1 span, got %d" (List.length l));
+      (* the chrome export carries the gc args, and still parses *)
+      match parse_json (Trace.to_chrome_json sink.Tel.trace) with
+      | exception Bad_json e -> Alcotest.failf "chrome json: %s" e
+      | j ->
+        let events = jlist (Option.get (member "traceEvents" j)) in
+        List.iter
+          (fun e ->
+            Alcotest.(check bool) "alloc_bytes arg" true
+              (match member "args" e with
+              | Some args -> member "alloc_bytes" args <> None
+              | None -> false))
+          events);
+  Alcotest.(check bool) "profile restored off" false (Profile.is_enabled ())
+
+(* ------------------------------------------------------------------ *)
+(* Folded (collapsed-stack) export                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_folded_output () =
+  let t = manual_trace () in
+  (* clock reads: root open 0, child open 10, child close 20, root close
+     30, solo open 40, solo close 50 *)
+  Trace.with_span t ~name:"root" (fun () ->
+      Trace.with_span t ~name:"child" (fun () -> ()));
+  Trace.with_span t ~name:"solo" (fun () -> ());
+  Alcotest.(check string) "folded self-weights"
+    "root 20\nroot;child 10\nsolo 10\n" (Trace.to_folded t)
+
+let test_folded_alloc_weight () =
+  Tel.with_installed ~profile:true (fun sink ->
+      Tel.with_span ~name:"outer" (fun () ->
+          Tel.with_span ~name:"inner" (fun () ->
+              ignore (Sys.opaque_identity (Array.make 50_000 0.0))));
+      let folded = Trace.to_folded ~weight:`Alloc sink.Tel.trace in
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' folded)
+      in
+      Alcotest.(check int) "two stacks" 2 (List.length lines);
+      (* the inner stack carries the allocation; every self-weight is a
+         nonnegative integer *)
+      let weight line =
+        match String.rindex_opt line ' ' with
+        | Some i ->
+          float_of_string (String.sub line (i + 1) (String.length line - i - 1))
+        | None -> Alcotest.failf "malformed folded line %S" line
+      in
+      List.iter
+        (fun l -> Alcotest.(check bool) "nonneg weight" true (weight l >= 0.0))
+        lines;
+      let inner =
+        List.find (fun l -> String.length l >= 11 && String.sub l 0 11 = "outer;inner") lines
+      in
+      Alcotest.(check bool) "inner holds the allocation" true
+        (weight inner >= 350_000.0))
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let some_spans () =
+  let t = manual_trace () in
+  Trace.with_span t ~name:"service.request" (fun () ->
+      Trace.with_span t ~name:"engine.work" (fun () -> ()));
+  Trace.spans t
+
+let mk_dossier ?(id = 0) ?(outcome = "ok") ?(dur = 1.0) ?(spans = []) () =
+  { Recorder.do_id = id; do_kind = "optimize";
+    do_wire = Lazy.from_val {|{"kind":"x"}|};
+    do_generation = 3; do_config = "{}"; do_config_fp = "cfp";
+    do_outcome = outcome;
+    do_detail = (if outcome = "ok" then "" else "it broke");
+    do_cached = false; do_steps = 7; do_dur_ns = dur;
+    do_response_fp = Lazy.from_val "rfp";
+    do_cache_chain = [ ("rewrites", 1, 2) ]; do_spans = spans;
+    do_metric_deltas = [ ("gp_requests_total", 1.0) ] }
+
+let test_recorder_ring_eviction () =
+  (* a sustained error burst: every dossier is interesting (spans kept),
+     and the ring still only ever holds [capacity] of them *)
+  let r = Recorder.create ~capacity:4 ~slowest:2 () in
+  for i = 1 to 10 do
+    Recorder.record r
+      (mk_dossier ~id:i ~outcome:"over-budget" ~spans:(some_spans ()) ())
+  done;
+  Alcotest.(check int) "recorded" 10 (Recorder.recorded r);
+  Alcotest.(check int) "retained" 4 (Recorder.retained r);
+  Alcotest.(check int) "dropped" 6 (Recorder.dropped r);
+  let ds = Recorder.dossiers r in
+  Alcotest.(check (list int)) "oldest first, newest kept" [ 7; 8; 9; 10 ]
+    (List.map (fun d -> d.Recorder.do_id) ds);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "error dossiers keep spans" true
+        (d.Recorder.do_spans <> []))
+    ds;
+  Recorder.clear r;
+  Alcotest.(check int) "cleared" 0 (Recorder.recorded r);
+  Alcotest.(check bool) "create validates" true
+    (match Recorder.create ~capacity:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_recorder_slowest_k () =
+  (* streaming top-k: an ok dossier keeps its spans only if it ranks
+     among the k slowest seen so far at the moment it is recorded *)
+  let r = Recorder.create ~capacity:8 ~slowest:1 () in
+  Recorder.record r (mk_dossier ~id:1 ~dur:5.0 ~spans:(some_spans ()) ());
+  Recorder.record r (mk_dossier ~id:2 ~dur:9.0 ~spans:(some_spans ()) ());
+  Recorder.record r (mk_dossier ~id:3 ~dur:3.0 ~spans:(some_spans ()) ());
+  (match Recorder.dossiers r with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "first qualifies (empty top-k)" true
+      (a.Recorder.do_spans <> []);
+    Alcotest.(check bool) "slower still qualifies" true
+      (b.Recorder.do_spans <> []);
+    Alcotest.(check bool) "fast ok dossier stripped" true
+      (c.Recorder.do_spans = [] && c.Recorder.do_metric_deltas = []);
+    Alcotest.(check bool) "stripped dossier keeps its summary" true
+      (c.Recorder.do_cache_chain <> []
+      && Lazy.force c.Recorder.do_response_fp = "rfp")
+  | l -> Alcotest.failf "expected 3 dossiers, got %d" (List.length l));
+  (* slowest:0 disables the top-k path entirely; errors still qualify *)
+  let r0 = Recorder.create ~capacity:8 ~slowest:0 () in
+  Recorder.record r0 (mk_dossier ~id:1 ~dur:99.0 ~spans:(some_spans ()) ());
+  Recorder.record r0
+    (mk_dossier ~id:2 ~outcome:"timeout" ~dur:1.0 ~spans:(some_spans ()) ());
+  match Recorder.dossiers r0 with
+  | [ ok_d; err_d ] ->
+    Alcotest.(check bool) "ok stripped with k=0" true
+      (ok_d.Recorder.do_spans = []);
+    Alcotest.(check bool) "error kept with k=0" true
+      (err_d.Recorder.do_spans <> [])
+  | l -> Alcotest.failf "expected 2 dossiers, got %d" (List.length l)
+
+let test_recorder_jsonl () =
+  let r = Recorder.create ~capacity:8 ~slowest:0 () in
+  Recorder.record r
+    (mk_dossier ~id:1 ~outcome:"over-budget" ~dur:5.5
+       ~spans:(some_spans ()) ());
+  Recorder.record r (mk_dossier ~id:2 ~dur:1.0 ());
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Recorder.to_jsonl r))
+  in
+  Alcotest.(check int) "one line per dossier" 2 (List.length lines);
+  match List.map parse_json lines with
+  | exception Bad_json e -> Alcotest.failf "dossier json does not parse: %s" e
+  | [ d1; d2 ] ->
+    Alcotest.(check bool) "outcome" true
+      (member "outcome" d1 = Some (Jstr "over-budget"));
+    Alcotest.(check bool) "id" true (member "id" d1 = Some (Jnum 1.0));
+    Alcotest.(check bool) "config_fp" true
+      (member "config_fp" d1 = Some (Jstr "cfp"));
+    (match member "spans" d1 with
+    | Some spans ->
+      let spans = jlist spans in
+      Alcotest.(check int) "span tree retained" 2 (List.length spans);
+      List.iter
+        (fun sp ->
+          Alcotest.(check bool) "span has name" true (member "name" sp <> None);
+          Alcotest.(check bool) "span has dur_ns" true
+            (member "dur_ns" sp <> None))
+        spans
+    | None -> Alcotest.fail "no spans array");
+    (match member "cache_chain" d1 with
+    | Some chain -> (
+      match jlist chain with
+      | [ entry ] ->
+        Alcotest.(check bool) "chain cache name" true
+          (member "cache" entry = Some (Jstr "rewrites"));
+        Alcotest.(check bool) "chain misses" true
+          (member "misses" entry = Some (Jnum 2.0))
+      | l -> Alcotest.failf "expected 1 chain entry, got %d" (List.length l))
+    | None -> Alcotest.fail "no cache_chain array");
+    Alcotest.(check bool) "boring dossier has empty spans" true
+      (match member "spans" d2 with Some l -> jlist l = [] | None -> false)
+  | _ -> Alcotest.fail "expected two parsed lines"
 
 (* ------------------------------------------------------------------ *)
 (* The switchboard                                                     *)
@@ -448,8 +728,11 @@ let () =
             test_histogram_known_samples;
           Alcotest.test_case "empty + buckets + overflow" `Quick
             test_histogram_empty_and_buckets;
+          Alcotest.test_case "merge known histograms" `Quick
+            test_histogram_merge_known;
           histogram_bound_prop;
           histogram_monotone_prop;
+          histogram_merge_prop;
         ] );
       ( "metrics",
         [
@@ -457,6 +740,7 @@ let () =
           Alcotest.test_case "prometheus exposition" `Quick
             test_metrics_prometheus;
           Alcotest.test_case "json exposition" `Quick test_metrics_json;
+          Alcotest.test_case "family totals" `Quick test_metrics_totals;
         ] );
       ( "trace",
         [
@@ -466,6 +750,23 @@ let () =
             test_trace_exception_safety;
           Alcotest.test_case "ring and marks" `Quick test_trace_ring_and_marks;
           Alcotest.test_case "chrome trace json" `Quick test_trace_chrome_json;
+          Alcotest.test_case "folded export" `Quick test_folded_output;
+          Alcotest.test_case "folded alloc weight" `Quick
+            test_folded_alloc_weight;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "gc counters" `Quick test_profile_counters;
+          Alcotest.test_case "span gc accounting" `Quick
+            test_span_gc_accounting;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "ring eviction under error bursts" `Quick
+            test_recorder_ring_eviction;
+          Alcotest.test_case "slowest-k retention" `Quick
+            test_recorder_slowest_k;
+          Alcotest.test_case "jsonl export parses" `Quick test_recorder_jsonl;
         ] );
       ( "switchboard",
         [

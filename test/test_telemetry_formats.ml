@@ -1,12 +1,20 @@
 (* Format validator for the telemetry exports, run under `dune runtest`
-   against real `gp trace all` output (see test/dune):
+   against real `gp trace` / `gp serve --flight` output (see test/dune).
+   Invoked as alternating KIND FILE pairs, e.g.
 
-   - the Chrome trace-event JSON must parse, every event must be a
-     well-formed complete event, and the spans must cover all four
+     test_telemetry_formats trace t.json prom m.prom flight f.jsonl folded f.txt
+
+   - trace: the Chrome trace-event JSON must parse, every event must be
+     a well-formed complete event, and the spans must cover all four
      instrumented subsystems plus the concept checker;
-   - the Prometheus exposition must be line-well-formed: HELP/TYPE
+   - prom: the Prometheus exposition must be line-well-formed: HELP/TYPE
      comments or `name{labels} value` samples, histogram bucket series
-     cumulative and +Inf-terminated, `_count` equal to the +Inf bucket.
+     cumulative and +Inf-terminated, `_count` equal to the +Inf bucket;
+   - flight: every JSONL dossier line must parse and carry the full
+     field set, and at least one non-ok dossier must retain its span
+     tree;
+   - folded: every collapsed-stack line must be `stack<space>weight`
+     with a non-negative numeric weight.
 
    Exits non-zero with a diagnostic on the first violation. *)
 
@@ -191,11 +199,101 @@ let validate_prometheus path =
     (List.length samples)
     (List.length bucket_families)
 
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder JSONL dump                                          *)
+(* ------------------------------------------------------------------ *)
+
+let dossier_fields =
+  [ "id"; "kind"; "wire"; "generation"; "config"; "config_fp"; "outcome";
+    "detail"; "cached"; "steps"; "dur_ns"; "response_fp"; "cache_chain";
+    "metric_deltas"; "spans" ]
+
+let validate_flight path =
+  let lines =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter (fun l -> l <> "")
+  in
+  if lines = [] then fail "%s: empty flight dump" path;
+  let error_spans = ref 0 in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let j =
+        match parse line with
+        | j -> j
+        | exception Bad_json e -> fail "%s:%d: invalid JSON: %s" path lineno e
+      in
+      List.iter
+        (fun k ->
+          if member k j = None then
+            fail "%s:%d: dossier lacks %S" path lineno k)
+        dossier_fields;
+      (match (member "outcome" j, member "spans" j) with
+      | Some (Jstr o), Some (Jlist spans) ->
+        if o <> "ok" && spans <> [] then incr error_spans;
+        List.iter
+          (fun sp ->
+            match (member "name" sp, member "dur_ns" sp) with
+            | Some (Jstr _), Some (Jnum d) when d >= 0.0 -> ()
+            | _ -> fail "%s:%d: malformed span" path lineno)
+          spans
+      | _ -> fail "%s:%d: bad outcome/spans" path lineno);
+      match member "cache_chain" j with
+      | Some (Jlist chain) ->
+        List.iter
+          (fun link ->
+            match (member "cache" link, member "hits" link, member "misses" link)
+            with
+            | Some (Jstr _), Some (Jnum _), Some (Jnum _) -> ()
+            | _ -> fail "%s:%d: malformed cache_chain link" path lineno)
+          chain
+      | _ -> fail "%s:%d: cache_chain is not an array" path lineno)
+    lines;
+  if !error_spans = 0 then
+    fail "%s: no non-ok dossier retained its span tree" path;
+  Printf.printf "flight ok: %s, %d dossiers, %d error span trees\n" path
+    (List.length lines) !error_spans
+
+(* ------------------------------------------------------------------ *)
+(* Folded (collapsed-stack) profile                                    *)
+(* ------------------------------------------------------------------ *)
+
+let validate_folded path =
+  let lines =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter (fun l -> l <> "")
+  in
+  if lines = [] then fail "%s: empty folded profile" path;
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match String.rindex_opt line ' ' with
+      | None -> fail "%s:%d: no weight separator: %s" path lineno line
+      | Some sp -> (
+        if sp = 0 then fail "%s:%d: empty stack: %s" path lineno line;
+        match
+          float_of_string_opt
+            (String.sub line (sp + 1) (String.length line - sp - 1))
+        with
+        | Some w when w >= 0.0 -> ()
+        | _ -> fail "%s:%d: bad weight: %s" path lineno line))
+    lines;
+  Printf.printf "folded ok: %s, %d stack lines\n" path (List.length lines)
+
+let usage () =
+  prerr_endline
+    "usage: test_telemetry_formats (trace|prom|flight|folded) FILE ...";
+  exit 2
+
 let () =
-  match Sys.argv with
-  | [| _; trace; prom |] ->
-    validate_trace trace;
-    validate_prometheus prom
-  | _ ->
-    prerr_endline "usage: test_telemetry_formats TRACE.json METRICS.prom";
-    exit 2
+  let rec go = function
+    | [] -> ()
+    | "trace" :: file :: rest -> validate_trace file; go rest
+    | "prom" :: file :: rest -> validate_prometheus file; go rest
+    | "flight" :: file :: rest -> validate_flight file; go rest
+    | "folded" :: file :: rest -> validate_folded file; go rest
+    | _ -> usage ()
+  in
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as pairs) -> go pairs
+  | _ -> usage ()
