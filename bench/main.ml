@@ -767,6 +767,12 @@ let s1 () =
     (warm_rps /. base_rps)
     (if warm_rps > cold_rps then "(warm strictly faster: yes)"
      else "(WARM NOT FASTER — cache regression?)");
+  let per_request dt = dt *. 1e9 /. float_of_int n in
+  record ~experiment:"s1" "nocache_ns" (per_request base_dt);
+  record ~experiment:"s1" "cold_ns" (per_request cold_dt);
+  record ~experiment:"s1" "warm_ns" (per_request warm_dt);
+  record ~experiment:"s1" "warm_cold_speedup" (warm_rps /. cold_rps);
+  record ~experiment:"s1" "warm_nocache_speedup" (warm_rps /. base_rps);
   Fmt.pr "@.%s@." (Server.report server);
   Fmt.pr "(the report aggregates both passes; hit ratios mix the cold \
           misses with the warm hits)@."
@@ -1173,13 +1179,101 @@ let s4 () =
     /. float_of_int n)
 
 (* ------------------------------------------------------------------ *)
+(* S5: the simulated serving cluster — sharding, failover, audit       *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything in this section is simulated time inside gp_distsim, so
+   the numbers are bit-identical across runs and machines: no quotas,
+   no wall clock, and bench-diff can gate them exactly. Two series plus
+   the consistency audit:
+     - messages/request and cache miss ratio vs shard count, with
+       key-affinity sharding against a round-robin contrast arm;
+     - failover latency and completion under 20% message drops plus a
+       leader crash, audited against a single-node replay. *)
+let s5 () =
+  section "S5" "gp_cluster: sharded/replicated serving under deterministic \
+                failure injection";
+  let open Gp_cluster in
+  let declare_standard reg =
+    Gp_algebra.Decls.declare reg;
+    Gp_sequence.Decls.declare reg;
+    Gp_graph.Decls.declare reg;
+    Gp_linalg.Decls.declare reg
+  in
+  let n = 240 in
+  let seed = 11 in
+  let reqs =
+    Gp_service.Workload.generate ~seed ~n () |> Array.of_list
+  in
+  Fmt.pr "workload: n=%d seed=%d — all numbers simulated, quick = full@." n
+    seed;
+  let run ?(failures = []) ?(affinity = true) replicas =
+    Cluster.run
+      ~config:{ Cluster.default_config with replicas; affinity; failures }
+      ~declare_standard reqs
+  in
+  (* shard-count sweep: key affinity concentrates each key's repeats on
+     one replica's caches; round-robin scatters them, so its hit ratio
+     decays with the replica count *)
+  Fmt.pr "@.shard-count sweep (no failures):@.";
+  Fmt.pr "%-10s %10s %12s %16s@." "replicas" "msgs/req" "miss% keyed"
+    "miss% round-robin";
+  List.iter
+    (fun replicas ->
+      let keyed = run replicas in
+      let rr = run ~affinity:false replicas in
+      assert (keyed.Cluster.r_completed = n && rr.Cluster.r_completed = n);
+      let miss r = 100.0 *. (1.0 -. Cluster.hit_ratio r) in
+      Fmt.pr "%-10d %10.2f %12.1f %16.1f@." replicas
+        (Cluster.messages_per_request keyed)
+        (miss keyed) (miss rr);
+      let tag = Printf.sprintf "_r%d" replicas in
+      record ~experiment:"s5" ("msgs_per_req" ^ tag)
+        (Cluster.messages_per_request keyed);
+      record ~experiment:"s5" ("miss_keyed" ^ tag ^ "_pct") (miss keyed);
+      record ~experiment:"s5" ("miss_rr" ^ tag ^ "_pct") (miss rr))
+    [ 1; 2; 4; 8 ];
+  (* failover: 20% drops plus a crash of the elected leader, mid-run *)
+  let failures = [ Cluster.Drop 0.2; Cluster.Crash_leader { at = 40.0 } ] in
+  let r = run ~failures 3 in
+  let r2 = run ~failures 3 in
+  assert (String.equal (Cluster.dump r) (Cluster.dump r2));
+  Fmt.pr "@.failover: 3 replicas, drop=0.2, leader crash @40 \
+          (double-run dumps bit-identical: verified)@.";
+  Fmt.pr "%a" Cluster.pp_summary r;
+  let fo_lats = List.map (fun (t0, t1) -> t1 -. t0) r.Cluster.r_failovers in
+  let fo_mean =
+    match fo_lats with
+    | [] -> 0.0
+    | _ ->
+      List.fold_left ( +. ) 0.0 fo_lats /. float_of_int (List.length fo_lats)
+  in
+  let a = Cluster.audit ~declare_standard r in
+  Fmt.pr "%a" Cluster.pp_audit a;
+  assert (Cluster.audit_ok a);
+  assert (a.Cluster.au_compared = n);
+  record ~experiment:"s5" "fault_msgs_per_req"
+    (Cluster.messages_per_request r);
+  record ~experiment:"s5" "failover_detect_to_coord_sim" fo_mean;
+  record ~experiment:"s5" "mean_latency_sim" (Cluster.mean_latency r);
+  record ~experiment:"s5" "retry_pct"
+    (100.0 *. float_of_int (Cluster.retried r) /. float_of_int n);
+  record ~experiment:"s5" "audit_missing_pct"
+    (100.0 *. float_of_int a.Cluster.au_missing /. float_of_int n);
+  record ~experiment:"s5" "audit_diverged_pct"
+    (100.0
+    *. float_of_int (List.length a.Cluster.au_divergences)
+    /. float_of_int n)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("f1", f1_f2); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6);
     ("c1", c1); ("c2", c2); ("c3", c3); ("c5", c5); ("c6", c6); ("c8", c8);
-    ("a1", a1); ("s1", s1); ("s2", s2); ("s3", s3); ("s4", s4) ]
+    ("a1", a1); ("s1", s1); ("s2", s2); ("s3", s3); ("s4", s4);
+    ("s5", s5) ]
 
 let () =
   let rec parse = function

@@ -10,6 +10,7 @@
      gp serve [--file F]                     serve JSONL requests (gp_service)
      gp workload --n N --seed S              run a synthetic serving workload
      gp replay <flight.jsonl>                re-execute a flight dump, verify
+     gp cluster run|audit                    simulated replicated cluster (gp_cluster)
      gp bench-diff <old.json> <new.json>     perf-regression guard over --json *)
 
 open Cmdliner
@@ -797,6 +798,208 @@ let replay_cmd =
     Term.(const run $ file)
 
 (* ------------------------------------------------------------------ *)
+(* gp cluster                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Failure-injection grammar, comma-separated clauses:
+     drop=0.2                    each message dropped with prob 0.2
+     crash=3@40                  replica 3 crash-stops at t=40
+     crash=leader@40             the initial election winner crashes
+     partition=0+1|2+3@10-30     islands {0,1} and {2,3} while 10<=t<30
+   (node 0 is the router; replicas are 1..N) *)
+let parse_failure_spec spec =
+  let open Gp_cluster in
+  let clause c =
+    let c = String.trim c in
+    match String.index_opt c '=' with
+    | None -> failwith (c ^ ": expected kind=value")
+    | Some i ->
+      let key = String.sub c 0 i in
+      let v = String.sub c (i + 1) (String.length c - i - 1) in
+      (match key with
+      | "drop" -> Cluster.Drop (float_of_string v)
+      | "crash" -> (
+        match String.split_on_char '@' v with
+        | [ who; at ] ->
+          let at = float_of_string at in
+          if who = "leader" then Cluster.Crash_leader { at }
+          else Cluster.Crash_replica { replica = int_of_string who; at }
+        | _ -> failwith (c ^ ": expected crash=WHO@TIME"))
+      | "partition" -> (
+        match String.split_on_char '@' v with
+        | [ groups; window ] ->
+          let groups =
+            String.split_on_char '|' groups
+            |> List.map (fun g ->
+                   String.split_on_char '+' g |> List.map int_of_string)
+          in
+          (match String.split_on_char '-' window with
+          | [ a; b ] ->
+            Cluster.Partition
+              { groups; from_ = float_of_string a; until = float_of_string b }
+          | _ -> failwith (c ^ ": expected partition=GROUPS@FROM-UNTIL"))
+        | _ -> failwith (c ^ ": expected partition=GROUPS@FROM-UNTIL"))
+      | _ -> failwith (key ^ ": unknown failure kind"))
+  in
+  match
+    String.split_on_char ',' spec
+    |> List.filter (fun c -> String.trim c <> "")
+    |> List.map clause
+  with
+  | failures -> Ok failures
+  | exception Failure m -> Error m
+
+let cluster_run_cmd =
+  let replicas =
+    Arg.(value & opt int 3
+         & info [ "replicas" ] ~doc:"Number of replica servers.")
+  in
+  let vnodes =
+    Arg.(value & opt int 64
+         & info [ "vnodes" ] ~doc:"Ring points per replica.")
+  in
+  let n_arg =
+    Arg.(value & opt int 200
+         & info [ "requests"; "n" ] ~doc:"Workload size (generated).")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~doc:"Workload generator seed.")
+  in
+  let sim_seed =
+    Arg.(value & opt int 42
+         & info [ "sim-seed" ]
+             ~doc:"Simulator seed (timing draws and message drops).")
+  in
+  let file =
+    Arg.(value & opt (some file) None
+         & info [ "file" ]
+             ~doc:"Read request lines from this file ($(b,gp workload \
+                   --emit) output) instead of generating a workload.")
+  in
+  let failures =
+    Arg.(value & opt (some string) None
+         & info [ "failures" ]
+             ~doc:"Failure injection spec: comma-separated clauses \
+                   $(b,drop=P), $(b,crash=REPLICA@TIME), \
+                   $(b,crash=leader@TIME), \
+                   $(b,partition=G1|G2@FROM-UNTIL) with nodes joined by \
+                   $(b,+) (node 0 is the router).")
+  in
+  let round_robin =
+    Arg.(value & flag
+         & info [ "round-robin" ]
+             ~doc:"Route reads round-robin instead of sharding by content \
+                   key — the cache-affinity contrast arm.")
+  in
+  let async =
+    Arg.(value & opt (some float) None
+         & info [ "async" ]
+             ~doc:"Asynchronous timing with this max message delay \
+                   (default: synchronous, one time unit per hop).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ]
+             ~doc:"Write the run dump (JSONL: header + one record per \
+                   completed request) to this file — $(b,gp cluster \
+                   audit) input.")
+  in
+  let do_audit =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:"After the run, replay the workload on one bare server \
+                   and diff every response fingerprint.")
+  in
+  let run replicas vnodes n seed sim_seed file failures round_robin async
+      out do_audit =
+    let open Gp_cluster in
+    let failures =
+      match failures with
+      | None -> []
+      | Some spec -> (
+        match parse_failure_spec spec with
+        | Ok fs -> fs
+        | Error m ->
+          Fmt.epr "bad --failures: %s@." m;
+          exit 2)
+    in
+    let reqs =
+      match file with
+      | Some path ->
+        In_channel.with_open_text path In_channel.input_lines
+        |> List.filter (fun l -> String.trim l <> "")
+        |> List.map (fun l ->
+               match Gp_service.Wire.request_of_line l with
+               | Ok (_, req) -> req
+               | Error e ->
+                 Fmt.epr "%s: bad request line: %s@." path e;
+                 exit 2)
+        |> Array.of_list
+      | None ->
+        Gp_service.Workload.generate ~seed ~n () |> Array.of_list
+    in
+    let config =
+      { Cluster.default_config with
+        replicas; vnodes; seed = sim_seed; failures;
+        affinity = not round_robin;
+        timing =
+          (match async with
+          | None -> Gp_distsim.Engine.Synchronous
+          | Some max_delay -> Gp_distsim.Engine.Asynchronous { max_delay }) }
+    in
+    let r = Cluster.run ~config ~declare_standard:standard_declare reqs in
+    Fmt.pr "%a" Cluster.pp_summary r;
+    (match out with
+    | None -> ()
+    | Some path -> write_file path (Cluster.dump r));
+    let audit_failed =
+      do_audit
+      && begin
+           let a = Cluster.audit ~declare_standard:standard_declare r in
+           Fmt.pr "%a" Cluster.pp_audit a;
+           not (Cluster.audit_ok a)
+         end
+    in
+    if r.Cluster.r_completed = Array.length reqs && not audit_failed then 0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a workload through the simulated cluster and report")
+    Term.(const run $ replicas $ vnodes $ n_arg $ seed $ sim_seed $ file
+          $ failures $ round_robin $ async $ out $ do_audit)
+
+let cluster_audit_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DUMP.jsonl")
+  in
+  let run path =
+    let open Gp_cluster in
+    let doc = In_channel.with_open_text path In_channel.input_all in
+    match Cluster.audit_dump ~declare_standard:standard_declare doc with
+    | Error m ->
+      Fmt.epr "%s: %s@." path m;
+      2
+    | Ok a ->
+      Fmt.pr "%a" Cluster.pp_audit a;
+      if Cluster.audit_ok a then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Re-serve a cluster dump single-node and verify every \
+             response fingerprint the cluster returned")
+    Term.(const run $ file)
+
+let cluster_cmd =
+  Cmd.group
+    (Cmd.info "cluster"
+       ~doc:"Deterministically simulated sharded/replicated serving \
+             cluster: sharded reads, leader-replicated writes, failover, \
+             retries, and a single-node consistency audit")
+    [ cluster_run_cmd; cluster_audit_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* gp bench-diff                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -915,4 +1118,4 @@ let () =
        (Cmd.group info
           [ check_cmd; parse_cmd; concepts_cmd; lint_cmd; optimize_cmd;
             prove_cmd; elect_cmd; taxonomy_cmd; serve_cmd; workload_cmd;
-            trace_cmd; replay_cmd; bench_diff_cmd ]))
+            trace_cmd; replay_cmd; cluster_cmd; bench_diff_cmd ]))

@@ -1,0 +1,395 @@
+(* The harness around the Node state machines: configuration and
+   failure translation, the Engine run, derived series, the
+   single-node consistency audit, and the JSONL dump the CLI audits
+   offline. Everything here is simulated time — no wall clock — so
+   equal (config, workload) pairs produce bit-identical output. *)
+
+module Engine = Gp_distsim.Engine
+module Topology = Gp_distsim.Topology
+module Server = Gp_service.Server
+module Request = Gp_service.Request
+module Lru = Gp_service.Lru
+module Wire = Gp_service.Wire
+
+type failure =
+  | Drop of float
+  | Crash_replica of { replica : int; at : float }
+  | Crash_leader of { at : float }
+  | Partition of { groups : int list list; from_ : float; until : float }
+
+type config = {
+  replicas : int;
+  vnodes : int;
+  affinity : bool;
+  timing : Engine.timing;
+  seed : int;
+  failures : failure list;
+  tuning : Node.tuning;
+  server_config : Server.config;
+  max_time : float;
+  max_events : int;
+}
+
+let default_config =
+  {
+    replicas = 3;
+    vnodes = 64;
+    affinity = true;
+    timing = Engine.Synchronous;
+    seed = 42;
+    failures = [];
+    tuning = Node.default_tuning;
+    server_config =
+      { Server.default_config with
+        timeout = None;
+        now = (fun () -> 0.0); (* replaced by each node's simulated clock *)
+        slow_log = 0;
+        flight_capacity = 0 };
+    max_time = 100_000.0;
+    max_events = 2_000_000;
+  }
+
+type result = {
+  r_config : config;
+  r_requests : Request.t array;
+  r_records : Node.record option array;
+  r_completed : int;
+  r_metrics : Engine.metrics;
+  r_elections : int;
+  r_failovers : (float * float) list;
+  r_leaders : (float * int) list;
+  r_cache_hits : int;
+  r_cache_misses : int;
+}
+
+(* The initial election is FloodMax over replica ids, so its winner is
+   the highest id — which is what Crash_leader targets. *)
+let to_engine_failure ~replicas = function
+  | Drop prob -> Engine.Drop_links { prob }
+  | Crash_replica { replica; at } -> Engine.Crash { node = replica; at }
+  | Crash_leader { at } -> Engine.Crash { node = replicas; at }
+  | Partition { groups; from_; until } ->
+    Engine.Partition { groups; from_; until }
+
+let run ?(config = default_config) ~declare_standard reqs =
+  if config.replicas < 1 then invalid_arg "Cluster.run: replicas < 1";
+  let n = config.replicas in
+  let ring =
+    Hash_ring.create ~vnodes:config.vnodes
+      ~replicas:(List.init n (fun i -> i + 1))
+      ()
+  in
+  let world =
+    {
+      Node.reqs;
+      ring;
+      n_replicas = n;
+      affinity = config.affinity;
+      tuning = config.tuning;
+      server_config = config.server_config;
+      declare_standard;
+      servers = Array.make (n + 1) None;
+      records = Array.make (Array.length reqs) None;
+      completed = 0;
+      elections = 0;
+      failovers = [];
+      leader_log = [];
+    }
+  in
+  let engine_config =
+    {
+      Engine.timing = config.timing;
+      failures = List.map (to_engine_failure ~replicas:n) config.failures;
+      seed = config.seed;
+      max_time = config.max_time;
+      max_events = config.max_events;
+    }
+  in
+  let res =
+    Engine.run ~config:engine_config
+      (Topology.complete (n + 1))
+      (Node.algorithm world)
+  in
+  let hits, misses =
+    Array.fold_left
+      (fun acc -> function
+        | None -> acc
+        | Some server ->
+          List.fold_left
+            (fun (h, m) st -> (h + st.Lru.st_hits, m + st.Lru.st_misses))
+            acc
+            (Server.cache_stats server))
+      (0, 0) world.Node.servers
+  in
+  {
+    r_config = config;
+    r_requests = reqs;
+    r_records = world.Node.records;
+    r_completed = world.Node.completed;
+    r_metrics = res.Engine.metrics;
+    r_elections = world.Node.elections;
+    r_failovers = List.rev world.Node.failovers;
+    r_leaders = List.rev world.Node.leader_log;
+    r_cache_hits = hits;
+    r_cache_misses = misses;
+  }
+
+(* -------------------------------------------------------------- *)
+(* Derived series                                                  *)
+(* -------------------------------------------------------------- *)
+
+let messages_per_request r =
+  float_of_int r.r_metrics.Engine.messages_sent
+  /. float_of_int (max 1 r.r_completed)
+
+let hit_ratio r =
+  let total = r.r_cache_hits + r.r_cache_misses in
+  if total = 0 then 0.0 else float_of_int r.r_cache_hits /. float_of_int total
+
+let fold_records f acc r =
+  Array.fold_left
+    (fun acc -> function None -> acc | Some rc -> f acc rc)
+    acc r.r_records
+
+let mean_latency r =
+  if r.r_completed = 0 then 0.0
+  else
+    fold_records
+      (fun acc rc -> acc +. (rc.Node.rc_done -. rc.Node.rc_arrive))
+      0.0 r
+    /. float_of_int r.r_completed
+
+let max_latency r =
+  fold_records
+    (fun acc rc -> Float.max acc (rc.Node.rc_done -. rc.Node.rc_arrive))
+    0.0 r
+
+let retried r =
+  fold_records
+    (fun acc rc -> if rc.Node.rc_attempts > 1 then acc + 1 else acc)
+    0 r
+
+let timing_name = function
+  | Engine.Synchronous -> "synchronous"
+  | Engine.Asynchronous { max_delay } ->
+    Printf.sprintf "asynchronous(max %g)" max_delay
+  | Engine.Partially_synchronous { bound } ->
+    Printf.sprintf "partially-synchronous(bound %g)" bound
+
+let pp_summary ppf r =
+  let writes =
+    Array.fold_left
+      (fun acc req -> if Proto.is_write req then acc + 1 else acc)
+      0 r.r_requests
+  in
+  let m = r.r_metrics in
+  Fmt.pf ppf "cluster: %d replicas + router, %s, seed %d, %s reads@."
+    r.r_config.replicas
+    (timing_name r.r_config.timing)
+    r.r_config.seed
+    (if r.r_config.affinity then "key-sharded" else "round-robin");
+  Fmt.pf ppf "workload: %d requests (%d writes), completed %d/%d@."
+    (Array.length r.r_requests) writes r.r_completed
+    (Array.length r.r_requests);
+  Fmt.pf ppf
+    "traffic: %d sent, %d delivered, %d dropped — %.2f msgs/request@."
+    m.Engine.messages_sent m.Engine.messages_delivered
+    m.Engine.messages_dropped (messages_per_request r);
+  Fmt.pf ppf "retries: %d requests redispatched; elections: %d" (retried r)
+    r.r_elections;
+  (match r.r_failovers with
+   | [] -> Fmt.pf ppf "; failovers: none@."
+   | fos ->
+     let lats = List.map (fun (t0, t1) -> t1 -. t0) fos in
+     Fmt.pf ppf "; failovers: %d (%s %s)@." (List.length fos)
+       (if List.length fos > 1 then "latencies" else "latency")
+       (String.concat ", " (List.map (Printf.sprintf "%.2f") lats)));
+  Fmt.pf ppf "latency (sim): mean %.2f, max %.2f@." (mean_latency r)
+    (max_latency r);
+  Fmt.pf ppf "caches: %.1f%% hit ratio (%d hits / %d lookups)@."
+    (100.0 *. hit_ratio r)
+    r.r_cache_hits
+    (r.r_cache_hits + r.r_cache_misses);
+  Fmt.pf ppf "sim: %d events, finish time %.2f@." m.Engine.events
+    m.Engine.finish_time
+
+(* -------------------------------------------------------------- *)
+(* Consistency audit                                               *)
+(* -------------------------------------------------------------- *)
+
+type divergence = {
+  dv_rid : int;
+  dv_cluster_fp : string;
+  dv_single_fp : string;
+}
+
+type audit = {
+  au_total : int;
+  au_compared : int;
+  au_missing : int;
+  au_divergences : divergence list;
+}
+
+let audit_ok a = a.au_missing = 0 && a.au_divergences = []
+
+(* Compare (rid, cluster fingerprint) pairs against a fresh single
+   server serving the same requests in rid (= arrival) order. Shared by
+   the in-memory audit and the dump audit. *)
+let audit_pairs ~server ~total pairs =
+  let compared = ref 0 in
+  let divergences = ref [] in
+  List.iter
+    (fun (rid, req, cluster_fp) ->
+      incr compared;
+      let rsp = Server.handle ~id:rid server req in
+      let fp = Request.response_fingerprint rsp in
+      if not (String.equal fp cluster_fp) then
+        divergences :=
+          { dv_rid = rid; dv_cluster_fp = cluster_fp; dv_single_fp = fp }
+          :: !divergences)
+    pairs;
+  {
+    au_total = total;
+    au_compared = !compared;
+    au_missing = total - !compared;
+    au_divergences = List.rev !divergences;
+  }
+
+let audit ~declare_standard r =
+  let server =
+    Server.create ~config:r.r_config.server_config ~declare_standard ()
+  in
+  let pairs =
+    List.filter_map
+      (fun rc ->
+        Option.map
+          (fun rc -> (rc.Node.rc_rid, r.r_requests.(rc.Node.rc_rid), rc.Node.rc_fp))
+          rc)
+      (Array.to_list r.r_records)
+  in
+  audit_pairs ~server ~total:(Array.length r.r_requests) pairs
+
+let pp_audit ppf a =
+  Fmt.pf ppf "audit: %d/%d compared, %d missing, %d divergent@." a.au_compared
+    a.au_total a.au_missing
+    (List.length a.au_divergences);
+  List.iter
+    (fun d ->
+      Fmt.pf ppf "  rid %d: cluster %s vs single %s@." d.dv_rid
+        d.dv_cluster_fp d.dv_single_fp)
+    a.au_divergences;
+  if audit_ok a then
+    Fmt.pf ppf "audit PASS: every replicated answer matches single-node@."
+  else Fmt.pf ppf "audit FAIL@."
+
+(* -------------------------------------------------------------- *)
+(* Dump / offline audit                                            *)
+(* -------------------------------------------------------------- *)
+
+let dump r =
+  let buf = Buffer.create 4096 in
+  let header =
+    Wire.Obj
+      [
+        ("gp_cluster", Wire.Int 1);
+        ("replicas", Wire.Int r.r_config.replicas);
+        ("vnodes", Wire.Int r.r_config.vnodes);
+        ("affinity", Wire.Bool r.r_config.affinity);
+        ("seed", Wire.Int r.r_config.seed);
+        ("n", Wire.Int (Array.length r.r_requests));
+        ("completed", Wire.Int r.r_completed);
+        ("elections", Wire.Int r.r_elections);
+        ("server_config",
+         Wire.parse (Server.config_to_line r.r_config.server_config));
+      ]
+  in
+  Buffer.add_string buf (Wire.to_string header);
+  Buffer.add_char buf '\n';
+  Array.iter
+    (function
+      | None -> ()
+      | Some rc ->
+        let line =
+          Wire.Obj
+            [
+              ("rid", Wire.Int rc.Node.rc_rid);
+              ("kind", Wire.Str (Request.kind_name rc.Node.rc_kind));
+              ("write", Wire.Bool rc.Node.rc_write);
+              ("replica", Wire.Int rc.Node.rc_replica);
+              ("fp", Wire.Str rc.Node.rc_fp);
+              ("ok", Wire.Bool rc.Node.rc_ok);
+              ("cached", Wire.Bool rc.Node.rc_cached);
+              ("attempts", Wire.Int rc.Node.rc_attempts);
+              ("arrive", Wire.Float rc.Node.rc_arrive);
+              ("done", Wire.Float rc.Node.rc_done);
+              ("req",
+               Wire.parse
+                 (Wire.request_to_line ~id:rc.Node.rc_rid
+                    r.r_requests.(rc.Node.rc_rid)));
+            ]
+        in
+        Buffer.add_string buf (Wire.to_string line);
+        Buffer.add_char buf '\n')
+    r.r_records;
+  Buffer.contents buf
+
+let field name = function
+  | Wire.Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let audit_dump ~declare_standard doc =
+  let lines =
+    String.split_on_char '\n' doc
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty dump"
+  | header :: records -> (
+    try
+      let header = Wire.parse header in
+      (match field "gp_cluster" header with
+       | Some (Wire.Int 1) -> ()
+       | _ -> raise (Wire.Error "not a gp_cluster dump (bad header)"));
+      let total =
+        match field "n" header with
+        | Some (Wire.Int n) -> n
+        | _ -> raise (Wire.Error "header missing workload size")
+      in
+      let server_config =
+        match field "server_config" header with
+        | Some obj -> (
+          match Server.config_of_line (Wire.to_string obj) with
+          | Ok c -> c
+          | Error e -> raise (Wire.Error ("bad server_config: " ^ e)))
+        | None -> raise (Wire.Error "header missing server_config")
+      in
+      let pairs =
+        List.map
+          (fun line ->
+            let obj = Wire.parse line in
+            let rid =
+              match field "rid" obj with
+              | Some (Wire.Int i) -> i
+              | _ -> raise (Wire.Error "record missing rid")
+            in
+            let fp =
+              match field "fp" obj with
+              | Some (Wire.Str s) -> s
+              | _ -> raise (Wire.Error "record missing fp")
+            in
+            let req =
+              match field "req" obj with
+              | Some obj -> (
+                match Wire.request_of_line (Wire.to_string obj) with
+                | Ok (_, req) -> req
+                | Error e -> raise (Wire.Error ("bad request: " ^ e)))
+              | None -> raise (Wire.Error "record missing req")
+            in
+            (rid, req, fp))
+          records
+      in
+      let server =
+        Server.create ~config:server_config ~declare_standard ()
+      in
+      Ok (audit_pairs ~server ~total pairs)
+    with Wire.Error e -> Error e)

@@ -1,0 +1,68 @@
+(* Consistent hashing: replicas own [vnodes] points each on a ring of
+   hashes; a key belongs to the owner of the first point clockwise from
+   the key's own hash. Digest (MD5) keeps placement deterministic across
+   processes — no Hashtbl.hash, whose layout is not a contract. *)
+
+type t = {
+  replicas : int list; (* ascending *)
+  points : (string * int) array; (* (hash, replica), sorted by hash *)
+}
+
+(* The first 8 digest bytes as a hex string: compares lexicographically
+   like the integer it encodes, which is all ring order needs. *)
+let hash s = String.sub (Digest.to_hex (Digest.string s)) 0 16
+
+let create ?(vnodes = 64) ~replicas () =
+  if replicas = [] then invalid_arg "Hash_ring.create: no replicas";
+  if vnodes < 1 then invalid_arg "Hash_ring.create: vnodes < 1";
+  let replicas = List.sort_uniq compare replicas in
+  let points =
+    List.concat_map
+      (fun r ->
+        List.init vnodes (fun v ->
+            (hash (Printf.sprintf "replica-%d#%d" r v), r)))
+      replicas
+    |> Array.of_list
+  in
+  Array.sort compare points;
+  { replicas; points }
+
+let replicas t = t.replicas
+
+(* Index of the first point with hash >= h, wrapping to 0. *)
+let locate t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let shard t key = snd t.points.(locate t (hash key))
+
+let successors t key =
+  let n = Array.length t.points in
+  let start = locate t (hash key) in
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n && Hashtbl.length seen < List.length t.replicas do
+    let r = snd t.points.((start + !i) mod n) in
+    if not (Hashtbl.mem seen r) then begin
+      Hashtbl.add seen r ();
+      out := r :: !out
+    end;
+    incr i
+  done;
+  List.rev !out
+
+let spread t keys =
+  let counts = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace counts r 0) t.replicas;
+  List.iter
+    (fun k ->
+      let r = shard t k in
+      Hashtbl.replace counts r (Hashtbl.find counts r + 1))
+    keys;
+  List.map (fun r -> (r, Hashtbl.find counts r)) t.replicas

@@ -1,0 +1,30 @@
+(** Consistent hashing over replica ids.
+
+    Each replica owns [vnodes] points on a digest ring; a content key is
+    served by the owner of the first point at or after the key's hash
+    (wrapping). Purely deterministic — points come from [Digest.string]
+    of the replica's name — so the same (replicas, vnodes) pair always
+    produces the same placement, and adding or removing one replica
+    moves only the keys on its arcs (property-tested). *)
+
+type t
+
+val create : ?vnodes:int -> replicas:int list -> unit -> t
+(** [replicas] are node ids (any ints, typically [1..n]); [vnodes]
+    defaults to 64 points per replica. Raises [Invalid_argument] on an
+    empty replica list or [vnodes < 1]. *)
+
+val replicas : t -> int list
+(** The replica ids, ascending. *)
+
+val shard : t -> string -> int
+(** The replica owning this content key. *)
+
+val successors : t -> string -> int list
+(** All replicas in ring order starting at the key's owner, each
+    appearing once — the failover walk: entry [0] is {!shard}, entry
+    [k] is the k-th distinct replica clockwise from it. *)
+
+val spread : t -> string list -> (int * int) list
+(** [(replica, keys owned)] for a key population, ascending by replica
+    id — the balance diagnostic. *)

@@ -1,0 +1,324 @@
+(* The router and replica state machines. Everything observable is
+   written into the shared [world] record: the engine's node states are
+   unreachable once the run finishes, and the harness (Cluster.run)
+   reads completions, elections and failovers from the world instead. *)
+
+module Engine = Gp_distsim.Engine
+module Server = Gp_service.Server
+module Request = Gp_service.Request
+module Tel = Gp_telemetry.Tel
+
+type tuning = {
+  arrival_interval : float;
+  read_timeout : float;
+  backoff_cap : float;
+  settle : float;
+  hb_interval : float;
+  hb_timeout : float;
+}
+
+let default_tuning =
+  { arrival_interval = 1.0; read_timeout = 8.0; backoff_cap = 64.0;
+    settle = 3.0; hb_interval = 5.0; hb_timeout = 16.0 }
+
+type record = {
+  rc_rid : int;
+  rc_kind : Request.kind;
+  rc_write : bool;
+  rc_replica : int;
+  rc_fp : string;
+  rc_ok : bool;
+  rc_cached : bool;
+  rc_attempts : int;
+  rc_arrive : float;
+  rc_done : float;
+}
+
+type world = {
+  reqs : Request.t array;
+  ring : Hash_ring.t;
+  n_replicas : int;
+  affinity : bool;
+  tuning : tuning;
+  server_config : Server.config;
+  declare_standard : Gp_concepts.Registry.t -> unit;
+  servers : Server.t option array;
+  records : record option array;
+  mutable completed : int;
+  mutable elections : int;
+  mutable failovers : (float * float) list;
+  mutable leader_log : (float * int) list;
+}
+
+(* -------------------------------------------------------------- *)
+(* Node states                                                     *)
+(* -------------------------------------------------------------- *)
+
+type pending = {
+  p_rid : int;
+  p_write : bool;
+  p_arrive : float;
+  mutable p_attempt : int; (* dispatches made so far, minus one *)
+}
+
+type router = {
+  pending : (int, pending) Hashtbl.t;
+  wait_leader : int Queue.t; (* writes parked until a leader is known *)
+  mutable rt_leader : int option;
+  mutable last_hb : float;
+  mutable detect_at : float option; (* presumed-death time, for failover latency *)
+  mutable last_election : float; (* last Start_election broadcast *)
+}
+
+type replica = {
+  server : Server.t;
+  served : (int, string * bool * bool) Hashtbl.t; (* rid -> fp, ok, cached *)
+  mutable best : int; (* highest uid seen this election round *)
+  mutable rep_leader : int option;
+  mutable electing : bool;
+}
+
+type state = R_router of router | R_replica of replica
+
+let backoff w attempt =
+  (* 2.**large overflows to infinity, which min caps — intentional *)
+  Float.min (w.tuning.read_timeout *. (2. ** float_of_int attempt))
+    w.tuning.backoff_cap
+
+let each_replica w ~except f =
+  for j = 1 to w.n_replicas do
+    if j <> except then f j
+  done
+
+(* -------------------------------------------------------------- *)
+(* Replica machine                                                 *)
+(* -------------------------------------------------------------- *)
+
+(* Serve [rid], memoized per replica: a retried or re-replicated request
+   reuses the first response, so duplicates cannot fork the fingerprint
+   and the work accounting stays honest. Returns [(result, fresh)]. *)
+let serve (ctx : Proto.msg Engine.ctx) w rep rid =
+  match Hashtbl.find_opt rep.served rid with
+  | Some r -> (r, false)
+  | None ->
+    let rsp =
+      Tel.with_span ~name:"cluster.serve"
+        ~attrs:(fun () ->
+          [ ("node", string_of_int ctx.self); ("rid", string_of_int rid) ])
+        (fun () -> Server.handle ~id:rid rep.server w.reqs.(rid))
+    in
+    ctx.charge (max 1 rsp.Request.rsp_steps);
+    if Tel.is_enabled () then
+      Tel.count
+        ~labels:[ ("node", string_of_int ctx.self) ]
+        "gp_cluster_serves_total" 1;
+    let r =
+      (Request.response_fingerprint rsp, Request.ok rsp, rsp.Request.rsp_cached)
+    in
+    Hashtbl.replace rep.served rid r;
+    (r, true)
+
+let start_round (ctx : Proto.msg Engine.ctx) w rep =
+  rep.best <- ctx.self;
+  rep.electing <- true;
+  each_replica w ~except:ctx.self (fun j -> ctx.send j (Proto.Elect { uid = ctx.self }));
+  ctx.timer ~delay:w.tuning.settle Proto.Election_settle
+
+let replica_msg (ctx : Proto.msg Engine.ctx) w rep msg =
+  match msg with
+  | Proto.Elect { uid } -> if uid > rep.best then rep.best <- uid
+  | Proto.Election_settle ->
+    if rep.electing then begin
+      rep.electing <- false;
+      if rep.best = ctx.self then begin
+        rep.rep_leader <- Some ctx.self;
+        ctx.send 0 (Proto.Coord { uid = ctx.self });
+        each_replica w ~except:ctx.self (fun j ->
+            ctx.send j (Proto.Coord { uid = ctx.self }))
+      end
+    end
+  | Proto.Coord { uid } ->
+    (* accept-max within a round; a stale higher uid from a dead leader
+       is corrected by the next heartbeat timeout *)
+    (match rep.rep_leader with
+     | None -> rep.rep_leader <- Some uid
+     | Some l -> if uid >= l then rep.rep_leader <- Some uid)
+  | Proto.Start_election -> start_round ctx w rep
+  | Proto.Do_request { rid; attempt = _ } ->
+    let (fp, ok, cached), fresh = serve ctx w rep rid in
+    ctx.send 0 (Proto.Reply { rid; replica = ctx.self; fp; ok; cached });
+    (* first service of a write fans out to the followers; the served
+       table makes re-deliveries idempotent on both ends *)
+    if fresh && Proto.is_write w.reqs.(rid) then
+      each_replica w ~except:ctx.self (fun j ->
+          ctx.send j (Proto.Replicate { rid }))
+  | Proto.Replicate { rid } -> ignore (serve ctx w rep rid)
+  | Proto.Ping ->
+    if rep.rep_leader = Some ctx.self then
+      ctx.send 0 (Proto.Heartbeat { uid = ctx.self })
+  | Proto.Shutdown ->
+    ctx.decide (string_of_int (Hashtbl.length rep.served));
+    ctx.halt ()
+  | Proto.Arrive _ | Proto.Reply _ | Proto.Retry_check _ | Proto.Hb_check
+  | Proto.Heartbeat _ ->
+    ()
+
+(* -------------------------------------------------------------- *)
+(* Router machine                                                  *)
+(* -------------------------------------------------------------- *)
+
+let read_target w rid attempt =
+  if w.affinity then begin
+    let succ = Hash_ring.successors w.ring (Request.key w.reqs.(rid)) in
+    List.nth succ (attempt mod List.length succ)
+  end
+  else 1 + ((rid + attempt) mod w.n_replicas)
+
+(* Dispatch the pending request's next attempt. Reads go to the shard
+   owner, then walk its ring successors on retry; writes go to the
+   leader, or park in [wait_leader] until a coordinator is known (the
+   Coord acceptance flushes the queue). Every dispatch arms its own
+   retry timer. *)
+let dispatch (ctx : Proto.msg Engine.ctx) w rt p =
+  let rid = p.p_rid and attempt = p.p_attempt in
+  let fire target =
+    ctx.send target (Proto.Do_request { rid; attempt });
+    ctx.timer ~delay:(backoff w attempt) (Proto.Retry_check { rid; attempt })
+  in
+  if p.p_write then
+    match rt.rt_leader with
+    | Some l -> fire l
+    | None -> Queue.push rid rt.wait_leader
+  else fire (read_target w rid attempt)
+
+let start_election (ctx : Proto.msg Engine.ctx) w rt =
+  w.elections <- w.elections + 1;
+  rt.last_election <- ctx.now ();
+  if Tel.is_enabled () then Tel.count "gp_cluster_elections_total" 1;
+  each_replica w ~except:0 (fun j -> ctx.send j Proto.Start_election)
+
+let router_msg (ctx : Proto.msg Engine.ctx) w rt msg =
+  match msg with
+  | Proto.Arrive rid ->
+    let p =
+      { p_rid = rid; p_write = Proto.is_write w.reqs.(rid);
+        p_arrive = ctx.now (); p_attempt = 0 }
+    in
+    Hashtbl.replace rt.pending rid p;
+    dispatch ctx w rt p
+  | Proto.Retry_check { rid; attempt } ->
+    (match Hashtbl.find_opt rt.pending rid with
+     | Some p when p.p_attempt = attempt ->
+       p.p_attempt <- attempt + 1;
+       if Tel.is_enabled () then Tel.count "gp_cluster_retries_total" 1;
+       dispatch ctx w rt p
+     | Some _ | None -> ())
+  | Proto.Reply { rid; replica; fp; ok; cached } ->
+    (match Hashtbl.find_opt rt.pending rid with
+     | None -> () (* duplicate reply from a retried request *)
+     | Some p ->
+       Hashtbl.remove rt.pending rid;
+       let done_ = ctx.now () in
+       w.records.(rid) <-
+         Some
+           { rc_rid = rid; rc_kind = Request.kind w.reqs.(rid);
+             rc_write = p.p_write; rc_replica = replica; rc_fp = fp;
+             rc_ok = ok; rc_cached = cached; rc_attempts = p.p_attempt + 1;
+             rc_arrive = p.p_arrive; rc_done = done_ };
+       w.completed <- w.completed + 1;
+       if Tel.is_enabled () then
+         Tel.observe "gp_cluster_request_time" (done_ -. p.p_arrive);
+       if w.completed = Array.length w.reqs then begin
+         each_replica w ~except:0 (fun j -> ctx.send j Proto.Shutdown);
+         ctx.decide (string_of_int w.completed);
+         ctx.halt ()
+       end)
+  | Proto.Coord { uid } ->
+    let accept =
+      match rt.rt_leader with None -> true | Some l -> uid >= l
+    in
+    if accept then begin
+      rt.rt_leader <- Some uid;
+      rt.last_hb <- ctx.now ();
+      w.leader_log <- (ctx.now (), uid) :: w.leader_log;
+      (match rt.detect_at with
+       | Some t0 ->
+         w.failovers <- (t0, ctx.now ()) :: w.failovers;
+         if Tel.is_enabled () then
+           Tel.observe "gp_cluster_failover_time" (ctx.now () -. t0);
+         rt.detect_at <- None
+       | None -> ());
+      (* a leader exists again: release the parked writes *)
+      while not (Queue.is_empty rt.wait_leader) do
+        let rid = Queue.pop rt.wait_leader in
+        match Hashtbl.find_opt rt.pending rid with
+        | Some p -> dispatch ctx w rt p
+        | None -> ()
+      done
+    end
+  | Proto.Heartbeat { uid } ->
+    if rt.rt_leader = Some uid then rt.last_hb <- ctx.now ()
+  | Proto.Hb_check ->
+    ctx.timer ~delay:w.tuning.hb_interval Proto.Hb_check;
+    (match rt.rt_leader with
+     | Some _ when ctx.now () -. rt.last_hb > w.tuning.hb_timeout ->
+       rt.rt_leader <- None;
+       if rt.detect_at = None then rt.detect_at <- Some (ctx.now ());
+       start_election ctx w rt
+     | Some l -> ctx.send l Proto.Ping
+     | None
+       when Hashtbl.length rt.pending > 0
+            && ctx.now () -. rt.last_election > w.tuning.hb_timeout ->
+       (* an election round went fully missing (dropped Elects/Coords);
+          kick off another rather than stalling the parked writes *)
+       start_election ctx w rt
+     | None -> ())
+  | Proto.Do_request _ | Proto.Replicate _ | Proto.Elect _
+  | Proto.Election_settle | Proto.Start_election | Proto.Ping
+  | Proto.Shutdown ->
+    ()
+
+(* -------------------------------------------------------------- *)
+(* Assembly                                                        *)
+(* -------------------------------------------------------------- *)
+
+let initial w (ctx : Proto.msg Engine.ctx) =
+  if ctx.self = 0 then begin
+    Array.iteri
+      (fun rid _ ->
+        ctx.timer
+          ~delay:(float_of_int (rid + 1) *. w.tuning.arrival_interval)
+          (Proto.Arrive rid))
+      w.reqs;
+    ctx.timer ~delay:w.tuning.hb_timeout Proto.Hb_check;
+    w.elections <- w.elections + 1; (* the initial round, started below *)
+    R_router
+      { pending = Hashtbl.create 64; wait_leader = Queue.create ();
+        rt_leader = None; last_hb = 0.0; detect_at = None;
+        last_election = 0.0 }
+  end
+  else begin
+    let config = { w.server_config with Server.now = ctx.now } in
+    let server =
+      Server.create ~config ~declare_standard:w.declare_standard ()
+    in
+    w.servers.(ctx.self) <- Some server;
+    let rep =
+      { server; served = Hashtbl.create 64; best = ctx.self;
+        rep_leader = None; electing = false }
+    in
+    start_round ctx w rep;
+    R_replica rep
+  end
+
+let algorithm w =
+  {
+    Engine.algo_name = "gp-cluster";
+    initial = initial w;
+    on_message =
+      (fun ctx st ~src:_ msg ->
+        (match st with
+         | R_router rt -> router_msg ctx w rt msg
+         | R_replica rep -> replica_msg ctx w rep msg);
+        st);
+  }

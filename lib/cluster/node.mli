@@ -1,0 +1,84 @@
+(** The per-node state machines of the cluster: one router (node 0)
+    fronting [n] replica servers (nodes 1..n), expressed as a
+    {!Gp_distsim.Engine.algorithm} so every run is a deterministic,
+    seeded simulation.
+
+    The router shards reads by content key over a {!Hash_ring}, retries
+    them on ring successors with capped exponential backoff, serializes
+    registry-mutating requests through an elected leader (FloodMax over
+    replica ids, re-run when heartbeats stop), and replays the whole
+    workload to completion. Replicas run real {!Gp_service.Server}
+    instances on the simulated clock; replies carry
+    {!Gp_service.Request.response_fingerprint}, which is what the
+    consistency audit compares. *)
+
+(** Protocol timing knobs, all in simulated time units. *)
+type tuning = {
+  arrival_interval : float;  (** spacing between workload arrivals *)
+  read_timeout : float;  (** base retry timeout for a dispatched request *)
+  backoff_cap : float;  (** ceiling for the exponential retry delay *)
+  settle : float;  (** election round length before the winner speaks *)
+  hb_interval : float;  (** leader heartbeat period *)
+  hb_timeout : float;
+      (** heartbeat silence after which the router presumes the leader
+          dead and starts a re-election *)
+}
+
+val default_tuning : tuning
+(** Arrivals every 1.0, retry base 8.0 capped at 64.0, elections settle
+    in 3.0, heartbeats every 5.0, presumed dead after 16.0 — sized for
+    the synchronous model's 1.0-per-hop delay with generous slack for
+    the asynchronous ones. *)
+
+(** What the router records when a request completes: who served it,
+    the response fingerprint the audit will check, and the simulated
+    arrival/completion times the latency series are built from. *)
+type record = {
+  rc_rid : int;  (** workload index *)
+  rc_kind : Gp_service.Request.kind;
+  rc_write : bool;  (** took the leader/replication path *)
+  rc_replica : int;  (** node that served the accepted reply *)
+  rc_fp : string;  (** {!Gp_service.Request.response_fingerprint} *)
+  rc_ok : bool;
+  rc_cached : bool;
+  rc_attempts : int;  (** dispatches until a reply was accepted *)
+  rc_arrive : float;  (** simulated arrival time *)
+  rc_done : float;  (** simulated completion time *)
+}
+
+(** Shared read-only input plus the mutable collection points the
+    simulation writes into — the engine's own state is opaque after
+    {!Gp_distsim.Engine.run} returns, so the harness reads results from
+    here. Build one per run ({!Cluster.run} does). *)
+type world = {
+  reqs : Gp_service.Request.t array;
+  ring : Hash_ring.t;
+  n_replicas : int;
+  affinity : bool;
+      (** true: shard reads by content key over [ring]; false:
+          round-robin them (the s5 contrast arm) *)
+  tuning : tuning;
+  server_config : Gp_service.Server.config;
+      (** template for each replica's server; its [now] field is
+          replaced by the node's simulated clock *)
+  declare_standard : Gp_concepts.Registry.t -> unit;
+  servers : Gp_service.Server.t option array;
+      (** filled at node init, indexed by node id (0 stays [None]) *)
+  records : record option array;  (** indexed by rid, filled on completion *)
+  mutable completed : int;
+  mutable elections : int;  (** election rounds, counting the initial one *)
+  mutable failovers : (float * float) list;
+      (** (presumed-dead, new-coordinator-accepted) pairs, newest first *)
+  mutable leader_log : (float * int) list;
+      (** coordinator acceptances at the router, newest first *)
+}
+
+type state
+(** Opaque per-node machine state (router or replica). *)
+
+val algorithm :
+  world -> (state, Proto.msg) Gp_distsim.Engine.algorithm
+(** The cluster as a distsim algorithm over a complete topology of
+    [1 + world.n_replicas] nodes: node 0 runs the router machine, the
+    rest run replica machines. All observable output lands in
+    [world]. *)

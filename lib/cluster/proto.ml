@@ -1,0 +1,44 @@
+(* The cluster message vocabulary. Requests are referenced by workload
+   index: the request array is shared read-only state of the harness, so
+   messages stay small and the simulator's metrics measure protocol
+   traffic, not payload serialization. *)
+
+type msg =
+  | Arrive of int
+  | Do_request of { rid : int; attempt : int }
+  | Replicate of { rid : int }
+  | Reply of { rid : int; replica : int; fp : string; ok : bool;
+               cached : bool }
+  | Retry_check of { rid : int; attempt : int }
+  | Elect of { uid : int }
+  | Election_settle
+  | Coord of { uid : int }
+  | Start_election
+  | Ping
+  | Heartbeat of { uid : int }
+  | Hb_check
+  | Shutdown
+
+(* Parse loads concept/type/model definitions — in a deployed cluster
+   that is a registry mutation, so it serializes through the leader and
+   replicates everywhere. All other pipelines are pure reads. *)
+let is_write req =
+  match Gp_service.Request.kind req with
+  | Gp_service.Request.Kparse -> true
+  | _ -> false
+
+let pp ppf = function
+  | Arrive rid -> Fmt.pf ppf "arrive#%d" rid
+  | Do_request { rid; attempt } -> Fmt.pf ppf "do#%d/try%d" rid attempt
+  | Replicate { rid } -> Fmt.pf ppf "replicate#%d" rid
+  | Reply { rid; replica; ok; _ } ->
+    Fmt.pf ppf "reply#%d from n%d (%s)" rid replica (if ok then "ok" else "err")
+  | Retry_check { rid; attempt } -> Fmt.pf ppf "retry-check#%d/try%d" rid attempt
+  | Elect { uid } -> Fmt.pf ppf "elect %d" uid
+  | Election_settle -> Fmt.string ppf "election-settle"
+  | Coord { uid } -> Fmt.pf ppf "coord %d" uid
+  | Start_election -> Fmt.string ppf "start-election"
+  | Ping -> Fmt.string ppf "ping"
+  | Heartbeat { uid } -> Fmt.pf ppf "heartbeat %d" uid
+  | Hb_check -> Fmt.string ppf "hb-check"
+  | Shutdown -> Fmt.string ppf "shutdown"

@@ -1,0 +1,40 @@
+(** The cluster wire vocabulary: what router and replicas exchange
+    inside the simulator.
+
+    Requests travel by workload index ([rid]) — the request array is
+    shared, read-only, by every node, so a message carries the index
+    and the metrics stay about counts and time, not payload bytes.
+    Replies carry the serving replica's response fingerprint; the audit
+    compares exactly these against a single-node replay. *)
+
+type msg =
+  | Arrive of int  (** router self-timer: workload item [rid] arrives *)
+  | Do_request of { rid : int; attempt : int }
+      (** router -> replica: serve this request (reads go to the shard
+          owner or a failover successor; writes go to the leader) *)
+  | Replicate of { rid : int }
+      (** leader -> follower: apply a write-path request too, keeping
+          every replica's registry and caches in the same state *)
+  | Reply of { rid : int; replica : int; fp : string; ok : bool;
+               cached : bool }
+      (** replica -> router: served, with the response fingerprint *)
+  | Retry_check of { rid : int; attempt : int }
+      (** router self-timer: if [rid] is still pending, resend with
+          capped exponential backoff *)
+  | Elect of { uid : int }  (** replica -> replicas: FloodMax round *)
+  | Election_settle  (** replica self-timer: the round is over *)
+  | Coord of { uid : int }  (** the round's winner announces itself *)
+  | Start_election  (** router -> replicas: leader presumed dead *)
+  | Ping  (** router -> leader: liveness probe. Router-driven so that
+              replicas hold no recurring timers and the simulation
+              quiesces once the router stops. *)
+  | Heartbeat of { uid : int }  (** leader -> router: still alive *)
+  | Hb_check  (** router self-timer: probe the leader / declare it dead *)
+  | Shutdown  (** router -> all: workload complete, quiesce *)
+
+val is_write : Gp_service.Request.t -> bool
+(** Registry-mutating requests — the ones that must serialize through
+    the leader and replicate to every node. [Parse] loads definitions,
+    so it is the write path; every other pipeline is a read. *)
+
+val pp : Format.formatter -> msg -> unit

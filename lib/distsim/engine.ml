@@ -24,6 +24,11 @@ type 'msg failure =
   | Crash of { node : int; at : float } (* crash-stop at time [at] *)
   | Drop_links of { prob : float } (* each message dropped with prob *)
   | Byzantine of { node : int; corrupt : 'msg -> 'msg }
+  | Partition of { groups : int list list; from_ : float; until : float }
+      (* network partition active while from_ <= now < until: listed
+         groups are islands, unlisted nodes together form one implicit
+         island, and messages crossing islands are dropped (no RNG
+         draw, so runs without partitions keep their exact stream) *)
 
 type 'msg config = {
   timing : timing;
@@ -44,12 +49,16 @@ let default_config =
 (* Handlers receive a context with the node's identity and neighbourhood,
    plus effect functions: [send] enqueues a message to a neighbour,
    [charge] accounts local computation steps, [decide] records the node's
-   output, [halt] stops the node. *)
+   output, [halt] stops the node, [timer] schedules a message back to
+   this node after a chosen simulated delay (a local alarm clock: not a
+   network message, so it is exempt from drops, corruption and
+   partitions, draws no RNG, and stays out of the message metrics). *)
 type 'msg ctx = {
   self : int;
   neighbors : int list;
   now : unit -> float;
   send : int -> 'msg -> unit;
+  timer : delay:float -> 'msg -> unit;
   charge : int -> unit;
   decide : string -> unit;
   halt : unit -> unit;
@@ -88,7 +97,14 @@ type result = {
 (* ------------------------------------------------------------------ *)
 
 module Eq = struct
-  type 'msg ev = { t : float; seq : int; src : int; dst : int; msg : 'msg }
+  type 'msg ev = {
+    t : float;
+    seq : int;
+    src : int;
+    dst : int;
+    msg : 'msg;
+    tmr : bool; (* a self-scheduled timer, outside the message metrics *)
+  }
 
   type 'msg t = { mutable a : 'msg ev array; mutable len : int }
 
@@ -171,13 +187,31 @@ let run_core (type s m) ~(config : m config) (topo : Topology.t)
   in
   let drop_prob = ref 0.0 in
   let byzantine : (int, m -> m) Hashtbl.t = Hashtbl.create 4 in
+  (* each partition becomes (island-id per node, window): listed groups
+     are islands 0..k-1, everyone unlisted shares the implicit island k *)
+  let partitions = ref [] in
   List.iter
     (function
       | Crash { node; at } ->
         if node >= 0 && node < n then crashed_at.(node) <- at
       | Drop_links { prob } -> drop_prob := prob
-      | Byzantine { node; corrupt } -> Hashtbl.replace byzantine node corrupt)
+      | Byzantine { node; corrupt } -> Hashtbl.replace byzantine node corrupt
+      | Partition { groups; from_; until } ->
+        let island = Array.make n (List.length groups) in
+        List.iteri
+          (fun i group ->
+            List.iter
+              (fun node -> if node >= 0 && node < n then island.(node) <- i)
+              group)
+          groups;
+        partitions := (island, from_, until) :: !partitions)
     config.failures;
+  let partitioned src dst =
+    List.exists
+      (fun (island, from_, until) ->
+        !now >= from_ && !now < until && island.(src) <> island.(dst))
+      !partitions
+  in
   let is_crashed node = !now >= crashed_at.(node) in
   let delay () =
     match config.timing with
@@ -197,13 +231,25 @@ let run_core (type s m) ~(config : m config) (topo : Topology.t)
         | Some corrupt -> corrupt msg
         | None -> msg
       in
-      if !drop_prob > 0.0 && Random.State.float rng 1.0 < !drop_prob then
+      if partitioned src dst then incr dropped
+      else if !drop_prob > 0.0 && Random.State.float rng 1.0 < !drop_prob then
         incr dropped
       else begin
         incr seq;
         Eq.push queue
-          { Eq.t = !now +. delay (); seq = !seq; src; dst; msg }
+          { Eq.t = !now +. delay (); seq = !seq; src; dst; msg; tmr = false }
       end
+    end
+  in
+  (* a timer is a local alarm, not a network message: fixed caller-chosen
+     delay (no RNG), immune to drops/partitions/corruption, and invisible
+     to the message metrics. It still dies with a crashed/halted node. *)
+  let timer_at i delay msg =
+    if (not (is_crashed i)) && not halted.(i) then begin
+      incr seq;
+      Eq.push queue
+        { Eq.t = !now +. Float.max 1e-9 delay; seq = !seq; src = i; dst = i;
+          msg; tmr = true }
     end
   in
   let ctx_of i =
@@ -212,6 +258,7 @@ let run_core (type s m) ~(config : m config) (topo : Topology.t)
       neighbors = Topology.neighbors topo i;
       now = (fun () -> !now);
       send = (fun dst msg -> send_from i dst msg);
+      timer = (fun ~delay msg -> timer_at i delay msg);
       charge = (fun k -> local.(i) <- local.(i) + k);
       decide = (fun v -> decisions.(i) <- Some v);
       halt = (fun () -> halted.(i) <- true);
@@ -232,7 +279,7 @@ let run_core (type s m) ~(config : m config) (topo : Topology.t)
       if !now > config.max_time || !events > config.max_events then
         continue := false
       else if (not (is_crashed ev.Eq.dst)) && not halted.(ev.Eq.dst) then begin
-        incr delivered;
+        if not ev.Eq.tmr then incr delivered;
         states.(ev.Eq.dst) <-
           algo.on_message (ctx_of ev.Eq.dst) states.(ev.Eq.dst)
             ~src:ev.Eq.src ev.Eq.msg

@@ -20,6 +20,12 @@ type 'msg failure =
   | Drop_links of { prob : float }
   | Byzantine of { node : int; corrupt : 'msg -> 'msg }
       (** the node's outgoing messages are corrupted *)
+  | Partition of { groups : int list list; from_ : float; until : float }
+      (** network partition active while [from_ <= now < until]: each
+          listed group is an island, all unlisted nodes together form
+          one implicit island, and messages sent across islands are
+          dropped. Deterministic — no RNG draw — so configurations
+          without partitions keep their exact event stream. *)
 
 type 'msg config = {
   timing : timing;
@@ -33,13 +39,17 @@ val default_config : 'msg config
 (** Synchronous, no failures, seed 42. *)
 
 (** Per-node context with effect handles: [send] to a neighbour,
-    [charge] local computation steps, [decide] the node's output,
-    [halt] the node. *)
+    [timer] a message back to this node after a chosen simulated delay
+    (a local alarm clock: exempt from drops, corruption and partitions,
+    draws no RNG, excluded from the message metrics, but dies with a
+    crashed or halted node), [charge] local computation steps, [decide]
+    the node's output, [halt] the node. *)
 type 'msg ctx = {
   self : int;
   neighbors : int list;
   now : unit -> float;
   send : int -> 'msg -> unit;
+  timer : delay:float -> 'msg -> unit;
   charge : int -> unit;
   decide : string -> unit;
   halt : unit -> unit;

@@ -1,0 +1,302 @@
+(* Tests for the simulated serving cluster: consistent-hashing
+   placement properties, the single-replica transparency property (a
+   1-node failure-free cluster answers exactly like a bare server),
+   failover under leader crash and partition, dump/offline-audit round
+   trips, and bit-exact determinism. *)
+
+open Gp_service
+open Gp_cluster
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let declare_standard reg =
+  Gp_algebra.Decls.declare reg;
+  Gp_sequence.Decls.declare reg;
+  Gp_graph.Decls.declare reg;
+  Gp_linalg.Decls.declare reg
+
+let workload ?(n = 60) seed =
+  Array.of_list (Workload.generate ~seed ~n ())
+
+let run ?(config = Cluster.default_config) reqs =
+  Cluster.run ~config ~declare_standard reqs
+
+(* ------------------------------------------------------------------ *)
+(* Hash ring                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ring_args = QCheck.(triple (int_range 1 12) (int_range 1 96) small_string)
+
+let ring_of n vn = Hash_ring.create ~vnodes:vn ~replicas:(List.init n (fun i -> i + 1)) ()
+
+let ring_successors_prop =
+  qtest
+    (QCheck.Test.make
+       ~name:"hash ring: successors start at the shard and cover all replicas"
+       ~count:200 ring_args
+       (fun (n, vn, key) ->
+         let ring = ring_of n vn in
+         let succ = Hash_ring.successors ring key in
+         List.hd succ = Hash_ring.shard ring key
+         && List.sort compare succ = List.init n (fun i -> i + 1)))
+
+let ring_deterministic_prop =
+  qtest
+    (QCheck.Test.make ~name:"hash ring: placement is a pure function"
+       ~count:200 ring_args
+       (fun (n, vn, key) ->
+         Hash_ring.successors (ring_of n vn) key
+         = Hash_ring.successors (ring_of n vn) key))
+
+(* the consistent-hashing contract: growing the cluster by one replica
+   only moves keys onto the newcomer, never between old replicas *)
+let ring_minimal_movement_prop =
+  qtest
+    (QCheck.Test.make ~name:"hash ring: adding a replica moves keys minimally"
+       ~count:200
+       QCheck.(triple (int_range 1 10) (int_range 1 64) small_string)
+       (fun (n, vn, key) ->
+         let before = Hash_ring.shard (ring_of n vn) key in
+         let after = Hash_ring.shard (ring_of (n + 1) vn) key in
+         after = before || after = n + 1))
+
+let test_ring_spread () =
+  let ring = ring_of 4 64 in
+  let keys = List.init 500 (fun i -> Printf.sprintf "key-%d" i) in
+  let spread = Hash_ring.spread ring keys in
+  Alcotest.(check int) "every key owned" 500
+    (List.fold_left (fun acc (_, k) -> acc + k) 0 spread);
+  Alcotest.(check (list int)) "replica ids ascending" [ 1; 2; 3; 4 ]
+    (List.map fst spread);
+  Alcotest.(check bool) "no starved replica" true
+    (List.for_all (fun (_, k) -> k > 0) spread)
+
+let test_ring_invalid () =
+  Alcotest.check_raises "empty replica set"
+    (Invalid_argument "Hash_ring.create: no replicas") (fun () ->
+      ignore (Hash_ring.create ~replicas:[] ()));
+  Alcotest.check_raises "no vnodes"
+    (Invalid_argument "Hash_ring.create: vnodes < 1") (fun () ->
+      ignore (Hash_ring.create ~vnodes:0 ~replicas:[ 1 ] ()))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_is_write () =
+  Alcotest.(check bool) "Parse mutates the registry" true
+    (Proto.is_write (Request.Parse { source = "type t { }\n" }));
+  List.iter
+    (fun (name, req) ->
+      Alcotest.(check bool) (name ^ " is a read") false (Proto.is_write req))
+    [
+      ("Check", Request.Check
+         { concept = "Semigroup"; types = [ "int" ]; nominal = false;
+           defs = None });
+      ("Lint", Request.Lint { source = "x" });
+      ("Optimize", Request.Optimize { expr = "x"; certified_only = false });
+      ("Prove", Request.Prove { theory = "monoid"; instance = None });
+      ("Closure", Request.Closure { concept = "Monoid"; types = [ "int" ] });
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Single-replica transparency                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The satellite property: with one replica and no failures the cluster
+   is pure plumbing — every response fingerprint must equal what one
+   bare server produces for the same stream, in order. *)
+let transparency_prop =
+  qtest
+    (QCheck.Test.make
+       ~name:"1 replica, 0 failures: cluster = bare server (fingerprints)"
+       ~count:8
+       QCheck.(pair (int_range 0 10_000) (int_range 10 50))
+       (fun (seed, n) ->
+         let reqs = workload ~n seed in
+         let config = { Cluster.default_config with replicas = 1 } in
+         let r = run ~config reqs in
+         let server =
+           Server.create ~config:config.Cluster.server_config
+             ~declare_standard ()
+         in
+         let bare = Server.process server (Array.to_list reqs) in
+         r.Cluster.r_completed = n
+         && List.for_all2
+              (fun rec_ rsp ->
+                match rec_ with
+                | None -> false
+                | Some rec_ ->
+                  String.equal rec_.Node.rc_fp
+                    (Request.response_fingerprint rsp))
+              (Array.to_list r.Cluster.r_records)
+              bare))
+
+(* ------------------------------------------------------------------ *)
+(* Healthy runs                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_healthy_run () =
+  let reqs = workload 3 in
+  let r = run reqs in
+  Alcotest.(check int) "all requests complete" (Array.length reqs)
+    r.Cluster.r_completed;
+  Alcotest.(check int) "exactly the initial election" 1 r.Cluster.r_elections;
+  Alcotest.(check (list (pair (float 0.0) (float 0.0)))) "no failovers" []
+    r.Cluster.r_failovers;
+  Alcotest.(check int) "no retries without failures" 0 (Cluster.retried r);
+  (match r.Cluster.r_leaders with
+  | [ (_, leader) ] ->
+    Alcotest.(check int) "highest replica id wins FloodMax" 3 leader
+  | l ->
+    Alcotest.failf "expected one coordinator acceptance, got %d"
+      (List.length l));
+  let a = Cluster.audit ~declare_standard r in
+  Alcotest.(check bool) "audit clean" true (Cluster.audit_ok a);
+  Alcotest.(check int) "audit compared everything" (Array.length reqs)
+    a.Cluster.au_compared
+
+let test_keyed_beats_round_robin () =
+  (* key affinity routes repeats of a hot key to the same replica, so
+     the cluster-wide hit ratio must beat blind round-robin on the same
+     stream *)
+  let reqs = workload ~n:120 7 in
+  let keyed = run reqs in
+  let rr =
+    run ~config:{ Cluster.default_config with affinity = false } reqs
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "hit ratio: keyed %.3f > round-robin %.3f"
+       (Cluster.hit_ratio keyed) (Cluster.hit_ratio rr))
+    true
+    (Cluster.hit_ratio keyed > Cluster.hit_ratio rr)
+
+(* ------------------------------------------------------------------ *)
+(* Failover                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_leader_crash_failover () =
+  let reqs = workload ~n:80 5 in
+  let config =
+    { Cluster.default_config with
+      failures = [ Cluster.Crash_leader { at = 30.0 } ] }
+  in
+  let r = run ~config reqs in
+  Alcotest.(check int) "workload still completes" (Array.length reqs)
+    r.Cluster.r_completed;
+  Alcotest.(check bool) "a re-election happened" true
+    (r.Cluster.r_elections >= 2);
+  Alcotest.(check bool) "a failover was recorded" true
+    (List.length r.Cluster.r_failovers >= 1);
+  List.iter
+    (fun (dead, coord) ->
+      Alcotest.(check bool) "failover latency positive" true (coord > dead))
+    r.Cluster.r_failovers;
+  (* the crashed initial leader (highest id, replica 3) must be
+     replaced by a live one; [r_leaders] is oldest first *)
+  (match List.rev r.Cluster.r_leaders with
+  | (_, last) :: _ ->
+    Alcotest.(check bool) "new leader is not the crashed one" true
+      (last <> 3)
+  | [] -> Alcotest.fail "no coordinator ever accepted");
+  Alcotest.(check bool) "consistency survives the crash" true
+    (Cluster.audit_ok (Cluster.audit ~declare_standard r))
+
+let test_partition_failover () =
+  (* isolate the initial leader (replica 3) from everyone for a window:
+     the router must elect a reachable leader and keep serving *)
+  let reqs = workload ~n:80 9 in
+  let config =
+    { Cluster.default_config with
+      failures =
+        [ Cluster.Partition
+            { groups = [ [ 3 ] ]; from_ = 10.0; until = 120.0 } ] }
+  in
+  let r = run ~config reqs in
+  Alcotest.(check int) "workload completes despite the partition"
+    (Array.length reqs) r.Cluster.r_completed;
+  Alcotest.(check bool) "partition triggered a re-election" true
+    (r.Cluster.r_elections >= 2);
+  Alcotest.(check bool) "answers stay consistent" true
+    (Cluster.audit_ok (Cluster.audit ~declare_standard r))
+
+let test_replicas_required () =
+  Alcotest.check_raises "replicas < 1 rejected"
+    (Invalid_argument "Cluster.run: replicas < 1") (fun () ->
+      ignore (run ~config:{ Cluster.default_config with replicas = 0 }
+                (workload 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism, dump, offline audit                                    *)
+(* ------------------------------------------------------------------ *)
+
+let faulty_config =
+  { Cluster.default_config with
+    failures =
+      [ Cluster.Drop 0.2; Cluster.Crash_leader { at = 40.0 } ] }
+
+let test_determinism () =
+  let reqs = workload ~n:80 11 in
+  let d1 = Cluster.dump (run ~config:faulty_config reqs) in
+  let d2 = Cluster.dump (run ~config:faulty_config reqs) in
+  Alcotest.(check string) "same seed, bit-identical dumps" d1 d2
+
+let test_dump_roundtrip () =
+  let reqs = workload ~n:60 13 in
+  let r = run ~config:faulty_config reqs in
+  let inline = Cluster.audit ~declare_standard r in
+  match Cluster.audit_dump ~declare_standard (Cluster.dump r) with
+  | Error e -> Alcotest.failf "offline audit failed: %s" e
+  | Ok offline ->
+    Alcotest.(check bool) "offline audit clean" true
+      (Cluster.audit_ok offline);
+    Alcotest.(check int) "offline compares what inline compares"
+      inline.Cluster.au_compared offline.Cluster.au_compared;
+    Alcotest.(check int) "missing counts agree" inline.Cluster.au_missing
+      offline.Cluster.au_missing
+
+let test_dump_malformed () =
+  let bad s =
+    match Cluster.audit_dump ~declare_standard s with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  Alcotest.(check bool) "empty document rejected" true (bad "");
+  Alcotest.(check bool) "non-JSON header rejected" true (bad "not json\n");
+  Alcotest.(check bool) "foreign header rejected" true
+    (bad "{\"flight\": 1}\n")
+
+let () =
+  Alcotest.run "gp_cluster"
+    [
+      ( "hash ring",
+        [
+          ring_successors_prop;
+          ring_deterministic_prop;
+          ring_minimal_movement_prop;
+          Alcotest.test_case "spread" `Quick test_ring_spread;
+          Alcotest.test_case "invalid args" `Quick test_ring_invalid;
+        ] );
+      ("protocol", [ Alcotest.test_case "is_write" `Quick test_is_write ]);
+      ( "transparency",
+        [ transparency_prop ] );
+      ( "serving",
+        [
+          Alcotest.test_case "healthy run" `Quick test_healthy_run;
+          Alcotest.test_case "keyed beats round-robin" `Quick
+            test_keyed_beats_round_robin;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "leader crash" `Quick test_leader_crash_failover;
+          Alcotest.test_case "partition" `Quick test_partition_failover;
+          Alcotest.test_case "replicas required" `Quick
+            test_replicas_required;
+        ] );
+      ( "dump & audit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "dump round-trip" `Quick test_dump_roundtrip;
+          Alcotest.test_case "malformed dump" `Quick test_dump_malformed;
+        ] );
+    ]

@@ -48,6 +48,75 @@ let test_random_topology_connected () =
   Alcotest.(check bool) "diameter finite => connected" true
     (Topology.diameter t > 0)
 
+(* BFS reach from node 0 — diameter ignores unreachable pairs, so this
+   is the real connectivity check. *)
+let reaches_all t =
+  let n = Topology.num_nodes t in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(0) <- true;
+  Queue.add 0 q;
+  let count = ref 1 in
+  while not (Queue.is_empty q) do
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          incr count;
+          Queue.add v q
+        end)
+      (Topology.neighbors t (Queue.pop q))
+  done;
+  !count = n
+
+let random_topo_connected_prop =
+  qtest
+    (QCheck.Test.make ~name:"random topology: connected for any (n, seed, p)"
+       ~count:80
+       QCheck.(triple (int_range 2 40) (int_range 0 10_000) (int_range 0 50))
+       (fun (n, seed, pc) ->
+         reaches_all (Topology.random ~seed ~p:(float_of_int pc /. 100.0) n)))
+
+let random_topo_deterministic_prop =
+  qtest
+    (QCheck.Test.make ~name:"random topology: same seed, same graph"
+       ~count:60
+       QCheck.(triple (int_range 2 40) (int_range 0 10_000) (int_range 0 50))
+       (fun (n, seed, pc) ->
+         let p = float_of_int pc /. 100.0 in
+         let a = Topology.random ~seed ~p n in
+         let b = Topology.random ~seed ~p n in
+         List.init n (fun i -> Topology.neighbors a i)
+         = List.init n (fun i -> Topology.neighbors b i)))
+
+(* The construction is a connecting line plus Bin(C(n,2) - (n-1), p)
+   extra undirected edges, so the realized degree mass must sit within
+   five standard deviations of that — and adjacency must be symmetric. *)
+let random_topo_degree_prop =
+  qtest
+    (QCheck.Test.make ~name:"random topology: expected degree and symmetry"
+       ~count:60
+       QCheck.(triple (int_range 10 60) (int_range 0 10_000) (int_range 0 50))
+       (fun (n, seed, pc) ->
+         let p = float_of_int pc /. 100.0 in
+         let t = Topology.random ~seed ~p n in
+         let symmetric =
+           List.for_all
+             (fun i ->
+               List.for_all
+                 (fun j -> List.mem i (Topology.neighbors t j))
+                 (Topology.neighbors t i))
+             (List.init n (fun i -> i))
+         in
+         let undirected = Topology.num_edges t / 2 in
+         let extra = float_of_int (undirected - (n - 1)) in
+         let m' = float_of_int ((n * (n - 1) / 2) - (n - 1)) in
+         let mean = p *. m' in
+         let sd = sqrt (m' *. p *. (1.0 -. p)) in
+         symmetric
+         && Topology.num_edges t mod 2 = 0
+         && Float.abs (extra -. mean) <= (5.0 *. sd) +. 2.0))
+
 let test_tree_topology () =
   let t = Topology.binary_tree 7 in
   Alcotest.(check (list int)) "root children" [ 1; 2 ] (Topology.neighbors t 0);
@@ -332,6 +401,218 @@ let test_byzantine_corruption () =
     r.Engine.decisions.(1)
 
 (* ------------------------------------------------------------------ *)
+(* Golden event streams                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Metrics pinned from the engine BEFORE the Partition/timer extension:
+   configurations that use neither must keep byte-identical event and
+   RNG streams. If one of these moves, the extension has perturbed
+   existing simulations — a regression, not a test to update. *)
+let check_metrics name (r : Engine.result) ~sent ~delivered ~dropped ~events
+    ~finish ~local =
+  let m = r.Engine.metrics in
+  Alcotest.(check int) (name ^ " sent") sent m.Engine.messages_sent;
+  Alcotest.(check int) (name ^ " delivered") delivered
+    m.Engine.messages_delivered;
+  Alcotest.(check int) (name ^ " dropped") dropped m.Engine.messages_dropped;
+  Alcotest.(check int) (name ^ " events") events m.Engine.events;
+  Alcotest.(check int) (name ^ " local steps") local
+    (Engine.total_local_steps m);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s finish %.15f = %.15f" name m.Engine.finish_time
+       finish)
+    true
+    (Float.abs (m.Engine.finish_time -. finish) < 1e-9)
+
+let test_golden_streams () =
+  let n = 9 in
+  let r =
+    Algorithms.Lcr.run
+      ~config:
+        (config ~timing:async
+           ~failures:[ Engine.Drop_links { prob = 0.1 } ]
+           ())
+      ~uids:(Array.init n (fun i -> n - i))
+      (Topology.ring_unidirectional n)
+  in
+  check_metrics "lcr-async-drop-seed7" r ~sent:32 ~delivered:28 ~dropped:4
+    ~events:28 ~finish:12.178634918577517 ~local:28;
+  Alcotest.(check bool) "lcr: drops starve the election" true
+    (Array.for_all Option.is_none r.Engine.decisions);
+  let n = 8 in
+  let r =
+    Algorithms.Hs.run
+      ~config:(config ~timing:async ~seed:42 ())
+      ~uids:(Array.init n (fun i -> n - i))
+      (Topology.ring n)
+  in
+  check_metrics "hs-async-seed42" r ~sent:72 ~delivered:72 ~dropped:0
+    ~events:72 ~finish:43.370576099971537 ~local:44;
+  Alcotest.(check (option string)) "hs agreement" (Some "8")
+    (Algorithms.agreed r);
+  let r =
+    Algorithms.Flood.run
+      ~config:(config ~failures:[ Engine.Crash { node = 3; at = 0.5 } ] ())
+      ~root:0 ~value:5 (Topology.line 7)
+  in
+  check_metrics "flood-crash" r ~sent:3 ~delivered:2 ~dropped:0 ~events:3
+    ~finish:3.0 ~local:2
+
+(* ------------------------------------------------------------------ *)
+(* Partitions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_isolates () =
+  (* islands {0,1,2} and (implicitly) {3,4,5}: a complete-graph flood
+     from 0 informs only its island while the partition lasts *)
+  let topo = Topology.complete 6 in
+  let r =
+    Algorithms.Flood.run
+      ~config:
+        (config
+           ~failures:
+             [ Engine.Partition
+                 { groups = [ [ 0; 1; 2 ] ]; from_ = 0.0; until = 1e9 } ]
+           ())
+      ~root:0 ~value:3 topo
+  in
+  List.iter
+    (fun i ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "island node %d informed" i)
+        (Some "3") r.Engine.decisions.(i))
+    [ 0; 1; 2 ];
+  List.iter
+    (fun i ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "cut-off node %d uninformed" i)
+        None r.Engine.decisions.(i))
+    [ 3; 4; 5 ];
+  Alcotest.(check bool) "cross-island messages count as dropped" true
+    (r.Engine.metrics.Engine.messages_dropped > 0)
+
+let test_partition_outside_window_is_transparent () =
+  (* a partition whose window never overlaps the run must leave an
+     async simulation byte-identical: the partition check draws no RNG *)
+  let topo = Topology.ring_unidirectional 9 in
+  let uids = permutation ~seed:11 9 in
+  let plain =
+    Algorithms.Lcr.run ~config:(config ~timing:async ()) ~uids topo
+  in
+  let windowed =
+    Algorithms.Lcr.run
+      ~config:
+        (config ~timing:async
+           ~failures:
+             [ Engine.Partition
+                 { groups = [ [ 0; 1 ] ]; from_ = 1e8; until = 2e8 } ]
+           ())
+      ~uids topo
+  in
+  Alcotest.(check bool) "identical result (decisions, halted, metrics)" true
+    (plain = windowed)
+
+let test_partition_heals () =
+  (* the window closes before the flood starts flowing again: a message
+     sent after [until] crosses freely *)
+  let topo = Topology.line 3 in
+  let algo =
+    {
+      Engine.algo_name = "late-send";
+      initial =
+        (fun ctx ->
+          if ctx.Engine.self = 0 then ctx.Engine.timer ~delay:5.0 `Go);
+      on_message =
+        (fun ctx () ~src:_ -> function
+          | `Go -> ctx.Engine.send 1 `Hello
+          | `Hello -> ctx.Engine.decide "heard");
+    }
+  in
+  let r =
+    Engine.run
+      ~config:
+        (config
+           ~failures:
+             [ Engine.Partition
+                 { groups = [ [ 0 ] ]; from_ = 0.0; until = 4.0 } ]
+           ())
+      topo algo
+  in
+  Alcotest.(check (option string)) "post-partition delivery" (Some "heard")
+    r.Engine.decisions.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Timers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tick_algo ~decide_at =
+  {
+    Engine.algo_name = "tick";
+    initial =
+      (fun ctx ->
+        if ctx.Engine.self = 0 then ctx.Engine.timer ~delay:1.5 (`Tick 1));
+    on_message =
+      (fun ctx () ~src:_ (`Tick k) ->
+        if k < decide_at then ctx.Engine.timer ~delay:2.0 (`Tick (k + 1))
+        else begin
+          ctx.Engine.decide (string_of_int k);
+          ctx.Engine.halt ()
+        end);
+  }
+
+let test_timer_local_alarm () =
+  let topo = Topology.line 2 in
+  let run failures =
+    Engine.run ~config:(config ~failures ()) topo (tick_algo ~decide_at:2)
+  in
+  let r = run [] in
+  let m = r.Engine.metrics in
+  Alcotest.(check int) "timers are not messages" 0 m.Engine.messages_sent;
+  Alcotest.(check int) "nor deliveries" 0 m.Engine.messages_delivered;
+  Alcotest.(check int) "two timer events" 2 m.Engine.events;
+  Alcotest.(check bool) "fires at the chosen delays" true
+    (Float.abs (m.Engine.finish_time -. 3.5) < 1e-9);
+  Alcotest.(check (option string)) "chain ran" (Some "2")
+    r.Engine.decisions.(0);
+  (* local alarms are exempt from message-level failure injection *)
+  Alcotest.(check bool) "immune to drop-all" true
+    (run [ Engine.Drop_links { prob = 1.0 } ] = r);
+  Alcotest.(check bool) "immune to partitions" true
+    (run
+       [ Engine.Partition { groups = [ [ 0 ] ]; from_ = 0.0; until = 1e9 } ]
+    = r)
+
+let test_timer_dies_with_node () =
+  let topo = Topology.line 2 in
+  let armed_twice =
+    {
+      Engine.algo_name = "halted-timer";
+      initial =
+        (fun ctx ->
+          if ctx.Engine.self = 0 then begin
+            ctx.Engine.timer ~delay:1.0 `First;
+            ctx.Engine.timer ~delay:10.0 `Second
+          end);
+      on_message =
+        (fun ctx () ~src:_ -> function
+          | `First ->
+            ctx.Engine.decide "first";
+            ctx.Engine.halt ()
+          | `Second -> ctx.Engine.decide "second");
+    }
+  in
+  let r = Engine.run ~config:(config ()) topo armed_twice in
+  Alcotest.(check (option string)) "pending timer dies on halt"
+    (Some "first") r.Engine.decisions.(0);
+  let crashed =
+    Engine.run
+      ~config:(config ~failures:[ Engine.Crash { node = 0; at = 0.5 } ] ())
+      topo armed_twice
+  in
+  Alcotest.(check (option string)) "timer never fires on a crashed node"
+    None crashed.Engine.decisions.(0)
+
+(* ------------------------------------------------------------------ *)
 (* Randomized election, local computation accounting                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -392,9 +673,13 @@ let () =
           Alcotest.test_case "random connected" `Quick
             test_random_topology_connected;
           Alcotest.test_case "tree" `Quick test_tree_topology;
+          random_topo_connected_prop;
+          random_topo_deterministic_prop;
+          random_topo_degree_prop;
         ] );
       ( "engine",
         [ Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "golden streams" `Quick test_golden_streams;
           telemetry_transparent_prop ] );
       ( "leader election",
         [
@@ -429,6 +714,15 @@ let () =
             test_crash_partitions_broadcast;
           Alcotest.test_case "drop all" `Quick test_drop_all_links;
           Alcotest.test_case "byzantine" `Quick test_byzantine_corruption;
+          Alcotest.test_case "partition isolates" `Quick
+            test_partition_isolates;
+          Alcotest.test_case "partition outside window" `Quick
+            test_partition_outside_window_is_transparent;
+          Alcotest.test_case "partition heals" `Quick test_partition_heals;
+          Alcotest.test_case "timer local alarm" `Quick
+            test_timer_local_alarm;
+          Alcotest.test_case "timer dies with node" `Quick
+            test_timer_dies_with_node;
         ] );
       ( "accounting",
         [
