@@ -725,7 +725,8 @@ let s1 () =
     Gp_algebra.Decls.declare reg;
     Gp_sequence.Decls.declare reg;
     Gp_graph.Decls.declare reg;
-    Gp_linalg.Decls.declare reg
+    Gp_linalg.Decls.declare reg;
+    Gp_structla.Decls.declare reg
   in
   let n = if !quota < 0.5 then 150 else 600 in
   let seed = 42 in
@@ -1092,7 +1093,8 @@ let s4 () =
     Gp_algebra.Decls.declare reg;
     Gp_sequence.Decls.declare reg;
     Gp_graph.Decls.declare reg;
-    Gp_linalg.Decls.declare reg
+    Gp_linalg.Decls.declare reg;
+    Gp_structla.Decls.declare reg
   in
   let quick = !quota < 0.5 in
   let n = if quick then 60 else 200 in
@@ -1198,7 +1200,8 @@ let s5 () =
     Gp_algebra.Decls.declare reg;
     Gp_sequence.Decls.declare reg;
     Gp_graph.Decls.declare reg;
-    Gp_linalg.Decls.declare reg
+    Gp_linalg.Decls.declare reg;
+    Gp_structla.Decls.declare reg
   in
   let n = 240 in
   let seed = 11 in
@@ -1266,6 +1269,162 @@ let s5 () =
     /. float_of_int n)
 
 (* ------------------------------------------------------------------ *)
+(* S6: structure-aware linear algebra — selection vs forced dense      *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's central bet, applied to linear algebra: a generic
+   interface need not cost performance, because concept refinement lets
+   the library select the algorithm the structure admits. Exact step
+   counts (one per stored-element visit) are quota-independent and
+   bit-identical across machines, so bench-diff hard-gates the
+   *_step_speedup metrics even against a --quick regeneration; the
+   wall-clock confirmations and the dispatch-overhead probe are only
+   measured in full runs (recorded as null under --quick, which
+   bench-diff skips). *)
+let s6 () =
+  section "S6" "gp_structla: concept-guided kernel selection vs forced dense";
+  let open Gp_structla in
+  let quick = !quota < 0.5 in
+  let reg = Gp_concepts.Registry.create () in
+  Decls.declare reg;
+  let sel = Select.create () in
+  let n = 256 in
+  let seed = 5 in
+  let reps =
+    List.map
+      (fun structure ->
+        match Mat.generate_dense ~structure ~n ~seed with
+        | Some d -> (structure, d, Detect.classify_quiet d)
+        | None -> assert false)
+      Mat.structure_names
+  in
+  List.iter
+    (fun (structure, _, m) -> assert (Mat.structure_name m = structure))
+    reps;
+  let x = Mat.generate_vec ~n ~seed in
+  Fmt.pr "n=%d seed=%d — steps count stored-element visits, exactly@." n seed;
+  let speedup sel_steps dense_steps =
+    float_of_int dense_steps /. float_of_int sel_steps
+  in
+  let kernel_of = function
+    | Ok (kernel, r) -> (kernel, r)
+    | Error m -> failwith m
+  in
+  let row ~op ~structure ~kernel ~steps ~dense_steps =
+    Fmt.pr "%-8s %-10s %-18s %10d %10d %9.1fx@." op structure kernel steps
+      dense_steps
+      (speedup steps dense_steps);
+    if structure <> "dense" then
+      record ~experiment:"s6"
+        (Printf.sprintf "%s_%s_step_speedup" structure op)
+        (speedup steps dense_steps)
+  in
+  Fmt.pr "@.%-8s %-10s %-18s %10s %10s %10s@." "op" "structure" "selected"
+    "steps" "dense" "speedup";
+  List.iter
+    (fun (structure, d, m) ->
+      let kernel, y = kernel_of (Select.matvec reg sel m x) in
+      assert (Mat.vec_close ~eps:1e-6 y (Kernels.matvec_reference d x));
+      row ~op:"matvec" ~structure ~kernel ~steps:(Kernels.matvec_steps m)
+        ~dense_steps:(Kernels.matvec_steps (Mat.Dense d)))
+    reps;
+  Fmt.pr "@.";
+  List.iter
+    (fun (structure, d, m) ->
+      let kernel, p = kernel_of (Select.matmul reg sel m m) in
+      assert
+        (Mat.dense_close ~eps:1e-6 (Mat.to_dense p)
+           (Kernels.matmul_reference d d));
+      row ~op:"matmul" ~structure ~kernel ~steps:(Kernels.matmul_steps m)
+        ~dense_steps:(Kernels.matmul_steps (Mat.Dense d)))
+    reps;
+  Fmt.pr "@.";
+  List.iter
+    (fun (structure, d, m) ->
+      let kernel, y = kernel_of (Select.solve reg sel m x) in
+      assert (Mat.vec_close ~eps:1e-5 y (Kernels.solve_reference d x));
+      row ~op:"solve" ~structure ~kernel ~steps:(Kernels.solve_steps m)
+        ~dense_steps:(Kernels.solve_steps (Mat.Dense d)))
+    reps;
+  (* the acceptance floor: refinement must buy at least an order of
+     magnitude on diagonal and 5x on banded, in exact steps at n=256 *)
+  let get structure m = (fun (_, d, r) -> m d r)
+      (List.find (fun (s, _, _) -> s = structure) reps)
+  in
+  let step_ratio structure =
+    get structure (fun d r ->
+        speedup (Kernels.matvec_steps r) (Kernels.matvec_steps (Mat.Dense d)))
+  in
+  assert (step_ratio "diagonal" >= 10.0);
+  assert (step_ratio "banded" >= 5.0);
+  Fmt.pr "@.acceptance: diagonal %.0fx >= 10x, banded %.1fx >= 5x (exact \
+          matvec steps) — ok@."
+    (step_ratio "diagonal") (step_ratio "banded");
+  (* wall-clock confirmation + dispatch overhead, full runs only *)
+  let wall_metrics =
+    [ "matvec_dense_ns"; "matvec_diagonal_ns"; "matvec_banded_ns";
+      "matvec_csr_ns"; "solve_dense_ns"; "solve_diagonal_ns";
+      "resolve_matvec_ns" ]
+  in
+  if quick then begin
+    List.iter (fun k -> record ~experiment:"s6" k nan) wall_metrics;
+    Fmt.pr "@.(--quick: wall-clock and dispatch-overhead probes skipped — \
+            the step metrics above are exact either way)@."
+  end
+  else begin
+    let run_matvec structure =
+      get structure (fun _ m ->
+          time_ns
+            (Printf.sprintf "matvec via dispatch (%s)" structure)
+            (fun () -> Sys.opaque_identity (Select.matvec reg sel m x)))
+    in
+    let forced_dense =
+      get "diagonal" (fun d _ ->
+          time_ns "matvec via dispatch (diagonal forced dense)" (fun () ->
+              Sys.opaque_identity (Select.matvec reg sel (Mat.Dense d) x)))
+    in
+    let t_diag = run_matvec "diagonal" in
+    let t_band = run_matvec "banded" in
+    let t_csr = run_matvec "csr" in
+    let t_solve_dense =
+      get "dense" (fun _ m ->
+          time_ns "solve via dispatch (dense)" (fun () ->
+              Sys.opaque_identity (Select.solve reg sel m x)))
+    in
+    let t_solve_diag =
+      get "diagonal" (fun _ m ->
+          time_ns "solve via dispatch (diagonal)" (fun () ->
+              Sys.opaque_identity (Select.solve reg sel m x)))
+    in
+    let t_resolve =
+      get "diagonal" (fun _ m ->
+          time_ns "resolve only (diagonal matvec)" (fun () ->
+              Sys.opaque_identity (Select.resolve reg sel Select.Matvec m)))
+    in
+    Fmt.pr "@.%-40s %12s@." "wall clock (dispatch included)" "ns/op";
+    let prow name v = Fmt.pr "%-40s %12s@." name (ns_str v) in
+    prow "matvec diagonal, forced dense" forced_dense;
+    prow "matvec diagonal, selected" t_diag;
+    prow "matvec banded, selected" t_band;
+    prow "matvec csr, selected" t_csr;
+    prow "solve dense" t_solve_dense;
+    prow "solve diagonal, selected" t_solve_diag;
+    prow "dispatch resolve alone" t_resolve;
+    Fmt.pr "wall speedups: diagonal %.1fx, banded %.1fx, csr %.1fx; \
+            dispatch is %.1f%% of the diagonal matvec@."
+      (forced_dense /. t_diag) (forced_dense /. t_band)
+      (forced_dense /. t_csr)
+      (100.0 *. t_resolve /. t_diag);
+    record ~experiment:"s6" "matvec_dense_ns" forced_dense;
+    record ~experiment:"s6" "matvec_diagonal_ns" t_diag;
+    record ~experiment:"s6" "matvec_banded_ns" t_band;
+    record ~experiment:"s6" "matvec_csr_ns" t_csr;
+    record ~experiment:"s6" "solve_dense_ns" t_solve_dense;
+    record ~experiment:"s6" "solve_diagonal_ns" t_solve_diag;
+    record ~experiment:"s6" "resolve_matvec_ns" t_resolve
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1273,7 +1432,7 @@ let experiments =
   [ ("f1", f1_f2); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6);
     ("c1", c1); ("c2", c2); ("c3", c3); ("c5", c5); ("c6", c6); ("c8", c8);
     ("a1", a1); ("s1", s1); ("s2", s2); ("s3", s3); ("s4", s4);
-    ("s5", s5) ]
+    ("s5", s5); ("s6", s6) ]
 
 let () =
   let rec parse = function

@@ -7,6 +7,7 @@
      gp prove [--theory swo|group|monoid]    run the proof checker
      gp elect --algo lcr|hs --nodes N        leader election on a ring
      gp taxonomy --problem P --topology T    pick the right algorithm
+     gp structla [--n N] [--seed S]          structure-aware kernel selection
      gp serve [--file F]                     serve JSONL requests (gp_service)
      gp workload --n N --seed S              run a synthetic serving workload
      gp replay <flight.jsonl>                re-execute a flight dump, verify
@@ -20,7 +21,8 @@ let standard_declare reg =
   Gp_algebra.Decls.declare reg;
   Gp_sequence.Decls.declare reg;
   Gp_graph.Decls.declare reg;
-  Gp_linalg.Decls.declare reg
+  Gp_linalg.Decls.declare reg;
+  Gp_structla.Decls.declare reg
 
 let standard_registry () =
   let reg = Gp_concepts.Registry.create () in
@@ -571,7 +573,19 @@ let workload_cmd =
                    wire format) instead of serving them — feeds a \
                    workload file to $(b,gp serve --file).")
   in
+  let numeric_weight name =
+    Arg.(value & opt int 0
+         & info [ name ]
+             ~doc:(Printf.sprintf
+                     "Weight of %s numeric requests added to the mix \
+                      (0 = none, the default — the base mix and its \
+                      fingerprints are untouched unless asked)." name))
+  in
+  let matvec_w = numeric_weight "matvec" in
+  let matmul_w = numeric_weight "matmul" in
+  let solve_w = numeric_weight "solve" in
   let run n seed mix_spec zipf keyspace quick print_responses errors emit
+      matvec_w matmul_w solve_w
       no_cache cache_capacity queue max_steps timeout =
     let open Gp_service in
     let mix =
@@ -588,6 +602,13 @@ let workload_cmd =
       Fmt.epr "bad --errors: %g outside [0,1]@." errors;
       exit 2
     end;
+    let mix =
+      mix
+      @ List.filter
+          (fun (_, w) -> w > 0)
+          [ (Request.Kmatvec, matvec_w); (Request.Kmatmul, matmul_w);
+            (Request.Ksolve, solve_w) ]
+    in
     let n, seed = if quick then (60, 7) else (n, seed) in
     let reqs = Workload.generate ~mix ~zipf ~keyspace ~errors ~seed ~n () in
     if emit then begin
@@ -630,8 +651,9 @@ let workload_cmd =
     (Cmd.info "workload"
        ~doc:"Generate and serve a seeded synthetic workload, then report")
     Term.(const run $ n_arg $ seed $ mix_arg $ zipf $ keyspace $ quick
-          $ print_responses $ errors_arg $ emit $ no_cache_arg
-          $ cache_capacity_arg $ queue_arg $ max_steps_arg $ timeout_arg)
+          $ print_responses $ errors_arg $ emit $ matvec_w $ matmul_w
+          $ solve_w $ no_cache_arg $ cache_capacity_arg $ queue_arg
+          $ max_steps_arg $ timeout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gp trace                                                            *)
@@ -1000,6 +1022,80 @@ let cluster_cmd =
     [ cluster_run_cmd; cluster_audit_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* gp structla                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let structla_cmd =
+  let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~doc:"Matrix order.") in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.")
+  in
+  let run n seed =
+    if n < 1 then begin
+      Fmt.epr "bad --n: %d@." n;
+      exit 2
+    end;
+    let open Gp_structla in
+    let reg = standard_registry () in
+    let sel = Select.create () in
+    Fmt.pr
+      "structure-aware dispatch at n=%d seed=%d (exact step counts vs \
+       forced dense)@.@."
+      n seed;
+    Fmt.pr "%-10s %-10s %-18s %10s %10s %8s@." "structure" "detected"
+      "matvec kernel" "steps" "dense" "speedup";
+    let ok = ref true in
+    List.iter
+      (fun structure ->
+        match Mat.generate_dense ~structure ~n ~seed with
+        | None -> ok := false
+        | Some d -> (
+          let m = Detect.classify d in
+          let x = Mat.generate_vec ~n ~seed in
+          match Select.matvec reg sel m x with
+          | Error e ->
+            ok := false;
+            Fmt.pr "%-10s resolution failed: %s@." structure e
+          | Ok (kernel, y) ->
+            if not (Mat.vec_close y (Kernels.matvec_reference d x)) then begin
+              ok := false;
+              Fmt.pr "%-10s MISMATCH vs dense oracle@." structure
+            end
+            else begin
+              let steps = Kernels.matvec_steps m in
+              let dense = Kernels.matvec_steps (Mat.Dense d) in
+              Fmt.pr "%-10s %-10s %-18s %10d %10d %7.1fx@." structure
+                (Mat.structure_name m) kernel steps dense
+                (float_of_int dense /. float_of_int steps)
+            end))
+      Mat.structure_names;
+    Fmt.pr "@.matmul / solve selections (most refined guard wins):@.";
+    List.iter
+      (fun structure ->
+        match Mat.generate_dense ~structure ~n ~seed with
+        | None -> ()
+        | Some d ->
+          let m = Detect.classify d in
+          let show op =
+            match Select.resolve reg sel op m with
+            | Gp_concepts.Overload.Selected (c, _) ->
+              c.Gp_concepts.Overload.cand_name
+            | _ ->
+              ok := false;
+              "<unresolved>"
+          in
+          Fmt.pr "  %-10s matmul -> %-16s solve -> %s@." structure
+            (show Select.Matmul) (show Select.Solve))
+      Mat.structure_names;
+    if !ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "structla"
+       ~doc:"Demonstrate structure detection and concept-guided kernel \
+             selection on deterministically generated matrices")
+    Term.(const run $ n_arg $ seed)
+
+(* ------------------------------------------------------------------ *)
 (* gp bench-diff                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1117,5 +1213,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ check_cmd; parse_cmd; concepts_cmd; lint_cmd; optimize_cmd;
-            prove_cmd; elect_cmd; taxonomy_cmd; serve_cmd; workload_cmd;
-            trace_cmd; replay_cmd; cluster_cmd; bench_diff_cmd ]))
+            prove_cmd; elect_cmd; taxonomy_cmd; structla_cmd; serve_cmd;
+            workload_cmd; trace_cmd; replay_cmd; cluster_cmd;
+            bench_diff_cmd ]))

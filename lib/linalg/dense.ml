@@ -63,7 +63,10 @@ let cmat_close ?(eps = 1e-9) a b =
 (* C = A (complex, m x k) * B (real, k x n) — the CLACRM kernel: each inner
    product step costs 2 real multiply-adds. *)
 let gemm_mixed a b =
-  if a.cols <> b.r_rows then invalid_arg "gemm_mixed: dimension mismatch";
+  if a.cols <> b.r_rows then
+    invalid_arg
+      (Printf.sprintf "gemm_mixed: %dx%d * %dx%d" a.rows a.cols b.r_rows
+         b.r_cols);
   let m = a.rows and k = a.cols and n = b.r_cols in
   let c = cmat_create m n in
   for i = 0 to m - 1 do
@@ -87,7 +90,10 @@ let promote b =
   m
 
 let gemm_complex a b =
-  if a.cols <> b.rows then invalid_arg "gemm_complex: dimension mismatch";
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "gemm_complex: %dx%d * %dx%d" a.rows a.cols b.rows
+         b.cols);
   let m = a.rows and k = a.cols and n = b.cols in
   let c = cmat_create m n in
   for i = 0 to m - 1 do

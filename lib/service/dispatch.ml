@@ -18,6 +18,7 @@ type caches = {
       (* certified rewrite rules *)
   proofs : (string * bool) list Lru.t; (* checked proof instantiations *)
   rewrites : Gp_simplicissimus.Engine.result Lru.t; (* normal forms by expr *)
+  numerics : Request.payload Lru.t; (* Computed payloads by (op,triple) *)
 }
 
 let create_caches ~capacity =
@@ -26,11 +27,13 @@ let create_caches ~capacity =
     lint = Lru.create ~capacity "lint";
     cert = Lru.create ~capacity:4 "cert";
     proofs = Lru.create ~capacity "proofs";
-    rewrites = Lru.create ~capacity "rewrites" }
+    rewrites = Lru.create ~capacity "rewrites";
+    numerics = Lru.create ~capacity "numerics" }
 
 let cache_stats c =
   [ Lru.stats c.closures; Lru.stats c.defs; Lru.stats c.lint;
-    Lru.stats c.cert; Lru.stats c.proofs; Lru.stats c.rewrites ]
+    Lru.stats c.cert; Lru.stats c.proofs; Lru.stats c.rewrites;
+    Lru.stats c.numerics ]
 
 let clear_caches c =
   Lru.clear c.closures;
@@ -38,13 +41,15 @@ let clear_caches c =
   Lru.clear c.lint;
   Lru.clear c.cert;
   Lru.clear c.proofs;
-  Lru.clear c.rewrites
+  Lru.clear c.rewrites;
+  Lru.clear c.numerics
 
 type t = {
   registry : Registry.t; (* the shared standard world; never mutated here *)
   declare_standard : Registry.t -> unit; (* to build per-request sandboxes *)
   insts : Gp_simplicissimus.Instances.t;
   rules : Gp_simplicissimus.Rules.t list;
+  select : Gp_structla.Select.t; (* the three numeric overload generics *)
   caches : caches;
 }
 
@@ -57,6 +62,7 @@ let create ~declare_standard ~cache_capacity () =
     rules =
       Gp_simplicissimus.Rules.builtin
       @ [ Gp_simplicissimus.Rules.lidia_inverse ];
+    select = Gp_structla.Select.create ();
     caches = create_caches ~capacity:cache_capacity }
 
 let registry t = t.registry
@@ -321,6 +327,70 @@ let handle_closure t ~caching ~budget ~concept ~types =
                List.map (fun ob -> Fmt.str "%a" Propagate.pp_obligation ob) obs }),
       hit )
 
+(* Structure-aware numerics: regenerate the matrix from the request's
+   (structure, n, seed) triple, classify it, and let concept-guided
+   overload resolution pick the kernel. The exact kernel step count is
+   the budget charge, levied after the cache probe on hit and miss alike
+   — like the optimizer's rewrite steps — so Over_budget outcomes are
+   cache-independent, which deterministic replay requires. *)
+
+let max_numeric_n = 256
+
+let handle_numeric t ~caching ~budget ~op ~structure ~n ~seed =
+  let open Gp_structla in
+  if not (Mat.known_structure structure) then
+    ( err Request.Unknown_name
+        (Printf.sprintf "unknown structure %S (have: %s)" structure
+           (String.concat ", " Mat.structure_names)),
+      false )
+  else if n < 1 || n > max_numeric_n then
+    ( err Request.Bad_request
+        (Printf.sprintf "n=%d outside 1..%d" n max_numeric_n),
+      false )
+  else begin
+    let key =
+      Printf.sprintf "num|%s|%s|%d|%d" (Select.op_name op) structure n seed
+    in
+    let payload, hit =
+      Lru.find_or_compute t.caches.numerics ~enabled:caching key (fun () ->
+          let d = Option.get (Mat.generate_dense ~structure ~n ~seed) in
+          let m = Detect.classify d in
+          let steps, outcome =
+            match op with
+            | Select.Matvec ->
+              ( Kernels.matvec_steps m,
+                Result.map
+                  (fun (k, y) -> (k, Mat.checksum_vec y))
+                  (Select.matvec t.registry t.select m
+                     (Mat.generate_vec ~n ~seed)) )
+            | Select.Matmul ->
+              ( Kernels.matmul_steps m,
+                Result.map
+                  (fun (k, c) -> (k, Mat.checksum_dense (Mat.to_dense c)))
+                  (Select.matmul t.registry t.select m m) )
+            | Select.Solve ->
+              ( Kernels.solve_steps m,
+                Result.map
+                  (fun (k, x) -> (k, Mat.checksum_vec x))
+                  (Select.solve t.registry t.select m
+                     (Mat.generate_vec ~n ~seed)) )
+          in
+          match outcome with
+          | Ok (kernel, checksum) ->
+            Request.Computed
+              { kernel; detected = Mat.structure_name m; n; steps; checksum }
+          | Error diag ->
+            (* every carrier has a dense fallback for all three generics,
+               so a resolution failure here is a dispatcher bug: escape
+               and let the server report Internal *)
+            failwith diag)
+    in
+    (match payload with
+    | Request.Computed { steps; _ } -> Budget.spend budget (1 + steps)
+    | _ -> Budget.spend budget 1);
+    (Ok payload, hit)
+  end
+
 let handle t ~caching ~budget (req : Request.t) :
     (Request.payload, Request.error) result * bool =
   match req with
@@ -334,3 +404,12 @@ let handle t ~caching ~budget (req : Request.t) :
     handle_prove t ~caching ~budget ~theory ~instance
   | Request.Closure { concept; types } ->
     handle_closure t ~caching ~budget ~concept ~types
+  | Request.Matvec { structure; n; seed } ->
+    handle_numeric t ~caching ~budget ~op:Gp_structla.Select.Matvec ~structure
+      ~n ~seed
+  | Request.Matmul { structure; n; seed } ->
+    handle_numeric t ~caching ~budget ~op:Gp_structla.Select.Matmul ~structure
+      ~n ~seed
+  | Request.Solve { structure; n; seed } ->
+    handle_numeric t ~caching ~budget ~op:Gp_structla.Select.Solve ~structure
+      ~n ~seed

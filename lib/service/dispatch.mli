@@ -15,6 +15,8 @@ type caches = {
   cert : Gp_simplicissimus.Certify.certification list Lru.t;
   proofs : (string * bool) list Lru.t;
   rewrites : Gp_simplicissimus.Engine.result Lru.t;
+  numerics : Request.payload Lru.t;
+      (** [Computed] payloads keyed by (operation, structure, n, seed) *)
 }
 
 val create_caches : capacity:int -> caches

@@ -18,8 +18,24 @@ type t =
   | Optimize of { expr : string; certified_only : bool }
   | Prove of { theory : string; instance : string option }
   | Closure of { concept : string; types : string list }
+  (* The numeric kinds ship only (structure, n, seed): generation is
+     deterministic per triple, so server and replayer regenerate the
+     identical matrix and fingerprints stay comparable across
+     processes. *)
+  | Matvec of { structure : string; n : int; seed : int }
+  | Matmul of { structure : string; n : int; seed : int }
+  | Solve of { structure : string; n : int; seed : int }
 
-type kind = Kcheck | Kparse | Klint | Koptimize | Kprove | Kclosure
+type kind =
+  | Kcheck
+  | Kparse
+  | Klint
+  | Koptimize
+  | Kprove
+  | Kclosure
+  | Kmatvec
+  | Kmatmul
+  | Ksolve
 
 let kind = function
   | Check _ -> Kcheck
@@ -28,8 +44,13 @@ let kind = function
   | Optimize _ -> Koptimize
   | Prove _ -> Kprove
   | Closure _ -> Kclosure
+  | Matvec _ -> Kmatvec
+  | Matmul _ -> Kmatmul
+  | Solve _ -> Ksolve
 
-let all_kinds = [ Kcheck; Kparse; Klint; Koptimize; Kprove; Kclosure ]
+let all_kinds =
+  [ Kcheck; Kparse; Klint; Koptimize; Kprove; Kclosure; Kmatvec; Kmatmul;
+    Ksolve ]
 
 let kind_name = function
   | Kcheck -> "check"
@@ -38,6 +59,9 @@ let kind_name = function
   | Koptimize -> "optimize"
   | Kprove -> "prove"
   | Kclosure -> "closure"
+  | Kmatvec -> "matvec"
+  | Kmatmul -> "matmul"
+  | Ksolve -> "solve"
 
 let kind_of_name = function
   | "check" -> Some Kcheck
@@ -46,6 +70,9 @@ let kind_of_name = function
   | "optimize" -> Some Koptimize
   | "prove" -> Some Kprove
   | "closure" -> Some Kclosure
+  | "matvec" -> Some Kmatvec
+  | "matmul" -> Some Kmatmul
+  | "solve" -> Some Ksolve
   | _ -> None
 
 (* A canonical one-line rendering. Long sources are represented by their
@@ -66,6 +93,12 @@ let key req =
     Printf.sprintf "prove|%s|%s" theory (Option.value ~default:"*" instance)
   | Closure { concept; types } ->
     Printf.sprintf "closure|%s|%s" concept (String.concat "," types)
+  | Matvec { structure; n; seed } ->
+    Printf.sprintf "matvec|%s|%d|%d" structure n seed
+  | Matmul { structure; n; seed } ->
+    Printf.sprintf "matmul|%s|%d|%d" structure n seed
+  | Solve { structure; n; seed } ->
+    Printf.sprintf "solve|%s|%d|%d" structure n seed
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
@@ -108,6 +141,13 @@ type payload =
     }
   | Proved of { checked : int; failed : int }
   | Closed of { size : int; obligations : string list }
+  | Computed of {
+      kernel : string; (* overload candidate that served the request *)
+      detected : string; (* structure the detector classified *)
+      n : int;
+      steps : int; (* exact kernel step count, also the budget charge *)
+      checksum : string; (* digest of the result's IEEE bit patterns *)
+    }
 
 type response = {
   rsp_id : int;
@@ -153,7 +193,11 @@ let response_canonical (r : response) =
     | Proved { checked; failed } ->
       add (Printf.sprintf "proved|%d|%d" checked failed)
     | Closed { size; obligations } ->
-      add (Printf.sprintf "closed|%d|%s" size (String.concat "\n" obligations)))
+      add (Printf.sprintf "closed|%d|%s" size (String.concat "\n" obligations))
+    | Computed { kernel; detected; n; steps; checksum } ->
+      add
+        (Printf.sprintf "computed|%s|%s|%d|%d|%s" kernel detected n steps
+           checksum))
   | Error e ->
     add "|error|";
     add (error_code_name e.code);
@@ -178,6 +222,9 @@ let pp_payload ppf = function
   | Proved { checked; failed } ->
     Fmt.pf ppf "proved checked=%d failed=%d" checked failed
   | Closed { size; _ } -> Fmt.pf ppf "closure size=%d" size
+  | Computed { kernel; detected; n; steps; _ } ->
+    Fmt.pf ppf "computed kernel=%s detected=%s n=%d steps=%d" kernel detected
+      n steps
 
 let pp_error ppf e =
   Fmt.pf ppf "error %s: %s" (error_code_name e.code) e.detail

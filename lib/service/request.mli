@@ -22,8 +22,23 @@ type t =
       (** theory ∈ swo/monoid/group/ring/orders; [instance] restricts to
           one operator mapping (e.g. ["int\[+\]"]) *)
   | Closure of { concept : string; types : string list }
+  | Matvec of { structure : string; n : int; seed : int }
+      (** structure-aware [y = A·x]; the matrix is regenerated
+          deterministically from [(structure, n, seed)] on both the
+          server and the replayer *)
+  | Matmul of { structure : string; n : int; seed : int }  (** [A·A] *)
+  | Solve of { structure : string; n : int; seed : int }  (** [A·x = b] *)
 
-type kind = Kcheck | Kparse | Klint | Koptimize | Kprove | Kclosure
+type kind =
+  | Kcheck
+  | Kparse
+  | Klint
+  | Koptimize
+  | Kprove
+  | Kclosure
+  | Kmatvec
+  | Kmatmul
+  | Ksolve
 
 val kind : t -> kind
 val all_kinds : kind list
@@ -67,6 +82,17 @@ type payload =
     }
   | Proved of { checked : int; failed : int }
   | Closed of { size : int; obligations : string list }
+  | Computed of {
+      kernel : string;
+          (** name of the overload candidate that served the request,
+              e.g. ["matvec.diagonal"] *)
+      detected : string;  (** structure the detector classified *)
+      n : int;
+      steps : int;
+          (** exact kernel step count; also the budget charge *)
+      checksum : string;
+          (** digest of the result's IEEE bit patterns — replay-stable *)
+    }
 
 type response = {
   rsp_id : int;

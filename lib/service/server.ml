@@ -233,7 +233,7 @@ let metric_delta before after =
       if d <> 0.0 then Some (name, d) else None)
     after
 
-(* [cache_stats] lists the six shared caches in a fixed order, so the
+(* [cache_stats] lists the seven shared caches in a fixed order, so the
    before/after snapshots pair positionally. Per-request sandbox caches
    (Check-with-defs) never appear here — by design, they are private to
    one request. *)

@@ -278,6 +278,13 @@ let bool_field ~default fields name =
   | None -> Ok default
   | Some _ -> Result.error (Printf.sprintf "field %S must be a boolean" name)
 
+let int_field ?default fields name =
+  match (field fields name, default) with
+  | Some (Int i), _ -> Ok i
+  | None, Some d -> Ok d
+  | None, None -> Result.error (Printf.sprintf "missing field %S" name)
+  | Some _, _ -> Result.error (Printf.sprintf "field %S must be an integer" name)
+
 let str_list_field fields name =
   match field fields name with
   | Some (Arr vs) ->
@@ -324,6 +331,15 @@ let request_of_fields fields =
     let* concept = str_field fields "concept" in
     let* types = str_list_field fields "types" in
     Ok (Request.Closure { concept; types })
+  | Some (Request.Kmatvec | Request.Kmatmul | Request.Ksolve) ->
+    let* structure = str_field fields "structure" in
+    let* n = int_field fields "n" in
+    let* seed = int_field ~default:0 fields "seed" in
+    Ok
+      (match Request.kind_of_name kind with
+      | Some Request.Kmatvec -> Request.Matvec { structure; n; seed }
+      | Some Request.Kmatmul -> Request.Matmul { structure; n; seed }
+      | _ -> Request.Solve { structure; n; seed })
 
 let request_of_line line =
   match parse line with
@@ -361,6 +377,15 @@ let request_to_line ?id req =
     | Request.Closure { concept; types } ->
       [ ("kind", Str "closure"); ("concept", Str concept);
         ("types", Arr (List.map (fun s -> Str s) types)) ]
+    | Request.Matvec { structure; n; seed } ->
+      [ ("kind", Str "matvec"); ("structure", Str structure); ("n", Int n);
+        ("seed", Int seed) ]
+    | Request.Matmul { structure; n; seed } ->
+      [ ("kind", Str "matmul"); ("structure", Str structure); ("n", Int n);
+        ("seed", Int seed) ]
+    | Request.Solve { structure; n; seed } ->
+      [ ("kind", Str "solve"); ("structure", Str structure); ("n", Int n);
+        ("seed", Int seed) ]
   in
   to_string (Obj (base @ fields))
 
@@ -388,6 +413,10 @@ let payload_fields = function
   | Request.Closed { size; obligations } ->
     [ ("size", Int size);
       ("obligations", Arr (List.map (fun o -> Str o) obligations)) ]
+  (* "kernel_steps" for the same reason as "rewrite_steps" above *)
+  | Request.Computed { kernel; detected; n; steps; checksum } ->
+    [ ("kernel", Str kernel); ("detected", Str detected); ("n", Int n);
+      ("kernel_steps", Int steps); ("checksum", Str checksum) ]
 
 let response_to_line (r : Request.response) =
   let status_fields =

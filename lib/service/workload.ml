@@ -113,6 +113,15 @@ let prove_pool =
 
 let nth_mod pool k = List.nth pool (k mod List.length pool)
 
+(* Numeric pools. Orders are sized so even the dense fallbacks stay
+   under the default 100k-step budget (dense matmul at n=40 is 64k
+   steps, dense solve at n=64 is ~91k) while the tightened
+   flight-recorder budgets still trip Over_budget deterministically. *)
+let structure_pool = Gp_structla.Mat.structure_names
+let matvec_ns = [ 24; 32; 48; 64; 96 ]
+let matmul_ns = [ 16; 24; 32; 40 ]
+let solve_ns = [ 24; 32; 48; 64 ]
+
 (* ------------------------------------------------------------------ *)
 (* Error injection                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -174,6 +183,21 @@ let request_for kind k =
   | Request.Kclosure ->
     let concept, types = nth_mod closure_pool k in
     Request.Closure { concept; types }
+  | Request.Kmatvec ->
+    Request.Matvec
+      { structure = nth_mod structure_pool k;
+        n = nth_mod matvec_ns k;
+        seed = k mod 5 }
+  | Request.Kmatmul ->
+    Request.Matmul
+      { structure = nth_mod structure_pool (k + 1);
+        n = nth_mod matmul_ns k;
+        seed = k mod 5 }
+  | Request.Ksolve ->
+    Request.Solve
+      { structure = nth_mod structure_pool (k + 2);
+        n = nth_mod solve_ns k;
+        seed = k mod 5 }
 
 (* ------------------------------------------------------------------ *)
 (* Sampling                                                            *)

@@ -1,0 +1,23 @@
+(** The matrix-structure concept taxonomy.
+
+    Six concepts — [DenseMatrix] at the root, [SymmetricMatrix],
+    [TriangularMatrix], [BandedMatrix] and [SparseMatrix] refining it,
+    and [DiagonalMatrix] refining banded, triangular and symmetric at
+    once — each carrying the complexity guarantees its kernels meet
+    (O(n) diagonal matvec, O(n·b) banded, O(nnz) sparse, O(n{^2})
+    dense). One carrier type per packed representation ([dmat],
+    [diagmat], [bandmat], [trimat], [symmat], [csrmat]), each declared
+    as a checked model of its structure and of every ancestor
+    structure, so nominal overload resolution can rank kernels by
+    refinement depth. *)
+
+val concepts : Gp_concepts.Concept.t list
+(** In declaration order (roots first). *)
+
+val carriers : string list
+(** The six registry type names, in {!Mat.carrier} order. *)
+
+val declare : Gp_concepts.Registry.t -> unit
+(** Declare the concepts, carrier types, per-carrier operations and all
+    ancestor models into [reg]. Idempotent: a registry that already
+    knows [DenseMatrix] is left untouched. *)

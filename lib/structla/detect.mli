@@ -1,0 +1,26 @@
+(** Automatic structure detection.
+
+    [classify] inspects a concrete dense matrix and returns the most
+    refined structure it satisfies, repacked into that structure's
+    representation. Soundness is by construction — every branch goes
+    through the strict {!Mat} packers, so
+    [Mat.to_dense (classify m) = m] exactly — and the classification is
+    deterministic (fixed priority: diagonal, triangular, symmetric,
+    banded when the band is at most half the order, CSR when at most a
+    quarter of the entries are nonzero, else dense). *)
+
+type profile = {
+  pr_lo : int;  (** max sub-diagonal distance of a nonzero *)
+  pr_hi : int;  (** max super-diagonal distance of a nonzero *)
+  pr_nnz : int;
+  pr_symmetric : bool;
+}
+
+val profile : Mat.dense -> profile
+
+val classify : Mat.dense -> Mat.t
+(** Emits a [structla.detect] telemetry span and a
+    [gp_structla_detect_total] counter labelled by result. *)
+
+val classify_quiet : Mat.dense -> Mat.t
+(** {!classify} without the telemetry traffic. *)

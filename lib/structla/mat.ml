@@ -1,0 +1,337 @@
+(* Matrix representations for the structure-aware kernels.
+
+   One packed representation per structure the concept taxonomy knows
+   about, plus the row-major dense fallback every structure can be
+   expanded into. Packing never rounds: [to_dense] reproduces the source
+   matrix bit-for-bit, which is what makes "the detector never claims a
+   structure the matrix doesn't satisfy" a checkable equality.
+
+   Generation is deterministic per (structure, n, seed): the serving
+   layer ships only those three scalars over the wire and both the
+   server and the replayer regenerate the same matrix, so response
+   fingerprints stay comparable across processes. *)
+
+type dense = { n_rows : int; n_cols : int; d : float array } (* row-major *)
+
+type diagonal = { dg_n : int; dg : float array }
+
+(* Row-packed band storage: row [i] keeps columns [i-lo .. i+hi] at
+   offset [i*(lo+hi+1) + (j-i+lo)]; out-of-range slots stay 0. *)
+type banded = { bd_n : int; bd_lo : int; bd_hi : int; bd : float array }
+
+(* Full row-major storage with the dead triangle kept zero: the kernels
+   iterate only the live triangle, so the step count — not the storage —
+   carries the saving. *)
+type triangular = { tr_n : int; tr_upper : bool; tr : float array }
+
+(* Packed lower triangle: row [i] holds its first [i+1] entries at
+   offset [i*(i+1)/2]. *)
+type symmetric = { sy_n : int; sy : float array }
+
+type csr = {
+  cs_rows : int;
+  cs_cols : int;
+  cs_ptr : int array; (* length rows+1 *)
+  cs_idx : int array;
+  cs_val : float array;
+}
+
+type t =
+  | Dense of dense
+  | Diagonal of diagonal
+  | Banded of banded
+  | Triangular of triangular
+  | Symmetric of symmetric
+  | Csr of csr
+
+(* ------------------------------------------------------------------ *)
+(* Dense basics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let dense_create n_rows n_cols =
+  { n_rows; n_cols; d = Array.make (n_rows * n_cols) 0.0 }
+
+let dense_init n_rows n_cols f =
+  let m = dense_create n_rows n_cols in
+  for i = 0 to n_rows - 1 do
+    for j = 0 to n_cols - 1 do
+      m.d.((i * n_cols) + j) <- f i j
+    done
+  done;
+  m
+
+let dense_get m i j = m.d.((i * m.n_cols) + j)
+let dense_set m i j x = m.d.((i * m.n_cols) + j) <- x
+
+let dense_equal a b =
+  a.n_rows = b.n_rows && a.n_cols = b.n_cols && a.d = b.d
+
+let dense_close ?(eps = 1e-9) a b =
+  a.n_rows = b.n_rows && a.n_cols = b.n_cols
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) < eps) a.d b.d
+
+let vec_close ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) < eps) a b
+
+(* ------------------------------------------------------------------ *)
+(* Structure names and registry carriers                               *)
+(* ------------------------------------------------------------------ *)
+
+let structure_name = function
+  | Dense _ -> "dense"
+  | Diagonal _ -> "diagonal"
+  | Banded _ -> "banded"
+  | Triangular _ -> "triangular"
+  | Symmetric _ -> "symmetric"
+  | Csr _ -> "csr"
+
+let structure_names =
+  [ "dense"; "diagonal"; "banded"; "triangular"; "symmetric"; "csr" ]
+
+let known_structure s = List.mem s structure_names
+
+(* The registry type name each representation checks against: one ground
+   carrier per structure, declared by Decls. *)
+let carrier = function
+  | Dense _ -> "dmat"
+  | Diagonal _ -> "diagmat"
+  | Banded _ -> "bandmat"
+  | Triangular _ -> "trimat"
+  | Symmetric _ -> "symmat"
+  | Csr _ -> "csrmat"
+
+let dims = function
+  | Dense m -> (m.n_rows, m.n_cols)
+  | Diagonal m -> (m.dg_n, m.dg_n)
+  | Banded m -> (m.bd_n, m.bd_n)
+  | Triangular m -> (m.tr_n, m.tr_n)
+  | Symmetric m -> (m.sy_n, m.sy_n)
+  | Csr m -> (m.cs_rows, m.cs_cols)
+
+let nnz_csr m = m.cs_ptr.(m.cs_rows)
+
+(* ------------------------------------------------------------------ *)
+(* Expansion and packing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let to_dense = function
+  | Dense m -> m
+  | Diagonal { dg_n = n; dg } ->
+    dense_init n n (fun i j -> if i = j then dg.(i) else 0.0)
+  | Banded { bd_n = n; bd_lo = lo; bd_hi = hi; bd } ->
+    let w = lo + hi + 1 in
+    dense_init n n (fun i j ->
+        if j >= i - lo && j <= i + hi then bd.((i * w) + (j - i + lo))
+        else 0.0)
+  | Triangular { tr_n = n; tr; _ } ->
+    dense_init n n (fun i j -> tr.((i * n) + j))
+  | Symmetric { sy_n = n; sy } ->
+    dense_init n n (fun i j ->
+        let i, j = if i >= j then (i, j) else (j, i) in
+        sy.((i * (i + 1) / 2) + j))
+  | Csr { cs_rows; cs_cols; cs_ptr; cs_idx; cs_val } ->
+    let m = dense_create cs_rows cs_cols in
+    for i = 0 to cs_rows - 1 do
+      for p = cs_ptr.(i) to cs_ptr.(i + 1) - 1 do
+        m.d.((i * cs_cols) + cs_idx.(p)) <- cs_val.(p)
+      done
+    done;
+    m
+
+(* Packers: [None] when the dense source does not satisfy the structure
+   exactly — the detector's contract depends on this strictness. *)
+
+let pack_diagonal m =
+  if m.n_rows <> m.n_cols then None
+  else
+    let n = m.n_rows in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && dense_get m i j <> 0.0 then ok := false
+      done
+    done;
+    if not !ok then None
+    else Some { dg_n = n; dg = Array.init n (fun i -> dense_get m i i) }
+
+let pack_banded ~lo ~hi m =
+  if m.n_rows <> m.n_cols || lo < 0 || hi < 0 then None
+  else
+    let n = m.n_rows in
+    let w = lo + hi + 1 in
+    let bd = Array.make (n * w) 0.0 in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let x = dense_get m i j in
+        if j >= i - lo && j <= i + hi then bd.((i * w) + (j - i + lo)) <- x
+        else if x <> 0.0 then ok := false
+      done
+    done;
+    if !ok then Some { bd_n = n; bd_lo = lo; bd_hi = hi; bd } else None
+
+let pack_triangular m =
+  if m.n_rows <> m.n_cols then None
+  else
+    let n = m.n_rows in
+    let zero_below = ref true and zero_above = ref true in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i > j && dense_get m i j <> 0.0 then zero_below := false;
+        if i < j && dense_get m i j <> 0.0 then zero_above := false
+      done
+    done;
+    if !zero_below || !zero_above then
+      Some { tr_n = n; tr_upper = !zero_below; tr = Array.copy m.d }
+    else None
+
+let pack_symmetric m =
+  if m.n_rows <> m.n_cols then None
+  else
+    let n = m.n_rows in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      for j = 0 to i - 1 do
+        if dense_get m i j <> dense_get m j i then ok := false
+      done
+    done;
+    if not !ok then None
+    else
+      let sy = Array.make (n * (n + 1) / 2) 0.0 in
+      for i = 0 to n - 1 do
+        for j = 0 to i do
+          sy.((i * (i + 1) / 2) + j) <- dense_get m i j
+        done
+      done;
+      Some { sy_n = n; sy }
+
+(* Always succeeds: any matrix has a CSR form. *)
+let pack_csr m =
+  let nnz = Array.fold_left (fun a x -> if x <> 0.0 then a + 1 else a) 0 m.d in
+  let cs_ptr = Array.make (m.n_rows + 1) 0 in
+  let cs_idx = Array.make (max nnz 1) 0 in
+  let cs_val = Array.make (max nnz 1) 0.0 in
+  let p = ref 0 in
+  for i = 0 to m.n_rows - 1 do
+    for j = 0 to m.n_cols - 1 do
+      let x = dense_get m i j in
+      if x <> 0.0 then begin
+        cs_idx.(!p) <- j;
+        cs_val.(!p) <- x;
+        incr p
+      end
+    done;
+    cs_ptr.(i + 1) <- !p
+  done;
+  { cs_rows = m.n_rows; cs_cols = m.n_cols; cs_ptr; cs_idx; cs_val }
+
+(* Conversions the overload candidates use: a kernel guarded by a
+   concept may legitimately receive any representation whose carrier
+   models that concept (e.g. the banded kernel applied to a diagonal
+   matrix when no diagonal candidate is registered). *)
+
+let as_diagonal = function
+  | Diagonal m -> Some m
+  | m -> pack_diagonal (to_dense m)
+
+let as_banded = function
+  | Banded m -> Some m
+  | Diagonal { dg_n; dg } ->
+    Some { bd_n = dg_n; bd_lo = 0; bd_hi = 0; bd = Array.copy dg }
+  | m ->
+    let d = to_dense m in
+    if d.n_rows <> d.n_cols then None
+    else
+      let lo = ref 0 and hi = ref 0 in
+      for i = 0 to d.n_rows - 1 do
+        for j = 0 to d.n_cols - 1 do
+          if dense_get d i j <> 0.0 then
+            if i > j then lo := max !lo (i - j) else hi := max !hi (j - i)
+        done
+      done;
+      pack_banded ~lo:!lo ~hi:!hi d
+
+let as_triangular = function
+  | Triangular m -> Some m
+  | m -> pack_triangular (to_dense m)
+
+let as_symmetric = function
+  | Symmetric m -> Some m
+  | m -> pack_symmetric (to_dense m)
+
+let as_csr = function Csr m -> m | m -> pack_csr (to_dense m)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic generation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* All generated matrices are made strictly diagonally dominant
+   (a_ii = |row| sum + 1), so every structure is also solve-safe: the
+   same (structure, n, seed) triple backs matvec, matmul and solve
+   requests without a singularity caveat. *)
+
+let dominate m =
+  let n = min m.n_rows m.n_cols in
+  for i = 0 to n - 1 do
+    let s = ref 0.0 in
+    for j = 0 to m.n_cols - 1 do
+      if j <> i then s := !s +. Float.abs (dense_get m i j)
+    done;
+    dense_set m i i (!s +. 1.0)
+  done;
+  m
+
+let rand st = (Random.State.float st 2.0) -. 1.0
+
+let generate_dense ~structure ~n ~seed =
+  if n < 1 then invalid_arg (Printf.sprintf "Mat.generate: n=%d < 1" n);
+  let st = Random.State.make [| 0x57ac; seed; n; Hashtbl.hash structure |] in
+  let bw = 4 in
+  match structure with
+  | "dense" -> Some (dominate (dense_init n n (fun _ _ -> rand st)))
+  | "diagonal" ->
+    Some (dense_init n n (fun i j -> if i = j then 1.0 +. Float.abs (rand st) else 0.0))
+  | "banded" ->
+    Some
+      (dominate
+         (dense_init n n (fun i j ->
+              if abs (i - j) <= bw then rand st else 0.0)))
+  | "triangular" ->
+    Some (dominate (dense_init n n (fun i j -> if j >= i then rand st else 0.0)))
+  | "symmetric" ->
+    let half = dense_init n n (fun i j -> if j <= i then rand st else 0.0) in
+    Some
+      (dominate
+         (dense_init n n (fun i j ->
+              if j <= i then dense_get half i j else dense_get half j i)))
+  | "csr" ->
+    (* ~5% fill plus the dominant diagonal: sparse at every n >= 24 *)
+    Some
+      (dominate
+         (dense_init n n (fun _ _ ->
+              if Random.State.int st 20 = 0 then rand st else 0.0)))
+  | _ -> None
+
+let generate_vec ~n ~seed =
+  let st = Random.State.make [| 0xb0b; seed; n |] in
+  Array.init n (fun _ -> rand st)
+
+(* ------------------------------------------------------------------ *)
+(* Checksums                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Digest of the exact IEEE bit patterns: float-deterministic kernels
+   give replay-stable checksums. *)
+let checksum_vec v =
+  let b = Bytes.create (8 * Array.length v) in
+  Array.iteri
+    (fun i x -> Bytes.set_int64_le b (8 * i) (Int64.bits_of_float x))
+    v;
+  Digest.to_hex (Digest.bytes b)
+
+let checksum_dense m = checksum_vec m.d
+
+let pp ppf m =
+  let r, c = dims m in
+  Fmt.pf ppf "%s %dx%d" (structure_name m) r c

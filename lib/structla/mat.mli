@@ -1,0 +1,101 @@
+(** Matrix representations for structure-aware linear algebra.
+
+    One packed representation per structure in the concept taxonomy
+    (dense, diagonal, banded, triangular, symmetric, sparse CSR).
+    Packing is exact — {!to_dense} reproduces the packed source
+    bit-for-bit — which makes detector soundness a checkable equality.
+    Generation is deterministic per [(structure, n, seed)], so the
+    serving layer ships only those scalars over the wire and the
+    replayer regenerates the identical matrix. *)
+
+type dense = { n_rows : int; n_cols : int; d : float array }
+(** Row-major. *)
+
+type diagonal = { dg_n : int; dg : float array }
+
+type banded = { bd_n : int; bd_lo : int; bd_hi : int; bd : float array }
+(** Row-packed band storage, width [lo+hi+1] per row. *)
+
+type triangular = { tr_n : int; tr_upper : bool; tr : float array }
+(** Full row-major storage; the dead triangle is zero. *)
+
+type symmetric = { sy_n : int; sy : float array }
+(** Packed lower triangle. *)
+
+type csr = {
+  cs_rows : int;
+  cs_cols : int;
+  cs_ptr : int array;
+  cs_idx : int array;
+  cs_val : float array;
+}
+
+type t =
+  | Dense of dense
+  | Diagonal of diagonal
+  | Banded of banded
+  | Triangular of triangular
+  | Symmetric of symmetric
+  | Csr of csr
+
+(** {2 Dense basics} *)
+
+val dense_create : int -> int -> dense
+val dense_init : int -> int -> (int -> int -> float) -> dense
+val dense_get : dense -> int -> int -> float
+val dense_set : dense -> int -> int -> float -> unit
+val dense_equal : dense -> dense -> bool
+val dense_close : ?eps:float -> dense -> dense -> bool
+val vec_close : ?eps:float -> float array -> float array -> bool
+
+(** {2 Structure names and carriers} *)
+
+val structure_name : t -> string
+val structure_names : string list
+val known_structure : string -> bool
+
+val carrier : t -> string
+(** Registry type name the representation checks against (declared by
+    {!Decls.declare}): ["dmat"], ["diagmat"], ["bandmat"], ["trimat"],
+    ["symmat"] or ["csrmat"]. *)
+
+val dims : t -> int * int
+val nnz_csr : csr -> int
+
+(** {2 Expansion and packing} *)
+
+val to_dense : t -> dense
+
+val pack_diagonal : dense -> diagonal option
+(** [None] unless the matrix is exactly diagonal; same strictness for
+    the other packers. *)
+
+val pack_banded : lo:int -> hi:int -> dense -> banded option
+val pack_triangular : dense -> triangular option
+val pack_symmetric : dense -> symmetric option
+val pack_csr : dense -> csr
+
+val as_diagonal : t -> diagonal option
+val as_banded : t -> banded option
+val as_triangular : t -> triangular option
+val as_symmetric : t -> symmetric option
+val as_csr : t -> csr
+(** Conversions the overload candidates use: a kernel guarded by a
+    concept may receive any representation whose carrier models it. *)
+
+(** {2 Deterministic generation} *)
+
+val generate_dense : structure:string -> n:int -> seed:int -> dense option
+(** A dense matrix exhibiting the named structure (strictly diagonally
+    dominant, so it is also solve-safe); [None] on an unknown structure
+    name. Raises [Invalid_argument] when [n < 1]. *)
+
+val generate_vec : n:int -> seed:int -> float array
+
+(** {2 Checksums} *)
+
+val checksum_vec : float array -> string
+(** Digest of the exact IEEE bit patterns — replay-stable. *)
+
+val checksum_dense : dense -> string
+val pp : Format.formatter -> t -> unit

@@ -749,6 +749,50 @@ let test_first_match_is_worse () =
   | _ -> Alcotest.fail "expected Selected (first match)"
 
 (* ------------------------------------------------------------------ *)
+(* Complexity algebra laws                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounds form an idempotent commutative semiring under (add, mul) with
+   absorption tying add to the leq order; random monomial sums probe the
+   laws the hand-picked algebra cases above cannot. *)
+let complexity_arb =
+  let open QCheck in
+  let monomial =
+    map
+      (fun (v, p, l) ->
+        if p = 0 && l = 0 then Complexity.constant
+        else Complexity.poly_log v ~poly:p ~log:l)
+      (triple (oneofl [ "n"; "m"; "k" ]) (int_range 0 3) (int_range 0 2))
+  in
+  set_print Complexity.to_string
+    (map
+       (fun ms -> List.fold_left Complexity.add Complexity.constant ms)
+       (list_of_size Gen.(1 -- 3) monomial))
+
+let complexity_law3 name law =
+  QCheck.Test.make ~count:500 ~name
+    (QCheck.triple complexity_arb complexity_arb complexity_arb)
+    (fun (a, b, c) -> law a b c)
+
+let complexity_laws =
+  let open Complexity in
+  [ complexity_law3 "add commutative" (fun a b _ ->
+        equal (add a b) (add b a));
+    complexity_law3 "add associative" (fun a b c ->
+        equal (add a (add b c)) (add (add a b) c));
+    complexity_law3 "add idempotent" (fun a _ _ -> equal (add a a) a);
+    complexity_law3 "absorption: leq a b means a+b = b" (fun a b _ ->
+        QCheck.assume (leq a b);
+        equal (add a b) b);
+    complexity_law3 "a leq a+b" (fun a b _ -> leq a (add a b));
+    complexity_law3 "mul commutative" (fun a b _ ->
+        equal (mul a b) (mul b a));
+    complexity_law3 "mul associative" (fun a b c ->
+        equal (mul a (mul b c)) (mul (mul a b) c));
+    complexity_law3 "mul distributes over add" (fun a b c ->
+        equal (mul a (add b c)) (add (mul a b) (mul a c))) ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "gp_concepts"
@@ -764,7 +808,8 @@ let () =
           Alcotest.test_case "order" `Quick test_complexity_order;
           Alcotest.test_case "algebra" `Quick test_complexity_algebra;
           Alcotest.test_case "pp" `Quick test_complexity_pp;
-        ] );
+        ]
+        @ List.map qtest complexity_laws );
       ( "check",
         [
           Alcotest.test_case "pass" `Quick test_check_pass;

@@ -117,11 +117,17 @@ let test_flop_model () =
   Alcotest.(check int) "2x flops" (2 * mixed) promoted
 
 let test_gemm_dim_mismatch () =
+  (* the message names the actual offending dimensions *)
   let a = Dense.cmat_create 2 3 in
   let b = Dense.rmat_create 2 2 in
-  Alcotest.check_raises "mismatch"
-    (Invalid_argument "gemm_mixed: dimension mismatch") (fun () ->
-      ignore (Dense.gemm_mixed a b))
+  Alcotest.check_raises "mixed mismatch"
+    (Invalid_argument "gemm_mixed: 2x3 * 2x2") (fun () ->
+      ignore (Dense.gemm_mixed a b));
+  let ca = Dense.cmat_create 3 4 in
+  let cb = Dense.cmat_create 5 2 in
+  Alcotest.check_raises "complex mismatch"
+    (Invalid_argument "gemm_complex: 3x4 * 5x2") (fun () ->
+      ignore (Dense.gemm_complex ca cb))
 
 (* ------------------------------------------------------------------ *)
 (* Vector space laws on real vectors (property-based)                  *)

@@ -11,7 +11,8 @@ let declare_standard reg =
   Gp_algebra.Decls.declare reg;
   Gp_sequence.Decls.declare reg;
   Gp_graph.Decls.declare reg;
-  Gp_linalg.Decls.declare reg
+  Gp_linalg.Decls.declare reg;
+  Gp_structla.Decls.declare reg
 
 let mkserver ?config () = Server.create ?config ~declare_standard ()
 
@@ -192,7 +193,10 @@ let request_samples =
     Request.Optimize { expr = "x * 1 + 0"; certified_only = true };
     Request.Prove { theory = "group"; instance = Some "int[+]" };
     Request.Prove { theory = "swo"; instance = None };
-    Request.Closure { concept = "IncidenceGraph"; types = [ "adjacency_list" ] }
+    Request.Closure { concept = "IncidenceGraph"; types = [ "adjacency_list" ] };
+    Request.Matvec { structure = "diagonal"; n = 32; seed = 1 };
+    Request.Matmul { structure = "banded"; n = 16; seed = 0 };
+    Request.Solve { structure = "triangular"; n = 24; seed = 3 }
   ]
 
 let test_wire_request_roundtrip () =
@@ -790,6 +794,109 @@ let test_workload_error_injection () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Numeric requests (gp_structla end to end)                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_numeric_dispatch () =
+  let open Gp_structla in
+  let server = mkserver () in
+  let rsp =
+    Server.handle server
+      (Request.Matvec { structure = "diagonal"; n = 32; seed = 1 })
+  in
+  match rsp.Request.rsp_result with
+  | Ok (Request.Computed { kernel; detected; n; steps; checksum }) ->
+    Alcotest.(check string) "most refined kernel" "matvec.diagonal" kernel;
+    Alcotest.(check string) "detected structure" "diagonal" detected;
+    Alcotest.(check int) "order echoed" 32 n;
+    Alcotest.(check int) "steps are the diagonal count" 32 steps;
+    (* bit-exact against the same generate -> classify -> select path
+       run outside the server *)
+    let reg = Gp_concepts.Registry.create () in
+    declare_standard reg;
+    let d =
+      Option.get (Mat.generate_dense ~structure:"diagonal" ~n:32 ~seed:1)
+    in
+    let m = Detect.classify_quiet d in
+    let x = Mat.generate_vec ~n:32 ~seed:1 in
+    (match Select.matvec reg (Select.create ()) m x with
+    | Ok (_, y) ->
+      Alcotest.(check string) "checksum matches a direct computation"
+        (Mat.checksum_vec y) checksum
+    | Error e -> Alcotest.fail e)
+  | Ok _ -> Alcotest.fail "expected a Computed payload"
+  | Error _ -> Alcotest.fail "matvec request failed"
+
+let test_numeric_cache_and_budget () =
+  (* generous budget: the replayed request is cache-served, same payload *)
+  let server = mkserver () in
+  let req = Request.Matmul { structure = "banded"; n = 24; seed = 2 } in
+  let r1 = Server.handle server req in
+  let r2 = Server.handle server req in
+  Alcotest.(check bool) "first is computed" false r1.Request.rsp_cached;
+  Alcotest.(check bool) "second is cache-served" true r2.Request.rsp_cached;
+  Alcotest.(check bool) "payloads identical" true
+    (r1.Request.rsp_result = r2.Request.rsp_result);
+  (* tight budget: the kernel's step count is charged on hit and miss
+     alike, so caching cannot change an Over_budget verdict *)
+  let tight =
+    mkserver ~config:{ Server.default_config with max_steps = 1000 } ()
+  in
+  let heavy = Request.Solve { structure = "dense"; n = 48; seed = 0 } in
+  check_code "miss goes over budget" Request.Over_budget
+    (Server.handle tight heavy);
+  check_code "hit goes over budget too" Request.Over_budget
+    (Server.handle tight heavy);
+  assert_alive tight
+
+let test_numeric_validation () =
+  let server = mkserver () in
+  check_code "unknown structure" Request.Unknown_name
+    (Server.handle server
+       (Request.Matvec { structure = "toeplitz"; n = 8; seed = 0 }));
+  check_code "n too large" Request.Bad_request
+    (Server.handle server
+       (Request.Matvec { structure = "dense"; n = 100_000; seed = 0 }));
+  check_code "n < 1" Request.Bad_request
+    (Server.handle server (Request.Solve { structure = "dense"; n = 0; seed = 0 }));
+  (* wire: seed is optional (0), n is required *)
+  (match
+     Wire.request_of_line {|{"kind":"matvec","structure":"csr","n":16}|}
+   with
+  | Ok (None, Request.Matvec { structure = "csr"; n = 16; seed = 0 }) -> ()
+  | Ok _ -> Alcotest.fail "wrong decode of a seedless matvec"
+  | Error e -> Alcotest.fail e);
+  (match Wire.request_of_line {|{"kind":"solve","structure":"dense"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing n must be rejected");
+  assert_alive server
+
+let test_numeric_workload () =
+  let mix =
+    Workload.default_mix
+    @ [ (Request.Kmatvec, 10); (Request.Kmatmul, 5); (Request.Ksolve, 5) ]
+  in
+  let reqs = Workload.generate ~mix ~seed:3 ~n:80 () in
+  Alcotest.(check string) "deterministic with numeric kinds"
+    (Workload.fingerprint reqs)
+    (Workload.fingerprint (Workload.generate ~mix ~seed:3 ~n:80 ()));
+  let kinds = List.map Request.kind reqs in
+  Alcotest.(check bool) "numeric kinds drawn" true
+    (List.exists
+       (fun k ->
+         k = Request.Kmatvec || k = Request.Kmatmul || k = Request.Ksolve)
+       kinds);
+  (* every numeric pool entry fits the default 100k-step budget *)
+  let server = mkserver () in
+  let rsps = Server.process server reqs in
+  Alcotest.(check int) "all served" 80 (List.length rsps);
+  List.iter
+    (fun r ->
+      if not (Request.ok r) then
+        Alcotest.failf "request failed with %s" (code_name r))
+    rsps
+
 let () =
   Alcotest.run "service"
     [ ( "lru",
@@ -833,6 +940,15 @@ let () =
           Alcotest.test_case "seeded error injection" `Quick
             test_workload_error_injection;
           qtest workload_pure_prop ] );
+      ( "numeric",
+        [ Alcotest.test_case "most refined kernel served" `Quick
+            test_numeric_dispatch;
+          Alcotest.test_case "cache and budget independence" `Quick
+            test_numeric_cache_and_budget;
+          Alcotest.test_case "validation and wire defaults" `Quick
+            test_numeric_validation;
+          Alcotest.test_case "numeric workload mix" `Quick
+            test_numeric_workload ] );
       ( "flight",
         [ Alcotest.test_case "config line roundtrip" `Quick
             test_config_line_roundtrip;

@@ -1,0 +1,360 @@
+(* Tests for gp_structla: representations, detection soundness, the
+   concept taxonomy, most-refined-wins kernel selection, and qcheck
+   equivalence of every specialised kernel against the dense oracles. *)
+
+open Gp_concepts
+module Mat = Gp_structla.Mat
+module Detect = Gp_structla.Detect
+module Kernels = Gp_structla.Kernels
+module Select = Gp_structla.Select
+module Decls = Gp_structla.Decls
+
+let n name = Ctype.Named name
+let qtest = QCheck_alcotest.to_alcotest
+
+let world () =
+  let reg = Registry.create () in
+  Decls.declare reg;
+  reg
+
+let gen s ~n ~seed =
+  match Mat.generate_dense ~structure:s ~n ~seed with
+  | Some d -> d
+  | None -> Alcotest.fail ("unknown structure " ^ s)
+
+(* ------------------------------------------------------------------ *)
+(* Taxonomy: declared models check nominally                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_models () =
+  let reg = world () in
+  let models c ty = Check.models ~mode:Check.Nominal reg c [ n ty ] in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " models DenseMatrix") true
+        (models "DenseMatrix" c))
+    Decls.carriers;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) ("diagmat models " ^ c) true (models c "diagmat"))
+    [ "DiagonalMatrix"; "BandedMatrix"; "TriangularMatrix"; "SymmetricMatrix" ];
+  Alcotest.(check bool) "bandmat is not diagonal" false
+    (models "DiagonalMatrix" "bandmat");
+  Alcotest.(check bool) "bandmat is not triangular" false
+    (models "TriangularMatrix" "bandmat");
+  Alcotest.(check bool) "dmat is not sparse" false
+    (models "SparseMatrix" "dmat");
+  (* the registry knows the refinement DAG *)
+  Alcotest.(check bool) "Diagonal refines Dense (transitively)" true
+    (Registry.refines reg "DiagonalMatrix" "DenseMatrix");
+  Alcotest.(check bool) "Banded does not refine Triangular" false
+    (Registry.refines reg "BandedMatrix" "TriangularMatrix")
+
+(* ------------------------------------------------------------------ *)
+(* Selection: most refined wins; ambiguity and miss are reported       *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_of reg sel op m =
+  match Select.resolve reg sel op m with
+  | Overload.Selected (c, losers) -> (c.Overload.cand_name, List.length losers)
+  | r ->
+    Alcotest.fail
+      (Format.asprintf "expected Selected, got %a" Overload.pp_resolution r)
+
+let test_most_refined_wins () =
+  let reg = world () in
+  let sel = Select.create () in
+  let mat s = Detect.classify_quiet (gen s ~n:64 ~seed:1) in
+  let expect op s name =
+    let got, _ = kernel_of reg sel op (mat s) in
+    Alcotest.(check string)
+      (Select.op_name op ^ " on " ^ s)
+      name got
+  in
+  expect Select.Matvec "diagonal" "matvec.diagonal";
+  expect Select.Matvec "banded" "matvec.banded";
+  expect Select.Matvec "triangular" "matvec.triangular";
+  expect Select.Matvec "symmetric" "matvec.symmetric";
+  expect Select.Matvec "csr" "matvec.csr";
+  expect Select.Matvec "dense" "matvec.dense";
+  (* fallbacks where no specialised kernel exists for the structure *)
+  expect Select.Matmul "diagonal" "matmul.diagonal";
+  expect Select.Matmul "banded" "matmul.banded";
+  expect Select.Matmul "triangular" "matmul.dense";
+  expect Select.Solve "diagonal" "solve.diagonal";
+  expect Select.Solve "triangular" "solve.triangular";
+  expect Select.Solve "banded" "solve.dense";
+  expect Select.Solve "csr" "solve.dense";
+  (* a diagonal matrix matches every matvec candidate except the sparse
+     one, and the O(n) kernel beats them all *)
+  let _, losers = kernel_of reg sel Select.Matvec (mat "diagonal") in
+  Alcotest.(check int) "diagonal matvec: four less-refined matches" 4 losers;
+  let _, losers = kernel_of reg sel Select.Matvec (mat "dense") in
+  Alcotest.(check int) "dense matvec: sole match" 0 losers
+
+let test_ambiguity_detected () =
+  let reg = world () in
+  let g = Overload.create "sym_or_tri" in
+  Overload.add_candidate g ~name:"via symmetric" ~guard:"SymmetricMatrix"
+    (fun _ -> Overload.Unit);
+  Overload.add_candidate g ~name:"via triangular" ~guard:"TriangularMatrix"
+    (fun _ -> Overload.Unit);
+  (* diagmat models both, and neither concept refines the other *)
+  match Overload.resolve reg g [ n "diagmat" ] with
+  | Overload.Ambiguous cs ->
+    Alcotest.(check int) "both maxima reported" 2 (List.length cs)
+  | r ->
+    Alcotest.fail
+      (Format.asprintf "expected Ambiguous, got %a" Overload.pp_resolution r)
+
+let test_no_match_reports () =
+  let reg = world () in
+  let g = Overload.create "diag_only" in
+  Overload.add_candidate g ~name:"diag" ~guard:"DiagonalMatrix" (fun _ ->
+      Overload.Unit);
+  match Overload.resolve reg g [ n "bandmat" ] with
+  | Overload.No_match [ (name, report) ] ->
+    Alcotest.(check string) "candidate named" "diag" name;
+    Alcotest.(check bool) "report carries failures" false (Check.ok report)
+  | r ->
+    Alcotest.fail
+      (Format.asprintf "expected No_match, got %a" Overload.pp_resolution r)
+
+(* ------------------------------------------------------------------ *)
+(* Detection                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_classify_generated () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun seed ->
+          let d = gen s ~n:64 ~seed in
+          let m = Detect.classify_quiet d in
+          Alcotest.(check string)
+            (Printf.sprintf "classify(generate %s, seed %d)" s seed)
+            s (Mat.structure_name m);
+          Alcotest.(check bool) "round-trips exactly" true
+            (Mat.dense_equal d (Mat.to_dense m)))
+        [ 0; 1; 2; 3; 4 ])
+    Mat.structure_names
+
+let test_classify_priority () =
+  (* a diagonal matrix satisfies five structures; detection must claim
+     the most refined one *)
+  let d = gen "diagonal" ~n:32 ~seed:9 in
+  Alcotest.(check string) "diagonal wins" "diagonal"
+    (Mat.structure_name (Detect.classify_quiet d));
+  (* non-square: only CSR or dense can apply *)
+  let r = Mat.dense_init 4 6 (fun i j -> if i = j then 1.0 else 0.0) in
+  Alcotest.(check string) "non-square sparse is csr" "csr"
+    (Mat.structure_name (Detect.classify_quiet r))
+
+(* Soundness on arbitrary matrices: whatever the detector claims, the
+   packed representation expands back bit-for-bit. *)
+let arbitrary_dense_arb =
+  let open QCheck.Gen in
+  let entry =
+    frequency
+      [ (4, return 0.0); (2, return 1.5); (1, return (-2.25)); (1, float) ]
+  in
+  let g =
+    int_range 1 10 >>= fun rows ->
+    int_range 1 10 >>= fun cols ->
+    bool >>= fun mirror ->
+    array_size (return (rows * cols)) entry >>= fun d ->
+    let m = { Mat.n_rows = rows; n_cols = cols; d } in
+    let m =
+      if mirror && rows = cols then
+        Mat.dense_init rows cols (fun i j ->
+            if i >= j then Mat.dense_get m i j else Mat.dense_get m j i)
+      else m
+    in
+    return m
+  in
+  QCheck.make
+    ~print:(fun m -> Format.asprintf "%a" Mat.pp (Mat.Dense m))
+    g
+
+let classify_sound_prop =
+  qtest
+    (QCheck.Test.make ~name:"classify never misrepresents the matrix"
+       ~count:500 arbitrary_dense_arb (fun d ->
+         Mat.dense_equal d (Mat.to_dense (Detect.classify_quiet d))))
+
+(* ------------------------------------------------------------------ *)
+(* Kernel equivalence vs the dense oracles                             *)
+(* ------------------------------------------------------------------ *)
+
+let case_arb =
+  let open QCheck.Gen in
+  QCheck.make
+    ~print:(fun (s, n, seed) -> Printf.sprintf "%s n=%d seed=%d" s n seed)
+    ( oneofl Mat.structure_names >>= fun s ->
+      int_range 1 32 >>= fun n ->
+      int_range 0 9999 >>= fun seed -> return (s, n, seed) )
+
+let with_case (s, sz, seed) f =
+  let d = gen s ~n:sz ~seed in
+  let m = Detect.classify_quiet d in
+  let reg = world () in
+  let sel = Select.create () in
+  f reg sel d m
+
+let matvec_equiv_prop =
+  qtest
+    (QCheck.Test.make ~name:"selected matvec == dense oracle" ~count:150
+       case_arb (fun ((_, sz, seed) as case) ->
+         with_case case (fun reg sel d m ->
+             let v = Mat.generate_vec ~n:sz ~seed in
+             match Select.matvec reg sel m v with
+             | Ok (_, y) ->
+               Mat.vec_close ~eps:1e-6 y (Kernels.matvec_reference d v)
+             | Error e -> QCheck.Test.fail_report e)))
+
+let matmul_equiv_prop =
+  qtest
+    (QCheck.Test.make ~name:"selected matmul == dense oracle" ~count:60
+       case_arb (fun case ->
+         with_case case (fun reg sel d m ->
+             match Select.matmul reg sel m m with
+             | Ok (_, c) ->
+               Mat.dense_close ~eps:1e-6 (Mat.to_dense c)
+                 (Kernels.matmul_reference d d)
+             | Error e -> QCheck.Test.fail_report e)))
+
+let solve_equiv_prop =
+  qtest
+    (QCheck.Test.make ~name:"selected solve == dense oracle" ~count:100
+       case_arb (fun ((_, sz, seed) as case) ->
+         with_case case (fun reg sel d m ->
+             let b = Mat.generate_vec ~n:sz ~seed:(seed + 1) in
+             match Select.solve reg sel m b with
+             | Ok (_, x) ->
+               Mat.vec_close ~eps:1e-6 x (Kernels.solve_reference d b)
+             | Error e -> QCheck.Test.fail_report e)))
+
+(* The solution actually solves the system (the solve_inverts axiom). *)
+let solve_inverts_prop =
+  qtest
+    (QCheck.Test.make ~name:"matvec(A, solve(A,b)) == b" ~count:100 case_arb
+       (fun ((_, sz, seed) as case) ->
+         with_case case (fun reg sel _ m ->
+             let b = Mat.generate_vec ~n:sz ~seed:(seed + 2) in
+             match Select.solve reg sel m b with
+             | Ok (_, x) -> (
+               match Select.matvec reg sel m x with
+               | Ok (_, b') -> Mat.vec_close ~eps:1e-5 b' b
+               | Error e -> QCheck.Test.fail_report e)
+             | Error e -> QCheck.Test.fail_report e)))
+
+(* ------------------------------------------------------------------ *)
+(* Exact step counts                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_step_counts () =
+  let d = Detect.classify_quiet (gen "dense" ~n:8 ~seed:0) in
+  Alcotest.(check int) "dense matvec n^2" 64 (Kernels.matvec_steps d);
+  Alcotest.(check int) "dense matmul n^3" 512 (Kernels.matmul_steps d);
+  let dg = Detect.classify_quiet (gen "diagonal" ~n:8 ~seed:0) in
+  Alcotest.(check int) "diagonal matvec n" 8 (Kernels.matvec_steps dg);
+  Alcotest.(check int) "diagonal solve n" 8 (Kernels.solve_steps dg);
+  let t = Detect.classify_quiet (gen "triangular" ~n:8 ~seed:0) in
+  Alcotest.(check int) "triangular matvec n(n+1)/2" 36
+    (Kernels.matvec_steps t);
+  Alcotest.(check int) "triangular solve n(n+1)/2" 36 (Kernels.solve_steps t);
+  (* banded n=10, bandwidth 4 generator: rows clipped at the edges *)
+  let b = Detect.classify_quiet (gen "banded" ~n:24 ~seed:0) in
+  (match b with
+  | Mat.Banded { Mat.bd_lo = lo; bd_hi = hi; _ } ->
+    Alcotest.(check int) "generator bandwidth" 8 (lo + hi)
+  | _ -> Alcotest.fail "expected banded");
+  Alcotest.(check int) "banded matvec = sum of row widths"
+    (9 * 24 - 2 * (4 + 3 + 2 + 1))
+    (Kernels.matvec_steps b);
+  let c = Detect.classify_quiet (gen "csr" ~n:24 ~seed:0) in
+  match c with
+  | Mat.Csr csr ->
+    Alcotest.(check int) "csr matvec = nnz" (Mat.nnz_csr csr)
+      (Kernels.matvec_steps c)
+  | _ -> Alcotest.fail "expected csr"
+
+(* The acceptance ratios behind bench s6, on exact step counts. *)
+let test_step_ratios_at_256 () =
+  let n = 256 in
+  let dense_steps =
+    Kernels.matvec_steps (Detect.classify_quiet (gen "dense" ~n ~seed:0))
+  in
+  let diag_steps =
+    Kernels.matvec_steps (Detect.classify_quiet (gen "diagonal" ~n ~seed:0))
+  in
+  let band_steps =
+    Kernels.matvec_steps (Detect.classify_quiet (gen "banded" ~n ~seed:0))
+  in
+  Alcotest.(check bool) "diagonal matvec >= 10x fewer steps" true
+    (dense_steps >= 10 * diag_steps);
+  Alcotest.(check bool) "banded matvec >= 5x fewer steps" true
+    (dense_steps >= 5 * band_steps)
+
+(* ------------------------------------------------------------------ *)
+(* Dimension errors name the shapes                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_dimension_messages () =
+  let m34 = Mat.dense_init 3 4 (fun _ _ -> 1.0) in
+  let m52 = Mat.dense_init 5 2 (fun _ _ -> 1.0) in
+  Alcotest.check_raises "matvec names shapes"
+    (Invalid_argument "matvec: 3x4 * 5") (fun () ->
+      ignore (Kernels.matvec_reference m34 (Array.make 5 0.0)));
+  Alcotest.check_raises "matmul names shapes"
+    (Invalid_argument "matmul: 3x4 * 5x2") (fun () ->
+      ignore (Kernels.matmul_reference m34 m52));
+  Alcotest.check_raises "solve names shapes"
+    (Invalid_argument "solve: 3x4 not square") (fun () ->
+      ignore (Kernels.solve_reference m34 (Array.make 4 0.0)));
+  Alcotest.check_raises "diagonal kernels too"
+    (Invalid_argument "matvec: 6x6 * 4") (fun () ->
+      ignore
+        (Kernels.matvec_diagonal
+           { Mat.dg_n = 6; dg = Array.make 6 1.0 }
+           (Array.make 4 0.0)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "gp_structla"
+    [
+      ( "taxonomy",
+        [ Alcotest.test_case "declared models check" `Quick test_models ] );
+      ( "selection",
+        [
+          Alcotest.test_case "most refined wins" `Quick test_most_refined_wins;
+          Alcotest.test_case "ambiguity" `Quick test_ambiguity_detected;
+          Alcotest.test_case "no match" `Quick test_no_match_reports;
+        ] );
+      ( "detect",
+        [
+          Alcotest.test_case "generated structures" `Quick
+            test_classify_generated;
+          Alcotest.test_case "priority" `Quick test_classify_priority;
+          classify_sound_prop;
+        ] );
+      ( "kernels",
+        [
+          matvec_equiv_prop;
+          matmul_equiv_prop;
+          solve_equiv_prop;
+          solve_inverts_prop;
+        ] );
+      ( "steps",
+        [
+          Alcotest.test_case "exact counts" `Quick test_step_counts;
+          Alcotest.test_case "acceptance ratios at n=256" `Quick
+            test_step_ratios_at_256;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "dimension messages" `Quick
+            test_dimension_messages;
+        ] );
+    ]
