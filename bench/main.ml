@@ -1425,6 +1425,153 @@ let s6 () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* S7: zero-allocation wire path — bytes per request                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Allocation counts (Gc.allocated_bytes / minor_words deltas) are
+   deterministic for a fixed workload, unlike wall clock, so this
+   section uses a fixed n regardless of --quick and bench-diff gates
+   the committed numbers strictly. The tentpole ratio is measured on
+   the isolated wire path — parse + render + digest over the real
+   (line, response) pairs of one served workload — because the
+   end-to-end serve shares its dispatch cost between both variants and
+   would dilute the comparison. *)
+
+let s7 () =
+  section "S7"
+    "zero-allocation wire path: bytes allocated per request, AST \
+     baseline vs direct cursor parse + buffer render + streaming digest";
+  let open Gp_service in
+  let module Recorder = Gp_telemetry.Recorder in
+  let declare_standard reg =
+    Gp_concepts.(ignore (reg : Registry.t));
+    Gp_algebra.Decls.declare reg;
+    Gp_sequence.Decls.declare reg;
+    Gp_graph.Decls.declare reg;
+    Gp_linalg.Decls.declare reg;
+    Gp_structla.Decls.declare reg
+  in
+  let n = 300 in
+  let seed = 42 in
+  (* the s1 mixed workload plus the s6 numeric kinds, so the wire path
+     sees every payload shape including kernel-selection responses *)
+  let mix =
+    Workload.default_mix
+    @ Request.[ (Kmatvec, 8); (Kmatmul, 4); (Ksolve, 4) ]
+  in
+  let reqs = Workload.generate ~mix ~seed ~n () in
+  Fmt.pr "workload: n=%d seed=%d (fixed regardless of quota) mix=[%a]@." n
+    seed Workload.pp_mix mix;
+  let config = { Server.default_config with flight_capacity = 2 * n } in
+  let server = Server.create ~config ~declare_standard () in
+  let lines = List.mapi (fun i r -> Wire.request_to_line ~id:i r) reqs in
+  (* one served pass with the flight recorder on: yields the real
+     (line, response) pairs for the wire phases, warms the caches for
+     the steady-state serve probe, and leaves dossiers for the replay
+     check *)
+  let rsps = List.filter_map (Server.serve_line server) lines in
+  assert (List.length rsps = n);
+  let dossiers =
+    match Server.flight server with
+    | Some r -> Recorder.dossiers r
+    | None -> assert false
+  in
+  assert (List.length dossiers = n);
+  let pairs = Array.of_list (List.combine lines rsps) in
+  let fn = float_of_int n in
+  (* Warm-up settles shared-buffer growth; then allocation deltas over
+     one full pass, divided per request. On this runtime (OCaml 5.1)
+     [Gc.quick_stat]/[Gc.allocated_bytes] lag the current domain's
+     minor counter, so the accurate [Gc.minor_words] primitive is the
+     source of truth; every allocation on these paths is far below the
+     direct-to-major-heap threshold, so minor words x word-size is the
+     full allocation story. *)
+  let word_bytes = float_of_int (Sys.word_size / 8) in
+  let measure f =
+    f ();
+    Gc.full_major ();
+    let m0 = Gc.minor_words () in
+    f ();
+    let m1 = Gc.minor_words () in
+    let words = (m1 -. m0) /. fn in
+    (words *. word_bytes, words)
+  in
+  (* legacy wire path: json AST parse, Obj-tree render, digest of the
+     materialized canonical string *)
+  let legacy () =
+    Array.iter
+      (fun (line, rsp) ->
+        (match Wire.request_of_line_ast line with
+        | Ok r -> ignore (Sys.opaque_identity r)
+        | Error e -> failwith e);
+        ignore (Sys.opaque_identity (Wire.response_to_line_ast rsp));
+        ignore
+          (Sys.opaque_identity
+             (Digest.string (Request.response_canonical rsp))))
+      pairs
+  in
+  (* direct wire path: cursor parse into the typed IR, render into one
+     reused buffer, streaming fingerprint *)
+  let out = Buffer.create 1024 in
+  let direct () =
+    Array.iter
+      (fun (line, rsp) ->
+        (match Wire.request_of_line line with
+        | Ok r -> ignore (Sys.opaque_identity r)
+        | Error e -> failwith e);
+        Buffer.clear out;
+        Wire.response_into out rsp;
+        ignore (Sys.opaque_identity (Buffer.length out));
+        ignore (Sys.opaque_identity (Request.response_fingerprint rsp)))
+      pairs
+  in
+  let legacy_bytes, legacy_minor = measure legacy in
+  let direct_bytes, direct_minor = measure direct in
+  let reduction = legacy_bytes /. direct_bytes in
+  (* end-to-end steady state: full serve_line loop (dispatch + caches +
+     recorder included) against warm caches *)
+  let serve () =
+    List.iter
+      (fun line -> ignore (Sys.opaque_identity (Server.serve_line server line)))
+      lines
+  in
+  let serve_bytes, serve_minor = measure serve in
+  Fmt.pr "@.%-44s %16s %14s@." "wire phase (parse + render + digest)"
+    "bytes/request" "minor w/req";
+  let row name b m = Fmt.pr "%-44s %16.1f %14.1f@." name b m in
+  row "AST baseline" legacy_bytes legacy_minor;
+  row "direct (reused buffers, streaming digest)" direct_bytes direct_minor;
+  Fmt.pr "allocation reduction: %.1fx  (acceptance floor: >= 5x)@."
+    reduction;
+  assert (reduction >= 5.0);
+  Fmt.pr "@.%-44s %16.1f %14.1f@."
+    "end-to-end serve_line, warm caches" serve_bytes serve_minor;
+  (* replay the recorded pass from cold caches: the streaming
+     fingerprints must match the dossiers bit-for-bit *)
+  let outcome =
+    match Flight.replay ~declare_standard dossiers with
+    | Ok o -> o
+    | Error m -> failwith m
+  in
+  assert (outcome.Flight.rep_total = n);
+  assert (Flight.all_matched outcome);
+  Fmt.pr "@.replay: %d/%d fingerprints matched (%d divergent) — the \
+          streaming digest is bit-identical to the dossiers@."
+    outcome.Flight.rep_matched outcome.Flight.rep_total
+    (List.length outcome.Flight.rep_diverged);
+  record ~experiment:"s7" "wire_legacy_bytes_per_request" legacy_bytes;
+  record ~experiment:"s7" "wire_direct_bytes_per_request" direct_bytes;
+  record ~experiment:"s7" "wire_alloc_reduction_speedup" reduction;
+  record ~experiment:"s7" "wire_legacy_minor_words" legacy_minor;
+  record ~experiment:"s7" "wire_direct_minor_words" direct_minor;
+  record ~experiment:"s7" "serve_bytes_per_request" serve_bytes;
+  record ~experiment:"s7" "serve_minor_words" serve_minor;
+  record ~experiment:"s7" "replay_diverged_pct"
+    (100.0
+    *. float_of_int (List.length outcome.Flight.rep_diverged)
+    /. fn)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1432,7 +1579,7 @@ let experiments =
   [ ("f1", f1_f2); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6);
     ("c1", c1); ("c2", c2); ("c3", c3); ("c5", c5); ("c6", c6); ("c8", c8);
     ("a1", a1); ("s1", s1); ("s2", s2); ("s3", s3); ("s4", s4);
-    ("s5", s5); ("s6", s6) ]
+    ("s5", s5); ("s6", s6); ("s7", s7) ]
 
 let () =
   let rec parse = function

@@ -1102,8 +1102,10 @@ let structla_cmd =
 (* The perf-regression guard over two `bench --json` result files.
    Metric names carry their own direction: the _speedup suffix is
    higher-better as a ratio, _pct is lower-better in additive percentage
-   points, and everything else — the _ns times — is lower-better as a
-   ratio. *)
+   points, _bytes_per_request and _minor_words are lower-better as
+   ratios (allocation counts — deterministic, so regressions here are
+   real even under --quick quotas), and everything else — the _ns
+   times — is lower-better as a ratio. *)
 let bench_diff_cmd =
   let old_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
@@ -1176,6 +1178,15 @@ let bench_diff_cmd =
                     else if ends_with "_pct" name then
                       ( nv > ov +. (tolerance *. 100.0),
                         Printf.sprintf "%.2f%% -> %.2f%%" ov nv )
+                    else if
+                      ends_with "_bytes_per_request" name
+                      || ends_with "_minor_words" name
+                    then
+                      (* allocation counters: lower-better, and unlike
+                         the _ns times they don't depend on quotas or
+                         machine load, so they gate even in CI *)
+                      ( nv > ov *. (1.0 +. tolerance),
+                        Printf.sprintf "%.1f -> %.1f" ov nv )
                     else
                       ( nv > ov *. (1.0 +. tolerance),
                         Printf.sprintf "%.0f -> %.0f" ov nv )

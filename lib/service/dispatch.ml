@@ -11,9 +11,12 @@
 open Gp_concepts
 
 type caches = {
-  closures : Propagate.obligation list Lru.t; (* propagation closures *)
+  closures : string list Lru.t;
+      (* propagation closures, pre-rendered: the cache stores the
+         obligation strings the payload ships, so a hit allocates no
+         per-request rendering *)
   defs : Lang.item list Lru.t; (* parsed .gpc declarations *)
-  lint : Gp_stllint.Interp.diagnostic list Lru.t; (* verdicts by program hash *)
+  lint : Request.payload Lru.t; (* Linted payloads by program hash *)
   cert : Gp_simplicissimus.Certify.certification list Lru.t;
       (* certified rewrite rules *)
   proofs : (string * bool) list Lru.t; (* checked proof instantiations *)
@@ -34,6 +37,26 @@ let cache_stats c =
   [ Lru.stats c.closures; Lru.stats c.defs; Lru.stats c.lint;
     Lru.stats c.cert; Lru.stats c.proofs; Lru.stats c.rewrites;
     Lru.stats c.numerics ]
+
+(* Allocation-free twin of [cache_stats] for the per-request cache-delta
+   snapshot: hit/miss counters written into a caller-owned array
+   ([hits.(2i)], [misses.(2i+1)]), one slot pair per cache in
+   [cache_names] order. *)
+let cache_names =
+  [| "closures"; "defs"; "lint"; "cert"; "proofs"; "rewrites"; "numerics" |]
+
+let cache_counters_into c (dst : int array) =
+  let put i (lru : _ Lru.t) =
+    dst.(2 * i) <- Lru.hits lru;
+    dst.((2 * i) + 1) <- Lru.misses lru
+  in
+  put 0 c.closures;
+  put 1 c.defs;
+  put 2 c.lint;
+  put 3 c.cert;
+  put 4 c.proofs;
+  put 5 c.rewrites;
+  put 6 c.numerics
 
 let clear_caches c =
   Lru.clear c.closures;
@@ -158,18 +181,19 @@ let handle_lint t ~caching ~budget ~source =
     Lru.find_or_compute t.caches.lint ~enabled:caching key (fun () ->
         let program = Parser.parse_program source in
         Budget.spend budget (List.length program);
-        Interp.check program)
+        let ds = Interp.check program in
+        Request.Linted
+          { errors = List.length (Interp.errors ds);
+            warnings = List.length (Interp.warnings ds);
+            suggestions = List.length (Interp.suggestions ds);
+            messages =
+              List.map (fun d -> Fmt.str "%a" Interp.pp_diagnostic d) ds })
   with
-  | ds, hit ->
-    Budget.spend budget (1 + List.length ds);
-    ( Ok
-        (Request.Linted
-           { errors = List.length (Interp.errors ds);
-             warnings = List.length (Interp.warnings ds);
-             suggestions = List.length (Interp.suggestions ds);
-             messages =
-               List.map (fun d -> Fmt.str "%a" Interp.pp_diagnostic d) ds }),
-      hit )
+  | (Request.Linted { messages; _ } as payload), hit ->
+    (* one diagnostic per message, so the budget charge is unchanged *)
+    Budget.spend budget (1 + List.length messages);
+    (Ok payload, hit)
+  | _, _ -> assert false (* the lint cache only ever stores [Linted] *)
   | exception Parser.Parse_error { line; message } ->
     (err Request.Parse_failure (Printf.sprintf "program:%d: %s" line message), false)
 
@@ -182,8 +206,8 @@ let handle_optimize t ~caching ~budget ~expr ~certified_only =
        mode reads the verdicts the certifier stamped on the rules. *)
     let _, cert_hit = certifications t ~caching ~budget in
     let key =
-      Printf.sprintf "rw|%b|%s" certified_only
-        (Digest.to_hex (Digest.string (Expr.to_string e)))
+      (if certified_only then "rw|true|" else "rw|false|")
+      ^ Digest.to_hex (Digest.string (Expr.to_string e))
     in
     match
       Lru.find_or_compute t.caches.rewrites ~enabled:caching key (fun () ->
@@ -288,7 +312,7 @@ let handle_prove t ~caching ~budget ~theory ~instance =
   | Error detail -> (err Request.Unknown_name detail, false)
   | Ok plan -> (
     let key =
-      Printf.sprintf "prove|%s|%s" theory (Option.value ~default:"*" instance)
+      "prove|" ^ theory ^ "|" ^ Option.value ~default:"*" instance
     in
     match
       Lru.find_or_compute t.caches.proofs ~enabled:caching key (fun () ->
@@ -315,17 +339,16 @@ let handle_closure t ~caching ~budget ~concept ~types =
   | Some _ ->
     let args = List.map (fun ty -> Ctype.Named ty) types in
     let key = Propagate.request_key t.registry concept args in
-    let obs, hit =
+    let obligations, hit =
+      (* one rendered string per obligation, so lengths — and therefore
+         the budget charge — match the unrendered closure exactly *)
       Lru.find_or_compute t.caches.closures ~enabled:caching key (fun () ->
-          Propagate.closure t.registry concept args)
+          List.map
+            (fun ob -> Fmt.str "%a" Propagate.pp_obligation ob)
+            (Propagate.closure t.registry concept args))
     in
-    Budget.spend budget (if hit then 1 else 1 + List.length obs);
-    ( Ok
-        (Request.Closed
-           { size = List.length obs;
-             obligations =
-               List.map (fun ob -> Fmt.str "%a" Propagate.pp_obligation ob) obs }),
-      hit )
+    Budget.spend budget (if hit then 1 else 1 + List.length obligations);
+    (Ok (Request.Closed { size = List.length obligations; obligations }), hit)
 
 (* Structure-aware numerics: regenerate the matrix from the request's
    (structure, n, seed) triple, classify it, and let concept-guided
@@ -349,7 +372,8 @@ let handle_numeric t ~caching ~budget ~op ~structure ~n ~seed =
       false )
   else begin
     let key =
-      Printf.sprintf "num|%s|%s|%d|%d" (Select.op_name op) structure n seed
+      "num|" ^ Select.op_name op ^ "|" ^ structure ^ "|" ^ string_of_int n
+      ^ "|" ^ string_of_int seed
     in
     let payload, hit =
       Lru.find_or_compute t.caches.numerics ~enabled:caching key (fun () ->

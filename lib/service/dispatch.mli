@@ -9,9 +9,12 @@
     carrying extra [.gpc] declarations get a per-request sandbox. *)
 
 type caches = {
-  closures : Gp_concepts.Propagate.obligation list Lru.t;
+  closures : string list Lru.t;
+      (** pre-rendered obligation strings — what the [Closed] payload
+          ships, so hits skip per-request rendering *)
   defs : Gp_concepts.Lang.item list Lru.t;
-  lint : Gp_stllint.Interp.diagnostic list Lru.t;
+  lint : Request.payload Lru.t;
+      (** [Linted] payloads by program hash, messages pre-rendered *)
   cert : Gp_simplicissimus.Certify.certification list Lru.t;
   proofs : (string * bool) list Lru.t;
   rewrites : Gp_simplicissimus.Engine.result Lru.t;
@@ -22,6 +25,16 @@ type caches = {
 val create_caches : capacity:int -> caches
 val cache_stats : caches -> Lru.stats list
 val clear_caches : caches -> unit
+
+val cache_names : string array
+(** Cache names in {!cache_stats} order. *)
+
+val cache_counters_into : caches -> int array -> unit
+(** Allocation-free twin of {!cache_stats} for per-request snapshot
+    deltas: writes hit/miss counters into a caller-owned array —
+    [dst.(2i)] hits, [dst.(2i+1)] misses, one pair per cache in
+    {!cache_names} order (so [dst] must hold at least
+    [2 * Array.length cache_names] slots). *)
 
 type t
 

@@ -114,6 +114,10 @@ let stats t =
   { st_name = t.name; st_capacity = t.capacity; st_size = size t;
     st_hits = t.hits; st_misses = t.misses; st_evictions = t.evictions }
 
+(* allocation-free counter reads, for per-request snapshot deltas *)
+let hits t = t.hits
+let misses t = t.misses
+
 let hit_ratio st =
   let total = st.st_hits + st.st_misses in
   if total = 0 then 0.0 else float_of_int st.st_hits /. float_of_int total

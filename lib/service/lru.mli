@@ -44,6 +44,12 @@ val reset_stats : _ t -> unit
 val stats : _ t -> stats
 val hit_ratio : stats -> float
 
+val hits : _ t -> int
+(** Allocation-free counter read — the per-request cache-delta snapshot
+    uses these instead of materializing {!stats} records. *)
+
+val misses : _ t -> int
+
 val keys_mru_first : _ t -> string list
 (** Recency order, most-recent first — part of the contract, property
     tested. *)

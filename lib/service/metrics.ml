@@ -14,9 +14,21 @@ module Histogram = Gp_telemetry.Histogram
 
 let latency_family = "gp_request_latency_ns"
 
+(* Per-kind resolved series handles. [M.inc]/[M.observe] re-resolve the
+   series on every call (label sort + rendered-key allocation); the
+   per-request path instead resolves each kind's four series once and
+   bumps the cells directly — zero-allocation steady state. *)
+type kind_handles = {
+  kh_total : float ref;
+  kh_ok : float ref;
+  kh_cached : float ref;
+  kh_latency : Histogram.t;
+}
+
 type t = {
   reg : M.t;
   mutable kinds : string list; (* first-observation order, for the report *)
+  mutable handles : (string * kind_handles) list; (* same order *)
 }
 
 let create () =
@@ -35,23 +47,39 @@ let create () =
     ~help:"Request errors, by kind and error code.";
   M.declare reg ~kind:M.Histo ~name:latency_family
     ~help:"Request service time in nanoseconds, by kind.";
-  { reg; kinds = [] }
+  { reg; kinds = []; handles = [] }
 
 let registry t = t.reg
 
+let handles_for t kind =
+  match List.assoc_opt kind t.handles with
+  | Some h -> h
+  | None ->
+    t.kinds <- t.kinds @ [ kind ];
+    let labels = [ ("kind", kind) ] in
+    let h =
+      { kh_total = M.counter_handle t.reg ~labels "gp_requests_total";
+        kh_ok = M.counter_handle t.reg ~labels "gp_requests_ok_total";
+        kh_cached = M.counter_handle t.reg ~labels "gp_requests_cached_total";
+        kh_latency = M.histogram_handle t.reg ~labels latency_family }
+    in
+    t.handles <- t.handles @ [ (kind, h) ];
+    h
+
 let observe t ~kind ~ok ~error_code ~cached ~ns =
-  if not (List.mem kind t.kinds) then t.kinds <- t.kinds @ [ kind ];
-  let labels = [ ("kind", kind) ] in
-  M.inc t.reg ~labels "gp_requests_total";
-  if ok then M.inc t.reg ~labels "gp_requests_ok_total";
-  if cached then M.inc t.reg ~labels "gp_requests_cached_total";
+  let h = handles_for t kind in
+  h.kh_total := !(h.kh_total) +. 1.0;
+  if ok then h.kh_ok := !(h.kh_ok) +. 1.0;
+  if cached then h.kh_cached := !(h.kh_cached) +. 1.0;
   (match error_code with
   | None -> ()
   | Some code ->
+    (* error series fan out by (kind, code); errors are off the hot
+       path, so resolving per call is fine *)
     M.inc t.reg
       ~labels:[ ("kind", kind); ("code", code) ]
       "gp_request_errors_total");
-  M.observe t.reg ~labels latency_family ns
+  Histogram.observe h.kh_latency ns
 
 let requests t = int_of_float (M.total t.reg "gp_requests_total")
 let errors t = int_of_float (M.total t.reg "gp_request_errors_total")
@@ -121,7 +149,7 @@ let report ?(cache_stats = []) t =
   Format.pp_print_flush ppf ();
   Buffer.contents buf
 
-let report_json ?(cache_stats = []) t =
+let report_json ?(cache_stats = []) ?gc t =
   let module J = Gp_telemetry.Json in
   let cache_json (st : Lru.stats) =
     Printf.sprintf
@@ -129,8 +157,10 @@ let report_json ?(cache_stats = []) t =
       (J.str st.Lru.st_name) st.Lru.st_capacity st.Lru.st_size st.Lru.st_hits
       st.Lru.st_misses st.Lru.st_evictions
   in
-  Printf.sprintf "{\"requests\":%d,\"errors\":%d,\"caches\":[%s],\"registry\":%s}"
+  Printf.sprintf
+    "{\"requests\":%d,\"errors\":%d,%s\"caches\":[%s],\"registry\":%s}"
     (requests t) (errors t)
+    (match gc with None -> "" | Some g -> "\"gc\":" ^ g ^ ",")
     (String.concat "," (List.map cache_json cache_stats))
     (M.to_json t.reg)
 

@@ -30,10 +30,12 @@ val report : ?cache_stats:Lru.stats list -> t -> string
     log-interpolated estimates (see {!Gp_telemetry.Histogram.quantile}),
     accurate to one bucket ratio (~1.58x). *)
 
-val report_json : ?cache_stats:Lru.stats list -> t -> string
+val report_json : ?cache_stats:Lru.stats list -> ?gc:string -> t -> string
 (** Machine-readable twin of {!report}: request/error totals, cache
     stats, and the full registry dump
-    ({!Gp_telemetry.Metrics.to_json}). *)
+    ({!Gp_telemetry.Metrics.to_json}). [gc], when given, is a
+    pre-rendered JSON object of GC counter totals inserted as a ["gc"]
+    field (see {!Server.report_json}). *)
 
 val to_prometheus : t -> string
 (** Prometheus text exposition of the backing registry. *)

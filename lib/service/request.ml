@@ -75,30 +75,102 @@ let kind_of_name = function
   | "solve" -> Some Ksolve
   | _ -> None
 
+(* Decimal int rendering without the [string_of_int] intermediate. The
+   digit loop is top-level: a local [let rec] capturing [b] would be a
+   fresh closure allocation per rendered int. *)
+let rec add_digits b n =
+  if n <> 0 then begin
+    add_digits b (n / 10);
+    Buffer.add_char b (Char.unsafe_chr (48 + abs (n mod 10)))
+  end
+
+let add_int b i =
+  if i = 0 then Buffer.add_char b '0'
+  else begin
+    if i < 0 then Buffer.add_char b '-';
+    add_digits b (if i > 0 then -i else i)
+  end
+
+let add_bool b v = Buffer.add_string b (if v then "true" else "false")
+
 (* A canonical one-line rendering. Long sources are represented by their
    digest, which is exactly what the content-keyed caches want; it also
-   makes workload fingerprints cheap. *)
+   makes workload fingerprints cheap. Rendered through one reused scratch
+   buffer — [key] is on the per-request dispatch path. *)
+let key_buf = Buffer.create 128
+
+(* top-level loop rather than List.iter: no per-call closure *)
+let rec add_sep_rest b sep = function
+  | [] -> ()
+  | s :: rest ->
+    Buffer.add_char b sep;
+    Buffer.add_string b s;
+    add_sep_rest b sep rest
+
+let add_comma_list b = function
+  | [] -> ()
+  | x :: xs ->
+    Buffer.add_string b x;
+    add_sep_rest b ',' xs
+
+let add_digest b s = Buffer.add_string b (Digest.to_hex (Digest.string s))
+
 let key req =
-  let dgst s = Digest.to_hex (Digest.string s) in
-  match req with
+  let b = key_buf in
+  Buffer.clear b;
+  (match req with
   | Check { concept; types; nominal; defs } ->
-    Printf.sprintf "check|%s|%s|%b|%s" concept (String.concat "," types)
-      nominal
-      (match defs with None -> "-" | Some d -> dgst d)
-  | Parse { source } -> "parse|" ^ dgst source
-  | Lint { source } -> "lint|" ^ dgst source
+    Buffer.add_string b "check|";
+    Buffer.add_string b concept;
+    Buffer.add_char b '|';
+    add_comma_list b types;
+    Buffer.add_char b '|';
+    add_bool b nominal;
+    Buffer.add_char b '|';
+    (match defs with None -> Buffer.add_char b '-' | Some d -> add_digest b d)
+  | Parse { source } ->
+    Buffer.add_string b "parse|";
+    add_digest b source
+  | Lint { source } ->
+    Buffer.add_string b "lint|";
+    add_digest b source
   | Optimize { expr; certified_only } ->
-    Printf.sprintf "optimize|%b|%s" certified_only expr
+    Buffer.add_string b "optimize|";
+    add_bool b certified_only;
+    Buffer.add_char b '|';
+    Buffer.add_string b expr
   | Prove { theory; instance } ->
-    Printf.sprintf "prove|%s|%s" theory (Option.value ~default:"*" instance)
+    Buffer.add_string b "prove|";
+    Buffer.add_string b theory;
+    Buffer.add_char b '|';
+    Buffer.add_string b (Option.value ~default:"*" instance)
   | Closure { concept; types } ->
-    Printf.sprintf "closure|%s|%s" concept (String.concat "," types)
+    Buffer.add_string b "closure|";
+    Buffer.add_string b concept;
+    Buffer.add_char b '|';
+    add_comma_list b types
   | Matvec { structure; n; seed } ->
-    Printf.sprintf "matvec|%s|%d|%d" structure n seed
+    Buffer.add_string b "matvec|";
+    Buffer.add_string b structure;
+    Buffer.add_char b '|';
+    add_int b n;
+    Buffer.add_char b '|';
+    add_int b seed
   | Matmul { structure; n; seed } ->
-    Printf.sprintf "matmul|%s|%d|%d" structure n seed
+    Buffer.add_string b "matmul|";
+    Buffer.add_string b structure;
+    Buffer.add_char b '|';
+    add_int b n;
+    Buffer.add_char b '|';
+    add_int b seed
   | Solve { structure; n; seed } ->
-    Printf.sprintf "solve|%s|%d|%d" structure n seed
+    Buffer.add_string b "solve|";
+    Buffer.add_string b structure;
+    Buffer.add_char b '|';
+    add_int b n;
+    Buffer.add_char b '|';
+    add_int b seed);
+  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
@@ -170,43 +242,105 @@ let result_equal (a : response) (b : response) =
    client-observably equal responses. Ids, cache provenance and step
    accounting are excluded on purpose: they vary with cache state, not
    with the request's meaning, and replay must not flag them. *)
-let response_canonical (r : response) =
-  let b = Buffer.create 128 in
-  let add = Buffer.add_string b in
-  add (match r.rsp_kind with None -> "invalid" | Some k -> kind_name k);
+let add_nl_list b = function
+  | [] -> ()
+  | x :: xs ->
+    Buffer.add_string b x;
+    add_sep_rest b '\n' xs
+
+let response_canonical_into b (r : response) =
+  (* [Buffer.add_string b] spelled out at each site: binding it as a
+     local [add] is a partial application, i.e. one closure per call *)
+  Buffer.add_string b
+    (match r.rsp_kind with None -> "invalid" | Some k -> kind_name k);
   (match r.rsp_result with
   | Ok p -> (
-    add "|ok|";
+    Buffer.add_string b "|ok|";
     match p with
     | Checked { ok; failures; warnings; report } ->
-      add (Printf.sprintf "checked|%b|%d|%d|%s" ok failures warnings report)
+      Buffer.add_string b "checked|";
+      add_bool b ok;
+      Buffer.add_char b '|';
+      add_int b failures;
+      Buffer.add_char b '|';
+      add_int b warnings;
+      Buffer.add_char b '|';
+      Buffer.add_string b report
     | Parsed { items; concepts; models } ->
-      add (Printf.sprintf "parsed|%d|%d|%d" items concepts models)
+      Buffer.add_string b "parsed|";
+      add_int b items;
+      Buffer.add_char b '|';
+      add_int b concepts;
+      Buffer.add_char b '|';
+      add_int b models
     | Linted { errors; warnings; suggestions; messages } ->
-      add
-        (Printf.sprintf "linted|%d|%d|%d|%s" errors warnings suggestions
-           (String.concat "\n" messages))
+      Buffer.add_string b "linted|";
+      add_int b errors;
+      Buffer.add_char b '|';
+      add_int b warnings;
+      Buffer.add_char b '|';
+      add_int b suggestions;
+      Buffer.add_char b '|';
+      add_nl_list b messages
     | Optimized { output; steps; ops_before; ops_after } ->
-      add
-        (Printf.sprintf "optimized|%s|%d|%d|%d" output steps ops_before
-           ops_after)
+      Buffer.add_string b "optimized|";
+      Buffer.add_string b output;
+      Buffer.add_char b '|';
+      add_int b steps;
+      Buffer.add_char b '|';
+      add_int b ops_before;
+      Buffer.add_char b '|';
+      add_int b ops_after
     | Proved { checked; failed } ->
-      add (Printf.sprintf "proved|%d|%d" checked failed)
+      Buffer.add_string b "proved|";
+      add_int b checked;
+      Buffer.add_char b '|';
+      add_int b failed
     | Closed { size; obligations } ->
-      add (Printf.sprintf "closed|%d|%s" size (String.concat "\n" obligations))
+      Buffer.add_string b "closed|";
+      add_int b size;
+      Buffer.add_char b '|';
+      add_nl_list b obligations
     | Computed { kernel; detected; n; steps; checksum } ->
-      add
-        (Printf.sprintf "computed|%s|%s|%d|%d|%s" kernel detected n steps
-           checksum))
+      Buffer.add_string b "computed|";
+      Buffer.add_string b kernel;
+      Buffer.add_char b '|';
+      Buffer.add_string b detected;
+      Buffer.add_char b '|';
+      add_int b n;
+      Buffer.add_char b '|';
+      add_int b steps;
+      Buffer.add_char b '|';
+      Buffer.add_string b checksum)
   | Error e ->
-    add "|error|";
-    add (error_code_name e.code);
-    add "|";
-    add e.detail);
+    Buffer.add_string b "|error|";
+    Buffer.add_string b (error_code_name e.code);
+    Buffer.add_string b "|";
+    Buffer.add_string b e.detail)
+
+let response_canonical (r : response) =
+  let b = Buffer.create 128 in
+  response_canonical_into b r;
   Buffer.contents b
 
+(* The fingerprint streams the canonical form into the digest: the
+   canonical bytes land in a reused scratch buffer and are digested in
+   place with [Digest.subbytes] — the canonical *string* is never built.
+   The qcheck equivalence suite pins this to
+   [Digest.string (response_canonical r)] across every payload and error
+   shape. *)
+let fp_buf = Buffer.create 512
+
+let fp_bytes = ref (Bytes.create 512)
+
 let response_fingerprint r =
-  Digest.to_hex (Digest.string (response_canonical r))
+  Buffer.clear fp_buf;
+  response_canonical_into fp_buf r;
+  let len = Buffer.length fp_buf in
+  if Bytes.length !fp_bytes < len then
+    fp_bytes := Bytes.create (max len (2 * Bytes.length !fp_bytes));
+  Buffer.blit fp_buf 0 !fp_bytes 0 len;
+  Digest.to_hex (Digest.subbytes !fp_bytes 0 len)
 
 let pp_payload ppf = function
   | Checked { ok; failures; warnings; _ } ->

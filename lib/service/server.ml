@@ -108,6 +108,9 @@ type t = {
   recorder : Recorder.t option; (* flight recorder; None when disabled *)
   config_line : string; (* precomputed: every dossier carries both *)
   config_fp : string;
+  out_buf : Buffer.t; (* reused response render buffer (serve_channel) *)
+  cc_before : int array; (* reused cache-counter snapshots: hit/miss *)
+  cc_after : int array; (* pairs per cache, Dispatch.cache_names order *)
   mutable next_id : int;
   mutable slow : slow_entry list; (* slowest first, <= config.slow_log *)
 }
@@ -127,6 +130,9 @@ let create ?(config = default_config) ~declare_standard () =
        else None);
     config_line = config_to_line config;
     config_fp = config_fingerprint config;
+    out_buf = Buffer.create 1024;
+    cc_before = Array.make (2 * Array.length Dispatch.cache_names) 0;
+    cc_after = Array.make (2 * Array.length Dispatch.cache_names) 0;
     next_id = 0;
     slow = [] }
 
@@ -233,19 +239,24 @@ let metric_delta before after =
       if d <> 0.0 then Some (name, d) else None)
     after
 
-(* [cache_stats] lists the seven shared caches in a fixed order, so the
-   before/after snapshots pair positionally. Per-request sandbox caches
-   (Check-with-defs) never appear here — by design, they are private to
-   one request. *)
-let cache_delta before after =
-  List.filter
-    (fun (_, h, m) -> h <> 0 || m <> 0)
-    (List.map2
-       (fun (b : Lru.stats) (a : Lru.stats) ->
-         ( a.Lru.st_name,
-           a.Lru.st_hits - b.Lru.st_hits,
-           a.Lru.st_misses - b.Lru.st_misses ))
-       before after)
+(* The per-request cache chain diffs hit/miss counters around the
+   request. The snapshots go through [Dispatch.cache_counters_into] into
+   the server's two reused int arrays — no stats records per request;
+   the chain list itself only materializes the (few) caches the request
+   touched. Per-request sandbox caches (Check-with-defs) never appear
+   here — by design, they are private to one request. *)
+let cache_chain t =
+  Dispatch.cache_counters_into (Dispatch.caches t.dispatch) t.cc_after;
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      let dh = t.cc_after.(2 * i) - t.cc_before.(2 * i) in
+      let dm = t.cc_after.((2 * i) + 1) - t.cc_before.((2 * i) + 1) in
+      go (i - 1)
+        (if dh <> 0 || dm <> 0 then (Dispatch.cache_names.(i), dh, dm) :: acc
+         else acc)
+  in
+  go (Array.length Dispatch.cache_names - 1) []
 
 let record_dossier t ~id ~kind ~wire ~spans ~dur_ns ~cache_chain
     ~metric_deltas (rsp : Request.response) =
@@ -281,7 +292,8 @@ let handle_recorded ?id ?wire t req =
   let kind = Request.kind_name (Request.kind req) in
   let recording = Option.is_some t.recorder in
   let wall0 = if recording then t.config.now () else 0.0 in
-  let cache_before = if recording then cache_stats t else [] in
+  if recording then
+    Dispatch.cache_counters_into (Dispatch.caches t.dispatch) t.cc_before;
   let metrics_before = if recording then metric_totals () else [] in
   let rsp, spans =
     if not (Tel.is_enabled ()) then (handle_core ~id t req, [])
@@ -324,8 +336,7 @@ let handle_recorded ?id ?wire t req =
       | None -> lazy (Wire.request_to_line ~id req)
     in
     record_dossier t ~id ~kind ~wire ~spans ~dur_ns
-      ~cache_chain:(cache_delta cache_before (cache_stats t))
-      ~metric_deltas rsp);
+      ~cache_chain:(cache_chain t) ~metric_deltas rsp);
   rsp
 
 let handle ?id t req = handle_recorded ?id t req
@@ -416,10 +427,29 @@ let process t reqs =
 (* Line-oriented serving                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* same whitespace set [String.trim] strips, without copying the line *)
+let is_blank line =
+  let n = String.length line in
+  let rec go i =
+    i >= n
+    ||
+    match String.unsafe_get line i with
+    | ' ' | '\t' | '\n' | '\r' | '\012' -> go (i + 1)
+    | _ -> false
+  in
+  go 0
+
 let serve_line t line =
-  if String.trim line = "" then None
+  if is_blank line then None
   else
-    match Wire.request_of_line line with
+    let decoded =
+      (* a dedicated span so [Trace.folded --gc] attributes wire-parse
+         allocation separately from dispatch *)
+      if Tel.is_enabled () then
+        Tel.with_span ~name:"wire.parse" (fun () -> Wire.request_of_line line)
+      else Wire.request_of_line line
+    in
+    match decoded with
     | Ok (id, req) ->
       let id = match id with Some id -> id | None -> fresh_id t in
       Some (handle_recorded ~id ~wire:line t req)
@@ -434,15 +464,34 @@ let serve_channel t ic oc =
        | None -> ()
        | Some rsp ->
          incr served;
-         output_string oc (Wire.response_to_line rsp);
-         output_char oc '\n'
+         let buf = t.out_buf in
+         Buffer.clear buf;
+         if Tel.is_enabled () then
+           Tel.with_span ~name:"wire.render" (fun () ->
+               Wire.response_into buf rsp)
+         else Wire.response_into buf rsp;
+         Buffer.add_char buf '\n';
+         Buffer.output_buffer oc buf
      done
    with End_of_file -> ());
   flush oc;
   !served
 
 let report t = Metrics.report ~cache_stats:(cache_stats t) t.metrics
-let report_json t = Metrics.report_json ~cache_stats:(cache_stats t) t.metrics
+
+(* GC counter totals for the machine report ([gp serve --stats-json]):
+   process-lifetime allocation alongside the request/cache numbers, so a
+   stats scrape shows bytes-per-request trends without a profiler. *)
+let gc_json () =
+  let q = Gc.quick_stat () in
+  Printf.sprintf
+    "{\"allocated_bytes\":%.0f,\"minor_words\":%.0f,\"promoted_words\":%.0f,\"major_words\":%.0f,\"minor_collections\":%d,\"major_collections\":%d,\"heap_words\":%d}"
+    (Gc.allocated_bytes ()) q.Gc.minor_words q.Gc.promoted_words
+    q.Gc.major_words q.Gc.minor_collections q.Gc.major_collections
+    q.Gc.heap_words
+
+let report_json t =
+  Metrics.report_json ~cache_stats:(cache_stats t) ~gc:(gc_json ()) t.metrics
 
 let slow_requests t = t.slow
 

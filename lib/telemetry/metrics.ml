@@ -103,6 +103,22 @@ let observe t ?(labels = []) name v =
   | Vhist h -> Histogram.observe h v
   | Vnum _ -> assert false
 
+(* Resolved-series handles: every [inc]/[observe] pays a label sort plus
+   a rendered-key allocation to find its series. Hot callers (the
+   server's per-request counters) resolve the series once and bump the
+   handle directly — the handle stays registered, so expositions see
+   every update. *)
+
+let counter_handle t ?(labels = []) name =
+  match series t ~kind:Counter ~name labels with
+  | Vnum r -> r
+  | Vhist _ -> assert false
+
+let histogram_handle t ?(labels = []) name =
+  match series t ~kind:Histo ~name labels with
+  | Vhist h -> h
+  | Vnum _ -> assert false
+
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
 (* ------------------------------------------------------------------ *)

@@ -27,6 +27,18 @@ val set : t -> ?labels:(string * string) list -> string -> float -> unit
 val observe : t -> ?labels:(string * string) list -> string -> float -> unit
 (** Record one observation into a histogram series. *)
 
+val counter_handle :
+  t -> ?labels:(string * string) list -> string -> float ref
+(** Resolve (creating if absent) a counter/gauge series once and return
+    the underlying cell. [inc]/[set] re-resolve the series on every call
+    (label sort + key render); hot paths hold the handle instead. The
+    cell stays registered — expositions observe every update. Stale after
+    {!clear}. *)
+
+val histogram_handle :
+  t -> ?labels:(string * string) list -> string -> Histogram.t
+(** Same, for a histogram series. *)
+
 val value : t -> ?labels:(string * string) list -> string -> float
 (** Current value of one series (counters/gauges; a histogram yields its
     count). 0 for unknown names/labels. *)

@@ -233,6 +233,207 @@ let test_wire_response_encodes () =
     Alcotest.(check bool) "has id" true (List.mem_assoc "id" fields)
   | _ -> Alcotest.fail "response line is not an object"
 
+(* Hardening: duplicate keys and trailing garbage are rejected with the
+   exact positioned messages below — pinned so the direct parser and the
+   AST oracle can never drift apart silently. *)
+let test_wire_hardening () =
+  let expect_parse_error src msg =
+    match Wire.parse src with
+    | exception Wire.Error m -> Alcotest.(check string) src msg m
+    | _ -> Alcotest.failf "%S should not parse" src
+  in
+  expect_parse_error {|{"a":1,"a":2}|} {|at 7: duplicate key "a" in object|};
+  expect_parse_error {|{"a":1} x|} "at 8: trailing x after value";
+  expect_parse_error {|[1,2]]|} "at 5: trailing ] after value";
+  let expect_line_error line msg =
+    match Wire.request_of_line line with
+    | Error m -> Alcotest.(check string) line msg m
+    | Ok _ -> Alcotest.failf "line %S should not decode" line
+  in
+  expect_line_error {|{"kind":"parse","kind":"lint","source":"s"}|}
+    {|bad request line: at 16: duplicate key "kind" in object|};
+  expect_line_error {|{"kind":"parse","source":"s"}!|}
+    "bad request line: at 29: trailing ! after value";
+  expect_line_error {|{"kind":"lint"}|} {|bad request: missing field "source"|};
+  (* trailing whitespace is not garbage *)
+  match Wire.request_of_line ({|{"kind":"parse","source":"s"}|} ^ "  ") with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "trailing blanks rejected: %s" m
+
+(* The direct cursor parser and the AST oracle must agree byte-for-byte
+   on every outcome — acceptances and rejection messages alike. *)
+let test_wire_parser_agreement () =
+  let corpus =
+    [ "{"; "[1,2]"; "null"; "true"; "42"; {|"str"|};
+      {|{"kind":"frobnicate"}|}; {|{"kind":42}|}; {|{"kind":"check"}|};
+      {|{"kind":"check","concept":"C"}|};
+      {|{"kind":"check","concept":"C","types":"not-a-list"}|};
+      {|{"kind":"check","concept":"C","types":[1]}|};
+      {|{"kind":"prove"}|}; {|{"id":"x","kind":"lint","source":"s"}|};
+      {|{"kind":"parse","kind":"lint","source":"s"}|};
+      {|{"kind":"parse","source":"s"}!|};
+      {|{"kind":"parse","source":"s"}   |};
+      {|{"kind":"optimize","expr":"x","certified_only":"yes"}|};
+      {|{"kind":"matvec","structure":"diagonal","n":"big","seed":0}|};
+      {|{"kind":"solve","structure":"banded","n":8,"seed":1}|} ]
+  in
+  let show = function
+    | Ok (id, r) ->
+      Printf.sprintf "Ok %s %s"
+        (match id with Some i -> string_of_int i | None -> "-")
+        (Request.key r)
+    | Error m -> "Error " ^ m
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check string) line
+        (show (Wire.request_of_line_ast line))
+        (show (Wire.request_of_line line)))
+    corpus
+
+(* Generators for the wire qcheck properties: strings lean printable but
+   include quotes, backslashes, control bytes and high bytes so the
+   escape paths of both parsers get exercised. *)
+let gen_request =
+  let open QCheck.Gen in
+  let byte lo hi = map Char.chr (int_range lo hi) in
+  let wild_char =
+    frequency
+      [ (8, byte 97 122);
+        (2, oneofl [ '"'; '\\'; '\n'; '\t'; '\r'; ' '; '{'; '}'; ':' ]);
+        (1, byte 0 31); (1, byte 128 255) ]
+  in
+  let str = string_size ~gen:wild_char (int_bound 12) in
+  let strs = list_size (int_bound 3) str in
+  let numeric mk =
+    map
+      (fun ((structure, n), seed) -> mk structure n seed)
+      (pair (pair str (int_range (-4) 64)) (int_range (-3) 1000))
+  in
+  oneof
+    [ map
+        (fun ((concept, types), (nominal, defs)) ->
+          Request.Check { concept; types; nominal; defs })
+        (pair (pair str strs) (pair bool (opt str)));
+      map (fun source -> Request.Parse { source }) str;
+      map (fun source -> Request.Lint { source }) str;
+      map2
+        (fun expr certified_only -> Request.Optimize { expr; certified_only })
+        str bool;
+      map2
+        (fun theory instance -> Request.Prove { theory; instance })
+        str (opt str);
+      map2 (fun concept types -> Request.Closure { concept; types }) str strs;
+      numeric (fun structure n seed -> Request.Matvec { structure; n; seed });
+      numeric (fun structure n seed -> Request.Matmul { structure; n; seed });
+      numeric (fun structure n seed -> Request.Solve { structure; n; seed }) ]
+
+let wire_roundtrip_prop =
+  QCheck.Test.make ~name:"parse (render r) = r for both parsers" ~count:500
+    (QCheck.make
+       ~print:(fun (id, r) -> Wire.request_to_line ?id r)
+       QCheck.Gen.(pair (opt small_nat) gen_request))
+    (fun (id, r) ->
+      let line = Wire.request_to_line ?id r in
+      match (Wire.request_of_line line, Wire.request_of_line_ast line) with
+      | Ok (id1, r1), Ok (id2, r2) ->
+        if not (id1 = id && r1 = r) then
+          QCheck.Test.fail_reportf "direct parse drifted on %s" line;
+        if not (id2 = id && r2 = r) then
+          QCheck.Test.fail_reportf "ast parse drifted on %s" line;
+        true
+      | Error m, _ -> QCheck.Test.fail_reportf "direct rejected %s: %s" line m
+      | _, Error m -> QCheck.Test.fail_reportf "ast rejected %s: %s" line m)
+
+let gen_response =
+  let open QCheck.Gen in
+  let byte lo hi = map Char.chr (int_range lo hi) in
+  let wild_char =
+    frequency
+      [ (8, byte 97 122);
+        (2, oneofl [ '"'; '\\'; '\n'; '\t'; '\r'; ' ' ]);
+        (1, byte 0 31); (1, byte 128 255) ]
+  in
+  let str = string_size ~gen:wild_char (int_bound 12) in
+  let strs = list_size (int_bound 3) str in
+  let payload =
+    oneof
+      [ map
+          (fun ((ok, failures), (warnings, report)) ->
+            Request.Checked { ok; failures; warnings; report })
+          (pair (pair bool small_nat) (pair small_nat str));
+        map
+          (fun ((items, concepts), models) ->
+            Request.Parsed { items; concepts; models })
+          (pair (pair small_nat small_nat) small_nat);
+        map
+          (fun ((errors, warnings), (suggestions, messages)) ->
+            Request.Linted { errors; warnings; suggestions; messages })
+          (pair (pair small_nat small_nat) (pair small_nat strs));
+        map
+          (fun ((output, steps), (ops_before, ops_after)) ->
+            Request.Optimized { output; steps; ops_before; ops_after })
+          (pair (pair str small_nat) (pair small_nat small_nat));
+        map2 (fun checked failed -> Request.Proved { checked; failed })
+          small_nat small_nat;
+        map2
+          (fun size obligations -> Request.Closed { size; obligations })
+          small_nat strs;
+        map
+          (fun (((kernel, detected), (n, steps)), checksum) ->
+            Request.Computed { kernel; detected; n; steps; checksum })
+          (pair (pair (pair str str) (pair small_nat small_nat)) str) ]
+  in
+  let error =
+    map2
+      (fun code detail -> { Request.code; detail })
+      (oneofl
+         Request.[ Bad_request; Parse_failure; Unknown_name; Over_budget;
+                   Timeout; Queue_full; Internal ])
+      str
+  in
+  let result =
+    frequency [ (3, map Result.ok payload); (1, map Result.error error) ]
+  in
+  map
+    (fun (((id, kind), result), (cached, steps)) ->
+      { Request.rsp_id = id; rsp_kind = kind; rsp_result = result;
+        rsp_cached = cached; rsp_steps = steps })
+    (pair
+       (pair (pair small_nat (opt (oneofl Request.all_kinds))) result)
+       (pair bool small_nat))
+
+(* Streaming digest ≡ materialize-then-digest, the renderer ≡ its AST
+   oracle, and the fingerprint ignores provenance (id, cache-hit flag,
+   step count) exactly as [result_equal] does. *)
+let wire_response_stream_prop =
+  QCheck.Test.make
+    ~name:"streaming fingerprint and renderer match the materialized forms"
+    ~count:500
+    (QCheck.make
+       ~print:(fun r -> Request.response_canonical r)
+       gen_response)
+    (fun r ->
+      let canonical = Request.response_canonical r in
+      if
+        Request.response_fingerprint r
+        <> Digest.to_hex (Digest.string canonical)
+      then QCheck.Test.fail_reportf "streaming digest diverged on %s" canonical;
+      if Wire.response_to_line r <> Wire.response_to_line_ast r then
+        QCheck.Test.fail_reportf "renderers diverged on %s" canonical;
+      let stripped =
+        { r with
+          Request.rsp_id = r.Request.rsp_id + 17;
+          rsp_cached = not r.Request.rsp_cached;
+          rsp_steps = r.Request.rsp_steps + 5 }
+      in
+      if
+        Request.response_fingerprint stripped
+        <> Request.response_fingerprint r
+      then
+        QCheck.Test.fail_reportf "fingerprint leaks provenance on %s" canonical;
+      true)
+
 (* ------------------------------------------------------------------ *)
 (* Robustness: the malformed-request corpus                            *)
 (* ------------------------------------------------------------------ *)
@@ -275,6 +476,25 @@ let test_malformed_corpus () =
     (Server.handle server
        (Request.Prove { theory = "group"; instance = Some "quaternion[?]" }));
   assert_alive server
+
+(* gp serve --stats-json ships GC counter totals next to the request
+   metrics, so a stats scrape shows allocation trends. *)
+let test_report_json_gc () =
+  let server = mkserver () in
+  ignore (Server.handle server good_request);
+  let report = Server.report_json server in
+  Alcotest.(check bool) "report has a gc object" true
+    (contains report {|"gc"|});
+  Alcotest.(check bool) "gc object has minor_words" true
+    (contains report {|"minor_words"|});
+  match Wire.parse report with
+  | Wire.Obj fields -> (
+    match List.assoc_opt "gc" fields with
+    | Some (Wire.Obj gc) ->
+      Alcotest.(check bool) "allocated_bytes present" true
+        (List.mem_assoc "allocated_bytes" gc)
+    | _ -> Alcotest.fail "\"gc\" is not an object")
+  | _ -> Alcotest.fail "report_json is not an object"
 
 let test_over_budget () =
   let config =
@@ -916,14 +1136,22 @@ let () =
             test_wire_request_roundtrip;
           Alcotest.test_case "bad lines rejected" `Quick test_wire_bad_lines;
           Alcotest.test_case "response encodes" `Quick
-            test_wire_response_encodes ] );
+            test_wire_response_encodes;
+          Alcotest.test_case "hardening: positioned rejections" `Quick
+            test_wire_hardening;
+          Alcotest.test_case "direct parser = ast oracle" `Quick
+            test_wire_parser_agreement;
+          qtest wire_roundtrip_prop;
+          qtest wire_response_stream_prop ] );
       ( "robustness",
         [ Alcotest.test_case "malformed corpus" `Quick test_malformed_corpus;
           Alcotest.test_case "over budget" `Quick test_over_budget;
           Alcotest.test_case "timeout" `Quick test_timeout;
           Alcotest.test_case "queue full" `Quick test_queue_full;
           Alcotest.test_case "metrics accounting" `Quick
-            test_metrics_accounting ] );
+            test_metrics_accounting;
+          Alcotest.test_case "gc counters in stats report" `Quick
+            test_report_json_gc ] );
       ( "transparency",
         [ Alcotest.test_case "direct library equivalence" `Quick
             test_direct_library_equivalence;
