@@ -1572,6 +1572,57 @@ let s7 () =
     /. fn)
 
 (* ------------------------------------------------------------------ *)
+(* S8: empirical complexity verification (ISSUE 8 / ROADMAP item 1)    *)
+(* ------------------------------------------------------------------ *)
+
+(* Sweep the gp_complexity_obs catalog, fit growth models to the exact
+   step/message counts, and record the fitted degree and residual per
+   operation. Every gated number is an exact count over a fixed ladder
+   — quota-independent and identical under --quick — so BENCH_s8.json
+   is hard-gated by bench-diff like s5/s6/s7 (_fitted_degree keys must
+   match exactly; _residual keys may only shrink). The per-catalog wall
+   probe is the one non-deterministic extra: null under --quick,
+   advisory otherwise. *)
+let s8 () =
+  section "S8"
+    "empirical asymptotics: fitted growth vs declared Complexity bounds";
+  let open Gp_complexity_obs in
+  let quick = !quota < 0.5 in
+  let entries =
+    List.map
+      (fun op -> Report.analyze (Sweep.run ~wall:(not quick) op))
+      (Catalog.ops ())
+  in
+  Report.table Fmt.stdout entries;
+  (* the harness must agree with itself: genuine operations pass, the
+     planted mis-declared oracle is flagged *)
+  assert (Report.ok entries);
+  assert (
+    List.exists
+      (fun e ->
+        String.equal e.Report.e_series.Sweep.sr_op.Sweep.op_name
+          Catalog.oracle_name
+        && e.Report.e_verdict = Report.Violation)
+      entries);
+  let unexpected =
+    List.length (List.filter (fun e -> not e.Report.e_ok) entries)
+  in
+  List.iter
+    (fun e ->
+      let name = e.Report.e_series.Sweep.sr_op.Sweep.op_name in
+      record ~experiment:"s8"
+        (name ^ "_fitted_degree")
+        (Report.fitted_degree e.Report.e_best);
+      record ~experiment:"s8" (name ^ "_residual")
+        e.Report.e_best.Fit.f_residual;
+      record ~experiment:"s8"
+        (name ^ "_wall_ns")
+        e.Report.e_series.Sweep.sr_wall_ns)
+    entries;
+  record ~experiment:"s8" "unexpected_verdicts_pct"
+    (100.0 *. float_of_int unexpected /. float_of_int (List.length entries))
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1579,7 +1630,7 @@ let experiments =
   [ ("f1", f1_f2); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6);
     ("c1", c1); ("c2", c2); ("c3", c3); ("c5", c5); ("c6", c6); ("c8", c8);
     ("a1", a1); ("s1", s1); ("s2", s2); ("s3", s3); ("s4", s4);
-    ("s5", s5); ("s6", s6); ("s7", s7) ]
+    ("s5", s5); ("s6", s6); ("s7", s7); ("s8", s8) ]
 
 let () =
   let rec parse = function

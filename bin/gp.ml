@@ -12,6 +12,7 @@
      gp workload --n N --seed S              run a synthetic serving workload
      gp replay <flight.jsonl>                re-execute a flight dump, verify
      gp cluster run|audit                    simulated replicated cluster (gp_cluster)
+     gp complexity [--op O] [--json]         empirical asymptotics vs declared bounds
      gp bench-diff <old.json> <new.json>     perf-regression guard over --json *)
 
 open Cmdliner
@@ -1096,6 +1097,84 @@ let structla_cmd =
     Term.(const run $ n_arg $ seed)
 
 (* ------------------------------------------------------------------ *)
+(* gp complexity                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Sweep the registered-operation catalog over the size ladder, fit
+   growth models to the exact step/message counts, and compare each
+   best fit against the declared Complexity bound. Exit 1 when any
+   verdict differs from its expectation — a genuine operation flagged
+   as violating, or the planted oracle slipping through. *)
+let complexity_cmd =
+  let ops_arg =
+    Arg.(value & opt_all string []
+         & info [ "op" ] ~docv:"NAME"
+             ~doc:"Only sweep the named operation(s); repeatable.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as JSON on stdout.")
+  in
+  let prometheus =
+    Arg.(value & flag
+         & info [ "prometheus" ]
+             ~doc:"Emit the fitted-exponent/residual gauges as a Prometheus \
+                   exposition on stdout.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"Skip the wall-clock probes. The gated numbers — step \
+                   counts and fits — are exact either way; quick only \
+                   nulls the advisory wall column.")
+  in
+  let run only json prometheus quick =
+    let open Gp_complexity_obs in
+    let catalog = Catalog.ops () in
+    let selected =
+      if only = [] then catalog
+      else begin
+        List.iter
+          (fun name ->
+            if
+              not
+                (List.exists
+                   (fun o -> String.equal o.Sweep.op_name name)
+                   catalog)
+            then Fmt.epr "unknown operation %S (run without --op for names)@." name)
+          only;
+        List.filter (fun o -> List.mem o.Sweep.op_name only) catalog
+      end
+    in
+    if selected = [] then begin
+      Fmt.epr "no operations selected@.";
+      2
+    end
+    else begin
+      let entries =
+        List.map
+          (fun op -> Report.analyze (Sweep.run ~wall:(not quick) op))
+          selected
+      in
+      if json then print_string (Report.to_json entries)
+      else if prometheus then begin
+        let metrics = Gp_telemetry.Metrics.create () in
+        Report.export_metrics metrics entries;
+        print_string (Gp_telemetry.Metrics.to_prometheus metrics)
+      end
+      else Report.table Fmt.stdout entries;
+      if Report.ok entries then 0 else 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "complexity"
+       ~doc:"Empirically verify declared complexity bounds: sweep registered \
+             operations across a size ladder, fit growth models to exact \
+             step counts, and flag implementations growing faster than their \
+             declared O-bound")
+    Term.(const run $ ops_arg $ json $ prometheus $ quick)
+
+(* ------------------------------------------------------------------ *)
 (* gp bench-diff                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1104,8 +1183,13 @@ let structla_cmd =
    higher-better as a ratio, _pct is lower-better in additive percentage
    points, _bytes_per_request and _minor_words are lower-better as
    ratios (allocation counts — deterministic, so regressions here are
-   real even under --quick quotas), and everything else — the _ns
-   times — is lower-better as a ratio. *)
+   real even under --quick quotas), _fitted_degree must match exactly
+   (a fitted complexity class has no tolerance: growing from O(n) to
+   O(n log n) is the regression s8 exists to catch — and an improvement
+   means the declared bound should be tightened, deliberately),
+   _residual is lower-better with additive tolerance (fit quality in
+   log space, where 0 is exact), and everything else — the _ns times —
+   is lower-better as a ratio. *)
 let bench_diff_cmd =
   let old_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
@@ -1175,6 +1259,12 @@ let bench_diff_cmd =
                     if ends_with "_speedup" name then
                       ( nv < ov *. (1.0 -. tolerance),
                         Printf.sprintf "%.2fx -> %.2fx" ov nv )
+                    else if ends_with "_fitted_degree" name then
+                      ( nv <> ov,
+                        Printf.sprintf "degree %.1f -> %.1f" ov nv )
+                    else if ends_with "_residual" name then
+                      ( nv > ov +. tolerance,
+                        Printf.sprintf "%.3f -> %.3f" ov nv )
                     else if ends_with "_pct" name then
                       ( nv > ov +. (tolerance *. 100.0),
                         Printf.sprintf "%.2f%% -> %.2f%%" ov nv )
@@ -1226,4 +1316,4 @@ let () =
           [ check_cmd; parse_cmd; concepts_cmd; lint_cmd; optimize_cmd;
             prove_cmd; elect_cmd; taxonomy_cmd; structla_cmd; serve_cmd;
             workload_cmd; trace_cmd; replay_cmd; cluster_cmd;
-            bench_diff_cmd ]))
+            complexity_cmd; bench_diff_cmd ]))

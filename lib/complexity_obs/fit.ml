@@ -1,0 +1,73 @@
+module Complexity = Gp_concepts.Complexity
+
+type datum = { x : float; y : float; env : string -> float }
+
+type fitted = {
+  f_label : string;
+  f_bound : Complexity.t;
+  f_coeff : float;
+  f_residual : float;
+}
+
+let vocabulary var =
+  [
+    ("1", Complexity.constant);
+    ("log " ^ var, Complexity.log_ var);
+    (var, Complexity.linear var);
+    (var ^ " log " ^ var, Complexity.n_log_n var);
+    (var ^ "^2", Complexity.quadratic var);
+    (var ^ "^3", Complexity.cubic var);
+  ]
+
+(* Work counts are >= 1 in every catalog operation, but synthetic test
+   series (and a future zero-work rung) must not blow up the log. *)
+let safe_log v = Float.log (Float.max 1e-12 v)
+
+let fit ~label bound data =
+  if data = [] then invalid_arg "Fit.fit: empty series";
+  let ratios =
+    List.map
+      (fun d -> safe_log d.y -. safe_log (Complexity.eval bound ~env:d.env))
+      data
+  in
+  let n = float_of_int (List.length ratios) in
+  let mean = List.fold_left ( +. ) 0.0 ratios /. n in
+  let var =
+    List.fold_left (fun acc r -> acc +. ((r -. mean) ** 2.0)) 0.0 ratios /. n
+  in
+  {
+    f_label = label;
+    f_bound = bound;
+    f_coeff = Float.exp mean;
+    f_residual = Float.sqrt var;
+  }
+
+let select ~var data =
+  let fits =
+    List.map (fun (label, bound) -> fit ~label bound data) (vocabulary var)
+  in
+  let best =
+    match fits with
+    | [] -> assert false
+    | first :: rest ->
+      (* smallest growth first; strict improvement required, so exact
+         ties keep the slower-growing incumbent *)
+      List.fold_left
+        (fun acc f -> if f.f_residual < acc.f_residual -. 1e-9 then f else acc)
+        first rest
+  in
+  (fits, best)
+
+let loglog_slope data =
+  let pts = List.map (fun d -> (safe_log d.x, safe_log d.y)) data in
+  let n = float_of_int (List.length pts) in
+  if List.length pts < 2 then 0.0
+  else begin
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if Float.abs denom < 1e-12 then 0.0
+    else ((n *. sxy) -. (sx *. sy)) /. denom
+  end

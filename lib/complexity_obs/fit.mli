@@ -1,0 +1,46 @@
+(** Least-squares model fitting over the {!Gp_concepts.Complexity}
+    vocabulary (the AutoBench move: measure a curve, fit candidate
+    growth models, pick the one with the smallest residual).
+
+    Fitting happens in log space: for a candidate bound [g] the model is
+    [y ≈ c·g(n)], so [log y − log g(n)] should be constant; the fitted
+    coefficient is the geometric mean of [y/g] and the residual is the
+    standard deviation of the log-ratios. Log-space residuals weight
+    every ladder rung equally (relative error, not absolute), which is
+    what makes lower-order terms wash out as sizes grow. *)
+
+type datum = {
+  x : float;  (** primary size *)
+  y : float;  (** measured work (clamped below at 1 for the log) *)
+  env : string -> float;
+      (** every size variable of a candidate bound, including the
+          primary one *)
+}
+
+type fitted = {
+  f_label : string;  (** candidate name, e.g. ["n log n"] *)
+  f_bound : Gp_concepts.Complexity.t;
+  f_coeff : float;  (** multiplicative constant, geometric-mean fit *)
+  f_residual : float;  (** RMS log-space deviation; 0 = perfect fit *)
+}
+
+val vocabulary : string -> (string * Gp_concepts.Complexity.t) list
+(** The candidate models over one variable, smallest growth first:
+    1, log v, v, v log v, v², v³. *)
+
+val fit : label:string -> Gp_concepts.Complexity.t -> datum list -> fitted
+(** Fit one candidate bound (evaluated per-datum via
+    {!Gp_concepts.Complexity.eval} with the datum's [env]) to the
+    series. Raises [Invalid_argument] on an empty series. *)
+
+val select : var:string -> datum list -> fitted list * fitted
+(** Fit every vocabulary candidate over [var] and return (all fits in
+    vocabulary order, best). Selection walks smallest-growth-first and
+    replaces the incumbent only on strict residual improvement, so ties
+    resolve to the slowest-growing model. *)
+
+val loglog_slope : datum list -> float
+(** Least-squares slope of [log y] against [log x] — the classic
+    doubling-experiment exponent, reported as a diagnostic alongside
+    the model fit. 0 when the series has fewer than two distinct
+    sizes. *)

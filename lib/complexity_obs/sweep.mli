@@ -1,0 +1,58 @@
+(** The size-sweep runner: drive a registered operation over a
+    deterministic size ladder and collect a quota-independent measure at
+    each rung.
+
+    Measures are exact counts — kernel inner-loop steps, engine rewrite
+    steps, closure obligations, simulated messages — never wall-clock,
+    so a sweep is bit-reproducible and the fits downstream can be
+    hard-gated by bench-diff. One optional wall-clock probe per
+    operation (a single run at a fixed size) rides along as a non-gating
+    extra and is skipped entirely in quick mode. *)
+
+type op = {
+  op_name : string;  (** unique key, also the bench-metric prefix *)
+  op_category : string;  (** subsystem label for the report table *)
+  op_var : string;  (** primary size variable of the declared bound *)
+  op_declared : Gp_concepts.Complexity.t;
+      (** the guarantee under test, same vocabulary the concept
+          declarations use *)
+  op_expect_violation : bool;
+      (** planted oracles set this: the harness passes only when the
+          verdict matches the expectation *)
+  op_measure : int -> float;
+      (** exact work count at size [n]; must be deterministic *)
+  op_env : int -> string -> float;
+      (** values of auxiliary size variables (["b"], ["nnz"], ...) at
+          size [n], for mixed declared bounds; the primary variable is
+          supplied by the harness *)
+}
+
+type point = {
+  pt_n : int;
+  pt_y : float;
+  pt_env : string -> float;  (** auxiliary variables at this rung *)
+}
+
+type series = {
+  sr_op : op;
+  sr_points : point list;  (** one per ladder rung, ascending *)
+  sr_wall_ns : float;  (** single-run probe at {!wall_size}; nan unless
+                           requested *)
+}
+
+val ladder : int list
+(** The deterministic size ladder, roughly geometric with ratio √2:
+    [16, 23, 32, 45, 64, 91, 128, 181, 256]. Identical in quick and
+    full mode — quick only skips the wall probe. *)
+
+val wall_size : int
+(** Size of the optional wall probe (128). *)
+
+val env_const : float -> int -> string -> float
+(** [env_const c] maps every auxiliary variable to [c] at every size —
+    for single-variable bounds the env is never consulted. *)
+
+val run : ?wall:bool -> op -> series
+(** Sweep the ladder. With [wall:true] also time one
+    [op_measure wall_size] call with the wall clock; default is no
+    probe ([sr_wall_ns = nan]). *)

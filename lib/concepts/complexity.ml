@@ -30,6 +30,13 @@ let dominates (a : monomial) (b : monomial) =
       | None -> pb = 0 && lb = 0)
     b
 
+(* Canonical term order: descending on the sorted variable bindings, so
+   higher-degree / later-alphabet monomials print first and the constant
+   monomial (empty map) prints last. Any total order works for
+   determinism; this one keeps "O(n + m)" reading naturally. *)
+let compare_monomial (a : monomial) (b : monomial) =
+  compare (Smap.bindings b) (Smap.bindings a)
+
 let normalize terms =
   let keep m =
     not
@@ -42,7 +49,7 @@ let normalize terms =
   List.fold_left
     (fun acc m -> if List.exists (monomial_equal m) acc then acc else m :: acc)
     [] kept
-  |> List.rev
+  |> List.sort compare_monomial
 
 let of_terms terms = { terms = normalize terms }
 
@@ -84,6 +91,26 @@ let compare_growth a b =
   | true, false -> Some (-1)
   | false, true -> Some 1
   | false, false -> None
+
+(* Log factors are evaluated as log2 clamped below at sizes < 2 so that a
+   log term never zeroes the whole monomial at n = 1. Asymptotically the
+   clamp is invisible; it only keeps small-size evaluations positive. *)
+let eval t ~env =
+  let eval_monomial (m : monomial) =
+    Smap.fold
+      (fun v (p, l) acc ->
+        let x = env v in
+        let lg = Float.log (Float.max 2. x) /. Float.log 2. in
+        acc *. (x ** float_of_int p) *. (lg ** float_of_int l))
+      m 1.0
+  in
+  List.fold_left (fun acc m -> acc +. eval_monomial m) 0.0 t.terms
+
+let basis t =
+  List.map
+    (fun (m : monomial) ->
+      Smap.bindings m |> List.map (fun (v, (p, l)) -> (v, p, l)))
+    t.terms
 
 let pp_monomial ppf (m : monomial) =
   if Smap.is_empty m then Fmt.string ppf "1"

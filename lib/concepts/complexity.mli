@@ -46,5 +46,25 @@ val leq : t -> t -> bool
 val compare_growth : t -> t -> int option
 (** [Some (-1|0|1)] when comparable, [None] otherwise. *)
 
+val eval : t -> env:(string -> float) -> float
+(** Evaluate the bound at concrete sizes: the sum over monomials of
+    [Π (env v){^ poly} · (log2 (max 2 (env v))){^ log}]. The log factor
+    is clamped below at sizes < 2 so a log term never zeroes a monomial
+    at n = 1 — asymptotically invisible, but it keeps small-size
+    evaluations positive so curve fitters can work in log space.
+    [eval constant ~env] = 1.0 for any [env]. *)
+
+val basis : t -> (string * int * int) list list
+(** The monomials of the bound, in the canonical (printing) order. Each
+    monomial is its sorted variable bindings [(var, poly_degree,
+    log_degree)]; the constant monomial is []. E.g.
+    [basis (add (linear "n") (log_ "m"))] =
+    [[[("n", 1, 0)]; [("m", 0, 1)]]]. *)
+
 val pp : Format.formatter -> t -> unit
+(** Prints e.g. [O(n^2 + n log m)]. Monomials appear in a deterministic
+    canonical order (descending on their sorted variable bindings, the
+    constant monomial last), so two [equal] bounds always print
+    identically however they were constructed. *)
+
 val to_string : t -> string

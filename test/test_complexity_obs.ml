@@ -1,0 +1,263 @@
+(* Tests for gp_complexity_obs: the model fitter must recover every
+   vocabulary model exactly from noise-free series and keep selecting
+   the right model under seeded multiplicative noise; sweeps must be
+   bit-deterministic (the s8 hard gate depends on it); and the verdict
+   layer must pass genuine operations while flagging the planted
+   mis-declared oracle. *)
+
+open Gp_complexity_obs
+module C = Gp_concepts.Complexity
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic series                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let synth ?(coeff = 3.5) ?(noise = fun _ -> 1.0) bound =
+  List.mapi
+    (fun i n ->
+      let x = float_of_int n in
+      let env v = if String.equal v "n" then x else 1.0 in
+      { Fit.x; y = coeff *. C.eval bound ~env *. noise i; env })
+    Sweep.ladder
+
+let test_exact_recovery () =
+  List.iter
+    (fun (label, bound) ->
+      let data = synth bound in
+      let _, best = Fit.select ~var:"n" data in
+      Alcotest.(check string) ("recovers " ^ label) label best.Fit.f_label;
+      Alcotest.(check (float 1e-6)) ("coefficient for " ^ label) 3.5
+        best.Fit.f_coeff;
+      Alcotest.(check bool)
+        ("zero residual for " ^ label)
+        true
+        (best.Fit.f_residual < 1e-9))
+    (Fit.vocabulary "n")
+
+let test_loglog_slope () =
+  let data = synth (C.quadratic "n") in
+  Alcotest.(check (float 0.01)) "slope of exact n^2" 2.0
+    (Fit.loglog_slope data);
+  Alcotest.(check (float 0.01)) "slope of exact 1" 0.0
+    (Fit.loglog_slope (synth C.constant))
+
+(* Lower-order contamination must not fool the selector: n^2/20 + n is
+   still quadratic over the ladder even though the linear term wins the
+   first rungs. *)
+let test_lower_order_terms () =
+  let data =
+    List.map
+      (fun n ->
+        let x = float_of_int n in
+        {
+          Fit.x;
+          y = (x *. x /. 20.0) +. x;
+          env = (fun v -> if String.equal v "n" then x else 1.0);
+        })
+      Sweep.ladder
+  in
+  let _, best = Fit.select ~var:"n" data in
+  Alcotest.(check string) "quadratic wins" "n^2" best.Fit.f_label
+
+(* Multiplicative noise up to ±10% in log space is well under the
+   >= 0.2 residual gap separating adjacent vocabulary models across the
+   ladder, so the right model must keep winning. *)
+let noise_recovery =
+  QCheck.Test.make ~count:300
+    ~name:"fitter picks the true model under seeded multiplicative noise"
+    QCheck.(pair (int_range 0 5) (int_range 0 99999))
+    (fun (idx, seed) ->
+      let label, bound = List.nth (Fit.vocabulary "n") idx in
+      let st = Random.State.make [| 0xf17; seed; idx |] in
+      let noise =
+        Array.init (List.length Sweep.ladder) (fun _ ->
+            Float.exp (Random.State.float st 0.2 -. 0.1))
+      in
+      let data = synth ~coeff:2.0 ~noise:(fun i -> noise.(i)) bound in
+      let _, best = Fit.select ~var:"n" data in
+      String.equal best.Fit.f_label label)
+
+let test_fitted_degree_encoding () =
+  let data = synth (C.linear "n") in
+  let degrees =
+    List.map
+      (fun (label, bound) -> Report.fitted_degree (Fit.fit ~label bound data))
+      (Fit.vocabulary "n")
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "1, log n, n, n log n, n^2, n^3"
+    [ 0.0; 0.5; 1.0; 1.5; 2.0; 3.0 ]
+    degrees
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let synthetic_op ?(expect_violation = false) ?(env = Sweep.env_const 1.0)
+    ~declared name measure =
+  {
+    Sweep.op_name = name;
+    op_category = "test";
+    op_var = "n";
+    op_declared = declared;
+    op_expect_violation = expect_violation;
+    op_measure = measure;
+    op_env = env;
+  }
+
+let test_verdict_pass_and_violation () =
+  let quadratic_measure n = float_of_int (n * n) in
+  let honest =
+    Report.analyze
+      (Sweep.run
+         (synthetic_op ~declared:(C.quadratic "n") "honest" quadratic_measure))
+  in
+  Alcotest.(check bool) "honest passes" true
+    (honest.Report.e_verdict = Report.Pass && honest.Report.e_ok);
+  let liar =
+    Report.analyze
+      (Sweep.run
+         (synthetic_op ~declared:(C.linear "n") "liar" quadratic_measure))
+  in
+  Alcotest.(check bool) "under-declared bound is violated" true
+    (liar.Report.e_verdict = Report.Violation);
+  Alcotest.(check bool) "unexpected violation fails the run" false
+    liar.Report.e_ok;
+  (* headroom is fine: measuring n under a declared n^2 passes *)
+  let modest =
+    Report.analyze
+      (Sweep.run
+         (synthetic_op ~declared:(C.quadratic "n") "modest" (fun n ->
+              float_of_int n)))
+  in
+  Alcotest.(check bool) "slack passes" true
+    (modest.Report.e_verdict = Report.Pass)
+
+(* A mixed declared bound (its variable incomparable with any
+   single-variable vocabulary model) passes through the declared-fit
+   branch when the bound itself explains the series. *)
+let test_mixed_bound_via_declared_fit () =
+  let nnz n = float_of_int ((n * n / 20) + n) in
+  let op =
+    synthetic_op ~declared:(C.linear "nnz")
+      ~env:(fun n v -> if String.equal v "nnz" then nnz n else 1.0)
+      "sparse_like"
+      (fun n -> 2.0 *. nnz n)
+  in
+  let e = Report.analyze (Sweep.run op) in
+  Alcotest.(check bool) "declared fit is exact" true
+    (e.Report.e_declared.Fit.f_residual < 1e-9);
+  Alcotest.(check bool) "passes despite incomparable vocabulary" true
+    (e.Report.e_verdict = Report.Pass)
+
+(* ------------------------------------------------------------------ *)
+(* The catalog end to end                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_catalog_verdicts () =
+  let entries =
+    List.map (fun op -> Report.analyze (Sweep.run op)) (Catalog.ops ())
+  in
+  Alcotest.(check bool) "every verdict as expected" true (Report.ok entries);
+  let oracle =
+    List.find
+      (fun e ->
+        String.equal e.Report.e_series.Sweep.sr_op.Sweep.op_name
+          Catalog.oracle_name)
+      entries
+  in
+  Alcotest.(check bool) "planted oracle flagged" true
+    (oracle.Report.e_verdict = Report.Violation);
+  List.iter
+    (fun e ->
+      let op = e.Report.e_series.Sweep.sr_op in
+      if not op.Sweep.op_expect_violation then
+        Alcotest.(check bool)
+          (op.Sweep.op_name ^ " passes")
+          true
+          (e.Report.e_verdict = Report.Pass))
+    entries
+
+let test_sweep_deterministic () =
+  List.iter
+    (fun name ->
+      let op =
+        match Catalog.find name with
+        | Some op -> op
+        | None -> Alcotest.failf "catalog op %s missing" name
+      in
+      let s1 = Sweep.run op and s2 = Sweep.run op in
+      let ys s =
+        List.map (fun (p : Sweep.point) -> p.Sweep.pt_y) s.Sweep.sr_points
+      in
+      Alcotest.(check (list (float 0.0))) (name ^ " series") (ys s1) (ys s2);
+      let e1 = Report.analyze s1 and e2 = Report.analyze s2 in
+      Alcotest.(check (float 0.0)) (name ^ " residual")
+        e1.Report.e_best.Fit.f_residual e2.Report.e_best.Fit.f_residual;
+      Alcotest.(check string) (name ^ " best model")
+        e1.Report.e_best.Fit.f_label e2.Report.e_best.Fit.f_label)
+    [ "matvec_csr"; "lcr_messages"; "rewrite_steps"; "lru_churn" ]
+
+let test_report_exports () =
+  let entries =
+    List.map
+      (fun op -> Report.analyze (Sweep.run op))
+      (List.filter_map Catalog.find [ "matvec_diagonal"; Catalog.oracle_name ])
+  in
+  let json = Report.to_json entries in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      if i + nn > nh then false
+      else String.equal (String.sub hay i nn) needle || go (i + 1)
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json mentions " ^ needle) true
+        (contains json needle))
+    [ "matvec_diagonal"; "oracle_matvec_dense"; "\"ok\": true" ];
+  let metrics = Gp_telemetry.Metrics.create () in
+  Report.export_metrics metrics entries;
+  Alcotest.(check (float 1e-9)) "violation gauge" 1.0
+    (Gp_telemetry.Metrics.value metrics
+       ~labels:[ ("op", Catalog.oracle_name) ]
+       "gp_complexity_violation");
+  Alcotest.(check (float 1e-9)) "fitted degree gauge" 1.0
+    (Gp_telemetry.Metrics.value metrics
+       ~labels:[ ("op", "matvec_diagonal") ]
+       "gp_complexity_fitted_degree")
+
+let () =
+  Alcotest.run "gp_complexity_obs"
+    [
+      ( "fit",
+        [
+          Alcotest.test_case "exact recovery" `Quick test_exact_recovery;
+          Alcotest.test_case "loglog slope" `Quick test_loglog_slope;
+          Alcotest.test_case "lower-order terms" `Quick
+            test_lower_order_terms;
+          Alcotest.test_case "fitted degree encoding" `Quick
+            test_fitted_degree_encoding;
+          qtest noise_recovery;
+        ] );
+      ( "verdict",
+        [
+          Alcotest.test_case "pass and violation" `Quick
+            test_verdict_pass_and_violation;
+          Alcotest.test_case "mixed bound via declared fit" `Quick
+            test_mixed_bound_via_declared_fit;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "verdicts end to end" `Quick
+            test_catalog_verdicts;
+          Alcotest.test_case "sweeps deterministic" `Quick
+            test_sweep_deterministic;
+          Alcotest.test_case "json and prometheus exports" `Quick
+            test_report_exports;
+        ] );
+    ]

@@ -66,6 +66,66 @@ let test_complexity_pp () =
   Alcotest.(check string) "n log n" "O(n log n)" (to_string (n_log_n "n"));
   Alcotest.(check string) "n^2" "O(n^2)" (to_string (quadratic "n"))
 
+(* Monomial order in pp/to_string is canonical (descending on sorted
+   bindings), so construction order never leaks into a report. *)
+let test_complexity_pp_canonical () =
+  let open Complexity in
+  Alcotest.(check string) "n + m both ways" "O(n + m)"
+    (to_string (add (linear "m") (linear "n")));
+  Alcotest.(check string) "n + m both ways (2)" "O(n + m)"
+    (to_string (add (linear "n") (linear "m")));
+  Alcotest.(check string) "higher degree first" "O(n^2 + m)"
+    (to_string (add (linear "m") (quadratic "n")));
+  Alcotest.(check string) "higher degree first (2)" "O(n^2 + m)"
+    (to_string (add (quadratic "n") (linear "m")));
+  Alcotest.(check string) "three vars" "O(n log n + m^3 + k)"
+    (to_string (add (linear "k") (add (power "m" 3) (n_log_n "n"))))
+
+let test_complexity_eval () =
+  let open Complexity in
+  let env_n x = function "n" -> x | _ -> 1.0 in
+  let check name expect t x =
+    Alcotest.(check (float 1e-9)) name expect (eval t ~env:(env_n x))
+  in
+  check "1 at any n" 1.0 constant 1000.0;
+  check "n at 64" 64.0 (linear "n") 64.0;
+  check "n^2 at 10" 100.0 (quadratic "n") 10.0;
+  check "n^3 at 10" 1000.0 (cubic "n") 10.0;
+  check "log2 64" 6.0 (log_ "n") 64.0;
+  check "n log n at 64" 384.0 (n_log_n "n") 64.0;
+  (* the log factor clamps below 2 instead of hitting log 1 = 0 *)
+  check "log at n=1 clamps to 1" 1.0 (log_ "n") 1.0;
+  (* add normalizes away dominated terms: n + n^2 collapses to n^2 *)
+  check "dominated term dropped before eval" 4096.0
+    (add (linear "n") (quadratic "n"))
+    64.0;
+  (* incomparable terms survive normalization and sum termwise *)
+  Alcotest.(check (float 1e-9)) "sum evaluates termwise" (4096.0 +. 5.0)
+    (eval
+       (add (quadratic "n") (linear "m"))
+       ~env:(function "n" -> 64.0 | "m" -> 5.0 | _ -> 1.0));
+  let env = function "n" -> 16.0 | "b" -> 9.0 | _ -> 1.0 in
+  Alcotest.(check (float 1e-9)) "mixed O(n b)" 144.0
+    (eval (mul (linear "n") (linear "b")) ~env);
+  Alcotest.(check (float 1e-9)) "O(n + m)" 21.0
+    (eval
+       (add (linear "n") (linear "m"))
+       ~env:(function "n" -> 16.0 | "m" -> 5.0 | _ -> 1.0))
+
+let test_complexity_basis () =
+  let open Complexity in
+  let pair_list =
+    Alcotest.(list (list (triple string int int)))
+  in
+  Alcotest.(check pair_list) "constant" [ [] ] (basis constant);
+  Alcotest.(check pair_list) "n log n" [ [ ("n", 1, 1) ] ] (basis (n_log_n "n"));
+  Alcotest.(check pair_list) "n^2 + m, canonical order"
+    [ [ ("n", 2, 0) ]; [ ("m", 1, 0) ] ]
+    (basis (add (linear "m") (quadratic "n")));
+  Alcotest.(check pair_list) "mixed monomial sorts its vars"
+    [ [ ("b", 1, 0); ("n", 1, 0) ] ]
+    (basis (mul (linear "n") (linear "b")))
+
 (* ------------------------------------------------------------------ *)
 (* Checking                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -792,6 +852,35 @@ let complexity_laws =
     complexity_law3 "mul distributes over add" (fun a b c ->
         equal (mul a (add b c)) (add (mul a b) (mul a c))) ]
 
+(* leq is a partial order (up to equal) and compare_growth is its
+   packaging — the properties the complexity-verification harness's
+   verdicts lean on. *)
+let complexity_order_laws =
+  let open Complexity in
+  [ complexity_law3 "leq reflexive" (fun a _ _ -> leq a a);
+    complexity_law3 "leq transitive" (fun a b c ->
+        QCheck.assume (leq a b && leq b c);
+        leq a c);
+    complexity_law3 "leq antisymmetric up to equal" (fun a b _ ->
+        QCheck.assume (leq a b && leq b a);
+        equal a b);
+    complexity_law3 "compare_growth consistent with leq" (fun a b _ ->
+        match compare_growth a b with
+        | Some 0 -> leq a b && leq b a
+        | Some (-1) -> leq a b && not (leq b a)
+        | Some 1 -> leq b a && not (leq a b)
+        | Some _ -> false
+        | None -> (not (leq a b)) && not (leq b a));
+    complexity_law3 "equal bounds print identically" (fun a b _ ->
+        QCheck.assume (equal a b);
+        String.equal (to_string a) (to_string b));
+    (* eval respects the order pointwise once sizes are >= 2 (below 2
+       the log clamp flattens log factors on purpose) *)
+    complexity_law3 "leq implies pointwise eval <= at size 64" (fun a b _ ->
+        QCheck.assume (leq a b);
+        let env _ = 64.0 in
+        eval a ~env <= (3.0 *. eval b ~env)) ]
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -808,8 +897,13 @@ let () =
           Alcotest.test_case "order" `Quick test_complexity_order;
           Alcotest.test_case "algebra" `Quick test_complexity_algebra;
           Alcotest.test_case "pp" `Quick test_complexity_pp;
+          Alcotest.test_case "pp canonical order" `Quick
+            test_complexity_pp_canonical;
+          Alcotest.test_case "eval" `Quick test_complexity_eval;
+          Alcotest.test_case "basis" `Quick test_complexity_basis;
         ]
-        @ List.map qtest complexity_laws );
+        @ List.map qtest complexity_laws
+        @ List.map qtest complexity_order_laws );
       ( "check",
         [
           Alcotest.test_case "pass" `Quick test_check_pass;
