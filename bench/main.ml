@@ -61,8 +61,11 @@ let metrics : (string * string * float) list ref = ref []
 
 let record ~experiment name v = metrics := (experiment, name, v) :: !metrics
 
+(* Written via a temp file + rename, so a crash mid-write never leaves
+   a truncated JSON for bench-diff to choke on. *)
 let write_json path =
-  let oc = open_out path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   let all = List.rev !metrics in
   let secs =
     List.fold_left
@@ -85,7 +88,8 @@ let write_json path =
       Printf.fprintf oc "    }%s\n" (if i = List.length secs - 1 then "" else ","))
     secs;
   Printf.fprintf oc "  }\n}\n";
-  close_out oc
+  close_out oc;
+  Sys.rename tmp path
 
 (* ------------------------------------------------------------------ *)
 (* F1/F2: graph concepts (Figs. 1 and 2)                               *)
@@ -1623,6 +1627,134 @@ let s8 () =
     (100.0 *. float_of_int unexpected /. float_of_int (List.length entries))
 
 (* ------------------------------------------------------------------ *)
+(* S9: distributed tracing — journeys, fleet metrics, attribution      *)
+(* ------------------------------------------------------------------ *)
+
+(* The s5 failover scenario (240 requests, 20% drops, leader crash
+   @40), run with tracing on. The simulated side is bit-identical
+   across runs, so everything except the wall-clock overhead probes can
+   be gated exactly:
+     - tracing changes nothing simulated: the traced run's record dump
+       equals the untraced run's, byte for byte;
+     - every completed request assembles into a well-formed cross-node
+       tree (single cluster.request root, parents resolve, causal
+       nesting) even under drops + failover;
+     - the trace dump itself is deterministic (double-run bit-identical)
+       and round-trips through load;
+     - fleet percentiles come off the geometry-checked histogram merge,
+       and the attribution decomposes tail latency into
+       queueing/retry/election-stall/service.
+   Wall-clock probes (trace-off vs trace-on run time) are recorded only
+   in full runs; --quick writes null so bench-diff skips them. *)
+let s9 () =
+  section "S9" "gp_tracing: cluster-wide distributed tracing and \
+                tail-latency attribution";
+  let open Gp_cluster in
+  let open Gp_tracing in
+  let declare_standard reg =
+    Gp_algebra.Decls.declare reg;
+    Gp_sequence.Decls.declare reg;
+    Gp_graph.Decls.declare reg;
+    Gp_linalg.Decls.declare reg;
+    Gp_structla.Decls.declare reg
+  in
+  let n = 240 in
+  let seed = 11 in
+  let reqs = Gp_service.Workload.generate ~seed ~n () |> Array.of_list in
+  let failures = [ Cluster.Drop 0.2; Cluster.Crash_leader { at = 40.0 } ] in
+  let run ~trace () =
+    Cluster.run
+      ~config:{ Cluster.default_config with replicas = 3; failures; trace }
+      ~declare_standard reqs
+  in
+  Fmt.pr "workload: n=%d seed=%d, 3 replicas, drop=0.2, leader crash @@40 \
+          — the s5 failover scenario, traced@." n seed;
+  let r_off = run ~trace:false () in
+  let r = run ~trace:true () in
+  assert (String.equal (Cluster.dump r_off) (Cluster.dump r));
+  Fmt.pr "tracing is simulation-invariant: traced and untraced record \
+          dumps bit-identical (verified)@.";
+  let ts = Trace_set.of_result r in
+  let doc = Trace_set.dump ts in
+  let r2 = run ~trace:true () in
+  assert (String.equal doc Trace_set.(dump (of_result r2)));
+  (match Trace_set.load doc with
+  | Error e -> failwith ("s9: trace dump failed to load: " ^ e)
+  | Ok ts' -> assert (String.equal doc (Trace_set.dump ts')));
+  Fmt.pr "trace dump: double-run bit-identical and load round-trips \
+          (verified)@.";
+  let v = Trace_set.validate ts in
+  Fmt.pr "@.%a" Trace_set.pp_validation v;
+  assert (r.Cluster.r_completed = n);
+  assert (v.Trace_set.v_requests = n);
+  assert (Trace_set.validation_ok v);
+  let spans_total =
+    List.fold_left (fun a (_, sps) -> a + List.length sps) 0
+      ts.Trace_set.ts_lanes
+  in
+  record ~experiment:"s9" "spans_total" (float_of_int spans_total);
+  record ~experiment:"s9" "spans_per_request"
+    (float_of_int spans_total /. float_of_int n);
+  record ~experiment:"s9" "malformed_pct"
+    (100.0
+    *. float_of_int (List.length v.Trace_set.v_malformed)
+    /. float_of_int n);
+  record ~experiment:"s9" "aux_traces" (float_of_int v.Trace_set.v_aux);
+  Fmt.pr "@.fleet metrics (merged per-node registries):@.%a"
+    Fleet.pp_report r;
+  (match Fleet.merged r with
+  | None -> assert false
+  | Some m -> (
+    match Fleet.request_percentiles m with
+    | None -> assert false
+    | Some pc ->
+      assert (pc.Fleet.pc_count = n);
+      record ~experiment:"s9" "latency_p50_sim" pc.Fleet.pc_p50;
+      record ~experiment:"s9" "latency_p90_sim" pc.Fleet.pc_p90;
+      record ~experiment:"s9" "latency_p99_sim" pc.Fleet.pc_p99));
+  let sgs = Attribution.of_journeys (Trace_set.journeys ts) in
+  assert (List.length sgs = n);
+  let su = Attribution.summarize sgs in
+  Fmt.pr "@.tail-latency attribution:@.%a" Attribution.pp_summary su;
+  Fmt.pr "slowest requests:@.%a" Attribution.pp_table
+    (Attribution.slowest ~k:5 sgs);
+  record ~experiment:"s9" "attr_mean_total_sim" su.Attribution.su_mean_total;
+  record ~experiment:"s9" "attr_mean_queue_sim" su.Attribution.su_mean_queue;
+  record ~experiment:"s9" "attr_mean_retry_sim" su.Attribution.su_mean_retry;
+  record ~experiment:"s9" "attr_mean_stall_sim" su.Attribution.su_mean_stall;
+  record ~experiment:"s9" "attr_mean_service_sim"
+    su.Attribution.su_mean_service;
+  List.iter
+    (fun (c, k) ->
+      record ~experiment:"s9"
+        ("dominant_" ^ Attribution.cause_name c ^ "_pct")
+        (100.0 *. float_of_int k /. float_of_int n))
+    su.Attribution.su_by_cause;
+  (* wall-clock overhead probes: meaningless under --quick quotas, so
+     null there (bench-diff skips null) *)
+  if !quota < 0.45 then begin
+    Fmt.pr "@.overhead probe skipped under --quick (recorded as null)@.";
+    record ~experiment:"s9" "run_untraced_ns" nan;
+    record ~experiment:"s9" "run_traced_ns" nan;
+    record ~experiment:"s9" "trace_overhead_ratio" nan
+  end
+  else begin
+    let t_off =
+      time_ns "cluster run, tracing off" (fun () ->
+          Sys.opaque_identity (run ~trace:false ()))
+    in
+    let t_on =
+      time_ns "cluster run, tracing on" (fun () ->
+          Sys.opaque_identity (run ~trace:true ()))
+    in
+    Fmt.pr "@.wall clock: untraced %s, traced %s per run (%.2fx)@."
+      (ns_str t_off) (ns_str t_on) (t_on /. t_off);
+    record ~experiment:"s9" "run_untraced_ns" t_off;
+    record ~experiment:"s9" "run_traced_ns" t_on;
+    record ~experiment:"s9" "trace_overhead_ratio" (t_on /. t_off)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1630,7 +1762,7 @@ let experiments =
   [ ("f1", f1_f2); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6);
     ("c1", c1); ("c2", c2); ("c3", c3); ("c5", c5); ("c6", c6); ("c8", c8);
     ("a1", a1); ("s1", s1); ("s2", s2); ("s3", s3); ("s4", s4);
-    ("s5", s5); ("s6", s6); ("s7", s7); ("s8", s8) ]
+    ("s5", s5); ("s6", s6); ("s7", s7); ("s8", s8); ("s9", s9) ]
 
 let () =
   let rec parse = function

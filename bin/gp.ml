@@ -11,7 +11,7 @@
      gp serve [--file F]                     serve JSONL requests (gp_service)
      gp workload --n N --seed S              run a synthetic serving workload
      gp replay <flight.jsonl>                re-execute a flight dump, verify
-     gp cluster run|audit                    simulated replicated cluster (gp_cluster)
+     gp cluster run|audit|trace              simulated replicated cluster (gp_cluster)
      gp complexity [--op O] [--json]         empirical asymptotics vs declared bounds
      gp bench-diff <old.json> <new.json>     perf-regression guard over --json *)
 
@@ -934,8 +934,22 @@ let cluster_run_cmd =
              ~doc:"After the run, replay the workload on one bare server \
                    and diff every response fingerprint.")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ]
+             ~doc:"Collect distributed traces (causal spans on every \
+                   wire message) and write the trace dump (JSONL) to \
+                   this file — $(b,gp cluster trace) input.")
+  in
+  let fleet =
+    Arg.(value & flag
+         & info [ "fleet-metrics" ]
+             ~doc:"Collect per-node metric registries and print the \
+                   merged cluster-wide fleet report (latency \
+                   percentiles, per-shard traffic, hot keys).")
+  in
   let run replicas vnodes n seed sim_seed file failures round_robin async
-      out do_audit =
+      out do_audit trace_out fleet =
     let open Gp_cluster in
     let failures =
       match failures with
@@ -969,13 +983,19 @@ let cluster_run_cmd =
         timing =
           (match async with
           | None -> Gp_distsim.Engine.Synchronous
-          | Some max_delay -> Gp_distsim.Engine.Asynchronous { max_delay }) }
+          | Some max_delay -> Gp_distsim.Engine.Asynchronous { max_delay });
+        trace = trace_out <> None || fleet }
     in
     let r = Cluster.run ~config ~declare_standard:standard_declare reqs in
     Fmt.pr "%a" Cluster.pp_summary r;
     (match out with
     | None -> ()
     | Some path -> write_file path (Cluster.dump r));
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      write_file path (Gp_tracing.Trace_set.(dump (of_result r))));
+    if fleet then Fmt.pr "%a" Gp_tracing.Fleet.pp_report r;
     let audit_failed =
       do_audit
       && begin
@@ -991,7 +1011,8 @@ let cluster_run_cmd =
     (Cmd.info "run"
        ~doc:"Run a workload through the simulated cluster and report")
     Term.(const run $ replicas $ vnodes $ n_arg $ seed $ sim_seed $ file
-          $ failures $ round_robin $ async $ out $ do_audit)
+          $ failures $ round_robin $ async $ out $ do_audit $ trace_out
+          $ fleet)
 
 let cluster_audit_cmd =
   let file =
@@ -1014,13 +1035,80 @@ let cluster_audit_cmd =
              response fingerprint the cluster returned")
     Term.(const run $ file)
 
+let cluster_trace_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.jsonl")
+  in
+  let rid =
+    Arg.(value & pos 1 (some int) None
+         & info [] ~docv:"RID"
+             ~doc:"Print this request's assembled journey tree.")
+  in
+  let validate =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"Check every request journey is a well-formed \
+                   cross-node tree (single $(b,cluster.request) root, \
+                   all parents resolve, causal nesting); exit 1 on any \
+                   malformed tree.")
+  in
+  let chrome =
+    Arg.(value & opt (some string) None
+         & info [ "chrome" ]
+             ~doc:"Export the whole trace set as Chrome/Perfetto JSON \
+                   with one process lane per node to this file.")
+  in
+  let attribution =
+    Arg.(value & flag
+         & info [ "attribution" ]
+             ~doc:"Print the tail-latency attribution: slowest requests \
+                   decomposed into queueing/retry/election-stall/service \
+                   segments with the dominant cause named.")
+  in
+  let run path rid validate chrome attribution =
+    let open Gp_tracing in
+    let doc = In_channel.with_open_text path In_channel.input_all in
+    match Trace_set.load doc with
+    | Error m ->
+      Fmt.epr "%s: %s@." path m;
+      2
+    | Ok ts ->
+      (match chrome with
+      | None -> ()
+      | Some out ->
+        write_file out (Trace_set.to_chrome ts);
+        Fmt.pr "wrote %s@." out);
+      (match rid with
+      | None -> ()
+      | Some rid -> (
+        match Trace_set.request_journey ts rid with
+        | Some j -> Fmt.pr "%a" (Trace_set.pp_journey ts) j
+        | None -> Fmt.pr "trace %d: no spans recorded@." rid));
+      if attribution then begin
+        let sgs = Attribution.of_journeys (Trace_set.journeys ts) in
+        Fmt.pr "%a" Attribution.pp_summary (Attribution.summarize sgs);
+        Fmt.pr "slowest requests:@.%a" Attribution.pp_table
+          (Attribution.slowest sgs)
+      end;
+      let v = Trace_set.validate ts in
+      if validate || (rid = None && chrome = None && not attribution) then
+        Fmt.pr "%a" Trace_set.pp_validation v;
+      if validate && not (Trace_set.validation_ok v) then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Assemble, inspect, validate and export a cluster trace dump \
+             ($(b,gp cluster run --trace) output)")
+    Term.(const run $ file $ rid $ validate $ chrome $ attribution)
+
 let cluster_cmd =
   Cmd.group
     (Cmd.info "cluster"
        ~doc:"Deterministically simulated sharded/replicated serving \
              cluster: sharded reads, leader-replicated writes, failover, \
-             retries, and a single-node consistency audit")
-    [ cluster_run_cmd; cluster_audit_cmd ]
+             retries, distributed tracing, and a single-node consistency \
+             audit")
+    [ cluster_run_cmd; cluster_audit_cmd; cluster_trace_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* gp structla                                                         *)

@@ -28,6 +28,7 @@ type config = {
   server_config : Server.config;
   max_time : float;
   max_events : int;
+  trace : bool;
 }
 
 let default_config =
@@ -47,6 +48,7 @@ let default_config =
         flight_capacity = 0 };
     max_time = 100_000.0;
     max_events = 2_000_000;
+    trace = false;
   }
 
 type result = {
@@ -60,6 +62,8 @@ type result = {
   r_leaders : (float * int) list;
   r_cache_hits : int;
   r_cache_misses : int;
+  r_traces : (int * Gp_telemetry.Trace.span list) list;
+  r_node_metrics : (int * Gp_telemetry.Metrics.t) list;
 }
 
 (* The initial election is FloodMax over replica ids, so its winner is
@@ -79,6 +83,24 @@ let run ?(config = default_config) ~declare_standard reqs =
       ~replicas:(List.init n (fun i -> i + 1))
       ()
   in
+  (* Tracing artifacts: one span ring and one metrics registry per
+     node. Capacity is generous — spans are ~6 per request at the
+     router plus a couple per replica touch — and the ring discipline
+     still bounds memory if a scenario blows past it. Request traces
+     use their rid as trace id; aux traces (elections, probes) start
+     above the workload, with the initial election's ids
+     pre-allocated. *)
+  let node_traces =
+    if config.trace then
+      Array.init (n + 1) (fun _ ->
+          Gp_telemetry.Trace.create ~capacity:65536 ~clock:(fun () -> 0.0) ())
+    else [||]
+  in
+  let node_metrics =
+    if config.trace then
+      Array.init (n + 1) (fun _ -> Gp_telemetry.Metrics.create ())
+    else [||]
+  in
   let world =
     {
       Node.reqs;
@@ -94,6 +116,14 @@ let run ?(config = default_config) ~declare_standard reqs =
       elections = 0;
       failovers = [];
       leader_log = [];
+      trace_on = config.trace;
+      node_traces;
+      node_metrics;
+      next_span = (if config.trace then 1 else 0);
+      next_trace =
+        (if config.trace then Array.length reqs + 1 else 0);
+      el0_trace = (if config.trace then Array.length reqs else 0);
+      el0_span = (if config.trace then 1 else 0);
     }
   in
   let engine_config =
@@ -132,6 +162,15 @@ let run ?(config = default_config) ~declare_standard reqs =
     r_leaders = List.rev world.Node.leader_log;
     r_cache_hits = hits;
     r_cache_misses = misses;
+    r_traces =
+      (if config.trace then
+         List.init (n + 1) (fun i ->
+             (i, Gp_telemetry.Trace.spans node_traces.(i)))
+       else []);
+    r_node_metrics =
+      (if config.trace then
+         List.init (n + 1) (fun i -> (i, node_metrics.(i)))
+       else []);
   }
 
 (* -------------------------------------------------------------- *)

@@ -38,6 +38,12 @@ type config = {
           simulated clock *)
   max_time : float;  (** simulation safety horizon *)
   max_events : int;
+  trace : bool;
+      (** collect distributed traces and per-node fleet metrics: one
+          span ring and metric registry per node, causal contexts on
+          every wire message. Changes nothing simulated — no message,
+          RNG draw, or event differs from an untraced run (one flag
+          check per instrumentation site). *)
 }
 
 val default_config : config
@@ -60,6 +66,15 @@ type result = {
       (** coordinator acceptances at the router, oldest first *)
   r_cache_hits : int;  (** summed over every replica's memo caches *)
   r_cache_misses : int;
+  r_traces : (int * Gp_telemetry.Trace.span list) list;
+      (** per-node completed spans, node order ([[]] unless
+          [config.trace]): span ids are cluster-global, times are
+          simulated units ×1e3, every span carries its trace id in the
+          ["trace"] attribute — feed them to
+          [Gp_telemetry.Journey.assemble] / [Gp_tracing.Trace_set] *)
+  r_node_metrics : (int * Gp_telemetry.Metrics.t) list;
+      (** per-node metric registries ([[]] unless [config.trace]),
+          merged cluster-wide by [Gp_tracing.Fleet] *)
 }
 
 val run :

@@ -1,12 +1,24 @@
 (* The router and replica state machines. Everything observable is
    written into the shared [world] record: the engine's node states are
    unreachable once the run finishes, and the harness (Cluster.run)
-   reads completions, elections and failovers from the world instead. *)
+   reads completions, elections and failovers from the world instead.
+
+   Distributed tracing rides the same world: when [trace_on] each node
+   owns a span ring and a metrics registry, spans are stamped with a
+   cluster-global id and a trace id, and the (trace, parent span)
+   context crosses the wire inside Proto messages — so the assembler
+   can rebuild each request's causal tree across nodes afterwards.
+   Tracing is ONE flag check per site ([w.trace_on]) and changes no
+   message timing, RNG draw, or event: the simulated transcript with
+   tracing on is identical to the one with it off. *)
 
 module Engine = Gp_distsim.Engine
 module Server = Gp_service.Server
 module Request = Gp_service.Request
 module Tel = Gp_telemetry.Tel
+module Context = Gp_telemetry.Context
+module Trace = Gp_telemetry.Trace
+module Metrics = Gp_telemetry.Metrics
 
 type tuning = {
   arrival_interval : float;
@@ -48,7 +60,42 @@ type world = {
   mutable elections : int;
   mutable failovers : (float * float) list;
   mutable leader_log : (float * int) list;
+  (* distributed tracing: per-node rings/registries, a cluster-global
+     span-id counter and an aux trace-id counter (requests use their rid
+     as trace id; elections and probes draw fresh ids above them). All
+     fields are dead weight unless [trace_on] — one flag check per
+     site. *)
+  trace_on : bool;
+  node_traces : Trace.t array; (* length n_replicas+1, or [||] when off *)
+  node_metrics : Metrics.t array; (* same *)
+  mutable next_span : int;
+  mutable next_trace : int;
+  el0_trace : int; (* the initial election's pre-allocated trace id *)
+  el0_span : int; (* ... and its root span id *)
 }
+
+let fresh_span w =
+  w.next_span <- w.next_span + 1;
+  w.next_span
+
+let fresh_trace w =
+  let t = w.next_trace in
+  w.next_trace <- t + 1;
+  t
+
+(* Simulated time [t] is stored as [t * 1e3] "nanoseconds" in the rings:
+   one simulated unit reads as one microsecond, so Chrome's microsecond
+   timestamps equal simulated units exactly and pp_dur stays legible.
+   Every span carries its trace id as the "trace" attribute — that is
+   the key the journey assembler groups by. *)
+let emit w ~node ~trace ~id ~parent ~name ~start ~stop attrs =
+  ignore
+    (Trace.emit w.node_traces.(node) ~id
+       ?parent:(if parent = 0 then None else Some parent)
+       ~name ~start_ns:(start *. 1e3)
+       ~dur_ns:((stop -. start) *. 1e3)
+       ~attrs:(("trace", string_of_int trace) :: attrs)
+       ())
 
 (* -------------------------------------------------------------- *)
 (* Node states                                                     *)
@@ -59,6 +106,14 @@ type pending = {
   p_write : bool;
   p_arrive : float;
   mutable p_attempt : int; (* dispatches made so far, minus one *)
+  (* tracing bookkeeping (untouched when trace_on is false): the open
+     request root span, the open attempt span with its start/target,
+     and the start of an open leaderless-parking window (nan = none). *)
+  mutable p_req_span : int;
+  mutable p_att_span : int;
+  mutable p_att_start : float;
+  mutable p_att_target : int;
+  mutable p_park_since : float;
 }
 
 type router = {
@@ -68,6 +123,14 @@ type router = {
   mutable last_hb : float;
   mutable detect_at : float option; (* presumed-death time, for failover latency *)
   mutable last_election : float; (* last Start_election broadcast *)
+  (* tracing: the open election root span and the outstanding liveness
+     probe (span id 0 = none open). *)
+  mutable rt_el_span : int;
+  mutable rt_el_trace : int;
+  mutable rt_el_start : float;
+  mutable rt_probe_span : int;
+  mutable rt_probe_trace : int;
+  mutable rt_probe_start : float;
 }
 
 type replica = {
@@ -76,6 +139,12 @@ type replica = {
   mutable best : int; (* highest uid seen this election round *)
   mutable rep_leader : int option;
   mutable electing : bool;
+  (* tracing: the current FloodMax round's span, parented under the
+     router's election root carried in by Start_election. *)
+  mutable rep_round_span : int;
+  mutable rep_round_trace : int;
+  mutable rep_round_parent : int;
+  mutable rep_round_start : float;
 }
 
 type state = R_router of router | R_replica of replica
@@ -96,8 +165,10 @@ let each_replica w ~except f =
 
 (* Serve [rid], memoized per replica: a retried or re-replicated request
    reuses the first response, so duplicates cannot fork the fingerprint
-   and the work accounting stays honest. Returns [(result, fresh)]. *)
-let serve (ctx : Proto.msg Engine.ctx) w rep rid =
+   and the work accounting stays honest. Returns [(result, fresh)].
+   [tc] is the inbound wire context, handed to the server so its own
+   root span can name the cluster trace it belongs to. *)
+let serve (ctx : Proto.msg Engine.ctx) w rep rid tc =
   match Hashtbl.find_opt rep.served rid with
   | Some r -> (r, false)
   | None ->
@@ -105,7 +176,10 @@ let serve (ctx : Proto.msg Engine.ctx) w rep rid =
       Tel.with_span ~name:"cluster.serve"
         ~attrs:(fun () ->
           [ ("node", string_of_int ctx.self); ("rid", string_of_int rid) ])
-        (fun () -> Server.handle ~id:rid rep.server w.reqs.(rid))
+        (fun () ->
+          Server.handle ~id:rid
+            ?context:(if w.trace_on then Some tc else None)
+            rep.server w.reqs.(rid))
     in
     ctx.charge (max 1 rsp.Request.rsp_steps);
     if Tel.is_enabled () then
@@ -118,45 +192,113 @@ let serve (ctx : Proto.msg Engine.ctx) w rep rid =
     Hashtbl.replace rep.served rid r;
     (r, true)
 
-let start_round (ctx : Proto.msg Engine.ctx) w rep =
+let start_round (ctx : Proto.msg Engine.ctx) w rep ~tc =
   rep.best <- ctx.self;
   rep.electing <- true;
-  each_replica w ~except:ctx.self (fun j -> ctx.send j (Proto.Elect { uid = ctx.self }));
+  let rtc =
+    if w.trace_on then begin
+      rep.rep_round_span <- fresh_span w;
+      rep.rep_round_trace <- Context.trace tc;
+      rep.rep_round_parent <- Context.span tc;
+      rep.rep_round_start <- ctx.now ();
+      Context.v ~trace:rep.rep_round_trace ~span:rep.rep_round_span
+    end
+    else Context.none
+  in
+  each_replica w ~except:ctx.self (fun j ->
+      ctx.send j (Proto.Elect { uid = ctx.self; tc = rtc }));
   ctx.timer ~delay:w.tuning.settle Proto.Election_settle
 
 let replica_msg (ctx : Proto.msg Engine.ctx) w rep msg =
   match msg with
-  | Proto.Elect { uid } -> if uid > rep.best then rep.best <- uid
+  | Proto.Elect { uid; tc = _ } -> if uid > rep.best then rep.best <- uid
   | Proto.Election_settle ->
     if rep.electing then begin
       rep.electing <- false;
-      if rep.best = ctx.self then begin
+      let won = rep.best = ctx.self in
+      if w.trace_on && rep.rep_round_span <> 0 then
+        emit w ~node:ctx.self ~trace:rep.rep_round_trace
+          ~id:rep.rep_round_span ~parent:rep.rep_round_parent
+          ~name:"cluster.elect_round" ~start:rep.rep_round_start
+          ~stop:(ctx.now ())
+          [ ("node", string_of_int ctx.self);
+            ("best", string_of_int rep.best);
+            ("won", string_of_bool won) ];
+      if won then begin
         rep.rep_leader <- Some ctx.self;
-        ctx.send 0 (Proto.Coord { uid = ctx.self });
+        let ctc =
+          if w.trace_on then
+            Context.v ~trace:rep.rep_round_trace ~span:rep.rep_round_span
+          else Context.none
+        in
+        ctx.send 0 (Proto.Coord { uid = ctx.self; tc = ctc });
         each_replica w ~except:ctx.self (fun j ->
-            ctx.send j (Proto.Coord { uid = ctx.self }))
+            ctx.send j (Proto.Coord { uid = ctx.self; tc = ctc }))
       end
     end
-  | Proto.Coord { uid } ->
+  | Proto.Coord { uid; tc = _ } ->
     (* accept-max within a round; a stale higher uid from a dead leader
        is corrected by the next heartbeat timeout *)
     (match rep.rep_leader with
      | None -> rep.rep_leader <- Some uid
      | Some l -> if uid >= l then rep.rep_leader <- Some uid)
-  | Proto.Start_election -> start_round ctx w rep
-  | Proto.Do_request { rid; attempt = _ } ->
-    let (fp, ok, cached), fresh = serve ctx w rep rid in
-    ctx.send 0 (Proto.Reply { rid; replica = ctx.self; fp; ok; cached });
+  | Proto.Start_election { tc } -> start_round ctx w rep ~tc
+  | Proto.Do_request { rid; attempt; tc } ->
+    let (fp, ok, cached), fresh = serve ctx w rep rid tc in
+    (* the serve span is a zero-duration instant: [charge] accounts
+       steps without advancing simulated time. Its id is echoed on the
+       Reply and parents the Replicate fan-out, so both legs resolve. *)
+    let stc =
+      if w.trace_on then begin
+        let sp = fresh_span w in
+        let now = ctx.now () in
+        emit w ~node:ctx.self ~trace:(Context.trace tc) ~id:sp
+          ~parent:(Context.span tc) ~name:"cluster.serve" ~start:now
+          ~stop:now
+          [ ("node", string_of_int ctx.self); ("rid", string_of_int rid);
+            ("attempt", string_of_int attempt);
+            ("fresh", string_of_bool fresh);
+            ("cached", string_of_bool cached) ];
+        Metrics.inc w.node_metrics.(ctx.self) "gp_cluster_serves_total";
+        Context.v ~trace:(Context.trace tc) ~span:sp
+      end
+      else Context.none
+    in
+    ctx.send 0
+      (Proto.Reply { rid; replica = ctx.self; fp; ok; cached; tc = stc });
     (* first service of a write fans out to the followers; the served
        table makes re-deliveries idempotent on both ends *)
     if fresh && Proto.is_write w.reqs.(rid) then
       each_replica w ~except:ctx.self (fun j ->
-          ctx.send j (Proto.Replicate { rid }))
-  | Proto.Replicate { rid } -> ignore (serve ctx w rep rid)
-  | Proto.Ping ->
-    if rep.rep_leader = Some ctx.self then
-      ctx.send 0 (Proto.Heartbeat { uid = ctx.self })
-  | Proto.Shutdown ->
+          ctx.send j (Proto.Replicate { rid; tc = stc }))
+  | Proto.Replicate { rid; tc } ->
+    let _, fresh = serve ctx w rep rid tc in
+    if w.trace_on then begin
+      let now = ctx.now () in
+      emit w ~node:ctx.self ~trace:(Context.trace tc) ~id:(fresh_span w)
+        ~parent:(Context.span tc) ~name:"cluster.replicate" ~start:now
+        ~stop:now
+        [ ("node", string_of_int ctx.self); ("rid", string_of_int rid);
+          ("fresh", string_of_bool fresh) ];
+      Metrics.inc w.node_metrics.(ctx.self) "gp_cluster_replicates_total"
+    end
+  | Proto.Ping { tc } ->
+    if rep.rep_leader = Some ctx.self then begin
+      let htc =
+        if w.trace_on then begin
+          let sp = fresh_span w in
+          let now = ctx.now () in
+          emit w ~node:ctx.self ~trace:(Context.trace tc) ~id:sp
+            ~parent:(Context.span tc) ~name:"cluster.heartbeat" ~start:now
+            ~stop:now
+            [ ("node", string_of_int ctx.self) ];
+          Context.v ~trace:(Context.trace tc) ~span:sp
+        end
+        else Context.none
+      in
+      ctx.send 0 (Proto.Heartbeat { uid = ctx.self; tc = htc })
+    end
+  | Proto.Shutdown { tc = _ } ->
     ctx.decide (string_of_int (Hashtbl.length rep.served));
     ctx.halt ()
   | Proto.Arrive _ | Proto.Reply _ | Proto.Retry_check _ | Proto.Hb_check
@@ -174,6 +316,29 @@ let read_target w rid attempt =
   end
   else 1 + ((rid + attempt) mod w.n_replicas)
 
+(* Close the open attempt span, attributing its outcome ("ok",
+   "retry", or "superseded" when a duplicate flush re-dispatches the
+   same attempt). Emitting before any overwrite keeps every serve
+   span's parent resolvable. *)
+let close_attempt w p ~stop ~outcome =
+  if p.p_att_span <> 0 then begin
+    emit w ~node:0 ~trace:p.p_rid ~id:p.p_att_span ~parent:p.p_req_span
+      ~name:"cluster.attempt" ~start:p.p_att_start ~stop
+      [ ("attempt", string_of_int p.p_attempt);
+        ("target", string_of_int p.p_att_target);
+        ("outcome", outcome) ];
+    p.p_att_span <- 0
+  end
+
+(* Close an open leaderless-parking window as an election-stall span. *)
+let close_park w p ~stop =
+  if not (Float.is_nan p.p_park_since) then begin
+    emit w ~node:0 ~trace:p.p_rid ~id:(fresh_span w) ~parent:p.p_req_span
+      ~name:"cluster.park" ~start:p.p_park_since ~stop
+      [ ("cause", "no-leader") ];
+    p.p_park_since <- nan
+  end
+
 (* Dispatch the pending request's next attempt. Reads go to the shard
    owner, then walk its ring successors on retry; writes go to the
    leader, or park in [wait_leader] until a coordinator is known (the
@@ -182,38 +347,83 @@ let read_target w rid attempt =
 let dispatch (ctx : Proto.msg Engine.ctx) w rt p =
   let rid = p.p_rid and attempt = p.p_attempt in
   let fire target =
-    ctx.send target (Proto.Do_request { rid; attempt });
+    let tc =
+      if w.trace_on then begin
+        close_park w p ~stop:(ctx.now ());
+        close_attempt w p ~stop:(ctx.now ()) ~outcome:"superseded";
+        p.p_att_span <- fresh_span w;
+        p.p_att_start <- ctx.now ();
+        p.p_att_target <- target;
+        Metrics.inc w.node_metrics.(0)
+          ~labels:[ ("shard", string_of_int target) ]
+          "gp_cluster_shard_dispatch_total";
+        Metrics.inc w.node_metrics.(0)
+          ~labels:[ ("key", Request.key w.reqs.(rid)) ]
+          "gp_cluster_key_dispatch_total";
+        Context.v ~trace:rid ~span:p.p_att_span
+      end
+      else Context.none
+    in
+    ctx.send target (Proto.Do_request { rid; attempt; tc });
     ctx.timer ~delay:(backoff w attempt) (Proto.Retry_check { rid; attempt })
   in
   if p.p_write then
     match rt.rt_leader with
     | Some l -> fire l
-    | None -> Queue.push rid rt.wait_leader
+    | None ->
+      if w.trace_on && Float.is_nan p.p_park_since then
+        p.p_park_since <- ctx.now ();
+      Queue.push rid rt.wait_leader
   else fire (read_target w rid attempt)
 
 let start_election (ctx : Proto.msg Engine.ctx) w rt =
   w.elections <- w.elections + 1;
   rt.last_election <- ctx.now ();
   if Tel.is_enabled () then Tel.count "gp_cluster_elections_total" 1;
-  each_replica w ~except:0 (fun j -> ctx.send j Proto.Start_election)
+  let tc =
+    if w.trace_on then begin
+      (* a round that never produced a Coord gets closed as superseded
+         before the fresh root opens — its replica rounds stay parented
+         under the emitted span, so nothing orphans *)
+      if rt.rt_el_span <> 0 then
+        emit w ~node:0 ~trace:rt.rt_el_trace ~id:rt.rt_el_span ~parent:0
+          ~name:"cluster.election" ~start:rt.rt_el_start ~stop:(ctx.now ())
+          [ ("outcome", "superseded") ];
+      rt.rt_el_span <- fresh_span w;
+      rt.rt_el_trace <- fresh_trace w;
+      rt.rt_el_start <- ctx.now ();
+      Metrics.inc w.node_metrics.(0) "gp_cluster_elections_total";
+      Context.v ~trace:rt.rt_el_trace ~span:rt.rt_el_span
+    end
+    else Context.none
+  in
+  each_replica w ~except:0 (fun j ->
+      ctx.send j (Proto.Start_election { tc }))
 
 let router_msg (ctx : Proto.msg Engine.ctx) w rt msg =
   match msg with
   | Proto.Arrive rid ->
     let p =
       { p_rid = rid; p_write = Proto.is_write w.reqs.(rid);
-        p_arrive = ctx.now (); p_attempt = 0 }
+        p_arrive = ctx.now (); p_attempt = 0;
+        p_req_span = (if w.trace_on then fresh_span w else 0);
+        p_att_span = 0; p_att_start = 0.0; p_att_target = 0;
+        p_park_since = nan }
     in
     Hashtbl.replace rt.pending rid p;
     dispatch ctx w rt p
   | Proto.Retry_check { rid; attempt } ->
     (match Hashtbl.find_opt rt.pending rid with
      | Some p when p.p_attempt = attempt ->
-       p.p_attempt <- attempt + 1;
        if Tel.is_enabled () then Tel.count "gp_cluster_retries_total" 1;
+       if w.trace_on then begin
+         close_attempt w p ~stop:(ctx.now ()) ~outcome:"retry";
+         Metrics.inc w.node_metrics.(0) "gp_cluster_retries_total"
+       end;
+       p.p_attempt <- attempt + 1;
        dispatch ctx w rt p
      | Some _ | None -> ())
-  | Proto.Reply { rid; replica; fp; ok; cached } ->
+  | Proto.Reply { rid; replica; fp; ok; cached; tc = _ } ->
     (match Hashtbl.find_opt rt.pending rid with
      | None -> () (* duplicate reply from a retried request *)
      | Some p ->
@@ -228,12 +438,26 @@ let router_msg (ctx : Proto.msg Engine.ctx) w rt msg =
        w.completed <- w.completed + 1;
        if Tel.is_enabled () then
          Tel.observe "gp_cluster_request_time" (done_ -. p.p_arrive);
+       if w.trace_on then begin
+         close_attempt w p ~stop:done_ ~outcome:"ok";
+         close_park w p ~stop:done_;
+         emit w ~node:0 ~trace:rid ~id:p.p_req_span ~parent:0
+           ~name:"cluster.request" ~start:p.p_arrive ~stop:done_
+           [ ("rid", string_of_int rid);
+             ("kind", Request.kind_name (Request.kind w.reqs.(rid)));
+             ("write", string_of_bool p.p_write);
+             ("replica", string_of_int replica);
+             ("attempts", string_of_int (p.p_attempt + 1)) ];
+         Metrics.observe w.node_metrics.(0) "gp_cluster_request_time"
+           (done_ -. p.p_arrive)
+       end;
        if w.completed = Array.length w.reqs then begin
-         each_replica w ~except:0 (fun j -> ctx.send j Proto.Shutdown);
+         each_replica w ~except:0 (fun j ->
+             ctx.send j (Proto.Shutdown { tc = Context.none }));
          ctx.decide (string_of_int w.completed);
          ctx.halt ()
        end)
-  | Proto.Coord { uid } ->
+  | Proto.Coord { uid; tc = _ } ->
     let accept =
       match rt.rt_leader with None -> true | Some l -> uid >= l
     in
@@ -246,8 +470,17 @@ let router_msg (ctx : Proto.msg Engine.ctx) w rt msg =
          w.failovers <- (t0, ctx.now ()) :: w.failovers;
          if Tel.is_enabled () then
            Tel.observe "gp_cluster_failover_time" (ctx.now () -. t0);
+         if w.trace_on then
+           Metrics.observe w.node_metrics.(0) "gp_cluster_failover_time"
+             (ctx.now () -. t0);
          rt.detect_at <- None
        | None -> ());
+      if w.trace_on && rt.rt_el_span <> 0 then begin
+        emit w ~node:0 ~trace:rt.rt_el_trace ~id:rt.rt_el_span ~parent:0
+          ~name:"cluster.election" ~start:rt.rt_el_start ~stop:(ctx.now ())
+          [ ("winner", string_of_int uid) ];
+        rt.rt_el_span <- 0
+      end;
       (* a leader exists again: release the parked writes *)
       while not (Queue.is_empty rt.wait_leader) do
         let rid = Queue.pop rt.wait_leader in
@@ -256,8 +489,20 @@ let router_msg (ctx : Proto.msg Engine.ctx) w rt msg =
         | None -> ()
       done
     end
-  | Proto.Heartbeat { uid } ->
-    if rt.rt_leader = Some uid then rt.last_hb <- ctx.now ()
+  | Proto.Heartbeat { uid; tc } ->
+    if rt.rt_leader = Some uid then begin
+      rt.last_hb <- ctx.now ();
+      if
+        w.trace_on && rt.rt_probe_span <> 0
+        && Context.trace tc = rt.rt_probe_trace
+      then begin
+        emit w ~node:0 ~trace:rt.rt_probe_trace ~id:rt.rt_probe_span
+          ~parent:0 ~name:"cluster.probe" ~start:rt.rt_probe_start
+          ~stop:(ctx.now ())
+          [ ("leader", string_of_int uid) ];
+        rt.rt_probe_span <- 0
+      end
+    end
   | Proto.Hb_check ->
     ctx.timer ~delay:w.tuning.hb_interval Proto.Hb_check;
     (match rt.rt_leader with
@@ -265,7 +510,20 @@ let router_msg (ctx : Proto.msg Engine.ctx) w rt msg =
        rt.rt_leader <- None;
        if rt.detect_at = None then rt.detect_at <- Some (ctx.now ());
        start_election ctx w rt
-     | Some l -> ctx.send l Proto.Ping
+     | Some l ->
+       (* an unanswered probe's root is simply never emitted: a
+          heartbeat span whose Ping landed but whose reply was dropped
+          surfaces as an orphan — by design, not attached to anything *)
+       let tc =
+         if w.trace_on then begin
+           rt.rt_probe_span <- fresh_span w;
+           rt.rt_probe_trace <- fresh_trace w;
+           rt.rt_probe_start <- ctx.now ();
+           Context.v ~trace:rt.rt_probe_trace ~span:rt.rt_probe_span
+         end
+         else Context.none
+       in
+       ctx.send l (Proto.Ping { tc })
      | None
        when Hashtbl.length rt.pending > 0
             && ctx.now () -. rt.last_election > w.tuning.hb_timeout ->
@@ -274,8 +532,8 @@ let router_msg (ctx : Proto.msg Engine.ctx) w rt msg =
        start_election ctx w rt
      | None -> ())
   | Proto.Do_request _ | Proto.Replicate _ | Proto.Elect _
-  | Proto.Election_settle | Proto.Start_election | Proto.Ping
-  | Proto.Shutdown ->
+  | Proto.Election_settle | Proto.Start_election _ | Proto.Ping _
+  | Proto.Shutdown _ ->
     ()
 
 (* -------------------------------------------------------------- *)
@@ -292,10 +550,15 @@ let initial w (ctx : Proto.msg Engine.ctx) =
       w.reqs;
     ctx.timer ~delay:w.tuning.hb_timeout Proto.Hb_check;
     w.elections <- w.elections + 1; (* the initial round, started below *)
+    if w.trace_on then
+      Metrics.inc w.node_metrics.(0) "gp_cluster_elections_total";
     R_router
       { pending = Hashtbl.create 64; wait_leader = Queue.create ();
         rt_leader = None; last_hb = 0.0; detect_at = None;
-        last_election = 0.0 }
+        last_election = 0.0;
+        rt_el_span = w.el0_span; rt_el_trace = w.el0_trace;
+        rt_el_start = 0.0; rt_probe_span = 0; rt_probe_trace = 0;
+        rt_probe_start = 0.0 }
   end
   else begin
     let config = { w.server_config with Server.now = ctx.now } in
@@ -305,9 +568,15 @@ let initial w (ctx : Proto.msg Engine.ctx) =
     w.servers.(ctx.self) <- Some server;
     let rep =
       { server; served = Hashtbl.create 64; best = ctx.self;
-        rep_leader = None; electing = false }
+        rep_leader = None; electing = false; rep_round_span = 0;
+        rep_round_trace = 0; rep_round_parent = 0; rep_round_start = 0.0 }
     in
-    start_round ctx w rep;
+    (* the initial round parents under the pre-allocated election root
+       (emitted by the router when the first Coord lands) *)
+    start_round ctx w rep
+      ~tc:
+        (if w.trace_on then Context.v ~trace:w.el0_trace ~span:w.el0_span
+         else Context.none);
     R_replica rep
   end
 

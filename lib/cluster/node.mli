@@ -71,6 +71,27 @@ type world = {
       (** (presumed-dead, new-coordinator-accepted) pairs, newest first *)
   mutable leader_log : (float * int) list;
       (** coordinator acceptances at the router, newest first *)
+  trace_on : bool;
+      (** distributed tracing master switch — every instrumentation
+          site is guarded by exactly this one flag check, and tracing
+          changes no message, RNG draw or event order *)
+  node_traces : Gp_telemetry.Trace.t array;
+      (** per-node span rings, indexed by node id ([[||]] when
+          [trace_on] is false). Span ids are cluster-global, times are
+          simulated units stored ×1e3, and every span carries its trace
+          id in the ["trace"] attribute. *)
+  node_metrics : Gp_telemetry.Metrics.t array;
+      (** per-node metric registries (request latency/failover
+          histograms, per-shard and per-key dispatch counters, serve /
+          replicate / retry / election counters), merged cluster-wide
+          by [Gp_tracing.Fleet] *)
+  mutable next_span : int;  (** cluster-global span-id counter *)
+  mutable next_trace : int;
+      (** aux trace-id counter: requests use their [rid] as trace id,
+          elections and liveness probes draw fresh ids from here
+          (initialised above the workload size) *)
+  el0_trace : int;  (** the initial election's pre-allocated trace id *)
+  el0_span : int;  (** ... and its root span id *)
 }
 
 type state

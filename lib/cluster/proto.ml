@@ -1,23 +1,32 @@
 (* The cluster message vocabulary. Requests are referenced by workload
    index: the request array is shared read-only state of the harness, so
    messages stay small and the simulator's metrics measure protocol
-   traffic, not payload serialization. *)
+   traffic, not payload serialization.
+
+   Every message that crosses the wire carries a [tc] trace context —
+   the (trace id, parent span id) pair the receiver parents its spans
+   under. When tracing is off every [tc] is the shared [Context.none]
+   block, so the field costs one word per message and no allocation.
+   Self-timer messages (Arrive, Retry_check, Election_settle, Hb_check)
+   are local alarms, not wire traffic, and carry none. *)
+
+module Context = Gp_telemetry.Context
 
 type msg =
   | Arrive of int
-  | Do_request of { rid : int; attempt : int }
-  | Replicate of { rid : int }
+  | Do_request of { rid : int; attempt : int; tc : Context.t }
+  | Replicate of { rid : int; tc : Context.t }
   | Reply of { rid : int; replica : int; fp : string; ok : bool;
-               cached : bool }
+               cached : bool; tc : Context.t }
   | Retry_check of { rid : int; attempt : int }
-  | Elect of { uid : int }
+  | Elect of { uid : int; tc : Context.t }
   | Election_settle
-  | Coord of { uid : int }
-  | Start_election
-  | Ping
-  | Heartbeat of { uid : int }
+  | Coord of { uid : int; tc : Context.t }
+  | Start_election of { tc : Context.t }
+  | Ping of { tc : Context.t }
+  | Heartbeat of { uid : int; tc : Context.t }
   | Hb_check
-  | Shutdown
+  | Shutdown of { tc : Context.t }
 
 (* Parse loads concept/type/model definitions — in a deployed cluster
    that is a registry mutation, so it serializes through the leader and
@@ -27,18 +36,32 @@ let is_write req =
   | Gp_service.Request.Kparse -> true
   | _ -> false
 
+let context = function
+  | Arrive _ | Retry_check _ | Election_settle | Hb_check -> Context.none
+  | Do_request { tc; _ } | Replicate { tc; _ } | Reply { tc; _ }
+  | Elect { tc; _ } | Coord { tc; _ } | Start_election { tc }
+  | Ping { tc } | Heartbeat { tc; _ } | Shutdown { tc } ->
+    tc
+
+let pp_tc ppf tc =
+  if not (Context.is_none tc) then Fmt.pf ppf " [%a]" Context.pp tc
+
 let pp ppf = function
   | Arrive rid -> Fmt.pf ppf "arrive#%d" rid
-  | Do_request { rid; attempt } -> Fmt.pf ppf "do#%d/try%d" rid attempt
-  | Replicate { rid } -> Fmt.pf ppf "replicate#%d" rid
-  | Reply { rid; replica; ok; _ } ->
-    Fmt.pf ppf "reply#%d from n%d (%s)" rid replica (if ok then "ok" else "err")
-  | Retry_check { rid; attempt } -> Fmt.pf ppf "retry-check#%d/try%d" rid attempt
-  | Elect { uid } -> Fmt.pf ppf "elect %d" uid
+  | Do_request { rid; attempt; tc } ->
+    Fmt.pf ppf "do#%d/try%d%a" rid attempt pp_tc tc
+  | Replicate { rid; tc } -> Fmt.pf ppf "replicate#%d%a" rid pp_tc tc
+  | Reply { rid; replica; ok; tc; _ } ->
+    Fmt.pf ppf "reply#%d from n%d (%s)%a" rid replica
+      (if ok then "ok" else "err")
+      pp_tc tc
+  | Retry_check { rid; attempt } ->
+    Fmt.pf ppf "retry-check#%d/try%d" rid attempt
+  | Elect { uid; tc } -> Fmt.pf ppf "elect %d%a" uid pp_tc tc
   | Election_settle -> Fmt.string ppf "election-settle"
-  | Coord { uid } -> Fmt.pf ppf "coord %d" uid
-  | Start_election -> Fmt.string ppf "start-election"
-  | Ping -> Fmt.string ppf "ping"
-  | Heartbeat { uid } -> Fmt.pf ppf "heartbeat %d" uid
+  | Coord { uid; tc } -> Fmt.pf ppf "coord %d%a" uid pp_tc tc
+  | Start_election { tc } -> Fmt.pf ppf "start-election%a" pp_tc tc
+  | Ping { tc } -> Fmt.pf ppf "ping%a" pp_tc tc
+  | Heartbeat { uid; tc } -> Fmt.pf ppf "heartbeat %d%a" uid pp_tc tc
   | Hb_check -> Fmt.string ppf "hb-check"
-  | Shutdown -> Fmt.string ppf "shutdown"
+  | Shutdown { tc } -> Fmt.pf ppf "shutdown%a" pp_tc tc

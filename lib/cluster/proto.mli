@@ -5,36 +5,60 @@
     shared, read-only, by every node, so a message carries the index
     and the metrics stay about counts and time, not payload bytes.
     Replies carry the serving replica's response fingerprint; the audit
-    compares exactly these against a single-node replay. *)
+    compares exactly these against a single-node replay.
+
+    Every message that actually crosses the wire also carries a [tc]
+    trace context ({!Gp_telemetry.Context.t}): the sender's (trace id,
+    parent span id), which the receiver parents its spans under — this
+    is how one request's journey links into a single cross-node tree.
+    With tracing disabled every [tc] is the shared
+    {!Gp_telemetry.Context.none} block (one word per message, zero
+    allocation). Self-timer messages are local alarms, not wire
+    traffic, and carry no context. *)
 
 type msg =
   | Arrive of int  (** router self-timer: workload item [rid] arrives *)
-  | Do_request of { rid : int; attempt : int }
+  | Do_request of { rid : int; attempt : int; tc : Gp_telemetry.Context.t }
       (** router -> replica: serve this request (reads go to the shard
-          owner or a failover successor; writes go to the leader) *)
-  | Replicate of { rid : int }
+          owner or a failover successor; writes go to the leader).
+          [tc] parents the replica's serve span under the router's
+          attempt span. *)
+  | Replicate of { rid : int; tc : Gp_telemetry.Context.t }
       (** leader -> follower: apply a write-path request too, keeping
-          every replica's registry and caches in the same state *)
+          every replica's registry and caches in the same state. [tc]
+          parents the follower's span under the leader's serve. *)
   | Reply of { rid : int; replica : int; fp : string; ok : bool;
-               cached : bool }
-      (** replica -> router: served, with the response fingerprint *)
+               cached : bool; tc : Gp_telemetry.Context.t }
+      (** replica -> router: served, with the response fingerprint.
+          [tc] echoes the serve span. *)
   | Retry_check of { rid : int; attempt : int }
       (** router self-timer: if [rid] is still pending, resend with
           capped exponential backoff *)
-  | Elect of { uid : int }  (** replica -> replicas: FloodMax round *)
+  | Elect of { uid : int; tc : Gp_telemetry.Context.t }
+      (** replica -> replicas: FloodMax round *)
   | Election_settle  (** replica self-timer: the round is over *)
-  | Coord of { uid : int }  (** the round's winner announces itself *)
-  | Start_election  (** router -> replicas: leader presumed dead *)
-  | Ping  (** router -> leader: liveness probe. Router-driven so that
-              replicas hold no recurring timers and the simulation
-              quiesces once the router stops. *)
-  | Heartbeat of { uid : int }  (** leader -> router: still alive *)
+  | Coord of { uid : int; tc : Gp_telemetry.Context.t }
+      (** the round's winner announces itself *)
+  | Start_election of { tc : Gp_telemetry.Context.t }
+      (** router -> replicas: leader presumed dead; [tc] is the
+          router's election root span *)
+  | Ping of { tc : Gp_telemetry.Context.t }
+      (** router -> leader: liveness probe. Router-driven so that
+          replicas hold no recurring timers and the simulation
+          quiesces once the router stops. *)
+  | Heartbeat of { uid : int; tc : Gp_telemetry.Context.t }
+      (** leader -> router: still alive; [tc] echoes the probe *)
   | Hb_check  (** router self-timer: probe the leader / declare it dead *)
-  | Shutdown  (** router -> all: workload complete, quiesce *)
+  | Shutdown of { tc : Gp_telemetry.Context.t }
+      (** router -> all: workload complete, quiesce *)
 
 val is_write : Gp_service.Request.t -> bool
 (** Registry-mutating requests — the ones that must serialize through
     the leader and replicate to every node. [Parse] loads definitions,
     so it is the write path; every other pipeline is a read. *)
+
+val context : msg -> Gp_telemetry.Context.t
+(** The trace context a message carries ({!Gp_telemetry.Context.none}
+    for self-timers). *)
 
 val pp : Format.formatter -> msg -> unit

@@ -79,6 +79,8 @@ type metrics = {
   messages_delivered : int;
   messages_dropped : int;
   local_steps : int array; (* per node *)
+  sent_by : int array; (* per-node sends (timers excluded) *)
+  delivered_to : int array; (* per-node deliveries (timers excluded) *)
   finish_time : float;
   events : int;
 }
@@ -180,6 +182,8 @@ let run_core (type s m) ~(config : m config) (topo : Topology.t)
   let sent = ref 0 and delivered = ref 0 and dropped = ref 0 in
   let events = ref 0 in
   let local = Array.make n 0 in
+  let sent_by = Array.make n 0 in
+  let delivered_to = Array.make n 0 in
   let decisions = Array.make n None in
   let halted = Array.make n false in
   let crashed_at =
@@ -226,6 +230,7 @@ let run_core (type s m) ~(config : m config) (topo : Topology.t)
   let send_from src dst msg =
     if (not (is_crashed src)) && not halted.(src) then begin
       incr sent;
+      sent_by.(src) <- sent_by.(src) + 1;
       let msg =
         match Hashtbl.find_opt byzantine src with
         | Some corrupt -> corrupt msg
@@ -279,7 +284,10 @@ let run_core (type s m) ~(config : m config) (topo : Topology.t)
       if !now > config.max_time || !events > config.max_events then
         continue := false
       else if (not (is_crashed ev.Eq.dst)) && not halted.(ev.Eq.dst) then begin
-        if not ev.Eq.tmr then incr delivered;
+        if not ev.Eq.tmr then begin
+          incr delivered;
+          delivered_to.(ev.Eq.dst) <- delivered_to.(ev.Eq.dst) + 1
+        end;
         states.(ev.Eq.dst) <-
           algo.on_message (ctx_of ev.Eq.dst) states.(ev.Eq.dst)
             ~src:ev.Eq.src ev.Eq.msg
@@ -294,6 +302,8 @@ let run_core (type s m) ~(config : m config) (topo : Topology.t)
         messages_delivered = !delivered;
         messages_dropped = !dropped;
         local_steps = local;
+        sent_by;
+        delivered_to;
         finish_time = !now;
         events = !events;
       };

@@ -66,6 +66,11 @@ type metrics = {
   messages_delivered : int;
   messages_dropped : int;
   local_steps : int array;  (** per node *)
+  sent_by : int array;
+      (** per-node message sends — counted like [messages_sent] (before
+          drop/partition filtering), timers excluded *)
+  delivered_to : int array;
+      (** per-node message deliveries, timers excluded *)
   finish_time : float;
   events : int;
 }

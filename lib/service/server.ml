@@ -286,8 +286,11 @@ let record_dossier t ~id ~kind ~wire ~spans ~dur_ns ~cache_chain
         do_metric_deltas = metric_deltas }
 
 (* [wire], when given, is the raw line the request arrived on — reused
-   verbatim in the dossier instead of re-serializing the request. *)
-let handle_recorded ?id ?wire t req =
+   verbatim in the dossier instead of re-serializing the request.
+   [context], when given, is the inbound cluster trace context: the root
+   span names the distributed trace and parent span it belongs to, so a
+   node-local service trace can be joined to the cluster-wide tree. *)
+let handle_recorded ?id ?context ?wire t req =
   let id = match id with Some id -> id | None -> fresh_id t in
   let kind = Request.kind_name (Request.kind req) in
   let recording = Option.is_some t.recorder in
@@ -301,7 +304,15 @@ let handle_recorded ?id ?wire t req =
       let m = Tel.mark () in
       let rsp =
         Tel.with_span ~name:"service.request"
-          ~attrs:(fun () -> [ ("kind", kind); ("id", string_of_int id) ])
+          ~attrs:(fun () ->
+            let base = [ ("kind", kind); ("id", string_of_int id) ] in
+            match context with
+            | Some c when not (Gp_telemetry.Context.is_none c) ->
+              ("trace", string_of_int (Gp_telemetry.Context.trace c))
+              :: ("parent_span",
+                  string_of_int (Gp_telemetry.Context.span c))
+              :: base
+            | _ -> base)
           (fun () -> handle_core ~id t req)
       in
       let spans = Tel.spans_since m in
@@ -339,7 +350,7 @@ let handle_recorded ?id ?wire t req =
       ~cache_chain:(cache_chain t) ~metric_deltas rsp);
   rsp
 
-let handle ?id t req = handle_recorded ?id t req
+let handle ?id ?context t req = handle_recorded ?id ?context t req
 
 (* A request line that did not even parse still gets a full response (and
    a metrics entry under kind "invalid", and a dossier carrying the raw

@@ -60,12 +60,18 @@ val cache_stats : t -> Lru.stats list
 val clear_caches : t -> unit
 val queue_length : t -> int
 
-val handle : ?id:int -> t -> Request.t -> Request.response
+val handle :
+  ?id:int -> ?context:Gp_telemetry.Context.t -> t -> Request.t ->
+  Request.response
 (** Process one request to completion, bypassing the queue. Never
     raises. When a telemetry sink is installed
     ([Gp_telemetry.Tel.install]) each request runs under a
     [service.request] root span and feeds the slow-request log; the
-    response is identical either way. *)
+    response is identical either way. [context], when given and
+    non-{!Gp_telemetry.Context.none}, is the inbound distributed trace
+    context — the root span is stamped with [trace]/[parent_span]
+    attributes so this node's service trace joins the cluster-wide
+    tree. *)
 
 val submit : t -> Request.t -> [ `Admitted of int | `Rejected of Request.response ]
 (** Admission control: a full queue rejects with a [Queue_full]

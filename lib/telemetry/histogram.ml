@@ -117,6 +117,24 @@ let merge a b =
     vmin = Float.min a.vmin b.vmin;
     vmax = Float.max a.vmax b.vmax }
 
+let copy t =
+  { bounds = Array.copy t.bounds;
+    counts = Array.copy t.counts;
+    count = t.count;
+    sum = t.sum;
+    vmin = t.vmin;
+    vmax = t.vmax }
+
+(* Fold [merge] over a fleet of per-node histograms. Because merge adds
+   per-bucket counts and float sums of the same observations, the result
+   is order-independent up to float-addition reassociation — exactly so
+   for integer-valued observations (property-tested in
+   test_telemetry). *)
+let merge_all = function
+  | [] -> invalid_arg "Histogram.merge_all: empty list"
+  | [ h ] -> copy h
+  | h :: rest -> List.fold_left merge (copy h) rest
+
 let clear t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.count <- 0;

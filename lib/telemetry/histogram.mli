@@ -45,4 +45,13 @@ val merge : t -> t -> t
     bound of the merged exact sample. Raises [Invalid_argument] when
     the bucket geometries differ. *)
 
+val copy : t -> t
+(** An independent snapshot (same geometry, same contents). *)
+
+val merge_all : t list -> t
+(** Geometry-checked fold of {!merge} over a fleet of histograms —
+    order-independent up to float-addition reassociation (exact for
+    integer-valued observations). Raises [Invalid_argument] on an empty
+    list or mismatched geometries. *)
+
 val clear : t -> unit

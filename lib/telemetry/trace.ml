@@ -92,6 +92,28 @@ let with_span t ~name ?attrs f =
     close t o ~error:true;
     raise exn
 
+(* Record an already-timed span, bypassing the open-span stack. The
+   cluster's cross-event spans (a request open across many simulated
+   deliveries) can't close in LIFO order, so their owner times them and
+   emits the finished interval with an explicit parent — and, usually,
+   an explicit id drawn from a cluster-global counter so ids stay unique
+   across every node's ring. [next_id] is bumped past explicit ids so
+   stack spans never collide with emitted ones. *)
+let emit t ?id ?parent ~name ~start_ns ~dur_ns ?(attrs = []) () =
+  let id =
+    match id with
+    | Some i ->
+      if i > t.next_id then t.next_id <- i;
+      i
+    | None ->
+      t.next_id <- t.next_id + 1;
+      t.next_id
+  in
+  record t
+    { sp_id = id; sp_parent = parent; sp_name = name; sp_start_ns = start_ns;
+      sp_dur_ns = Float.max 0.0 dur_ns; sp_attrs = attrs; sp_gc = None };
+  id
+
 let add_attr t key v =
   match t.stack with
   | o :: _ -> o.o_extra <- (key, v) :: o.o_extra
@@ -125,52 +147,77 @@ let clear t =
 (* ------------------------------------------------------------------ *)
 
 (* One complete ("ph":"X") event per span; ts/dur are microseconds.
-   Timestamps are rebased to the earliest retained span — a wall clock's
-   epoch nanoseconds would swamp the printer's precision and every ts
-   would render identical. Nesting is inferred by the viewer from time
-   containment; the span and parent ids also ride along in args. *)
-let to_chrome_json t =
-  let sps = spans t in
+   Timestamps are rebased to the earliest span across all lanes — a wall
+   clock's epoch nanoseconds would swamp the printer's precision and
+   every ts would render identical. Nesting is inferred by the viewer
+   from time containment; the span and parent ids also ride along in
+   args.
+
+   Each lane is one process ("pid") in the viewer, announced by a
+   ph:"M" process_name metadata event — the cluster exporter maps one
+   node per lane so cross-node journeys read as parallel swimlanes on
+   the shared simulated clock. *)
+let to_chrome_json_lanes ?(dropped = 0) lanes =
   let base =
-    List.fold_left (fun m sp -> Float.min m sp.sp_start_ns) infinity sps
+    List.fold_left
+      (fun m (_, _, sps) ->
+        List.fold_left (fun m sp -> Float.min m sp.sp_start_ns) m sps)
+      infinity lanes
   in
   let base = if Float.is_finite base then base else 0.0 in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
-  List.iteri
-    (fun i sp ->
-      if i > 0 then Buffer.add_char buf ',';
+  let first = ref true in
+  let comma () =
+    if !first then first := false else Buffer.add_char buf ','
+  in
+  List.iter
+    (fun (pid, pname, sps) ->
+      comma ();
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":%s,\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%s,\"dur\":%s,\
-            \"args\":{"
-           (Json.str sp.sp_name)
-           (Json.num ((sp.sp_start_ns -. base) /. 1e3))
-           (Json.num (sp.sp_dur_ns /. 1e3)));
-      let args =
-        [ ("span_id", string_of_int sp.sp_id) ]
-        @ (match sp.sp_parent with
-          | Some p -> [ ("parent_id", string_of_int p) ]
-          | None -> [])
-        @ (match sp.sp_gc with
-          | Some g ->
-            [ ("alloc_bytes", Printf.sprintf "%.0f" g.Profile.pc_alloc_bytes);
-              ("minor_gcs", string_of_int g.Profile.pc_minor);
-              ("major_gcs", string_of_int g.Profile.pc_major) ]
-          | None -> [])
-        @ sp.sp_attrs
-      in
-      List.iteri
-        (fun j (k, v) ->
-          if j > 0 then Buffer.add_char buf ',';
-          Buffer.add_string buf (Json.str k ^ ":" ^ Json.str v))
-        args;
-      Buffer.add_string buf "}}")
-    sps;
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":1,\
+            \"args\":{\"name\":%s}}"
+           pid (Json.str pname));
+      List.iter
+        (fun sp ->
+          comma ();
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":%s,\"ph\":\"X\",\"pid\":%d,\"tid\":1,\"ts\":%s,\
+                \"dur\":%s,\"args\":{"
+               (Json.str sp.sp_name) pid
+               (Json.num ((sp.sp_start_ns -. base) /. 1e3))
+               (Json.num (sp.sp_dur_ns /. 1e3)));
+          let args =
+            [ ("span_id", string_of_int sp.sp_id) ]
+            @ (match sp.sp_parent with
+              | Some p -> [ ("parent_id", string_of_int p) ]
+              | None -> [])
+            @ (match sp.sp_gc with
+              | Some g ->
+                [ ("alloc_bytes",
+                   Printf.sprintf "%.0f" g.Profile.pc_alloc_bytes);
+                  ("minor_gcs", string_of_int g.Profile.pc_minor);
+                  ("major_gcs", string_of_int g.Profile.pc_major) ]
+              | None -> [])
+            @ sp.sp_attrs
+          in
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf (Json.str k ^ ":" ^ Json.str v))
+            args;
+          Buffer.add_string buf "}}")
+        sps)
+    lanes;
   Buffer.add_string buf
     (Printf.sprintf "],\"displayTimeUnit\":\"ns\",\"droppedSpans\":%d}"
-       (dropped t));
+       dropped);
   Buffer.contents buf
+
+let to_chrome_json t =
+  to_chrome_json_lanes ~dropped:(dropped t) [ (1, "gp", spans t) ]
 
 (* ------------------------------------------------------------------ *)
 (* Span-tree rendering                                                 *)

@@ -35,6 +35,16 @@ val add_attr : t -> string -> string -> unit
 (** Attach an attribute to the innermost open span (no-op outside any
     span). Lets code record results computed mid-span. *)
 
+val emit :
+  t -> ?id:int -> ?parent:int -> name:string -> start_ns:float ->
+  dur_ns:float -> ?attrs:(string * string) list -> unit -> int
+(** Record an already-timed span directly, bypassing the open-span
+    stack — for cross-event spans (the cluster's request/attempt spans
+    stay open across many simulated deliveries) whose parent is chosen
+    explicitly, e.g. from an inbound {!Context}. Returns the span id;
+    when [id] is given it is used verbatim and the internal id counter
+    is bumped past it. *)
+
 val spans : t -> span list
 (** Retained (up to capacity) completed spans, oldest first. *)
 
@@ -53,10 +63,21 @@ val since : t -> int -> span list
 
 val clear : t -> unit
 
+val to_chrome_json_lanes :
+  ?dropped:int -> (int * string * span list) list -> string
+(** Chrome trace-event JSON over explicit process lanes:
+    [(pid, process_name, spans)] per lane. Each lane opens with a
+    [ph:"M"] [process_name] metadata event, then one complete
+    ([ph:"X"]) event per span with that lane's [pid]; ts/dur are
+    microseconds, rebased to the earliest span across {e all} lanes so
+    cross-lane ordering survives. The cluster exporter maps one node
+    per lane. *)
+
 val to_chrome_json : t -> string
-(** Chrome trace-event JSON: one complete ([ph:"X"]) event per retained
-    span, ts/dur in microseconds (ts rebased to the earliest retained
-    span), span/parent ids and attrs in [args]. *)
+(** {!to_chrome_json_lanes} with the single lane [(1, "gp", spans t)]:
+    one complete ([ph:"X"]) event per retained span, ts/dur in
+    microseconds (ts rebased to the earliest retained span),
+    span/parent ids and attrs in [args]. *)
 
 val pp_dur : Format.formatter -> float -> unit
 

@@ -1,0 +1,106 @@
+(* Fleet metrics: roll the per-node registries of a traced cluster run
+   into one cluster-wide view. Counters add, histograms merge through
+   the geometry-checked Histogram.merge, so the merged request-latency
+   percentiles are exactly what one registry observing every node would
+   have recorded. *)
+
+module Metrics = Gp_telemetry.Metrics
+module Histogram = Gp_telemetry.Histogram
+module Cluster = Gp_cluster.Cluster
+module Engine = Gp_distsim.Engine
+
+let merged (r : Cluster.result) =
+  match r.Cluster.r_node_metrics with
+  | [] -> None
+  | ms -> Some (Metrics.merge_all (List.map snd ms))
+
+(* Hot keys: dispatch counts per content key, flagged when a key drew
+   at least twice the mean traffic. Sorted hottest first, key breaks
+   ties — deterministic. *)
+let hot_keys m =
+  let series = Metrics.counter_series m "gp_cluster_key_dispatch_total" in
+  let keyed =
+    List.filter_map
+      (fun (labels, v) ->
+        match List.assoc_opt "key" labels with
+        | Some k -> Some (k, v)
+        | None -> None)
+      series
+  in
+  match keyed with
+  | [] -> []
+  | _ ->
+    let total = List.fold_left (fun a (_, v) -> a +. v) 0.0 keyed in
+    let mean = total /. float_of_int (List.length keyed) in
+    List.filter (fun (_, v) -> v >= 2.0 *. mean) keyed
+    |> List.stable_sort (fun (ka, va) (kb, vb) ->
+           compare (vb, ka) (va, kb))
+
+type percentiles = {
+  pc_count : int;
+  pc_p50 : float;
+  pc_p90 : float;
+  pc_p99 : float;
+  pc_max : float;
+}
+
+let request_percentiles m =
+  match Metrics.find_histogram m "gp_cluster_request_time" with
+  | None -> None
+  | Some h when Histogram.count h = 0 -> None
+  | Some h ->
+    Some
+      { pc_count = Histogram.count h;
+        pc_p50 = Histogram.quantile h 0.5;
+        pc_p90 = Histogram.quantile h 0.9;
+        pc_p99 = Histogram.quantile h 0.99;
+        pc_max = Histogram.max_value h }
+
+let pp_report ppf (r : Cluster.result) =
+  match merged r with
+  | None ->
+    Fmt.pf ppf "no fleet metrics (run the cluster with tracing on)@."
+  | Some m ->
+    let nodes = List.length r.Cluster.r_node_metrics in
+    Fmt.pf ppf "fleet: %d nodes (router + %d replicas)@." nodes (nodes - 1);
+    let em = r.Cluster.r_metrics in
+    Array.iteri
+      (fun i sent ->
+        if i < nodes then
+          Fmt.pf ppf "  node %d (%s): sent %d, delivered %d@." i
+            (if i = 0 then "router" else "replica")
+            sent em.Engine.delivered_to.(i))
+      em.Engine.sent_by;
+    (match request_percentiles m with
+     | None -> ()
+     | Some pc ->
+       Fmt.pf ppf
+         "request latency (sim units, %d requests): p50 %.2f  p90 %.2f  \
+          p99 %.2f  max %.2f@."
+         pc.pc_count pc.pc_p50 pc.pc_p90 pc.pc_p99 pc.pc_max);
+    Fmt.pf ppf
+      "traffic: serves %.0f, replicates %.0f, retries %.0f, elections \
+       %.0f@."
+      (Metrics.total m "gp_cluster_serves_total")
+      (Metrics.total m "gp_cluster_replicates_total")
+      (Metrics.total m "gp_cluster_retries_total")
+      (Metrics.total m "gp_cluster_elections_total");
+    let shards = Metrics.counter_series m "gp_cluster_shard_dispatch_total" in
+    if shards <> [] then begin
+      Fmt.pf ppf "dispatches by shard:";
+      List.iter
+        (fun (labels, v) ->
+          match List.assoc_opt "shard" labels with
+          | Some s -> Fmt.pf ppf " %s=%.0f" s v
+          | None -> ())
+        (List.stable_sort compare shards);
+      Fmt.pf ppf "@."
+    end;
+    match hot_keys m with
+    | [] -> Fmt.pf ppf "hot keys: none (no key above 2x mean traffic)@."
+    | hot ->
+      Fmt.pf ppf "hot keys (>= 2x mean dispatch traffic):";
+      List.iteri
+        (fun i (k, v) -> if i < 8 then Fmt.pf ppf " %s=%.0f" k v)
+        hot;
+      Fmt.pf ppf "@."

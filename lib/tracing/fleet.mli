@@ -1,0 +1,33 @@
+(** Cluster-wide fleet metrics: merge the per-node registries a traced
+    run collects into one view — summed traffic counters,
+    geometry-checked histogram merges for cluster-wide latency
+    percentiles, per-shard dispatch counts, and a hot-key signal. *)
+
+val merged : Gp_cluster.Cluster.result -> Gp_telemetry.Metrics.t option
+(** {!Gp_telemetry.Metrics.merge_all} over the run's [r_node_metrics];
+    [None] when the run was not traced. *)
+
+val hot_keys : Gp_telemetry.Metrics.t -> (string * float) list
+(** Content keys whose dispatch count is at least twice the mean over
+    all keys, hottest first (key breaks ties — deterministic). Reads
+    the [gp_cluster_key_dispatch_total] family of a merged registry. *)
+
+type percentiles = {
+  pc_count : int;
+  pc_p50 : float;
+  pc_p90 : float;
+  pc_p99 : float;
+  pc_max : float;
+}
+
+val request_percentiles :
+  Gp_telemetry.Metrics.t -> percentiles option
+(** Cluster-wide request-latency percentiles (simulated units) from the
+    merged [gp_cluster_request_time] histogram; [None] when absent or
+    empty. *)
+
+val pp_report : Format.formatter -> Gp_cluster.Cluster.result -> unit
+(** The fleet report: per-node sent/delivered traffic (from the engine's
+    per-node counters), merged latency percentiles, traffic totals,
+    per-shard dispatches, hot keys. Deterministic per (config,
+    workload). *)

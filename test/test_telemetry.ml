@@ -164,6 +164,93 @@ let histogram_merge_prop =
                 est <= exact *. r +. 1e-9 && est >= exact /. r -. 1e-9)
               [ 0.25; 0.5; 0.9; 1.0 ]))
 
+(* Structural equality for merge laws: same geometry, same per-bucket
+   counts, same count/sum/extremes (Stdlib.compare so empty nan
+   extremes compare equal). *)
+let hist_eq a b =
+  Histogram.buckets a = Histogram.buckets b
+  && Histogram.count a = Histogram.count b
+  && Stdlib.compare (Histogram.sum a) (Histogram.sum b) = 0
+  && Stdlib.compare (Histogram.min_value a) (Histogram.min_value b) = 0
+  && Stdlib.compare (Histogram.max_value a) (Histogram.max_value b) = 0
+
+(* Integer-valued samples: float addition over them is exact, so the
+   merge laws hold with = rather than within-epsilon. *)
+let int_samples =
+  QCheck.(list_of_size Gen.(int_range 0 30)
+            (map float_of_int (int_range 1 1_000_000)))
+
+let hist_of samples =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) samples;
+  h
+
+let histogram_merge_comm_prop =
+  qtest
+    (QCheck.Test.make ~name:"merge is commutative" ~count:200
+       QCheck.(pair int_samples int_samples)
+       (fun (xs, ys) ->
+         let a = hist_of xs and b = hist_of ys in
+         hist_eq (Histogram.merge a b) (Histogram.merge b a)))
+
+let histogram_merge_assoc_prop =
+  qtest
+    (QCheck.Test.make ~name:"merge is associative; merge_all folds it"
+       ~count:200
+       QCheck.(triple int_samples int_samples int_samples)
+       (fun (xs, ys, zs) ->
+         let a = hist_of xs and b = hist_of ys and c = hist_of zs in
+         let l = Histogram.merge (Histogram.merge a b) c in
+         let r = Histogram.merge a (Histogram.merge b c) in
+         hist_eq l r
+         && hist_eq l (Histogram.merge_all [ a; b; c ])
+         && hist_eq a (Histogram.merge_all [ a ])))
+
+let test_histogram_merge_all_edges () =
+  Alcotest.(check bool) "empty list raises" true
+    (match Histogram.merge_all [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* merge_all [h] is an independent copy, not an alias *)
+  let h = hist_of [ 10.0; 20.0 ] in
+  let c = Histogram.merge_all [ h ] in
+  Histogram.observe h 30.0;
+  Alcotest.(check int) "original grew" 3 (Histogram.count h);
+  Alcotest.(check int) "copy did not" 2 (Histogram.count c)
+
+(* ------------------------------------------------------------------ *)
+(* Trace context (the cluster wire piggyback)                          *)
+(* ------------------------------------------------------------------ *)
+
+let context_roundtrip_prop =
+  qtest
+    (QCheck.Test.make ~name:"context renders and parses back" ~count:500
+       QCheck.(pair (int_range 0 max_int) (int_range 0 max_int))
+       (fun (trace, span) ->
+         let c = Context.v ~trace ~span in
+         Context.of_string (Context.to_string c) = Some c
+         &&
+         (* embedded parse: the cursor stops exactly after the context *)
+         let buf = Buffer.create 32 in
+         Buffer.add_string buf "x:";
+         Context.render_into buf c;
+         Buffer.add_string buf ",rest";
+         let s = Buffer.contents buf in
+         match Context.parse_at s ~pos:2 with
+         | Some (c', stop) ->
+           c' = c && String.sub s stop 5 = ",rest"
+         | None -> false))
+
+let test_context_edges () =
+  Alcotest.(check bool) "none is none" true (Context.is_none Context.none);
+  Alcotest.(check bool) "non-none" false
+    (Context.is_none (Context.v ~trace:0 ~span:1));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (Context.of_string s = None))
+    [ ""; "/"; "1/"; "/2"; "a/b"; "1/2/3"; "1/2 "; "-1/2" ]
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -336,7 +423,20 @@ let test_trace_chrome_json () =
   | exception Bad_json e -> Alcotest.failf "chrome json does not parse: %s" e
   | j ->
     let events = jlist (Option.get (member "traceEvents" j)) in
-    Alcotest.(check int) "two events" 2 (List.length events);
+    (* one process_name metadata event names the lane, then the spans *)
+    let metas, spans =
+      List.partition (fun e -> member "ph" e = Some (Jstr "M")) events
+    in
+    Alcotest.(check int) "one metadata event" 1 (List.length metas);
+    Alcotest.(check bool) "metadata names the process" true
+      (match metas with
+      | [ m ] ->
+        member "name" m = Some (Jstr "process_name")
+        && (match member "args" m with
+           | Some args -> member "name" args <> None
+           | None -> false)
+      | _ -> false);
+    Alcotest.(check int) "two span events" 2 (List.length spans);
     List.iter
       (fun e ->
         Alcotest.(check bool) "complete event" true
@@ -346,12 +446,12 @@ let test_trace_chrome_json () =
           (match member "args" e with
           | Some args -> member "span_id" args <> None
           | None -> false))
-      events;
-    (* ts is rebased: the earliest event starts at 0 *)
+      spans;
+    (* ts is rebased: the earliest span starts at 0 *)
     let ts =
       List.filter_map
         (fun e -> match member "ts" e with Some (Jnum v) -> Some v | _ -> None)
-        events
+        spans
     in
     Alcotest.(check (float 0.0)) "rebased ts" 0.0
       (List.fold_left Float.min infinity ts)
@@ -402,12 +502,14 @@ let test_span_gc_accounting () =
       | exception Bad_json e -> Alcotest.failf "chrome json: %s" e
       | j ->
         let events = jlist (Option.get (member "traceEvents" j)) in
+        (* span events only — the process_name metadata event has no gc *)
         List.iter
           (fun e ->
-            Alcotest.(check bool) "alloc_bytes arg" true
-              (match member "args" e with
-              | Some args -> member "alloc_bytes" args <> None
-              | None -> false))
+            if member "ph" e = Some (Jstr "X") then
+              Alcotest.(check bool) "alloc_bytes arg" true
+                (match member "args" e with
+                | Some args -> member "alloc_bytes" args <> None
+                | None -> false))
           events);
   Alcotest.(check bool) "profile restored off" false (Profile.is_enabled ())
 
@@ -717,6 +819,50 @@ let test_server_slow_log_and_json () =
     Alcotest.(check bool) "served count" true
       (member "requests" j = Some (Jnum 6.0))
 
+(* ------------------------------------------------------------------ *)
+(* Fleet roll-up: Metrics.merge_all                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_merge_all () =
+  let a = Metrics.create () in
+  let b = Metrics.create () in
+  Metrics.declare a ~kind:Metrics.Counter ~name:"serves" ~help:"Serves.";
+  Metrics.inc a ~by:3.0 "serves";
+  Metrics.inc b ~by:4.0 "serves";
+  Metrics.inc b ~labels:[ ("key", "k1") ] "by_key";
+  Metrics.inc a ~labels:[ ("key", "k1") ] ~by:2.0 "by_key";
+  Metrics.inc a ~labels:[ ("key", "k2") ] "by_key";
+  Metrics.observe a "lat" 100.0;
+  Metrics.observe a "lat" 200.0;
+  Metrics.observe b "lat" 1000.0;
+  let m = Metrics.merge_all [ a; b ] in
+  Alcotest.(check (float 0.0)) "counters add" 7.0 (Metrics.value m "serves");
+  Alcotest.(check (float 0.0)) "labelled series add" 3.0
+    (Metrics.value m ~labels:[ ("key", "k1") ] "by_key");
+  Alcotest.(check (float 0.0)) "one-sided series kept" 1.0
+    (Metrics.value m ~labels:[ ("key", "k2") ] "by_key");
+  (match Metrics.find_histogram m "lat" with
+  | None -> Alcotest.fail "merged histogram missing"
+  | Some h ->
+    Alcotest.(check int) "histogram counts add" 3 (Histogram.count h);
+    Alcotest.(check (float 1e-9)) "histogram sums add" 1300.0
+      (Histogram.sum h));
+  (* inputs untouched, merged registry independent *)
+  Metrics.inc m "serves";
+  Alcotest.(check (float 0.0)) "input a untouched" 3.0
+    (Metrics.value a "serves");
+  (* order independence of the totals *)
+  let m2 = Metrics.merge_all [ b; a ] in
+  Alcotest.(check (float 0.0)) "order-independent total" 7.0
+    (Metrics.value m2 "serves");
+  (* kind clash across registries is a programming error *)
+  let c = Metrics.create () in
+  Metrics.set c "serves" 1.0;
+  Alcotest.(check bool) "cross-registry kind clash raises" true
+    (match Metrics.merge_all [ a; c ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let () =
   Alcotest.run "gp_telemetry"
     [
@@ -733,6 +879,15 @@ let () =
           histogram_bound_prop;
           histogram_monotone_prop;
           histogram_merge_prop;
+          histogram_merge_comm_prop;
+          histogram_merge_assoc_prop;
+          Alcotest.test_case "merge_all edges" `Quick
+            test_histogram_merge_all_edges;
+        ] );
+      ( "context",
+        [
+          context_roundtrip_prop;
+          Alcotest.test_case "none and rejects" `Quick test_context_edges;
         ] );
       ( "metrics",
         [
@@ -741,6 +896,7 @@ let () =
             test_metrics_prometheus;
           Alcotest.test_case "json exposition" `Quick test_metrics_json;
           Alcotest.test_case "family totals" `Quick test_metrics_totals;
+          Alcotest.test_case "fleet merge_all" `Quick test_metrics_merge_all;
         ] );
       ( "trace",
         [

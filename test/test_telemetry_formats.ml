@@ -34,18 +34,14 @@ let required_spans =
   [ "concepts.check"; "concepts.closure"; "stllint.check";
     "simplicissimus.rewrite"; "distsim.run" ]
 
-let validate_trace path =
-  let j =
-    match parse (read_file path) with
-    | j -> j
-    | exception Bad_json e -> fail "%s: invalid JSON: %s" path e
-  in
-  let events =
-    match member "traceEvents" j with
-    | Some (Jlist l) -> l
-    | _ -> fail "%s: no traceEvents array" path
-  in
+(* Shared structural checks: every event is either a complete (ph:X)
+   event with sane ts/dur or a process_name metadata (ph:M) event, and
+   every X event's pid lane is named by exactly such an M event.
+   Returns (X events, lane pids). *)
+let check_events path events =
   if events = [] then fail "%s: empty trace" path;
+  let named_pids = ref [] in
+  let xs = ref [] in
   List.iteri
     (fun i e ->
       let field k =
@@ -53,20 +49,56 @@ let validate_trace path =
         | Some v -> v
         | None -> fail "%s: event %d lacks %S" path i k
       in
-      (match field "ph" with
-      | Jstr "X" -> ()
-      | _ -> fail "%s: event %d is not a complete event" path i);
-      (match (field "ts", field "dur") with
-      | Jnum ts, Jnum dur when ts >= 0.0 && dur >= 0.0 -> ()
-      | _ -> fail "%s: event %d has bad ts/dur" path i);
-      match (field "name", member "args" e) with
-      | Jstr _, Some (Jobj _) -> ()
-      | _ -> fail "%s: event %d has bad name/args" path i)
+      let pid =
+        match field "pid" with
+        | Jnum p -> p
+        | _ -> fail "%s: event %d has a bad pid" path i
+      in
+      match field "ph" with
+      | Jstr "M" ->
+        (match field "name" with
+        | Jstr "process_name" -> ()
+        | _ -> fail "%s: metadata event %d is not process_name" path i);
+        (match member "args" e with
+        | Some (Jobj _ as args) when member "name" args <> None -> ()
+        | _ -> fail "%s: metadata event %d lacks args.name" path i);
+        if List.mem pid !named_pids then
+          fail "%s: pid %g named twice" path pid;
+        named_pids := pid :: !named_pids
+      | Jstr "X" ->
+        (match (field "ts", field "dur") with
+        | Jnum ts, Jnum dur when ts >= 0.0 && dur >= 0.0 -> ()
+        | _ -> fail "%s: event %d has bad ts/dur" path i);
+        (match (field "name", member "args" e) with
+        | Jstr _, Some (Jobj _) -> ()
+        | _ -> fail "%s: event %d has bad name/args" path i);
+        xs := (pid, e) :: !xs
+      | _ -> fail "%s: event %d is neither complete nor metadata" path i)
     events;
+  let xs = List.rev !xs in
+  List.iteri
+    (fun i (pid, _) ->
+      if not (List.mem pid !named_pids) then
+        fail "%s: event %d in unnamed pid lane %g" path i pid)
+    xs;
+  (List.map snd xs, List.sort_uniq compare !named_pids)
+
+let parse_events path =
+  let j =
+    match parse (read_file path) with
+    | j -> j
+    | exception Bad_json e -> fail "%s: invalid JSON: %s" path e
+  in
+  match member "traceEvents" j with
+  | Some (Jlist l) -> l
+  | _ -> fail "%s: no traceEvents array" path
+
+let validate_trace path =
+  let spans, _ = check_events path (parse_events path) in
   let names =
     List.filter_map
       (fun e -> match member "name" e with Some (Jstr s) -> Some s | _ -> None)
-      events
+      spans
   in
   List.iter
     (fun want ->
@@ -74,8 +106,31 @@ let validate_trace path =
         fail "%s: no %S span — subsystem not covered" path want)
     required_spans;
   Printf.printf "trace ok: %s, %d events, spans cover %s\n" path
-    (List.length events)
+    (List.length spans)
     (String.concat " " required_spans)
+
+(* A cluster trace export: same structural rules, but the point is the
+   lane layout — several pids, one per node, each named, each holding
+   spans. *)
+let validate_lanes path =
+  let spans, pids = check_events path (parse_events path) in
+  if List.length pids < 2 then
+    fail "%s: expected one pid lane per cluster node, got %d" path
+      (List.length pids);
+  List.iter
+    (fun pid ->
+      if
+        not
+          (List.exists
+             (fun e ->
+               match member "pid" e with
+               | Some (Jnum p) -> p = pid
+               | _ -> false)
+             spans)
+      then fail "%s: pid lane %g is named but empty" path pid)
+    pids;
+  Printf.printf "lanes ok: %s, %d events across %d node lanes\n" path
+    (List.length spans) (List.length pids)
 
 (* ------------------------------------------------------------------ *)
 (* Prometheus exposition                                               *)
@@ -282,13 +337,14 @@ let validate_folded path =
 
 let usage () =
   prerr_endline
-    "usage: test_telemetry_formats (trace|prom|flight|folded) FILE ...";
+    "usage: test_telemetry_formats (trace|lanes|prom|flight|folded) FILE ...";
   exit 2
 
 let () =
   let rec go = function
     | [] -> ()
     | "trace" :: file :: rest -> validate_trace file; go rest
+    | "lanes" :: file :: rest -> validate_lanes file; go rest
     | "prom" :: file :: rest -> validate_prometheus file; go rest
     | "flight" :: file :: rest -> validate_flight file; go rest
     | "folded" :: file :: rest -> validate_folded file; go rest
