@@ -1754,6 +1754,171 @@ let s9 () =
     record ~experiment:"s9" "trace_overhead_ratio" (t_on /. t_off)
   end
 
+let s10 () =
+  section "S10" "gp_scenario: elastic cluster scenarios — open-loop \
+                 arrivals, hot-key mitigation, load shedding, and a \
+                 million simulated users";
+  let open Gp_cluster in
+  let open Gp_scenario in
+  let declare_standard reg =
+    Gp_algebra.Decls.declare reg;
+    Gp_sequence.Decls.declare reg;
+    Gp_graph.Decls.declare reg;
+    Gp_linalg.Decls.declare reg;
+    Gp_structla.Decls.declare reg
+  in
+  let seed = 1 in
+  let scenario name =
+    match Scenario.find name with
+    | Some t -> t
+    | None -> failwith ("s10: no scenario named " ^ name)
+  in
+  (* Every scenario below runs at FULL scale regardless of --quick:
+     all gated numbers are simulated time and exact counts, so the
+     committed baseline must reproduce under quick quotas too. Only
+     the wall probes at the end are quota-dependent (null under
+     --quick; bench-diff skips null). *)
+
+  (* -- hot-key flood: the mitigation's measured win ---------------- *)
+  let n = Scenario.flood_n ~quick:false in
+  let reqs = Scenario.flood_reqs ~seed n in
+  let arm promote =
+    Cluster.run
+      ~config:(Scenario.flood_config ~quick:false ~seed ~promote n)
+      ~declare_standard reqs
+  in
+  Fmt.pr "hot-key flood, n=%d seed=%d: zipf reads behind a small LRU, \
+          promotion on vs off@." n seed;
+  let r_on = arm true in
+  let r_off = arm false in
+  let p99_on = Cluster.latency_percentile r_on 0.99 in
+  let p99_off = Cluster.latency_percentile r_off 0.99 in
+  let miss_on = 1.0 -. Cluster.hit_ratio r_on in
+  let miss_off = 1.0 -. Cluster.hit_ratio r_off in
+  Fmt.pr "  promotion on:  p99 %.2f sim, miss %.2f%%, %d promotion(s) \
+          (%s)@."
+    p99_on (100.0 *. miss_on) r_on.Cluster.r_promotions
+    (String.concat ", " r_on.Cluster.r_promoted_keys);
+  Fmt.pr "  promotion off: p99 %.2f sim, miss %.2f%%@." p99_off
+    (100.0 *. miss_off);
+  Fmt.pr "  promotion wins: p99 %.2fx, miss ratio %.2fx@."
+    (p99_off /. p99_on) (miss_off /. miss_on);
+  assert (r_on.Cluster.r_promotions > 0);
+  assert (r_off.Cluster.r_promotions = 0);
+  assert (p99_on < p99_off);
+  assert (miss_on < miss_off);
+  record ~experiment:"s10" "flood_requests" (float_of_int n);
+  record ~experiment:"s10" "flood_promotions"
+    (float_of_int r_on.Cluster.r_promotions);
+  record ~experiment:"s10" "flood_p99_on_sim" p99_on;
+  record ~experiment:"s10" "flood_p99_off_sim" p99_off;
+  record ~experiment:"s10" "flood_p99_speedup" (p99_off /. p99_on);
+  record ~experiment:"s10" "flood_miss_on_pct" (100.0 *. miss_on);
+  record ~experiment:"s10" "flood_miss_off_pct" (100.0 *. miss_off);
+  record ~experiment:"s10" "flood_miss_speedup" (miss_off /. miss_on);
+
+  (* -- elastic join/leave: minimal movement -------------------------- *)
+  let eo =
+    Scenario.run ~seed ~audit:true ~declare_standard (scenario "elastic")
+  in
+  Fmt.pr "@.%a" Scenario.pp_outcome eo;
+  assert (Scenario.ok eo);
+  assert (eo.Scenario.o_moved <= eo.Scenario.o_moved_bound);
+  record ~experiment:"s10" "elastic_joined"
+    (float_of_int eo.Scenario.o_joined);
+  record ~experiment:"s10" "elastic_left" (float_of_int eo.Scenario.o_left);
+  record ~experiment:"s10" "elastic_handoffs"
+    (float_of_int eo.Scenario.o_handoffs);
+  record ~experiment:"s10" "elastic_moved_keys"
+    (float_of_int eo.Scenario.o_moved);
+  record ~experiment:"s10" "elastic_movement_bound"
+    (float_of_int eo.Scenario.o_moved_bound);
+
+  (* -- multi-tenant overload: shed, never hang ----------------------- *)
+  let t_o =
+    Scenario.run ~seed ~audit:true ~declare_standard (scenario "tenants")
+  in
+  Fmt.pr "@.%a" Scenario.pp_outcome t_o;
+  assert (Scenario.ok t_o);
+  assert (t_o.Scenario.o_shed > 0);
+  assert (t_o.Scenario.o_peak_queue <= 48);
+  (match t_o.Scenario.o_audit with
+  | None -> assert false
+  | Some a ->
+    (* shed verdicts are excluded from the fingerprint diff by
+       construction, and the accounting identity still closes *)
+    assert (a.Cluster.au_shed > 0);
+    assert (
+      a.Cluster.au_compared + a.Cluster.au_missing + a.Cluster.au_shed
+      = a.Cluster.au_total);
+    assert (a.Cluster.au_divergences = []));
+  record ~experiment:"s10" "overload_shed" (float_of_int t_o.Scenario.o_shed);
+  record ~experiment:"s10" "overload_shed_ratio" t_o.Scenario.o_shed_ratio;
+  record ~experiment:"s10" "overload_peak_queue"
+    (float_of_int t_o.Scenario.o_peak_queue);
+  List.iter
+    (fun t ->
+      record ~experiment:"s10"
+        ("tenant_" ^ t.Scenario.tn_name ^ "_served_pct")
+        (100.0 *. t.Scenario.tn_ratio))
+    t_o.Scenario.o_tenants;
+
+  (* -- the headline: a million simulated users ----------------------- *)
+  Fmt.pr "@.million: 1e6 open-loop requests across 32 replicas, every \
+          answer audited against a single node...@.";
+  let t0 = Unix.gettimeofday () in
+  let mo =
+    Scenario.run ~seed ~audit:true ~declare_standard (scenario "million")
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Fmt.pr "%a" Scenario.pp_outcome mo;
+  assert (Scenario.ok mo);
+  assert (mo.Scenario.o_requests >= 1_000_000);
+  assert (mo.Scenario.o_replicas >= 32);
+  assert (mo.Scenario.o_completed = mo.Scenario.o_requests);
+  (match mo.Scenario.o_audit with
+  | None -> assert false
+  | Some a ->
+    assert (a.Cluster.au_missing = 0);
+    assert (a.Cluster.au_divergences = []);
+    record ~experiment:"s10" "million_audit_compared"
+      (float_of_int a.Cluster.au_compared);
+    record ~experiment:"s10" "million_audit_divergent_pct"
+      (100.0
+      *. float_of_int (List.length a.Cluster.au_divergences)
+      /. float_of_int a.Cluster.au_total));
+  record ~experiment:"s10" "million_requests"
+    (float_of_int mo.Scenario.o_requests);
+  record ~experiment:"s10" "million_replicas"
+    (float_of_int mo.Scenario.o_replicas);
+  record ~experiment:"s10" "million_completed_pct"
+    (100.0
+    *. float_of_int mo.Scenario.o_completed
+    /. float_of_int mo.Scenario.o_requests);
+  record ~experiment:"s10" "million_shed" (float_of_int mo.Scenario.o_shed);
+  record ~experiment:"s10" "million_p50_sim" mo.Scenario.o_p50;
+  record ~experiment:"s10" "million_p99_sim" mo.Scenario.o_p99;
+  record ~experiment:"s10" "million_hit_pct"
+    (100.0 *. mo.Scenario.o_hit_ratio);
+  record ~experiment:"s10" "million_peak_queue"
+    (float_of_int mo.Scenario.o_peak_queue);
+  (* wall-clock probes: meaningless under --quick quotas, null there
+     (bench-diff skips null) *)
+  if !quota < 0.45 then begin
+    Fmt.pr "@.wall probe skipped under --quick (recorded as null)@.";
+    record ~experiment:"s10" "million_wall_ns" nan;
+    record ~experiment:"s10" "million_req_per_wall_sec" nan
+  end
+  else begin
+    Fmt.pr "@.wall clock: %.1f s for the audited million (%.0f req/s \
+            including the single-node replay)@."
+      wall
+      (float_of_int mo.Scenario.o_requests /. wall);
+    record ~experiment:"s10" "million_wall_ns" (wall *. 1e9);
+    record ~experiment:"s10" "million_req_per_wall_sec"
+      (float_of_int mo.Scenario.o_requests /. wall)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -1762,7 +1927,8 @@ let experiments =
   [ ("f1", f1_f2); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6);
     ("c1", c1); ("c2", c2); ("c3", c3); ("c5", c5); ("c6", c6); ("c8", c8);
     ("a1", a1); ("s1", s1); ("s2", s2); ("s3", s3); ("s4", s4);
-    ("s5", s5); ("s6", s6); ("s7", s7); ("s8", s8); ("s9", s9) ]
+    ("s5", s5); ("s6", s6); ("s7", s7); ("s8", s8); ("s9", s9);
+    ("s10", s10) ]
 
 let () =
   let rec parse = function

@@ -12,6 +12,7 @@
      gp workload --n N --seed S              run a synthetic serving workload
      gp replay <flight.jsonl>                re-execute a flight dump, verify
      gp cluster run|audit|trace              simulated replicated cluster (gp_cluster)
+     gp scenario list|run                    elastic cluster scenarios (gp_scenario)
      gp complexity [--op O] [--json]         empirical asymptotics vs declared bounds
      gp bench-diff <old.json> <new.json>     perf-regression guard over --json *)
 
@@ -1111,6 +1112,93 @@ let cluster_cmd =
     [ cluster_run_cmd; cluster_audit_cmd; cluster_trace_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* gp scenario                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_list_cmd =
+  let run () =
+    List.iter
+      (fun s ->
+        Fmt.pr "%-14s %s@." (Gp_scenario.Scenario.name s)
+          (Gp_scenario.Scenario.summary s))
+      Gp_scenario.Scenario.catalog;
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the scenario catalog")
+    Term.(const run $ const ())
+
+let scenario_run_cmd =
+  let name_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"NAME"
+             ~doc:"Catalog scenario to run (see $(b,gp scenario list)).")
+  in
+  let all =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"Run every catalog scenario in order.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"Smoke mode: ~8x smaller workloads, same shape and \
+                   checks.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scenario seed.")
+  in
+  let do_audit =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:"Replay every served answer on a single node and diff \
+                   response fingerprints; shed verdicts are excluded by \
+                   construction.")
+  in
+  let run name all quick seed do_audit =
+    let open Gp_scenario in
+    let targets =
+      match (name, all) with
+      | None, true -> Ok Scenario.catalog
+      | Some n, false -> (
+        match Scenario.find n with
+        | Some s -> Ok [ s ]
+        | None -> Error (Printf.sprintf "unknown scenario %S" n))
+      | Some _, true -> Error "give a NAME or --all, not both"
+      | None, false -> Error "which scenario? give a NAME or --all"
+    in
+    match targets with
+    | Error m ->
+      Fmt.epr "%s@." m;
+      2
+    | Ok targets ->
+      let failed = ref 0 in
+      List.iter
+        (fun s ->
+          let o =
+            Scenario.run ~quick ~seed ~audit:do_audit
+              ~declare_standard:standard_declare s
+          in
+          Fmt.pr "%a" Scenario.pp_outcome o;
+          if not (Scenario.ok o) then incr failed)
+        targets;
+      if !failed > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run catalog scenarios and report; exit 1 on any violated \
+             expectation")
+    Term.(const run $ name_arg $ all $ quick $ seed $ do_audit)
+
+let scenario_cmd =
+  Cmd.group
+    (Cmd.info "scenario"
+       ~doc:"Elastic cluster scenarios: open-loop arrivals, hot-key \
+             mitigation, load shedding, elastic membership, multi-tenant \
+             fairness — each a deterministic simulated experiment with \
+             declared expectations")
+    [ scenario_list_cmd; scenario_run_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* gp structla                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1356,6 +1444,18 @@ let bench_diff_cmd =
                     else if ends_with "_pct" name then
                       ( nv > ov +. (tolerance *. 100.0),
                         Printf.sprintf "%.2f%% -> %.2f%%" ov nv )
+                    else if ends_with "_shed_ratio" name then
+                      (* shed fractions live in [0,1] and are often 0:
+                         additive slack, so a zero baseline never turns
+                         into a divide-amplified gate *)
+                      ( nv > ov +. tolerance,
+                        Printf.sprintf "%.3f -> %.3f" ov nv )
+                    else if ends_with "_moved_keys" name then
+                      (* deterministic movement counts, lower-better;
+                         +1 smoothing so a zero baseline doesn't gate on
+                         a single moved key *)
+                      ( nv > (ov +. 1.0) *. (1.0 +. tolerance),
+                        Printf.sprintf "%.0f -> %.0f" ov nv )
                     else if
                       ends_with "_bytes_per_request" name
                       || ends_with "_minor_words" name
@@ -1403,5 +1503,5 @@ let () =
        (Cmd.group info
           [ check_cmd; parse_cmd; concepts_cmd; lint_cmd; optimize_cmd;
             prove_cmd; elect_cmd; taxonomy_cmd; structla_cmd; serve_cmd;
-            workload_cmd; trace_cmd; replay_cmd; cluster_cmd;
+            workload_cmd; trace_cmd; replay_cmd; cluster_cmd; scenario_cmd;
             complexity_cmd; bench_diff_cmd ]))

@@ -25,6 +25,8 @@ type config = {
   seed : int;
   failures : failure list;
   tuning : Node.tuning;
+  arrivals : float array option;
+  elastic : Node.elastic_event list;
   server_config : Server.config;
   max_time : float;
   max_events : int;
@@ -40,6 +42,8 @@ let default_config =
     seed = 42;
     failures = [];
     tuning = Node.default_tuning;
+    arrivals = None;
+    elastic = [];
     server_config =
       { Server.default_config with
         timeout = None;
@@ -62,6 +66,16 @@ type result = {
   r_leaders : (float * int) list;
   r_cache_hits : int;
   r_cache_misses : int;
+  r_shed_admission : int;
+  r_shed_overload : int;
+  r_promotions : int;
+  r_promoted_keys : string list;
+  r_joined : int;
+  r_left : int;
+  r_handoffs : int;
+  r_peak_inflight : int;
+  r_moved_keys : int;
+  r_moved_bound : int;
   r_traces : (int * Gp_telemetry.Trace.span list) list;
   r_node_metrics : (int * Gp_telemetry.Metrics.t) list;
 }
@@ -75,14 +89,84 @@ let to_engine_failure ~replicas = function
   | Partition { groups; from_; until } ->
     Engine.Partition { groups; from_; until }
 
+(* Minimal-movement accounting, precomputed against the workload's
+   distinct keys: replay the membership schedule over a shadow ring and
+   count, per event, how many keys changed shard owner (moved) and how
+   many the minimal-movement contract allows — exactly the keys on the
+   joiner's new arcs, or the leaver's old ones (bound). Consistent
+   hashing should make these equal; the qcheck property and the S10
+   gate both assert moved <= bound. *)
+let movement ~ring ~elastic keys =
+  let moved = ref 0 and bound = ref 0 in
+  let _final =
+    List.fold_left
+      (fun ring ev ->
+        let ring' =
+          if ev.Node.el_join then Hash_ring.add_replica ring ev.Node.el_replica
+          else Hash_ring.remove_replica ring ev.Node.el_replica
+        in
+        List.iter
+          (fun key ->
+            let before = Hash_ring.shard ring key in
+            let after = Hash_ring.shard ring' key in
+            if before <> after then incr moved;
+            if (ev.Node.el_join && after = ev.Node.el_replica)
+               || ((not ev.Node.el_join) && before = ev.Node.el_replica)
+            then incr bound)
+          keys;
+        ring')
+      ring elastic
+  in
+  (!moved, !bound)
+
+let distinct_keys reqs =
+  let seen = Hashtbl.create 64 in
+  Array.fold_left
+    (fun acc req ->
+      let k = Request.key req in
+      if Hashtbl.mem seen k then acc
+      else (
+        Hashtbl.add seen k ();
+        k :: acc))
+    [] reqs
+  |> List.rev
+
 let run ?(config = default_config) ~declare_standard reqs =
   if config.replicas < 1 then invalid_arg "Cluster.run: replicas < 1";
-  let n = config.replicas in
+  (match config.arrivals with
+   | Some arr when Array.length arr < Array.length reqs ->
+     invalid_arg "Cluster.run: arrivals shorter than the workload"
+   | _ -> ());
+  let elastic =
+    List.sort (fun a b -> compare a.Node.el_at b.Node.el_at) config.elastic
+  in
+  List.iter
+    (fun ev ->
+      if ev.Node.el_replica < 1 then
+        invalid_arg "Cluster.run: elastic replica < 1";
+      if ev.Node.el_at <= 0.0 then
+        invalid_arg "Cluster.run: elastic event at non-positive time";
+      if (not config.affinity) && ev.Node.el_join then
+        invalid_arg "Cluster.run: elastic join needs key-sharded reads")
+    elastic;
+  (* Late joiners occupy node slots above the initial replicas; size the
+     topology for the highest slot any event names. *)
+  let n =
+    List.fold_left
+      (fun acc ev -> max acc ev.Node.el_replica)
+      config.replicas elastic
+  in
   let ring =
     Hash_ring.create ~vnodes:config.vnodes
-      ~replicas:(List.init n (fun i -> i + 1))
+      ~replicas:(List.init config.replicas (fun i -> i + 1))
       ()
   in
+  let moved_keys, moved_bound =
+    match elastic with
+    | [] -> (0, 0)
+    | _ -> movement ~ring ~elastic (distinct_keys reqs)
+  in
+  let active = Array.init (n + 1) (fun i -> i >= 1 && i <= config.replicas) in
   (* Tracing artifacts: one span ring and one metrics registry per
      node. Capacity is generous — spans are ~6 per request at the
      router plus a couple per replica touch — and the ring discipline
@@ -106,8 +190,11 @@ let run ?(config = default_config) ~declare_standard reqs =
       Node.reqs;
       ring;
       n_replicas = n;
+      active;
       affinity = config.affinity;
       tuning = config.tuning;
+      arrivals = config.arrivals;
+      elastic;
       server_config = config.server_config;
       declare_standard;
       servers = Array.make (n + 1) None;
@@ -116,6 +203,14 @@ let run ?(config = default_config) ~declare_standard reqs =
       elections = 0;
       failovers = [];
       leader_log = [];
+      shed_admission = 0;
+      shed_overload = 0;
+      promotions = 0;
+      promoted_keys = [];
+      joined = 0;
+      left = 0;
+      handoffs = 0;
+      peak_inflight = 0;
       trace_on = config.trace;
       node_traces;
       node_metrics;
@@ -129,7 +224,10 @@ let run ?(config = default_config) ~declare_standard reqs =
   let engine_config =
     {
       Engine.timing = config.timing;
-      failures = List.map (to_engine_failure ~replicas:n) config.failures;
+      (* the initial leader is the highest initially-active id, not a
+         slot reserved for a late joiner *)
+      failures =
+        List.map (to_engine_failure ~replicas:config.replicas) config.failures;
       seed = config.seed;
       max_time = config.max_time;
       max_events = config.max_events;
@@ -162,6 +260,16 @@ let run ?(config = default_config) ~declare_standard reqs =
     r_leaders = List.rev world.Node.leader_log;
     r_cache_hits = hits;
     r_cache_misses = misses;
+    r_shed_admission = world.Node.shed_admission;
+    r_shed_overload = world.Node.shed_overload;
+    r_promotions = world.Node.promotions;
+    r_promoted_keys = List.rev world.Node.promoted_keys;
+    r_joined = world.Node.joined;
+    r_left = world.Node.left;
+    r_handoffs = world.Node.handoffs;
+    r_peak_inflight = world.Node.peak_inflight;
+    r_moved_keys = moved_keys;
+    r_moved_bound = moved_bound;
     r_traces =
       (if config.trace then
          List.init (n + 1) (fun i ->
@@ -208,6 +316,30 @@ let retried r =
     (fun acc rc -> if rc.Node.rc_attempts > 1 then acc + 1 else acc)
     0 r
 
+let shed_total r = r.r_shed_admission + r.r_shed_overload
+
+let shed_ratio r =
+  if r.r_completed = 0 then 0.0
+  else float_of_int (shed_total r) /. float_of_int r.r_completed
+
+(* Latency percentile over served (non-shed) records; q in [0,1]. *)
+let latency_percentile r q =
+  let lats =
+    fold_records
+      (fun acc rc ->
+        if rc.Node.rc_shed then acc
+        else (rc.Node.rc_done -. rc.Node.rc_arrive) :: acc)
+      [] r
+  in
+  match lats with
+  | [] -> 0.0
+  | lats ->
+    let a = Array.of_list lats in
+    Array.sort compare a;
+    let n = Array.length a in
+    let i = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+    a.(max 0 (min (n - 1) i))
+
 let timing_name = function
   | Engine.Synchronous -> "synchronous"
   | Engine.Asynchronous { max_delay } ->
@@ -249,6 +381,25 @@ let pp_summary ppf r =
     (100.0 *. hit_ratio r)
     r.r_cache_hits
     (r.r_cache_hits + r.r_cache_misses);
+  (* Scenario lines only when the corresponding machinery was armed, so
+     pre-scenario summaries stay byte-identical. *)
+  if r.r_config.tuning.Node.queue_bound > 0
+     || r.r_config.tuning.Node.shed_backlog > 0.0
+  then
+    Fmt.pf ppf
+      "overload: %d shed (%d admission, %d overload) — %.1f%%, peak queue %d@."
+      (shed_total r) r.r_shed_admission r.r_shed_overload
+      (100.0 *. shed_ratio r)
+      r.r_peak_inflight;
+  if r.r_config.tuning.Node.hot_capacity > 0 then
+    Fmt.pf ppf "hot keys: %d promoted%s@." r.r_promotions
+      (match r.r_promoted_keys with
+       | [] -> ""
+       | ks -> " (" ^ String.concat ", " ks ^ ")");
+  if r.r_config.elastic <> [] then
+    Fmt.pf ppf
+      "elastic: %d joined, %d left, %d handoffs; moved %d keys (bound %d)@."
+      r.r_joined r.r_left r.r_handoffs r.r_moved_keys r.r_moved_bound;
   Fmt.pf ppf "sim: %d events, finish time %.2f@." m.Engine.events
     m.Engine.finish_time
 
@@ -266,15 +417,18 @@ type audit = {
   au_total : int;
   au_compared : int;
   au_missing : int;
+  au_shed : int;
   au_divergences : divergence list;
 }
 
 let audit_ok a = a.au_missing = 0 && a.au_divergences = []
 
 (* Compare (rid, cluster fingerprint) pairs against a fresh single
-   server serving the same requests in rid (= arrival) order. Shared by
-   the in-memory audit and the dump audit. *)
-let audit_pairs ~server ~total pairs =
+   server serving the same requests in rid (= arrival) order. Shed
+   verdicts carry no fingerprint and are excluded by construction —
+   [shed] keeps the accounting honest: compared + missing + shed =
+   total. Shared by the in-memory audit and the dump audit. *)
+let audit_pairs ~server ~total ~shed pairs =
   let compared = ref 0 in
   let divergences = ref [] in
   List.iter
@@ -290,7 +444,8 @@ let audit_pairs ~server ~total pairs =
   {
     au_total = total;
     au_compared = !compared;
-    au_missing = total - !compared;
+    au_missing = total - !compared - shed;
+    au_shed = shed;
     au_divergences = List.rev !divergences;
   }
 
@@ -298,19 +453,24 @@ let audit ~declare_standard r =
   let server =
     Server.create ~config:r.r_config.server_config ~declare_standard ()
   in
+  let shed = ref 0 in
   let pairs =
     List.filter_map
-      (fun rc ->
-        Option.map
-          (fun rc -> (rc.Node.rc_rid, r.r_requests.(rc.Node.rc_rid), rc.Node.rc_fp))
-          rc)
+      (function
+        | None -> None
+        | Some rc when rc.Node.rc_shed ->
+          incr shed;
+          None
+        | Some rc ->
+          Some (rc.Node.rc_rid, r.r_requests.(rc.Node.rc_rid), rc.Node.rc_fp))
       (Array.to_list r.r_records)
   in
-  audit_pairs ~server ~total:(Array.length r.r_requests) pairs
+  audit_pairs ~server ~total:(Array.length r.r_requests) ~shed:!shed pairs
 
 let pp_audit ppf a =
-  Fmt.pf ppf "audit: %d/%d compared, %d missing, %d divergent@." a.au_compared
+  Fmt.pf ppf "audit: %d/%d compared, %d missing, %s%d divergent@." a.au_compared
     a.au_total a.au_missing
+    (if a.au_shed > 0 then Printf.sprintf "%d shed, " a.au_shed else "")
     (List.length a.au_divergences);
   List.iter
     (fun d ->
@@ -338,6 +498,10 @@ let dump r =
         ("n", Wire.Int (Array.length r.r_requests));
         ("completed", Wire.Int r.r_completed);
         ("elections", Wire.Int r.r_elections);
+        ("shed", Wire.Int (shed_total r));
+        ("promoted", Wire.Int r.r_promotions);
+        ("joined", Wire.Int r.r_joined);
+        ("left", Wire.Int r.r_left);
         ("server_config",
          Wire.parse (Server.config_to_line r.r_config.server_config));
       ]
@@ -350,7 +514,7 @@ let dump r =
       | Some rc ->
         let line =
           Wire.Obj
-            [
+            ([
               ("rid", Wire.Int rc.Node.rc_rid);
               ("kind", Wire.Str (Request.kind_name rc.Node.rc_kind));
               ("write", Wire.Bool rc.Node.rc_write);
@@ -360,12 +524,15 @@ let dump r =
               ("cached", Wire.Bool rc.Node.rc_cached);
               ("attempts", Wire.Int rc.Node.rc_attempts);
               ("arrive", Wire.Float rc.Node.rc_arrive);
+            ]
+            @ (if rc.Node.rc_shed then [ ("shed", Wire.Bool true) ] else [])
+            @ [
               ("done", Wire.Float rc.Node.rc_done);
               ("req",
                Wire.parse
                  (Wire.request_to_line ~id:rc.Node.rc_rid
                     r.r_requests.(rc.Node.rc_rid)));
-            ]
+            ])
         in
         Buffer.add_string buf (Wire.to_string line);
         Buffer.add_char buf '\n')
@@ -376,6 +543,32 @@ let field name = function
   | Wire.Obj kvs -> List.assoc_opt name kvs
   | _ -> None
 
+(* Byte position of [name] inside the raw dump line, for the wire's
+   positioned-error convention ("at <pos>: ..."). The field name always
+   occurs in the line the parse just consumed, so 0 is only a fallback. *)
+let field_pos line name =
+  let n = String.length line and m = String.length name in
+  let rec go i =
+    if i + m > n then 0
+    else if String.sub line i m = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let malformed line name what =
+  raise
+    (Wire.Error
+       (Printf.sprintf "at %d: bad field %S (%s)" (field_pos line name) name
+          what))
+
+(* An optional non-negative Int field: absent is fine (pre-scenario
+   dumps), any other shape is a positioned rejection. *)
+let opt_count line obj name =
+  match field name obj with
+  | None -> 0
+  | Some (Wire.Int i) when i >= 0 -> i
+  | Some _ -> malformed line name "want a non-negative int"
+
 let audit_dump ~declare_standard doc =
   let lines =
     String.split_on_char '\n' doc
@@ -383,9 +576,9 @@ let audit_dump ~declare_standard doc =
   in
   match lines with
   | [] -> Error "empty dump"
-  | header :: records -> (
+  | header_line :: records -> (
     try
-      let header = Wire.parse header in
+      let header = Wire.parse header_line in
       (match field "gp_cluster" header with
        | Some (Wire.Int 1) -> ()
        | _ -> raise (Wire.Error "not a gp_cluster dump (bad header)"));
@@ -394,6 +587,12 @@ let audit_dump ~declare_standard doc =
         | Some (Wire.Int n) -> n
         | _ -> raise (Wire.Error "header missing workload size")
       in
+      (* validate the scenario header counters even though the audit
+         recomputes shed from the records themselves *)
+      let (_ : int) = opt_count header_line header "shed" in
+      let (_ : int) = opt_count header_line header "promoted" in
+      let (_ : int) = opt_count header_line header "joined" in
+      let (_ : int) = opt_count header_line header "left" in
       let server_config =
         match field "server_config" header with
         | Some obj -> (
@@ -402,8 +601,9 @@ let audit_dump ~declare_standard doc =
           | Error e -> raise (Wire.Error ("bad server_config: " ^ e)))
         | None -> raise (Wire.Error "header missing server_config")
       in
+      let shed = ref 0 in
       let pairs =
-        List.map
+        List.filter_map
           (fun line ->
             let obj = Wire.parse line in
             let rid =
@@ -411,24 +611,34 @@ let audit_dump ~declare_standard doc =
               | Some (Wire.Int i) -> i
               | _ -> raise (Wire.Error "record missing rid")
             in
-            let fp =
-              match field "fp" obj with
-              | Some (Wire.Str s) -> s
-              | _ -> raise (Wire.Error "record missing fp")
+            let is_shed =
+              match field "shed" obj with
+              | None -> false
+              | Some (Wire.Bool b) -> b
+              | Some _ -> malformed line "shed" "want a bool"
             in
-            let req =
-              match field "req" obj with
-              | Some obj -> (
-                match Wire.request_of_line (Wire.to_string obj) with
-                | Ok (_, req) -> req
-                | Error e -> raise (Wire.Error ("bad request: " ^ e)))
-              | None -> raise (Wire.Error "record missing req")
-            in
-            (rid, req, fp))
+            if is_shed then (
+              incr shed;
+              None)
+            else
+              let fp =
+                match field "fp" obj with
+                | Some (Wire.Str s) -> s
+                | _ -> raise (Wire.Error "record missing fp")
+              in
+              let req =
+                match field "req" obj with
+                | Some obj -> (
+                  match Wire.request_of_line (Wire.to_string obj) with
+                  | Ok (_, req) -> req
+                  | Error e -> raise (Wire.Error ("bad request: " ^ e)))
+                | None -> raise (Wire.Error "record missing req")
+              in
+              Some (rid, req, fp))
           records
       in
       let server =
         Server.create ~config:server_config ~declare_standard ()
       in
-      Ok (audit_pairs ~server ~total pairs)
+      Ok (audit_pairs ~server ~total ~shed:!shed pairs)
     with Wire.Error e -> Error e)

@@ -33,6 +33,16 @@ type config = {
   seed : int;
   failures : failure list;
   tuning : Node.tuning;
+  arrivals : float array option;
+      (** open-loop arrival process: absolute simulated arrival time per
+          workload index, strictly increasing (build one with
+          [Gp_scenario.Arrivals]). [None] = the classic fixed
+          [tuning.arrival_interval] cadence, scheduled exactly as before
+          so pre-scenario runs stay bit-identical. *)
+  elastic : Node.elastic_event list;
+      (** mid-run membership schedule. Joins may name node slots above
+          [replicas]; the topology is sized for the highest slot named.
+          Joins require [affinity] (round-robin has no ring to join). *)
   server_config : Gp_service.Server.config;
       (** per-replica server template; [now] is replaced by each node's
           simulated clock *)
@@ -66,6 +76,27 @@ type result = {
       (** coordinator acceptances at the router, oldest first *)
   r_cache_hits : int;  (** summed over every replica's memo caches *)
   r_cache_misses : int;
+  r_shed_admission : int;
+      (** arrivals refused at the router's full bounded queue *)
+  r_shed_overload : int;
+      (** requests refused by a backlogged replica's typed
+          {!Proto.Shed} reply *)
+  r_promotions : int;  (** hot keys promoted to replicated reads *)
+  r_promoted_keys : string list;  (** promoted keys, oldest first *)
+  r_joined : int;  (** replicas that joined the ring mid-run *)
+  r_left : int;  (** replicas that left the ring mid-run *)
+  r_handoffs : int;
+      (** completed writes replayed to joiners as state handoff *)
+  r_peak_inflight : int;
+      (** high-water mark of the router's pending table — the observed
+          depth of the bounded queue *)
+  r_moved_keys : int;
+      (** distinct workload keys whose shard owner changed across the
+          elastic schedule (precomputed against shadow rings) *)
+  r_moved_bound : int;
+      (** the minimal-movement allowance: keys on the joiner's new arcs
+          or the leaver's old ones. Consistent hashing guarantees
+          [r_moved_keys <= r_moved_bound] (in fact equality). *)
   r_traces : (int * Gp_telemetry.Trace.span list) list;
       (** per-node completed spans, node order ([[]] unless
           [config.trace]): span ids are cluster-global, times are
@@ -85,8 +116,11 @@ val run :
 (** Simulate the full workload: requests arrive at the router on a
     fixed cadence, shard/replicate/retry per the protocol, until every
     request completes (or the safety horizon cuts the run short —
-    check [r_completed]). Raises [Invalid_argument] if
-    [config.replicas < 1]. *)
+    check [r_completed]). Shed verdicts count as completions: overload
+    control rejects, it never hangs. Raises [Invalid_argument] if
+    [config.replicas < 1], if [config.arrivals] is shorter than the
+    workload, or on a malformed elastic schedule (replica < 1,
+    non-positive time, or a join without key affinity). *)
 
 (** {2 Derived series} *)
 
@@ -104,6 +138,16 @@ val max_latency : result -> float
 val retried : result -> int
 (** Completed requests that needed more than one dispatch. *)
 
+val shed_total : result -> int
+(** Admission plus overload sheds. *)
+
+val shed_ratio : result -> float
+(** Shed verdicts as a fraction of completed requests. *)
+
+val latency_percentile : result -> float -> float
+(** Nearest-rank latency percentile over served (non-shed) records;
+    the quantile is in [0,1], e.g. [latency_percentile r 0.99]. *)
+
 val pp_summary : Format.formatter -> result -> unit
 (** Human-readable run summary: completion, traffic, elections,
     failovers, latency, caches. Deterministic per (config, workload). *)
@@ -120,6 +164,10 @@ type audit = {
   au_total : int;  (** workload size *)
   au_compared : int;  (** completed requests whose digests were diffed *)
   au_missing : int;  (** requests the cluster never completed *)
+  au_shed : int;
+      (** typed shed verdicts, excluded from comparison by construction
+          (they carry no fingerprint). Always
+          [au_compared + au_missing + au_shed = au_total]. *)
   au_divergences : divergence list;  (** digest mismatches, by rid *)
 }
 
@@ -149,4 +197,8 @@ val audit_dump :
   (audit, string) Stdlib.result
 (** Audit a {!dump} document offline: rebuild the server config from
     the header, re-serve each embedded request single-node, diff the
-    fingerprints. [Error] describes a malformed document. *)
+    fingerprints. Shed records are skipped (and counted in [au_shed]).
+    [Error] describes a malformed document; malformed scenario fields
+    (a non-int header [shed]/[promoted]/[joined]/[left], a non-bool
+    record [shed]) are rejected with the wire's positioned convention,
+    e.g. ["at 42: bad field \"shed\" (want a bool)"]. *)

@@ -5,6 +5,7 @@
 
 type t = {
   replicas : int list; (* ascending *)
+  vnodes : int;
   points : (string * int) array; (* (hash, replica), sorted by hash *)
 }
 
@@ -25,9 +26,29 @@ let create ?(vnodes = 64) ~replicas () =
     |> Array.of_list
   in
   Array.sort compare points;
-  { replicas; points }
+  { replicas; vnodes; points }
 
 let replicas t = t.replicas
+
+let vnodes t = t.vnodes
+
+(* Elasticity: membership changes rebuild the ring from the new replica
+   set. Point hashes depend only on (replica, vnode), so the rebuilt
+   ring is bit-identical to [create] over the same set — and minimal
+   movement is structural: a key changes owner iff the first point
+   clockwise from it belongs to the joining (resp. leaving) replica, so
+   exactly the keys on that replica's arcs move. *)
+let add_replica t r =
+  if List.mem r t.replicas then
+    invalid_arg "Hash_ring.add_replica: replica already on the ring";
+  create ~vnodes:t.vnodes ~replicas:(r :: t.replicas) ()
+
+let remove_replica t r =
+  if not (List.mem r t.replicas) then
+    invalid_arg "Hash_ring.remove_replica: replica not on the ring";
+  match List.filter (fun x -> x <> r) t.replicas with
+  | [] -> invalid_arg "Hash_ring.remove_replica: cannot empty the ring"
+  | rest -> create ~vnodes:t.vnodes ~replicas:rest ()
 
 (* Index of the first point with hash >= h, wrapping to 0. *)
 let locate t h =
@@ -43,11 +64,12 @@ let shard t key = snd t.points.(locate t (hash key))
 
 let successors t key =
   let n = Array.length t.points in
+  let k = List.length t.replicas in
   let start = locate t (hash key) in
   let seen = Hashtbl.create 8 in
   let out = ref [] in
   let i = ref 0 in
-  while !i < n && Hashtbl.length seen < List.length t.replicas do
+  while !i < n && Hashtbl.length seen < k do
     let r = snd t.points.((start + !i) mod n) in
     if not (Hashtbl.mem seen r) then begin
       Hashtbl.add seen r ();

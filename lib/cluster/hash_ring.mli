@@ -17,6 +17,22 @@ val create : ?vnodes:int -> replicas:int list -> unit -> t
 val replicas : t -> int list
 (** The replica ids, ascending. *)
 
+val vnodes : t -> int
+(** Points per replica, as given to {!create}. *)
+
+val add_replica : t -> int -> t
+(** The ring with one more replica, at the same [vnodes]. Identical to
+    {!create} over the union — so only the keys on the newcomer's arcs
+    change owner ({i minimal movement}: [shard] differs on a key iff the
+    new ring shards it to the newcomer). Raises [Invalid_argument] if
+    the replica is already present. *)
+
+val remove_replica : t -> int -> t
+(** The ring without one replica. Only the departed replica's keys
+    change owner: [shard] differs on a key iff the old ring sharded it
+    to the leaver. Raises [Invalid_argument] if the replica is absent
+    or is the last one. *)
+
 val shard : t -> string -> int
 (** The replica owning this content key. *)
 

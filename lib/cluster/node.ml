@@ -27,11 +27,24 @@ type tuning = {
   settle : float;
   hb_interval : float;
   hb_timeout : float;
+  (* overload control: all zero by default, which disables them and
+     keeps the pre-scenario event stream bit-identical *)
+  queue_bound : int;
+  service_time : float;
+  service_time_hit : float;
+  shed_backlog : float;
+  (* hot-key mitigation: space-saving detector at the router *)
+  hot_capacity : int;
+  hot_promote_after : int;
+  hot_spread : int;
 }
 
 let default_tuning =
   { arrival_interval = 1.0; read_timeout = 8.0; backoff_cap = 64.0;
-    settle = 3.0; hb_interval = 5.0; hb_timeout = 16.0 }
+    settle = 3.0; hb_interval = 5.0; hb_timeout = 16.0;
+    queue_bound = 0; service_time = 0.0; service_time_hit = 0.0;
+    shed_backlog = 0.0; hot_capacity = 0; hot_promote_after = 0;
+    hot_spread = 3 }
 
 type record = {
   rc_rid : int;
@@ -42,16 +55,22 @@ type record = {
   rc_ok : bool;
   rc_cached : bool;
   rc_attempts : int;
+  rc_shed : bool;
   rc_arrive : float;
   rc_done : float;
 }
 
+type elastic_event = { el_at : float; el_join : bool; el_replica : int }
+
 type world = {
   reqs : Request.t array;
-  ring : Hash_ring.t;
-  n_replicas : int;
+  mutable ring : Hash_ring.t; (* mutated by elastic membership events *)
+  n_replicas : int; (* highest node slot: initial replicas + late joiners *)
+  active : bool array; (* per-slot ring membership; index 0 unused *)
   affinity : bool;
   tuning : tuning;
+  arrivals : float array option; (* open-loop arrival clock per rid *)
+  elastic : elastic_event list; (* membership schedule, by time *)
   server_config : Server.config;
   declare_standard : Gp_concepts.Registry.t -> unit;
   servers : Server.t option array;
@@ -60,6 +79,14 @@ type world = {
   mutable elections : int;
   mutable failovers : (float * float) list;
   mutable leader_log : (float * int) list;
+  mutable shed_admission : int; (* rejected at the router's full queue *)
+  mutable shed_overload : int; (* typed Shed replies from backlogged replicas *)
+  mutable promotions : int;
+  mutable promoted_keys : string list; (* newest first *)
+  mutable joined : int;
+  mutable left : int;
+  mutable handoffs : int; (* completed writes replayed to joiners *)
+  mutable peak_inflight : int;
   (* distributed tracing: per-node rings/registries, a cluster-global
      span-id counter and an aux trace-id counter (requests use their rid
      as trace id; elections and probes draw fresh ids above them). All
@@ -119,6 +146,15 @@ type pending = {
 type router = {
   pending : (int, pending) Hashtbl.t;
   wait_leader : int Queue.t; (* writes parked until a leader is known *)
+  (* hot-key detection: a space-saving (Misra-Gries family) top-k table
+     over read dispatch keys. Keys whose counter crosses the promotion
+     threshold get replicated reads: their dispatches rotate over the
+     ring successors instead of hammering the shard owner. *)
+  hk_slots : (string, int) Hashtbl.t; (* key -> slot index *)
+  hk_keys : string array;
+  hk_counts : int array;
+  mutable hk_used : int;
+  promoted : (string, int ref) Hashtbl.t; (* key -> rotation counter *)
   mutable rt_leader : int option;
   mutable last_hb : float;
   mutable detect_at : float option; (* presumed-death time, for failover latency *)
@@ -136,6 +172,7 @@ type router = {
 type replica = {
   server : Server.t;
   served : (int, string * bool * bool) Hashtbl.t; (* rid -> fp, ok, cached *)
+  mutable busy_until : float; (* end of the serialized service backlog *)
   mutable best : int; (* highest uid seen this election round *)
   mutable rep_leader : int option;
   mutable electing : bool;
@@ -156,7 +193,7 @@ let backoff w attempt =
 
 let each_replica w ~except f =
   for j = 1 to w.n_replicas do
-    if j <> except then f j
+    if j <> except && w.active.(j) then f j
   done
 
 (* -------------------------------------------------------------- *)
@@ -244,33 +281,82 @@ let replica_msg (ctx : Proto.msg Engine.ctx) w rep msg =
      | Some l -> if uid >= l then rep.rep_leader <- Some uid)
   | Proto.Start_election { tc } -> start_round ctx w rep ~tc
   | Proto.Do_request { rid; attempt; tc } ->
-    let (fp, ok, cached), fresh = serve ctx w rep rid tc in
-    (* the serve span is a zero-duration instant: [charge] accounts
-       steps without advancing simulated time. Its id is echoed on the
-       Reply and parents the Replicate fan-out, so both legs resolve. *)
-    let stc =
-      if w.trace_on then begin
-        let sp = fresh_span w in
-        let now = ctx.now () in
-        emit w ~node:ctx.self ~trace:(Context.trace tc) ~id:sp
-          ~parent:(Context.span tc) ~name:"cluster.serve" ~start:now
-          ~stop:now
-          [ ("node", string_of_int ctx.self); ("rid", string_of_int rid);
-            ("attempt", string_of_int attempt);
-            ("fresh", string_of_bool fresh);
-            ("cached", string_of_bool cached) ];
-        Metrics.inc w.node_metrics.(ctx.self) "gp_cluster_serves_total";
-        Context.v ~trace:(Context.trace tc) ~span:sp
+    let now = ctx.now () in
+    let already = Hashtbl.mem rep.served rid in
+    let backlog = Float.max 0.0 (rep.busy_until -. now) in
+    if
+      (not already)
+      && w.tuning.shed_backlog > 0.0
+      && backlog > w.tuning.shed_backlog
+    then begin
+      (* typed overload rejection: the serialized backlog is past its
+         bound, so refuse rather than queue — the router records a shed
+         verdict for the client instead of waiting on a reply that
+         would only arrive later and later *)
+      let stc =
+        if w.trace_on then begin
+          let sp = fresh_span w in
+          emit w ~node:ctx.self ~trace:(Context.trace tc) ~id:sp
+            ~parent:(Context.span tc) ~name:"cluster.shed" ~start:now
+            ~stop:now
+            [ ("node", string_of_int ctx.self); ("rid", string_of_int rid);
+              ("backlog", Printf.sprintf "%.2f" backlog) ];
+          Context.v ~trace:(Context.trace tc) ~span:sp
+        end
+        else Context.none
+      in
+      ctx.send 0 (Proto.Shed { rid; replica = ctx.self; tc = stc })
+    end
+    else begin
+      let (fp, ok, cached), fresh = serve ctx w rep rid tc in
+      (* the serve span is a zero-duration instant: [charge] accounts
+         steps without advancing simulated time. Its id is echoed on the
+         Reply and parents the Replicate fan-out, so both legs resolve. *)
+      let stc =
+        if w.trace_on then begin
+          let sp = fresh_span w in
+          emit w ~node:ctx.self ~trace:(Context.trace tc) ~id:sp
+            ~parent:(Context.span tc) ~name:"cluster.serve" ~start:now
+            ~stop:now
+            [ ("node", string_of_int ctx.self); ("rid", string_of_int rid);
+              ("attempt", string_of_int attempt);
+              ("fresh", string_of_bool fresh);
+              ("cached", string_of_bool cached) ];
+          Metrics.inc w.node_metrics.(ctx.self) "gp_cluster_serves_total";
+          Context.v ~trace:(Context.trace tc) ~span:sp
+        end
+        else Context.none
+      in
+      (* the simulated service cost of this serve: fresh misses pay
+         [service_time], fresh cache hits [service_time_hit], memoized
+         re-deliveries nothing. Zero (the default) keeps the reply
+         instantaneous — bit-identical to the pre-scenario protocol. *)
+      let st =
+        if not fresh then 0.0
+        else if cached then w.tuning.service_time_hit
+        else w.tuning.service_time
+      in
+      if st <= 0.0 && backlog <= 0.0 then begin
+        ctx.send 0
+          (Proto.Reply { rid; replica = ctx.self; fp; ok; cached; tc = stc });
+        (* first service of a write fans out to the followers; the served
+           table makes re-deliveries idempotent on both ends *)
+        if fresh && Proto.is_write w.reqs.(rid) then
+          each_replica w ~except:ctx.self (fun j ->
+              ctx.send j (Proto.Replicate { rid; tc = stc }))
       end
-      else Context.none
-    in
-    ctx.send 0
-      (Proto.Reply { rid; replica = ctx.self; fp; ok; cached; tc = stc });
-    (* first service of a write fans out to the followers; the served
-       table makes re-deliveries idempotent on both ends *)
-    if fresh && Proto.is_write w.reqs.(rid) then
-      each_replica w ~except:ctx.self (fun j ->
-          ctx.send j (Proto.Replicate { rid; tc = stc }))
+      else begin
+        (* a busy replica serializes: the reply leaves when the backlog
+           plus this request's own service time has elapsed. Replication
+           proceeds immediately — followers warm up while the client
+           reply waits its turn. *)
+        if fresh && Proto.is_write w.reqs.(rid) then
+          each_replica w ~except:ctx.self (fun j ->
+              ctx.send j (Proto.Replicate { rid; tc = stc }));
+        rep.busy_until <- now +. backlog +. st;
+        ctx.timer ~delay:(backlog +. st) (Proto.Reply_due { rid; tc = stc })
+      end
+    end
   | Proto.Replicate { rid; tc } ->
     let _, fresh = serve ctx w rep rid tc in
     if w.trace_on then begin
@@ -298,21 +384,97 @@ let replica_msg (ctx : Proto.msg Engine.ctx) w rep msg =
       in
       ctx.send 0 (Proto.Heartbeat { uid = ctx.self; tc = htc })
     end
-  | Proto.Shutdown { tc = _ } ->
+  | Proto.Reply_due { rid; tc } -> (
+    (* the deferred reply: the answer was memoized at serve time, the
+       timer only models when the serialized server gets to send it *)
+    match Hashtbl.find_opt rep.served rid with
+    | Some (fp, ok, cached) ->
+      ctx.send 0 (Proto.Reply { rid; replica = ctx.self; fp; ok; cached; tc })
+    | None -> ())
+  | Proto.Join { tc } ->
+    if w.trace_on then begin
+      let now = ctx.now () in
+      emit w ~node:ctx.self ~trace:(Context.trace tc) ~id:(fresh_span w)
+        ~parent:(Context.span tc) ~name:"cluster.join" ~start:now ~stop:now
+        [ ("node", string_of_int ctx.self) ]
+    end
+  | Proto.Retire { tc = _ } | Proto.Shutdown { tc = _ } ->
     ctx.decide (string_of_int (Hashtbl.length rep.served));
     ctx.halt ()
   | Proto.Arrive _ | Proto.Reply _ | Proto.Retry_check _ | Proto.Hb_check
-  | Proto.Heartbeat _ ->
+  | Proto.Heartbeat _ | Proto.Shed _ | Proto.Elastic _ ->
     ()
 
 (* -------------------------------------------------------------- *)
 (* Router machine                                                  *)
 (* -------------------------------------------------------------- *)
 
-let read_target w rid attempt =
+(* Space-saving tick for one read dispatch key: tracked keys bump their
+   counter, new keys either take a free slot or evict the smallest
+   counter and inherit it (the classic overestimate-by-at-most-min
+   guarantee). Crossing the promotion threshold promotes the key to
+   replicated reads. Deterministic: ties break on the lowest slot. *)
+let hk_tick w rt key =
+  let cap = w.tuning.hot_capacity in
+  let count =
+    match Hashtbl.find_opt rt.hk_slots key with
+    | Some i ->
+      rt.hk_counts.(i) <- rt.hk_counts.(i) + 1;
+      rt.hk_counts.(i)
+    | None ->
+      if rt.hk_used < cap then begin
+        let i = rt.hk_used in
+        rt.hk_used <- i + 1;
+        rt.hk_keys.(i) <- key;
+        rt.hk_counts.(i) <- 1;
+        Hashtbl.replace rt.hk_slots key i;
+        1
+      end
+      else begin
+        let mi = ref 0 in
+        for i = 1 to cap - 1 do
+          if rt.hk_counts.(i) < rt.hk_counts.(!mi) then mi := i
+        done;
+        let i = !mi in
+        Hashtbl.remove rt.hk_slots rt.hk_keys.(i);
+        rt.hk_keys.(i) <- key;
+        rt.hk_counts.(i) <- rt.hk_counts.(i) + 1;
+        Hashtbl.replace rt.hk_slots key i;
+        rt.hk_counts.(i)
+      end
+  in
+  if count >= w.tuning.hot_promote_after && not (Hashtbl.mem rt.promoted key)
+  then begin
+    Hashtbl.replace rt.promoted key (ref 0);
+    w.promotions <- w.promotions + 1;
+    w.promoted_keys <- key :: w.promoted_keys
+  end
+
+let read_target w rt rid attempt =
   if w.affinity then begin
-    let succ = Hash_ring.successors w.ring (Request.key w.reqs.(rid)) in
-    List.nth succ (attempt mod List.length succ)
+    let key = Request.key w.reqs.(rid) in
+    match
+      (* skip the string hash entirely while nothing is promoted *)
+      if Hashtbl.length rt.promoted = 0 then None
+      else Hashtbl.find_opt rt.promoted key
+    with
+    | Some rot when w.tuning.hot_spread > 1 ->
+      (* a promoted hot key reads from any of the first [hot_spread]
+         ring successors, round-robin per fresh dispatch; retries keep
+         walking the same rotation so attempt k still lands elsewhere *)
+      let succ = Hash_ring.successors w.ring key in
+      let k = min w.tuning.hot_spread (List.length succ) in
+      let i = (!rot + attempt) mod k in
+      if attempt = 0 then incr rot;
+      List.nth succ i
+    | _ ->
+      (* first dispatch goes to the shard owner — which is successor 0
+         by construction, so skip the full successor walk on the hot
+         path (it is O(ring points) and dominates large-fleet runs) *)
+      if attempt = 0 then Hash_ring.shard w.ring key
+      else
+        let succ = Hash_ring.successors w.ring key in
+        List.nth succ (attempt mod List.length succ)
   end
   else 1 + ((rid + attempt) mod w.n_replicas)
 
@@ -374,7 +536,14 @@ let dispatch (ctx : Proto.msg Engine.ctx) w rt p =
       if w.trace_on && Float.is_nan p.p_park_since then
         p.p_park_since <- ctx.now ();
       Queue.push rid rt.wait_leader
-  else fire (read_target w rid attempt)
+  else begin
+    if
+      attempt = 0 && w.affinity
+      && w.tuning.hot_capacity > 0
+      && w.tuning.hot_promote_after > 0
+    then hk_tick w rt (Request.key w.reqs.(rid));
+    fire (read_target w rt rid attempt)
+  end
 
 let start_election (ctx : Proto.msg Engine.ctx) w rt =
   w.elections <- w.elections + 1;
@@ -400,18 +569,69 @@ let start_election (ctx : Proto.msg Engine.ctx) w rt =
   each_replica w ~except:0 (fun j ->
       ctx.send j (Proto.Start_election { tc }))
 
+(* Everything is done (served or shed): quiesce the cluster. *)
+let finish_if_done (ctx : Proto.msg Engine.ctx) w =
+  if w.completed = Array.length w.reqs then begin
+    each_replica w ~except:0 (fun j ->
+        ctx.send j (Proto.Shutdown { tc = Context.none }));
+    ctx.decide (string_of_int w.completed);
+    ctx.halt ()
+  end
+
+(* Open-loop arrivals chain: each Arrive schedules the next from the
+   arrival clock, so the heap holds one future arrival instead of the
+   whole workload — a million-request run stays flat. *)
+let schedule_next_arrival (ctx : Proto.msg Engine.ctx) w rid =
+  match w.arrivals with
+  | None -> ()
+  | Some arr ->
+    let next = rid + 1 in
+    if next < Array.length w.reqs then
+      ctx.timer
+        ~delay:(Float.max 1e-9 (arr.(next) -. ctx.now ()))
+        (Proto.Arrive next)
+
+let shed_record w rid ~write ~replica ~attempts ~arrive ~done_ =
+  w.records.(rid) <-
+    Some
+      { rc_rid = rid; rc_kind = Request.kind w.reqs.(rid); rc_write = write;
+        rc_replica = replica; rc_fp = ""; rc_ok = false; rc_cached = false;
+        rc_attempts = attempts; rc_shed = true; rc_arrive = arrive;
+        rc_done = done_ };
+  w.completed <- w.completed + 1
+
 let router_msg (ctx : Proto.msg Engine.ctx) w rt msg =
   match msg with
   | Proto.Arrive rid ->
-    let p =
-      { p_rid = rid; p_write = Proto.is_write w.reqs.(rid);
-        p_arrive = ctx.now (); p_attempt = 0;
-        p_req_span = (if w.trace_on then fresh_span w else 0);
-        p_att_span = 0; p_att_start = 0.0; p_att_target = 0;
-        p_park_since = nan }
-    in
-    Hashtbl.replace rt.pending rid p;
-    dispatch ctx w rt p
+    schedule_next_arrival ctx w rid;
+    let inflight = Hashtbl.length rt.pending in
+    if w.tuning.queue_bound > 0 && inflight >= w.tuning.queue_bound then begin
+      (* admission control: the router queue is full, shed at the door —
+         a typed zero-latency rejection, never a hang *)
+      let now = ctx.now () in
+      shed_record w rid ~write:(Proto.is_write w.reqs.(rid)) ~replica:0
+        ~attempts:0 ~arrive:now ~done_:now;
+      w.shed_admission <- w.shed_admission + 1;
+      if w.trace_on then
+        emit w ~node:0 ~trace:rid ~id:(fresh_span w) ~parent:0
+          ~name:"cluster.request" ~start:now ~stop:now
+          [ ("rid", string_of_int rid);
+            ("kind", Request.kind_name (Request.kind w.reqs.(rid)));
+            ("shed", "admission") ];
+      finish_if_done ctx w
+    end
+    else begin
+      let p =
+        { p_rid = rid; p_write = Proto.is_write w.reqs.(rid);
+          p_arrive = ctx.now (); p_attempt = 0;
+          p_req_span = (if w.trace_on then fresh_span w else 0);
+          p_att_span = 0; p_att_start = 0.0; p_att_target = 0;
+          p_park_since = nan }
+      in
+      Hashtbl.replace rt.pending rid p;
+      if inflight + 1 > w.peak_inflight then w.peak_inflight <- inflight + 1;
+      dispatch ctx w rt p
+    end
   | Proto.Retry_check { rid; attempt } ->
     (match Hashtbl.find_opt rt.pending rid with
      | Some p when p.p_attempt = attempt ->
@@ -434,7 +654,7 @@ let router_msg (ctx : Proto.msg Engine.ctx) w rt msg =
            { rc_rid = rid; rc_kind = Request.kind w.reqs.(rid);
              rc_write = p.p_write; rc_replica = replica; rc_fp = fp;
              rc_ok = ok; rc_cached = cached; rc_attempts = p.p_attempt + 1;
-             rc_arrive = p.p_arrive; rc_done = done_ };
+             rc_shed = false; rc_arrive = p.p_arrive; rc_done = done_ };
        w.completed <- w.completed + 1;
        if Tel.is_enabled () then
          Tel.observe "gp_cluster_request_time" (done_ -. p.p_arrive);
@@ -451,12 +671,89 @@ let router_msg (ctx : Proto.msg Engine.ctx) w rt msg =
          Metrics.observe w.node_metrics.(0) "gp_cluster_request_time"
            (done_ -. p.p_arrive)
        end;
-       if w.completed = Array.length w.reqs then begin
-         each_replica w ~except:0 (fun j ->
-             ctx.send j (Proto.Shutdown { tc = Context.none }));
-         ctx.decide (string_of_int w.completed);
-         ctx.halt ()
-       end)
+       finish_if_done ctx w)
+  | Proto.Shed { rid; replica; tc = _ } ->
+    (match Hashtbl.find_opt rt.pending rid with
+     | None -> () (* a racing Reply settled it first *)
+     | Some p ->
+       Hashtbl.remove rt.pending rid;
+       let done_ = ctx.now () in
+       shed_record w rid ~write:p.p_write ~replica
+         ~attempts:(p.p_attempt + 1) ~arrive:p.p_arrive ~done_;
+       w.shed_overload <- w.shed_overload + 1;
+       if w.trace_on then begin
+         close_attempt w p ~stop:done_ ~outcome:"shed";
+         close_park w p ~stop:done_;
+         emit w ~node:0 ~trace:rid ~id:p.p_req_span ~parent:0
+           ~name:"cluster.request" ~start:p.p_arrive ~stop:done_
+           [ ("rid", string_of_int rid);
+             ("kind", Request.kind_name (Request.kind w.reqs.(rid)));
+             ("write", string_of_bool p.p_write);
+             ("replica", string_of_int replica);
+             ("attempts", string_of_int (p.p_attempt + 1));
+             ("shed", "overload") ]
+       end;
+       finish_if_done ctx w)
+  | Proto.Elastic { join; replica = r } ->
+    if join then begin
+      if r >= 1 && r <= w.n_replicas && not w.active.(r) then begin
+        w.ring <- Hash_ring.add_replica w.ring r;
+        w.active.(r) <- true;
+        w.joined <- w.joined + 1;
+        let jtc =
+          if w.trace_on then begin
+            let sp = fresh_span w in
+            let tr = fresh_trace w in
+            let now = ctx.now () in
+            emit w ~node:0 ~trace:tr ~id:sp ~parent:0 ~name:"cluster.elastic"
+              ~start:now ~stop:now
+              [ ("event", "join"); ("replica", string_of_int r) ];
+            Context.v ~trace:tr ~span:sp
+          end
+          else Context.none
+        in
+        ctx.send r (Proto.Join { tc = jtc });
+        (* state handoff as replicated writes: replay every completed
+           write to the joiner. Its served memo and content caches make
+           the replay idempotent, and the ring's minimal movement bounds
+           the read-side cache-miss storm to the keys on its arcs. *)
+        Array.iter
+          (function
+            | Some rc when rc.rc_write && not rc.rc_shed ->
+              w.handoffs <- w.handoffs + 1;
+              ctx.send r (Proto.Replicate { rid = rc.rc_rid; tc = jtc })
+            | _ -> ())
+          w.records
+      end
+    end
+    else if
+      r >= 1 && r <= w.n_replicas
+      && w.active.(r)
+      && List.length (Hash_ring.replicas w.ring) > 1
+    then begin
+      w.ring <- Hash_ring.remove_replica w.ring r;
+      w.active.(r) <- false;
+      w.left <- w.left + 1;
+      let ltc =
+        if w.trace_on then begin
+          let sp = fresh_span w in
+          let tr = fresh_trace w in
+          let now = ctx.now () in
+          emit w ~node:0 ~trace:tr ~id:sp ~parent:0 ~name:"cluster.elastic"
+            ~start:now ~stop:now
+            [ ("event", "leave"); ("replica", string_of_int r) ];
+          Context.v ~trace:tr ~span:sp
+        end
+        else Context.none
+      in
+      ctx.send r (Proto.Retire { tc = ltc });
+      (* a graceful leader departure re-elects immediately rather than
+         waiting out the heartbeat silence *)
+      if rt.rt_leader = Some r then begin
+        rt.rt_leader <- None;
+        start_election ctx w rt
+      end
+    end
   | Proto.Coord { uid; tc = _ } ->
     let accept =
       match rt.rt_leader with None -> true | Some l -> uid >= l
@@ -533,7 +830,7 @@ let router_msg (ctx : Proto.msg Engine.ctx) w rt msg =
      | None -> ())
   | Proto.Do_request _ | Proto.Replicate _ | Proto.Elect _
   | Proto.Election_settle | Proto.Start_election _ | Proto.Ping _
-  | Proto.Shutdown _ ->
+  | Proto.Shutdown _ | Proto.Reply_due _ | Proto.Join _ | Proto.Retire _ ->
     ()
 
 (* -------------------------------------------------------------- *)
@@ -542,18 +839,35 @@ let router_msg (ctx : Proto.msg Engine.ctx) w rt msg =
 
 let initial w (ctx : Proto.msg Engine.ctx) =
   if ctx.self = 0 then begin
-    Array.iteri
-      (fun rid _ ->
-        ctx.timer
-          ~delay:(float_of_int (rid + 1) *. w.tuning.arrival_interval)
-          (Proto.Arrive rid))
-      w.reqs;
+    (* fixed-cadence runs pre-schedule every arrival (the pre-scenario
+       event stream, kept bit-identical); an open-loop arrival clock is
+       chained one timer at a time by [schedule_next_arrival] *)
+    (match w.arrivals with
+     | None ->
+       Array.iteri
+         (fun rid _ ->
+           ctx.timer
+             ~delay:(float_of_int (rid + 1) *. w.tuning.arrival_interval)
+             (Proto.Arrive rid))
+         w.reqs
+     | Some arr ->
+       if Array.length w.reqs > 0 then
+         ctx.timer ~delay:(Float.max 1e-9 arr.(0)) (Proto.Arrive 0));
+    List.iter
+      (fun ev ->
+        ctx.timer ~delay:(Float.max 1e-9 ev.el_at)
+          (Proto.Elastic { join = ev.el_join; replica = ev.el_replica }))
+      w.elastic;
     ctx.timer ~delay:w.tuning.hb_timeout Proto.Hb_check;
     w.elections <- w.elections + 1; (* the initial round, started below *)
     if w.trace_on then
       Metrics.inc w.node_metrics.(0) "gp_cluster_elections_total";
     R_router
       { pending = Hashtbl.create 64; wait_leader = Queue.create ();
+        hk_slots = Hashtbl.create 16;
+        hk_keys = Array.make (max 1 w.tuning.hot_capacity) "";
+        hk_counts = Array.make (max 1 w.tuning.hot_capacity) 0;
+        hk_used = 0; promoted = Hashtbl.create 8;
         rt_leader = None; last_hb = 0.0; detect_at = None;
         last_election = 0.0;
         rt_el_span = w.el0_span; rt_el_trace = w.el0_trace;
@@ -567,16 +881,21 @@ let initial w (ctx : Proto.msg Engine.ctx) =
     in
     w.servers.(ctx.self) <- Some server;
     let rep =
-      { server; served = Hashtbl.create 64; best = ctx.self;
+      { server; served = Hashtbl.create 64; busy_until = 0.0;
+        best = ctx.self;
         rep_leader = None; electing = false; rep_round_span = 0;
         rep_round_trace = 0; rep_round_parent = 0; rep_round_start = 0.0 }
     in
-    (* the initial round parents under the pre-allocated election root
-       (emitted by the router when the first Coord lands) *)
-    start_round ctx w rep
-      ~tc:
-        (if w.trace_on then Context.v ~trace:w.el0_trace ~span:w.el0_span
-         else Context.none);
+    (* only initially-active replicas campaign; a late joiner idles
+       until the router's Elastic timer rings it in — it votes in any
+       later round it is active for *)
+    if w.active.(ctx.self) then
+      (* the initial round parents under the pre-allocated election root
+         (emitted by the router when the first Coord lands) *)
+      start_round ctx w rep
+        ~tc:
+          (if w.trace_on then Context.v ~trace:w.el0_trace ~span:w.el0_span
+           else Context.none);
     R_replica rep
   end
 

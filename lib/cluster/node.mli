@@ -22,13 +22,38 @@ type tuning = {
   hb_timeout : float;
       (** heartbeat silence after which the router presumes the leader
           dead and starts a re-election *)
+  queue_bound : int;
+      (** router admission bound: arrivals past this many in-flight
+          requests are shed at the door with a typed zero-latency
+          verdict. 0 (the default) = unbounded, the pre-scenario
+          behavior. *)
+  service_time : float;
+      (** simulated service time of a fresh, uncached serve. Replicas
+          serialize: concurrent serves queue behind [busy_until]. 0 (the
+          default) keeps serves instantaneous — bit-identical to the
+          pre-scenario protocol. *)
+  service_time_hit : float;  (** ... of a fresh serve answered by cache *)
+  shed_backlog : float;
+      (** replica overload bound: a replica whose serialized backlog
+          exceeds this refuses fresh requests with a typed {!Proto.Shed}
+          wire reply instead of queueing them. 0 = never shed. *)
+  hot_capacity : int;
+      (** slots in the router's space-saving hot-key table (0 = detector
+          off) *)
+  hot_promote_after : int;
+      (** dispatch count at which a tracked key is promoted to
+          replicated reads (0 = never promote) *)
+  hot_spread : int;
+      (** ring successors a promoted key's reads rotate over *)
 }
 
 val default_tuning : tuning
 (** Arrivals every 1.0, retry base 8.0 capped at 64.0, elections settle
     in 3.0, heartbeats every 5.0, presumed dead after 16.0 — sized for
     the synchronous model's 1.0-per-hop delay with generous slack for
-    the asynchronous ones. *)
+    the asynchronous ones. Overload control and hot-key promotion are
+    off (all zeros), so a default-tuned run reproduces the pre-scenario
+    event stream bit-for-bit. *)
 
 (** What the router records when a request completes: who served it,
     the response fingerprint the audit will check, and the simulated
@@ -42,8 +67,20 @@ type record = {
   rc_ok : bool;
   rc_cached : bool;
   rc_attempts : int;  (** dispatches until a reply was accepted *)
+  rc_shed : bool;
+      (** the typed shed verdict: admitted-then-refused (overload) or
+          refused at the router's full queue (admission). Shed records
+          carry an empty [rc_fp] and are excluded from the consistency
+          audit by construction. *)
   rc_arrive : float;  (** simulated arrival time *)
   rc_done : float;  (** simulated completion time *)
+}
+
+(** A scheduled mid-run membership change, applied by the router. *)
+type elastic_event = {
+  el_at : float;  (** simulated time *)
+  el_join : bool;  (** true = join, false = leave *)
+  el_replica : int;  (** node slot, 1-based *)
 }
 
 (** Shared read-only input plus the mutable collection points the
@@ -52,12 +89,23 @@ type record = {
     here. Build one per run ({!Cluster.run} does). *)
 type world = {
   reqs : Gp_service.Request.t array;
-  ring : Hash_ring.t;
+  mutable ring : Hash_ring.t;
+      (** the routing ring; elastic membership events swap it mid-run *)
   n_replicas : int;
+      (** highest node slot — initially-active replicas plus any slots
+          reserved for late joiners *)
+  active : bool array;
+      (** per-slot ring membership (length [n_replicas + 1], index 0
+          unused); flipped by elastic events *)
   affinity : bool;
       (** true: shard reads by content key over [ring]; false:
           round-robin them (the s5 contrast arm) *)
   tuning : tuning;
+  arrivals : float array option;
+      (** open-loop arrival clock: absolute simulated arrival time per
+          rid, strictly increasing. [None] = the fixed
+          [arrival_interval] cadence, pre-scheduled as before. *)
+  elastic : elastic_event list;  (** membership schedule, by time *)
   server_config : Gp_service.Server.config;
       (** template for each replica's server; its [now] field is
           replaced by the node's simulated clock *)
@@ -71,6 +119,19 @@ type world = {
       (** (presumed-dead, new-coordinator-accepted) pairs, newest first *)
   mutable leader_log : (float * int) list;
       (** coordinator acceptances at the router, newest first *)
+  mutable shed_admission : int;
+      (** arrivals refused at the router's full queue *)
+  mutable shed_overload : int;
+      (** requests refused by a backlogged replica's {!Proto.Shed} *)
+  mutable promotions : int;  (** hot keys promoted to replicated reads *)
+  mutable promoted_keys : string list;  (** promoted keys, newest first *)
+  mutable joined : int;  (** replicas that joined mid-run *)
+  mutable left : int;  (** replicas that left mid-run *)
+  mutable handoffs : int;
+      (** completed writes replayed to joiners as {!Proto.Replicate} *)
+  mutable peak_inflight : int;
+      (** high-water mark of the router's pending table — the bounded
+          queue's observed depth *)
   trace_on : bool;
       (** distributed tracing master switch — every instrumentation
           site is guarded by exactly this one flag check, and tracing

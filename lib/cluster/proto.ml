@@ -27,6 +27,11 @@ type msg =
   | Heartbeat of { uid : int; tc : Context.t }
   | Hb_check
   | Shutdown of { tc : Context.t }
+  | Shed of { rid : int; replica : int; tc : Context.t }
+  | Reply_due of { rid : int; tc : Context.t }
+  | Join of { tc : Context.t }
+  | Retire of { tc : Context.t }
+  | Elastic of { join : bool; replica : int }
 
 (* Parse loads concept/type/model definitions — in a deployed cluster
    that is a registry mutation, so it serializes through the leader and
@@ -37,10 +42,15 @@ let is_write req =
   | _ -> false
 
 let context = function
-  | Arrive _ | Retry_check _ | Election_settle | Hb_check -> Context.none
+  | Arrive _ | Retry_check _ | Election_settle | Hb_check | Elastic _ ->
+    Context.none
+  (* Reply_due is a local alarm: its embedded [tc] is payload for the
+     Reply it will send, not a wire context of its own *)
+  | Reply_due _ -> Context.none
   | Do_request { tc; _ } | Replicate { tc; _ } | Reply { tc; _ }
   | Elect { tc; _ } | Coord { tc; _ } | Start_election { tc }
-  | Ping { tc } | Heartbeat { tc; _ } | Shutdown { tc } ->
+  | Ping { tc } | Heartbeat { tc; _ } | Shutdown { tc }
+  | Shed { tc; _ } | Join { tc } | Retire { tc } ->
     tc
 
 let pp_tc ppf tc =
@@ -65,3 +75,10 @@ let pp ppf = function
   | Heartbeat { uid; tc } -> Fmt.pf ppf "heartbeat %d%a" uid pp_tc tc
   | Hb_check -> Fmt.string ppf "hb-check"
   | Shutdown { tc } -> Fmt.pf ppf "shutdown%a" pp_tc tc
+  | Shed { rid; replica; tc } ->
+    Fmt.pf ppf "shed#%d from n%d%a" rid replica pp_tc tc
+  | Reply_due { rid; tc } -> Fmt.pf ppf "reply-due#%d%a" rid pp_tc tc
+  | Join { tc } -> Fmt.pf ppf "join%a" pp_tc tc
+  | Retire { tc } -> Fmt.pf ppf "retire%a" pp_tc tc
+  | Elastic { join; replica } ->
+    Fmt.pf ppf "elastic-%s n%d" (if join then "join" else "leave") replica

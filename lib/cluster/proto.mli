@@ -51,6 +51,26 @@ type msg =
   | Hb_check  (** router self-timer: probe the leader / declare it dead *)
   | Shutdown of { tc : Gp_telemetry.Context.t }
       (** router -> all: workload complete, quiesce *)
+  | Shed of { rid : int; replica : int; tc : Gp_telemetry.Context.t }
+      (** replica -> router: typed overload rejection — the replica's
+          backlog exceeds its bound, so the request is refused rather
+          than queued. The router records a shed verdict for the
+          client; shedding is final, never a hang. *)
+  | Reply_due of { rid : int; tc : Gp_telemetry.Context.t }
+      (** replica self-timer: the simulated service time for [rid] has
+          elapsed — send the memoized Reply (and the write fan-out) now.
+          [tc] is the serve span the Reply will echo, not a wire
+          context. *)
+  | Join of { tc : Gp_telemetry.Context.t }
+      (** router -> replica: you are on the ring as of now; the state
+          handoff (replays of completed writes as {!Replicate}s)
+          follows. *)
+  | Retire of { tc : Gp_telemetry.Context.t }
+      (** router -> replica: you left the ring — quiesce. In-flight
+          reads against the leaver time out at the router and retry on
+          the new ring's successors. *)
+  | Elastic of { join : bool; replica : int }
+      (** router self-timer: apply a scheduled membership change *)
 
 val is_write : Gp_service.Request.t -> bool
 (** Registry-mutating requests — the ones that must serialize through

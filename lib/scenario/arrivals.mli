@@ -1,0 +1,67 @@
+(** Deterministic open-loop arrival processes over the simulated clock.
+
+    Closed-loop load (send, wait, send) hides overload: the clients
+    slow down with the system and the queue never shows. These
+    generators are open-loop — arrival instants are fixed in advance,
+    independent of how the cluster is coping — which is what makes
+    load shedding and back-pressure observable in a scenario.
+
+    Everything is seeded and pure: equal arguments produce equal
+    arrays, bit for bit. All times are absolute simulated instants,
+    strictly increasing, positive, and spaced at least 1e-6 apart
+    (comfortably above the engine's 1e-9 timer floor). Feed the result
+    to [Cluster.config.arrivals]. *)
+
+type t = float array
+(** Absolute arrival instants, strictly increasing. *)
+
+val uniform : ?start:float -> interval:float -> int -> t
+(** The classic fixed cadence: [start + i * interval]. [start] defaults
+    to 1.0. Raises [Invalid_argument] on a non-positive [interval] or
+    [start], or negative [n]. *)
+
+val poisson : ?start:float -> seed:int -> rate:float -> int -> t
+(** Homogeneous Poisson process: exponential gaps at [rate] arrivals
+    per simulated time unit. *)
+
+val diurnal :
+  ?start:float ->
+  seed:int ->
+  base_rate:float ->
+  peak_rate:float ->
+  period:float ->
+  int ->
+  t
+(** Inhomogeneous Poisson with a raised-cosine day: the rate swings
+    from [base_rate] (midnight) up to [peak_rate] (midday) and back
+    once per [period]. Raises [Invalid_argument] if
+    [peak_rate < base_rate]. *)
+
+val burst :
+  ?start:float ->
+  seed:int ->
+  rate:float ->
+  burst_rate:float ->
+  burst_from:float ->
+  burst_until:float ->
+  int ->
+  t
+(** Poisson at [rate], except inside [[burst_from, burst_until)] where
+    it floods at [burst_rate] — the hot-key-flood and stampede arm. *)
+
+val is_valid : t -> bool
+(** Strictly increasing and positive — what every generator guarantees
+    and [merge] preserves; exposed for the property tests. *)
+
+val merge : t list -> (int * float) array
+(** Interleave per-tenant processes into one cluster arrival clock:
+    [(tenant index, time)] sorted by time, tenant index breaking ties.
+    Cross-tenant collisions are nudged forward by the minimum gap, so
+    the merged times are strictly increasing. *)
+
+val times : (int * float) array -> t
+(** The merged clock without the tenant tags — what the cluster config
+    takes. *)
+
+val tenant_of : (int * float) array -> int -> int
+(** Which tenant the [rid]-th merged arrival belongs to. *)

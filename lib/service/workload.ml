@@ -15,20 +15,46 @@ let default_mix =
   [ (Request.Kclosure, 25); (Request.Klint, 20); (Request.Kcheck, 15);
     (Request.Koptimize, 15); (Request.Kprove, 15); (Request.Kparse, 10) ]
 
+(* Rejects carry the offending token and its byte offset in [spec],
+   matching the wire parsers' "at <byte>: ..." convention — a mix
+   usually arrives on a command line, where "bad weight" without a
+   position means hunting through every component by hand. *)
+let mix_leading_ws part =
+  let i = ref 0 in
+  let n = String.length part in
+  while
+    !i < n
+    && (match part.[!i] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false)
+  do
+    incr i
+  done;
+  !i
+
 let parse_mix spec =
-  let parts = String.split_on_char ',' spec in
-  let rec go acc = function
+  let rec go acc base = function
     | [] -> Ok (List.rev acc)
     | part :: rest -> (
-      match String.split_on_char '=' (String.trim part) with
+      let next = base + String.length part + 1 in
+      let at = base + mix_leading_ws part in
+      let tok = String.trim part in
+      match String.split_on_char '=' tok with
       | [ name; weight ] -> (
         match (Request.kind_of_name name, int_of_string_opt weight) with
-        | Some kind, Some w when w >= 0 -> go ((kind, w) :: acc) rest
-        | None, _ -> Error (Printf.sprintf "unknown kind %S in mix" name)
-        | _, _ -> Error (Printf.sprintf "bad weight in %S" part))
-      | _ -> Error (Printf.sprintf "bad mix component %S (want kind=weight)" part))
+        | Some kind, Some w when w >= 0 -> go ((kind, w) :: acc) next rest
+        | None, _ ->
+          Error (Printf.sprintf "at %d: unknown kind %S in mix" at name)
+        | _, _ ->
+          Error
+            (Printf.sprintf
+               "at %d: bad weight %S in %S (want a non-negative int)"
+               (at + String.length name + 1)
+               weight tok))
+      | _ ->
+        Error
+          (Printf.sprintf "at %d: bad mix component %S (want kind=weight)" at
+             tok))
   in
-  match go [] parts with
+  match go [] 0 (String.split_on_char ',' spec) with
   | Ok [] -> Error "empty mix"
   | Ok m when List.for_all (fun (_, w) -> w = 0) m -> Error "all-zero mix"
   | r -> r

@@ -13,7 +13,9 @@ val default_mix : mix
 
 val parse_mix : string -> (mix, string) result
 (** Parse ["check=2,lint=3,prove=1"]; rejects unknown kinds, negative
-    weights, and all-zero mixes. *)
+    weights, and all-zero mixes. Rejects name the offending token and
+    its byte offset (["at 8: unknown kind \"bogus\" in mix"]), the same
+    positioned-error convention as the wire parsers. *)
 
 val generate :
   ?mix:mix -> ?zipf:float -> ?keyspace:int -> ?errors:float -> seed:int ->

@@ -60,6 +60,61 @@ let ring_minimal_movement_prop =
          let after = Hash_ring.shard (ring_of (n + 1) vn) key in
          after = before || after = n + 1))
 
+(* the elastic contract, via the dedicated operations: a join changes a
+   key's owner iff the joiner takes it *)
+let ring_join_prop =
+  qtest
+    (QCheck.Test.make
+       ~name:"hash ring: add_replica moves keys only onto the joiner"
+       ~count:200 ring_args
+       (fun (n, vn, key) ->
+         let ring = ring_of n vn in
+         let joined = Hash_ring.add_replica ring (n + 1) in
+         let before = Hash_ring.shard ring key in
+         let after = Hash_ring.shard joined key in
+         after = before || after = n + 1))
+
+(* ... and a leave strands only the leaver's keys: everyone else's
+   owner survives verbatim *)
+let ring_leave_prop =
+  qtest
+    (QCheck.Test.make
+       ~name:"hash ring: remove_replica moves only the leaver's keys"
+       ~count:200
+       QCheck.(triple (int_range 2 12) (int_range 1 96) small_string)
+       (fun (n, vn, key) ->
+         let ring = ring_of n vn in
+         let leaver = 1 + (Hashtbl.hash (vn, key) mod n) in
+         let shrunk = Hash_ring.remove_replica ring leaver in
+         let before = Hash_ring.shard ring key in
+         let after = Hash_ring.shard shrunk key in
+         if before = leaver then after <> leaver else after = before))
+
+let ring_join_leave_roundtrip_prop =
+  qtest
+    (QCheck.Test.make
+       ~name:"hash ring: join then leave restores every placement"
+       ~count:200 ring_args
+       (fun (n, vn, key) ->
+         let ring = ring_of n vn in
+         let back =
+           Hash_ring.remove_replica (Hash_ring.add_replica ring (n + 1)) (n + 1)
+         in
+         Hash_ring.shard back key = Hash_ring.shard ring key
+         && Hash_ring.successors back key = Hash_ring.successors ring key))
+
+let test_ring_elastic_invalid () =
+  let ring = ring_of 3 16 in
+  Alcotest.check_raises "duplicate join"
+    (Invalid_argument "Hash_ring.add_replica: replica already on the ring")
+    (fun () -> ignore (Hash_ring.add_replica ring 2));
+  Alcotest.check_raises "absent leaver"
+    (Invalid_argument "Hash_ring.remove_replica: replica not on the ring")
+    (fun () -> ignore (Hash_ring.remove_replica ring 9));
+  Alcotest.check_raises "cannot empty the ring"
+    (Invalid_argument "Hash_ring.remove_replica: cannot empty the ring")
+    (fun () -> ignore (Hash_ring.remove_replica (ring_of 1 16) 1))
+
 let test_ring_spread () =
   let ring = ring_of 4 64 in
   let keys = List.init 500 (fun i -> Printf.sprintf "key-%d" i) in
@@ -266,6 +321,146 @@ let test_dump_malformed () =
   Alcotest.(check bool) "foreign header rejected" true
     (bad "{\"flight\": 1}\n")
 
+(* ------------------------------------------------------------------ *)
+(* Elasticity and overload control                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A join and a leave mid-run: membership counters move, the joiner is
+   caught up by write handoff, and the keys that changed owner stay
+   within the consistent-hashing minimal-movement allowance — all while
+   the audit stays clean (an elastic cluster may answer late, never
+   wrong). *)
+let test_elastic_run () =
+  let n = 120 in
+  let reqs = workload ~n 17 in
+  let config =
+    { Cluster.default_config with
+      replicas = 3;
+      elastic =
+        [
+          { Node.el_at = 30.0; el_join = true; el_replica = 4 };
+          { Node.el_at = 60.0; el_join = false; el_replica = 1 };
+        ] }
+  in
+  let r = run ~config reqs in
+  Alcotest.(check int) "everything completes" n r.Cluster.r_completed;
+  Alcotest.(check int) "one join" 1 r.Cluster.r_joined;
+  Alcotest.(check int) "one leave" 1 r.Cluster.r_left;
+  Alcotest.(check bool) "joiner caught up by handoff" true
+    (r.Cluster.r_handoffs > 0);
+  Alcotest.(check bool) "movement within the minimal bound" true
+    (r.Cluster.r_moved_keys <= r.Cluster.r_moved_bound);
+  Alcotest.(check bool) "audit clean" true
+    (Cluster.audit_ok (Cluster.audit ~declare_standard r))
+
+(* Slow serves behind a bounded router queue and a replica backlog
+   limit: the cluster sheds typed verdicts instead of queueing without
+   bound, and the shed column closes the offline audit's accounting
+   identity. *)
+let shedding_config =
+  { Cluster.default_config with
+    replicas = 2;
+    tuning =
+      { Node.default_tuning with
+        service_time = 2.0;
+        queue_bound = 6;
+        shed_backlog = 4.0 } }
+
+let test_shed_roundtrip () =
+  let n = 90 in
+  let reqs = workload ~n 19 in
+  let r = run ~config:shedding_config reqs in
+  Alcotest.(check int) "shed verdicts still complete" n
+    r.Cluster.r_completed;
+  Alcotest.(check bool) "overload control engaged" true
+    (Cluster.shed_total r > 0);
+  Alcotest.(check bool) "the queue respected its bound" true
+    (r.Cluster.r_peak_inflight <= 6);
+  match Cluster.audit_dump ~declare_standard (Cluster.dump r) with
+  | Error e -> Alcotest.failf "offline audit failed: %s" e
+  | Ok a ->
+    Alcotest.(check int) "offline shed column = run's shed total"
+      (Cluster.shed_total r) a.Cluster.au_shed;
+    Alcotest.(check int) "compared + missing + shed = total"
+      a.Cluster.au_total
+      (a.Cluster.au_compared + a.Cluster.au_missing + a.Cluster.au_shed);
+    Alcotest.(check int) "nothing divergent" 0
+      (List.length a.Cluster.au_divergences);
+    Alcotest.(check int) "nothing missing" 0 a.Cluster.au_missing
+
+(* Malformed scenario fields are rejected with the wire's positioned
+   convention; the expected position is recomputed here from the
+   tampered line itself (first occurrence of the bare field name). *)
+let test_dump_malformed_scenario_fields () =
+  let d = Cluster.dump (run ~config:shedding_config (workload ~n:90 19)) in
+  let lines = String.split_on_char '\n' d in
+  let pos_of line name =
+    let n = String.length line and m = String.length name in
+    let rec go i =
+      if i + m > n then Alcotest.failf "field %S not in line %S" name line
+      else if String.sub line i m = name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let replace line ~from ~to_ =
+    let at = pos_of line from in
+    String.sub line 0 at ^ to_
+    ^ String.sub line (at + String.length from)
+        (String.length line - at - String.length from)
+  in
+  let rebuild lines = String.concat "\n" lines in
+  let expect_err doc want =
+    match Cluster.audit_dump ~declare_standard doc with
+    | Ok _ -> Alcotest.failf "tampered dump accepted (wanted %S)" want
+    | Error e -> Alcotest.(check string) "positioned rejection" want e
+  in
+  (* header: the shed counter must be a non-negative int — swap its
+     digits for a string *)
+  (match lines with
+   | header :: rest ->
+     let at = pos_of header "\"shed\":" in
+     let digits_from = at + String.length "\"shed\":" in
+     let digits_to = ref digits_from in
+     while
+       !digits_to < String.length header
+       && (match header.[!digits_to] with '0' .. '9' -> true | _ -> false)
+     do
+       incr digits_to
+     done;
+     let bad_header =
+       String.sub header 0 digits_from ^ "\"x\""
+       ^ String.sub header !digits_to (String.length header - !digits_to)
+     in
+     let p = pos_of bad_header "shed" in
+     expect_err
+       (rebuild (bad_header :: rest))
+       (Printf.sprintf "at %d: bad field \"shed\" (want a non-negative int)" p)
+   | [] -> Alcotest.fail "empty dump");
+  (* record: the shed marker must be a bool *)
+  match
+    List.partition
+      (fun l ->
+        (* a shed record carries the compact marker *)
+        let marker = "\"shed\":true" in
+        let n = String.length l and m = String.length marker in
+        let rec has i =
+          i + m <= n && (String.sub l i m = marker || has (i + 1))
+        in
+        has 0)
+      lines
+  with
+  | [], _ -> Alcotest.fail "no shed record in the dump"
+  | shed_line :: _, _ ->
+    let bad = replace shed_line ~from:"\"shed\":true" ~to_:"\"shed\":3" in
+    let doc =
+      rebuild
+        (List.map (fun l -> if l == shed_line then bad else l) lines)
+    in
+    let p = pos_of bad "shed" in
+    expect_err doc
+      (Printf.sprintf "at %d: bad field \"shed\" (want a bool)" p)
+
 let () =
   Alcotest.run "gp_cluster"
     [
@@ -274,8 +469,13 @@ let () =
           ring_successors_prop;
           ring_deterministic_prop;
           ring_minimal_movement_prop;
+          ring_join_prop;
+          ring_leave_prop;
+          ring_join_leave_roundtrip_prop;
           Alcotest.test_case "spread" `Quick test_ring_spread;
           Alcotest.test_case "invalid args" `Quick test_ring_invalid;
+          Alcotest.test_case "elastic invalid args" `Quick
+            test_ring_elastic_invalid;
         ] );
       ("protocol", [ Alcotest.test_case "is_write" `Quick test_is_write ]);
       ( "transparency",
@@ -293,10 +493,18 @@ let () =
           Alcotest.test_case "replicas required" `Quick
             test_replicas_required;
         ] );
+      ( "elasticity & overload",
+        [
+          Alcotest.test_case "join and leave mid-run" `Quick
+            test_elastic_run;
+          Alcotest.test_case "shed round-trip" `Quick test_shed_roundtrip;
+        ] );
       ( "dump & audit",
         [
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "dump round-trip" `Quick test_dump_roundtrip;
           Alcotest.test_case "malformed dump" `Quick test_dump_malformed;
+          Alcotest.test_case "malformed scenario fields" `Quick
+            test_dump_malformed_scenario_fields;
         ] );
     ]

@@ -719,6 +719,26 @@ let test_workload_mix () =
   in
   List.iter expect_err [ "frobnicate=1"; "check=-2"; "check=0,lint=0"; "" ]
 
+(* The error messages are part of the interface: positions are byte
+   offsets into the spec as typed (leading whitespace skipped, the
+   weight position lands on the character after the '='). Pinned
+   byte-for-byte so a drive-by reformat shows up here, not in a user's
+   shell. *)
+let test_workload_mix_errors () =
+  let pin spec want =
+    match Workload.parse_mix spec with
+    | Ok _ -> Alcotest.failf "mix %S should be rejected" spec
+    | Error e -> Alcotest.(check string) (Printf.sprintf "mix %S" spec) want e
+  in
+  pin "check=2,bogus=1" "at 8: unknown kind \"bogus\" in mix";
+  pin "check=x" "at 6: bad weight \"x\" in \"check=x\" (want a non-negative int)";
+  pin "check=-2"
+    "at 6: bad weight \"-2\" in \"check=-2\" (want a non-negative int)";
+  pin "check" "at 0: bad mix component \"check\" (want kind=weight)";
+  pin "check=1, lint=y"
+    "at 14: bad weight \"y\" in \"lint=y\" (want a non-negative int)";
+  pin "check=0,lint=0" "all-zero mix"
+
 let test_workload_validation () =
   (match Workload.generate ~keyspace:0 ~seed:1 ~n:5 () with
   | _ -> Alcotest.fail "keyspace 0 must be rejected"
@@ -1164,6 +1184,8 @@ let () =
         [ Alcotest.test_case "deterministic per seed" `Quick
             test_workload_determinism;
           Alcotest.test_case "mix parsing" `Quick test_workload_mix;
+          Alcotest.test_case "mix error positions" `Quick
+            test_workload_mix_errors;
           Alcotest.test_case "input validation" `Quick test_workload_validation;
           Alcotest.test_case "seeded error injection" `Quick
             test_workload_error_injection;
